@@ -1,0 +1,128 @@
+// E1 (§3.3, Fig. 3): query batch processing for dashboards.
+//
+// The Fig. 1 dashboard batch (9 zone queries with cache-hit edges) runs
+// against a simulated single-thread-per-query SQL backend under four
+// regimes:
+//
+//   serial          — one query at a time, no analysis, no cache
+//   concurrent      — all queries submitted concurrently (§3.5)
+//   two_phase       — opportunity-graph partition: sources remote
+//                     concurrently, covered queries computed locally (§3.3)
+//   two_phase_fused — plus query fusion (§3.4)
+//
+// Wall time is real: the backend's latencies are slept, so concurrency
+// effects are genuine even on one core.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/dashboard/renderer.h"
+#include "src/federation/simulated_source.h"
+#include "src/workload/flights_dashboards.h"
+
+namespace {
+
+using namespace vizq;
+
+constexpr int64_t kRows = 60000;
+
+dashboard::BatchOptions Regime(int which) {
+  dashboard::BatchOptions o;
+  o.use_intelligent_cache = false;  // isolate batch effects from caching
+  o.use_literal_cache = false;
+  switch (which) {
+    case 0:  // serial
+      o.analyze_batch = false;
+      o.fuse_queries = false;
+      o.concurrent = false;
+      break;
+    case 1:  // concurrent
+      o.analyze_batch = false;
+      o.fuse_queries = false;
+      o.concurrent = true;
+      break;
+    case 2:  // two-phase
+      o.analyze_batch = true;
+      o.fuse_queries = false;
+      o.concurrent = true;
+      break;
+    case 3:  // two-phase + fusion
+      o.analyze_batch = true;
+      o.fuse_queries = true;
+      o.concurrent = true;
+      break;
+  }
+  return o;
+}
+
+const char* RegimeName(int which) {
+  switch (which) {
+    case 0: return "serial";
+    case 1: return "concurrent";
+    case 2: return "two_phase";
+    case 3: return "two_phase_fused";
+  }
+  return "?";
+}
+
+// The Fig. 1 initial-load batch, plus two derivable queries that exercise
+// the local (cache-hit-opportunity) partition: a roll-up of the airlines
+// zone and a filtered variant of the state map.
+std::vector<query::AbstractQuery> Fig1Batch() {
+  using query::QueryBuilder;
+  dashboard::Dashboard dash = workload::BuildFigure1Dashboard("faa");
+  dashboard::InteractionState state;
+  std::vector<query::AbstractQuery> batch;
+  for (const std::string& zone : dash.QueryZoneNames()) {
+    auto q = dash.BuildZoneQuery(zone, state);
+    if (q.ok()) batch.push_back(*std::move(q));
+  }
+  batch.push_back(QueryBuilder("faa", workload::kFlightsView)
+                      .Agg(AggFunc::kAvg, "arr_delay", "overall_delay")
+                      .CountAll("flights")
+                      .Build());
+  batch.push_back(QueryBuilder("faa", workload::kFlightsView)
+                      .Dim("origin_state")
+                      .CountAll("flights")
+                      .Agg(AggFunc::kAvg, "arr_delay", "avg_delay")
+                      .FilterIn("origin_state", {Value("CA"), Value("NY")})
+                      .Build());
+  return batch;
+}
+
+void BM_DashboardBatch(benchmark::State& state) {
+  int regime = static_cast<int>(state.range(0));
+  auto db = benchutil::FaaDb(kRows);
+  auto source =
+      federation::SimulatedDataSource::SingleThreadedSql("faa", db);
+  dashboard::QueryService service(source, nullptr);
+  if (!service.RegisterView(workload::FlightsStarView()).ok()) {
+    state.SkipWithError("view registration failed");
+    return;
+  }
+  std::vector<query::AbstractQuery> batch = Fig1Batch();
+  dashboard::BatchOptions options = Regime(regime);
+  // Caching is off, so local resolution needs the analysis; that's what
+  // ServedFrom::kLocalFromBatch uses.
+
+  dashboard::BatchReport report;
+  for (auto _ : state) {
+    auto results = service.ExecuteBatch(batch, options, &report);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(results->size());
+  }
+  state.counters["queries"] = static_cast<double>(batch.size());
+  state.counters["remote"] = report.remote_queries;
+  state.counters["local"] = report.local_resolved;
+  state.SetLabel(RegimeName(regime));
+}
+BENCHMARK(BM_DashboardBatch)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

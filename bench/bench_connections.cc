@@ -1,0 +1,116 @@
+// E3 (§3.5): concurrent execution of queries through multiple connections
+// "boosts performance, often dramatically, across the architectures
+// supported" — provided idle resources exist.
+//
+// An 8-query batch runs with a connection-pool cap of 1/2/4/8 against
+// three simulated architectures:
+//   rowstore  — single thread per query, 8 CPUs: concurrency scales until
+//               the CPUs are busy
+//   warehouse — parallel plans: a lone query already uses the whole
+//               machine, so extra connections help mostly with overheads
+//   cloud     — server-side admission throttle of 2: client-side
+//               connection count stops mattering beyond it
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/dashboard/query_service.h"
+#include "src/federation/simulated_source.h"
+
+namespace {
+
+using namespace vizq;
+using query::QueryBuilder;
+
+constexpr int64_t kRows = 60000;
+
+std::vector<query::AbstractQuery> EightQueries() {
+  const char* dims[] = {"carrier", "dest_state", "origin_state", "weekday",
+                        "dep_hour", "dest",       "origin",       "market"};
+  std::vector<query::AbstractQuery> batch;
+  for (const char* d : dims) {
+    batch.push_back(QueryBuilder("faa", "flights")
+                        .Dim(d)
+                        .CountAll("flights")
+                        .Agg(AggFunc::kAvg, "arr_delay", "avg_delay")
+                        .Build());
+  }
+  return batch;
+}
+
+std::shared_ptr<federation::SimulatedDataSource> MakeSource(int arch) {
+  auto db = benchutil::FaaDb(kRows);
+  switch (arch) {
+    case 0: return federation::SimulatedDataSource::SingleThreadedSql("faa", db);
+    case 1: return federation::SimulatedDataSource::ParallelWarehouse("faa", db);
+    default: return federation::SimulatedDataSource::ThrottledCloud("faa", db);
+  }
+}
+
+const char* ArchName(int arch) {
+  switch (arch) {
+    case 0: return "rowstore";
+    case 1: return "warehouse";
+    default: return "cloud";
+  }
+}
+
+void BM_ConnectionsSweep(benchmark::State& state) {
+  int arch = static_cast<int>(state.range(0));
+  int connections = static_cast<int>(state.range(1));
+  auto source = MakeSource(arch);
+  // §3.5: "some systems impose limitations on the overall number of
+  // connections" — the client clamps to the backend's cap.
+  bool clamped = connections > source->capabilities().max_connections;
+  if (clamped) connections = source->capabilities().max_connections;
+  dashboard::QueryService service(source, nullptr);
+  if (!service.RegisterTableView("flights").ok()) {
+    state.SkipWithError("view registration failed");
+    return;
+  }
+  std::vector<query::AbstractQuery> batch = EightQueries();
+
+  dashboard::BatchOptions options;
+  options.use_intelligent_cache = false;
+  options.use_literal_cache = false;
+  options.analyze_batch = false;
+  options.fuse_queries = false;
+  options.concurrent = connections > 1;
+  options.max_parallel_queries = connections;
+
+  for (auto _ : state) {
+    auto results = service.ExecuteBatch(batch, options, nullptr);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(results->size());
+  }
+  state.counters["connections"] = connections;
+  state.counters["pool_opened"] =
+      static_cast<double>(service.pool().stats().opened);
+  state.SetLabel(std::string(ArchName(arch)) +
+                 (clamped ? " (clamped to backend cap)" : ""));
+}
+
+void RegisterAll() {
+  for (int arch = 0; arch <= 2; ++arch) {
+    for (int connections : {1, 2, 4, 8}) {
+      std::string name = std::string("BM_ConnectionsSweep/") +
+                         ArchName(arch) + "/conns:" +
+                         std::to_string(connections);
+      benchmark::RegisterBenchmark(name.c_str(), BM_ConnectionsSweep)
+          ->Args({arch, connections})
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

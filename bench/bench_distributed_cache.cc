@@ -1,0 +1,117 @@
+// E10 (§3.2): the distributed cache layer "allows sharing data across
+// nodes in the cluster and keeping data warm regardless of which node
+// handles particular requests".
+//
+// A cluster of N worker nodes serves the same dashboard queries with a
+// round-robin load balancer. Regimes: local-only caches (each node must
+// warm itself against the backend) vs local + shared tier (one node's
+// fetch warms the cluster through the KV store).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/cache/distributed.h"
+#include "src/dashboard/query_service.h"
+#include "src/federation/simulated_source.h"
+#include "src/workload/flights_dashboards.h"
+
+namespace {
+
+using namespace vizq;
+
+constexpr int64_t kRows = 60000;
+
+std::vector<query::AbstractQuery> DashboardQueries() {
+  dashboard::Dashboard dash = workload::BuildFigure1Dashboard("faa");
+  dashboard::InteractionState state;
+  std::vector<query::AbstractQuery> out;
+  for (const std::string& zone : dash.QueryZoneNames()) {
+    auto q = dash.BuildZoneQuery(zone, state);
+    if (q.ok()) out.push_back(*std::move(q));
+  }
+  return out;
+}
+
+void BM_DistributedCache(benchmark::State& state) {
+  int nodes = static_cast<int>(state.range(0));
+  bool shared_tier = state.range(1) == 1;
+  auto db = benchutil::FaaDb(kRows);
+  std::vector<query::AbstractQuery> queries = DashboardQueries();
+
+  for (auto _ : state) {
+    auto source =
+        federation::SimulatedDataSource::SingleThreadedSql("faa", db);
+    dashboard::QueryService service(source, nullptr);  // caching done here
+    if (!service.RegisterView(workload::FlightsStarView()).ok()) {
+      state.SkipWithError("view registration failed");
+      return;
+    }
+    auto tier = shared_tier ? std::make_shared<cache::DistributedCacheTier>()
+                            : nullptr;
+    std::vector<std::unique_ptr<cache::NodeCacheLayer>> node_caches;
+    for (int n = 0; n < nodes; ++n) {
+      node_caches.push_back(std::make_unique<cache::NodeCacheLayer>(
+          "node" + std::to_string(n), tier));
+    }
+
+    dashboard::BatchOptions raw;
+    raw.use_intelligent_cache = false;
+    raw.use_literal_cache = false;
+    raw.adjust.decompose_avg = false;
+
+    // 4 rounds of user requests, each request routed round-robin.
+    auto started = std::chrono::steady_clock::now();
+    int backend_queries = 0;
+    int request = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (const query::AbstractQuery& q : queries) {
+        cache::NodeCacheLayer& node = *node_caches[request++ % nodes];
+        auto hit = node.Lookup(q);
+        if (!hit.has_value()) {
+          auto result = service.ExecuteQuery(q, raw);
+          if (!result.ok()) {
+            state.SkipWithError(result.status().ToString().c_str());
+            return;
+          }
+          ++backend_queries;
+          node.Put(q, *std::move(result), 20.0);
+        }
+      }
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+    state.SetIterationTime(ms / 1000.0);
+    state.counters["backend_queries"] = backend_queries;
+    if (tier != nullptr) {
+      state.counters["tier_ms"] = tier->simulated_ms();
+    }
+  }
+  state.SetLabel(shared_tier ? "local+shared-tier" : "local-only");
+}
+
+void RegisterAll() {
+  for (int nodes : {2, 4, 8}) {
+    for (int shared : {0, 1}) {
+      std::string name = "BM_DistributedCache/nodes:" +
+                         std::to_string(nodes) + "/" +
+                         (shared ? "shared" : "local_only");
+      benchmark::RegisterBenchmark(name.c_str(), BM_DistributedCache)
+          ->Args({nodes, shared})
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

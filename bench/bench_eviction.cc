@@ -1,0 +1,139 @@
+// E13 (§3.2): "cache entries ... are purged based upon a combination of
+// entry age, usage, and the expense of re-evaluating the query." Ablates
+// that score against plain LRU at the cache level, replaying a trace with
+// heterogeneous re-evaluation costs:
+//
+//   * 3 "anchor" queries — expensive to evaluate (multi-dim aggregations,
+//     80 ms each), re-issued every ~45 requests;
+//   * a flood of one-off "probe" queries — cheap (5 ms), almost never
+//     repeated — that exerts continuous memory pressure.
+//
+// By the time an anchor recurs it is among the least-recently-used
+// entries, so LRU has evicted it and pays the 80 ms again; the
+// age+usage+cost score keeps anchors resident. Iteration time is the
+// modeled total evaluation cost (misses x their re-evaluation expense).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/cache/intelligent_cache.h"
+#include "src/common/rng.h"
+#include "src/dashboard/query_service.h"
+#include "src/federation/data_source.h"
+
+namespace {
+
+using namespace vizq;
+using query::QueryBuilder;
+
+constexpr int64_t kRows = 60000;
+constexpr double kAnchorCostMs = 80.0;
+constexpr double kProbeCostMs = 5.0;
+
+query::AbstractQuery AnchorQuery(int i) {
+  switch (i % 3) {
+    case 0:
+      return QueryBuilder("faa", "flights")
+          .Dim("origin").Dim("dest")
+          .Agg(AggFunc::kSum, "arr_delay", "total")
+          .Agg(AggFunc::kCount, "arr_delay", "n")
+          .Build();
+    case 1:
+      return QueryBuilder("faa", "flights")
+          .Dim("market")
+          .CountAll("n")
+          .Build();
+    default:
+      return QueryBuilder("faa", "flights")
+          .Dim("dest").Dim("carrier")
+          .Agg(AggFunc::kAvg, "dep_delay", "d")
+          .Build();
+  }
+}
+
+query::AbstractQuery CheapQuery(int i) {
+  return QueryBuilder("faa", "flights")
+      .Dim("origin_state")
+      .CountAll("n")
+      .FilterRange("distance", Value(static_cast<int64_t>(i * 3)),
+                   Value(static_cast<int64_t>(i * 3 + 200)))
+      .Build();
+}
+
+// Pre-computed results so the replay only exercises the cache.
+struct Workload {
+  std::vector<query::AbstractQuery> anchors;
+  std::vector<ResultTable> anchor_results;
+  ResultTable probe_result;  // all probes share a (tiny) result shape
+};
+
+const Workload& GetWorkload() {
+  static const Workload* w = [] {
+    auto db = benchutil::FaaDb(kRows);
+    auto source = std::make_shared<federation::TdeDataSource>("faa", db);
+    dashboard::QueryService service(source, nullptr);
+    (void)service.RegisterTableView("flights");
+    dashboard::BatchOptions raw;
+    raw.use_intelligent_cache = false;
+    raw.use_literal_cache = false;
+    raw.adjust.decompose_avg = false;
+    auto* out = new Workload();
+    for (int i = 0; i < 3; ++i) {
+      out->anchors.push_back(AnchorQuery(i));
+      auto r = service.ExecuteQuery(out->anchors.back(), raw);
+      if (!r.ok()) std::abort();
+      out->anchor_results.push_back(*std::move(r));
+    }
+    auto pr = service.ExecuteQuery(CheapQuery(0), raw);
+    if (!pr.ok()) std::abort();
+    out->probe_result = *std::move(pr);
+    return out;
+  }();
+  return *w;
+}
+
+void BM_EvictionPolicy(benchmark::State& state) {
+  bool cost_aware = state.range(0) == 1;
+  const Workload& w = GetWorkload();
+
+  for (auto _ : state) {
+    cache::IntelligentCacheOptions copts;
+    copts.eviction = cost_aware ? cache::EvictionConfig::CostAware()
+                                : cache::EvictionConfig::Lru();
+    // The three anchors (~80 KB) plus ~20 probes fit; every further probe
+    // forces an eviction decision.
+    copts.max_bytes = 100 * 1024;
+    cache::IntelligentCache cache(copts);
+
+    Rng rng(11);
+    double modeled_ms = 0;
+    int64_t anchor_misses = 0;
+    for (int i = 0; i < 450; ++i) {
+      bool is_anchor = i % 15 == 0;
+      query::AbstractQuery q =
+          is_anchor ? w.anchors[(i / 15) % 3]
+                    : CheapQuery(static_cast<int>(rng.Below(1000)));
+      if (cache.Lookup(q).has_value()) continue;
+      if (is_anchor) {
+        modeled_ms += kAnchorCostMs;
+        ++anchor_misses;
+        cache.Put(q, w.anchor_results[(i / 15) % 3], kAnchorCostMs);
+      } else {
+        modeled_ms += kProbeCostMs;
+        cache.Put(q, w.probe_result, kProbeCostMs);
+      }
+    }
+    state.SetIterationTime(modeled_ms / 1000.0);
+    state.counters["hits"] = static_cast<double>(cache.stats().hits());
+    state.counters["anchor_misses"] = static_cast<double>(anchor_misses);
+    state.counters["evictions"] = static_cast<double>(cache.stats().evictions);
+  }
+  state.SetLabel(cost_aware ? "age+usage+cost" : "lru");
+}
+BENCHMARK(BM_EvictionPolicy)
+    ->Arg(0)->Arg(1)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// E2 (§3.4): query fusion. A batch of k queries over the same relation
+// (same view, same filters, same group-by) differing only in their
+// projections is executed fused vs. unfused against a simulated backend.
+// Fusion sends one remote query computing the union of projections; the
+// members are sliced out locally. Gains grow with k: the underlying
+// relation is computed once instead of k times, and per-query dispatch
+// overhead is paid once.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/dashboard/query_service.h"
+#include "src/federation/simulated_source.h"
+
+namespace {
+
+using namespace vizq;
+using query::QueryBuilder;
+
+constexpr int64_t kRows = 60000;
+
+std::vector<query::AbstractQuery> SameRelationBatch(int k) {
+  // k queries over market with identical filters, different measures —
+  // "different zones of a dashboard share the same filters but request
+  // different columns".
+  const std::vector<std::pair<AggFunc, std::string>> measures = {
+      {AggFunc::kCountStar, ""},        {AggFunc::kSum, "arr_delay"},
+      {AggFunc::kAvg, "dep_delay"},     {AggFunc::kMin, "distance"},
+      {AggFunc::kMax, "arr_delay"},     {AggFunc::kSum, "distance"},
+      {AggFunc::kCount, "dep_delay"},   {AggFunc::kAvg, "distance"},
+  };
+  std::vector<query::AbstractQuery> batch;
+  for (int i = 0; i < k; ++i) {
+    QueryBuilder b("faa", "flights");
+    b.Dim("carrier");
+    b.FilterIn("origin_state", {Value("CA"), Value("NY"), Value("TX")});
+    auto [func, column] = measures[i % measures.size()];
+    if (func == AggFunc::kCountStar) {
+      b.CountAll("m" + std::to_string(i));
+    } else {
+      b.Agg(func, column, "m" + std::to_string(i));
+    }
+    batch.push_back(b.Build());
+  }
+  return batch;
+}
+
+void BM_QueryFusion(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  bool fused = state.range(1) == 1;
+  auto db = benchutil::FaaDb(kRows);
+  auto source =
+      federation::SimulatedDataSource::SingleThreadedSql("faa", db);
+  dashboard::QueryService service(source, nullptr);
+  if (!service.RegisterTableView("flights").ok()) {
+    state.SkipWithError("view registration failed");
+    return;
+  }
+  std::vector<query::AbstractQuery> batch = SameRelationBatch(k);
+
+  dashboard::BatchOptions options;
+  options.use_intelligent_cache = false;
+  options.use_literal_cache = false;
+  options.analyze_batch = false;   // isolate fusion from the §3.3 analysis
+  options.concurrent = true;
+  options.fuse_queries = fused;
+
+  dashboard::BatchReport report;
+  for (auto _ : state) {
+    auto results = service.ExecuteBatch(batch, options, &report);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(results->size());
+  }
+  state.counters["k"] = k;
+  state.counters["remote"] = report.fused_groups;
+  state.SetLabel(fused ? "fused" : "unfused");
+}
+BENCHMARK(BM_QueryFusion)
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({4, 0})->Args({4, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,213 @@
+// E8 (§3.2): the intelligent cache over a realistic interaction session.
+//
+// A user loads the Fig. 1 dashboard, then performs a sequence of
+// interactions (quick-filter deselections, map selections, drill-downs).
+// Regimes:
+//   none          — no caching at all
+//   literal       — text-keyed cache only (exact repeats hit)
+//   intelligent   — subsumption matching + post-processing
+//   intelligent+  — plus the §3.2 reuse adjustment (AVG decomposition and
+//                   filter columns added as dimensions)
+//
+// Also ablates the match strategy: first-match (shipped) vs
+// least-post-processing (the paper's stated future work).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/dashboard/renderer.h"
+#include "src/federation/simulated_source.h"
+#include "src/workload/flights_dashboards.h"
+
+namespace {
+
+using namespace vizq;
+
+constexpr int64_t kRows = 60000;
+
+// Scripted session: initial load + 6 interactions.
+void RunSession(dashboard::QueryService* service,
+                const dashboard::BatchOptions& options, double* out_ms,
+                int* out_remote) {
+  dashboard::Dashboard dash = workload::BuildFigure1Dashboard("faa");
+  dashboard::DashboardRenderer renderer(service);
+  dashboard::InteractionState state;
+  // Fig. 1 initial state: every filter value selected.
+  std::vector<Value> all_carriers;
+  for (int c = 0; c < 10; ++c) {
+    all_carriers.push_back(Value(workload::FaaCarrierCodes()[c]));
+  }
+  state.SetQuickFilter("carrier", all_carriers);
+
+  double total_ms = 0;
+  int remote = 0;
+  auto account = [&](const StatusOr<dashboard::RenderReport>& report) {
+    if (!report.ok()) std::abort();
+    total_ms += report->total_ms;
+    for (const dashboard::BatchReport& b : report->batches) {
+      remote += b.remote_queries;
+    }
+  };
+
+  account(renderer.Render(dash, &state, options));
+
+  // 1-2: deselect carriers in the quick filter (§3.2's Fig. 1 scenario).
+  std::vector<Value> most(all_carriers.begin(), all_carriers.end() - 2);
+  state.SetQuickFilter("carrier", most);
+  account(renderer.Refresh(dash, &state, dash.QuickFilterTargets("carrier"),
+                           options));
+  std::vector<Value> fewer(all_carriers.begin(), all_carriers.end() - 5);
+  state.SetQuickFilter("carrier", fewer);
+  account(renderer.Refresh(dash, &state, dash.QuickFilterTargets("carrier"),
+                           options));
+
+  // 3: select two states on the origin map.
+  state.Select("OriginMap", "origin_state", {Value("CA"), Value("NY")});
+  account(renderer.Refresh(dash, &state, dash.ActionTargets("OriginMap"),
+                           options));
+
+  // 4: narrow to one state (a subset — post-filterable).
+  state.Select("OriginMap", "origin_state", {Value("CA")});
+  account(renderer.Refresh(dash, &state, dash.ActionTargets("OriginMap"),
+                           options));
+
+  // 5: back to the wider selection (an exact repeat of step 3).
+  state.Select("OriginMap", "origin_state", {Value("CA"), Value("NY")});
+  account(renderer.Refresh(dash, &state, dash.ActionTargets("OriginMap"),
+                           options));
+
+  // 6: clear everything (repeats the post-load queries).
+  state.selections.clear();
+  state.SetQuickFilter("carrier", all_carriers);
+  account(renderer.Refresh(dash, &state, dash.QueryZoneNames(), options));
+
+  *out_ms = total_ms;
+  *out_remote = remote;
+}
+
+dashboard::BatchOptions Regime(int which) {
+  dashboard::BatchOptions o;
+  o.analyze_batch = true;
+  o.fuse_queries = true;
+  o.concurrent = true;
+  switch (which) {
+    case 0:  // none
+      o.use_intelligent_cache = false;
+      o.use_literal_cache = false;
+      o.adjust.decompose_avg = false;
+      break;
+    case 1:  // literal only
+      o.use_intelligent_cache = false;
+      o.use_literal_cache = true;
+      o.adjust.decompose_avg = false;
+      break;
+    case 2:  // intelligent
+      o.use_intelligent_cache = true;
+      o.use_literal_cache = true;
+      o.adjust.decompose_avg = false;
+      o.adjust.add_filter_dimensions = false;
+      break;
+    case 3:  // intelligent + reuse adjustment
+      o.use_intelligent_cache = true;
+      o.use_literal_cache = true;
+      o.adjust.decompose_avg = true;
+      o.adjust.add_filter_dimensions = true;
+      break;
+  }
+  return o;
+}
+
+const char* RegimeName(int which) {
+  switch (which) {
+    case 0: return "none";
+    case 1: return "literal";
+    case 2: return "intelligent";
+    case 3: return "intelligent+adjust";
+  }
+  return "?";
+}
+
+void BM_CacheSession(benchmark::State& state) {
+  int regime = static_cast<int>(state.range(0));
+  auto db = benchutil::FaaDb(kRows);
+  for (auto _ : state) {
+    // Fresh caches per iteration: we measure one user's session.
+    auto source =
+        federation::SimulatedDataSource::SingleThreadedSql("faa", db);
+    auto caches = std::make_shared<dashboard::CacheStack>();
+    dashboard::QueryService service(source, caches);
+    if (!service.RegisterView(workload::FlightsStarView()).ok()) {
+      state.SkipWithError("view registration failed");
+      return;
+    }
+    double ms = 0;
+    int remote = 0;
+    RunSession(&service, Regime(regime), &ms, &remote);
+    state.SetIterationTime(ms / 1000.0);
+    state.counters["remote_queries"] = remote;
+  }
+  state.SetLabel(RegimeName(regime));
+}
+BENCHMARK(BM_CacheSession)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+// Match-strategy ablation: many coverable entries in the cache; the
+// least-post-processing strategy picks the cheapest (smallest) one.
+void BM_MatchStrategy(benchmark::State& state) {
+  bool least = state.range(0) == 1;
+  auto db = benchutil::FaaDb(kRows);
+  auto source = std::make_shared<federation::TdeDataSource>("faa", db);
+  cache::IntelligentCacheOptions copts;
+  copts.strategy = least ? cache::MatchStrategy::kLeastPostProcessing
+                         : cache::MatchStrategy::kFirstMatch;
+  auto caches = std::make_shared<dashboard::CacheStack>(
+      copts, cache::LiteralCacheOptions{});
+  dashboard::QueryService service(source, caches);
+  (void)service.RegisterTableView("flights");
+
+  dashboard::BatchOptions raw;
+  raw.use_intelligent_cache = false;
+  raw.use_literal_cache = false;
+
+  // Seed the cache: a fat fine-grained entry first, then a small exact
+  // one. First-match scans in bucket insertion order and post-processes
+  // the fat entry; least-post-processing finds the small one.
+  auto fat = query::QueryBuilder("faa", "flights")
+                 .Dim("market").Dim("carrier").Dim("weekday")
+                 .Agg(AggFunc::kSum, "arr_delay", "total")
+                 .Agg(AggFunc::kCount, "arr_delay", "n")
+                 .Build();
+  auto small = query::QueryBuilder("faa", "flights")
+                   .Dim("carrier")
+                   .Agg(AggFunc::kSum, "arr_delay", "total")
+                   .Agg(AggFunc::kCount, "arr_delay", "n")
+                   .Build();
+  auto fat_result = service.ExecuteQuery(fat, raw);
+  auto small_result = service.ExecuteQuery(small, raw);
+  if (!fat_result.ok() || !small_result.ok()) {
+    state.SkipWithError("seeding failed");
+    return;
+  }
+  caches->intelligent.Put(fat, *fat_result, 50.0);
+  caches->intelligent.Put(small, *small_result, 50.0);
+
+  auto request = query::QueryBuilder("faa", "flights")
+                     .Dim("carrier")
+                     .Agg(AggFunc::kAvg, "arr_delay", "mean")
+                     .Build();
+  for (auto _ : state) {
+    auto hit = caches->intelligent.Lookup(request);
+    if (!hit.has_value()) {
+      state.SkipWithError("expected a cache hit");
+      return;
+    }
+    benchmark::DoNotOptimize(hit->num_rows());
+  }
+  state.SetLabel(least ? "least_post_processing" : "first_match");
+}
+BENCHMARK(BM_MatchStrategy)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

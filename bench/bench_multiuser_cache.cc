@@ -1,0 +1,128 @@
+// E9 (§3.2): multi-user shared dashboards. U users replay
+// Tableau-Public-style traffic (initial loads dominate; interactions are
+// rare) against one shared server-side cache stack. With the cache on, the
+// first user's load warms every later user's; backend query counts
+// collapse.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/dashboard/renderer.h"
+#include "src/federation/simulated_source.h"
+#include "src/workload/flights_dashboards.h"
+#include "src/workload/traffic.h"
+
+namespace {
+
+using namespace vizq;
+
+constexpr int64_t kRows = 60000;
+
+std::vector<workload::Selectable> Selectables() {
+  std::vector<workload::Selectable> out;
+  workload::Selectable states;
+  states.zone = "OriginMap";
+  states.column = "origin_state";
+  for (const std::string& s : {"CA", "NY", "TX", "FL", "IL"}) {
+    states.candidates.push_back(Value(s));
+  }
+  out.push_back(states);
+  workload::Selectable carriers;
+  carriers.zone = "CarrierFilter";
+  carriers.column = "carrier";
+  carriers.is_quick_filter = true;
+  for (int c = 0; c < 6; ++c) {
+    carriers.candidates.push_back(Value(workload::FaaCarrierCodes()[c]));
+  }
+  out.push_back(carriers);
+  return out;
+}
+
+void BM_MultiUserTraffic(benchmark::State& state) {
+  int users = static_cast<int>(state.range(0));
+  bool cached = state.range(1) == 1;
+  auto db = benchutil::FaaDb(kRows);
+
+  workload::TrafficOptions topts;
+  topts.num_users = users;
+  topts.interaction_probability = 0.1;  // Public-style: mostly readers
+  std::vector<workload::TrafficEvent> events =
+      workload::GenerateTraffic(topts, Selectables());
+
+  for (auto _ : state) {
+    auto source =
+        federation::SimulatedDataSource::SingleThreadedSql("faa", db);
+    // One shared cache stack for the whole server (all users).
+    auto caches = cached ? std::make_shared<dashboard::CacheStack>() : nullptr;
+    dashboard::QueryService service(source, caches);
+    if (!service.RegisterView(workload::FlightsStarView()).ok()) {
+      state.SkipWithError("view registration failed");
+      return;
+    }
+    dashboard::Dashboard dash = workload::BuildFigure1Dashboard("faa");
+    dashboard::DashboardRenderer renderer(&service);
+    dashboard::BatchOptions options;
+    options.use_intelligent_cache = cached;
+    options.use_literal_cache = cached;
+    options.adjust.add_filter_dimensions = cached;
+
+    double total_ms = 0;
+    // Per-user interaction state (sessions are independent).
+    std::map<int, dashboard::InteractionState> sessions;
+    for (const workload::TrafficEvent& e : events) {
+      dashboard::InteractionState& st = sessions[e.user];
+      StatusOr<dashboard::RenderReport> report = OkStatus();
+      switch (e.kind) {
+        case workload::TrafficEvent::Kind::kInitialLoad:
+          report = renderer.Render(dash, &st, options);
+          break;
+        case workload::TrafficEvent::Kind::kSelect:
+          st.Select(e.zone, e.column, e.values);
+          report = renderer.Refresh(dash, &st, dash.ActionTargets(e.zone),
+                                    options);
+          break;
+        case workload::TrafficEvent::Kind::kQuickFilter:
+          st.SetQuickFilter(e.column, e.values);
+          report = renderer.Refresh(dash, &st,
+                                    dash.QuickFilterTargets(e.column),
+                                    options);
+          break;
+      }
+      if (!report.ok()) {
+        state.SkipWithError(report.status().ToString().c_str());
+        return;
+      }
+      total_ms += report->total_ms;
+    }
+    state.SetIterationTime(total_ms / 1000.0);
+    state.counters["events"] = static_cast<double>(events.size());
+    state.counters["backend_queries"] =
+        static_cast<double>(source->queries_executed());
+    state.counters["ms_per_event"] = total_ms / events.size();
+  }
+  state.SetLabel(cached ? "shared-cache" : "no-cache");
+}
+
+void RegisterAll() {
+  for (int users : {5, 20, 50}) {
+    for (int cached : {0, 1}) {
+      std::string name = "BM_MultiUserTraffic/users:" +
+                         std::to_string(users) + "/" +
+                         (cached ? "cached" : "uncached");
+      benchmark::RegisterBenchmark(name.c_str(), BM_MultiUserTraffic)
+          ->Args({users, cached})
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

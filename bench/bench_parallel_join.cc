@@ -1,0 +1,91 @@
+// E6 (§4.2.2, Fig. 4): parallel plans with joins. The fact side probes in
+// parallel fractions; the dimension side is built once into a SharedTable
+// and a single hash table shared by every probing thread.
+//
+// Manual time = modeled multi-core makespan; wall_ms = measured.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace vizq;
+
+constexpr int64_t kRows = 300000;
+
+void BM_ParallelJoin(benchmark::State& state) {
+  int dop = static_cast<int>(state.range(0));
+  auto db = benchutil::FaaDb(kRows);
+  tde::TdeEngine engine(db);
+  tde::QueryOptions options;
+  if (dop <= 1) {
+    options.parallel.enable_parallel = false;
+  } else {
+    options.parallel.max_dop = dop;
+    options.parallel.min_rows_per_fraction = 1024;
+  }
+  options.parallel.enable_range_partition = false;
+  options.serial_exchange_for_measurement = true;
+  // Group by a dimension-side column so the join cannot be culled.
+  const std::string tql =
+      "(aggregate ((airline airline_name)) ((n count*) (delay avg arr_delay))"
+      " (join inner ((carrier code)) (scan flights) (scan carriers)"
+      " referential))";
+
+  double wall_total = 0;
+  for (auto _ : state) {
+    auto started = std::chrono::steady_clock::now();
+    auto result = engine.Execute(tql, options);
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    wall_total += wall_ms;
+    double modeled = dop <= 1 ? wall_ms
+                              : benchutil::ModeledParallelMs(wall_ms,
+                                                             *result->stats);
+    state.SetIterationTime(modeled / 1000.0);
+  }
+  state.counters["wall_ms"] =
+      benchmark::Counter(wall_total / state.iterations());
+  state.counters["dop"] = dop;
+}
+BENCHMARK(BM_ParallelJoin)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+// Join culling ablation (§4.1.2): the same query grouped by a fact column
+// with culling on/off — "removal of the fact table from a join is critical
+// for performance of domain queries" works the other way around here: the
+// dimension join contributes nothing and is culled.
+void BM_JoinCulling(benchmark::State& state) {
+  bool culling = state.range(0) == 1;
+  auto db = benchutil::FaaDb(kRows);
+  tde::TdeEngine engine(db);
+  tde::QueryOptions options = tde::QueryOptions::Serial();
+  options.optimizer.enable_join_culling = culling;
+  const std::string tql =
+      "(aggregate ((carrier carrier)) ((n count*))"
+      " (join inner ((carrier code)) (scan flights) (scan carriers)"
+      " referential))";
+  for (auto _ : state) {
+    auto result = engine.Execute(tql, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->table.num_rows());
+  }
+  state.SetLabel(culling ? "culled" : "kept");
+}
+BENCHMARK(BM_JoinCulling)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

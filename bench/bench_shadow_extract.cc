@@ -1,0 +1,165 @@
+// E11 (§4.4): shadow extracts for text files. The Jet-style baseline
+// re-parses the whole file for every query; the shadow extract pays a
+// one-time parse + build cost and then answers from the TDE. Sweeps the
+// number of queries in the session to locate the break-even point (which
+// the paper's design assumes is ~1 query).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "src/extract/shadow_extract.h"
+#include "src/tde/engine.h"
+#include "src/workload/faa_generator.h"
+
+namespace {
+
+using namespace vizq;
+
+const std::string& FaaCsv() {
+  static const std::string* csv = [] {
+    workload::FaaOptions options;
+    options.num_flights = 50000;
+    auto text = workload::GenerateFaaCsv(options);
+    if (!text.ok()) std::abort();
+    return new std::string(*std::move(text));
+  }();
+  return *csv;
+}
+
+const std::vector<std::string>& SessionQueries() {
+  static const auto* queries = new std::vector<std::string>{
+      "(aggregate ((carrier carrier)) ((n count*)) (scan flights))",
+      "(aggregate ((dest_state dest_state)) ((d avg arr_delay)) "
+      "(scan flights))",
+      "(topn 5 ((n desc)) (aggregate ((market market)) ((n count*)) "
+      "(scan flights)))",
+      "(aggregate ((weekday weekday)) ((n count*)) (select (= cancelled "
+      "true) (scan flights)))",
+      "(aggregate () ((total sum distance) (n count*)) (scan flights))",
+      "(aggregate ((dep_hour dep_hour)) ((d avg dep_delay)) (scan flights))",
+      "(aggregate ((origin origin)) ((n count*)) (select (> arr_delay 60) "
+      "(scan flights)))",
+      "(aggregate ((carrier carrier) (weekday weekday)) ((d avg arr_delay)) "
+      "(scan flights))",
+  };
+  return *queries;
+}
+
+// Jet-style: parse the file, build a transient table, run one query, drop.
+void BM_ReparsePerQuery(benchmark::State& state) {
+  int num_queries = static_cast<int>(state.range(0));
+  const std::string& csv = FaaCsv();
+  for (auto _ : state) {
+    auto started = std::chrono::steady_clock::now();
+    for (int q = 0; q < num_queries; ++q) {
+      auto db = std::make_shared<tde::Database>("transient");
+      extract::ShadowExtractManager manager(db);
+      auto table = manager.ExtractCsv("flights", csv);
+      if (!table.ok()) {
+        state.SkipWithError(table.status().ToString().c_str());
+        return;
+      }
+      tde::TdeEngine engine(db);
+      auto result = engine.Query(
+          SessionQueries()[q % SessionQueries().size()]);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result->num_rows());
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+    state.SetIterationTime(ms / 1000.0);
+  }
+  state.counters["queries"] = num_queries;
+  state.SetLabel("reparse-per-query");
+}
+
+// Shadow extract: one-time parse+build, then queries hit the TDE.
+void BM_ShadowExtract(benchmark::State& state) {
+  int num_queries = static_cast<int>(state.range(0));
+  const std::string& csv = FaaCsv();
+  for (auto _ : state) {
+    auto started = std::chrono::steady_clock::now();
+    auto db = std::make_shared<tde::Database>("extracts");
+    extract::ShadowExtractManager manager(db);
+    extract::ExtractStats estats;
+    auto table = manager.ExtractCsv("flights", csv, {}, &estats);
+    if (!table.ok()) {
+      state.SkipWithError(table.status().ToString().c_str());
+      return;
+    }
+    tde::TdeEngine engine(db);
+    for (int q = 0; q < num_queries; ++q) {
+      auto result = engine.Query(
+          SessionQueries()[q % SessionQueries().size()]);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result->num_rows());
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+    state.SetIterationTime(ms / 1000.0);
+    state.counters["extract_ms"] = estats.parse_ms + estats.build_ms;
+  }
+  state.counters["queries"] = num_queries;
+  state.SetLabel("extract-once");
+}
+
+// Persisted extract (workbook reopen): restore the single-file database,
+// no parsing at all.
+void BM_PersistedExtract(benchmark::State& state) {
+  int num_queries = static_cast<int>(state.range(0));
+  const std::string path = "/tmp/vizq_bench_extract.tde";
+  {
+    auto db = std::make_shared<tde::Database>("extracts");
+    extract::ShadowExtractManager manager(db);
+    if (!manager.ExtractCsv("flights", FaaCsv()).ok() ||
+        !manager.PersistTo(path).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto started = std::chrono::steady_clock::now();
+    auto db = std::make_shared<tde::Database>("empty");
+    extract::ShadowExtractManager manager(db);
+    if (!manager.RestoreFrom(path).ok()) {
+      state.SkipWithError("restore failed");
+      return;
+    }
+    tde::TdeEngine engine(manager.shared_database());
+    for (int q = 0; q < num_queries; ++q) {
+      auto result = engine.Query(
+          SessionQueries()[q % SessionQueries().size()]);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result->num_rows());
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+    state.SetIterationTime(ms / 1000.0);
+  }
+  state.counters["queries"] = num_queries;
+  state.SetLabel("persisted-extract");
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReparsePerQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShadowExtract)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PersistedExtract)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Shared helpers for the experiment benches (see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for the result log).
+//
+// Single-core note: this repository's benches may run on a 1-CPU host,
+// where real threads cannot show CPU-parallel speedups. TDE parallel-plan
+// benches therefore report a *modeled* multi-core makespan computed from
+// per-fraction work measurements:
+//
+//   modeled = (wall - sum_of_fraction_times) + max_fraction_time
+//
+// i.e. the serial sections as measured plus the slowest fraction, which is
+// what an idle multi-core host would realize. Both numbers are reported;
+// I/O-bound benches (simulated remote sources) use real wall time, since
+// sleeping connections overlap regardless of core count.
+
+#ifndef VIZQUERY_BENCH_BENCH_UTIL_H_
+#define VIZQUERY_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+
+#include "src/tde/engine.h"
+#include "src/workload/faa_generator.h"
+
+namespace vizq::benchutil {
+
+// Process-cached FAA database (generation is the expensive part).
+inline std::shared_ptr<tde::Database> FaaDb(int64_t rows,
+                                            uint64_t seed = 2015) {
+  static auto* cache =
+      new std::map<std::pair<int64_t, uint64_t>,
+                   std::shared_ptr<tde::Database>>();
+  auto key = std::make_pair(rows, seed);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  workload::FaaOptions options;
+  options.num_flights = rows;
+  options.seed = seed;
+  auto db = workload::GenerateFaaDatabase(options);
+  if (!db.ok()) std::abort();
+  cache->emplace(key, *db);
+  return *db;
+}
+
+// Modeled multi-core makespan in milliseconds (see the header comment).
+inline double ModeledParallelMs(double wall_ms, const tde::ExecStats& stats) {
+  double sum_ms = stats.SumFractionSeconds() * 1000.0;
+  double max_ms = stats.MaxFractionSeconds() * 1000.0;
+  double serial_ms = wall_ms - sum_ms;
+  if (serial_ms < 0) serial_ms = 0;
+  return serial_ms + max_ms;
+}
+
+}  // namespace vizq::benchutil
+
+#endif  // VIZQUERY_BENCH_BENCH_UTIL_H_

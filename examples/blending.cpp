@@ -1,0 +1,90 @@
+// Data blending across heterogeneous data sources (§2): flight volumes
+// from one backend blended with route-distance reference data held in a
+// second, independent backend. Each side runs through its own query
+// pipeline (caches, pools); the aggregated results are left-joined
+// locally on the linking dimension.
+//
+//   ./build/examples/blending
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/dashboard/blending.h"
+#include "src/federation/simulated_source.h"
+#include "src/workload/faa_generator.h"
+
+using namespace vizq;
+
+int main() {
+  // Primary source: flight facts in a simulated warehouse.
+  workload::FaaOptions faa;
+  faa.num_flights = 80000;
+  auto flights_db = workload::GenerateFaaDatabase(faa);
+  if (!flights_db.ok()) {
+    std::cerr << flights_db.status() << "\n";
+    return 1;
+  }
+  auto warehouse = federation::SimulatedDataSource::ParallelWarehouse(
+      "warehouse", *flights_db);
+  auto warehouse_caches = std::make_shared<dashboard::CacheStack>();
+  dashboard::QueryService flights_service(warehouse, warehouse_caches);
+  if (!flights_service.RegisterTableView("flights").ok()) return 1;
+
+  // Secondary source: per-carrier fleet reference data in a completely
+  // separate (single-threaded SQL) backend.
+  auto ref_db = std::make_shared<tde::Database>("reference");
+  {
+    tde::TableBuilder builder("fleet", {{"carrier", DataType::String()},
+                                        {"aircraft", DataType::Int64()},
+                                        {"hubs", DataType::Int64()}});
+    int64_t aircraft[] = {950, 880, 760, 720, 280, 230, 60, 110, 90, 60};
+    int64_t hubs[] = {10, 9, 8, 11, 4, 3, 2, 3, 3, 2};
+    for (int c = 0; c < 8; ++c) {  // two carriers intentionally missing
+      (void)builder.AddRow({Value(workload::FaaCarrierCodes()[c]),
+                            Value(aircraft[c]), Value(hubs[c])});
+    }
+    (void)ref_db->AddTable(*builder.Finish());
+  }
+  auto reference =
+      federation::SimulatedDataSource::SingleThreadedSql("reference", ref_db);
+  dashboard::QueryService fleet_service(reference, nullptr);
+  if (!fleet_service.RegisterTableView("fleet").ok()) return 1;
+
+  // Blend: flights per carrier (primary) + fleet size (secondary).
+  dashboard::BlendSpec spec;
+  spec.primary = query::QueryBuilder("warehouse", "flights")
+                     .Dim("carrier")
+                     .CountAll("flights")
+                     .Agg(AggFunc::kAvg, "arr_delay", "avg_delay")
+                     .Build();
+  spec.secondary = query::QueryBuilder("reference", "fleet")
+                       .Dim("carrier")
+                       .Agg(AggFunc::kMax, "aircraft", "aircraft")
+                       .Build();
+  spec.link_on = {{"carrier", "carrier"}};
+
+  auto blended =
+      dashboard::ExecuteBlend(&flights_service, &fleet_service, spec);
+  if (!blended.ok()) {
+    std::cerr << blended.status() << "\n";
+    return 1;
+  }
+  std::printf("carrier  flights  avg_delay  aircraft (secondary source)\n");
+  for (int64_t r = 0; r < blended->num_rows(); ++r) {
+    std::printf("%-8s %-8s %-10.8s %s\n",
+                blended->at(r, 0).ToString().c_str(),
+                blended->at(r, 1).ToString().c_str(),
+                blended->at(r, 2).ToString().c_str(),
+                blended->at(r, 3).is_null()
+                    ? "(no reference data)"
+                    : blended->at(r, 3).ToString().c_str());
+  }
+
+  // Blending again is nearly free: both sides hit their caches.
+  auto again =
+      dashboard::ExecuteBlend(&flights_service, &fleet_service, spec);
+  const auto& stats = warehouse_caches->intelligent.stats();
+  std::printf("\nsecond blend: primary-source cache hits = %lld\n",
+              static_cast<long long>(stats.hits()));
+  return again.ok() ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "src/cache/distributed.h"
+
+#include <chrono>
+#include <thread>
+
+namespace vizq::cache {
+
+DistributedCacheTier::DistributedCacheTier()
+    : DistributedCacheTier(Options()) {}
+
+void DistributedCacheTier::ChargeLatency(int64_t payload_bytes) {
+  double ms = options_.rtt_ms +
+              options_.per_kb_ms * static_cast<double>(payload_bytes) / 1024.0;
+  simulated_ms_ += ms;
+  if (options_.simulate_latency) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
+  }
+}
+
+std::optional<std::string> DistributedCacheTier::Get(const std::string& key) {
+  std::string value;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++gets_;
+    auto it = store_.find(key);
+    if (it != store_.end()) {
+      value = it->second;
+      found = true;
+      ++hits_;
+    }
+  }
+  ChargeLatency(found ? static_cast<int64_t>(value.size()) : 0);
+  if (!found) return std::nullopt;
+  return value;
+}
+
+void DistributedCacheTier::Put(const std::string& key, std::string value) {
+  int64_t payload = static_cast<int64_t>(value.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++puts_;
+    auto it = store_.find(key);
+    if (it != store_.end()) {
+      total_bytes_ -= static_cast<int64_t>(it->second.size());
+      it->second = std::move(value);
+      total_bytes_ += payload;
+    } else {
+      store_.emplace(key, std::move(value));
+      total_bytes_ += payload;
+    }
+    // Crude capacity control: drop arbitrary entries when over budget
+    // (Redis-style maxmemory eviction).
+    while (total_bytes_ > options_.max_bytes && !store_.empty()) {
+      auto victim = store_.begin();
+      total_bytes_ -= static_cast<int64_t>(victim->second.size());
+      store_.erase(victim);
+    }
+  }
+  ChargeLatency(payload);
+}
+
+void DistributedCacheTier::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = store_.find(key);
+  if (it != store_.end()) {
+    total_bytes_ -= static_cast<int64_t>(it->second.size());
+    store_.erase(it);
+  }
+}
+
+void DistributedCacheTier::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_.clear();
+  total_bytes_ = 0;
+}
+
+std::optional<ResultTable> NodeCacheLayer::Lookup(
+    const query::AbstractQuery& q) {
+  auto local_hit = local_.Lookup(q);
+  if (local_hit.has_value()) return local_hit;
+  if (shared_ == nullptr) return std::nullopt;
+  auto remote = shared_->Get(q.ToKeyString());
+  if (!remote.has_value()) return std::nullopt;
+  auto table = ResultTable::Deserialize(*remote);
+  if (!table.ok()) return std::nullopt;
+  ++shared_hits_;
+  // Warm the local tier; the remote entry is known-expensive enough to
+  // have been cached once already.
+  local_.Put(q, *table, /*eval_cost_ms=*/1.0);
+  return *std::move(table);
+}
+
+void NodeCacheLayer::Put(const query::AbstractQuery& q, ResultTable result,
+                         double eval_cost_ms) {
+  if (shared_ != nullptr) {
+    shared_->Put(q.ToKeyString(), result.Serialize());
+  }
+  local_.Put(q, std::move(result), eval_cost_ms);
+}
+
+}  // namespace vizq::cache

@@ -1,0 +1,95 @@
+// The distributed cache layer (§3.2): "Tableau Server does not persist the
+// caches but it utilizes a distributed layer based on REDIS or Cassandra
+// ... This allows sharing data across nodes in the cluster and keeping
+// data warm regardless of which node handles particular requests. For
+// efficiency, recent entries are also stored in memory on the nodes."
+//
+// DistributedCacheTier substitutes for Redis/Cassandra: a shared,
+// thread-safe KV store whose operations pay a configurable network
+// round-trip plus a per-byte transfer cost (really slept, so end-to-end
+// benches see genuine latency). NodeCacheLayer is one worker node's view:
+// an in-memory IntelligentCache in front of the shared tier.
+
+#ifndef VIZQUERY_CACHE_DISTRIBUTED_H_
+#define VIZQUERY_CACHE_DISTRIBUTED_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/cache/intelligent_cache.h"
+
+namespace vizq::cache {
+
+class DistributedCacheTier {
+ public:
+  struct Options {
+    double rtt_ms = 0.4;          // per-operation round trip
+    double per_kb_ms = 0.002;     // payload transfer
+    bool simulate_latency = true; // sleep for the modeled time
+    int64_t max_bytes = 1LL << 30;
+  };
+
+  DistributedCacheTier();  // default Options
+  explicit DistributedCacheTier(Options options) : options_(options) {}
+
+  std::optional<std::string> Get(const std::string& key);
+  void Put(const std::string& key, std::string value);
+  void Erase(const std::string& key);
+  void Clear();
+
+  int64_t gets() const { return gets_; }
+  int64_t hits() const { return hits_; }
+  int64_t puts() const { return puts_; }
+  // Total simulated network time spent against this tier.
+  double simulated_ms() const { return simulated_ms_; }
+
+ private:
+  void ChargeLatency(int64_t payload_bytes);
+
+  Options options_;
+  std::mutex mu_;
+  std::map<std::string, std::string> store_;
+  int64_t total_bytes_ = 0;
+  int64_t gets_ = 0;
+  int64_t hits_ = 0;
+  int64_t puts_ = 0;
+  double simulated_ms_ = 0;
+};
+
+// One cluster node's cache stack: local in-memory intelligent cache backed
+// by the shared tier. The shared tier stores exact-key entries (it is a
+// plain KV store); subsumption matching happens against the local cache.
+class NodeCacheLayer {
+ public:
+  NodeCacheLayer(std::string node_name,
+                 std::shared_ptr<DistributedCacheTier> shared,
+                 IntelligentCacheOptions local_options = {})
+      : node_name_(std::move(node_name)),
+        shared_(std::move(shared)),
+        local_(local_options) {}
+
+  // Local lookup (incl. subsumption), then shared-tier exact lookup. A
+  // shared hit is pulled into the local cache ("recent entries are also
+  // stored in memory on the nodes").
+  std::optional<ResultTable> Lookup(const query::AbstractQuery& q);
+
+  // Stores locally and publishes to the shared tier.
+  void Put(const query::AbstractQuery& q, ResultTable result,
+           double eval_cost_ms);
+
+  IntelligentCache& local() { return local_; }
+  int64_t shared_hits() const { return shared_hits_; }
+
+ private:
+  std::string node_name_;
+  std::shared_ptr<DistributedCacheTier> shared_;
+  IntelligentCache local_;
+  int64_t shared_hits_ = 0;
+};
+
+}  // namespace vizq::cache
+
+#endif  // VIZQUERY_CACHE_DISTRIBUTED_H_

@@ -1,0 +1,45 @@
+// Cache eviction (§3.2): "cache entries ... are purged based upon a
+// combination of entry age, usage, and the expense of re-evaluating the
+// query." Both query caches share this scoring policy; the bench
+// bench_eviction ablates it against plain LRU.
+
+#ifndef VIZQUERY_CACHE_EVICTION_H_
+#define VIZQUERY_CACHE_EVICTION_H_
+
+#include <cstdint>
+
+namespace vizq::cache {
+
+// Bookkeeping carried by every cache entry.
+struct EntryUsage {
+  int64_t inserted_tick = 0;   // logical clock at insertion
+  int64_t last_used_tick = 0;  // logical clock at last hit
+  int64_t hits = 0;
+  double eval_cost_ms = 0;     // how expensive the query was to evaluate
+  int64_t bytes = 0;
+};
+
+struct EvictionConfig {
+  // Higher score = evicted first.
+  double age_weight = 1.0;     // per logical tick since last use
+  double usage_weight = 4.0;   // per hit (reduces score)
+  double cost_weight = 0.5;    // per ms of re-evaluation cost (reduces)
+
+  // Plain LRU for ablation: score = ticks since last use only.
+  static EvictionConfig Lru() { return EvictionConfig{1.0, 0.0, 0.0}; }
+  static EvictionConfig CostAware() { return EvictionConfig{}; }
+};
+
+// Eviction priority of `entry` at logical time `now` (higher evicts first).
+inline double EvictionScore(const EntryUsage& entry, int64_t now,
+                            const EvictionConfig& config) {
+  double score =
+      config.age_weight * static_cast<double>(now - entry.last_used_tick);
+  score -= config.usage_weight * static_cast<double>(entry.hits);
+  score -= config.cost_weight * entry.eval_cost_ms;
+  return score;
+}
+
+}  // namespace vizq::cache
+
+#endif  // VIZQUERY_CACHE_EVICTION_H_

@@ -1,0 +1,644 @@
+#include "src/cache/intelligent_cache.h"
+
+#include <algorithm>
+#include <set>
+
+namespace vizq::cache {
+
+using query::AbstractQuery;
+using query::ColumnPredicate;
+using query::Measure;
+
+namespace {
+
+// Index of the stored measure with this func/column, or -1.
+int FindStoredMeasure(const AbstractQuery& stored, AggFunc func,
+                      const std::string& column) {
+  for (size_t i = 0; i < stored.measures.size(); ++i) {
+    if (stored.measures[i].func == func && stored.measures[i].column == column) {
+      return static_cast<int>(stored.dimensions.size() + i);
+    }
+  }
+  return -1;
+}
+
+int FindStoredDimension(const AbstractQuery& stored, const std::string& name) {
+  for (size_t i = 0; i < stored.dimensions.size(); ++i) {
+    if (stored.dimensions[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool SameDimensionSet(const AbstractQuery& a, const AbstractQuery& b) {
+  if (a.dimensions.size() != b.dimensions.size()) return false;
+  std::set<std::string> sa(a.dimensions.begin(), a.dimensions.end());
+  std::set<std::string> sb(b.dimensions.begin(), b.dimensions.end());
+  return sa == sb;
+}
+
+bool RowPassesPredicate(const Value& v, const ColumnPredicate& p) {
+  if (p.kind == ColumnPredicate::Kind::kInSet) {
+    for (const Value& allowed : p.values) {
+      if (v.Equals(allowed)) return true;
+    }
+    return false;
+  }
+  if (v.is_null()) return false;
+  if (p.lower.has_value()) {
+    int cmp = v.Compare(*p.lower);
+    if (cmp < 0 || (cmp == 0 && !p.lower_inclusive)) return false;
+  }
+  if (p.upper.has_value()) {
+    int cmp = v.Compare(*p.upper);
+    if (cmp > 0 || (cmp == 0 && !p.upper_inclusive)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<MatchPlan> MatchQueries(
+    const AbstractQuery& stored,
+    const std::vector<ResultColumn>& stored_columns,
+    const AbstractQuery& requested) {
+  if (stored.data_source != requested.data_source ||
+      stored.view != requested.view) {
+    return std::nullopt;
+  }
+
+  // Byte-identical request: zero post-processing.
+  if (stored.ToKeyString() == requested.ToKeyString()) {
+    MatchPlan plan;
+    plan.exact = true;
+    return plan;
+  }
+
+  // A truncated (top-n) stored result cannot answer anything else.
+  if (stored.has_limit()) return std::nullopt;
+
+  // Dimensions of the request must exist in the stored granularity.
+  MatchPlan plan;
+  for (const std::string& dim : requested.dimensions) {
+    int idx = FindStoredDimension(stored, dim);
+    if (idx < 0) return std::nullopt;
+    plan.dim_columns.push_back(idx);
+  }
+  plan.needs_rollup = !SameDimensionSet(stored, requested);
+
+  // Filters: the request must be at least as restrictive as the stored
+  // query, and residual predicates must be post-filterable (grouped cols).
+  if (!requested.filters.Implies(stored.filters)) return std::nullopt;
+  plan.residual_filters = requested.filters.ResidualAgainst(stored.filters);
+  for (const ColumnPredicate& p : plan.residual_filters) {
+    if (FindStoredDimension(stored, p.column) < 0) return std::nullopt;
+  }
+
+  // Measures.
+  for (const Measure& m : requested.measures) {
+    MeasureDerivation d;
+    if (!plan.needs_rollup) {
+      int direct = FindStoredMeasure(stored, m.func, m.column);
+      if (direct >= 0) {
+        d.kind = MeasureDerivation::Kind::kDirect;
+        d.column_a = direct;
+        plan.measures.push_back(d);
+        continue;
+      }
+      if (m.func == AggFunc::kAvg) {
+        int sum = FindStoredMeasure(stored, AggFunc::kSum, m.column);
+        int cnt = FindStoredMeasure(stored, AggFunc::kCount, m.column);
+        if (sum >= 0 && cnt >= 0) {
+          d.kind = MeasureDerivation::Kind::kAvgPair;
+          d.column_a = sum;
+          d.column_b = cnt;
+          plan.measures.push_back(d);
+          continue;
+        }
+      }
+      return std::nullopt;
+    }
+    // Roll-up derivations.
+    switch (m.func) {
+      case AggFunc::kSum: {
+        int src = FindStoredMeasure(stored, AggFunc::kSum, m.column);
+        if (src < 0) return std::nullopt;
+        d.kind = MeasureDerivation::Kind::kReagg;
+        d.func = AggFunc::kSum;
+        d.column_a = src;
+        break;
+      }
+      case AggFunc::kCount: {
+        int src = FindStoredMeasure(stored, AggFunc::kCount, m.column);
+        if (src < 0) return std::nullopt;
+        d.kind = MeasureDerivation::Kind::kReagg;
+        d.func = AggFunc::kSum;  // counts combine by summation
+        d.column_a = src;
+        break;
+      }
+      case AggFunc::kCountStar: {
+        int src = FindStoredMeasure(stored, AggFunc::kCountStar, "");
+        if (src < 0) return std::nullopt;
+        d.kind = MeasureDerivation::Kind::kReagg;
+        d.func = AggFunc::kSum;
+        d.column_a = src;
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        int src = FindStoredMeasure(stored, m.func, m.column);
+        if (src < 0) return std::nullopt;
+        d.kind = MeasureDerivation::Kind::kReagg;
+        d.func = m.func;
+        d.column_a = src;
+        break;
+      }
+      case AggFunc::kAvg: {
+        int sum = FindStoredMeasure(stored, AggFunc::kSum, m.column);
+        int cnt = FindStoredMeasure(stored, AggFunc::kCount, m.column);
+        if (sum < 0 || cnt < 0) return std::nullopt;
+        d.kind = MeasureDerivation::Kind::kAvgPair;
+        d.column_a = sum;
+        d.column_b = cnt;
+        break;
+      }
+      case AggFunc::kCountDistinct: {
+        int dim = FindStoredDimension(stored, m.column);
+        if (dim < 0) return std::nullopt;
+        d.kind = MeasureDerivation::Kind::kCountDistinctDim;
+        d.column_a = dim;
+        break;
+      }
+    }
+    plan.measures.push_back(d);
+  }
+
+  plan.apply_order_limit =
+      !requested.order_by.empty() || requested.has_limit();
+  plan.post_cost = plan.needs_rollup || !plan.residual_filters.empty() ||
+                           plan.apply_order_limit
+                       ? 1
+                       : 0;
+  (void)stored_columns;
+  return plan;
+}
+
+StatusOr<ResultTable> ApplyMatchPlan(const ResultTable& stored,
+                                     const MatchPlan& plan,
+                                     const AbstractQuery& requested) {
+  if (plan.exact) return stored;
+
+  // Output schema.
+  std::vector<ResultColumn> out_cols;
+  for (size_t i = 0; i < requested.dimensions.size(); ++i) {
+    int src = plan.dim_columns[i];
+    out_cols.push_back(
+        ResultColumn{requested.dimensions[i], stored.columns()[src].type});
+  }
+  for (size_t i = 0; i < requested.measures.size(); ++i) {
+    const Measure& m = requested.measures[i];
+    const MeasureDerivation& d = plan.measures[i];
+    DataType type;
+    switch (d.kind) {
+      case MeasureDerivation::Kind::kDirect:
+        type = stored.columns()[d.column_a].type;
+        break;
+      case MeasureDerivation::Kind::kReagg:
+        type = AggResultType(d.func, stored.columns()[d.column_a].type);
+        break;
+      case MeasureDerivation::Kind::kAvgPair:
+        type = DataType::Float64();
+        break;
+      case MeasureDerivation::Kind::kCountDistinctDim:
+        type = DataType::Int64();
+        break;
+    }
+    out_cols.push_back(ResultColumn{m.EffectiveAlias(), type});
+  }
+  ResultTable out(std::move(out_cols));
+
+  // Residual filter column resolution.
+  std::vector<std::pair<int, const ColumnPredicate*>> residual;
+  for (const ColumnPredicate& p : plan.residual_filters) {
+    auto idx = stored.FindColumn(p.column);
+    if (!idx.has_value()) {
+      return Internal("residual filter column missing from stored result");
+    }
+    residual.emplace_back(*idx, &p);
+  }
+
+  auto row_passes = [&](int64_t r) {
+    for (const auto& [col, pred] : residual) {
+      if (!RowPassesPredicate(stored.at(r, col), *pred)) return false;
+    }
+    return true;
+  };
+
+  size_t ndims = requested.dimensions.size();
+
+  if (!plan.needs_rollup) {
+    // Filter + project, group rows stay intact.
+    for (int64_t r = 0; r < stored.num_rows(); ++r) {
+      if (!row_passes(r)) continue;
+      ResultTable::Row row;
+      row.reserve(ndims + plan.measures.size());
+      for (size_t i = 0; i < ndims; ++i) {
+        row.push_back(stored.at(r, plan.dim_columns[i]));
+      }
+      for (const MeasureDerivation& d : plan.measures) {
+        if (d.kind == MeasureDerivation::Kind::kAvgPair) {
+          const Value& sum = stored.at(r, d.column_a);
+          const Value& cnt = stored.at(r, d.column_b);
+          if (cnt.is_null() || cnt.AsDouble() == 0 || sum.is_null()) {
+            row.push_back(Value::Null());
+          } else {
+            row.push_back(Value(sum.AsDouble() / cnt.AsDouble()));
+          }
+        } else {
+          row.push_back(stored.at(r, d.column_a));
+        }
+      }
+      out.AddRow(std::move(row));
+    }
+  } else {
+    // Roll up: hash-group by the requested dimensions.
+    struct Group {
+      ResultTable::Row dims;
+      std::vector<double> sum_d;
+      std::vector<int64_t> sum_i;
+      std::vector<Value> extreme;
+      std::vector<char> has_value;
+      std::vector<std::set<Value>> distinct;
+      std::vector<double> pair_sum;
+      std::vector<int64_t> pair_cnt;
+    };
+    std::map<std::string, Group> groups;  // canonical dim key -> group
+
+    for (int64_t r = 0; r < stored.num_rows(); ++r) {
+      if (!row_passes(r)) continue;
+      std::string key;
+      for (size_t i = 0; i < ndims; ++i) {
+        key += stored.at(r, plan.dim_columns[i]).ToString();
+        key += '\x1f';
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      Group& g = it->second;
+      if (inserted) {
+        for (size_t i = 0; i < ndims; ++i) {
+          g.dims.push_back(stored.at(r, plan.dim_columns[i]));
+        }
+        size_t nm = plan.measures.size();
+        g.sum_d.assign(nm, 0);
+        g.sum_i.assign(nm, 0);
+        g.extreme.assign(nm, Value());
+        g.has_value.assign(nm, 0);
+        g.distinct.resize(nm);
+        g.pair_sum.assign(nm, 0);
+        g.pair_cnt.assign(nm, 0);
+      }
+      for (size_t mi = 0; mi < plan.measures.size(); ++mi) {
+        const MeasureDerivation& d = plan.measures[mi];
+        switch (d.kind) {
+          case MeasureDerivation::Kind::kDirect:
+            return Internal("direct measure under roll-up");
+          case MeasureDerivation::Kind::kReagg: {
+            const Value& v = stored.at(r, d.column_a);
+            if (v.is_null()) break;
+            if (d.func == AggFunc::kSum) {
+              if (v.is_double()) {
+                g.sum_d[mi] += v.double_value();
+              } else {
+                g.sum_i[mi] += v.int_value();
+              }
+              g.has_value[mi] = 1;
+            } else {
+              if (g.has_value[mi] == 0) {
+                g.extreme[mi] = v;
+                g.has_value[mi] = 1;
+              } else {
+                int cmp = v.Compare(g.extreme[mi]);
+                if ((d.func == AggFunc::kMin && cmp < 0) ||
+                    (d.func == AggFunc::kMax && cmp > 0)) {
+                  g.extreme[mi] = v;
+                }
+              }
+            }
+            break;
+          }
+          case MeasureDerivation::Kind::kAvgPair: {
+            const Value& sum = stored.at(r, d.column_a);
+            const Value& cnt = stored.at(r, d.column_b);
+            if (!sum.is_null()) g.pair_sum[mi] += sum.AsDouble();
+            if (!cnt.is_null()) g.pair_cnt[mi] += cnt.int_value();
+            break;
+          }
+          case MeasureDerivation::Kind::kCountDistinctDim:
+            g.distinct[mi].insert(stored.at(r, d.column_a));
+            break;
+        }
+      }
+    }
+
+    for (auto& [key, g] : groups) {
+      ResultTable::Row row = g.dims;
+      for (size_t mi = 0; mi < plan.measures.size(); ++mi) {
+        const MeasureDerivation& d = plan.measures[mi];
+        switch (d.kind) {
+          case MeasureDerivation::Kind::kDirect:
+            break;  // unreachable
+          case MeasureDerivation::Kind::kReagg:
+            if (d.func == AggFunc::kSum) {
+              // COUNT roll-ups and integral sums surface as ints.
+              DataType t = out.columns()[ndims + mi].type;
+              if (g.has_value[mi] == 0) {
+                // COUNT of nothing is 0; SUM of nothing is null. COUNT
+                // sources are never null in stored rows, so has_value==0
+                // means no source rows at all — which cannot happen for a
+                // created group. Null-sum groups keep null.
+                row.push_back(t.kind == TypeKind::kFloat64
+                                  ? Value::Null()
+                                  : Value::Null());
+              } else if (t.kind == TypeKind::kFloat64) {
+                row.push_back(Value(g.sum_d[mi] +
+                                    static_cast<double>(g.sum_i[mi])));
+              } else {
+                row.push_back(Value(g.sum_i[mi]));
+              }
+            } else {
+              row.push_back(g.has_value[mi] ? g.extreme[mi] : Value::Null());
+            }
+            break;
+          case MeasureDerivation::Kind::kAvgPair:
+            if (g.pair_cnt[mi] == 0) {
+              row.push_back(Value::Null());
+            } else {
+              row.push_back(
+                  Value(g.pair_sum[mi] / static_cast<double>(g.pair_cnt[mi])));
+            }
+            break;
+          case MeasureDerivation::Kind::kCountDistinctDim:
+            row.push_back(Value(static_cast<int64_t>(g.distinct[mi].size())));
+            break;
+        }
+      }
+      out.AddRow(std::move(row));
+    }
+  }
+
+  // Local ordering / top-n.
+  if (plan.apply_order_limit) {
+    if (!requested.order_by.empty()) {
+      std::vector<std::pair<int, bool>> keys;  // column, ascending
+      for (const query::OrderSpec& o : requested.order_by) {
+        auto idx = out.FindColumn(o.by_alias);
+        if (!idx.has_value()) {
+          return InvalidArgument("order-by alias '" + o.by_alias +
+                                 "' is not an output column");
+        }
+        keys.emplace_back(*idx, o.ascending);
+      }
+      // Stable sort honoring per-key direction.
+      ResultTable sorted(std::vector<ResultColumn>(out.columns()));
+      std::vector<int64_t> order(out.num_rows());
+      for (int64_t i = 0; i < out.num_rows(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int64_t a, int64_t b) {
+                         for (const auto& [col, asc] : keys) {
+                           int cmp = out.at(a, col).Compare(out.at(b, col));
+                           if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
+                         }
+                         return false;
+                       });
+      for (int64_t i : order) {
+        sorted.AddRow(out.row(i));
+      }
+      out = std::move(sorted);
+    }
+    if (requested.has_limit() && out.num_rows() > requested.limit) {
+      ResultTable limited(std::vector<ResultColumn>(out.columns()));
+      for (int64_t i = 0; i < requested.limit; ++i) {
+        limited.AddRow(out.row(i));
+      }
+      out = std::move(limited);
+    }
+  }
+
+  return out;
+}
+
+query::AbstractQuery AdjustForReuse(const query::AbstractQuery& q,
+                                    const AdjustOptions& options) {
+  query::AbstractQuery adjusted = q;
+  if (options.decompose_avg) {
+    std::vector<Measure> measures;
+    for (const Measure& m : adjusted.measures) {
+      if (m.func == AggFunc::kAvg) {
+        bool have_sum = false, have_cnt = false;
+        for (const Measure& other : adjusted.measures) {
+          if (other.column == m.column) {
+            have_sum |= other.func == AggFunc::kSum;
+            have_cnt |= other.func == AggFunc::kCount;
+          }
+        }
+        if (!have_sum) {
+          measures.push_back(Measure{AggFunc::kSum, m.column, ""});
+        }
+        if (!have_cnt) {
+          measures.push_back(Measure{AggFunc::kCount, m.column, ""});
+        }
+      } else {
+        measures.push_back(m);
+      }
+    }
+    // Keep existing non-avg measures plus the decomposition pieces; the
+    // original AVG disappears from the sent query.
+    adjusted.measures = std::move(measures);
+    // A decomposed query no longer produces the requested ordering column
+    // when ordering by the avg alias; drop remote order/limit so the full
+    // re-aggregable result comes back.
+    bool ordered_by_avg = false;
+    for (const query::OrderSpec& o : q.order_by) {
+      for (const Measure& m : q.measures) {
+        if (m.func == AggFunc::kAvg && m.EffectiveAlias() == o.by_alias) {
+          ordered_by_avg = true;
+        }
+      }
+    }
+    if (ordered_by_avg) {
+      adjusted.order_by.clear();
+      adjusted.limit = 0;
+    }
+  }
+  if (options.add_filter_dimensions) {
+    for (const query::ColumnPredicate& p : adjusted.filters.predicates) {
+      bool present = false;
+      for (const std::string& d : adjusted.dimensions) {
+        if (d == p.column) present = true;
+      }
+      if (!present) adjusted.dimensions.push_back(p.column);
+    }
+    // Extra dimensions make a top-n meaningless remotely; fetch untruncated.
+    adjusted.order_by.clear();
+    adjusted.limit = 0;
+  } else if (adjusted.has_limit() &&
+             !(adjusted.ToKeyString() == q.ToKeyString())) {
+    // Any adjustment invalidates a remote top-n (the result would be
+    // truncated at the wrong granularity).
+    adjusted.order_by.clear();
+    adjusted.limit = 0;
+  }
+  adjusted.Canonicalize();
+  return adjusted;
+}
+
+std::optional<ResultTable> IntelligentCache::Lookup(const AbstractQuery& q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  std::string key = q.ToKeyString();
+
+  // Exact fast path.
+  auto kit = by_key_.find(key);
+  if (kit != by_key_.end()) {
+    kit->second->usage.last_used_tick = tick_;
+    ++kit->second->usage.hits;
+    ++stats_.exact_hits;
+    return kit->second->result;
+  }
+
+  std::string bucket_key = q.data_source + "\x1f" + q.view;
+  auto bit = buckets_.find(bucket_key);
+  if (bit == buckets_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  std::shared_ptr<Entry> best;
+  MatchPlan best_plan;
+  for (const std::shared_ptr<Entry>& entry : bit->second) {
+    auto plan = MatchQueries(entry->descriptor, entry->result.columns(), q);
+    if (!plan.has_value()) continue;
+    // Weight the post-processing estimate by the stored row count.
+    plan->post_cost = (plan->post_cost + 1) * entry->result.num_rows();
+    if (options_.strategy == MatchStrategy::kFirstMatch) {
+      best = entry;
+      best_plan = std::move(*plan);
+      break;
+    }
+    if (best == nullptr || plan->post_cost < best_plan.post_cost) {
+      best = entry;
+      best_plan = std::move(*plan);
+    }
+  }
+  if (best == nullptr) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto result = ApplyMatchPlan(best->result, best_plan, q);
+  if (!result.ok()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  best->usage.last_used_tick = tick_;
+  ++best->usage.hits;
+  ++stats_.derived_hits;
+  return *std::move(result);
+}
+
+void IntelligentCache::Put(const AbstractQuery& q, ResultTable result,
+                           double eval_cost_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  if (eval_cost_ms < options_.min_eval_cost_ms) return;
+  int64_t bytes = result.ApproxBytes();
+  if (bytes > options_.max_result_bytes) return;
+
+  std::string key = q.ToKeyString();
+  if (by_key_.find(key) != by_key_.end()) return;  // already cached
+
+  auto entry = std::make_shared<Entry>();
+  entry->descriptor = q;
+  entry->result = std::move(result);
+  entry->usage.inserted_tick = tick_;
+  entry->usage.last_used_tick = tick_;
+  entry->usage.eval_cost_ms = eval_cost_ms;
+  entry->usage.bytes = bytes;
+
+  buckets_[q.data_source + "\x1f" + q.view].push_back(entry);
+  by_key_[key] = entry;
+  total_bytes_ += bytes;
+  ++stats_.inserts;
+  EvictIfNeeded();
+}
+
+void IntelligentCache::EvictIfNeeded() {
+  while (total_bytes_ > options_.max_bytes && !by_key_.empty()) {
+    // Highest eviction score goes first.
+    std::string victim_key;
+    double victim_score = 0;
+    for (const auto& [key, entry] : by_key_) {
+      double score = EvictionScore(entry->usage, tick_, options_.eviction);
+      if (victim_key.empty() || score > victim_score) {
+        victim_key = key;
+        victim_score = score;
+      }
+    }
+    auto it = by_key_.find(victim_key);
+    std::shared_ptr<Entry> victim = it->second;
+    total_bytes_ -= victim->usage.bytes;
+    by_key_.erase(it);
+    std::string bucket_key =
+        victim->descriptor.data_source + "\x1f" + victim->descriptor.view;
+    auto& bucket = buckets_[bucket_key];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), victim),
+                 bucket.end());
+    ++stats_.evictions;
+  }
+}
+
+void IntelligentCache::InvalidateDataSource(const std::string& data_source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto bit = buckets_.begin(); bit != buckets_.end();) {
+    const std::string& key = bit->first;
+    std::string src = key.substr(0, key.find('\x1f'));
+    if (src == data_source) {
+      for (const std::shared_ptr<Entry>& entry : bit->second) {
+        total_bytes_ -= entry->usage.bytes;
+        by_key_.erase(entry->descriptor.ToKeyString());
+      }
+      bit = buckets_.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+}
+
+void IntelligentCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  by_key_.clear();
+  total_bytes_ = 0;
+}
+
+int64_t IntelligentCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(by_key_.size());
+}
+
+std::vector<IntelligentCache::Snapshot> IntelligentCache::TakeSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Snapshot> out;
+  out.reserve(by_key_.size());
+  for (const auto& [key, entry] : by_key_) {
+    out.push_back(Snapshot{entry->descriptor, entry->result,
+                           entry->usage.eval_cost_ms});
+  }
+  return out;
+}
+
+void IntelligentCache::Restore(std::vector<Snapshot> entries) {
+  for (Snapshot& s : entries) {
+    Put(s.descriptor, std::move(s.result), s.eval_cost_ms);
+  }
+}
+
+}  // namespace vizq::cache

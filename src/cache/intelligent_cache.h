@@ -1,0 +1,177 @@
+// The intelligent query cache (§3.2).
+//
+// "The intelligent cache maps the internal query structure to a key that is
+// associated with the query results. ... When looking for matches, we
+// attempt to prove that results of the stored query subsume the requested
+// data" — database view matching, with local post-processing limited to
+// roll-up, filtering, calculation projection and column restriction.
+//
+// Matching rules implemented here (stored = S, requested = R):
+//   * same data source and view;
+//   * dims(R) ⊆ dims(S) — missing granularity can be rolled up;
+//   * filters(R) must imply filters(S) (S retained every row R wants), and
+//     every *residual* predicate of R must be over a column in dims(S)
+//     (post-filtering is only possible on grouped columns);
+//   * every measure of R must be derivable from S's columns: identical
+//     measure when no roll-up/filter is needed; otherwise via
+//     re-aggregation (SUM/MIN/MAX roll up as themselves, COUNT rolls up by
+//     summation, AVG needs SUM+COUNT in S, COUNTD needs its column in
+//     dims(S));
+//   * a stored top-n result is truncated, so it only serves byte-identical
+//     requests; a requested top-n is applied locally.
+//
+// Two match strategies: first match (what shipped in Tableau 9.0) and
+// least post-processing (the paper's stated future work), ablated in
+// bench_intelligent_cache.
+
+#ifndef VIZQUERY_CACHE_INTELLIGENT_CACHE_H_
+#define VIZQUERY_CACHE_INTELLIGENT_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cache/eviction.h"
+#include "src/common/result_table.h"
+#include "src/query/abstract_query.h"
+
+namespace vizq::cache {
+
+// How a requested measure is computed from a stored result's columns.
+struct MeasureDerivation {
+  enum class Kind : uint8_t {
+    kDirect,    // copy column `column_a`
+    kReagg,     // re-aggregate column `column_a` with `func`
+    kAvgPair,   // sum(column_a) / sum(column_b)
+    kCountDistinctDim,  // COUNTD of dimension column `column_a`
+  };
+  Kind kind = Kind::kDirect;
+  AggFunc func = AggFunc::kSum;  // for kReagg
+  int column_a = -1;             // index into the stored result
+  int column_b = -1;             // for kAvgPair (count column)
+};
+
+// A proof that a stored entry answers a request, plus the post-processing
+// recipe (§3.2: roll-up, filtering, projection, column restriction).
+struct MatchPlan {
+  bool exact = false;                 // no post-processing at all
+  bool needs_rollup = false;
+  std::vector<int> dim_columns;       // stored column index per R dimension
+  std::vector<MeasureDerivation> measures;  // per R measure
+  std::vector<query::ColumnPredicate> residual_filters;
+  bool apply_order_limit = false;
+  // Rough cost of post-processing (stored rows to touch); used by the
+  // least-post-processing strategy.
+  int64_t post_cost = 0;
+};
+
+// Attempts the subsumption proof. Returns nullopt when `stored` cannot
+// answer `requested`. `stored_columns` is the stored result's schema.
+std::optional<MatchPlan> MatchQueries(
+    const query::AbstractQuery& stored,
+    const std::vector<ResultColumn>& stored_columns,
+    const query::AbstractQuery& requested);
+
+// Executes the post-processing recipe over the stored rows.
+StatusOr<ResultTable> ApplyMatchPlan(const ResultTable& stored,
+                                     const MatchPlan& plan,
+                                     const query::AbstractQuery& requested);
+
+// §3.2: "The query processor might choose to adjust queries before
+// sending, in order to make the results more useful for future reuse."
+struct AdjustOptions {
+  // AVG(c) is sent as SUM(c) + COUNT(c) so the result stays re-aggregable.
+  bool decompose_avg = true;
+  // Filtered columns are added as extra dimensions so later interactions
+  // that change the filter selection post-process instead of re-querying
+  // (the Fig. 1 discussion: "as long as the filtering columns are
+  // included").
+  bool add_filter_dimensions = false;
+};
+
+// Returns the adjusted query to send. The original request is then always
+// answerable from the adjusted result via MatchQueries/ApplyMatchPlan.
+query::AbstractQuery AdjustForReuse(const query::AbstractQuery& q,
+                                    const AdjustOptions& options);
+
+enum class MatchStrategy : uint8_t { kFirstMatch, kLeastPostProcessing };
+
+struct IntelligentCacheOptions {
+  int64_t max_bytes = 256 << 20;
+  // Results whose evaluation took less than this are not worth caching
+  // (§3.2: "we cache all the query results unless computation time is
+  // comparable with a cache lookup time"), and results bigger than
+  // max_result_bytes are excessively large.
+  double min_eval_cost_ms = 0.0;
+  int64_t max_result_bytes = 64 << 20;
+  MatchStrategy strategy = MatchStrategy::kFirstMatch;
+  EvictionConfig eviction;
+};
+
+struct CacheStats {
+  int64_t exact_hits = 0;
+  int64_t derived_hits = 0;  // answered via post-processing
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t inserts = 0;
+  int64_t hits() const { return exact_hits + derived_hits; }
+};
+
+class IntelligentCache {
+ public:
+  explicit IntelligentCache(IntelligentCacheOptions options = {})
+      : options_(options) {}
+
+  // Looks up `q`; on a hit returns the post-processed result.
+  std::optional<ResultTable> Lookup(const query::AbstractQuery& q);
+
+  // Stores a result. `eval_cost_ms` drives both the admission decision and
+  // the eviction score.
+  void Put(const query::AbstractQuery& q, ResultTable result,
+           double eval_cost_ms);
+
+  // §3.2: entries are purged when a connection to a data source is closed
+  // or refreshed.
+  void InvalidateDataSource(const std::string& data_source);
+  void Clear();
+
+  const CacheStats& stats() const { return stats_; }
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t num_entries() const;
+
+  // Persistence support: snapshot / restore every live entry.
+  struct Snapshot {
+    query::AbstractQuery descriptor;
+    ResultTable result;
+    double eval_cost_ms;
+  };
+  std::vector<Snapshot> TakeSnapshot() const;
+  void Restore(std::vector<Snapshot> entries);
+
+ private:
+  struct Entry {
+    query::AbstractQuery descriptor;
+    ResultTable result;
+    EntryUsage usage;
+  };
+
+  void EvictIfNeeded();
+
+  IntelligentCacheOptions options_;
+  mutable std::mutex mu_;
+  // Bucketed by (data_source, view): the index that keeps subsumption
+  // scans from touching unrelated entries.
+  std::map<std::string, std::vector<std::shared_ptr<Entry>>> buckets_;
+  // Exact-key fast path.
+  std::map<std::string, std::shared_ptr<Entry>> by_key_;
+  int64_t total_bytes_ = 0;
+  int64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace vizq::cache
+
+#endif  // VIZQUERY_CACHE_INTELLIGENT_CACHE_H_

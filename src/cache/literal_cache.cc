@@ -1,0 +1,97 @@
+#include "src/cache/literal_cache.h"
+
+namespace vizq::cache {
+
+std::optional<ResultTable> LiteralCache::Lookup(const std::string& query_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  auto it = entries_.find(query_text);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  it->second.usage.last_used_tick = tick_;
+  ++it->second.usage.hits;
+  ++hits_;
+  return it->second.result;
+}
+
+void LiteralCache::Put(const std::string& query_text, ResultTable result,
+                       double eval_cost_ms, const std::string& data_source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  if (eval_cost_ms < options_.min_eval_cost_ms) return;
+  int64_t bytes = result.ApproxBytes();
+  if (bytes > options_.max_result_bytes) return;
+  if (entries_.find(query_text) != entries_.end()) return;
+
+  Entry entry;
+  entry.result = std::move(result);
+  entry.data_source = data_source;
+  entry.usage.inserted_tick = tick_;
+  entry.usage.last_used_tick = tick_;
+  entry.usage.eval_cost_ms = eval_cost_ms;
+  entry.usage.bytes = bytes;
+  total_bytes_ += bytes;
+  entries_.emplace(query_text, std::move(entry));
+  EvictIfNeeded();
+}
+
+void LiteralCache::EvictIfNeeded() {
+  while (total_bytes_ > options_.max_bytes && !entries_.empty()) {
+    auto victim = entries_.begin();
+    double victim_score =
+        EvictionScore(victim->second.usage, tick_, options_.eviction);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      double score = EvictionScore(it->second.usage, tick_, options_.eviction);
+      if (score > victim_score) {
+        victim = it;
+        victim_score = score;
+      }
+    }
+    total_bytes_ -= victim->second.usage.bytes;
+    entries_.erase(victim);
+  }
+}
+
+void LiteralCache::InvalidateDataSource(const std::string& data_source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.data_source == data_source) {
+      total_bytes_ -= it->second.usage.bytes;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LiteralCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  total_bytes_ = 0;
+}
+
+int64_t LiteralCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+std::vector<LiteralCache::Snapshot> LiteralCache::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Snapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [text, entry] : entries_) {
+    out.push_back(Snapshot{text, entry.data_source, entry.result,
+                           entry.usage.eval_cost_ms});
+  }
+  return out;
+}
+
+void LiteralCache::Restore(std::vector<Snapshot> entries) {
+  for (Snapshot& s : entries) {
+    Put(s.query_text, std::move(s.result), s.eval_cost_ms, s.data_source);
+  }
+}
+
+}  // namespace vizq::cache

@@ -1,0 +1,77 @@
+// The literal query cache (§3.2): keyed on the final query text, it
+// catches internal queries that end up with the same textual
+// representation "where a match could not be proven upfront without
+// performing complete query compilation" — e.g. two structurally different
+// queries that collapse to the same SQL after predicate simplification or
+// join culling.
+
+#ifndef VIZQUERY_CACHE_LITERAL_CACHE_H_
+#define VIZQUERY_CACHE_LITERAL_CACHE_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cache/eviction.h"
+#include "src/common/result_table.h"
+
+namespace vizq::cache {
+
+struct LiteralCacheOptions {
+  int64_t max_bytes = 128 << 20;
+  double min_eval_cost_ms = 0.0;
+  int64_t max_result_bytes = 64 << 20;
+  EvictionConfig eviction;
+};
+
+class LiteralCache {
+ public:
+  explicit LiteralCache(LiteralCacheOptions options = {})
+      : options_(options) {}
+
+  std::optional<ResultTable> Lookup(const std::string& query_text);
+  void Put(const std::string& query_text, ResultTable result,
+           double eval_cost_ms, const std::string& data_source = "");
+
+  // Purges entries recorded against `data_source` (connection close /
+  // refresh semantics, §3.2).
+  void InvalidateDataSource(const std::string& data_source);
+  void Clear();
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t num_entries() const;
+  int64_t total_bytes() const { return total_bytes_; }
+
+  struct Snapshot {
+    std::string query_text;
+    std::string data_source;
+    ResultTable result;
+    double eval_cost_ms;
+  };
+  std::vector<Snapshot> TakeSnapshot() const;
+  void Restore(std::vector<Snapshot> entries);
+
+ private:
+  struct Entry {
+    ResultTable result;
+    std::string data_source;
+    EntryUsage usage;
+  };
+
+  void EvictIfNeeded();
+
+  LiteralCacheOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  int64_t total_bytes_ = 0;
+  int64_t tick_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace vizq::cache
+
+#endif  // VIZQUERY_CACHE_LITERAL_CACHE_H_

@@ -1,0 +1,98 @@
+#include "src/cache/persistence.h"
+
+#include <fstream>
+
+#include "src/common/binary_io.h"
+
+namespace vizq::cache {
+
+namespace {
+constexpr uint32_t kMagic = 0x56514348;  // 'VQCH'
+}  // namespace
+
+std::string SerializeCaches(const IntelligentCache& intelligent,
+                            const LiteralCache& literal) {
+  BinaryWriter w;
+  w.U32(kMagic);
+  auto iq = intelligent.TakeSnapshot();
+  w.U32(static_cast<uint32_t>(iq.size()));
+  for (const IntelligentCache::Snapshot& s : iq) {
+    w.Str(s.descriptor.Serialize());
+    w.Str(s.result.Serialize());
+    w.F64(s.eval_cost_ms);
+  }
+  auto lq = literal.TakeSnapshot();
+  w.U32(static_cast<uint32_t>(lq.size()));
+  for (const LiteralCache::Snapshot& s : lq) {
+    w.Str(s.query_text);
+    w.Str(s.data_source);
+    w.Str(s.result.Serialize());
+    w.F64(s.eval_cost_ms);
+  }
+  return w.TakeBytes();
+}
+
+Status DeserializeCaches(const std::string& bytes,
+                         IntelligentCache* intelligent,
+                         LiteralCache* literal) {
+  BinaryReader r(bytes);
+  uint32_t magic;
+  if (!r.U32(&magic) || magic != kMagic) {
+    return DataLoss("not a VizQuery cache file");
+  }
+  uint32_t n;
+  if (!r.U32(&n)) return DataLoss("truncated cache file");
+  std::vector<IntelligentCache::Snapshot> iq;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string desc_bytes, result_bytes;
+    double cost;
+    if (!r.Str(&desc_bytes) || !r.Str(&result_bytes) || !r.F64(&cost)) {
+      return DataLoss("truncated intelligent-cache entry");
+    }
+    VIZQ_ASSIGN_OR_RETURN(query::AbstractQuery desc,
+                          query::AbstractQuery::Deserialize(desc_bytes));
+    VIZQ_ASSIGN_OR_RETURN(ResultTable result,
+                          ResultTable::Deserialize(result_bytes));
+    iq.push_back(
+        IntelligentCache::Snapshot{std::move(desc), std::move(result), cost});
+  }
+  if (!r.U32(&n)) return DataLoss("truncated cache file");
+  std::vector<LiteralCache::Snapshot> lq;
+  for (uint32_t i = 0; i < n; ++i) {
+    LiteralCache::Snapshot s;
+    std::string result_bytes;
+    if (!r.Str(&s.query_text) || !r.Str(&s.data_source) ||
+        !r.Str(&result_bytes) || !r.F64(&s.eval_cost_ms)) {
+      return DataLoss("truncated literal-cache entry");
+    }
+    VIZQ_ASSIGN_OR_RETURN(s.result, ResultTable::Deserialize(result_bytes));
+    lq.push_back(std::move(s));
+  }
+  if (!r.AtEnd()) return DataLoss("trailing bytes in cache file");
+  if (intelligent != nullptr) intelligent->Restore(std::move(iq));
+  if (literal != nullptr) literal->Restore(std::move(lq));
+  return OkStatus();
+}
+
+Status SaveCachesToFile(const IntelligentCache& intelligent,
+                        const LiteralCache& literal,
+                        const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return InvalidArgument("cannot open '" + path + "' for writing");
+  std::string bytes = SerializeCaches(intelligent, literal);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) return Internal("write to '" + path + "' failed");
+  return OkStatus();
+}
+
+Status LoadCachesFromFile(const std::string& path,
+                          IntelligentCache* intelligent,
+                          LiteralCache* literal) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return NotFound("cannot open '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeCaches(bytes, intelligent, literal);
+}
+
+}  // namespace vizq::cache

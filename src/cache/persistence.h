@@ -1,0 +1,32 @@
+// Cache persistence (§3.2): "In Tableau Desktop query caches get persisted
+// to enable fast response times across different sessions with the
+// application." Serializes both caches into a single file and restores
+// them at startup.
+
+#ifndef VIZQUERY_CACHE_PERSISTENCE_H_
+#define VIZQUERY_CACHE_PERSISTENCE_H_
+
+#include <string>
+
+#include "src/cache/intelligent_cache.h"
+#include "src/cache/literal_cache.h"
+
+namespace vizq::cache {
+
+// Serializes both caches' live entries into a byte image / file.
+std::string SerializeCaches(const IntelligentCache& intelligent,
+                            const LiteralCache& literal);
+Status SaveCachesToFile(const IntelligentCache& intelligent,
+                        const LiteralCache& literal, const std::string& path);
+
+// Restores entries into the given caches (admission/eviction policies of
+// the receiving caches still apply).
+Status DeserializeCaches(const std::string& bytes,
+                         IntelligentCache* intelligent, LiteralCache* literal);
+Status LoadCachesFromFile(const std::string& path,
+                          IntelligentCache* intelligent,
+                          LiteralCache* literal);
+
+}  // namespace vizq::cache
+
+#endif  // VIZQUERY_CACHE_PERSISTENCE_H_

@@ -1,0 +1,71 @@
+#include "src/common/collation.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vizq {
+
+namespace {
+
+inline char FoldCase(char ch) {
+  return (ch >= 'A' && ch <= 'Z') ? static_cast<char>(ch - 'A' + 'a') : ch;
+}
+
+// 64-bit FNV-1a.
+inline uint64_t Fnv1a(uint64_t h, char ch) {
+  h ^= static_cast<uint8_t>(ch);
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+}  // namespace
+
+const char* CollationToString(Collation c) {
+  switch (c) {
+    case Collation::kBinary: return "binary";
+    case Collation::kCaseInsensitive: return "nocase";
+  }
+  return "unknown";
+}
+
+int CollatedCompare(std::string_view a, std::string_view b, Collation c) {
+  if (c == Collation::kBinary) {
+    int cmp = a.compare(b);
+    return cmp;
+  }
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    char ca = FoldCase(a[i]);
+    char cb = FoldCase(b[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool CollatedEquals(std::string_view a, std::string_view b, Collation c) {
+  if (a.size() != b.size()) return false;
+  return CollatedCompare(a, b, c) == 0;
+}
+
+uint64_t CollatedHash(std::string_view s, Collation c) {
+  uint64_t h = kFnvOffset;
+  if (c == Collation::kBinary) {
+    for (char ch : s) h = Fnv1a(h, ch);
+  } else {
+    for (char ch : s) h = Fnv1a(h, FoldCase(ch));
+  }
+  return h;
+}
+
+std::string CollationKey(std::string_view s, Collation c) {
+  std::string key(s);
+  if (c == Collation::kCaseInsensitive) {
+    std::transform(key.begin(), key.end(), key.begin(), FoldCase);
+  }
+  return key;
+}
+
+}  // namespace vizq

@@ -1,0 +1,88 @@
+// ResultTable: the tabular format query results are streamed back in
+// (§3.1 of the paper). It is the common currency between data sources, the
+// query caches (which store and post-process results), the dashboard
+// renderer and tests.
+//
+// Results in this system are small by construction — pre-filtered and
+// pre-aggregated (§3.2) — so a row-major vector-of-Value representation is
+// the right trade-off: simple, and cheap to roll up / filter / project.
+
+#ifndef VIZQUERY_COMMON_RESULT_TABLE_H_
+#define VIZQUERY_COMMON_RESULT_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/common/value.h"
+
+namespace vizq {
+
+// Schema entry of a result column.
+struct ResultColumn {
+  std::string name;
+  DataType type;
+};
+
+class ResultTable {
+ public:
+  using Row = std::vector<Value>;
+
+  ResultTable() = default;
+  explicit ResultTable(std::vector<ResultColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ResultColumn>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(int64_t i) const { return rows_[i]; }
+
+  // Index of the column named `name` (exact match), or nullopt.
+  std::optional<int> FindColumn(const std::string& name) const;
+
+  // Appends a row; the caller guarantees arity/type agreement.
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  void ReserveRows(int64_t n) { rows_.reserve(n); }
+
+  const Value& at(int64_t row, int col) const { return rows_[row][col]; }
+
+  // Sorts rows lexicographically by the given column indices (ascending,
+  // binary collation); used to canonicalize tables for comparison in tests
+  // and for deterministic output.
+  void SortRows(const std::vector<int>& key_columns);
+
+  // Sorts by all columns.
+  void SortRowsByAllColumns();
+
+  // Approximate in-memory footprint, used for cache sizing and for the
+  // simulated network-transfer model.
+  int64_t ApproxBytes() const;
+
+  // Serializes to a compact binary string and back; used by the persisted
+  // cache and the distributed cache tier.
+  std::string Serialize() const;
+  static StatusOr<ResultTable> Deserialize(const std::string& bytes);
+
+  // Renders a debug/CSV form (header + rows).
+  std::string ToCsv() const;
+
+  // Structural equality: same columns (name+type) and same rows in order.
+  bool operator==(const ResultTable& other) const;
+
+  // Equality after canonical row ordering; what most tests want, since
+  // hash-aggregation output order is unspecified.
+  static bool SameUnordered(const ResultTable& a, const ResultTable& b);
+
+ private:
+  std::vector<ResultColumn> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace vizq
+
+#endif  // VIZQUERY_COMMON_RESULT_TABLE_H_

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random generator for synthetic workloads.
+// Every generator in src/workload takes an explicit seed so data sets and
+// traffic traces are reproducible across runs and platforms.
+
+#ifndef VIZQUERY_COMMON_RNG_H_
+#define VIZQUERY_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace vizq {
+
+// splitmix64-seeded xorshift generator; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 to spread low-entropy seeds.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    state_ = z ^ (z >> 31);
+    if (state_ == 0) state_ = 0x853c49e6748fea9bULL;
+  }
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipf(s) distribution over ranks [0, n): rank r drawn with probability
+// proportional to 1/(r+1)^s. CDF precomputed once; Sample is O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (uint64_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = total;
+    }
+    for (uint64_t r = 0; r < n; ++r) cdf_[r] /= total;
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search first cdf >= u.
+    uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Mixes `v` into hash state `h` (boost::hash_combine-style, 64-bit).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace vizq
+
+#endif  // VIZQUERY_COMMON_RNG_H_

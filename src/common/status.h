@@ -1,0 +1,132 @@
+// Error-handling primitives for VizQuery.
+//
+// The library does not use exceptions. Every operation that can fail returns
+// a `Status`, or a `StatusOr<T>` when it also produces a value. The design
+// follows the familiar absl::Status shape, reduced to what this codebase
+// needs.
+
+#ifndef VIZQUERY_COMMON_STATUS_H_
+#define VIZQUERY_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace vizq {
+
+// Canonical error space. Kept small on purpose; subsystems attach detail via
+// the message string rather than by minting new codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named object (table, column, cache entry) absent
+  kAlreadyExists,     // creation collided with an existing object
+  kFailedPrecondition,// object in the wrong state for the operation
+  kUnimplemented,     // capability not supported by this backend/dialect
+  kInternal,          // invariant violation inside the library
+  kResourceExhausted, // pool/queue/limit saturated
+  kAborted,           // operation cancelled (connection closed, shutdown)
+  kDataLoss,          // corrupt file / failed deserialization
+};
+
+// Returns the canonical spelling of `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// Value type describing the outcome of an operation. Cheap to copy when OK
+// (no allocation); error statuses carry a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "INVALID_ARGUMENT: bad column".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors mirroring absl's.
+Status OkStatus();
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+Status ResourceExhausted(std::string message);
+Status Aborted(std::string message);
+Status DataLoss(std::string message);
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// an errored StatusOr is a programming error (checked in debug builds via
+// the std::optional it wraps).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so that `return value;` and `return status;`
+  // both work from functions returning StatusOr<T>.
+  StatusOr(const T& value) : value_(value) {}
+  StatusOr(T&& value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status from an expression to the caller.
+#define VIZQ_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::vizq::Status vizq_status_ = (expr);           \
+    if (!vizq_status_.ok()) return vizq_status_;    \
+  } while (false)
+
+// Evaluates a StatusOr expression; on error returns the status, otherwise
+// moves the value into `lhs` (a declaration or assignable lvalue).
+#define VIZQ_ASSIGN_OR_RETURN(lhs, expr)            \
+  VIZQ_ASSIGN_OR_RETURN_IMPL(                       \
+      VIZQ_STATUS_CONCAT(vizq_statusor_, __LINE__), lhs, expr)
+
+#define VIZQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define VIZQ_STATUS_CONCAT_INNER(a, b) a##b
+#define VIZQ_STATUS_CONCAT(a, b) VIZQ_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace vizq
+
+#endif  // VIZQUERY_COMMON_STATUS_H_

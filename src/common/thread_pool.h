@@ -1,0 +1,74 @@
+// A fixed-size worker pool used by the Exchange operator, the dashboard
+// batch scheduler and the simulated backends.
+//
+// Tasks are arbitrary std::function<void()>. Submission never blocks; the
+// queue is unbounded (callers in this codebase bound their own fan-out).
+
+#ifndef VIZQUERY_COMMON_THREAD_POOL_H_
+#define VIZQUERY_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vizq {
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  // Drains nothing: outstanding tasks are completed before destruction
+  // returns (join semantics).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: work or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): all quiet
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// A latch counting down to zero; used to join fan-out work without polling.
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(int count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ <= 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+}  // namespace vizq
+
+#endif  // VIZQUERY_COMMON_THREAD_POOL_H_

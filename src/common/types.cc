@@ -1,0 +1,71 @@
+#include "src/common/types.h"
+
+namespace vizq {
+
+const char* TypeKindToString(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kInt64: return "int64";
+    case TypeKind::kFloat64: return "float64";
+    case TypeKind::kString: return "string";
+    case TypeKind::kDate: return "date";
+  }
+  return "unknown";
+}
+
+std::string DataType::ToString() const {
+  std::string out = TypeKindToString(kind);
+  if (kind == TypeKind::kString && collation != Collation::kBinary) {
+    out += " collate ";
+    out += CollationToString(collation);
+  }
+  return out;
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kCountStar: return "COUNT(*)";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kCountDistinct: return "COUNTD";
+  }
+  return "?";
+}
+
+DataType AggResultType(AggFunc f, const DataType& input) {
+  switch (f) {
+    case AggFunc::kSum:
+      return input.kind == TypeKind::kFloat64 ? DataType::Float64()
+                                              : DataType::Int64();
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return input;
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+    case AggFunc::kCountDistinct:
+      return DataType::Int64();
+    case AggFunc::kAvg:
+      return DataType::Float64();
+  }
+  return DataType::Int64();
+}
+
+bool IsReaggregable(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+    case AggFunc::kCount:      // partial counts combine via SUM
+    case AggFunc::kCountStar:  // ditto
+    case AggFunc::kAvg:        // via SUM/COUNT decomposition
+      return true;
+    case AggFunc::kCountDistinct:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace vizq

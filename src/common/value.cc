@@ -1,0 +1,65 @@
+#include "src/common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vizq {
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(int_value());
+  if (is_double()) return double_value();
+  if (is_bool()) return bool_value() ? 1.0 : 0.0;
+  return 0.0;
+}
+
+int Value::Compare(const Value& other, Collation collation) const {
+  bool a_null = is_null();
+  bool b_null = other.is_null();
+  if (a_null || b_null) {
+    if (a_null && b_null) return 0;
+    return a_null ? -1 : 1;
+  }
+  if (is_string() && other.is_string()) {
+    return CollatedCompare(string_value(), other.string_value(), collation);
+  }
+  if (is_string() != other.is_string()) {
+    // Mixed string/number: stable but meaningless ordering by alternative.
+    return v_.index() < other.v_.index() ? -1 : 1;
+  }
+  // Both numeric-ish (bool/int/double).
+  double a = AsDouble();
+  double b = other.AsDouble();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+uint64_t Value::Hash(Collation collation) const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_string()) return CollatedHash(string_value(), collation);
+  // Hash numerics through their double widening so 1 == 1.0 hash-agree,
+  // consistent with Compare.
+  double d = AsDouble();
+  if (d == 0.0) d = 0.0;  // normalize -0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  bits ^= bits >> 33;
+  bits *= 0xff51afd7ed558ccdULL;
+  bits ^= bits >> 33;
+  return bits;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_int()) return std::to_string(int_value());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", double_value());
+    return buf;
+  }
+  return string_value();
+}
+
+}  // namespace vizq

@@ -1,0 +1,78 @@
+// Value: a dynamically-typed scalar used at API boundaries (literals in
+// queries, filter sets, result cells). The execution engine works on typed
+// column vectors; Value appears where genericity matters more than speed.
+
+#ifndef VIZQUERY_COMMON_VALUE_H_
+#define VIZQUERY_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/collation.h"
+#include "src/common/types.h"
+
+namespace vizq {
+
+// A nullable scalar. The physical kind is encoded in the variant alternative;
+// dates share the int64 alternative (their kind lives in column metadata).
+class Value {
+ public:
+  // Constructs a NULL value.
+  Value() : v_(std::monostate{}) {}
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool bool_value() const { return std::get<bool>(v_); }
+  int64_t int_value() const { return std::get<int64_t>(v_); }
+  double double_value() const { return std::get<double>(v_); }
+  const std::string& string_value() const { return std::get<std::string>(v_); }
+
+  // Numeric value widened to double; bools count as 0/1. Requires !is_null()
+  // and a non-string alternative.
+  double AsDouble() const;
+
+  // Three-way comparison. NULL sorts before everything; strings use
+  // `collation`; numerics compare after widening to double when kinds mix.
+  // Comparing a string with a number is a caller bug and compares by
+  // alternative index (stable but meaningless), matching SQL engines that
+  // forbid it at type-check time.
+  int Compare(const Value& other,
+              Collation collation = Collation::kBinary) const;
+
+  bool Equals(const Value& other,
+              Collation collation = Collation::kBinary) const {
+    return Compare(other, collation) == 0;
+  }
+
+  // Hash consistent with Equals under `collation`.
+  uint64_t Hash(Collation collation = Collation::kBinary) const;
+
+  // Rendering for debugging, cache keys and SQL literal generation is done
+  // by callers (see sql_dialect.cc); this is the debug form.
+  std::string ToString() const;
+
+  // operator== uses binary collation; containers of Value rely on it.
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool operator!=(const Value& other) const { return !Equals(other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> v_;
+};
+
+}  // namespace vizq
+
+#endif  // VIZQUERY_COMMON_VALUE_H_

@@ -1,0 +1,100 @@
+#include "src/dashboard/blending.h"
+
+#include <algorithm>
+#include <map>
+
+namespace vizq::dashboard {
+
+StatusOr<ResultTable> ExecuteBlend(QueryService* primary_service,
+                                   QueryService* secondary_service,
+                                   const BlendSpec& spec,
+                                   const BatchOptions& options) {
+  if (spec.link_on.empty()) {
+    return InvalidArgument("blend requires at least one linking field");
+  }
+  auto has_dim = [](const query::AbstractQuery& q, const std::string& name) {
+    return std::find(q.dimensions.begin(), q.dimensions.end(), name) !=
+           q.dimensions.end();
+  };
+  for (const auto& [p, s] : spec.link_on) {
+    if (!has_dim(spec.primary, p)) {
+      return InvalidArgument("linking field '" + p +
+                             "' is not a primary dimension");
+    }
+    if (!has_dim(spec.secondary, s)) {
+      return InvalidArgument("linking field '" + s +
+                             "' is not a secondary dimension");
+    }
+  }
+
+  // Each side runs through its own pipeline (caches, fusion, pools).
+  VIZQ_ASSIGN_OR_RETURN(ResultTable primary,
+                        primary_service->ExecuteQuery(spec.primary, options));
+  VIZQ_ASSIGN_OR_RETURN(
+      ResultTable secondary,
+      secondary_service->ExecuteQuery(spec.secondary, options));
+
+  // Resolve linking columns and the secondary's carried columns.
+  std::vector<int> pkeys, skeys;
+  for (const auto& [p, s] : spec.link_on) {
+    auto pi = primary.FindColumn(p);
+    auto si = secondary.FindColumn(s);
+    if (!pi.has_value() || !si.has_value()) {
+      return Internal("linking column missing from blend results");
+    }
+    pkeys.push_back(*pi);
+    skeys.push_back(*si);
+  }
+  std::vector<int> carried;  // secondary columns that are not link keys
+  for (int c = 0; c < secondary.num_columns(); ++c) {
+    if (std::find(skeys.begin(), skeys.end(), c) == skeys.end()) {
+      carried.push_back(c);
+    }
+  }
+
+  // Output schema.
+  std::vector<ResultColumn> out_cols(primary.columns());
+  for (int c : carried) {
+    ResultColumn rc = secondary.columns()[c];
+    for (const ResultColumn& existing : primary.columns()) {
+      if (existing.name == rc.name) {
+        rc.name += " (secondary)";
+        break;
+      }
+    }
+    out_cols.push_back(std::move(rc));
+  }
+  ResultTable out(std::move(out_cols));
+
+  // Hash the secondary side on its linking key.
+  auto key_of = [](const ResultTable& t, int64_t row,
+                   const std::vector<int>& keys) {
+    std::string key;
+    for (int k : keys) {
+      key += t.at(row, k).ToString();
+      key += '\x1f';
+    }
+    return key;
+  };
+  std::map<std::string, int64_t> secondary_index;
+  for (int64_t r = 0; r < secondary.num_rows(); ++r) {
+    // First match wins (secondary rows are unique per key when the link
+    // covers the whole secondary group-by; otherwise blends are ambiguous
+    // and Tableau takes one value too).
+    secondary_index.emplace(key_of(secondary, r, skeys), r);
+  }
+
+  // Left join: every primary row survives.
+  for (int64_t r = 0; r < primary.num_rows(); ++r) {
+    ResultTable::Row row = primary.row(r);
+    auto it = secondary_index.find(key_of(primary, r, pkeys));
+    for (int c : carried) {
+      row.push_back(it == secondary_index.end() ? Value::Null()
+                                                : secondary.at(it->second, c));
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace vizq::dashboard

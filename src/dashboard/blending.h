@@ -1,0 +1,41 @@
+// Data blending across heterogeneous data sources.
+//
+// §2: Tableau offers "combining data from heterogeneous data sources";
+// §7 names end-to-end federation as future work. This module implements
+// the client-side blend Tableau ships: a primary query and a secondary
+// query, each against its own data source, are executed independently
+// (through their own QueryServices, so each benefits from its source's
+// caches, fusion and connection pools) and their *aggregated results* are
+// left-joined locally on the linking dimensions.
+
+#ifndef VIZQUERY_DASHBOARD_BLENDING_H_
+#define VIZQUERY_DASHBOARD_BLENDING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dashboard/query_service.h"
+
+namespace vizq::dashboard {
+
+struct BlendSpec {
+  query::AbstractQuery primary;
+  query::AbstractQuery secondary;
+  // Linking fields: pairs of (primary dimension, secondary dimension).
+  // Every linking dimension must appear in the respective query's
+  // dimensions (the blend happens at aggregate granularity).
+  std::vector<std::pair<std::string, std::string>> link_on;
+};
+
+// Executes a blend: primary left-joined with secondary on the linking
+// dimensions. Output columns: the primary's columns followed by the
+// secondary's non-linking columns (renamed "<name> (secondary)" on
+// collision). Secondary measures are NULL for unmatched primary rows.
+StatusOr<ResultTable> ExecuteBlend(QueryService* primary_service,
+                                   QueryService* secondary_service,
+                                   const BlendSpec& spec,
+                                   const BatchOptions& options = {});
+
+}  // namespace vizq::dashboard
+
+#endif  // VIZQUERY_DASHBOARD_BLENDING_H_

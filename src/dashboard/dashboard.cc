@@ -1,0 +1,118 @@
+#include "src/dashboard/dashboard.h"
+
+#include <algorithm>
+
+namespace vizq::dashboard {
+
+Status Dashboard::AddZone(Zone zone) {
+  if (FindZone(zone.name) != nullptr) {
+    return AlreadyExists("zone '" + zone.name + "' already exists");
+  }
+  if (zone.kind == ZoneKind::kQuickFilter) {
+    if (zone.filter_column.empty()) {
+      return InvalidArgument("quick-filter zone needs a filter_column");
+    }
+    // A quick-filter zone's query is the domain of its column.
+    if (zone.base.dimensions.empty()) {
+      zone.base.dimensions = {zone.filter_column};
+    }
+  }
+  zones_.push_back(std::move(zone));
+  return OkStatus();
+}
+
+const Zone* Dashboard::FindZone(const std::string& name) const {
+  for (const Zone& z : zones_) {
+    if (z.name == name) return &z;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Dashboard::QueryZoneNames() const {
+  std::vector<std::string> out;
+  for (const Zone& z : zones_) {
+    if (z.has_query()) out.push_back(z.name);
+  }
+  return out;
+}
+
+bool Dashboard::QuickFilterApplies(const QuickFilterBinding& b,
+                                   const Zone& zone) const {
+  // Quick filters do not constrain their own domain widget: the widget
+  // shows the full domain, so its query is issued once and later
+  // interactions "change the selection but not the domains" (§3.2).
+  if (zone.kind == ZoneKind::kQuickFilter && zone.filter_column == b.column) {
+    return false;
+  }
+  if (b.targets.empty()) return zone.kind == ZoneKind::kViz;
+  return std::find(b.targets.begin(), b.targets.end(), zone.name) !=
+         b.targets.end();
+}
+
+StatusOr<query::AbstractQuery> Dashboard::BuildZoneQuery(
+    const std::string& zone_name, const InteractionState& state) const {
+  const Zone* zone = FindZone(zone_name);
+  if (zone == nullptr) return NotFound("zone '" + zone_name + "' not found");
+  if (!zone->has_query()) {
+    return FailedPrecondition("zone '" + zone_name + "' issues no queries");
+  }
+  query::AbstractQuery q = zone->base;
+
+  // Quick filters.
+  for (const QuickFilterBinding& b : quick_filters_) {
+    if (!QuickFilterApplies(b, *zone)) continue;
+    auto it = state.quick_filters.find(b.column);
+    if (it == state.quick_filters.end() || it->second.empty()) continue;
+    q.filters.predicates.push_back(
+        query::ColumnPredicate::InSet(b.column, it->second));
+  }
+
+  // Incoming filter actions.
+  for (const FilterAction& action : actions_) {
+    if (action.source_zone == zone_name) continue;
+    if (std::find(action.targets.begin(), action.targets.end(), zone_name) ==
+        action.targets.end()) {
+      continue;
+    }
+    auto zit = state.selections.find(action.source_zone);
+    if (zit == state.selections.end()) continue;
+    auto cit = zit->second.find(action.column);
+    if (cit == zit->second.end() || cit->second.empty()) continue;
+    q.filters.predicates.push_back(
+        query::ColumnPredicate::InSet(action.column, cit->second));
+  }
+
+  q.Canonicalize();
+  return q;
+}
+
+std::vector<std::string> Dashboard::ActionTargets(
+    const std::string& source_zone) const {
+  std::vector<std::string> out;
+  for (const FilterAction& action : actions_) {
+    if (action.source_zone != source_zone) continue;
+    for (const std::string& t : action.targets) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Dashboard::QuickFilterTargets(
+    const std::string& column) const {
+  std::vector<std::string> out;
+  for (const QuickFilterBinding& b : quick_filters_) {
+    if (b.column != column) continue;
+    for (const Zone& z : zones_) {
+      if (!z.has_query() || !QuickFilterApplies(b, z)) continue;
+      if (std::find(out.begin(), out.end(), z.name) == out.end()) {
+        out.push_back(z.name);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vizq::dashboard

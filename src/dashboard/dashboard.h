@@ -1,0 +1,114 @@
+// Dashboards (§2–3): "a collection of zones organized according to a
+// certain layout ... One defines the behavior of individual zones first
+// and then specifies dependencies between them" — quick filters applying
+// to many zones, and interactive filter actions where selecting marks in
+// one zone filters others (Fig. 1, Fig. 2).
+
+#ifndef VIZQUERY_DASHBOARD_DASHBOARD_H_
+#define VIZQUERY_DASHBOARD_DASHBOARD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/query/abstract_query.h"
+
+namespace vizq::dashboard {
+
+enum class ZoneKind : uint8_t {
+  kViz,          // chart/map/table driven by an aggregate query
+  kQuickFilter,  // filter widget; issues a domain query for its column
+  kStatic,       // legend/image/text; no query
+};
+
+struct Zone {
+  std::string name;
+  ZoneKind kind = ZoneKind::kViz;
+  // The zone's base query (dims, measures, built-in filters, top-n). For
+  // kQuickFilter this is the domain query of `filter_column`.
+  query::AbstractQuery base;
+  std::string filter_column;  // kQuickFilter only
+
+  bool has_query() const { return kind != ZoneKind::kStatic; }
+};
+
+// An interactive filter action: selecting values of `column` in
+// `source_zone` filters every zone in `targets` (§3.3, Fig. 2).
+struct FilterAction {
+  std::string source_zone;
+  std::string column;
+  std::vector<std::string> targets;
+};
+
+// A quick-filter binding: the selection on `column` (made through a
+// kQuickFilter zone) applies to `targets`; empty targets = every viz zone.
+struct QuickFilterBinding {
+  std::string column;
+  std::vector<std::string> targets;
+};
+
+// User interaction state: current selections.
+struct InteractionState {
+  // zone -> column -> selected values (from filter actions).
+  std::map<std::string, std::map<std::string, std::vector<Value>>> selections;
+  // column -> selected values (from quick filters); absent = all values.
+  std::map<std::string, std::vector<Value>> quick_filters;
+
+  void Select(const std::string& zone, const std::string& column,
+              std::vector<Value> values) {
+    selections[zone][column] = std::move(values);
+  }
+  void ClearSelection(const std::string& zone, const std::string& column) {
+    auto it = selections.find(zone);
+    if (it != selections.end()) it->second.erase(column);
+  }
+  void SetQuickFilter(const std::string& column, std::vector<Value> values) {
+    quick_filters[column] = std::move(values);
+  }
+  void ClearQuickFilter(const std::string& column) {
+    quick_filters.erase(column);
+  }
+};
+
+class Dashboard {
+ public:
+  explicit Dashboard(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Status AddZone(Zone zone);
+  void AddAction(FilterAction action) { actions_.push_back(std::move(action)); }
+  void AddQuickFilter(QuickFilterBinding binding) {
+    quick_filters_.push_back(std::move(binding));
+  }
+
+  const std::vector<Zone>& zones() const { return zones_; }
+  const std::vector<FilterAction>& actions() const { return actions_; }
+  const Zone* FindZone(const std::string& name) const;
+
+  // Names of zones that issue queries.
+  std::vector<std::string> QueryZoneNames() const;
+
+  // The query a zone runs under `state`: its base query plus quick-filter
+  // predicates and incoming filter-action predicates.
+  StatusOr<query::AbstractQuery> BuildZoneQuery(
+      const std::string& zone_name, const InteractionState& state) const;
+
+  // Zones affected by a selection change in `source_zone` (action targets).
+  std::vector<std::string> ActionTargets(const std::string& source_zone) const;
+  // Zones affected by a quick-filter change on `column`.
+  std::vector<std::string> QuickFilterTargets(const std::string& column) const;
+
+ private:
+  bool QuickFilterApplies(const QuickFilterBinding& b,
+                          const Zone& zone) const;
+
+  std::string name_;
+  std::vector<Zone> zones_;
+  std::vector<FilterAction> actions_;
+  std::vector<QuickFilterBinding> quick_filters_;
+};
+
+}  // namespace vizq::dashboard
+
+#endif  // VIZQUERY_DASHBOARD_DASHBOARD_H_

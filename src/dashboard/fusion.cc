@@ -1,0 +1,69 @@
+#include "src/dashboard/fusion.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace vizq::dashboard {
+
+using query::AbstractQuery;
+using query::Measure;
+
+std::vector<FusedGroup> FuseQueries(const std::vector<AbstractQuery>& batch) {
+  // Relation key: view + sorted dimension set + filter key.
+  auto relation_key = [](const AbstractQuery& q) {
+    std::vector<std::string> dims = q.dimensions;
+    std::sort(dims.begin(), dims.end());
+    std::string key = q.data_source + "\x1f" + q.view + "\x1f";
+    for (const std::string& d : dims) {
+      key += d;
+      key += ',';
+    }
+    key += "\x1f" + q.filters.ToKeyString();
+    return key;
+  };
+
+  std::map<std::string, std::vector<int>> groups;
+  std::vector<std::string> order;  // deterministic group order
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::string key = relation_key(batch[i]);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) order.push_back(key);
+    it->second.push_back(static_cast<int>(i));
+  }
+
+  std::vector<FusedGroup> out;
+  for (const std::string& key : order) {
+    const std::vector<int>& members = groups[key];
+    FusedGroup group;
+    group.members = members;
+    if (members.size() == 1) {
+      group.fused = batch[members[0]];
+      out.push_back(std::move(group));
+      continue;
+    }
+    // Union of projections over the common relation.
+    AbstractQuery fused = batch[members[0]];
+    fused.order_by.clear();
+    fused.limit = 0;
+    std::set<std::pair<int, std::string>> seen;  // (func, column)
+    fused.measures.clear();
+    for (int m : members) {
+      for (const Measure& measure : batch[m].measures) {
+        auto id = std::make_pair(static_cast<int>(measure.func),
+                                 measure.column);
+        if (seen.insert(id).second) {
+          // Default alias keeps the fused schema deterministic regardless
+          // of member-specific aliases.
+          fused.measures.push_back(Measure{measure.func, measure.column, ""});
+        }
+      }
+    }
+    fused.Canonicalize();
+    group.fused = std::move(fused);
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace vizq::dashboard

@@ -1,0 +1,35 @@
+// Query fusion (§3.4): "we replace a group of queries of the form
+// [π_P1(R), ..., π_Pn(R)] with a single query π_P(R), where R is the
+// common relation ... and P = ∪ Pi."
+//
+// In the aggregate-select-project model, the "common relation" is the
+// (view, group-by set, filter set) triple; members differ only in their
+// top-level projection — the measures they request. Different zones of a
+// dashboard sharing the same filters but requesting different columns is
+// the common case the section calls out. Members carrying a top-n are
+// fused too: the fused query fetches untruncated and the member's top-n is
+// applied in post-processing.
+
+#ifndef VIZQUERY_DASHBOARD_FUSION_H_
+#define VIZQUERY_DASHBOARD_FUSION_H_
+
+#include <vector>
+
+#include "src/query/abstract_query.h"
+
+namespace vizq::dashboard {
+
+struct FusedGroup {
+  query::AbstractQuery fused;
+  std::vector<int> members;  // indices into the input batch
+};
+
+// Groups `batch` by common relation and unions projections. Every input
+// index appears in exactly one group; singleton groups keep the original
+// query untouched (incl. its remote top-n).
+std::vector<FusedGroup> FuseQueries(
+    const std::vector<query::AbstractQuery>& batch);
+
+}  // namespace vizq::dashboard
+
+#endif  // VIZQUERY_DASHBOARD_FUSION_H_

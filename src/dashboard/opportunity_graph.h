@@ -1,0 +1,39 @@
+// Cache-hit opportunity graph (§3.3, Fig. 3).
+//
+// "Consider a directed graph G with the queries as nodes and edges
+// pointing from qi to qj iff the result of qj can be computed from the
+// results of qi ... we analyze [the batch] and partition the nodes of G
+// into two sets. One set contains queries that need to be sent to the
+// remote back-ends; they correspond to the source nodes, i.e. the nodes
+// without incoming edges. The second set contains queries that are cache
+// hits that can be processed locally."
+
+#ifndef VIZQUERY_DASHBOARD_OPPORTUNITY_GRAPH_H_
+#define VIZQUERY_DASHBOARD_OPPORTUNITY_GRAPH_H_
+
+#include <vector>
+
+#include "src/query/abstract_query.h"
+
+namespace vizq::dashboard {
+
+struct OpportunityGraph {
+  // covers[i] lists the nodes whose results can be computed from node i's
+  // result (edges i -> j).
+  std::vector<std::vector<int>> covers;
+  // Partition: remote[i] true when node i is a source node.
+  std::vector<bool> remote;
+  // For local nodes, the chosen remote predecessor whose completion
+  // unblocks them (first match order, like the cache).
+  std::vector<int> predecessor;  // -1 for remote nodes
+};
+
+// Builds the graph over a batch using the intelligent cache's subsumption
+// matcher. Mutually-covering (equivalent) queries keep only the lower
+// index as a potential source, so the partition is well defined.
+OpportunityGraph BuildOpportunityGraph(
+    const std::vector<query::AbstractQuery>& batch);
+
+}  // namespace vizq::dashboard
+
+#endif  // VIZQUERY_DASHBOARD_OPPORTUNITY_GRAPH_H_

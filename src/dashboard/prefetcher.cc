@@ -1,0 +1,62 @@
+#include "src/dashboard/prefetcher.h"
+
+#include <set>
+
+namespace vizq::dashboard {
+
+int Prefetcher::PrefetchAfterRender(const Dashboard& dashboard,
+                                    const InteractionState& state,
+                                    const RenderReport& report,
+                                    const BatchOptions& batch_options) {
+  // Candidate next interactions: for each filter action whose source zone
+  // was just rendered, selecting each of the first `values_per_source`
+  // values shown in that zone.
+  std::vector<query::AbstractQuery> speculative;
+  std::set<std::string> seen_keys;
+
+  auto add_query = [&](const query::AbstractQuery& q) {
+    if (static_cast<int>(speculative.size()) >= options_.max_queries) return;
+    std::string key = q.ToKeyString();
+    if (!seen_keys.insert(key).second) return;
+    speculative.push_back(q);
+  };
+
+  for (const FilterAction& action : dashboard.actions()) {
+    auto rit = report.zone_results.find(action.source_zone);
+    if (rit == report.zone_results.end()) continue;
+    const ResultTable& shown = rit->second;
+    auto col = shown.FindColumn(action.column);
+    if (!col.has_value()) continue;
+
+    int64_t candidates =
+        std::min<int64_t>(options_.values_per_source, shown.num_rows());
+    for (int64_t v = 0; v < candidates; ++v) {
+      InteractionState predicted = state;
+      predicted.Select(action.source_zone, action.column,
+                       {shown.at(v, *col)});
+      for (const std::string& target : action.targets) {
+        const Zone* zone = dashboard.FindZone(target);
+        if (zone == nullptr || !zone->has_query()) continue;
+        auto q = dashboard.BuildZoneQuery(target, predicted);
+        if (q.ok()) add_query(*q);
+      }
+    }
+  }
+
+  if (speculative.empty()) return 0;
+  prefetched_ += static_cast<int64_t>(speculative.size());
+
+  // Run the whole speculative batch on the background pool; results are
+  // deposited in the shared cache by the QueryService as usual. The batch
+  // itself also benefits from analysis/fusion.
+  BatchOptions options = batch_options;
+  QueryService* service = service_;
+  std::vector<query::AbstractQuery> batch = std::move(speculative);
+  int scheduled = static_cast<int>(batch.size());
+  pool_->Submit([service, options, batch = std::move(batch)] {
+    (void)service->ExecuteBatch(batch, options, nullptr);
+  });
+  return scheduled;
+}
+
+}  // namespace vizq::dashboard

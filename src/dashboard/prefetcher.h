@@ -1,0 +1,61 @@
+// Speculative prefetching — the paper's §7 future work: "both data
+// exploration and dashboard generation could become more responsive if
+// requested data has been accurately predicted and prefetched ...
+// prediction approaches such as DICE are good examples in this field."
+//
+// After a render, the prefetcher predicts the interactions a user is most
+// likely to perform next — DICE-style neighborhood speculation over the
+// marks just shown: selecting one of the top values in each filter-action
+// source zone, or narrowing each quick filter to a single popular value —
+// and executes the affected zones' queries in the background. The results
+// land in the shared intelligent cache, so when the user actually clicks,
+// the refresh is served locally.
+
+#ifndef VIZQUERY_DASHBOARD_PREFETCHER_H_
+#define VIZQUERY_DASHBOARD_PREFETCHER_H_
+
+#include <memory>
+
+#include "src/common/thread_pool.h"
+#include "src/dashboard/renderer.h"
+
+namespace vizq::dashboard {
+
+struct PrefetchOptions {
+  // Values per source zone / quick filter to speculate on.
+  int values_per_source = 2;
+  // Upper bound on speculative queries per render.
+  int max_queries = 16;
+  int background_threads = 2;
+};
+
+class Prefetcher {
+ public:
+  Prefetcher(QueryService* service, PrefetchOptions options = {})
+      : service_(service),
+        options_(options),
+        pool_(std::make_unique<ThreadPool>(options.background_threads)) {}
+
+  // Predicts next interactions from `report`'s rendered results and warms
+  // the cache in the background. Returns the number of speculative
+  // queries scheduled. Call Wait() (or destroy the prefetcher) to join.
+  int PrefetchAfterRender(const Dashboard& dashboard,
+                          const InteractionState& state,
+                          const RenderReport& report,
+                          const BatchOptions& batch_options);
+
+  // Blocks until scheduled speculation has finished.
+  void Wait() { pool_->Wait(); }
+
+  int64_t queries_prefetched() const { return prefetched_; }
+
+ private:
+  QueryService* service_;
+  PrefetchOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  int64_t prefetched_ = 0;
+};
+
+}  // namespace vizq::dashboard
+
+#endif  // VIZQUERY_DASHBOARD_PREFETCHER_H_

@@ -1,0 +1,377 @@
+#include "src/dashboard/query_service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/common/thread_pool.h"
+
+namespace vizq::dashboard {
+
+using query::AbstractQuery;
+
+const char* ServedFromToString(ServedFrom s) {
+  switch (s) {
+    case ServedFrom::kIntelligentCacheExact: return "cache-exact";
+    case ServedFrom::kIntelligentCacheDerived: return "cache-derived";
+    case ServedFrom::kLocalFromBatch: return "local-from-batch";
+    case ServedFrom::kLiteralCache: return "literal-cache";
+    case ServedFrom::kRemote: return "remote";
+    case ServedFrom::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string BatchReport::Summary() const {
+  std::string out = "batch: " + std::to_string(queries.size()) + " queries, " +
+                    std::to_string(remote_queries) + " remote (" +
+                    std::to_string(fused_groups) + " after fusion), " +
+                    std::to_string(cache_hits) + " cache hits, " +
+                    std::to_string(local_resolved) + " local, " +
+                    std::to_string(wall_ms) + " ms";
+  return out;
+}
+
+QueryService::QueryService(std::shared_ptr<federation::DataSource> source,
+                           std::shared_ptr<CacheStack> caches)
+    : source_(std::move(source)), caches_(std::move(caches)), pool_(source_) {}
+
+Status QueryService::RegisterView(const query::ViewDefinition& view) {
+  if (compilers_.find(view.name) != compilers_.end()) {
+    return AlreadyExists("view '" + view.name + "' already registered");
+  }
+  compilers_.emplace(
+      view.name,
+      query::QueryCompiler(view, source_->capabilities(), source_->dialect(),
+                           &source_->catalog()));
+  return OkStatus();
+}
+
+Status QueryService::RegisterTableView(const std::string& table_path) {
+  query::ViewDefinition view;
+  view.name = table_path;
+  view.fact_table = table_path;
+  return RegisterView(view);
+}
+
+void QueryService::SetDomains(const std::string& view,
+                              query::ColumnDomains domains) {
+  domains_[view] = std::move(domains);
+}
+
+const query::QueryCompiler* QueryService::FindCompiler(
+    const std::string& view) const {
+  auto it = compilers_.find(view);
+  return it == compilers_.end() ? nullptr : &it->second;
+}
+
+void QueryService::RefreshDataSource() {
+  pool_.CloseAll();
+  if (caches_ != nullptr) {
+    caches_->intelligent.InvalidateDataSource(source_->name());
+    caches_->literal.InvalidateDataSource(source_->name());
+  }
+}
+
+StatusOr<ResultTable> QueryService::ExecuteRemote(const AbstractQuery& q,
+                                                  const BatchOptions& options,
+                                                  bool* literal_hit) {
+  if (literal_hit != nullptr) *literal_hit = false;
+  const query::QueryCompiler* compiler = FindCompiler(q.view);
+  if (compiler == nullptr) {
+    return NotFound("no view registered for '" + q.view + "'");
+  }
+  const query::ColumnDomains* domains = nullptr;
+  auto dit = domains_.find(q.view);
+  if (dit != domains_.end()) domains = &dit->second;
+
+  VIZQ_ASSIGN_OR_RETURN(query::CompiledQuery cq,
+                        compiler->Compile(q, options.compiler, domains));
+
+  if (options.use_literal_cache && caches_ != nullptr) {
+    auto hit = caches_->literal.Lookup(cq.sql);
+    if (hit.has_value()) {
+      if (literal_hit != nullptr) *literal_hit = true;
+      return *std::move(hit);
+    }
+  }
+
+  std::vector<std::string> wanted_temps;
+  for (const query::TempTableSpec& t : cq.temp_tables) {
+    wanted_temps.push_back(t.name);
+  }
+  VIZQ_ASSIGN_OR_RETURN(federation::PooledConnection conn,
+                        pool_.AcquirePreferring(wanted_temps));
+  federation::ExecutionInfo info;
+  auto result = conn->Execute(cq, &info);
+  conn.Release();
+  if (!result.ok()) return result.status();
+
+  // Local top-n when the backend could not order/limit.
+  if (cq.requires_local_topn) {
+    // The fetched result has the full rows; reuse the cache post-processor
+    // to apply ordering and limit.
+    AbstractQuery unlimited = q;
+    unlimited.order_by.clear();
+    unlimited.limit = 0;
+    auto plan = cache::MatchQueries(unlimited, result->columns(), q);
+    if (plan.has_value()) {
+      auto processed = cache::ApplyMatchPlan(*result, *plan, q);
+      if (processed.ok()) *result = *std::move(processed);
+    }
+  }
+
+  if (options.use_literal_cache && caches_ != nullptr) {
+    caches_->literal.Put(cq.sql, *result, info.total_ms, source_->name());
+  }
+  return result;
+}
+
+StatusOr<ResultTable> QueryService::ExecuteQuery(const AbstractQuery& q,
+                                                 const BatchOptions& options) {
+  VIZQ_ASSIGN_OR_RETURN(std::vector<ResultTable> results,
+                        ExecuteBatch({q}, options, nullptr));
+  return std::move(results[0]);
+}
+
+StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
+    const std::vector<AbstractQuery>& batch, const BatchOptions& options,
+    BatchReport* report) {
+  auto wall_start = std::chrono::steady_clock::now();
+  int n = static_cast<int>(batch.size());
+  std::vector<ResultTable> results(n);
+  std::vector<bool> resolved(n, false);
+  BatchReport local_report;
+  local_report.queries.resize(n);
+
+  // --- 1. intelligent cache ---
+  std::vector<int> misses;
+  for (int i = 0; i < n; ++i) {
+    if (options.use_intelligent_cache && caches_ != nullptr) {
+      int64_t exact_before = caches_->intelligent.stats().exact_hits;
+      auto hit = caches_->intelligent.Lookup(batch[i]);
+      if (hit.has_value()) {
+        results[i] = *std::move(hit);
+        resolved[i] = true;
+        bool exact =
+            caches_->intelligent.stats().exact_hits > exact_before;
+        local_report.queries[i].served_from =
+            exact ? ServedFrom::kIntelligentCacheExact
+                  : ServedFrom::kIntelligentCacheDerived;
+        ++local_report.cache_hits;
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+
+  // --- 2. opportunity graph over the misses ---
+  std::vector<AbstractQuery> pending;
+  pending.reserve(misses.size());
+  for (int i : misses) pending.push_back(batch[i]);
+  OpportunityGraph graph;
+  if (options.analyze_batch && pending.size() > 1) {
+    graph = BuildOpportunityGraph(pending);
+  } else {
+    graph.remote.assign(pending.size(), true);
+    graph.predecessor.assign(pending.size(), -1);
+    graph.covers.assign(pending.size(), {});
+  }
+  std::vector<int> remote_nodes;
+  for (size_t p = 0; p < pending.size(); ++p) {
+    if (graph.remote[p]) remote_nodes.push_back(static_cast<int>(p));
+  }
+
+  // --- 3. fusion over the remote set ---
+  std::vector<AbstractQuery> remote_queries;
+  remote_queries.reserve(remote_nodes.size());
+  for (int p : remote_nodes) remote_queries.push_back(pending[p]);
+  std::vector<FusedGroup> groups;
+  if (options.fuse_queries && remote_queries.size() > 1) {
+    groups = FuseQueries(remote_queries);
+  } else {
+    for (size_t g = 0; g < remote_queries.size(); ++g) {
+      groups.push_back(FusedGroup{remote_queries[g], {static_cast<int>(g)}});
+    }
+  }
+  local_report.fused_groups = static_cast<int>(groups.size());
+  local_report.remote_queries = static_cast<int>(groups.size());
+
+  // --- 4 + 5. adjust, execute concurrently, resolve as results land ---
+  struct GroupOutcome {
+    int group = 0;
+    Status status;
+    AbstractQuery sent;  // adjusted query actually executed
+    ResultTable result;
+    bool literal_hit = false;
+    double ms = 0;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<GroupOutcome> completed;
+
+  auto run_group = [&](int gi) {
+    GroupOutcome outcome;
+    outcome.group = gi;
+    outcome.sent = cache::AdjustForReuse(groups[gi].fused, options.adjust);
+    auto started = std::chrono::steady_clock::now();
+    bool literal_hit = false;
+    auto result = ExecuteRemote(outcome.sent, options, &literal_hit);
+    outcome.ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - started)
+                     .count();
+    outcome.literal_hit = literal_hit;
+    if (result.ok()) {
+      outcome.result = *std::move(result);
+      if (options.use_intelligent_cache && caches_ != nullptr) {
+        caches_->intelligent.Put(outcome.sent, outcome.result, outcome.ms);
+      }
+    } else {
+      outcome.status = result.status();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      completed.push_back(std::move(outcome));
+    }
+    cv.notify_one();
+  };
+
+  std::unique_ptr<ThreadPool> workers;
+  if (options.concurrent && groups.size() > 1) {
+    workers = std::make_unique<ThreadPool>(
+        std::min<int>(options.max_parallel_queries,
+                      static_cast<int>(groups.size())));
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      workers->Submit([&, gi] { run_group(static_cast<int>(gi)); });
+    }
+  }
+
+  // Collected (descriptor, result) pairs available for local resolution.
+  std::vector<std::pair<AbstractQuery, const ResultTable*>> available;
+  std::vector<GroupOutcome> outcomes;
+  outcomes.reserve(groups.size());
+  Status first_error;
+
+  auto resolve_pending_node = [&](int p, ServedFrom how) -> bool {
+    int original = misses[p];
+    if (resolved[original]) return true;
+    for (const auto& [descriptor, table] : available) {
+      auto plan = cache::MatchQueries(descriptor, table->columns(),
+                                      pending[p]);
+      if (!plan.has_value()) continue;
+      auto processed = cache::ApplyMatchPlan(*table, *plan, pending[p]);
+      if (!processed.ok()) continue;
+      results[original] = *std::move(processed);
+      resolved[original] = true;
+      local_report.queries[original].served_from = how;
+      return true;
+    }
+    return false;
+  };
+
+  for (size_t done = 0; done < groups.size(); ++done) {
+    GroupOutcome outcome;
+    if (workers != nullptr) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return !completed.empty(); });
+      outcome = std::move(completed.back());
+      completed.pop_back();
+    } else {
+      run_group(static_cast<int>(done));
+      outcome = std::move(completed.back());
+      completed.pop_back();
+    }
+    if (!outcome.status.ok()) {
+      if (first_error.ok()) first_error = outcome.status;
+      continue;
+    }
+    outcomes.push_back(std::move(outcome));
+    GroupOutcome& kept = outcomes.back();
+    available.emplace_back(kept.sent, &kept.result);
+    if (kept.literal_hit) {
+      // Served from the literal cache: nothing actually hit the backend.
+      --local_report.remote_queries;
+      ++local_report.cache_hits;
+    }
+
+    // Resolve this group's members immediately.
+    for (int member : groups[kept.group].members) {
+      int p = remote_nodes[member];
+      bool literal = kept.literal_hit;
+      if (!resolve_pending_node(
+              p, literal ? ServedFrom::kLiteralCache : ServedFrom::kRemote)) {
+        // Should not happen: the fused query covers its members.
+        if (first_error.ok()) {
+          first_error = Internal("fused result did not cover member query");
+        }
+      } else {
+        local_report.queries[misses[p]].ms = kept.ms;
+      }
+    }
+    // Then any local nodes that are now coverable (§3.3: "the local ones
+    // are processed as soon as any of their predecessors in G finishes").
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t p = 0; p < pending.size(); ++p) {
+        if (graph.remote[p] || resolved[misses[p]]) continue;
+        if (resolve_pending_node(static_cast<int>(p),
+                                 ServedFrom::kLocalFromBatch)) {
+          ++local_report.local_resolved;
+          progress = true;
+        }
+      }
+    }
+  }
+  if (workers != nullptr) workers->Wait();
+
+  // Safety net: anything still unresolved (e.g. a failed group, or a local
+  // chain that could not be followed) executes remotely on its own.
+  for (int i = 0; i < n; ++i) {
+    if (resolved[i]) continue;
+    bool literal = false;
+    AbstractQuery sent = cache::AdjustForReuse(batch[i], options.adjust);
+    auto result = ExecuteRemote(sent, options, &literal);
+    if (!result.ok()) {
+      local_report.queries[i].served_from = ServedFrom::kFailed;
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    if (options.use_intelligent_cache && caches_ != nullptr) {
+      caches_->intelligent.Put(sent, *result, 1.0);
+    }
+    auto plan = cache::MatchQueries(sent, result->columns(), batch[i]);
+    if (plan.has_value()) {
+      auto processed = cache::ApplyMatchPlan(*result, *plan, batch[i]);
+      if (processed.ok()) {
+        results[i] = *std::move(processed);
+        resolved[i] = true;
+        local_report.queries[i].served_from =
+            literal ? ServedFrom::kLiteralCache : ServedFrom::kRemote;
+        if (literal) {
+          ++local_report.cache_hits;
+        } else {
+          ++local_report.remote_queries;
+        }
+      }
+    }
+    if (!resolved[i]) {
+      local_report.queries[i].served_from = ServedFrom::kFailed;
+      if (first_error.ok()) {
+        first_error = Internal("could not resolve batch query " +
+                               std::to_string(i));
+      }
+    }
+  }
+
+  if (!first_error.ok()) return first_error;
+
+  local_report.wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+  if (report != nullptr) *report = std::move(local_report);
+  return results;
+}
+
+}  // namespace vizq::dashboard

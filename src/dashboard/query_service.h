@@ -1,0 +1,132 @@
+// QueryService: the client-side query pipeline, end to end.
+//
+// A batch of abstract queries goes through (§3.2–§3.5):
+//   1. exact/subsumption lookup in the intelligent cache;
+//   2. cache-hit opportunity analysis over the remaining misses (Fig. 3):
+//      source nodes go remote, covered nodes are computed locally from a
+//      predecessor's result as soon as it lands;
+//   3. query fusion over the remote set (§3.4);
+//   4. reuse adjustment (§3.2) — AVG decomposition etc. — on what is sent;
+//   5. compilation (join culling, domain simplification, large-IN
+//      externalization) and literal-cache lookup on the final text;
+//   6. concurrent submission over pooled connections (§3.5), preferring
+//      connections that already hold the needed temp tables;
+//   7. results feed both caches and resolve dependent local queries.
+
+#ifndef VIZQUERY_DASHBOARD_QUERY_SERVICE_H_
+#define VIZQUERY_DASHBOARD_QUERY_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/intelligent_cache.h"
+#include "src/cache/literal_cache.h"
+#include "src/dashboard/fusion.h"
+#include "src/dashboard/opportunity_graph.h"
+#include "src/federation/connection_pool.h"
+#include "src/query/compiler.h"
+
+namespace vizq::dashboard {
+
+// How an individual query in a batch was satisfied.
+enum class ServedFrom : uint8_t {
+  kIntelligentCacheExact,
+  kIntelligentCacheDerived,
+  kLocalFromBatch,  // computed from another batch member's fresh result
+  kLiteralCache,
+  kRemote,
+  kFailed,
+};
+
+const char* ServedFromToString(ServedFrom s);
+
+struct BatchOptions {
+  bool use_intelligent_cache = true;
+  bool use_literal_cache = true;
+  bool analyze_batch = true;   // opportunity-graph partitioning (§3.3)
+  bool fuse_queries = true;    // §3.4
+  bool concurrent = true;      // concurrent remote submission (§3.5)
+  int max_parallel_queries = 8;
+  cache::AdjustOptions adjust;     // §3.2 reuse adjustment
+  query::CompilerOptions compiler;
+};
+
+struct QueryReport {
+  ServedFrom served_from = ServedFrom::kRemote;
+  double ms = 0;
+};
+
+struct BatchReport {
+  std::vector<QueryReport> queries;
+  double wall_ms = 0;
+  int remote_queries = 0;   // actually sent to the backend
+  int fused_groups = 0;     // remote query groups after fusion
+  int local_resolved = 0;   // answered from batch-internal results
+  int cache_hits = 0;       // intelligent + literal
+
+  std::string Summary() const;
+};
+
+// Caches shared by everything talking to one backend (one per data-source
+// connection scope; Tableau Server shares them across users).
+struct CacheStack {
+  cache::IntelligentCache intelligent;
+  cache::LiteralCache literal;
+
+  CacheStack() = default;
+  explicit CacheStack(cache::IntelligentCacheOptions iopts,
+                      cache::LiteralCacheOptions lopts = {})
+      : intelligent(iopts), literal(lopts) {}
+};
+
+class QueryService {
+ public:
+  // `caches` may be shared across services/users; may be null (no caching).
+  QueryService(std::shared_ptr<federation::DataSource> source,
+               std::shared_ptr<CacheStack> caches);
+
+  // Registers a logical view; queries name views by `view.name`.
+  Status RegisterView(const query::ViewDefinition& view);
+
+  // Convenience: single-table view named after the table.
+  Status RegisterTableView(const std::string& table_path);
+
+  // Column domains used for predicate simplification (typically the
+  // quick-filter domains fetched once per dashboard).
+  void SetDomains(const std::string& view, query::ColumnDomains domains);
+
+  StatusOr<ResultTable> ExecuteQuery(const query::AbstractQuery& q,
+                                     const BatchOptions& options = {});
+
+  // Executes a batch, minimizing the latency of processing all of it
+  // (§3.3). Results are positional. `report` may be null.
+  StatusOr<std::vector<ResultTable>> ExecuteBatch(
+      const std::vector<query::AbstractQuery>& batch,
+      const BatchOptions& options = {}, BatchReport* report = nullptr);
+
+  // Closing/refreshing the data source purges cache entries (§3.2) and
+  // drops pooled connections with their remote temp tables.
+  void RefreshDataSource();
+
+  federation::ConnectionPool& pool() { return pool_; }
+  CacheStack* caches() { return caches_.get(); }
+  const query::QueryCompiler* FindCompiler(const std::string& view) const;
+
+ private:
+  // Runs one query remotely (compile -> literal cache -> connection).
+  StatusOr<ResultTable> ExecuteRemote(const query::AbstractQuery& q,
+                                      const BatchOptions& options,
+                                      bool* literal_hit);
+
+  std::shared_ptr<federation::DataSource> source_;
+  std::shared_ptr<CacheStack> caches_;
+  federation::ConnectionPool pool_;
+  std::map<std::string, query::QueryCompiler> compilers_;
+  std::map<std::string, query::ColumnDomains> domains_;
+};
+
+}  // namespace vizq::dashboard
+
+#endif  // VIZQUERY_DASHBOARD_QUERY_SERVICE_H_

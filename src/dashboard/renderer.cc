@@ -1,0 +1,116 @@
+#include "src/dashboard/renderer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+namespace vizq::dashboard {
+
+namespace {
+
+// Validates filter-action selections in `state` against freshly rendered
+// source-zone results. Returns the zones dirtied by eliminated selections.
+std::vector<std::string> ValidateSelections(
+    const Dashboard& dashboard, InteractionState* state,
+    const std::map<std::string, ResultTable>& fresh, RenderReport* report) {
+  std::set<std::string> dirtied;
+  for (const FilterAction& action : dashboard.actions()) {
+    auto fit = fresh.find(action.source_zone);
+    if (fit == fresh.end()) continue;  // source not re-rendered
+    auto zit = state->selections.find(action.source_zone);
+    if (zit == state->selections.end()) continue;
+    auto cit = zit->second.find(action.column);
+    if (cit == zit->second.end() || cit->second.empty()) continue;
+
+    const ResultTable& table = fit->second;
+    auto col = table.FindColumn(action.column);
+    if (!col.has_value()) continue;
+
+    std::vector<Value> surviving;
+    for (const Value& selected : cit->second) {
+      bool present = false;
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        if (table.at(r, *col).Equals(selected)) {
+          present = true;
+          break;
+        }
+      }
+      if (present) {
+        surviving.push_back(selected);
+      } else {
+        report->eliminated_selections.push_back(
+            action.source_zone + "." + action.column + ": " +
+            selected.ToString());
+      }
+    }
+    if (surviving.size() != cit->second.size()) {
+      if (surviving.empty()) {
+        zit->second.erase(action.column);
+      } else {
+        cit->second = std::move(surviving);
+      }
+      for (const std::string& target : action.targets) {
+        dirtied.insert(target);
+      }
+    }
+  }
+  return {dirtied.begin(), dirtied.end()};
+}
+
+}  // namespace
+
+StatusOr<RenderReport> DashboardRenderer::Render(const Dashboard& dashboard,
+                                                 InteractionState* state,
+                                                 const BatchOptions& options) {
+  return Refresh(dashboard, state, dashboard.QueryZoneNames(), options);
+}
+
+StatusOr<RenderReport> DashboardRenderer::Refresh(
+    const Dashboard& dashboard, InteractionState* state,
+    std::vector<std::string> dirty_zones, const BatchOptions& options) {
+  auto started = std::chrono::steady_clock::now();
+  RenderReport report;
+
+  constexpr int kMaxIterations = 8;
+  while (!dirty_zones.empty() && report.iterations < kMaxIterations) {
+    ++report.iterations;
+
+    // Build this iteration's batch.
+    std::vector<query::AbstractQuery> batch;
+    std::vector<std::string> zone_order;
+    for (const std::string& name : dirty_zones) {
+      const Zone* zone = dashboard.FindZone(name);
+      if (zone == nullptr || !zone->has_query()) continue;
+      VIZQ_ASSIGN_OR_RETURN(query::AbstractQuery q,
+                            dashboard.BuildZoneQuery(name, *state));
+      batch.push_back(std::move(q));
+      zone_order.push_back(name);
+    }
+    if (batch.empty()) break;
+
+    BatchReport batch_report;
+    VIZQ_ASSIGN_OR_RETURN(std::vector<ResultTable> results,
+                          service_->ExecuteBatch(batch, options,
+                                                 &batch_report));
+    report.batches.push_back(std::move(batch_report));
+
+    std::map<std::string, ResultTable> fresh;
+    for (size_t i = 0; i < zone_order.size(); ++i) {
+      fresh[zone_order[i]] = results[i];
+      report.zone_results[zone_order[i]] = std::move(results[i]);
+    }
+
+    // Selection elimination can dirty more zones (the next iteration).
+    dirty_zones = ValidateSelections(dashboard, state, fresh, &report);
+    // Zones just rendered with *unchanged* state need no refresh; but a
+    // dirtied target rendered this very iteration must be re-queried with
+    // the updated state, so keep it.
+  }
+
+  report.total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+  return report;
+}
+
+}  // namespace vizq::dashboard

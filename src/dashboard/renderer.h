@@ -1,0 +1,56 @@
+// Iterative dashboard rendering (§3.3).
+//
+// "Due to dependencies between zones, rendering of a dashboard might
+// require several iterations to complete." Each iteration turns the dirty
+// zones into a query batch, executes it through the QueryService, then
+// validates interaction state against the fresh results: a selection whose
+// value vanished from its source zone is eliminated (the paper's HNL-OGG
+// example), which dirties that action's targets and triggers the next
+// iteration.
+
+#ifndef VIZQUERY_DASHBOARD_RENDERER_H_
+#define VIZQUERY_DASHBOARD_RENDERER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dashboard/dashboard.h"
+#include "src/dashboard/query_service.h"
+
+namespace vizq::dashboard {
+
+struct RenderReport {
+  int iterations = 0;
+  std::vector<BatchReport> batches;  // one per iteration
+  double total_ms = 0;
+  // Zone name -> rendered data.
+  std::map<std::string, ResultTable> zone_results;
+  // Human-readable log of selections eliminated during validation, e.g.
+  // "Carrier.carrier: AA".
+  std::vector<std::string> eliminated_selections;
+};
+
+class DashboardRenderer {
+ public:
+  explicit DashboardRenderer(QueryService* service) : service_(service) {}
+
+  // Renders the whole dashboard (initial load).
+  StatusOr<RenderReport> Render(const Dashboard& dashboard,
+                                InteractionState* state,
+                                const BatchOptions& options = {});
+
+  // Refreshes after an interaction: only `dirty_zones` (plus knock-on
+  // zones discovered during validation iterations) are re-queried.
+  StatusOr<RenderReport> Refresh(const Dashboard& dashboard,
+                                 InteractionState* state,
+                                 std::vector<std::string> dirty_zones,
+                                 const BatchOptions& options = {});
+
+ private:
+  QueryService* service_;
+};
+
+}  // namespace vizq::dashboard
+
+#endif  // VIZQUERY_DASHBOARD_RENDERER_H_

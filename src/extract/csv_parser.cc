@@ -1,0 +1,89 @@
+#include "src/extract/csv_parser.h"
+
+namespace vizq::extract {
+
+StatusOr<bool> CsvReader::Next(CsvRecord* record) {
+  record->clear();
+  if (pos_ >= text_.size()) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  while (pos_ < text_.size()) {
+    char ch = text_[pos_];
+    if (in_quotes) {
+      if (ch == options_.quote) {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == options_.quote) {
+          field += options_.quote;  // escaped quote
+          pos_ += 2;
+        } else {
+          in_quotes = false;
+          ++pos_;
+        }
+      } else {
+        field += ch;
+        ++pos_;
+      }
+      continue;
+    }
+    if (ch == options_.quote && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++pos_;
+      continue;
+    }
+    if (ch == options_.separator) {
+      record->push_back(std::move(field));
+      field.clear();
+      field_started = false;
+      ++pos_;
+      continue;
+    }
+    if (ch == '\r') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+      record->push_back(std::move(field));
+      ++records_;
+      return true;
+    }
+    if (ch == '\n') {
+      ++pos_;
+      record->push_back(std::move(field));
+      ++records_;
+      return true;
+    }
+    field += ch;
+    field_started = true;
+    ++pos_;
+  }
+  if (in_quotes) return DataLoss("unterminated quoted field at end of input");
+  record->push_back(std::move(field));
+  ++records_;
+  return true;
+}
+
+StatusOr<std::vector<CsvRecord>> ParseCsv(std::string_view text,
+                                          const CsvOptions& options) {
+  CsvReader reader(text, options);
+  std::vector<CsvRecord> records;
+  CsvRecord record;
+  size_t arity = 0;
+  while (true) {
+    VIZQ_ASSIGN_OR_RETURN(bool more, reader.Next(&record));
+    if (!more) break;
+    // Skip completely empty trailing lines.
+    if (record.size() == 1 && record[0].empty()) continue;
+    if (records.empty()) {
+      arity = record.size();
+    } else if (record.size() != arity) {
+      return DataLoss("ragged CSV: record " +
+                      std::to_string(records.size() + 1) + " has " +
+                      std::to_string(record.size()) + " fields, expected " +
+                      std::to_string(arity));
+    }
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace vizq::extract

@@ -1,0 +1,54 @@
+// CSV tokenizer/parser (§4.4): the in-house text parser that replaced the
+// Jet/Ace drivers — cross-platform, no 4GB limit, optional schema file,
+// and type/column-name inference when no schema is given.
+
+#ifndef VIZQUERY_EXTRACT_CSV_PARSER_H_
+#define VIZQUERY_EXTRACT_CSV_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace vizq::extract {
+
+struct CsvOptions {
+  char separator = ',';
+  char quote = '"';
+  // Values parsed as NULL.
+  std::vector<std::string> null_tokens = {"", "NULL", "null", "NA"};
+};
+
+// One parsed record: raw field strings (quotes removed, escapes resolved).
+using CsvRecord = std::vector<std::string>;
+
+// Parses full CSV text (RFC-4180-style: quoted fields may contain
+// separators, doubled quotes and newlines). Returns all records; ragged
+// rows are an error.
+StatusOr<std::vector<CsvRecord>> ParseCsv(std::string_view text,
+                                          const CsvOptions& options = {});
+
+// Incremental reader over in-memory text (the file-content abstraction the
+// extractor streams from).
+class CsvReader {
+ public:
+  CsvReader(std::string_view text, CsvOptions options = {})
+      : text_(text), options_(options) {}
+
+  // Reads the next record into *record (cleared first). Returns false at
+  // end of input.
+  StatusOr<bool> Next(CsvRecord* record);
+
+  int64_t records_read() const { return records_; }
+
+ private:
+  std::string_view text_;
+  CsvOptions options_;
+  size_t pos_ = 0;
+  int64_t records_ = 0;
+};
+
+}  // namespace vizq::extract
+
+#endif  // VIZQUERY_EXTRACT_CSV_PARSER_H_

@@ -1,0 +1,118 @@
+#include "src/extract/shadow_extract.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vizq::extract {
+
+StatusOr<std::shared_ptr<tde::Table>> BuildTableFromCsv(
+    const std::string& name, std::string_view content,
+    const ExtractOptions& options, ExtractStats* stats) {
+  auto t0 = std::chrono::steady_clock::now();
+  VIZQ_ASSIGN_OR_RETURN(std::vector<CsvRecord> records,
+                        ParseCsv(content, options.csv));
+  auto t1 = std::chrono::steady_clock::now();
+
+  std::vector<InferredColumn> columns;
+  size_t first_data_row = 0;
+  if (!options.schema.empty()) {
+    columns = options.schema;
+    // A header row matching the schema names is skipped.
+    if (!records.empty() && records[0].size() == columns.size()) {
+      bool matches = true;
+      for (size_t c = 0; c < columns.size(); ++c) {
+        if (records[0][c] != columns[c].name) {
+          matches = false;
+          break;
+        }
+      }
+      if (matches) first_data_row = 1;
+    }
+  } else {
+    InferredSchema inferred = InferSchema(records, options.csv);
+    columns = inferred.columns;
+    first_data_row = inferred.first_row_is_header ? 1 : 0;
+  }
+  if (!records.empty() && records[0].size() != columns.size()) {
+    return InvalidArgument("schema arity does not match the file");
+  }
+
+  std::vector<tde::ColumnInfo> schema;
+  schema.reserve(columns.size());
+  for (const InferredColumn& c : columns) {
+    schema.push_back(tde::ColumnInfo{c.name, c.type});
+  }
+
+  tde::TableBuilder builder(name, schema);
+  std::vector<Value> row(columns.size());
+  // Optional sort: materialize value rows first, sort, then append.
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(records.size());
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      VIZQ_ASSIGN_OR_RETURN(
+          row[c], ConvertField(records[r][c], columns[c].type, options.csv));
+    }
+    rows.push_back(row);
+  }
+
+  std::vector<int> sort_indices;
+  for (const std::string& s : options.sort_by) {
+    int idx = -1;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (columns[c].name == s) idx = static_cast<int>(c);
+    }
+    if (idx < 0) return NotFound("sort column '" + s + "' not in the file");
+    sort_indices.push_back(idx);
+  }
+  if (!sort_indices.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const std::vector<Value>& a,
+                         const std::vector<Value>& b) {
+                       for (int k : sort_indices) {
+                         int cmp = a[k].Compare(b[k]);
+                         if (cmp != 0) return cmp < 0;
+                       }
+                       return false;
+                     });
+  }
+  for (const std::vector<Value>& r : rows) {
+    VIZQ_RETURN_IF_ERROR(builder.AddRow(r));
+  }
+  if (!sort_indices.empty()) builder.DeclareSorted(sort_indices);
+
+  VIZQ_ASSIGN_OR_RETURN(std::shared_ptr<tde::Table> table, builder.Finish());
+  auto t2 = std::chrono::steady_clock::now();
+  if (stats != nullptr) {
+    stats->parse_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stats->build_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    stats->rows = table->num_rows();
+  }
+  return table;
+}
+
+StatusOr<std::shared_ptr<tde::Table>> ShadowExtractManager::ExtractCsv(
+    const std::string& name, std::string_view content,
+    const ExtractOptions& options, ExtractStats* stats) {
+  VIZQ_ASSIGN_OR_RETURN(std::shared_ptr<tde::Table> table,
+                        BuildTableFromCsv(name, content, options, stats));
+  // Refresh semantics: replace any previous extract of this name.
+  (void)db_->DropTable(tde::kDefaultSchema, name);
+  VIZQ_RETURN_IF_ERROR(db_->AddTable(table));
+  return table;
+}
+
+Status ShadowExtractManager::PersistTo(const std::string& path) const {
+  return tde::DatabaseSerializer::PackToFile(*db_, path);
+}
+
+Status ShadowExtractManager::RestoreFrom(const std::string& path) {
+  VIZQ_ASSIGN_OR_RETURN(std::shared_ptr<tde::Database> restored,
+                        tde::DatabaseSerializer::UnpackFromFile(path));
+  db_ = std::move(restored);
+  return OkStatus();
+}
+
+}  // namespace vizq::extract

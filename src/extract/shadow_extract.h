@@ -1,0 +1,73 @@
+// Shadow extracts (§4.4): "When a text or excel file is connected, Tableau
+// extracts the data from the file, and stores them in temporary tables in
+// the TDE. Subsequently, all queries are executed by the TDE instead of
+// parsing the entire file each time. ... we need to pay a one-time cost of
+// creating the temporary database. Last but not least, the system can
+// persist extracts in workbooks to avoid recreating temporary tables at
+// every load."
+
+#ifndef VIZQUERY_EXTRACT_SHADOW_EXTRACT_H_
+#define VIZQUERY_EXTRACT_SHADOW_EXTRACT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/extract/type_inference.h"
+#include "src/tde/engine.h"
+#include "src/tde/storage/file_format.h"
+
+namespace vizq::extract {
+
+struct ExtractOptions {
+  CsvOptions csv;
+  // Explicit schema (from a schema file); empty = infer.
+  std::vector<InferredColumn> schema;
+  // Sort the extract by these column names (enables §4.2.3 range
+  // partitioning and streaming aggregation on the extract).
+  std::vector<std::string> sort_by;
+};
+
+struct ExtractStats {
+  double parse_ms = 0;
+  double build_ms = 0;
+  int64_t rows = 0;
+  bool from_persisted = false;
+};
+
+// Builds and caches TDE tables for text content ("files" are named text
+// blobs here; the file-system indirection adds nothing to the behaviour
+// under study).
+class ShadowExtractManager {
+ public:
+  explicit ShadowExtractManager(std::shared_ptr<tde::Database> db)
+      : db_(std::move(db)) {}
+
+  // Parses `content` and materializes it as table `name` in the extract
+  // database. Returns the table. Re-extracting an existing name replaces
+  // the table (extract refresh semantics).
+  StatusOr<std::shared_ptr<tde::Table>> ExtractCsv(
+      const std::string& name, std::string_view content,
+      const ExtractOptions& options = {}, ExtractStats* stats = nullptr);
+
+  // Persists the extract database to a single file / restores it, so a
+  // workbook reopen skips re-extraction.
+  Status PersistTo(const std::string& path) const;
+  Status RestoreFrom(const std::string& path);
+
+  tde::Database& database() { return *db_; }
+  std::shared_ptr<tde::Database> shared_database() { return db_; }
+
+ private:
+  std::shared_ptr<tde::Database> db_;
+};
+
+// Builds a TDE table from CSV content without registering it anywhere
+// (shared by the manager and the Jet-style baseline in bench E11).
+StatusOr<std::shared_ptr<tde::Table>> BuildTableFromCsv(
+    const std::string& name, std::string_view content,
+    const ExtractOptions& options, ExtractStats* stats);
+
+}  // namespace vizq::extract
+
+#endif  // VIZQUERY_EXTRACT_SHADOW_EXTRACT_H_

@@ -1,0 +1,169 @@
+#include "src/extract/type_inference.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/str_util.h"
+
+namespace vizq::extract {
+
+namespace {
+
+bool IsNullToken(const std::string& field, const CsvOptions& options) {
+  return std::find(options.null_tokens.begin(), options.null_tokens.end(),
+                   field) != options.null_tokens.end();
+}
+
+// Candidate lattice position; narrowing only moves toward kString.
+enum class Candidate : uint8_t { kBool, kInt, kFloat, kDate, kString };
+
+Candidate Classify(const std::string& field) {
+  if (ParseBool(field).has_value() &&
+      !ParseInt64(field).has_value()) {  // "1"/"0" count as ints
+    return Candidate::kBool;
+  }
+  if (ParseInt64(field).has_value()) return Candidate::kInt;
+  if (ParseDouble(field).has_value()) return Candidate::kFloat;
+  if (ParseDateDays(field).has_value()) return Candidate::kDate;
+  return Candidate::kString;
+}
+
+Candidate Merge(Candidate a, Candidate b) {
+  if (a == b) return a;
+  // int + float = float; anything else incompatible collapses to string.
+  auto numeric = [](Candidate c) {
+    return c == Candidate::kInt || c == Candidate::kFloat;
+  };
+  if (numeric(a) && numeric(b)) return Candidate::kFloat;
+  return Candidate::kString;
+}
+
+DataType CandidateToType(Candidate c) {
+  switch (c) {
+    case Candidate::kBool: return DataType::Bool();
+    case Candidate::kInt: return DataType::Int64();
+    case Candidate::kFloat: return DataType::Float64();
+    case Candidate::kDate: return DataType::Date();
+    case Candidate::kString: return DataType::String();
+  }
+  return DataType::String();
+}
+
+}  // namespace
+
+InferredSchema InferSchema(const std::vector<CsvRecord>& records,
+                           const CsvOptions& options, int64_t sample_rows) {
+  InferredSchema schema;
+  if (records.empty()) return schema;
+  size_t ncols = records[0].size();
+
+  // Header detection.
+  const CsvRecord& first = records[0];
+  bool header = true;
+  std::set<std::string> distinct;
+  for (const std::string& cell : first) {
+    if (cell.empty() || ParseInt64(cell).has_value() ||
+        ParseDouble(cell).has_value() || !distinct.insert(cell).second) {
+      header = false;
+      break;
+    }
+  }
+  if (records.size() == 1) header = false;  // lone row is data
+  schema.first_row_is_header = header;
+
+  // Type inference over a sample of data rows.
+  std::vector<Candidate> candidates(ncols, Candidate::kBool);
+  std::vector<bool> seen(ncols, false);
+  size_t start = header ? 1 : 0;
+  size_t end = std::min(records.size(),
+                        start + static_cast<size_t>(sample_rows));
+  for (size_t r = start; r < end; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& field = records[r][c];
+      if (IsNullToken(field, options)) continue;
+      Candidate k = Classify(field);
+      candidates[c] = seen[c] ? Merge(candidates[c], k) : k;
+      seen[c] = true;
+    }
+  }
+
+  for (size_t c = 0; c < ncols; ++c) {
+    InferredColumn col;
+    col.name = header ? first[c] : "F" + std::to_string(c + 1);
+    col.type = seen[c] ? CandidateToType(candidates[c]) : DataType::String();
+    schema.columns.push_back(std::move(col));
+  }
+  return schema;
+}
+
+StatusOr<std::vector<InferredColumn>> ParseSchemaFile(
+    const std::string& text) {
+  std::vector<InferredColumn> out;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> parts = StrSplit(line, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return InvalidArgument("bad schema line: '" + std::string(line) + "'");
+    }
+    InferredColumn col;
+    col.name = std::string(StripWhitespace(parts[0]));
+    std::string type = ToLower(StripWhitespace(parts[1]));
+    if (type == "bool") {
+      col.type = DataType::Bool();
+    } else if (type == "int64" || type == "int") {
+      col.type = DataType::Int64();
+    } else if (type == "float64" || type == "double") {
+      col.type = DataType::Float64();
+    } else if (type == "string") {
+      col.type = DataType::String();
+    } else if (type == "date") {
+      col.type = DataType::Date();
+    } else {
+      return InvalidArgument("unknown type '" + type + "' in schema file");
+    }
+    if (parts.size() == 3) {
+      std::string collation = ToLower(StripWhitespace(parts[2]));
+      if (collation == "nocase") {
+        col.type.collation = Collation::kCaseInsensitive;
+      } else if (collation != "binary") {
+        return InvalidArgument("unknown collation '" + collation + "'");
+      }
+    }
+    out.push_back(std::move(col));
+  }
+  if (out.empty()) return InvalidArgument("schema file declares no columns");
+  return out;
+}
+
+StatusOr<Value> ConvertField(const std::string& field, const DataType& type,
+                             const CsvOptions& options) {
+  if (IsNullToken(field, options)) return Value::Null();
+  switch (type.kind) {
+    case TypeKind::kBool: {
+      auto b = ParseBool(field);
+      if (!b) return InvalidArgument("'" + field + "' is not a bool");
+      return Value(*b);
+    }
+    case TypeKind::kInt64: {
+      auto i = ParseInt64(field);
+      if (!i) return InvalidArgument("'" + field + "' is not an int");
+      return Value(*i);
+    }
+    case TypeKind::kFloat64: {
+      auto d = ParseDouble(field);
+      if (!d) return InvalidArgument("'" + field + "' is not a number");
+      return Value(*d);
+    }
+    case TypeKind::kDate: {
+      auto days = ParseDateDays(field);
+      if (!days) return InvalidArgument("'" + field + "' is not a date");
+      return Value(*days);
+    }
+    case TypeKind::kString:
+      return Value(field);
+  }
+  return Value(field);
+}
+
+}  // namespace vizq::extract

@@ -1,0 +1,49 @@
+// Metadata discovery for text files (§4.4): "The text parser accepts a
+// schema file as additional input if one is available. Otherwise, it
+// attempts to discover the metadata by performing type and column name
+// inference."
+
+#ifndef VIZQUERY_EXTRACT_TYPE_INFERENCE_H_
+#define VIZQUERY_EXTRACT_TYPE_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/extract/csv_parser.h"
+
+namespace vizq::extract {
+
+struct InferredColumn {
+  std::string name;
+  DataType type;
+};
+
+struct InferredSchema {
+  std::vector<InferredColumn> columns;
+  bool first_row_is_header = false;
+};
+
+// Infers column names and types from parsed records. The first row is a
+// header when every cell is non-empty, non-numeric and the cells are
+// distinct; otherwise columns are named F1..Fn. Types narrow in the order
+// bool -> int64 -> float64 -> date -> string over a bounded sample; NULL
+// tokens don't vote.
+InferredSchema InferSchema(const std::vector<CsvRecord>& records,
+                           const CsvOptions& options = {},
+                           int64_t sample_rows = 1024);
+
+// Parses a schema file: one "name:type[:nocase]" per line, '#' comments.
+// Types: bool, int64, float64, string, date.
+StatusOr<std::vector<InferredColumn>> ParseSchemaFile(
+    const std::string& text);
+
+// Converts a raw field to a Value of `type` (NULL tokens map to null; an
+// unconvertible field is an error).
+StatusOr<Value> ConvertField(const std::string& field, const DataType& type,
+                             const CsvOptions& options);
+
+}  // namespace vizq::extract
+
+#endif  // VIZQUERY_EXTRACT_TYPE_INFERENCE_H_

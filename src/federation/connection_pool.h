@@ -1,0 +1,110 @@
+// Connection pooling (§3.5): "The process of opening a connection,
+// retrieving configuration information and metadata are costly, therefore,
+// connections are pooled and kept around even if idle. In addition,
+// connection pooling plays an important role in preserving and reusing
+// temporary structures stored in remote sessions. ... An age-wise eviction
+// policy is used in case of local memory pressure or to release remote
+// resources unused for longer periods of time."
+
+#ifndef VIZQUERY_FEDERATION_CONNECTION_POOL_H_
+#define VIZQUERY_FEDERATION_CONNECTION_POOL_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/federation/data_source.h"
+
+namespace vizq::federation {
+
+class ConnectionPool;
+
+// RAII lease of a pooled connection; returns it on destruction.
+class PooledConnection {
+ public:
+  PooledConnection() = default;
+  PooledConnection(PooledConnection&& other) noexcept;
+  PooledConnection& operator=(PooledConnection&& other) noexcept;
+  PooledConnection(const PooledConnection&) = delete;
+  PooledConnection& operator=(const PooledConnection&) = delete;
+  ~PooledConnection();
+
+  Connection* operator->() { return conn_; }
+  Connection& operator*() { return *conn_; }
+  Connection* get() { return conn_; }
+  bool valid() const { return conn_ != nullptr; }
+
+  void Release();  // early return to the pool
+
+ private:
+  friend class ConnectionPool;
+  PooledConnection(ConnectionPool* pool, Connection* conn, int slot)
+      : pool_(pool), conn_(conn), slot_(slot) {}
+
+  ConnectionPool* pool_ = nullptr;
+  Connection* conn_ = nullptr;
+  int slot_ = -1;
+};
+
+struct PoolStats {
+  int64_t opened = 0;        // physical connections created
+  int64_t reused = 0;        // acquisitions served by an idle connection
+  int64_t waits = 0;         // acquisitions that had to block at the cap
+  int64_t temp_affinity = 0; // acquisitions steered by temp-table affinity
+  int64_t evicted = 0;       // idle connections closed by age
+};
+
+class ConnectionPool {
+ public:
+  // `max_size` defaults to the source's connection cap.
+  explicit ConnectionPool(std::shared_ptr<DataSource> source,
+                          int max_size = 0);
+  ~ConnectionPool();
+
+  // Acquires a connection: an idle one when available, otherwise a new one
+  // (below the cap), otherwise blocks until a release.
+  StatusOr<PooledConnection> Acquire();
+
+  // Acquire, preferring an idle connection that already holds the given
+  // temp table — the §3.5 "preserving and reusing temporary structures"
+  // path. Falls back to plain Acquire behaviour.
+  StatusOr<PooledConnection> AcquirePreferring(
+      const std::vector<std::string>& temp_tables);
+
+  // Age-wise eviction: closes idle connections not used for at least
+  // `max_idle_acquisitions` pool operations.
+  void EvictIdle(int64_t max_idle_acquisitions);
+
+  // Closes every connection (data-source refresh semantics; callers also
+  // invalidate their caches, §3.2).
+  void CloseAll();
+
+  const PoolStats& stats() const { return stats_; }
+  int size() const;
+  int idle() const;
+
+ private:
+  friend class PooledConnection;
+
+  struct Slot {
+    std::unique_ptr<Connection> conn;
+    bool in_use = false;
+    int64_t last_used_op = 0;
+  };
+
+  void ReturnSlot(int slot);
+
+  std::shared_ptr<DataSource> source_;
+  int max_size_;
+
+  mutable std::mutex mu_;
+  std::condition_variable available_cv_;
+  std::vector<Slot> slots_;
+  int64_t op_counter_ = 0;
+  PoolStats stats_;
+};
+
+}  // namespace vizq::federation
+
+#endif  // VIZQUERY_FEDERATION_CONNECTION_POOL_H_

@@ -1,0 +1,94 @@
+#include "src/federation/data_source.h"
+
+#include <chrono>
+
+namespace vizq::federation {
+
+namespace {
+
+// Session over the in-process TDE. Temp tables live in a session-private
+// copy of the database map (tables themselves are shared, immutable).
+class TdeConnection : public Connection {
+ public:
+  TdeConnection(std::shared_ptr<tde::Database> base,
+                tde::QueryOptions options)
+      : session_db_(std::make_shared<tde::Database>(*base)),
+        engine_(session_db_),
+        options_(options) {
+    (void)session_db_->CreateSchema(tde::kTempSchema);
+  }
+
+  StatusOr<ResultTable> Execute(const query::CompiledQuery& cq,
+                                ExecutionInfo* info) override {
+    if (closed_) return FailedPrecondition("connection is closed");
+    auto started = std::chrono::steady_clock::now();
+    for (const query::TempTableSpec& spec : cq.temp_tables) {
+      if (!HasTempTable(spec.name)) {
+        VIZQ_RETURN_IF_ERROR(CreateTempTable(spec));
+      } else if (info != nullptr) {
+        info->reused_temp_table = true;
+      }
+    }
+    VIZQ_ASSIGN_OR_RETURN(tde::QueryResult result,
+                          engine_.Execute(cq.plan, options_));
+    if (info != nullptr) {
+      info->total_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      info->rows_returned = result.table.num_rows();
+    }
+    return std::move(result.table);
+  }
+
+  Status CreateTempTable(const query::TempTableSpec& spec) override {
+    if (closed_) return FailedPrecondition("connection is closed");
+    tde::TableBuilder builder(spec.name,
+                              {tde::ColumnInfo{spec.column, spec.type}});
+    for (const Value& v : spec.values) {
+      VIZQ_RETURN_IF_ERROR(builder.AddRow({v}));
+    }
+    VIZQ_ASSIGN_OR_RETURN(std::shared_ptr<tde::Table> table, builder.Finish());
+    return session_db_->AddTable(tde::kTempSchema, std::move(table));
+  }
+
+  bool HasTempTable(const std::string& name) const override {
+    return session_db_->GetTable(tde::kTempSchema, name).ok();
+  }
+
+  Status DropTempTable(const std::string& name) override {
+    return session_db_->DropTable(tde::kTempSchema, name);
+  }
+
+  std::vector<std::string> TempTableNames() const override {
+    return session_db_->ListTables(tde::kTempSchema);
+  }
+
+  void Close() override { closed_ = true; }
+
+ private:
+  std::shared_ptr<tde::Database> session_db_;
+  tde::TdeEngine engine_;
+  tde::QueryOptions options_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+TdeDataSource::TdeDataSource(std::string name,
+                             std::shared_ptr<tde::Database> db,
+                             tde::QueryOptions exec_options)
+    : name_(std::move(name)),
+      db_(std::move(db)),
+      exec_options_(exec_options),
+      capabilities_(query::Capabilities::Tde()),
+      dialect_(query::SqlDialect::Ansi()) {
+  dialect_.name = "tql";
+}
+
+StatusOr<std::unique_ptr<Connection>> TdeDataSource::Connect() {
+  return std::unique_ptr<Connection>(
+      std::make_unique<TdeConnection>(db_, exec_options_));
+}
+
+}  // namespace vizq::federation

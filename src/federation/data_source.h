@@ -1,0 +1,96 @@
+// Connections and data sources (§3.1, §3.5).
+//
+// "Tableau communicates with remote data sources by means of connections.
+// Most often a connection maps to a database server connection maintained
+// over a network stack." A Connection executes compiled queries and holds
+// remote session state — notably the temporary tables created for large
+// filters, which connection pooling deliberately preserves and reuses.
+
+#ifndef VIZQUERY_FEDERATION_DATA_SOURCE_H_
+#define VIZQUERY_FEDERATION_DATA_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result_table.h"
+#include "src/common/status.h"
+#include "src/query/compiler.h"
+#include "src/tde/engine.h"
+
+namespace vizq::federation {
+
+// Per-execution observability.
+struct ExecutionInfo {
+  double total_ms = 0;          // end-to-end time inside the connection
+  double queue_ms = 0;          // time waiting for backend admission
+  int64_t rows_returned = 0;
+  bool reused_temp_table = false;
+};
+
+// A live session against one data source. Thread-compatible: callers
+// serialize use of a single connection (concurrency comes from using
+// multiple connections, §3.5).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Runs a compiled query and streams back the tabular result. Required
+  // temp tables (cq.temp_tables) must have been created on this session.
+  virtual StatusOr<ResultTable> Execute(const query::CompiledQuery& cq,
+                                        ExecutionInfo* info = nullptr) = 0;
+
+  // Session temp-table state (§3.1, §5.3–5.4).
+  virtual Status CreateTempTable(const query::TempTableSpec& spec) = 0;
+  virtual bool HasTempTable(const std::string& name) const = 0;
+  virtual Status DropTempTable(const std::string& name) = 0;
+  virtual std::vector<std::string> TempTableNames() const = 0;
+
+  // Closing reclaims all remote session state.
+  virtual void Close() = 0;
+};
+
+// A backend plus its descriptive metadata.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const query::Capabilities& capabilities() const = 0;
+  virtual const query::SqlDialect& dialect() const = 0;
+
+  // Schema catalog for query compilation.
+  virtual const tde::Database& catalog() const = 0;
+
+  // Opens a new session. Expensive (configuration/metadata retrieval) —
+  // which is exactly why connections are pooled.
+  virtual StatusOr<std::unique_ptr<Connection>> Connect() = 0;
+};
+
+// The in-process TDE as a data source: zero network cost, parallel plans.
+class TdeDataSource : public DataSource {
+ public:
+  TdeDataSource(std::string name, std::shared_ptr<tde::Database> db,
+                tde::QueryOptions exec_options = {});
+
+  const std::string& name() const override { return name_; }
+  const query::Capabilities& capabilities() const override {
+    return capabilities_;
+  }
+  const query::SqlDialect& dialect() const override { return dialect_; }
+  const tde::Database& catalog() const override { return *db_; }
+  StatusOr<std::unique_ptr<Connection>> Connect() override;
+
+ private:
+  friend class TdeConnection;
+
+  std::string name_;
+  std::shared_ptr<tde::Database> db_;
+  tde::QueryOptions exec_options_;
+  query::Capabilities capabilities_;
+  query::SqlDialect dialect_;
+};
+
+}  // namespace vizq::federation
+
+#endif  // VIZQUERY_FEDERATION_DATA_SOURCE_H_

@@ -1,0 +1,109 @@
+// SimulatedDataSource: a stand-in for the commercial backends Tableau
+// talks to (SQL Server, MySQL-likes, MPP warehouses, throttled cloud
+// sources...). See DESIGN.md "Substitutions".
+//
+// The simulator executes queries *correctly* against an in-process TDE
+// database, then imposes the timing behaviour of the modeled architecture
+// (§3.5): connection-open cost, per-query dispatch overhead, CPU-bound
+// work proportional to rows scanned, a CPU pool shared by concurrent
+// queries (single-thread-per-query engines can't use more than one slot
+// per query; parallel-plan engines can), a server-side admission throttle,
+// a connection cap, and network transfer of the result rows. Waits are
+// real (sleeps), so wall-clock measurements over this source reproduce
+// the paper's concurrency effects even on a single-core host.
+
+#ifndef VIZQUERY_FEDERATION_SIMULATED_SOURCE_H_
+#define VIZQUERY_FEDERATION_SIMULATED_SOURCE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "src/federation/data_source.h"
+
+namespace vizq::federation {
+
+// Architecture/latency model knobs. Times are kept small so benches finish
+// quickly; ratios are what matter.
+struct PerformanceModel {
+  double connect_ms = 12.0;       // opening a session + metadata retrieval
+  double dispatch_ms = 1.0;       // per-query parse/plan/dispatch overhead
+  double rows_per_ms = 3000.0;    // scan speed of one CPU slot
+  int cpu_slots = 8;              // CPUs available on the backend
+  int max_parallel_per_query = 8; // intra-query parallelism cap (1 for
+                                  // single-thread-per-query engines)
+  double network_rtt_ms = 0.8;    // per request/response
+  double rows_per_ms_network = 5000.0;  // result streaming speed
+  double temp_table_row_ms = 0.002;     // temp-table upload per value
+  double session_ddl_lock_ms = 0.0;     // serialized DDL (§3.5's high-level
+                                        // lock pathology), charged globally
+};
+
+class SimulatedDataSource : public DataSource {
+ public:
+  // The `db` is the backend's data; `model` the timing behaviour;
+  // `capabilities` the functional/concurrency envelope (the admission
+  // throttle uses capabilities().max_concurrent_queries).
+  SimulatedDataSource(std::string name, std::shared_ptr<tde::Database> db,
+                      PerformanceModel model, query::Capabilities capabilities,
+                      query::SqlDialect dialect);
+
+  const std::string& name() const override { return name_; }
+  const query::Capabilities& capabilities() const override {
+    return capabilities_;
+  }
+  const query::SqlDialect& dialect() const override { return dialect_; }
+  const tde::Database& catalog() const override { return *db_; }
+  StatusOr<std::unique_ptr<Connection>> Connect() override;
+
+  const PerformanceModel& model() const { return model_; }
+
+  // Live connections (enforces capabilities().max_connections).
+  int open_connections() const;
+
+  // Total queries executed (across all connections).
+  int64_t queries_executed() const { return queries_executed_; }
+
+  // --- presets matching the §3.5 architecture discussion ---
+  static std::shared_ptr<SimulatedDataSource> SingleThreadedSql(
+      std::string name, std::shared_ptr<tde::Database> db);
+  static std::shared_ptr<SimulatedDataSource> ParallelWarehouse(
+      std::string name, std::shared_ptr<tde::Database> db);
+  static std::shared_ptr<SimulatedDataSource> ThrottledCloud(
+      std::string name, std::shared_ptr<tde::Database> db);
+
+  // --- backend internals, used by SimulatedConnection ---
+
+  // Backend-side CPU accounting: a query asking for `want` slots receives
+  // between 1 and `want` depending on idle capacity; slots are released
+  // when the work sleep finishes.
+  int AcquireCpuSlots(int want);
+  void ReleaseCpuSlots(int slots);
+
+  // Server-side admission control; returns queue wait in ms.
+  double AdmitQuery();
+  void FinishQuery();
+
+  void ConnectionClosed();
+
+ private:
+  std::string name_;
+  std::shared_ptr<tde::Database> db_;
+  PerformanceModel model_;
+  query::Capabilities capabilities_;
+  query::SqlDialect dialect_;
+
+  mutable std::mutex mu_;
+  std::condition_variable admission_cv_;
+  int running_queries_ = 0;
+  int used_cpu_slots_ = 0;
+  int open_connections_ = 0;
+  int64_t queries_executed_ = 0;
+};
+
+// Precise-enough sleep helper shared by the simulation layers.
+void SleepMs(double ms);
+
+}  // namespace vizq::federation
+
+#endif  // VIZQUERY_FEDERATION_SIMULATED_SOURCE_H_

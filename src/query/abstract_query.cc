@@ -1,0 +1,217 @@
+#include "src/query/abstract_query.h"
+
+#include <algorithm>
+
+#include "src/common/binary_io.h"
+
+namespace vizq::query {
+
+std::string Measure::EffectiveAlias() const {
+  if (!alias.empty()) return alias;
+  std::string out = AggFuncToString(func);
+  out += "(";
+  out += column;
+  out += ")";
+  return out;
+}
+
+std::string Measure::ToKeyString() const {
+  std::string out = AggFuncToString(func);
+  out += "(";
+  out += column.empty() ? "*" : column;
+  out += ") as ";
+  out += EffectiveAlias();
+  return out;
+}
+
+void AbstractQuery::Canonicalize() { filters.Normalize(); }
+
+std::string AbstractQuery::ToKeyString() const {
+  std::string out = "q{src=" + data_source + ";view=" + view + ";dims=";
+  // Dimensions are semantically a set for matching purposes, but output
+  // order matters for rendering; the key sorts them.
+  std::vector<std::string> dims = dimensions;
+  std::sort(dims.begin(), dims.end());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) out += ",";
+    out += dims[i];
+  }
+  out += ";aggs=";
+  std::vector<std::string> aggs;
+  aggs.reserve(measures.size());
+  for (const Measure& m : measures) aggs.push_back(m.ToKeyString());
+  std::sort(aggs.begin(), aggs.end());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += aggs[i];
+  }
+  out += ";where=" + filters.ToKeyString();
+  if (!order_by.empty()) {
+    out += ";order=";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ",";
+      out += order_by[i].by_alias;
+      out += order_by[i].ascending ? "+" : "-";
+    }
+  }
+  if (limit > 0) out += ";limit=" + std::to_string(limit);
+  out += "}";
+  return out;
+}
+
+std::vector<std::string> AbstractQuery::OutputNames() const {
+  std::vector<std::string> out = dimensions;
+  for (const Measure& m : measures) out.push_back(m.EffectiveAlias());
+  return out;
+}
+
+std::string AbstractQuery::Serialize() const {
+  BinaryWriter w;
+  w.Str(data_source);
+  w.Str(view);
+  w.U32(static_cast<uint32_t>(dimensions.size()));
+  for (const std::string& d : dimensions) w.Str(d);
+  w.U32(static_cast<uint32_t>(measures.size()));
+  for (const Measure& m : measures) {
+    w.U8(static_cast<uint8_t>(m.func));
+    w.Str(m.column);
+    w.Str(m.alias);
+  }
+  w.U32(static_cast<uint32_t>(filters.predicates.size()));
+  for (const ColumnPredicate& p : filters.predicates) {
+    w.Str(p.column);
+    w.U8(static_cast<uint8_t>(p.kind));
+    w.U32(static_cast<uint32_t>(p.values.size()));
+    for (const Value& v : p.values) w.Val(v);
+    w.U8(p.lower.has_value() ? 1 : 0);
+    if (p.lower.has_value()) w.Val(*p.lower);
+    w.U8(p.lower_inclusive ? 1 : 0);
+    w.U8(p.upper.has_value() ? 1 : 0);
+    if (p.upper.has_value()) w.Val(*p.upper);
+    w.U8(p.upper_inclusive ? 1 : 0);
+  }
+  w.U32(static_cast<uint32_t>(order_by.size()));
+  for (const OrderSpec& o : order_by) {
+    w.Str(o.by_alias);
+    w.U8(o.ascending ? 1 : 0);
+  }
+  w.I64(limit);
+  return w.TakeBytes();
+}
+
+StatusOr<AbstractQuery> AbstractQuery::Deserialize(const std::string& bytes) {
+  BinaryReader r(bytes);
+  AbstractQuery q;
+  auto fail = [] { return DataLoss("AbstractQuery: truncated"); };
+  if (!r.Str(&q.data_source) || !r.Str(&q.view)) return fail();
+  uint32_t n;
+  if (!r.U32(&n)) return fail();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string d;
+    if (!r.Str(&d)) return fail();
+    q.dimensions.push_back(std::move(d));
+  }
+  if (!r.U32(&n)) return fail();
+  for (uint32_t i = 0; i < n; ++i) {
+    Measure m;
+    uint8_t func;
+    if (!r.U8(&func) || !r.Str(&m.column) || !r.Str(&m.alias)) return fail();
+    m.func = static_cast<AggFunc>(func);
+    q.measures.push_back(std::move(m));
+  }
+  if (!r.U32(&n)) return fail();
+  for (uint32_t i = 0; i < n; ++i) {
+    ColumnPredicate p;
+    uint8_t kind, flag;
+    uint32_t nv;
+    if (!r.Str(&p.column) || !r.U8(&kind) || !r.U32(&nv)) return fail();
+    p.kind = static_cast<ColumnPredicate::Kind>(kind);
+    for (uint32_t v = 0; v < nv; ++v) {
+      Value val;
+      if (!r.Val(&val)) return fail();
+      p.values.push_back(std::move(val));
+    }
+    if (!r.U8(&flag)) return fail();
+    if (flag != 0) {
+      Value val;
+      if (!r.Val(&val)) return fail();
+      p.lower = std::move(val);
+    }
+    if (!r.U8(&flag)) return fail();
+    p.lower_inclusive = flag != 0;
+    if (!r.U8(&flag)) return fail();
+    if (flag != 0) {
+      Value val;
+      if (!r.Val(&val)) return fail();
+      p.upper = std::move(val);
+    }
+    if (!r.U8(&flag)) return fail();
+    p.upper_inclusive = flag != 0;
+    q.filters.predicates.push_back(std::move(p));
+  }
+  if (!r.U32(&n)) return fail();
+  for (uint32_t i = 0; i < n; ++i) {
+    OrderSpec o;
+    uint8_t asc;
+    if (!r.Str(&o.by_alias) || !r.U8(&asc)) return fail();
+    o.ascending = asc != 0;
+    q.order_by.push_back(std::move(o));
+  }
+  if (!r.I64(&q.limit)) return fail();
+  if (!r.AtEnd()) return DataLoss("AbstractQuery: trailing bytes");
+  return q;
+}
+
+QueryBuilder::QueryBuilder(std::string data_source, std::string view) {
+  q_.data_source = std::move(data_source);
+  q_.view = std::move(view);
+}
+
+QueryBuilder& QueryBuilder::Dim(std::string column) {
+  q_.dimensions.push_back(std::move(column));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Agg(AggFunc func, std::string column,
+                                std::string alias) {
+  q_.measures.push_back(Measure{func, std::move(column), std::move(alias)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::CountAll(std::string alias) {
+  q_.measures.push_back(
+      Measure{AggFunc::kCountStar, "", std::move(alias)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterIn(std::string column,
+                                     std::vector<Value> values) {
+  q_.filters.predicates.push_back(
+      ColumnPredicate::InSet(std::move(column), std::move(values)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterRange(std::string column,
+                                        std::optional<Value> lower,
+                                        std::optional<Value> upper) {
+  q_.filters.predicates.push_back(ColumnPredicate::Range(
+      std::move(column), std::move(lower), std::move(upper)));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(std::string alias, bool ascending) {
+  q_.order_by.push_back(OrderSpec{std::move(alias), ascending});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(int64_t n) {
+  q_.limit = n;
+  return *this;
+}
+
+AbstractQuery QueryBuilder::Build() {
+  q_.Canonicalize();
+  return q_;
+}
+
+}  // namespace vizq::query

@@ -1,0 +1,71 @@
+#include "src/query/capabilities.h"
+
+namespace vizq::query {
+
+Capabilities Capabilities::Tde() {
+  Capabilities c;
+  c.name = "tde";
+  c.supports_temp_tables = true;
+  c.supports_top_n = true;
+  c.max_in_list = 100000;
+  c.max_connections = 64;
+  c.max_concurrent_queries = 64;
+  c.single_thread_per_query = false;
+  c.supports_parallel_plans = true;
+  return c;
+}
+
+Capabilities Capabilities::SingleThreadedSql() {
+  Capabilities c;
+  c.name = "sql-basic";
+  c.supports_temp_tables = true;
+  c.supports_top_n = true;
+  c.max_in_list = 1000;
+  c.max_connections = 32;
+  c.max_concurrent_queries = 32;
+  c.single_thread_per_query = true;
+  c.supports_parallel_plans = false;
+  return c;
+}
+
+Capabilities Capabilities::ParallelWarehouse() {
+  Capabilities c;
+  c.name = "warehouse";
+  c.supports_temp_tables = true;
+  c.supports_top_n = true;
+  c.max_in_list = 10000;
+  c.max_connections = 16;
+  c.max_concurrent_queries = 8;
+  c.single_thread_per_query = false;
+  c.supports_parallel_plans = true;
+  return c;
+}
+
+Capabilities Capabilities::ThrottledCloud() {
+  Capabilities c;
+  c.name = "cloud-throttled";
+  c.supports_temp_tables = false;
+  c.supports_top_n = true;
+  c.max_in_list = 256;
+  c.max_connections = 4;
+  c.max_concurrent_queries = 2;
+  c.single_thread_per_query = true;
+  c.supports_parallel_plans = false;
+  return c;
+}
+
+Capabilities Capabilities::LegacyFileDriver() {
+  Capabilities c;
+  c.name = "legacy-file";
+  c.supports_temp_tables = false;
+  c.supports_top_n = false;
+  c.supports_subqueries = false;
+  c.max_in_list = 64;
+  c.max_connections = 1;
+  c.max_concurrent_queries = 1;
+  c.single_thread_per_query = true;
+  c.supports_parallel_plans = false;
+  return c;
+}
+
+}  // namespace vizq::query

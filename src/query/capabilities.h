@@ -1,0 +1,42 @@
+// Data-source capability descriptors (§3.1: "the query compiler
+// incorporates information about ... overall capabilities of the data
+// source, such as support for subqueries, temporary table creation and
+// indexing"; §3.5 catalogues the concurrency-relevant architecture
+// differences).
+
+#ifndef VIZQUERY_QUERY_CAPABILITIES_H_
+#define VIZQUERY_QUERY_CAPABILITIES_H_
+
+#include <string>
+
+namespace vizq::query {
+
+struct Capabilities {
+  std::string name = "generic";
+
+  // --- functional ---
+  bool supports_temp_tables = true;
+  bool supports_top_n = true;      // else results are fetched unlimited and
+                                   // the client applies top-n locally
+  bool supports_subqueries = true;
+  int max_in_list = 1000;          // larger enumerations must be
+                                   // externalized or the query rejected
+
+  // --- concurrency architecture (§3.5) ---
+  int max_connections = 16;        // server-imposed connection cap
+  int max_concurrent_queries = 16; // server-side admission throttle
+  bool single_thread_per_query = true;  // "many architectures use a single
+                                        // thread per query"
+  bool supports_parallel_plans = false; // SQL-Server/TDE-style engines
+
+  // Common presets used by tests, benches and examples.
+  static Capabilities Tde();               // in-process column store
+  static Capabilities SingleThreadedSql(); // classic row store, 1 thread/query
+  static Capabilities ParallelWarehouse(); // parallel plans, generous limits
+  static Capabilities ThrottledCloud();    // low concurrent-query admission
+  static Capabilities LegacyFileDriver();  // no temp tables, no top-n
+};
+
+}  // namespace vizq::query
+
+#endif  // VIZQUERY_QUERY_CAPABILITIES_H_

@@ -1,0 +1,325 @@
+#include "src/query/compiler.h"
+
+#include <algorithm>
+#include <set>
+
+namespace vizq::query {
+
+using tde::LogicalOpPtr;
+
+QueryCompiler::QueryCompiler(ViewDefinition view, Capabilities capabilities,
+                             SqlDialect dialect, const tde::Database* db)
+    : view_(std::move(view)),
+      capabilities_(std::move(capabilities)),
+      dialect_(std::move(dialect)),
+      db_(db) {
+  // Build the column ownership/type maps. Fact columns win name clashes.
+  auto add_table = [&](const std::string& path, int owner) {
+    auto table = db_->GetTable(path);
+    if (!table.ok()) return;
+    for (const tde::ColumnInfo& ci : (*table)->schema()) {
+      if (column_owner_.find(ci.name) == column_owner_.end()) {
+        column_owner_[ci.name] = owner;
+        column_types_[ci.name] = ci.type;
+      }
+    }
+  };
+  add_table(view_.fact_table, -1);
+  for (size_t j = 0; j < view_.joins.size(); ++j) {
+    add_table(view_.joins[j].dim_table, static_cast<int>(j));
+  }
+}
+
+StatusOr<int> QueryCompiler::ResolveColumn(const std::string& column) const {
+  auto it = column_owner_.find(column);
+  if (it == column_owner_.end()) {
+    return NotFound("column '" + column + "' not in view '" + view_.name +
+                    "'");
+  }
+  return it->second;
+}
+
+StatusOr<CompiledQuery> QueryCompiler::Compile(
+    const AbstractQuery& q, const CompilerOptions& options,
+    const ColumnDomains* domains) const {
+  CompiledQuery out;
+
+  // --- 1. predicate simplification using domains (§3.1) ---
+  PredicateSet filters = q.filters;
+  filters.Normalize();
+  if (options.simplify_by_domain && domains != nullptr) {
+    std::vector<ColumnPredicate> kept;
+    for (ColumnPredicate& p : filters.predicates) {
+      auto dit = domains->find(p.column);
+      bool covers_domain = false;
+      if (dit != domains->end() && !dit->second.empty()) {
+        ColumnPredicate domain_pred =
+            ColumnPredicate::InSet(p.column, dit->second);
+        // Filter keeping every domain value filters nothing.
+        covers_domain = domain_pred.Implies(p);
+      }
+      if (covers_domain) {
+        ++out.dropped_domain_filters;
+      } else {
+        kept.push_back(std::move(p));
+      }
+    }
+    filters.predicates = std::move(kept);
+  }
+
+  // --- 2. determine referenced columns and needed joins ---
+  std::set<std::string> referenced;
+  for (const std::string& d : q.dimensions) referenced.insert(d);
+  for (const Measure& m : q.measures) {
+    if (!m.column.empty()) referenced.insert(m.column);
+  }
+  for (const ColumnPredicate& p : filters.predicates) {
+    referenced.insert(p.column);
+  }
+  std::set<int> needed_joins_set;
+  for (const std::string& c : referenced) {
+    VIZQ_ASSIGN_OR_RETURN(int owner, ResolveColumn(c));
+    if (owner >= 0) needed_joins_set.insert(owner);
+  }
+  std::vector<int> needed_joins;
+  if (options.cull_joins) {
+    needed_joins.assign(needed_joins_set.begin(), needed_joins_set.end());
+    out.culled_joins =
+        static_cast<int>(view_.joins.size() - needed_joins.size());
+  } else {
+    for (size_t j = 0; j < view_.joins.size(); ++j) {
+      needed_joins.push_back(static_cast<int>(j));
+    }
+  }
+
+  // --- 3. externalization of large enumerations (§3.1) ---
+  std::vector<TempTableSpec> temps;
+  std::vector<ColumnPredicate> inline_preds;
+  std::vector<std::pair<std::string, std::string>> temp_joins;  // col, temp
+  int threshold =
+      std::min(options.externalize_threshold, capabilities_.max_in_list);
+  for (const ColumnPredicate& p : filters.predicates) {
+    bool externalize =
+        options.externalize_large_in &&
+        capabilities_.supports_temp_tables &&
+        p.kind == ColumnPredicate::Kind::kInSet &&
+        static_cast<int>(p.values.size()) > threshold;
+    if (!externalize &&
+        p.kind == ColumnPredicate::Kind::kInSet &&
+        static_cast<int>(p.values.size()) > capabilities_.max_in_list) {
+      return Unimplemented(
+          "IN-list of " + std::to_string(p.values.size()) +
+          " values exceeds backend limit and temp tables are unavailable");
+    }
+    if (externalize) {
+      TempTableSpec spec;
+      spec.name = dialect_.temp_table_prefix + "in_" + p.column + "_" +
+                  std::to_string(temps.size());
+      spec.column = "v";
+      spec.source_column = p.column;
+      auto tit = column_types_.find(p.column);
+      spec.type = tit != column_types_.end() ? tit->second : DataType::Int64();
+      spec.values = p.values;
+      temp_joins.emplace_back(p.column, spec.name);
+      temps.push_back(std::move(spec));
+      out.used_externalization = true;
+    } else {
+      inline_preds.push_back(p);
+    }
+  }
+
+  // --- 4. build the TQL plan ---
+  using namespace vizq::tde;
+  LogicalOpPtr plan = MakeScan(view_.fact_table);
+  for (int j : needed_joins) {
+    const ViewJoin& join = view_.joins[j];
+    plan = MakeJoin(JoinType::kInner,
+                    {{Col(join.fact_key), Col(join.dim_key)}}, plan,
+                    MakeScan(join.dim_table), join.referential);
+  }
+  for (const auto& [column, temp_name] : temp_joins) {
+    // The externalized enumeration acts as a semijoin filter. Values are
+    // distinct by construction, so an inner join adds no duplicates.
+    plan = MakeJoin(JoinType::kInner, {{Col(column), Col("v")}}, plan,
+                    MakeScan(std::string(tde::kTempSchema) + "." + temp_name),
+                    /*referential=*/false);
+  }
+  PredicateSet inline_set;
+  inline_set.predicates = inline_preds;
+  if (!inline_set.predicates.empty()) {
+    plan = MakeSelect(inline_set.ToExpr(), plan);
+  }
+
+  std::vector<NamedExpr> groups;
+  for (const std::string& d : q.dimensions) {
+    groups.push_back(NamedExpr{d, Col(d)});
+  }
+  std::vector<LogicalAgg> aggs;
+  for (const Measure& m : q.measures) {
+    LogicalAgg agg;
+    agg.func = m.func;
+    agg.name = m.EffectiveAlias();
+    if (!m.column.empty()) agg.arg = Col(m.column);
+    aggs.push_back(std::move(agg));
+  }
+  if (groups.empty() && aggs.empty()) {
+    return InvalidArgument("query has neither dimensions nor measures");
+  }
+  if (aggs.empty()) {
+    // Domain query: distinct dimension values.
+    std::vector<NamedExpr> projections = groups;
+    plan = MakeDistinct(MakeProject(std::move(projections), plan));
+  } else {
+    plan = MakeAggregate(std::move(groups), std::move(aggs), plan);
+  }
+
+  bool topn_remote = capabilities_.supports_top_n;
+  if (!q.order_by.empty() || q.has_limit()) {
+    std::vector<LogicalSortKey> keys;
+    for (const OrderSpec& o : q.order_by) {
+      keys.push_back(LogicalSortKey{Col(o.by_alias), o.ascending});
+    }
+    if (topn_remote) {
+      if (q.has_limit()) {
+        plan = MakeTopN(q.limit, std::move(keys), plan);
+      } else if (!keys.empty()) {
+        plan = MakeOrder(std::move(keys), plan);
+      }
+    } else {
+      out.requires_local_topn = q.has_limit() || !q.order_by.empty();
+    }
+  }
+
+  out.plan = std::move(plan);
+  out.temp_tables = std::move(temps);
+  out.sql = RenderSql(q, needed_joins, inline_set, out.temp_tables,
+                      topn_remote);
+  return out;
+}
+
+std::string QueryCompiler::RenderSql(const AbstractQuery& q,
+                                     const std::vector<int>& needed_joins,
+                                     const PredicateSet& filters,
+                                     const std::vector<TempTableSpec>& temps,
+                                     bool include_topn) const {
+  const SqlDialect& d = dialect_;
+  std::string sql = "SELECT ";
+  if (include_topn && q.has_limit() &&
+      d.limit_style == SqlDialect::LimitStyle::kTop) {
+    sql += "TOP " + std::to_string(q.limit) + " ";
+  }
+  bool first = true;
+  auto add_item = [&](const std::string& item) {
+    if (!first) sql += ", ";
+    sql += item;
+    first = false;
+  };
+  for (const std::string& dim : q.dimensions) {
+    add_item(d.QuoteIdentifier(dim));
+  }
+  for (const Measure& m : q.measures) {
+    std::string item;
+    switch (m.func) {
+      case AggFunc::kCountStar:
+        item = "COUNT(*)";
+        break;
+      case AggFunc::kCountDistinct:
+        item = "COUNT(DISTINCT " + d.QuoteIdentifier(m.column) + ")";
+        break;
+      default:
+        item = std::string(AggFuncToString(m.func)) + "(" +
+               d.QuoteIdentifier(m.column) + ")";
+        break;
+    }
+    item += " AS " + d.QuoteIdentifier(m.EffectiveAlias());
+    add_item(item);
+  }
+  if (q.dimensions.empty() && q.measures.empty()) sql += "1";
+
+  sql += " FROM " + d.QuoteIdentifier(view_.fact_table);
+  for (int j : needed_joins) {
+    const ViewJoin& join = view_.joins[j];
+    sql += " INNER JOIN " + d.QuoteIdentifier(join.dim_table) + " ON " +
+           d.QuoteIdentifier(view_.fact_table) + "." +
+           d.QuoteIdentifier(join.fact_key) + " = " +
+           d.QuoteIdentifier(join.dim_table) + "." +
+           d.QuoteIdentifier(join.dim_key);
+  }
+  for (const TempTableSpec& t : temps) {
+    // Temp names are already dialect-prefixed; quote-free by convention.
+    sql += " INNER JOIN " + t.name + " ON " +
+           d.QuoteIdentifier(t.source_column) + " = " + t.name + ".v";
+  }
+
+  bool first_pred = true;
+  auto add_pred = [&](const std::string& text) {
+    sql += first_pred ? " WHERE " : " AND ";
+    sql += text;
+    first_pred = false;
+  };
+  for (const ColumnPredicate& p : filters.predicates) {
+    bool as_date = false;
+    auto tit = column_types_.find(p.column);
+    if (tit != column_types_.end() && tit->second.kind == TypeKind::kDate) {
+      as_date = true;
+    }
+    if (p.kind == ColumnPredicate::Kind::kInSet) {
+      std::string text = d.QuoteIdentifier(p.column) + " IN (";
+      for (size_t i = 0; i < p.values.size(); ++i) {
+        if (i > 0) text += ", ";
+        text += d.RenderLiteral(p.values[i], as_date);
+      }
+      text += ")";
+      add_pred(text);
+    } else {
+      if (p.lower.has_value()) {
+        add_pred(d.QuoteIdentifier(p.column) +
+                 (p.lower_inclusive ? " >= " : " > ") +
+                 d.RenderLiteral(*p.lower, as_date));
+      }
+      if (p.upper.has_value()) {
+        add_pred(d.QuoteIdentifier(p.column) +
+                 (p.upper_inclusive ? " <= " : " < ") +
+                 d.RenderLiteral(*p.upper, as_date));
+      }
+    }
+  }
+
+  if (!q.dimensions.empty() && !q.measures.empty()) {
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < q.dimensions.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += d.QuoteIdentifier(q.dimensions[i]);
+    }
+  }
+  if (q.dimensions.empty() == false && q.measures.empty()) {
+    // Domain query renders as SELECT DISTINCT.
+    sql.replace(0, 6, "SELECT DISTINCT");
+  }
+
+  if (include_topn && !q.order_by.empty()) {
+    sql += " ORDER BY ";
+    for (size_t i = 0; i < q.order_by.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += d.QuoteIdentifier(q.order_by[i].by_alias);
+      sql += q.order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  if (include_topn && q.has_limit()) {
+    switch (d.limit_style) {
+      case SqlDialect::LimitStyle::kLimit:
+        sql += " LIMIT " + std::to_string(q.limit);
+        break;
+      case SqlDialect::LimitStyle::kFetchFirst:
+        sql += " FETCH FIRST " + std::to_string(q.limit) + " ROWS ONLY";
+        break;
+      case SqlDialect::LimitStyle::kTop:
+        break;  // rendered up front
+      case SqlDialect::LimitStyle::kNone:
+        break;
+    }
+  }
+  return sql;
+}
+
+}  // namespace vizq::query

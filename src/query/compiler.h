@@ -1,0 +1,130 @@
+// The query compiler (§3.1): turns an AbstractQuery over a view (single
+// table or star-schema joins) into an executable TQL plan plus the textual
+// remote query, applying structural simplifications on the way:
+//
+//   * join culling — dimension joins contributing no referenced columns
+//     are dropped (assuming the view's declared referential integrity);
+//   * predicate simplification using domain metadata — filters that keep
+//     the whole domain of a column are removed;
+//   * externalization of large enumerations — IN-lists beyond the
+//     backend's limit become temporary-table joins when the backend
+//     supports temp tables, or stay inline otherwise.
+
+#ifndef VIZQUERY_QUERY_COMPILER_H_
+#define VIZQUERY_QUERY_COMPILER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/query/abstract_query.h"
+#include "src/query/capabilities.h"
+#include "src/query/sql_dialect.h"
+#include "src/tde/plan/logical.h"
+#include "src/tde/storage/database.h"
+
+namespace vizq::query {
+
+// A dimension join of a star-schema view.
+struct ViewJoin {
+  std::string dim_table;  // table path in the backing database
+  std::string fact_key;   // column on the fact table
+  std::string dim_key;    // column on the dimension table
+  bool referential = true;
+};
+
+// A logical view: a fact table plus optional dimension joins. Column names
+// across the fact and joined dimensions must be unique (dimension key
+// columns excepted — references resolve to the fact side).
+struct ViewDefinition {
+  std::string name;
+  std::string fact_table;
+  std::vector<ViewJoin> joins;
+};
+
+// A temporary enumeration table the remote session must hold before the
+// query can run (§3.1 "externalization of large enumerations with
+// temporary secondary structures"; §5.3).
+struct TempTableSpec {
+  std::string name;           // session-scoped name, e.g. "#in_market_1"
+  std::string column;         // single column "v"
+  std::string source_column;  // the view column this enumeration filters
+  DataType type;
+  std::vector<Value> values;
+};
+
+struct CompiledQuery {
+  // Executable plan against the backing database. Temp tables appear as
+  // scans of "temp.<name>"; the executing session must register them.
+  tde::LogicalOpPtr plan;
+  // Dialect text — the remote query and the literal-cache key.
+  std::string sql;
+  std::vector<TempTableSpec> temp_tables;
+  // True when the backend cannot order/limit, so the caller must apply the
+  // query's top-n locally after retrieval.
+  bool requires_local_topn = false;
+
+  // Which simplifications fired (observability for tests and benches).
+  int culled_joins = 0;
+  int dropped_domain_filters = 0;
+  bool used_externalization = false;
+};
+
+// Per-column domain metadata used for predicate simplification.
+using ColumnDomains = std::map<std::string, std::vector<Value>>;
+
+struct CompilerOptions {
+  bool cull_joins = true;
+  bool simplify_by_domain = true;
+  bool externalize_large_in = true;
+  // Externalize above this many values even if the backend's hard
+  // max_in_list is higher (long inline lists are slow to plan remotely).
+  int externalize_threshold = 64;
+};
+
+class QueryCompiler {
+ public:
+  // `db` provides schema resolution for the view's tables; it must outlive
+  // the compiler. `domains` may be null.
+  QueryCompiler(ViewDefinition view, Capabilities capabilities,
+                SqlDialect dialect, const tde::Database* db);
+
+  // Column -> type map of the whole view (fact + joined dims).
+  const std::map<std::string, DataType>& view_columns() const {
+    return column_types_;
+  }
+
+  StatusOr<CompiledQuery> Compile(const AbstractQuery& q,
+                                  const CompilerOptions& options,
+                                  const ColumnDomains* domains) const;
+
+  StatusOr<CompiledQuery> Compile(const AbstractQuery& q) const {
+    return Compile(q, CompilerOptions(), nullptr);
+  }
+
+  const ViewDefinition& view() const { return view_; }
+  const Capabilities& capabilities() const { return capabilities_; }
+  const SqlDialect& dialect() const { return dialect_; }
+
+ private:
+  // Which source owns `column`: -1 = fact, otherwise join index.
+  StatusOr<int> ResolveColumn(const std::string& column) const;
+
+  std::string RenderSql(const AbstractQuery& q,
+                        const std::vector<int>& needed_joins,
+                        const PredicateSet& filters,
+                        const std::vector<TempTableSpec>& temps,
+                        bool include_topn) const;
+
+  ViewDefinition view_;
+  Capabilities capabilities_;
+  SqlDialect dialect_;
+  const tde::Database* db_;
+  std::map<std::string, int> column_owner_;       // column -> -1 | join idx
+  std::map<std::string, DataType> column_types_;  // column -> type
+};
+
+}  // namespace vizq::query
+
+#endif  // VIZQUERY_QUERY_COMPILER_H_

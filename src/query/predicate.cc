@@ -1,0 +1,255 @@
+#include "src/query/predicate.h"
+
+#include <algorithm>
+
+namespace vizq::query {
+
+namespace {
+
+// -1 / 0 / +1 comparison treating "missing" as the given infinity.
+int CompareBound(const std::optional<Value>& a, const std::optional<Value>& b,
+                 bool missing_is_low) {
+  if (!a.has_value() && !b.has_value()) return 0;
+  if (!a.has_value()) return missing_is_low ? -1 : 1;
+  if (!b.has_value()) return missing_is_low ? 1 : -1;
+  return a->Compare(*b);
+}
+
+}  // namespace
+
+ColumnPredicate ColumnPredicate::InSet(std::string column,
+                                       std::vector<Value> values) {
+  ColumnPredicate p;
+  p.column = std::move(column);
+  p.kind = Kind::kInSet;
+  p.values = std::move(values);
+  p.Canonicalize();
+  return p;
+}
+
+ColumnPredicate ColumnPredicate::Range(std::string column,
+                                       std::optional<Value> lower,
+                                       std::optional<Value> upper,
+                                       bool lower_inclusive,
+                                       bool upper_inclusive) {
+  ColumnPredicate p;
+  p.column = std::move(column);
+  p.kind = Kind::kRange;
+  p.lower = std::move(lower);
+  p.upper = std::move(upper);
+  p.lower_inclusive = lower_inclusive;
+  p.upper_inclusive = upper_inclusive;
+  return p;
+}
+
+void ColumnPredicate::Canonicalize() {
+  if (kind == Kind::kInSet) {
+    std::sort(values.begin(), values.end(),
+              [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+    values.erase(std::unique(values.begin(), values.end(),
+                             [](const Value& a, const Value& b) {
+                               return a.Equals(b);
+                             }),
+                 values.end());
+  }
+}
+
+bool ColumnPredicate::Implies(const ColumnPredicate& other) const {
+  if (kind == Kind::kInSet && other.kind == Kind::kInSet) {
+    // subset test (both canonicalized => sorted)
+    return std::includes(
+        other.values.begin(), other.values.end(), values.begin(),
+        values.end(),
+        [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  }
+  if (kind == Kind::kRange && other.kind == Kind::kRange) {
+    // [l1,u1] implies [l2,u2] iff l2 <= l1 and u1 <= u2 (with inclusivity).
+    int lo = CompareBound(lower, other.lower, /*missing_is_low=*/true);
+    if (lo < 0) return false;
+    if (lo == 0 && lower.has_value() && lower_inclusive &&
+        !other.lower_inclusive) {
+      return false;
+    }
+    int hi = CompareBound(upper, other.upper, /*missing_is_low=*/false);
+    if (hi > 0) return false;
+    if (hi == 0 && upper.has_value() && upper_inclusive &&
+        !other.upper_inclusive) {
+      return false;
+    }
+    return true;
+  }
+  if (kind == Kind::kInSet && other.kind == Kind::kRange) {
+    // Every member must fall inside the range.
+    for (const Value& v : values) {
+      if (other.lower.has_value()) {
+        int cmp = v.Compare(*other.lower);
+        if (cmp < 0 || (cmp == 0 && !other.lower_inclusive)) return false;
+      }
+      if (other.upper.has_value()) {
+        int cmp = v.Compare(*other.upper);
+        if (cmp > 0 || (cmp == 0 && !other.upper_inclusive)) return false;
+      }
+    }
+    return true;
+  }
+  // Range implying a finite set only when the set lists every value in the
+  // range — undecidable without a domain; conservatively no.
+  return false;
+}
+
+bool ColumnPredicate::EqualsPredicate(const ColumnPredicate& other) const {
+  if (column != other.column || kind != other.kind) return false;
+  if (kind == Kind::kInSet) {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!values[i].Equals(other.values[i])) return false;
+    }
+    return true;
+  }
+  auto bound_eq = [](const std::optional<Value>& a,
+                     const std::optional<Value>& b) {
+    if (a.has_value() != b.has_value()) return false;
+    return !a.has_value() || a->Equals(*b);
+  };
+  return bound_eq(lower, other.lower) && bound_eq(upper, other.upper) &&
+         lower_inclusive == other.lower_inclusive &&
+         upper_inclusive == other.upper_inclusive;
+}
+
+std::string ColumnPredicate::ToKeyString() const {
+  std::string out = column;
+  if (kind == Kind::kInSet) {
+    out += " in{";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ",";
+      out += values[i].ToString();
+    }
+    out += "}";
+  } else {
+    out += lower_inclusive ? " [" : " (";
+    out += lower.has_value() ? lower->ToString() : "-inf";
+    out += ",";
+    out += upper.has_value() ? upper->ToString() : "+inf";
+    out += upper_inclusive ? "]" : ")";
+  }
+  return out;
+}
+
+tde::ExprPtr ColumnPredicate::ToExpr() const {
+  using namespace vizq::tde;
+  if (kind == Kind::kInSet) {
+    return In(Col(column), values);
+  }
+  ExprPtr expr;
+  if (lower.has_value()) {
+    expr = Binary(lower_inclusive ? BinaryOp::kGe : BinaryOp::kGt,
+                  Col(column), Lit(*lower));
+  }
+  if (upper.has_value()) {
+    ExprPtr hi = Binary(upper_inclusive ? BinaryOp::kLe : BinaryOp::kLt,
+                        Col(column), Lit(*upper));
+    expr = expr == nullptr ? hi : And(expr, hi);
+  }
+  if (expr == nullptr) expr = Lit(true);  // unbounded range
+  return expr;
+}
+
+void PredicateSet::Normalize() {
+  std::vector<ColumnPredicate> out;
+  for (ColumnPredicate& p : predicates) {
+    p.Canonicalize();
+    bool merged = false;
+    for (ColumnPredicate& q : out) {
+      if (q.column != p.column || q.kind != p.kind) continue;
+      if (p.kind == ColumnPredicate::Kind::kInSet) {
+        // set intersection
+        std::vector<Value> isect;
+        std::set_intersection(
+            q.values.begin(), q.values.end(), p.values.begin(),
+            p.values.end(), std::back_inserter(isect),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+        q.values = std::move(isect);
+        merged = true;
+        break;
+      }
+      // range intersection: take tighter bounds
+      if (CompareBound(p.lower, q.lower, true) > 0 ||
+          (CompareBound(p.lower, q.lower, true) == 0 && !p.lower_inclusive)) {
+        q.lower = p.lower;
+        q.lower_inclusive = p.lower_inclusive;
+      }
+      if (CompareBound(p.upper, q.upper, false) < 0 ||
+          (CompareBound(p.upper, q.upper, false) == 0 && !p.upper_inclusive)) {
+        q.upper = p.upper;
+        q.upper_inclusive = p.upper_inclusive;
+      }
+      merged = true;
+      break;
+    }
+    if (!merged) out.push_back(std::move(p));
+  }
+  // Canonical order for key strings.
+  std::sort(out.begin(), out.end(),
+            [](const ColumnPredicate& a, const ColumnPredicate& b) {
+              if (a.column != b.column) return a.column < b.column;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  predicates = std::move(out);
+}
+
+const ColumnPredicate* PredicateSet::Find(const std::string& column) const {
+  for (const ColumnPredicate& p : predicates) {
+    if (p.column == column) return &p;
+  }
+  return nullptr;
+}
+
+bool PredicateSet::Implies(const PredicateSet& other) const {
+  for (const ColumnPredicate& need : other.predicates) {
+    bool satisfied = false;
+    for (const ColumnPredicate& have : predicates) {
+      if (have.column == need.column && have.Implies(need)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::vector<ColumnPredicate> PredicateSet::ResidualAgainst(
+    const PredicateSet& other) const {
+  std::vector<ColumnPredicate> residual;
+  for (const ColumnPredicate& p : predicates) {
+    bool guaranteed = false;
+    for (const ColumnPredicate& q : other.predicates) {
+      if (q.column == p.column && q.Implies(p)) {
+        guaranteed = true;
+        break;
+      }
+    }
+    if (!guaranteed) residual.push_back(p);
+  }
+  return residual;
+}
+
+std::string PredicateSet::ToKeyString() const {
+  std::string out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += predicates[i].ToKeyString();
+  }
+  return out;
+}
+
+tde::ExprPtr PredicateSet::ToExpr() const {
+  tde::ExprPtr expr;
+  for (const ColumnPredicate& p : predicates) {
+    tde::ExprPtr e = p.ToExpr();
+    expr = expr == nullptr ? e : tde::And(expr, e);
+  }
+  return expr;
+}
+
+}  // namespace vizq::query

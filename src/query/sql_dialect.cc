@@ -1,0 +1,72 @@
+#include "src/query/sql_dialect.h"
+
+#include "src/common/str_util.h"
+
+namespace vizq::query {
+
+std::string SqlDialect::QuoteIdentifier(const std::string& ident) const {
+  std::string out;
+  out += quote_open;
+  for (char ch : ident) {
+    out += ch;
+    if (ch == quote_close) out += ch;  // double embedded quotes
+  }
+  out += quote_close;
+  return out;
+}
+
+std::string SqlDialect::RenderLiteral(const Value& v, bool as_date) const {
+  if (v.is_null()) return "NULL";
+  if (v.is_bool()) {
+    if (boolean_literals) return v.bool_value() ? "TRUE" : "FALSE";
+    return v.bool_value() ? "1" : "0";
+  }
+  if (v.is_string()) {
+    std::string out = "'";
+    for (char ch : v.string_value()) {
+      out += ch;
+      if (ch == '\'') out += '\'';
+    }
+    out += "'";
+    return out;
+  }
+  if (as_date && v.is_int()) {
+    return date_literal_prefix + FormatDateDays(v.int_value()) +
+           date_literal_suffix;
+  }
+  return v.ToString();
+}
+
+SqlDialect SqlDialect::Ansi() { return SqlDialect(); }
+
+SqlDialect SqlDialect::MssqlLike() {
+  SqlDialect d;
+  d.name = "mssql";
+  d.quote_open = '[';
+  d.quote_close = ']';
+  d.limit_style = LimitStyle::kTop;
+  d.boolean_literals = false;
+  d.temp_table_prefix = "#";
+  return d;
+}
+
+SqlDialect SqlDialect::MysqlLike() {
+  SqlDialect d;
+  d.name = "mysql";
+  d.quote_open = '`';
+  d.quote_close = '`';
+  d.limit_style = LimitStyle::kLimit;
+  d.temp_table_prefix = "tmp_";
+  return d;
+}
+
+SqlDialect SqlDialect::BigWarehouse() {
+  SqlDialect d;
+  d.name = "warehouse";
+  d.limit_style = LimitStyle::kFetchFirst;
+  d.boolean_literals = false;
+  d.temp_table_prefix = "tmp_";
+  return d;
+}
+
+}  // namespace vizq::query

@@ -1,0 +1,46 @@
+// SQL dialect rendering (§3.1): "a simplified query is subsequently
+// translated into a textual representation that matches the dialect of the
+// underlying data source. While most supported data sources speak a variant
+// of SQL ... each has their own exceptions to the standard."
+//
+// The rendered text is what travels to the remote connection and what keys
+// the literal query cache; the simulated backends execute the equivalent
+// compiled plan.
+
+#ifndef VIZQUERY_QUERY_SQL_DIALECT_H_
+#define VIZQUERY_QUERY_SQL_DIALECT_H_
+
+#include <string>
+
+#include "src/common/value.h"
+
+namespace vizq::query {
+
+struct SqlDialect {
+  std::string name = "ansi";
+
+  enum class LimitStyle : uint8_t { kLimit, kTop, kFetchFirst, kNone };
+
+  char quote_open = '"';
+  char quote_close = '"';
+  LimitStyle limit_style = LimitStyle::kLimit;
+  // Some dialects lack a boolean type and compare to 1/0.
+  bool boolean_literals = true;
+  // Temp table name prefix ("#" on MSSQL-likes, "tmp_" elsewhere).
+  std::string temp_table_prefix = "#";
+  // Dialects differ in date literal syntax.
+  std::string date_literal_prefix = "DATE '";
+  std::string date_literal_suffix = "'";
+
+  std::string QuoteIdentifier(const std::string& ident) const;
+  std::string RenderLiteral(const Value& v, bool as_date = false) const;
+
+  static SqlDialect Ansi();
+  static SqlDialect MssqlLike();   // TOP n, # temp tables
+  static SqlDialect MysqlLike();   // backtick quoting, LIMIT
+  static SqlDialect BigWarehouse();// FETCH FIRST, no booleans
+};
+
+}  // namespace vizq::query
+
+#endif  // VIZQUERY_QUERY_SQL_DIALECT_H_

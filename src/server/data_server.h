@@ -1,0 +1,166 @@
+// The Data Server (§5): a proxy between clients and underlying databases
+// that lets published data sources — with their calculations and extracts
+// — be shared across workbooks without duplication.
+//
+// Clients connect to a published data source, receive its metadata, and
+// dispatch abstract queries; the Data Server parses them into the internal
+// representation, applies the user's row-level permission filters,
+// optimizes/compiles with the same pipeline Desktop uses (§5.3: "these
+// pipelines got unified"), and evaluates against the underlying database —
+// or entirely from its caches / in-memory temp tables when possible.
+//
+// Temporary tables (§5.3–5.4): a client uploads a large enumeration once
+// (CreateTempTable) and later queries reference it by name, cutting
+// client→server traffic; server-side, definitions are shared across
+// client connections and reclaimed when the last reference closes.
+
+#ifndef VIZQUERY_SERVER_DATA_SERVER_H_
+#define VIZQUERY_SERVER_DATA_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/dashboard/query_service.h"
+#include "src/server/permissions.h"
+#include "src/server/temp_table_registry.h"
+
+namespace vizq::server {
+
+// A data source published to the server: the view definition plus shared
+// calculations and access policy.
+struct PublishedDataSource {
+  std::string name;
+  query::ViewDefinition view;
+  // Named calculations shared by every workbook using this source
+  // (§5.2: "a complex calculation in a data source can be defined once and
+  // used everywhere"). Calculations are measures here; referencing one by
+  // name in a query's measures expands it.
+  std::map<std::string, query::Measure> calculations;
+  PermissionPolicy permissions;
+};
+
+// Metadata a client receives on connect (§5.2: "the client populates its
+// data window with this information").
+struct SourceMetadata {
+  std::string source_name;
+  std::vector<ResultColumn> columns;
+  std::vector<std::string> calculation_names;
+  bool supports_temp_tables = false;
+};
+
+// A query as a client sends it: an abstract query whose filters may
+// reference previously-created session temp tables by name.
+struct ClientQuery {
+  query::AbstractQuery query;
+  // column -> temp table name; expanded server-side into the enumeration.
+  std::map<std::string, std::string> temp_filters;
+};
+
+class DataServer;
+
+// A client's session with one published data source.
+class ServerSession {
+ public:
+  ~ServerSession();
+
+  const SourceMetadata& metadata() const { return metadata_; }
+  const std::string& user() const { return user_; }
+
+  // Uploads an enumeration once; later ClientQuery::temp_filters reference
+  // it by name. Definition storage is shared across sessions (§5.4).
+  Status CreateTempTable(const std::string& name, const std::string& column,
+                         DataType type, std::vector<Value> values);
+  Status DropTempTable(const std::string& name);
+  bool HasTempTable(const std::string& name) const;
+
+  StatusOr<ResultTable> Query(const ClientQuery& q,
+                              dashboard::BatchReport* report = nullptr);
+  StatusOr<std::vector<ResultTable>> QueryBatch(
+      const std::vector<ClientQuery>& batch,
+      dashboard::BatchReport* report = nullptr);
+
+  // Explicitly ends the session, reclaiming its temp-table references
+  // (§5.4: state "is reclaimed when the connection is closed or expired").
+  void Close();
+
+ private:
+  friend class DataServer;
+  ServerSession(DataServer* server, std::string source, std::string user,
+                SourceMetadata metadata)
+      : server_(server),
+        source_(std::move(source)),
+        user_(std::move(user)),
+        metadata_(std::move(metadata)) {}
+
+  DataServer* server_;
+  std::string source_;
+  std::string user_;
+  SourceMetadata metadata_;
+  std::map<std::string, std::shared_ptr<const query::TempTableSpec>> temps_;
+  bool closed_ = false;
+};
+
+struct DataServerOptions {
+  // §5.4: "If desired, in-memory temporary tables on Data Server can be
+  // disabled." Disabling forces clients to inline enumerations (more
+  // client<->server traffic) while still benefiting from database-side
+  // temp tables via the compiler.
+  bool enable_in_memory_temp_tables = true;
+  dashboard::BatchOptions batch;
+};
+
+class DataServer {
+ public:
+  explicit DataServer(DataServerOptions options = DataServerOptions())
+      : options_(options) {}
+
+  // Publishes `source` backed by `backend`. One QueryService (and cache
+  // stack, shared across all users) is created per published source.
+  Status Publish(PublishedDataSource source,
+                 std::shared_ptr<federation::DataSource> backend);
+
+  // Opens a session for `user`; fails when the policy denies access.
+  StatusOr<std::unique_ptr<ServerSession>> Connect(const std::string& user,
+                                                   const std::string& source);
+
+  std::vector<std::string> ListSources() const;
+
+  TempTableRegistry& temp_registry() { return temp_registry_; }
+  dashboard::QueryService* ServiceForTesting(const std::string& source);
+
+  // Total client->server values avoided by temp-table name references.
+  int64_t values_saved_by_temp_refs() const { return values_saved_; }
+
+ private:
+  friend class ServerSession;
+
+  struct Published {
+    PublishedDataSource source;
+    std::shared_ptr<dashboard::CacheStack> caches;
+    std::unique_ptr<dashboard::QueryService> service;
+  };
+
+  StatusOr<ResultTable> ExecuteForSession(ServerSession* session,
+                                          const ClientQuery& q,
+                                          dashboard::BatchReport* report);
+  StatusOr<std::vector<ResultTable>> ExecuteBatchForSession(
+      ServerSession* session, const std::vector<ClientQuery>& batch,
+      dashboard::BatchReport* report);
+
+  // Expands temp references and permission filters into a plain query.
+  StatusOr<query::AbstractQuery> ResolveClientQuery(ServerSession* session,
+                                                    const ClientQuery& q);
+
+  DataServerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Published> sources_;
+  TempTableRegistry temp_registry_;
+  int64_t values_saved_ = 0;
+};
+
+}  // namespace vizq::server
+
+#endif  // VIZQUERY_SERVER_DATA_SERVER_H_

@@ -1,0 +1,46 @@
+// Row-level permissions on published data sources (§5.2): "Data Server
+// also allows filters to be applied to a published data source to restrict
+// individual users' access to the data. For example, an individual
+// salesperson may only be able to see customers in their region, while
+// their manager can see customers in all regions."
+
+#ifndef VIZQUERY_SERVER_PERMISSIONS_H_
+#define VIZQUERY_SERVER_PERMISSIONS_H_
+
+#include <map>
+#include <string>
+
+#include "src/query/predicate.h"
+
+namespace vizq::server {
+
+class PermissionPolicy {
+ public:
+  // Grants `user` access only to rows satisfying `filter`. Users without
+  // an entry see everything (subject to deny_unlisted_users()).
+  void SetUserFilter(const std::string& user, query::PredicateSet filter) {
+    user_filters_[user] = std::move(filter);
+  }
+
+  void set_deny_unlisted_users(bool deny) { deny_unlisted_ = deny; }
+  bool deny_unlisted_users() const { return deny_unlisted_; }
+
+  bool HasUser(const std::string& user) const {
+    return user_filters_.find(user) != user_filters_.end();
+  }
+
+  // The predicates to merge into every query `user` issues (empty set =
+  // unrestricted).
+  const query::PredicateSet* FilterFor(const std::string& user) const {
+    auto it = user_filters_.find(user);
+    return it == user_filters_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, query::PredicateSet> user_filters_;
+  bool deny_unlisted_ = false;
+};
+
+}  // namespace vizq::server
+
+#endif  // VIZQUERY_SERVER_PERMISSIONS_H_

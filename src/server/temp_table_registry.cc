@@ -1,0 +1,59 @@
+#include "src/server/temp_table_registry.h"
+
+namespace vizq::server {
+
+std::string TempTableRegistry::ContentKey(const query::TempTableSpec& spec) {
+  std::string key = spec.source_column + "\x1f" + spec.column + "\x1f" +
+                    std::to_string(static_cast<int>(spec.type.kind)) + "\x1f";
+  for (const Value& v : spec.values) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+std::shared_ptr<const query::TempTableSpec> TempTableRegistry::Acquire(
+    const query::TempTableSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = ContentKey(spec);
+  auto it = definitions_.find(key);
+  if (it != definitions_.end()) {
+    ++it->second.refs;
+    ++shared_;
+    return it->second.def;
+  }
+  Shared shared;
+  shared.def = std::make_shared<const query::TempTableSpec>(spec);
+  shared.refs = 1;
+  auto def = shared.def;
+  definitions_.emplace(std::move(key), std::move(shared));
+  return def;
+}
+
+void TempTableRegistry::Release(
+    const std::shared_ptr<const query::TempTableSpec>& def) {
+  if (def == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = definitions_.begin(); it != definitions_.end(); ++it) {
+    if (it->second.def == def) {
+      if (--it->second.refs <= 0) definitions_.erase(it);
+      return;
+    }
+  }
+}
+
+int64_t TempTableRegistry::num_definitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(definitions_.size());
+}
+
+int64_t TempTableRegistry::total_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, shared] : definitions_) {
+    total += static_cast<int64_t>(shared.def->values.size());
+  }
+  return total;
+}
+
+}  // namespace vizq::server

@@ -1,0 +1,53 @@
+// Shared temp-table definitions (§5.4): "To alleviate the in-memory cost
+// of temporary tables, temporary table definitions are shared across
+// client connections. These definitions are updated as clients create and
+// drop temporary tables. The definitions are removed when all references
+// to them are removed."
+//
+// Definitions are deduplicated by content (column + value list); sessions
+// referencing the same enumeration share one in-memory copy.
+
+#ifndef VIZQUERY_SERVER_TEMP_TABLE_REGISTRY_H_
+#define VIZQUERY_SERVER_TEMP_TABLE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/query/compiler.h"
+
+namespace vizq::server {
+
+class TempTableRegistry {
+ public:
+  // Registers a reference to `spec`'s definition; identical contents share
+  // one definition. Returns the shared definition.
+  std::shared_ptr<const query::TempTableSpec> Acquire(
+      const query::TempTableSpec& spec);
+
+  // Drops one reference; the definition disappears with the last one.
+  void Release(const std::shared_ptr<const query::TempTableSpec>& def);
+
+  int64_t num_definitions() const;
+  // Total values held across definitions (the in-memory cost §5.4 bounds).
+  int64_t total_values() const;
+  // How many Acquire calls were served by an existing definition.
+  int64_t shared_acquisitions() const { return shared_; }
+
+ private:
+  static std::string ContentKey(const query::TempTableSpec& spec);
+
+  struct Shared {
+    std::shared_ptr<const query::TempTableSpec> def;
+    int64_t refs = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Shared> definitions_;  // content key -> shared def
+  int64_t shared_ = 0;
+};
+
+}  // namespace vizq::server
+
+#endif  // VIZQUERY_SERVER_TEMP_TABLE_REGISTRY_H_

@@ -1,0 +1,98 @@
+#include "src/server/workbook.h"
+
+namespace vizq::server {
+
+Status WorkbookRepository::PublishExtract(const std::string& source_name,
+                                          ExtractRefreshFn refresh) {
+  if (published_.find(source_name) != published_.end()) {
+    return AlreadyExists("published extract '" + source_name + "' exists");
+  }
+  PublishedExtract p;
+  p.refresh = std::move(refresh);
+  VIZQ_ASSIGN_OR_RETURN(p.current, p.refresh());
+  published_.emplace(source_name, std::move(p));
+  return OkStatus();
+}
+
+Status WorkbookRepository::AddSelfContainedWorkbook(const std::string& name,
+                                                    ExtractRefreshFn refresh) {
+  if (FindWorkbook(name) != nullptr) {
+    return AlreadyExists("workbook '" + name + "' exists");
+  }
+  Workbook wb;
+  wb.name = name;
+  VIZQ_ASSIGN_OR_RETURN(wb.embedded_extract, refresh());
+  workbooks_.push_back(std::move(wb));
+  embedded_refreshers_[name] = EmbeddedRefresh{std::move(refresh)};
+  return OkStatus();
+}
+
+Status WorkbookRepository::AddPublishedWorkbook(
+    const std::string& name, const std::string& source_name) {
+  if (FindWorkbook(name) != nullptr) {
+    return AlreadyExists("workbook '" + name + "' exists");
+  }
+  if (published_.find(source_name) == published_.end()) {
+    return NotFound("published extract '" + source_name + "' not found");
+  }
+  Workbook wb;
+  wb.name = name;
+  wb.published_source = source_name;
+  workbooks_.push_back(std::move(wb));
+  return OkStatus();
+}
+
+StatusOr<int> WorkbookRepository::RefreshAll() {
+  int workloads = 0;
+  // One refresh per published extract, shared by all referencing
+  // workbooks (§5.2: "Refreshing a single extract daily — rather than all
+  // copies of it — significantly reduces the query load").
+  for (auto& [name, p] : published_) {
+    VIZQ_ASSIGN_OR_RETURN(p.current, p.refresh());
+    ++workloads;
+  }
+  // One refresh per self-contained workbook: the redundant load.
+  for (Workbook& wb : workbooks_) {
+    if (!wb.is_self_contained()) continue;
+    auto it = embedded_refreshers_.find(wb.name);
+    if (it == embedded_refreshers_.end()) continue;
+    VIZQ_ASSIGN_OR_RETURN(wb.embedded_extract, it->second.refresh());
+    ++workloads;
+  }
+  return workloads;
+}
+
+int64_t WorkbookRepository::TotalExtractBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [name, p] : published_) {
+    if (p.current != nullptr) bytes += p.current->ApproxBytes();
+  }
+  for (const Workbook& wb : workbooks_) {
+    if (wb.embedded_extract != nullptr) {
+      bytes += wb.embedded_extract->ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
+const Workbook* WorkbookRepository::FindWorkbook(
+    const std::string& name) const {
+  for (const Workbook& wb : workbooks_) {
+    if (wb.name == name) return &wb;
+  }
+  return nullptr;
+}
+
+StatusOr<std::shared_ptr<tde::Database>> WorkbookRepository::ExtractFor(
+    const std::string& workbook) const {
+  const Workbook* wb = FindWorkbook(workbook);
+  if (wb == nullptr) return NotFound("workbook '" + workbook + "' not found");
+  if (wb->is_self_contained()) return wb->embedded_extract;
+  auto it = published_.find(wb->published_source);
+  if (it == published_.end()) {
+    return NotFound("published extract vanished");
+  }
+  return it->second.current;
+}
+
+}  // namespace vizq::server

@@ -1,0 +1,94 @@
+// Workbooks and extract sharing (§5.1–5.2).
+//
+// "Except for their connections to live data sources, Tableau workbooks
+// are self-contained. ... Bundling all data source definitions and
+// extracts within a workbook makes sharing a workbook simple, but
+// prevents other workbooks from sharing the contained calculations and
+// extracts. ... If hundreds of workbooks all use the same large extract,
+// considerable disk resources are consumed by redundant data. Refreshing
+// the workbooks' extracts daily ... incurs a significant and redundant
+// load on the underlying database." Publishing the data source to the
+// Data Server fixes both: one extract, one refresh.
+//
+// This module models exactly that trade-off so it can be asserted and
+// measured: a workbook either embeds its own extract copy or references a
+// published data source; the repository reports total extract bytes and
+// executes scheduled refreshes, counting the load they put on the
+// underlying ("live") source.
+
+#ifndef VIZQUERY_SERVER_WORKBOOK_H_
+#define VIZQUERY_SERVER_WORKBOOK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tde/storage/database.h"
+
+namespace vizq::server {
+
+struct Workbook {
+  std::string name;
+  // Exactly one of the two is set:
+  std::shared_ptr<tde::Database> embedded_extract;  // self-contained copy
+  std::string published_source;  // reference to a shared published extract
+
+  bool is_self_contained() const { return embedded_extract != nullptr; }
+};
+
+// Re-extracts from the live source, producing a fresh extract database.
+// Each invocation represents one full extraction workload on the backing
+// database.
+using ExtractRefreshFn = std::function<StatusOr<std::shared_ptr<tde::Database>>()>;
+
+class WorkbookRepository {
+ public:
+  // Registers a shared published extract refreshed by `refresh`.
+  Status PublishExtract(const std::string& source_name,
+                        ExtractRefreshFn refresh);
+
+  // Adds a self-contained workbook with its own embedded extract copy,
+  // refreshed independently by `refresh`.
+  Status AddSelfContainedWorkbook(const std::string& name,
+                                  ExtractRefreshFn refresh);
+
+  // Adds a workbook referencing a published extract.
+  Status AddPublishedWorkbook(const std::string& name,
+                              const std::string& source_name);
+
+  // The scheduled refresh (§2: "a schedule can be created to
+  // automatically refresh the extracts"): refreshes every embedded
+  // extract and every published extract exactly once. Returns the number
+  // of extraction workloads executed against the underlying database.
+  StatusOr<int> RefreshAll();
+
+  // Total bytes held in extracts (embedded copies + published ones).
+  int64_t TotalExtractBytes() const;
+
+  int num_workbooks() const { return static_cast<int>(workbooks_.size()); }
+  const Workbook* FindWorkbook(const std::string& name) const;
+
+  // The current extract database a workbook's queries would run against.
+  StatusOr<std::shared_ptr<tde::Database>> ExtractFor(
+      const std::string& workbook) const;
+
+ private:
+  struct PublishedExtract {
+    ExtractRefreshFn refresh;
+    std::shared_ptr<tde::Database> current;
+  };
+  struct EmbeddedRefresh {
+    ExtractRefreshFn refresh;
+  };
+
+  std::map<std::string, PublishedExtract> published_;
+  std::vector<Workbook> workbooks_;
+  std::map<std::string, EmbeddedRefresh> embedded_refreshers_;
+};
+
+}  // namespace vizq::server
+
+#endif  // VIZQUERY_SERVER_WORKBOOK_H_

@@ -1,0 +1,44 @@
+#include "src/tde/engine.h"
+
+#include "src/tde/plan/binder.h"
+#include "src/tde/plan/rewriter.h"
+#include "src/tde/plan/tql_parser.h"
+#include "src/tde/plan/translator.h"
+
+namespace vizq::tde {
+
+StatusOr<ResultTable> TdeEngine::Query(const std::string& tql) {
+  VIZQ_ASSIGN_OR_RETURN(QueryResult result, Execute(tql, QueryOptions()));
+  return std::move(result.table);
+}
+
+StatusOr<QueryResult> TdeEngine::Execute(const std::string& tql,
+                                         const QueryOptions& options) {
+  VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr plan, ParseTql(tql));
+  return Execute(plan, options);
+}
+
+StatusOr<LogicalOpPtr> TdeEngine::Compile(const LogicalOpPtr& plan,
+                                          const QueryOptions& options) const {
+  LogicalOpPtr working = plan->Clone();
+  VIZQ_RETURN_IF_ERROR(BindPlan(working, *db_));
+  VIZQ_RETURN_IF_ERROR(RewritePlan(&working));
+  VIZQ_RETURN_IF_ERROR(OptimizePlan(&working, options.optimizer));
+  VIZQ_RETURN_IF_ERROR(ParallelizePlan(&working, options.parallel));
+  return working;
+}
+
+StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
+                                         const QueryOptions& options) {
+  VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr compiled, Compile(plan, options));
+  QueryResult result;
+  result.stats = std::make_shared<ExecStats>();
+  result.plan_text = compiled->ToString();
+  Translator translator(result.stats.get(),
+                        options.serial_exchange_for_measurement);
+  VIZQ_ASSIGN_OR_RETURN(OperatorPtr root, translator.Translate(compiled));
+  VIZQ_ASSIGN_OR_RETURN(result.table, CollectToResultTable(root.get()));
+  return result;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,79 @@
+// TdeEngine: the public facade of the Tableau-Data-Engine-style column
+// store. Owns a Database; compiles and executes TQL queries (text or
+// logical trees) through the full pipeline:
+//
+//   parse -> bind -> rewrite -> optimize -> parallelize -> translate -> run
+//
+// Execution knobs (parallelism, local/global aggregation, range
+// partitioning, RLE range skipping, streaming aggregates) are exposed via
+// QueryOptions so benches can ablate each §4.2/§4.3 technique.
+
+#ifndef VIZQUERY_TDE_ENGINE_H_
+#define VIZQUERY_TDE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/result_table.h"
+#include "src/tde/plan/logical.h"
+#include "src/tde/plan/optimizer.h"
+#include "src/tde/plan/parallelizer.h"
+#include "src/tde/storage/database.h"
+
+namespace vizq::tde {
+
+struct QueryOptions {
+  OptimizerOptions optimizer;
+  ParallelOptions parallel;
+
+  // Benchmarking aid: run Exchange inputs serially with per-fraction
+  // timing (identical results; contention-free fraction times for the
+  // modeled-makespan reporting on single-core hosts — bench/bench_util.h).
+  bool serial_exchange_for_measurement = false;
+
+  // A convenient all-serial baseline.
+  static QueryOptions Serial() {
+    QueryOptions o;
+    o.parallel.enable_parallel = false;
+    return o;
+  }
+};
+
+// Execution outcome: the rows, the optimized plan (for tests / debugging)
+// and the collected runtime statistics.
+struct QueryResult {
+  ResultTable table;
+  std::string plan_text;
+  std::shared_ptr<ExecStats> stats;
+};
+
+class TdeEngine {
+ public:
+  explicit TdeEngine(std::shared_ptr<Database> db) : db_(std::move(db)) {}
+
+  Database& database() { return *db_; }
+  const Database& database() const { return *db_; }
+  std::shared_ptr<Database> shared_database() const { return db_; }
+
+  // Compiles and runs a TQL text query with default options.
+  StatusOr<ResultTable> Query(const std::string& tql);
+
+  // Full-control entry points.
+  StatusOr<QueryResult> Execute(const std::string& tql,
+                                const QueryOptions& options);
+  // Takes any (possibly unbound) logical plan; the plan is cloned, so the
+  // caller's tree is not mutated.
+  StatusOr<QueryResult> Execute(const LogicalOpPtr& plan,
+                                const QueryOptions& options);
+
+  // Compiles without running; returns the optimized + parallelized plan.
+  StatusOr<LogicalOpPtr> Compile(const LogicalOpPtr& plan,
+                                 const QueryOptions& options) const;
+
+ private:
+  std::shared_ptr<Database> db_;
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_ENGINE_H_

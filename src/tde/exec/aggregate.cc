@@ -1,0 +1,543 @@
+#include "src/tde/exec/aggregate.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace vizq::tde {
+
+namespace {
+
+// True when this spec's running sum is integral.
+bool SumIsIntegral(const AggSpec& spec) {
+  return spec.arg == nullptr ||
+         spec.arg->result_type.kind != TypeKind::kFloat64;
+}
+
+DataType AggOutputType(const AggSpec& spec) {
+  DataType arg_type =
+      spec.arg != nullptr ? spec.arg->result_type : DataType::Int64();
+  return AggResultType(spec.func, arg_type);
+}
+
+}  // namespace
+
+std::vector<ResultColumn> PartialStateColumns(const AggSpec& spec) {
+  std::vector<ResultColumn> out;
+  switch (spec.func) {
+    case AggFunc::kAvg:
+      out.push_back({spec.output_name + "$sum", DataType::Float64()});
+      out.push_back({spec.output_name + "$cnt", DataType::Int64()});
+      break;
+    case AggFunc::kSum:
+      out.push_back({spec.output_name,
+                     SumIsIntegral(spec) ? DataType::Int64()
+                                         : DataType::Float64()});
+      break;
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      out.push_back({spec.output_name, DataType::Int64()});
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      out.push_back({spec.output_name, spec.arg->result_type});
+      break;
+    case AggFunc::kCountDistinct:
+      // Not re-aggregable; the parallelizer never asks for a partial here.
+      out.push_back({spec.output_name, DataType::Int64()});
+      break;
+  }
+  return out;
+}
+
+BatchSchema MakeAggSchema(const std::vector<GroupExpr>& group_exprs,
+                          const std::vector<AggSpec>& specs, AggPhase phase,
+                          const BatchSchema& child_schema) {
+  BatchSchema schema;
+  for (const GroupExpr& g : group_exprs) {
+    schema.names.push_back(g.name);
+    ColumnVector proto(g.expr->result_type);
+    if (g.expr->kind == ExprKind::kColumnRef && g.expr->column_index >= 0 &&
+        g.expr->column_index < child_schema.num_columns()) {
+      proto.dict = child_schema.prototypes[g.expr->column_index].dict;
+    }
+    schema.prototypes.push_back(std::move(proto));
+  }
+  for (const AggSpec& spec : specs) {
+    if (phase == AggPhase::kPartial) {
+      for (const ResultColumn& rc : PartialStateColumns(spec)) {
+        schema.names.push_back(rc.name);
+        schema.prototypes.emplace_back(rc.type);
+      }
+    } else {
+      schema.names.push_back(spec.output_name);
+      schema.prototypes.emplace_back(AggOutputType(spec));
+    }
+  }
+  return schema;
+}
+
+HashAggregateOperator::HashAggregateOperator(OperatorPtr child,
+                                             std::vector<GroupExpr> group_exprs,
+                                             std::vector<AggSpec> specs,
+                                             AggPhase phase)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      specs_(std::move(specs)),
+      phase_(phase) {
+  schema_ = MakeAggSchema(group_exprs_, specs_, phase_, child_->schema());
+  group_store_.reserve(group_exprs_.size());
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    group_store_.push_back(ColumnVector::LayoutLike(schema_.prototypes[i]));
+  }
+  accums_.resize(specs_.size());
+}
+
+Status HashAggregateOperator::Open() {
+  consumed_ = false;
+  emit_cursor_ = 0;
+  num_groups_ = 0;
+  buckets_.clear();
+  for (auto& cv : group_store_) cv = ColumnVector::LayoutLike(cv);
+  for (auto& acc : accums_) acc = Accumulator{};
+  return child_->Open();
+}
+
+int64_t HashAggregateOperator::FindOrCreateGroup(
+    const std::vector<ColumnVector>& key_cols, int64_t row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const ColumnVector& kc : key_cols) {
+    h = HashCombine(h, kc.HashAt(row));
+  }
+  auto& bucket = buckets_[h];
+  for (int64_t candidate : bucket) {
+    bool equal = true;
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      if (group_store_[k].CompareAt(candidate, key_cols[k], row) != 0) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return candidate;
+  }
+  // New group.
+  int64_t g = num_groups_++;
+  for (size_t k = 0; k < key_cols.size(); ++k) {
+    group_store_[k].AppendFrom(key_cols[k], row);
+  }
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    Accumulator& acc = accums_[s];
+    acc.sum_d.push_back(0);
+    acc.sum_i.push_back(0);
+    acc.count.push_back(0);
+    acc.extreme.emplace_back();
+    acc.has_value.push_back(0);
+    if (specs_[s].func == AggFunc::kCountDistinct) {
+      acc.distinct.emplace_back();
+    }
+  }
+  bucket.push_back(g);
+  return g;
+}
+
+void HashAggregateOperator::UpdateAccumulator(int spec_idx, int64_t group,
+                                              const ColumnVector& arg_col,
+                                              int64_t row) {
+  const AggSpec& spec = specs_[spec_idx];
+  Accumulator& acc = accums_[spec_idx];
+  if (spec.func == AggFunc::kCountStar) {
+    ++acc.count[group];
+    return;
+  }
+  if (arg_col.IsNull(row)) return;  // aggregates skip nulls
+  switch (spec.func) {
+    case AggFunc::kSum:
+      if (SumIsIntegral(spec)) {
+        acc.sum_i[group] += arg_col.ints[row];
+      } else {
+        acc.sum_d[group] += arg_col.doubles[row];
+      }
+      acc.has_value[group] = 1;
+      break;
+    case AggFunc::kAvg:
+      acc.sum_d[group] += arg_col.type.kind == TypeKind::kFloat64
+                              ? arg_col.doubles[row]
+                              : static_cast<double>(arg_col.ints[row]);
+      ++acc.count[group];
+      break;
+    case AggFunc::kCount:
+      ++acc.count[group];
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      Value v = arg_col.GetValue(row);
+      if (acc.has_value[group] == 0) {
+        acc.extreme[group] = std::move(v);
+        acc.has_value[group] = 1;
+      } else {
+        int cmp = v.Compare(acc.extreme[group], arg_col.type.collation);
+        if ((spec.func == AggFunc::kMin && cmp < 0) ||
+            (spec.func == AggFunc::kMax && cmp > 0)) {
+          acc.extreme[group] = std::move(v);
+        }
+      }
+      break;
+    }
+    case AggFunc::kCountDistinct:
+      acc.distinct[group].insert(arg_col.GetValue(row));
+      break;
+    case AggFunc::kCountStar:
+      break;  // handled above
+  }
+}
+
+void HashAggregateOperator::UpdateFinalAccumulator(int spec_idx, int64_t group,
+                                                   const Batch& in,
+                                                   int first_col,
+                                                   int64_t row) {
+  const AggSpec& spec = specs_[spec_idx];
+  Accumulator& acc = accums_[spec_idx];
+  const ColumnVector& c0 = in.columns[first_col];
+  switch (spec.func) {
+    case AggFunc::kSum:
+      if (c0.IsNull(row)) break;
+      if (SumIsIntegral(spec)) {
+        acc.sum_i[group] += c0.ints[row];
+      } else {
+        acc.sum_d[group] += c0.doubles[row];
+      }
+      acc.has_value[group] = 1;
+      break;
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      if (!c0.IsNull(row)) acc.count[group] += c0.ints[row];
+      break;
+    case AggFunc::kAvg: {
+      const ColumnVector& c1 = in.columns[first_col + 1];
+      if (!c0.IsNull(row)) acc.sum_d[group] += c0.doubles[row];
+      if (!c1.IsNull(row)) acc.count[group] += c1.ints[row];
+      break;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (c0.IsNull(row)) break;
+      Value v = c0.GetValue(row);
+      if (acc.has_value[group] == 0) {
+        acc.extreme[group] = std::move(v);
+        acc.has_value[group] = 1;
+      } else {
+        int cmp = v.Compare(acc.extreme[group], c0.type.collation);
+        if ((spec.func == AggFunc::kMin && cmp < 0) ||
+            (spec.func == AggFunc::kMax && cmp > 0)) {
+          acc.extreme[group] = std::move(v);
+        }
+      }
+      break;
+    }
+    case AggFunc::kCountDistinct:
+      // Partial COUNTD is not combinable; the planner never builds this.
+      break;
+  }
+}
+
+Status HashAggregateOperator::Consume(const Batch& in) {
+  // Evaluate group keys.
+  std::vector<ColumnVector> key_cols;
+  key_cols.reserve(group_exprs_.size());
+  for (const GroupExpr& g : group_exprs_) {
+    VIZQ_ASSIGN_OR_RETURN(ColumnVector v, EvalExpr(*g.expr, in));
+    key_cols.push_back(std::move(v));
+  }
+
+  if (phase_ == AggPhase::kFinal) {
+    int first_col = static_cast<int>(group_exprs_.size());
+    for (int64_t r = 0; r < in.num_rows; ++r) {
+      int64_t g = FindOrCreateGroup(key_cols, r);
+      int col = first_col;
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        UpdateFinalAccumulator(static_cast<int>(s), g, in, col, r);
+        col += static_cast<int>(PartialStateColumns(specs_[s]).size());
+      }
+    }
+    return OkStatus();
+  }
+
+  // Evaluate agg args once per batch.
+  std::vector<ColumnVector> arg_cols(specs_.size());
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (specs_[s].arg != nullptr) {
+      VIZQ_ASSIGN_OR_RETURN(arg_cols[s], EvalExpr(*specs_[s].arg, in));
+    }
+  }
+  for (int64_t r = 0; r < in.num_rows; ++r) {
+    int64_t g = FindOrCreateGroup(key_cols, r);
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      UpdateAccumulator(static_cast<int>(s), g, arg_cols[s], r);
+    }
+  }
+  return OkStatus();
+}
+
+void HashAggregateOperator::EmitGroup(int64_t group, Batch* batch) const {
+  for (size_t k = 0; k < group_exprs_.size(); ++k) {
+    batch->columns[k].AppendFrom(group_store_[k], group);
+  }
+  int col = static_cast<int>(group_exprs_.size());
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const AggSpec& spec = specs_[s];
+    const Accumulator& acc = accums_[s];
+    if (phase_ == AggPhase::kPartial && spec.func == AggFunc::kAvg) {
+      batch->columns[col].AppendDouble(acc.sum_d[group]);
+      batch->columns[col + 1].AppendInt(acc.count[group]);
+      col += 2;
+      continue;
+    }
+    ColumnVector& out = batch->columns[col++];
+    switch (spec.func) {
+      case AggFunc::kSum:
+        if (acc.has_value[group] == 0) {
+          out.AppendNull();
+        } else if (SumIsIntegral(spec)) {
+          out.AppendInt(acc.sum_i[group]);
+        } else {
+          out.AppendDouble(acc.sum_d[group]);
+        }
+        break;
+      case AggFunc::kCount:
+      case AggFunc::kCountStar:
+        out.AppendInt(acc.count[group]);
+        break;
+      case AggFunc::kAvg:
+        if (acc.count[group] == 0) {
+          out.AppendNull();
+        } else {
+          out.AppendDouble(acc.sum_d[group] /
+                           static_cast<double>(acc.count[group]));
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        if (acc.has_value[group] == 0) {
+          out.AppendNull();
+        } else {
+          out.AppendValue(acc.extreme[group]);
+        }
+        break;
+      case AggFunc::kCountDistinct:
+        out.AppendInt(static_cast<int64_t>(acc.distinct[group].size()));
+        break;
+    }
+  }
+}
+
+StatusOr<bool> HashAggregateOperator::Next(Batch* batch) {
+  if (!consumed_) {
+    Batch in;
+    while (true) {
+      VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) break;
+      VIZQ_RETURN_IF_ERROR(Consume(in));
+    }
+    consumed_ = true;
+    // Scalar aggregation over an empty input still yields one row
+    // (complete/final phases only; empty partials are correct as empty).
+    if (group_exprs_.empty() && num_groups_ == 0 &&
+        phase_ != AggPhase::kPartial) {
+      std::vector<ColumnVector> no_keys;
+      FindOrCreateGroup(no_keys, 0);
+    }
+  }
+  if (emit_cursor_ >= num_groups_) return false;
+  *batch = schema_.NewBatch();
+  int64_t end = std::min(num_groups_, emit_cursor_ + kBatchRows);
+  for (int64_t g = emit_cursor_; g < end; ++g) EmitGroup(g, batch);
+  batch->num_rows = end - emit_cursor_;
+  emit_cursor_ = end;
+  return true;
+}
+
+// --- streaming aggregate ---
+
+StreamingAggregateOperator::StreamingAggregateOperator(
+    OperatorPtr child, std::vector<GroupExpr> group_exprs,
+    std::vector<AggSpec> specs)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      specs_(std::move(specs)) {
+  schema_ = MakeAggSchema(group_exprs_, specs_, AggPhase::kComplete,
+                          child_->schema());
+}
+
+Status StreamingAggregateOperator::Open() {
+  in_group_ = false;
+  done_ = false;
+  saw_any_row_ = false;
+  return child_->Open();
+}
+
+void StreamingAggregateOperator::StartGroup(
+    const std::vector<ColumnVector>& keys, int64_t row) {
+  current_key_.clear();
+  for (const ColumnVector& k : keys) current_key_.push_back(k.GetValue(row));
+  sum_d_.assign(specs_.size(), 0);
+  sum_i_.assign(specs_.size(), 0);
+  count_.assign(specs_.size(), 0);
+  extreme_.assign(specs_.size(), Value());
+  has_value_.assign(specs_.size(), 0);
+  distinct_.assign(specs_.size(), {});
+  in_group_ = true;
+}
+
+void StreamingAggregateOperator::UpdateGroup(int spec_idx,
+                                             const ColumnVector& arg_col,
+                                             int64_t row) {
+  const AggSpec& spec = specs_[spec_idx];
+  if (spec.func == AggFunc::kCountStar) {
+    ++count_[spec_idx];
+    return;
+  }
+  if (arg_col.IsNull(row)) return;
+  switch (spec.func) {
+    case AggFunc::kSum:
+      if (SumIsIntegral(spec)) {
+        sum_i_[spec_idx] += arg_col.ints[row];
+      } else {
+        sum_d_[spec_idx] += arg_col.doubles[row];
+      }
+      has_value_[spec_idx] = 1;
+      break;
+    case AggFunc::kAvg:
+      sum_d_[spec_idx] += arg_col.type.kind == TypeKind::kFloat64
+                              ? arg_col.doubles[row]
+                              : static_cast<double>(arg_col.ints[row]);
+      ++count_[spec_idx];
+      break;
+    case AggFunc::kCount:
+      ++count_[spec_idx];
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      Value v = arg_col.GetValue(row);
+      if (has_value_[spec_idx] == 0) {
+        extreme_[spec_idx] = std::move(v);
+        has_value_[spec_idx] = 1;
+      } else {
+        int cmp = v.Compare(extreme_[spec_idx], arg_col.type.collation);
+        if ((spec.func == AggFunc::kMin && cmp < 0) ||
+            (spec.func == AggFunc::kMax && cmp > 0)) {
+          extreme_[spec_idx] = std::move(v);
+        }
+      }
+      break;
+    }
+    case AggFunc::kCountDistinct:
+      distinct_[spec_idx].insert(arg_col.GetValue(row));
+      break;
+    case AggFunc::kCountStar:
+      break;
+  }
+}
+
+void StreamingAggregateOperator::FlushGroup(Batch* out) {
+  for (size_t k = 0; k < group_exprs_.size(); ++k) {
+    out->columns[k].AppendValue(current_key_[k]);
+  }
+  int col = static_cast<int>(group_exprs_.size());
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    ColumnVector& o = out->columns[col++];
+    switch (specs_[s].func) {
+      case AggFunc::kSum:
+        if (has_value_[s] == 0) {
+          o.AppendNull();
+        } else if (SumIsIntegral(specs_[s])) {
+          o.AppendInt(sum_i_[s]);
+        } else {
+          o.AppendDouble(sum_d_[s]);
+        }
+        break;
+      case AggFunc::kCount:
+      case AggFunc::kCountStar:
+        o.AppendInt(count_[s]);
+        break;
+      case AggFunc::kAvg:
+        if (count_[s] == 0) {
+          o.AppendNull();
+        } else {
+          o.AppendDouble(sum_d_[s] / static_cast<double>(count_[s]));
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        if (has_value_[s] == 0) {
+          o.AppendNull();
+        } else {
+          o.AppendValue(extreme_[s]);
+        }
+        break;
+      case AggFunc::kCountDistinct:
+        o.AppendInt(static_cast<int64_t>(distinct_[s].size()));
+        break;
+    }
+  }
+  ++out->num_rows;
+}
+
+StatusOr<bool> StreamingAggregateOperator::Next(Batch* batch) {
+  if (done_) return false;
+  *batch = schema_.NewBatch();
+  Batch in;
+  while (batch->num_rows < kBatchRows) {
+    VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) {
+      if (in_group_) {
+        FlushGroup(batch);
+        in_group_ = false;
+      } else if (!saw_any_row_ && group_exprs_.empty()) {
+        // Scalar aggregate over empty input: one default row.
+        std::vector<ColumnVector> no_keys;
+        StartGroup(no_keys, 0);
+        FlushGroup(batch);
+        in_group_ = false;
+      }
+      done_ = true;
+      return batch->num_rows > 0;
+    }
+    if (in.num_rows == 0) continue;
+    saw_any_row_ = true;
+
+    std::vector<ColumnVector> key_cols;
+    key_cols.reserve(group_exprs_.size());
+    for (const GroupExpr& g : group_exprs_) {
+      VIZQ_ASSIGN_OR_RETURN(ColumnVector v, EvalExpr(*g.expr, in));
+      key_cols.push_back(std::move(v));
+    }
+    std::vector<ColumnVector> arg_cols(specs_.size());
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      if (specs_[s].arg != nullptr) {
+        VIZQ_ASSIGN_OR_RETURN(arg_cols[s], EvalExpr(*specs_[s].arg, in));
+      }
+    }
+    for (int64_t r = 0; r < in.num_rows; ++r) {
+      bool same_group = in_group_;
+      if (in_group_) {
+        for (size_t k = 0; k < key_cols.size(); ++k) {
+          Value v = key_cols[k].GetValue(r);
+          if (v.Compare(current_key_[k], key_cols[k].type.collation) != 0) {
+            same_group = false;
+            break;
+          }
+        }
+      }
+      if (!same_group) {
+        if (in_group_) FlushGroup(batch);
+        StartGroup(key_cols, r);
+      }
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        UpdateGroup(static_cast<int>(s), arg_cols[s], r);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,139 @@
+// Aggregation operators.
+//
+// HashAggregateOperator supports three phases, which is how the
+// parallelizer expresses §4.2.3's strategies:
+//   kComplete — ordinary aggregation (serial plans, or parallel fractions
+//               under range partitioning where each group is wholly local).
+//   kPartial  — local aggregation below the Exchange; emits re-aggregable
+//               partial states (AVG decomposes into SUM and COUNT columns).
+//   kFinal    — global aggregation above the Exchange, combining partials.
+//
+// StreamingAggregateOperator handles input already grouped by the key
+// columns (sorted input is the sufficient condition the optimizer tracks,
+// §4.2.4); it holds one group at a time.
+
+#ifndef VIZQUERY_TDE_EXEC_AGGREGATE_H_
+#define VIZQUERY_TDE_EXEC_AGGREGATE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tde/exec/operators.h"
+
+namespace vizq::tde {
+
+// One aggregate computation: func over arg (arg is null for COUNT(*)).
+struct AggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  ExprPtr arg;  // bound against the child schema; nullptr for COUNT(*)
+  std::string output_name;
+};
+
+enum class AggPhase : uint8_t { kComplete, kPartial, kFinal };
+
+// A named grouping expression.
+struct GroupExpr {
+  std::string name;
+  ExprPtr expr;  // bound against the child schema
+};
+
+// Returns the partial-state column layout of `spec` (1 column for most
+// functions, SUM+COUNT for AVG). Used by the parallelizer to wire
+// kPartial -> Exchange -> kFinal plans.
+std::vector<ResultColumn> PartialStateColumns(const AggSpec& spec);
+
+class HashAggregateOperator : public Operator {
+ public:
+  // For kFinal, `child` must produce: group columns (in group_exprs order,
+  // referenced by index through the GroupExpr exprs) followed by the
+  // concatenated PartialStateColumns of each spec.
+  HashAggregateOperator(OperatorPtr child, std::vector<GroupExpr> group_exprs,
+                        std::vector<AggSpec> specs, AggPhase phase);
+
+  const BatchSchema& schema() const override { return schema_; }
+  Status Open() override;
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  struct Accumulator {
+    std::vector<double> sum_d;
+    std::vector<int64_t> sum_i;
+    std::vector<int64_t> count;
+    std::vector<Value> extreme;
+    std::vector<char> has_value;
+    std::vector<std::set<Value>> distinct;
+  };
+
+  Status Consume(const Batch& in);
+  int64_t FindOrCreateGroup(const std::vector<ColumnVector>& key_cols,
+                            int64_t row);
+  void UpdateAccumulator(int spec_idx, int64_t group,
+                         const ColumnVector& arg_col, int64_t row);
+  void UpdateFinalAccumulator(int spec_idx, int64_t group, const Batch& in,
+                              int first_col, int64_t row);
+  void EmitGroup(int64_t group, Batch* batch) const;
+
+  OperatorPtr child_;
+  std::vector<GroupExpr> group_exprs_;
+  std::vector<AggSpec> specs_;
+  AggPhase phase_;
+  BatchSchema schema_;
+
+  // Group storage: one ColumnVector per group expr, one row per group.
+  std::vector<ColumnVector> group_store_;
+  std::unordered_map<uint64_t, std::vector<int64_t>> buckets_;
+  int64_t num_groups_ = 0;
+  std::vector<Accumulator> accums_;
+
+  bool consumed_ = false;
+  int64_t emit_cursor_ = 0;
+};
+
+class StreamingAggregateOperator : public Operator {
+ public:
+  // Requires the child to deliver rows grouped by the group expressions
+  // (e.g. sorted by them). Same output schema as HashAggregate kComplete.
+  StreamingAggregateOperator(OperatorPtr child,
+                             std::vector<GroupExpr> group_exprs,
+                             std::vector<AggSpec> specs);
+
+  const BatchSchema& schema() const override { return schema_; }
+  Status Open() override;
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  void StartGroup(const std::vector<ColumnVector>& keys, int64_t row);
+  void UpdateGroup(int spec_idx, const ColumnVector& arg_col, int64_t row);
+  void FlushGroup(Batch* out);
+
+  OperatorPtr child_;
+  std::vector<GroupExpr> group_exprs_;
+  std::vector<AggSpec> specs_;
+  BatchSchema schema_;
+
+  bool in_group_ = false;
+  bool done_ = false;
+  bool saw_any_row_ = false;
+  std::vector<Value> current_key_;
+  // single-group accumulators
+  std::vector<double> sum_d_;
+  std::vector<int64_t> sum_i_;
+  std::vector<int64_t> count_;
+  std::vector<Value> extreme_;
+  std::vector<char> has_value_;
+  std::vector<std::set<Value>> distinct_;
+};
+
+// Output schema shared by both aggregate operators.
+BatchSchema MakeAggSchema(const std::vector<GroupExpr>& group_exprs,
+                          const std::vector<AggSpec>& specs, AggPhase phase,
+                          const BatchSchema& child_schema);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_AGGREGATE_H_

@@ -1,0 +1,90 @@
+#include "src/tde/exec/cost_profile.h"
+
+namespace vizq::tde {
+
+const CostProfile& CostProfile::Default() {
+  static const CostProfile kProfile;
+  return kProfile;
+}
+
+double EstimateExprCost(const Expr& expr, const CostProfile& profile) {
+  double cost = 0;
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      cost = profile.column_ref;
+      break;
+    case ExprKind::kLiteral:
+      cost = profile.literal;
+      break;
+    case ExprKind::kBinary:
+      switch (expr.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          cost = expr.result_type.kind == TypeKind::kFloat64
+                     ? profile.float_arith
+                     : profile.int_arith;
+          break;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          cost = (!expr.children.empty() &&
+                  expr.children[0]->result_type.is_string())
+                     ? profile.string_compare
+                     : profile.comparison;
+          break;
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          cost = profile.logical;
+          break;
+      }
+      break;
+    case ExprKind::kUnary:
+      cost = profile.logical;
+      break;
+    case ExprKind::kFunc:
+      switch (expr.func) {
+        case ScalarFunc::kAbs:
+          cost = profile.int_arith;
+          break;
+        case ScalarFunc::kLower:
+        case ScalarFunc::kUpper:
+        case ScalarFunc::kSubstr:
+          cost = profile.string_transform;
+          break;
+        case ScalarFunc::kStrLen:
+          cost = profile.string_compare;
+          break;
+        case ScalarFunc::kYear:
+        case ScalarFunc::kMonth:
+        case ScalarFunc::kWeekday:
+          cost = profile.date_part;
+          break;
+        case ScalarFunc::kIf:
+          cost = profile.logical;
+          break;
+      }
+      break;
+    case ExprKind::kIn:
+      cost = profile.in_probe +
+             (!expr.children.empty() &&
+                      expr.children[0]->result_type.is_string()
+                  ? profile.string_compare
+                  : 0);
+      break;
+    case ExprKind::kIsNull:
+      cost = profile.is_null;
+      break;
+  }
+  for (const ExprPtr& c : expr.children) {
+    cost += EstimateExprCost(*c, profile);
+  }
+  return cost;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,36 @@
+// Cost profile for elementary functions (§4.2.2): per-row cost constants,
+// obtained by empirical measurement, used by the parallelizer to decide how
+// expensive an expression is and hence how aggressively to parallelize.
+
+#ifndef VIZQUERY_TDE_EXEC_COST_PROFILE_H_
+#define VIZQUERY_TDE_EXEC_COST_PROFILE_H_
+
+#include "src/tde/exec/expression.h"
+
+namespace vizq::tde {
+
+// Relative per-row cost units. 1.0 ~ one int64 arithmetic op.
+struct CostProfile {
+  double column_ref = 0.25;
+  double literal = 0.05;
+  double int_arith = 1.0;
+  double float_arith = 1.2;
+  double comparison = 1.0;
+  double logical = 0.5;
+  double string_compare = 6.0;   // string ops are much more expensive
+  double string_transform = 12.0;  // lower/upper/substr
+  double date_part = 8.0;
+  double in_probe = 2.0;
+  double is_null = 0.3;
+
+  // The default profile; constants were measured on the evaluator in this
+  // repository (see bench_parallel_scan's expression sweep).
+  static const CostProfile& Default();
+};
+
+// Estimated per-row cost of evaluating `expr` under `profile`.
+double EstimateExprCost(const Expr& expr, const CostProfile& profile);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_COST_PROFILE_H_

@@ -1,0 +1,141 @@
+#include "src/tde/exec/exchange.h"
+
+#include <chrono>
+
+namespace vizq::tde {
+
+ExchangeOperator::ExchangeOperator(std::vector<OperatorPtr> inputs,
+                                   ExecStats* stats, bool serial_measurement)
+    : inputs_(std::move(inputs)),
+      stats_(stats),
+      serial_measurement_(serial_measurement) {}
+
+ExchangeOperator::~ExchangeOperator() { StopThreads(); }
+
+Status ExchangeOperator::Open() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.clear();
+    cancelled_ = false;
+    first_error_ = OkStatus();
+    live_producers_ = static_cast<int>(inputs_.size());
+    serial_done_ = false;
+  }
+  if (serial_measurement_) {
+    opened_ = true;
+    return OkStatus();  // inputs run lazily on first Next()
+  }
+  threads_.reserve(inputs_.size());
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    threads_.emplace_back([this, i] { ProducerLoop(static_cast<int>(i)); });
+  }
+  opened_ = true;
+  return OkStatus();
+}
+
+Status ExchangeOperator::RunInputsSerially() {
+  // Contention-free per-fraction timing: one input at a time, all batches
+  // buffered. max_queue_ does not apply in this mode.
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    auto started = std::chrono::steady_clock::now();
+    Operator* input = inputs_[i].get();
+    int64_t rows = 0;
+    VIZQ_RETURN_IF_ERROR(input->Open());
+    Batch batch;
+    while (true) {
+      VIZQ_ASSIGN_OR_RETURN(bool more, input->Next(&batch));
+      if (!more) break;
+      rows += batch.num_rows;
+      queue_.push_back(std::move(batch));
+    }
+    VIZQ_RETURN_IF_ERROR(input->Close());
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    if (stats_ != nullptr) stats_->AddFraction(seconds, rows);
+  }
+  live_producers_ = 0;
+  serial_done_ = true;
+  return OkStatus();
+}
+
+void ExchangeOperator::ProducerLoop(int input_index) {
+  auto started = std::chrono::steady_clock::now();
+  Operator* input = inputs_[input_index].get();
+  int64_t rows = 0;
+  Status status = input->Open();
+  if (status.ok()) {
+    Batch batch;
+    while (true) {
+      StatusOr<bool> more = input->Next(&batch);
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      if (!*more) break;
+      rows += batch.num_rows;
+      std::unique_lock<std::mutex> lock(mu_);
+      can_push_.wait(lock, [this] {
+        return cancelled_ || queue_.size() < max_queue_;
+      });
+      if (cancelled_) break;
+      queue_.push_back(std::move(batch));
+      can_pop_.notify_one();
+    }
+    Status close_status = input->Close();
+    if (status.ok()) status = close_status;
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (stats_ != nullptr) stats_->AddFraction(seconds, rows);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok() && first_error_.ok()) first_error_ = status;
+    --live_producers_;
+  }
+  can_pop_.notify_all();
+}
+
+StatusOr<bool> ExchangeOperator::Next(Batch* batch) {
+  if (serial_measurement_) {
+    if (!serial_done_) VIZQ_RETURN_IF_ERROR(RunInputsSerially());
+    if (queue_.empty()) return false;
+    *batch = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock, [this] {
+    return !queue_.empty() || live_producers_ == 0;
+  });
+  if (!queue_.empty()) {
+    *batch = std::move(queue_.front());
+    queue_.pop_front();
+    can_push_.notify_one();
+    return true;
+  }
+  if (!first_error_.ok()) return first_error_;
+  return false;
+}
+
+void ExchangeOperator::StopThreads() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+  }
+  can_push_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+Status ExchangeOperator::Close() {
+  StopThreads();
+  std::lock_guard<std::mutex> lock(mu_);
+  opened_ = false;
+  return first_error_;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,69 @@
+// The Exchange operator (§4.2.1): takes N inputs and produces one output,
+// running each input on its own thread — exactly the restricted N-to-1
+// form shipped in Tableau 9.0 (no repartitioning, no order preservation;
+// §4.2.2 explains the restriction and its consequence: everything above
+// the Exchange runs serially).
+//
+// Each producer thread's wall-clock time and row count are recorded into
+// ExecStats; on a single-core host these per-fraction timings let benches
+// report the modeled multi-core makespan (max over fractions) alongside
+// the measured single-core total.
+
+#ifndef VIZQUERY_TDE_EXEC_EXCHANGE_H_
+#define VIZQUERY_TDE_EXEC_EXCHANGE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/tde/exec/operators.h"
+
+namespace vizq::tde {
+
+class ExchangeOperator : public Operator {
+ public:
+  // All inputs must share one output schema. `stats` may be null.
+  // With `serial_measurement` set, inputs are executed one after another
+  // on the consumer thread (buffering their batches) instead of on
+  // producer threads: results are identical, but each fraction's recorded
+  // time is contention-free, which is what the modeled-makespan reporting
+  // on single-core hosts needs (see bench/bench_util.h).
+  ExchangeOperator(std::vector<OperatorPtr> inputs, ExecStats* stats,
+                   bool serial_measurement = false);
+  ~ExchangeOperator() override;
+
+  const BatchSchema& schema() const override { return inputs_[0]->schema(); }
+  Status Open() override;
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override;
+
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+
+ private:
+  void ProducerLoop(int input_index);
+  void StopThreads();
+  Status RunInputsSerially();
+
+  std::vector<OperatorPtr> inputs_;
+  ExecStats* stats_;
+
+  std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<Batch> queue_;
+  size_t max_queue_ = 8;
+  int live_producers_ = 0;
+  bool cancelled_ = false;
+  Status first_error_;
+  std::vector<std::thread> threads_;
+  bool opened_ = false;
+  bool serial_measurement_ = false;
+  bool serial_done_ = false;
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_EXCHANGE_H_

@@ -1,0 +1,135 @@
+#include "src/tde/exec/join.h"
+
+#include "src/common/rng.h"
+
+namespace vizq::tde {
+
+SharedBuildState::SharedBuildState(OperatorPtr right,
+                                   std::vector<ExprPtr> right_keys)
+    : right_(std::move(right)), right_keys_(std::move(right_keys)) {}
+
+Status SharedBuildState::EnsureBuilt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (built_) return OkStatus();
+  VIZQ_ASSIGN_OR_RETURN(int64_t rows, CollectToBatch(right_.get(), &build_));
+  key_cols_.clear();
+  key_cols_.reserve(right_keys_.size());
+  for (const ExprPtr& k : right_keys_) {
+    VIZQ_ASSIGN_OR_RETURN(ColumnVector v, EvalExpr(*k, build_));
+    key_cols_.push_back(std::move(v));
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    bool has_null_key = false;
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const ColumnVector& kc : key_cols_) {
+      if (kc.IsNull(r)) {
+        has_null_key = true;
+        break;
+      }
+      h = HashCombine(h, kc.HashAt(r));
+    }
+    if (has_null_key) continue;  // null keys never match
+    table_[h].push_back(r);
+  }
+  built_ = true;
+  return OkStatus();
+}
+
+const std::vector<int64_t>* SharedBuildState::Probe(uint64_t h) const {
+  auto it = table_.find(h);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+HashJoinOperator::HashJoinOperator(OperatorPtr left,
+                                   std::shared_ptr<SharedBuildState> build,
+                                   std::vector<ExprPtr> left_keys,
+                                   JoinType join_type)
+    : left_(std::move(left)),
+      build_(std::move(build)),
+      left_keys_(std::move(left_keys)),
+      join_type_(join_type) {
+  // Output schema: left columns, then right columns (renamed on collision).
+  const BatchSchema& ls = left_->schema();
+  const BatchSchema& rs = build_->right_schema();
+  schema_.names = ls.names;
+  schema_.prototypes = ls.prototypes;
+  for (int i = 0; i < rs.num_columns(); ++i) {
+    std::string name = rs.names[i];
+    if (schema_.FindColumn(name) >= 0) name = "r." + name;
+    schema_.names.push_back(std::move(name));
+    schema_.prototypes.push_back(ColumnVector::LayoutLike(rs.prototypes[i]));
+  }
+}
+
+Status HashJoinOperator::Open() {
+  VIZQ_RETURN_IF_ERROR(build_->EnsureBuilt());
+  return left_->Open();
+}
+
+StatusOr<bool> HashJoinOperator::Next(Batch* batch) {
+  Batch in;
+  VIZQ_ASSIGN_OR_RETURN(bool more, left_->Next(&in));
+  if (!more) return false;
+
+  std::vector<ColumnVector> probe_keys;
+  probe_keys.reserve(left_keys_.size());
+  for (const ExprPtr& k : left_keys_) {
+    VIZQ_ASSIGN_OR_RETURN(ColumnVector v, EvalExpr(*k, in));
+    probe_keys.push_back(std::move(v));
+  }
+
+  const std::vector<ColumnVector>& build_keys = build_->key_columns();
+  const Batch& build_batch = build_->build_batch();
+  int nleft = static_cast<int>(in.columns.size());
+
+  *batch = schema_.NewBatch();
+  int64_t out_rows = 0;
+  for (int64_t r = 0; r < in.num_rows; ++r) {
+    bool null_key = false;
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const ColumnVector& pk : probe_keys) {
+      if (pk.IsNull(r)) {
+        null_key = true;
+        break;
+      }
+      h = HashCombine(h, pk.HashAt(r));
+    }
+    bool matched = false;
+    if (!null_key) {
+      const std::vector<int64_t>* bucket = build_->Probe(h);
+      if (bucket != nullptr) {
+        for (int64_t br : *bucket) {
+          bool equal = true;
+          for (size_t k = 0; k < probe_keys.size(); ++k) {
+            if (probe_keys[k].CompareAt(r, build_keys[k], br) != 0) {
+              equal = false;
+              break;
+            }
+          }
+          if (!equal) continue;
+          matched = true;
+          for (int c = 0; c < nleft; ++c) {
+            batch->columns[c].AppendFrom(in.columns[c], r);
+          }
+          for (size_t c = 0; c < build_batch.columns.size(); ++c) {
+            batch->columns[nleft + c].AppendFrom(build_batch.columns[c], br);
+          }
+          ++out_rows;
+        }
+      }
+    }
+    if (!matched && join_type_ == JoinType::kLeftOuter) {
+      for (int c = 0; c < nleft; ++c) {
+        batch->columns[c].AppendFrom(in.columns[c], r);
+      }
+      for (size_t c = 0; c < build_batch.columns.size(); ++c) {
+        batch->columns[nleft + c].AppendNull();
+      }
+      ++out_rows;
+    }
+  }
+  batch->num_rows = out_rows;
+  return true;
+}
+
+}  // namespace vizq::tde

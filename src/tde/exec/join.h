@@ -1,0 +1,79 @@
+// Hash join (§4.2.2, Fig. 4): the right side is built into a hash table;
+// the left side probes. In parallel plans the right sub-tree forms its own
+// independent unit whose result — the SharedTable — and the single hash
+// table built from it are shared by every left-hand fraction. That sharing
+// is implemented by SharedBuildState: all per-fraction HashJoinOperator
+// instances hold the same state and the first Open() performs the build.
+
+#ifndef VIZQUERY_TDE_EXEC_JOIN_H_
+#define VIZQUERY_TDE_EXEC_JOIN_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tde/exec/operators.h"
+
+namespace vizq::tde {
+
+enum class JoinType : uint8_t { kInner, kLeftOuter };
+
+// One equi-join condition left_key = right_key.
+struct JoinKey {
+  ExprPtr left;   // bound against the left schema
+  ExprPtr right;  // bound against the right schema
+};
+
+// The materialized right side plus its hash table; thread-safe build-once.
+class SharedBuildState {
+ public:
+  // Takes ownership of the right-side plan. `right_keys` are bound against
+  // right->schema().
+  SharedBuildState(OperatorPtr right, std::vector<ExprPtr> right_keys);
+
+  // Runs the build if nobody has; concurrency-safe.
+  Status EnsureBuilt();
+
+  const BatchSchema& right_schema() const { return right_->schema(); }
+  const Batch& build_batch() const { return build_; }
+  const std::vector<ColumnVector>& key_columns() const { return key_cols_; }
+
+  // Row indices of build rows whose key hash is `h`.
+  const std::vector<int64_t>* Probe(uint64_t h) const;
+
+ private:
+  std::mutex mu_;
+  bool built_ = false;
+  OperatorPtr right_;
+  std::vector<ExprPtr> right_keys_;
+  Batch build_;
+  std::vector<ColumnVector> key_cols_;
+  std::unordered_map<uint64_t, std::vector<int64_t>> table_;
+};
+
+class HashJoinOperator : public Operator {
+ public:
+  // `left_keys` bound against left->schema(); paired positionally with the
+  // build state's right keys. Output schema: left columns then right
+  // columns (right column names prefixed with `right_prefix` when a name
+  // collision would result).
+  HashJoinOperator(OperatorPtr left, std::shared_ptr<SharedBuildState> build,
+                   std::vector<ExprPtr> left_keys, JoinType join_type);
+
+  const BatchSchema& schema() const override { return schema_; }
+  Status Open() override;
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override { return left_->Close(); }
+
+ private:
+  OperatorPtr left_;
+  std::shared_ptr<SharedBuildState> build_;
+  std::vector<ExprPtr> left_keys_;
+  JoinType join_type_;
+  BatchSchema schema_;
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_JOIN_H_

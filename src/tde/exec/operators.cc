@@ -1,0 +1,115 @@
+#include "src/tde/exec/operators.h"
+
+#include <algorithm>
+
+namespace vizq::tde {
+
+double ExecStats::MaxFractionSeconds() const {
+  double mx = 0;
+  for (const FractionStat& f : fractions) mx = std::max(mx, f.seconds);
+  return mx;
+}
+
+double ExecStats::SumFractionSeconds() const {
+  double sum = 0;
+  for (const FractionStat& f : fractions) sum += f.seconds;
+  return sum;
+}
+
+FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+StatusOr<bool> FilterOperator::Next(Batch* batch) {
+  Batch in;
+  while (true) {
+    VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    if (in.num_rows == 0) continue;
+    VIZQ_ASSIGN_OR_RETURN(std::vector<int64_t> selected,
+                          EvalPredicate(*predicate_, in));
+    *batch = schema().NewBatch();
+    for (size_t c = 0; c < in.columns.size(); ++c) {
+      // Keep the input's layout (e.g. dictionary) on the way through.
+      batch->columns[c] = ColumnVector::LayoutLike(in.columns[c]);
+      batch->columns[c].Reserve(static_cast<int64_t>(selected.size()));
+      for (int64_t row : selected) {
+        batch->columns[c].AppendFrom(in.columns[c], row);
+      }
+    }
+    batch->num_rows = static_cast<int64_t>(selected.size());
+    return true;  // possibly-empty batch; caller loops
+  }
+}
+
+ProjectOperator::ProjectOperator(OperatorPtr child,
+                                 std::vector<NamedExpr> exprs)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  for (const NamedExpr& ne : exprs_) {
+    schema_.names.push_back(ne.name);
+    ColumnVector proto(ne.expr->result_type);
+    // A bare column reference keeps its dictionary layout.
+    if (ne.expr->kind == ExprKind::kColumnRef &&
+        ne.expr->column_index >= 0 &&
+        ne.expr->column_index < child_->schema().num_columns()) {
+      proto.dict = child_->schema().prototypes[ne.expr->column_index].dict;
+    }
+    schema_.prototypes.push_back(std::move(proto));
+  }
+}
+
+StatusOr<bool> ProjectOperator::Next(Batch* batch) {
+  Batch in;
+  VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  batch->columns.clear();
+  batch->columns.reserve(exprs_.size());
+  for (const NamedExpr& ne : exprs_) {
+    VIZQ_ASSIGN_OR_RETURN(ColumnVector v, EvalExpr(*ne.expr, in));
+    batch->columns.push_back(std::move(v));
+  }
+  batch->num_rows = in.num_rows;
+  return true;
+}
+
+StatusOr<ResultTable> CollectToResultTable(Operator* op) {
+  const BatchSchema& schema = op->schema();
+  std::vector<ResultColumn> cols;
+  cols.reserve(schema.names.size());
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    cols.push_back(ResultColumn{schema.names[i], schema.prototypes[i].type});
+  }
+  ResultTable out(std::move(cols));
+  VIZQ_RETURN_IF_ERROR(op->Open());
+  Batch batch;
+  while (true) {
+    VIZQ_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
+    if (!more) break;
+    for (int64_t r = 0; r < batch.num_rows; ++r) {
+      out.AddRow(batch.GetRow(r));
+    }
+  }
+  VIZQ_RETURN_IF_ERROR(op->Close());
+  return out;
+}
+
+StatusOr<int64_t> CollectToBatch(Operator* op, Batch* out) {
+  *out = op->schema().NewBatch();
+  VIZQ_RETURN_IF_ERROR(op->Open());
+  Batch batch;
+  int64_t total = 0;
+  while (true) {
+    VIZQ_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
+    if (!more) break;
+    for (size_t c = 0; c < out->columns.size(); ++c) {
+      for (int64_t r = 0; r < batch.num_rows; ++r) {
+        out->columns[c].AppendFrom(batch.columns[c], r);
+      }
+    }
+    total += batch.num_rows;
+  }
+  out->num_rows = total;
+  VIZQ_RETURN_IF_ERROR(op->Close());
+  return total;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,119 @@
+// The Volcano execution framework (§4.1.3): every physical operator
+// implements Open/Next/Close and pulls Batches from its children. Streaming
+// operators (Filter, Project, Scan) emit rows as they consume them;
+// stop-and-go operators (Aggregate, Sort, TopN, the build side of HashJoin)
+// consume their whole input first.
+
+#ifndef VIZQUERY_TDE_EXEC_OPERATORS_H_
+#define VIZQUERY_TDE_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result_table.h"
+#include "src/common/status.h"
+#include "src/tde/exec/batch.h"
+#include "src/tde/exec/expression.h"
+
+namespace vizq::tde {
+
+// Execution statistics collected while a plan runs. Fraction timings are
+// appended by Exchange producer threads; on a single-core host they let
+// benches compute the modeled parallel makespan (max over fractions) that a
+// multi-core host would realize (see EXPERIMENTS.md).
+struct ExecStats {
+  struct FractionStat {
+    double seconds = 0;
+    int64_t rows = 0;
+  };
+
+  std::mutex mu;
+  std::vector<FractionStat> fractions;
+  int64_t rows_scanned = 0;
+  int64_t batches = 0;
+  int dop = 1;                  // degree of parallelism of the plan
+  bool used_parallel_plan = false;
+  bool used_local_global_agg = false;
+  bool used_range_partition = false;
+  bool used_rle_index = false;
+  bool used_streaming_agg = false;
+
+  void AddFraction(double seconds, int64_t rows) {
+    std::lock_guard<std::mutex> lock(mu);
+    fractions.push_back(FractionStat{seconds, rows});
+  }
+
+  // Modeled makespan of the parallel section: the slowest fraction.
+  double MaxFractionSeconds() const;
+  // Total work across fractions.
+  double SumFractionSeconds() const;
+};
+
+// Base class of all physical operators.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  // Output schema (valid after construction, before Open).
+  virtual const BatchSchema& schema() const = 0;
+
+  virtual Status Open() = 0;
+
+  // Produces the next batch into *batch (overwritten). Returns false at end
+  // of stream; a true return may carry an empty batch (callers skip those).
+  virtual StatusOr<bool> Next(Batch* batch) = 0;
+
+  virtual Status Close() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// --- Filter (the TQL Select operator): streaming predicate evaluation ---
+class FilterOperator : public Operator {
+ public:
+  // `predicate` must be bound against child->schema().
+  FilterOperator(OperatorPtr child, ExprPtr predicate);
+
+  const BatchSchema& schema() const override { return child_->schema(); }
+  Status Open() override { return child_->Open(); }
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+// --- Project: computes named expressions over the child ---
+class ProjectOperator : public Operator {
+ public:
+  struct NamedExpr {
+    std::string name;
+    ExprPtr expr;  // bound against the child schema
+  };
+
+  ProjectOperator(OperatorPtr child, std::vector<NamedExpr> exprs);
+
+  const BatchSchema& schema() const override { return schema_; }
+  Status Open() override { return child_->Open(); }
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<NamedExpr> exprs_;
+  BatchSchema schema_;
+};
+
+// Runs `op` to completion and materializes everything into a ResultTable.
+StatusOr<ResultTable> CollectToResultTable(Operator* op);
+
+// Runs `op` to completion, appending all batches into one big Batch with
+// `schema` layouts. Returns total rows.
+StatusOr<int64_t> CollectToBatch(Operator* op, Batch* out);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_OPERATORS_H_

@@ -1,0 +1,65 @@
+// RLE IndexTable range skipping (§4.3).
+//
+// For a run-length encoded column the optimizer can build an IndexTable of
+// (value, count, start) runs, push the filter onto it, and turn the
+// surviving runs into direct range accesses on the main table — "range
+// skipping expressed as a join in the query plan". Parallel execution
+// distributes the surviving ranges across threads.
+
+#ifndef VIZQUERY_TDE_EXEC_RLE_INDEX_H_
+#define VIZQUERY_TDE_EXEC_RLE_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/tde/exec/operators.h"
+#include "src/tde/storage/table.h"
+
+namespace vizq::tde {
+
+// A contiguous row range [start, start + count) of the main table.
+struct RowRange {
+  int64_t start = 0;
+  int64_t count = 0;
+};
+
+// Evaluates `predicate` once per run of the RLE column `rle_column` of
+// `table` (the operator-pushdown step: the filter runs over the IndexTable,
+// typically a few rows, instead of over every tuple). `predicate` must be
+// bound against a single-column schema holding that column. Returns the
+// row ranges of the runs whose value satisfies the predicate. Runs whose
+// value is null never match.
+StatusOr<std::vector<RowRange>> ComputeMatchingRuns(const Table& table,
+                                                    int rle_column,
+                                                    const ExprPtr& predicate);
+
+// Splits `ranges` into `dop` groups balanced by total row count.
+std::vector<std::vector<RowRange>> SplitRanges(
+    const std::vector<RowRange>& ranges, int dop);
+
+// Scans only the given ranges of `table`, producing `column_indices`.
+class RleIndexScanOperator : public Operator {
+ public:
+  RleIndexScanOperator(std::shared_ptr<const Table> table,
+                       std::vector<int> column_indices,
+                       std::vector<RowRange> ranges,
+                       ExecStats* stats = nullptr);
+
+  const BatchSchema& schema() const override { return schema_; }
+  Status Open() override;
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override { return OkStatus(); }
+
+ private:
+  std::shared_ptr<const Table> table_;
+  std::vector<int> column_indices_;
+  std::vector<RowRange> ranges_;
+  size_t range_idx_ = 0;
+  int64_t offset_in_range_ = 0;
+  BatchSchema schema_;
+  ExecStats* stats_;
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_RLE_INDEX_H_

@@ -1,0 +1,117 @@
+#include "src/tde/exec/scan.h"
+
+#include <algorithm>
+
+namespace vizq::tde {
+
+TableScanOperator::TableScanOperator(std::shared_ptr<const Table> table,
+                                     std::vector<int> column_indices,
+                                     int64_t row_begin, int64_t row_end,
+                                     ExecStats* stats)
+    : table_(std::move(table)),
+      column_indices_(std::move(column_indices)),
+      row_begin_(row_begin),
+      row_end_(row_end < 0 ? table_->num_rows() : row_end),
+      stats_(stats) {
+  for (int ci : column_indices_) {
+    const ColumnInfo& info = table_->column_info(ci);
+    schema_.names.push_back(info.name);
+    ColumnVector proto(info.type);
+    if (table_->column(ci)->is_dictionary_string()) {
+      proto.dict = table_->column(ci)->shared_dictionary();
+    }
+    schema_.prototypes.push_back(std::move(proto));
+  }
+}
+
+Status TableScanOperator::Open() {
+  cursor_ = row_begin_;
+  return OkStatus();
+}
+
+StatusOr<bool> TableScanOperator::Next(Batch* batch) {
+  if (cursor_ >= row_end_) return false;
+  int64_t count = std::min(kBatchRows, row_end_ - cursor_);
+  *batch = schema_.NewBatch();
+  for (size_t i = 0; i < column_indices_.size(); ++i) {
+    const Column& col = *table_->column(column_indices_[i]);
+    ColumnVector& cv = batch->columns[i];
+    std::vector<uint8_t> nulls;
+    switch (cv.type.kind) {
+      case TypeKind::kFloat64:
+        col.DecodeDoubles(cursor_, count, &cv.doubles, &nulls);
+        break;
+      case TypeKind::kString:
+        if (cv.dict != nullptr) {
+          col.DecodeInts(cursor_, count, &cv.ints, &nulls);
+        } else {
+          col.DecodeStrings(cursor_, count, &cv.strings, &nulls);
+        }
+        break;
+      default:
+        col.DecodeInts(cursor_, count, &cv.ints, &nulls);
+        break;
+    }
+    bool any_null = false;
+    for (uint8_t b : nulls) {
+      if (b != 0) {
+        any_null = true;
+        break;
+      }
+    }
+    if (any_null) cv.nulls = std::move(nulls);
+  }
+  batch->num_rows = count;
+  cursor_ += count;
+  if (stats_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    stats_->rows_scanned += count;
+    ++stats_->batches;
+  }
+  return true;
+}
+
+std::vector<int64_t> SplitRows(int64_t num_rows, int dop) {
+  if (dop < 1) dop = 1;
+  std::vector<int64_t> offsets;
+  offsets.reserve(dop + 1);
+  for (int i = 0; i <= dop; ++i) {
+    offsets.push_back(num_rows * i / dop);
+  }
+  return offsets;
+}
+
+std::vector<int64_t> SplitRowsOnSortedPrefix(const Table& table,
+                                             int prefix_len, int dop) {
+  const std::vector<int>& sort_cols = table.sort_columns();
+  std::vector<int> keys(sort_cols.begin(), sort_cols.begin() + prefix_len);
+  int64_t n = table.num_rows();
+  std::vector<int64_t> offsets{0};
+  if (n == 0 || dop <= 1) {
+    offsets.push_back(n);
+    return offsets;
+  }
+
+  auto keys_equal = [&](int64_t a, int64_t b) {
+    for (int k : keys) {
+      Value va = table.column(k)->GetValue(a);
+      Value vb = table.column(k)->GetValue(b);
+      if (va.Compare(vb, table.column_info(k).type.collation) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Start from even split points and push each forward to the next group
+  // boundary so no group straddles a fraction.
+  for (int i = 1; i < dop; ++i) {
+    int64_t b = std::max(n * i / dop, offsets.back() + 1);
+    while (b < n && keys_equal(b - 1, b)) ++b;
+    if (b < n && b > offsets.back()) offsets.push_back(b);
+  }
+  offsets.push_back(n);
+  return offsets;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,139 @@
+#include "src/tde/exec/sort.h"
+
+#include <algorithm>
+
+namespace vizq::tde {
+
+StatusOr<std::vector<int64_t>> ComputeSortOrder(
+    const Batch& batch, const std::vector<SortKey>& keys) {
+  // Evaluate every key expression once over the whole materialized input.
+  std::vector<ColumnVector> key_cols;
+  key_cols.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    VIZQ_ASSIGN_OR_RETURN(ColumnVector v, EvalExpr(*k.expr, batch));
+    key_cols.push_back(std::move(v));
+  }
+  std::vector<int64_t> order(batch.num_rows);
+  for (int64_t i = 0; i < batch.num_rows; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int64_t a, int64_t b) {
+                     for (size_t k = 0; k < keys.size(); ++k) {
+                       int cmp = key_cols[k].CompareAt(a, key_cols[k], b);
+                       if (cmp != 0) {
+                         return keys[k].ascending ? cmp < 0 : cmp > 0;
+                       }
+                     }
+                     return false;
+                   });
+  return order;
+}
+
+namespace {
+
+// Emits rows `order[cursor..cursor+n)` of `all` into `batch`.
+void EmitRows(const Batch& all, const std::vector<int64_t>& order,
+              int64_t cursor, int64_t n, const BatchSchema& schema,
+              Batch* batch) {
+  *batch = schema.NewBatch();
+  for (size_t c = 0; c < all.columns.size(); ++c) {
+    batch->columns[c] = ColumnVector::LayoutLike(all.columns[c]);
+    batch->columns[c].Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      batch->columns[c].AppendFrom(all.columns[c], order[cursor + i]);
+    }
+  }
+  batch->num_rows = n;
+}
+
+}  // namespace
+
+SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortOperator::Open() {
+  materialized_ = false;
+  cursor_ = 0;
+  return child_->Open();
+}
+
+Status SortOperator::Materialize() {
+  all_ = child_->schema().NewBatch();
+  Batch in;
+  while (true) {
+    VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    for (size_t c = 0; c < all_.columns.size(); ++c) {
+      for (int64_t r = 0; r < in.num_rows; ++r) {
+        all_.columns[c].AppendFrom(in.columns[c], r);
+      }
+    }
+    all_.num_rows += in.num_rows;
+  }
+  VIZQ_ASSIGN_OR_RETURN(order_, ComputeSortOrder(all_, keys_));
+  materialized_ = true;
+  return OkStatus();
+}
+
+StatusOr<bool> SortOperator::Next(Batch* batch) {
+  if (!materialized_) VIZQ_RETURN_IF_ERROR(Materialize());
+  if (cursor_ >= all_.num_rows) return false;
+  int64_t n = std::min(kBatchRows, all_.num_rows - cursor_);
+  EmitRows(all_, order_, cursor_, n, child_->schema(), batch);
+  cursor_ += n;
+  return true;
+}
+
+TopNOperator::TopNOperator(OperatorPtr child, std::vector<SortKey> keys,
+                           int64_t limit)
+    : child_(std::move(child)), keys_(std::move(keys)), limit_(limit) {}
+
+Status TopNOperator::Open() {
+  materialized_ = false;
+  cursor_ = 0;
+  return child_->Open();
+}
+
+Status TopNOperator::PruneTo(int64_t n) {
+  VIZQ_ASSIGN_OR_RETURN(std::vector<int64_t> order,
+                        ComputeSortOrder(buffer_, keys_));
+  int64_t keep = std::min(n, buffer_.num_rows);
+  Batch pruned;
+  EmitRows(buffer_, order, 0, keep, child_->schema(), &pruned);
+  buffer_ = std::move(pruned);
+  return OkStatus();
+}
+
+Status TopNOperator::Materialize() {
+  buffer_ = child_->schema().NewBatch();
+  Batch in;
+  while (true) {
+    VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    for (size_t c = 0; c < buffer_.columns.size(); ++c) {
+      for (int64_t r = 0; r < in.num_rows; ++r) {
+        buffer_.columns[c].AppendFrom(in.columns[c], r);
+      }
+    }
+    buffer_.num_rows += in.num_rows;
+    if (buffer_.num_rows > 4 * limit_ + kBatchRows) {
+      VIZQ_RETURN_IF_ERROR(PruneTo(limit_));
+    }
+  }
+  VIZQ_RETURN_IF_ERROR(PruneTo(limit_));
+  materialized_ = true;
+  return OkStatus();
+}
+
+StatusOr<bool> TopNOperator::Next(Batch* batch) {
+  if (!materialized_) VIZQ_RETURN_IF_ERROR(Materialize());
+  if (cursor_ >= buffer_.num_rows) return false;
+  int64_t n = std::min(kBatchRows, buffer_.num_rows - cursor_);
+  // buffer_ is already in sorted order after the final prune.
+  std::vector<int64_t> identity(n);
+  for (int64_t i = 0; i < n; ++i) identity[i] = cursor_ + i;
+  EmitRows(buffer_, identity, 0, n, child_->schema(), batch);
+  cursor_ += n;
+  return true;
+}
+
+}  // namespace vizq::tde

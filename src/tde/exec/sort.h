@@ -1,0 +1,68 @@
+// Order and TopN operators (stop-and-go).
+
+#ifndef VIZQUERY_TDE_EXEC_SORT_H_
+#define VIZQUERY_TDE_EXEC_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/tde/exec/operators.h"
+
+namespace vizq::tde {
+
+// One ordering key.
+struct SortKey {
+  ExprPtr expr;  // bound against the input schema
+  bool ascending = true;
+};
+
+class SortOperator : public Operator {
+ public:
+  SortOperator(OperatorPtr child, std::vector<SortKey> keys);
+
+  const BatchSchema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  Status Materialize();
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  Batch all_;
+  std::vector<int64_t> order_;
+  bool materialized_ = false;
+  int64_t cursor_ = 0;
+};
+
+// TopN: the first `limit` rows under the ordering. Keeps at most ~4*limit
+// rows materialized by periodically pruning.
+class TopNOperator : public Operator {
+ public:
+  TopNOperator(OperatorPtr child, std::vector<SortKey> keys, int64_t limit);
+
+  const BatchSchema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  Status Materialize();
+  Status PruneTo(int64_t n);
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  Batch buffer_;
+  bool materialized_ = false;
+  int64_t cursor_ = 0;
+};
+
+// Computes the permutation of rows of `batch` ordered by `keys`.
+StatusOr<std::vector<int64_t>> ComputeSortOrder(const Batch& batch,
+                                                const std::vector<SortKey>& keys);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_SORT_H_

@@ -1,0 +1,22 @@
+// Binder: resolves table paths against a database, binds expressions
+// (names -> column indices), type-checks, and derives output schemas —
+// the "binding and semantic analysis" stage of the TQL compiler (§4.1.2).
+
+#ifndef VIZQUERY_TDE_PLAN_BINDER_H_
+#define VIZQUERY_TDE_PLAN_BINDER_H_
+
+#include "src/tde/plan/logical.h"
+
+namespace vizq::tde {
+
+// Binds `op` (and its subtree) in place against `db`. Idempotent on
+// already-bound trees.
+Status BindPlan(const LogicalOpPtr& op, const Database& db);
+
+// Recomputes `op->output` from its bound children and expressions; used by
+// optimizer passes after restructuring a node. Children must be bound.
+Status DeriveOutput(LogicalOp* op);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_PLAN_BINDER_H_

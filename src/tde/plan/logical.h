@@ -1,0 +1,158 @@
+// TQL logical operator trees (§4.1.2).
+//
+// TQL is "a logical tree style language" with the classic operators:
+// TableScan, Select, Project, Join, Aggregate, Order, TopN (plus Distinct,
+// which the compiler rewrites into a GROUP BY). The parallelizer adds
+// Exchange nodes and aggregate phases; the optimizer may replace a
+// Select+Scan pair with an RleIndexScan (§4.3).
+//
+// Trees are built unbound (column names as strings), then bound against a
+// database (tables resolved, expressions type-checked, output schemas
+// derived). Plans are mutable shared_ptr trees during compilation; the
+// translator turns them into physical operator pipelines.
+
+#ifndef VIZQUERY_TDE_PLAN_LOGICAL_H_
+#define VIZQUERY_TDE_PLAN_LOGICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tde/exec/aggregate.h"
+#include "src/tde/exec/expression.h"
+#include "src/tde/exec/join.h"
+#include "src/tde/exec/rle_index.h"
+#include "src/tde/storage/database.h"
+
+namespace vizq::tde {
+
+enum class LogicalKind : uint8_t {
+  kScan,
+  kSelect,
+  kProject,
+  kJoin,
+  kAggregate,
+  kOrder,
+  kTopN,
+  kDistinct,       // rewritten to kAggregate by the compiler
+  kExchange,       // inserted by the parallelizer
+  kRleIndexScan,   // produced by the RLE range-skipping rewrite
+};
+
+const char* LogicalKindToString(LogicalKind k);
+
+// How a partitioned scan splits its rows across Exchange inputs (§4.2.3).
+enum class PartitionKind : uint8_t {
+  kNone = 0,    // serial scan
+  kRandom,      // contiguous even slices (TDE "random" partitioning)
+  kRangeOnSortPrefix,  // group-aligned slices on the sorted prefix
+};
+
+// A named output expression (projection entry / group-by entry).
+struct NamedExpr {
+  std::string name;
+  ExprPtr expr;
+};
+
+// A logical aggregate computation.
+struct LogicalAgg {
+  AggFunc func = AggFunc::kCountStar;
+  ExprPtr arg;  // nullptr for COUNT(*)
+  std::string name;
+};
+
+// A logical ordering key.
+struct LogicalSortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct LogicalOp;
+using LogicalOpPtr = std::shared_ptr<LogicalOp>;
+
+// Output column of a plan node, derived at bind time.
+struct OutputColumn {
+  std::string name;
+  DataType type;
+};
+
+struct LogicalOp {
+  LogicalKind kind = LogicalKind::kScan;
+  std::vector<LogicalOpPtr> children;
+
+  // --- kScan / kRleIndexScan ---
+  std::string table_path;
+  std::shared_ptr<const Table> table;  // resolved at bind time
+  std::vector<int> scan_columns;       // table column indices produced
+  // Parallel annotations (set by the parallelizer):
+  int scan_dop = 1;
+  PartitionKind partition = PartitionKind::kNone;
+  int range_prefix_len = 0;  // for kRangeOnSortPrefix
+  // kRleIndexScan only:
+  int rle_column = -1;        // table column index the runs belong to
+  ExprPtr run_predicate;      // bound against a 1-column schema of it
+
+  // --- kSelect ---
+  ExprPtr predicate;
+
+  // --- kProject ---
+  std::vector<NamedExpr> projections;
+
+  // --- kJoin ---
+  JoinType join_type = JoinType::kInner;
+  std::vector<std::pair<ExprPtr, ExprPtr>> join_keys;  // (left, right)
+  // "Assume referential integrity": every left (fact) row matches exactly
+  // one right (dimension) row. Gates join culling both ways (§6's join
+  // culling, and fact-table culling for domain queries §4.1.2).
+  bool referential = false;
+
+  // --- kAggregate / kDistinct ---
+  std::vector<NamedExpr> group_by;
+  std::vector<LogicalAgg> aggregates;
+  AggPhase agg_phase = AggPhase::kComplete;
+  bool prefer_streaming = false;  // set by the optimizer when sortedness
+                                  // makes a streaming aggregate applicable
+
+  // --- kOrder / kTopN ---
+  std::vector<LogicalSortKey> order_keys;
+  int64_t limit = 0;  // kTopN
+
+  // --- kExchange ---
+  int dop = 1;
+
+  // Derived at bind time.
+  bool bound = false;
+  std::vector<OutputColumn> output;
+
+  // The BatchSchema equivalent of `output` (no dictionary info; binding
+  // only needs names and types).
+  BatchSchema OutputBatchSchema() const;
+
+  int FindOutputColumn(const std::string& name) const;
+
+  // Deep copy of the plan tree (expressions are shared, they're immutable).
+  LogicalOpPtr Clone() const;
+
+  // Multi-line indented rendering for debugging and plan tests.
+  std::string ToString(int indent = 0) const;
+};
+
+// --- construction helpers (unbound) ---
+LogicalOpPtr MakeScan(std::string table_path);
+LogicalOpPtr MakeSelect(ExprPtr predicate, LogicalOpPtr child);
+LogicalOpPtr MakeProject(std::vector<NamedExpr> projections, LogicalOpPtr child);
+LogicalOpPtr MakeJoin(JoinType type,
+                      std::vector<std::pair<ExprPtr, ExprPtr>> keys,
+                      LogicalOpPtr left, LogicalOpPtr right,
+                      bool referential = false);
+LogicalOpPtr MakeAggregate(std::vector<NamedExpr> group_by,
+                           std::vector<LogicalAgg> aggregates,
+                           LogicalOpPtr child);
+LogicalOpPtr MakeOrder(std::vector<LogicalSortKey> keys, LogicalOpPtr child);
+LogicalOpPtr MakeTopN(int64_t limit, std::vector<LogicalSortKey> keys,
+                      LogicalOpPtr child);
+LogicalOpPtr MakeDistinct(LogicalOpPtr child);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_PLAN_LOGICAL_H_

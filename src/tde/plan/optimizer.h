@@ -1,0 +1,51 @@
+// Rule-based optimizer (§4.1.2): filter/project push-down and pull-up,
+// removal of unnecessary joins (join culling, including fact-table culling
+// for domain queries), removal of unnecessary orderings, constant folding
+// and predicate simplification, column pruning, streaming-aggregate
+// selection via derived sorting properties, and the RLE IndexTable
+// range-skipping rewrite (§4.3).
+
+#ifndef VIZQUERY_TDE_PLAN_OPTIMIZER_H_
+#define VIZQUERY_TDE_PLAN_OPTIMIZER_H_
+
+#include "src/tde/plan/logical.h"
+
+namespace vizq::tde {
+
+struct OptimizerOptions {
+  bool enable_constant_folding = true;
+  bool enable_select_pushdown = true;
+  bool enable_join_culling = true;
+  bool enable_column_pruning = true;
+  bool enable_streaming_agg = true;
+  bool enable_order_removal = true;
+
+  // RLE range skipping: kAuto applies it when the column's run table is
+  // small relative to the row count (the conservative stance of §4.3);
+  // kForce always applies it when structurally possible; kOff never.
+  enum class RleIndexMode : uint8_t { kOff, kAuto, kForce };
+  RleIndexMode rle_index = RleIndexMode::kAuto;
+  // kAuto threshold: apply when runs * kAutoRunFactor <= rows.
+  int64_t rle_auto_run_factor = 8;
+};
+
+// Optimizes the bound plan in place.
+Status OptimizePlan(LogicalOpPtr* root, const OptimizerOptions& options);
+
+// --- individual passes, exposed for tests and ablation benches ---
+Status FoldConstantsPass(LogicalOpPtr* root);
+Status SelectPushdownPass(LogicalOpPtr* root);
+Status ColumnPruningPass(LogicalOpPtr* root, bool enable_join_culling);
+Status RleIndexPass(LogicalOpPtr* root, const OptimizerOptions& options);
+Status StreamingAggPass(LogicalOpPtr* root);
+Status OrderRemovalPass(LogicalOpPtr* root);
+
+// Splits a predicate into its top-level conjuncts.
+void SplitConjuncts(const ExprPtr& predicate, std::vector<ExprPtr>* out);
+// Re-combines conjuncts with AND; a single conjunct returns itself.
+// `conjuncts` must be non-empty.
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_PLAN_OPTIMIZER_H_

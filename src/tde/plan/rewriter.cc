@@ -1,0 +1,46 @@
+#include "src/tde/plan/rewriter.h"
+
+#include "src/tde/plan/binder.h"
+
+namespace vizq::tde {
+
+namespace {
+
+// DISTINCT -> GROUP BY over every output column (§4.1.2).
+Status RewriteDistinct(LogicalOpPtr* node) {
+  LogicalOpPtr distinct = *node;
+  LogicalOpPtr child = distinct->children[0];
+  auto agg = std::make_shared<LogicalOp>();
+  agg->kind = LogicalKind::kAggregate;
+  agg->children = {child};
+  for (size_t i = 0; i < child->output.size(); ++i) {
+    agg->group_by.push_back(NamedExpr{
+        child->output[i].name,
+        ColIdx(static_cast<int>(i), child->output[i].type)});
+  }
+  agg->bound = true;
+  VIZQ_RETURN_IF_ERROR(DeriveOutput(agg.get()));
+  *node = agg;
+  return OkStatus();
+}
+
+Status RewriteNode(LogicalOpPtr* node) {
+  for (LogicalOpPtr& c : (*node)->children) {
+    VIZQ_RETURN_IF_ERROR(RewriteNode(&c));
+  }
+  if ((*node)->kind == LogicalKind::kDistinct) {
+    VIZQ_RETURN_IF_ERROR(RewriteDistinct(node));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status RewritePlan(LogicalOpPtr* root) {
+  if (!(*root)->bound) {
+    return FailedPrecondition("RewritePlan requires a bound plan");
+  }
+  return RewriteNode(root);
+}
+
+}  // namespace vizq::tde

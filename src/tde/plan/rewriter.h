@@ -1,0 +1,19 @@
+// Classic compiler rewrites (§4.1.2): normalizations applied to the bound
+// tree before rule-based optimization. The headline one from the paper is
+// expressing SELECT DISTINCT as a GROUP BY query; dictionary decompression
+// is likewise modeled with regular logical operators (the planner keeps
+// filters in token space — see optimizer.cc's dictionary predicate rewrite).
+
+#ifndef VIZQUERY_TDE_PLAN_REWRITER_H_
+#define VIZQUERY_TDE_PLAN_REWRITER_H_
+
+#include "src/tde/plan/logical.h"
+
+namespace vizq::tde {
+
+// Applies normalizing rewrites in place. The plan must be bound.
+Status RewritePlan(LogicalOpPtr* root);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_PLAN_REWRITER_H_

@@ -1,0 +1,379 @@
+#include "src/tde/plan/tql_parser.h"
+
+#include <cctype>
+
+#include "src/common/str_util.h"
+
+namespace vizq::tde {
+
+namespace {
+
+// --- s-expression reader ---
+
+struct Sexp {
+  // Exactly one of: atom (non-empty) or list.
+  std::string atom;
+  bool is_string_literal = false;
+  bool is_date_literal = false;
+  std::vector<Sexp> list;
+  bool is_atom() const { return list.empty() && !atom.empty(); }
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& text) : text_(text) {}
+
+  StatusOr<Sexp> ReadSexp() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return InvalidArgument("unexpected end of TQL");
+    char ch = text_[pos_];
+    if (ch == '(') {
+      ++pos_;
+      Sexp out;
+      out.atom.clear();
+      while (true) {
+        SkipWhitespace();
+        if (pos_ >= text_.size()) {
+          return InvalidArgument("unbalanced '(' in TQL");
+        }
+        if (text_[pos_] == ')') {
+          ++pos_;
+          return out;
+        }
+        VIZQ_ASSIGN_OR_RETURN(Sexp child, ReadSexp());
+        out.list.push_back(std::move(child));
+      }
+    }
+    if (ch == ')') return InvalidArgument("unexpected ')' in TQL");
+    if (ch == '"' || (ch == 'd' && pos_ + 1 < text_.size() &&
+                      text_[pos_ + 1] == '"')) {
+      Sexp out;
+      if (ch == 'd') {
+        out.is_date_literal = true;
+        ++pos_;
+      } else {
+        out.is_string_literal = true;
+      }
+      ++pos_;  // opening quote
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        s += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) {
+        return InvalidArgument("unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      out.atom = std::move(s);
+      if (out.atom.empty()) out.atom = "\xff";  // keep atomhood for ""
+      return out;
+    }
+    // Bare atom.
+    Sexp out;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      out.atom += text_[pos_++];
+    }
+    return out;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char ch = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        ++pos_;
+      } else if (ch == ';') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipWhitespace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string StringOf(const Sexp& s) {
+  return s.atom == "\xff" ? std::string() : s.atom;
+}
+
+// --- expression parsing ---
+
+StatusOr<ExprPtr> ParseExprSexp(const Sexp& s);
+
+StatusOr<Value> ParseValueSexp(const Sexp& s) {
+  if (!s.is_atom()) return InvalidArgument("expected a literal value");
+  if (s.is_string_literal) return Value(StringOf(s));
+  if (s.is_date_literal) {
+    auto days = ParseDateDays(s.atom);
+    if (!days) return InvalidArgument("bad date literal '" + s.atom + "'");
+    return Value(*days);
+  }
+  if (s.atom == "null") return Value::Null();
+  if (s.atom == "true") return Value(true);
+  if (s.atom == "false") return Value(false);
+  if (auto i = ParseInt64(s.atom)) return Value(*i);
+  if (auto d = ParseDouble(s.atom)) return Value(*d);
+  return InvalidArgument("bad literal '" + s.atom + "'");
+}
+
+StatusOr<ExprPtr> ParseExprSexp(const Sexp& s) {
+  if (s.is_atom()) {
+    if (s.is_string_literal || s.is_date_literal) {
+      VIZQ_ASSIGN_OR_RETURN(Value v, ParseValueSexp(s));
+      return Lit(std::move(v));
+    }
+    if (s.atom == "null" || s.atom == "true" || s.atom == "false") {
+      VIZQ_ASSIGN_OR_RETURN(Value v, ParseValueSexp(s));
+      return Lit(std::move(v));
+    }
+    if (auto i = ParseInt64(s.atom)) return Lit(Value(*i));
+    if (auto d = ParseDouble(s.atom)) return Lit(Value(*d));
+    return Col(s.atom);  // identifier
+  }
+  if (s.list.empty() || !s.list[0].is_atom()) {
+    return InvalidArgument("malformed expression");
+  }
+  const std::string& head = s.list[0].atom;
+  auto args = [&](size_t n) -> Status {
+    if (s.list.size() != n + 1) {
+      return InvalidArgument("'" + head + "' expects " + std::to_string(n) +
+                             " arguments");
+    }
+    return OkStatus();
+  };
+  auto child = [&](size_t i) { return ParseExprSexp(s.list[i]); };
+
+  static const std::pair<const char*, BinaryOp> kBinaryOps[] = {
+      {"+", BinaryOp::kAdd}, {"-", BinaryOp::kSub}, {"*", BinaryOp::kMul},
+      {"/", BinaryOp::kDiv}, {"%", BinaryOp::kMod}, {"=", BinaryOp::kEq},
+      {"<>", BinaryOp::kNe}, {"<", BinaryOp::kLt},  {"<=", BinaryOp::kLe},
+      {">", BinaryOp::kGt},  {">=", BinaryOp::kGe}, {"and", BinaryOp::kAnd},
+      {"or", BinaryOp::kOr}};
+  for (const auto& [name, op] : kBinaryOps) {
+    if (head == name) {
+      VIZQ_RETURN_IF_ERROR(args(2));
+      VIZQ_ASSIGN_OR_RETURN(ExprPtr a, child(1));
+      VIZQ_ASSIGN_OR_RETURN(ExprPtr b, child(2));
+      return Binary(op, std::move(a), std::move(b));
+    }
+  }
+  if (head == "not") {
+    VIZQ_RETURN_IF_ERROR(args(1));
+    VIZQ_ASSIGN_OR_RETURN(ExprPtr a, child(1));
+    return Not(std::move(a));
+  }
+  if (head == "isnull") {
+    VIZQ_RETURN_IF_ERROR(args(1));
+    VIZQ_ASSIGN_OR_RETURN(ExprPtr a, child(1));
+    return IsNull(std::move(a));
+  }
+  if (head == "in") {
+    if (s.list.size() < 2) return InvalidArgument("'in' expects an operand");
+    VIZQ_ASSIGN_OR_RETURN(ExprPtr a, child(1));
+    std::vector<Value> set;
+    for (size_t i = 2; i < s.list.size(); ++i) {
+      VIZQ_ASSIGN_OR_RETURN(Value v, ParseValueSexp(s.list[i]));
+      set.push_back(std::move(v));
+    }
+    return In(std::move(a), std::move(set));
+  }
+  static const std::pair<const char*, ScalarFunc> kFuncs[] = {
+      {"abs", ScalarFunc::kAbs},       {"lower", ScalarFunc::kLower},
+      {"upper", ScalarFunc::kUpper},   {"strlen", ScalarFunc::kStrLen},
+      {"substr", ScalarFunc::kSubstr}, {"year", ScalarFunc::kYear},
+      {"month", ScalarFunc::kMonth},   {"weekday", ScalarFunc::kWeekday},
+      {"if", ScalarFunc::kIf}};
+  for (const auto& [name, f] : kFuncs) {
+    if (head == name) {
+      std::vector<ExprPtr> fargs;
+      for (size_t i = 1; i < s.list.size(); ++i) {
+        VIZQ_ASSIGN_OR_RETURN(ExprPtr a, ParseExprSexp(s.list[i]));
+        fargs.push_back(std::move(a));
+      }
+      return Func(f, std::move(fargs));
+    }
+  }
+  return InvalidArgument("unknown expression head '" + head + "'");
+}
+
+// --- plan parsing ---
+
+StatusOr<LogicalOpPtr> ParsePlanSexp(const Sexp& s);
+
+StatusOr<std::vector<NamedExpr>> ParseNamedExprList(const Sexp& s) {
+  std::vector<NamedExpr> out;
+  for (const Sexp& entry : s.list) {
+    if (entry.list.size() != 2 || !entry.list[0].is_atom()) {
+      return InvalidArgument("expected (name expr) entries");
+    }
+    VIZQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExprSexp(entry.list[1]));
+    out.push_back(NamedExpr{entry.list[0].atom, std::move(e)});
+  }
+  return out;
+}
+
+StatusOr<std::vector<LogicalSortKey>> ParseSortKeys(const Sexp& s) {
+  std::vector<LogicalSortKey> out;
+  for (const Sexp& entry : s.list) {
+    LogicalSortKey key;
+    if (entry.is_atom()) {
+      VIZQ_ASSIGN_OR_RETURN(key.expr, ParseExprSexp(entry));
+    } else {
+      if (entry.list.empty()) return InvalidArgument("empty sort key");
+      VIZQ_ASSIGN_OR_RETURN(key.expr, ParseExprSexp(entry.list[0]));
+      if (entry.list.size() >= 2 && entry.list[1].is_atom()) {
+        if (entry.list[1].atom == "desc") {
+          key.ascending = false;
+        } else if (entry.list[1].atom != "asc") {
+          return InvalidArgument("sort direction must be asc or desc");
+        }
+      }
+    }
+    out.push_back(std::move(key));
+  }
+  return out;
+}
+
+StatusOr<AggFunc> ParseAggFunc(const std::string& name) {
+  if (name == "sum") return AggFunc::kSum;
+  if (name == "min") return AggFunc::kMin;
+  if (name == "max") return AggFunc::kMax;
+  if (name == "count") return AggFunc::kCount;
+  if (name == "count*") return AggFunc::kCountStar;
+  if (name == "avg") return AggFunc::kAvg;
+  if (name == "countd") return AggFunc::kCountDistinct;
+  return InvalidArgument("unknown aggregate function '" + name + "'");
+}
+
+StatusOr<LogicalOpPtr> ParsePlanSexp(const Sexp& s) {
+  if (s.is_atom() || s.list.empty() || !s.list[0].is_atom()) {
+    return InvalidArgument("expected a plan node");
+  }
+  const std::string& head = s.list[0].atom;
+
+  if (head == "scan") {
+    if (s.list.size() != 2 || !s.list[1].is_atom()) {
+      return InvalidArgument("(scan <table>)");
+    }
+    return MakeScan(s.list[1].atom);
+  }
+  if (head == "select") {
+    if (s.list.size() != 3) return InvalidArgument("(select <pred> <node>)");
+    VIZQ_ASSIGN_OR_RETURN(ExprPtr pred, ParseExprSexp(s.list[1]));
+    VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr c, ParsePlanSexp(s.list[2]));
+    return MakeSelect(std::move(pred), std::move(c));
+  }
+  if (head == "project") {
+    if (s.list.size() != 3) {
+      return InvalidArgument("(project ((name expr)...) <node>)");
+    }
+    VIZQ_ASSIGN_OR_RETURN(std::vector<NamedExpr> projections,
+                          ParseNamedExprList(s.list[1]));
+    VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr c, ParsePlanSexp(s.list[2]));
+    return MakeProject(std::move(projections), std::move(c));
+  }
+  if (head == "join") {
+    if (s.list.size() < 5) {
+      return InvalidArgument(
+          "(join inner|left ((lkey rkey)...) <left> <right> [referential])");
+    }
+    JoinType jt;
+    if (s.list[1].atom == "inner") {
+      jt = JoinType::kInner;
+    } else if (s.list[1].atom == "left") {
+      jt = JoinType::kLeftOuter;
+    } else {
+      return InvalidArgument("join type must be inner or left");
+    }
+    std::vector<std::pair<ExprPtr, ExprPtr>> keys;
+    for (const Sexp& pair : s.list[2].list) {
+      if (pair.list.size() != 2) {
+        return InvalidArgument("join keys must be (lkey rkey) pairs");
+      }
+      VIZQ_ASSIGN_OR_RETURN(ExprPtr lk, ParseExprSexp(pair.list[0]));
+      VIZQ_ASSIGN_OR_RETURN(ExprPtr rk, ParseExprSexp(pair.list[1]));
+      keys.emplace_back(std::move(lk), std::move(rk));
+    }
+    VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr left, ParsePlanSexp(s.list[3]));
+    VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr right, ParsePlanSexp(s.list[4]));
+    bool referential =
+        s.list.size() >= 6 && s.list[5].is_atom() &&
+        s.list[5].atom == "referential";
+    return MakeJoin(jt, std::move(keys), std::move(left), std::move(right),
+                    referential);
+  }
+  if (head == "aggregate") {
+    if (s.list.size() != 4) {
+      return InvalidArgument(
+          "(aggregate ((name expr)...) ((name func [expr])...) <node>)");
+    }
+    VIZQ_ASSIGN_OR_RETURN(std::vector<NamedExpr> groups,
+                          ParseNamedExprList(s.list[1]));
+    std::vector<LogicalAgg> aggs;
+    for (const Sexp& entry : s.list[2].list) {
+      if (entry.list.size() < 2 || !entry.list[0].is_atom() ||
+          !entry.list[1].is_atom()) {
+        return InvalidArgument("aggregate entries are (name func [expr])");
+      }
+      LogicalAgg agg;
+      agg.name = entry.list[0].atom;
+      VIZQ_ASSIGN_OR_RETURN(agg.func, ParseAggFunc(entry.list[1].atom));
+      if (entry.list.size() >= 3) {
+        VIZQ_ASSIGN_OR_RETURN(agg.arg, ParseExprSexp(entry.list[2]));
+      }
+      aggs.push_back(std::move(agg));
+    }
+    VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr c, ParsePlanSexp(s.list[3]));
+    return MakeAggregate(std::move(groups), std::move(aggs), std::move(c));
+  }
+  if (head == "order") {
+    if (s.list.size() != 3) return InvalidArgument("(order (keys...) <node>)");
+    VIZQ_ASSIGN_OR_RETURN(std::vector<LogicalSortKey> keys,
+                          ParseSortKeys(s.list[1]));
+    VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr c, ParsePlanSexp(s.list[2]));
+    return MakeOrder(std::move(keys), std::move(c));
+  }
+  if (head == "topn") {
+    if (s.list.size() != 4 || !s.list[1].is_atom()) {
+      return InvalidArgument("(topn <k> (keys...) <node>)");
+    }
+    auto k = ParseInt64(s.list[1].atom);
+    if (!k || *k < 0) return InvalidArgument("bad topn limit");
+    VIZQ_ASSIGN_OR_RETURN(std::vector<LogicalSortKey> keys,
+                          ParseSortKeys(s.list[2]));
+    VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr c, ParsePlanSexp(s.list[3]));
+    return MakeTopN(*k, std::move(keys), std::move(c));
+  }
+  if (head == "distinct") {
+    if (s.list.size() != 2) return InvalidArgument("(distinct <node>)");
+    VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr c, ParsePlanSexp(s.list[1]));
+    return MakeDistinct(std::move(c));
+  }
+  return InvalidArgument("unknown plan node '" + head + "'");
+}
+
+}  // namespace
+
+StatusOr<LogicalOpPtr> ParseTql(const std::string& text) {
+  Tokenizer tok(text);
+  VIZQ_ASSIGN_OR_RETURN(Sexp s, tok.ReadSexp());
+  if (!tok.AtEnd()) return InvalidArgument("trailing input after TQL query");
+  return ParsePlanSexp(s);
+}
+
+StatusOr<ExprPtr> ParseTqlExpr(const std::string& text) {
+  Tokenizer tok(text);
+  VIZQ_ASSIGN_OR_RETURN(Sexp s, tok.ReadSexp());
+  if (!tok.AtEnd()) return InvalidArgument("trailing input after expression");
+  return ParseExprSexp(s);
+}
+
+}  // namespace vizq::tde

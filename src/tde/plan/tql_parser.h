@@ -1,0 +1,39 @@
+// Text form of TQL (§4.1.2: "a classic query compiler that accepts a TQL
+// query as text and translates it into some logical operator tree").
+//
+// The syntax is s-expressions:
+//
+//   (scan Extract.flights)
+//   (select (> arr_delay 10) (scan flights))
+//   (project ((carrier carrier) (delay2 (* arr_delay 2))) (scan flights))
+//   (join inner ((carrier_id id)) (scan flights) (scan carriers) referential)
+//   (aggregate ((carrier carrier)) ((total sum arr_delay) (n count*))
+//              (scan flights))
+//   (order ((carrier asc)) (scan flights))
+//   (topn 5 ((total desc)) (aggregate ...))
+//   (distinct (project ((market market)) (scan flights)))
+//
+// Expressions: identifiers are column names; literals are integers, floats,
+// "strings", true/false, null, date literals d"2014-06-01"; compound forms
+// are (op a b) with op in {+ - * / % = <> < <= > >= and or}, (not e),
+// (in e v1 v2 ...), (isnull e) and scalar functions
+// (abs|lower|upper|strlen|substr|year|month|weekday|if ...).
+
+#ifndef VIZQUERY_TDE_PLAN_TQL_PARSER_H_
+#define VIZQUERY_TDE_PLAN_TQL_PARSER_H_
+
+#include <string>
+
+#include "src/tde/plan/logical.h"
+
+namespace vizq::tde {
+
+// Parses TQL text into an unbound logical plan.
+StatusOr<LogicalOpPtr> ParseTql(const std::string& text);
+
+// Parses just an expression (used in tests).
+StatusOr<ExprPtr> ParseTqlExpr(const std::string& text);
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_PLAN_TQL_PARSER_H_

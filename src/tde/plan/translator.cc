@@ -1,0 +1,213 @@
+#include "src/tde/plan/translator.h"
+
+#include <algorithm>
+
+#include "src/tde/exec/exchange.h"
+#include "src/tde/exec/scan.h"
+#include "src/tde/exec/sort.h"
+
+namespace vizq::tde {
+
+StatusOr<OperatorPtr> Translator::Translate(const LogicalOpPtr& plan) {
+  return TranslateNode(*plan, /*fraction=*/-1);
+}
+
+StatusOr<const std::vector<int64_t>*> Translator::ScanOffsets(
+    const LogicalOp& scan) {
+  auto it = scan_offsets_.find(&scan);
+  if (it != scan_offsets_.end()) return &it->second;
+  std::vector<int64_t> offsets;
+  if (scan.partition == PartitionKind::kRangeOnSortPrefix) {
+    offsets = SplitRowsOnSortedPrefix(*scan.table, scan.range_prefix_len,
+                                      scan.scan_dop);
+  } else {
+    offsets = SplitRows(scan.table->num_rows(), scan.scan_dop);
+  }
+  auto [inserted, ok] = scan_offsets_.emplace(&scan, std::move(offsets));
+  return &inserted->second;
+}
+
+StatusOr<const std::vector<std::vector<RowRange>>*> Translator::RleGroups(
+    const LogicalOp& scan) {
+  auto it = rle_groups_.find(&scan);
+  if (it != rle_groups_.end()) return &it->second;
+  VIZQ_ASSIGN_OR_RETURN(
+      std::vector<RowRange> ranges,
+      ComputeMatchingRuns(*scan.table, scan.rle_column, scan.run_predicate));
+  std::vector<std::vector<RowRange>> groups =
+      SplitRanges(ranges, std::max(1, scan.scan_dop));
+  if (stats_ != nullptr) stats_->used_rle_index = true;
+  auto [inserted, ok] = rle_groups_.emplace(&scan, std::move(groups));
+  return &inserted->second;
+}
+
+StatusOr<OperatorPtr> Translator::TranslateScan(const LogicalOp& op,
+                                                int fraction) {
+  int64_t begin = 0;
+  int64_t end = -1;
+  if (op.scan_dop > 1 && fraction >= 0) {
+    VIZQ_ASSIGN_OR_RETURN(const std::vector<int64_t>* offsets,
+                          ScanOffsets(op));
+    if (fraction + 1 >= static_cast<int>(offsets->size())) {
+      // Range partitioning can produce fewer boundaries than requested;
+      // surplus fractions scan nothing.
+      begin = end = op.table->num_rows();
+    } else {
+      begin = (*offsets)[fraction];
+      end = (*offsets)[fraction + 1];
+    }
+    if (stats_ != nullptr &&
+        op.partition == PartitionKind::kRangeOnSortPrefix) {
+      stats_->used_range_partition = true;
+    }
+  }
+  return OperatorPtr(std::make_unique<TableScanOperator>(
+      op.table, op.scan_columns, begin, end, stats_));
+}
+
+StatusOr<OperatorPtr> Translator::TranslateRleScan(const LogicalOp& op,
+                                                   int fraction) {
+  VIZQ_ASSIGN_OR_RETURN(const std::vector<std::vector<RowRange>>* groups,
+                        RleGroups(op));
+  std::vector<RowRange> ranges;
+  if (op.scan_dop > 1 && fraction >= 0) {
+    if (fraction < static_cast<int>(groups->size())) {
+      ranges = (*groups)[fraction];
+    }
+  } else {
+    for (const auto& g : *groups) {
+      ranges.insert(ranges.end(), g.begin(), g.end());
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const RowRange& a, const RowRange& b) {
+                return a.start < b.start;
+              });
+  }
+  return OperatorPtr(std::make_unique<RleIndexScanOperator>(
+      op.table, op.scan_columns, std::move(ranges), stats_));
+}
+
+StatusOr<OperatorPtr> Translator::TranslateExchange(const LogicalOp& op) {
+  // The child subtree is translated once per fraction; each translation
+  // restricts the partitioned scan(s) to that fraction. The effective
+  // input count can shrink when range partitioning found fewer group
+  // boundaries than the requested DOP.
+  int dop = op.dop;
+  std::vector<OperatorPtr> inputs;
+  inputs.reserve(dop);
+  for (int f = 0; f < dop; ++f) {
+    VIZQ_ASSIGN_OR_RETURN(OperatorPtr input,
+                          TranslateNode(*op.children[0], f));
+    inputs.push_back(std::move(input));
+  }
+  if (stats_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    stats_->used_parallel_plan = true;
+    stats_->dop = std::max(stats_->dop, dop);
+  }
+  return OperatorPtr(std::make_unique<ExchangeOperator>(
+      std::move(inputs), stats_, serial_exchange_));
+}
+
+StatusOr<OperatorPtr> Translator::TranslateNode(const LogicalOp& op,
+                                                int fraction) {
+  switch (op.kind) {
+    case LogicalKind::kScan:
+      return TranslateScan(op, fraction);
+    case LogicalKind::kRleIndexScan:
+      return TranslateRleScan(op, fraction);
+    case LogicalKind::kSelect: {
+      VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                            TranslateNode(*op.children[0], fraction));
+      return OperatorPtr(
+          std::make_unique<FilterOperator>(std::move(child), op.predicate));
+    }
+    case LogicalKind::kProject: {
+      VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                            TranslateNode(*op.children[0], fraction));
+      std::vector<ProjectOperator::NamedExpr> exprs;
+      exprs.reserve(op.projections.size());
+      for (const NamedExpr& p : op.projections) {
+        exprs.push_back(ProjectOperator::NamedExpr{p.name, p.expr});
+      }
+      return OperatorPtr(std::make_unique<ProjectOperator>(std::move(child),
+                                                           std::move(exprs)));
+    }
+    case LogicalKind::kJoin: {
+      VIZQ_ASSIGN_OR_RETURN(OperatorPtr left,
+                            TranslateNode(*op.children[0], fraction));
+      auto it = builds_.find(&op);
+      std::shared_ptr<SharedBuildState> build;
+      if (it != builds_.end()) {
+        build = it->second;
+      } else {
+        // The build side is its own serial unit (fraction -1): built once,
+        // shared by every probing fraction.
+        VIZQ_ASSIGN_OR_RETURN(OperatorPtr right,
+                              TranslateNode(*op.children[1], -1));
+        std::vector<ExprPtr> right_keys;
+        for (const auto& [lk, rk] : op.join_keys) right_keys.push_back(rk);
+        build = std::make_shared<SharedBuildState>(std::move(right),
+                                                   std::move(right_keys));
+        builds_.emplace(&op, build);
+      }
+      std::vector<ExprPtr> left_keys;
+      for (const auto& [lk, rk] : op.join_keys) left_keys.push_back(lk);
+      return OperatorPtr(std::make_unique<HashJoinOperator>(
+          std::move(left), std::move(build), std::move(left_keys),
+          op.join_type));
+    }
+    case LogicalKind::kAggregate: {
+      VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                            TranslateNode(*op.children[0], fraction));
+      std::vector<GroupExpr> groups;
+      groups.reserve(op.group_by.size());
+      for (const NamedExpr& g : op.group_by) {
+        groups.push_back(GroupExpr{g.name, g.expr});
+      }
+      std::vector<AggSpec> specs;
+      specs.reserve(op.aggregates.size());
+      for (const LogicalAgg& a : op.aggregates) {
+        specs.push_back(AggSpec{a.func, a.arg, a.name});
+      }
+      if (op.agg_phase == AggPhase::kComplete && op.prefer_streaming) {
+        if (stats_ != nullptr) stats_->used_streaming_agg = true;
+        return OperatorPtr(std::make_unique<StreamingAggregateOperator>(
+            std::move(child), std::move(groups), std::move(specs)));
+      }
+      AggPhase phase = op.agg_phase;
+      if (stats_ != nullptr && phase == AggPhase::kFinal) {
+        stats_->used_local_global_agg = true;
+      }
+      return OperatorPtr(std::make_unique<HashAggregateOperator>(
+          std::move(child), std::move(groups), std::move(specs), phase));
+    }
+    case LogicalKind::kOrder: {
+      VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                            TranslateNode(*op.children[0], fraction));
+      std::vector<SortKey> keys;
+      for (const LogicalSortKey& k : op.order_keys) {
+        keys.push_back(SortKey{k.expr, k.ascending});
+      }
+      return OperatorPtr(
+          std::make_unique<SortOperator>(std::move(child), std::move(keys)));
+    }
+    case LogicalKind::kTopN: {
+      VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                            TranslateNode(*op.children[0], fraction));
+      std::vector<SortKey> keys;
+      for (const LogicalSortKey& k : op.order_keys) {
+        keys.push_back(SortKey{k.expr, k.ascending});
+      }
+      return OperatorPtr(std::make_unique<TopNOperator>(
+          std::move(child), std::move(keys), op.limit));
+    }
+    case LogicalKind::kDistinct:
+      return Internal("Distinct must be rewritten before translation");
+    case LogicalKind::kExchange:
+      return TranslateExchange(op);
+  }
+  return Internal("unhandled logical operator");
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,53 @@
+// Physical translation: turns an optimized (possibly parallelized) logical
+// plan into a Volcano operator tree.
+//
+// Exchange nodes are expanded by translating their child subtree once per
+// fraction; the fraction's partitioned scan is restricted to its row range
+// (random partitioning), its group-aligned range (range partitioning,
+// §4.2.3), or its share of the RLE IndexTable's surviving runs (§4.3).
+// Join build sides are translated once and shared across fractions through
+// SharedBuildState (§4.2.2).
+
+#ifndef VIZQUERY_TDE_PLAN_TRANSLATOR_H_
+#define VIZQUERY_TDE_PLAN_TRANSLATOR_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/tde/plan/logical.h"
+
+namespace vizq::tde {
+
+class Translator {
+ public:
+  // `stats` may be null. The logical plan must outlive execution of the
+  // returned operator tree. `serial_exchange` puts every Exchange into
+  // serial-measurement mode (see ExchangeOperator).
+  explicit Translator(ExecStats* stats, bool serial_exchange = false)
+      : stats_(stats), serial_exchange_(serial_exchange) {}
+
+  StatusOr<OperatorPtr> Translate(const LogicalOpPtr& plan);
+
+ private:
+  StatusOr<OperatorPtr> TranslateNode(const LogicalOp& op, int fraction);
+  StatusOr<OperatorPtr> TranslateScan(const LogicalOp& op, int fraction);
+  StatusOr<OperatorPtr> TranslateRleScan(const LogicalOp& op, int fraction);
+  StatusOr<OperatorPtr> TranslateExchange(const LogicalOp& op);
+
+  // Fraction boundaries / range groups, computed once per scan node.
+  StatusOr<const std::vector<int64_t>*> ScanOffsets(const LogicalOp& scan);
+  StatusOr<const std::vector<std::vector<RowRange>>*> RleGroups(
+      const LogicalOp& scan);
+
+  ExecStats* stats_;
+  bool serial_exchange_ = false;
+  std::unordered_map<const LogicalOp*, std::shared_ptr<SharedBuildState>>
+      builds_;
+  std::unordered_map<const LogicalOp*, std::vector<int64_t>> scan_offsets_;
+  std::unordered_map<const LogicalOp*, std::vector<std::vector<RowRange>>>
+      rle_groups_;
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_PLAN_TRANSLATOR_H_

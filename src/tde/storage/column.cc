@@ -1,0 +1,202 @@
+#include "src/tde/storage/column.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vizq::tde {
+
+const char* EncodingToString(Encoding e) {
+  switch (e) {
+    case Encoding::kPlain: return "plain";
+    case Encoding::kDictionary: return "dictionary";
+    case Encoding::kRle: return "rle";
+    case Encoding::kDelta: return "delta";
+  }
+  return "unknown";
+}
+
+int64_t StringDictionary::Intern(std::string_view s) {
+  std::string key = CollationKey(s, collation_);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  int64_t token = static_cast<int64_t>(values_.size());
+  values_.emplace_back(s);
+  index_.emplace(std::move(key), token);
+  return token;
+}
+
+int64_t StringDictionary::Find(std::string_view s) const {
+  std::string key = CollationKey(s, collation_);
+  auto it = index_.find(key);
+  return it == index_.end() ? -1 : it->second;
+}
+
+namespace {
+
+// Finds the run containing `row` by binary search on run starts.
+const RleRun* FindRun(const std::vector<RleRun>& runs, int64_t row) {
+  int64_t lo = 0, hi = static_cast<int64_t>(runs.size()) - 1;
+  while (lo <= hi) {
+    int64_t mid = (lo + hi) / 2;
+    const RleRun& r = runs[mid];
+    if (row < r.start) {
+      hi = mid - 1;
+    } else if (row >= r.start + r.count) {
+      lo = mid + 1;
+    } else {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+inline double BitsToDouble(int64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+Value Column::GetValue(int64_t row) const {
+  if (IsNull(row)) return Value::Null();
+  // Resolve the raw int payload for fixed-width encodings.
+  auto raw_int = [&](int64_t r) -> int64_t {
+    switch (encoding_) {
+      case Encoding::kPlain:
+      case Encoding::kDictionary:
+        return ints_[r];
+      case Encoding::kRle: {
+        const RleRun* run = FindRun(runs_, r);
+        return run ? run->value : 0;
+      }
+      case Encoding::kDelta: {
+        int64_t v = delta_base_;
+        for (int64_t i = 0; i < r; ++i) v += deltas_[i];
+        return v;
+      }
+    }
+    return 0;
+  };
+
+  switch (type_.kind) {
+    case TypeKind::kBool:
+      return Value(raw_int(row) != 0);
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      return Value(raw_int(row));
+    case TypeKind::kFloat64:
+      if (encoding_ == Encoding::kPlain) return Value(doubles_[row]);
+      return Value(BitsToDouble(raw_int(row)));
+    case TypeKind::kString:
+      if (dictionary_ != nullptr) return Value(dictionary_->value(raw_int(row)));
+      return Value(strings_[row]);
+  }
+  return Value::Null();
+}
+
+void Column::DecodeInts(int64_t start, int64_t count,
+                        std::vector<int64_t>* out,
+                        std::vector<uint8_t>* null_mask) const {
+  out->resize(count);
+  if (null_mask != nullptr) {
+    null_mask->assign(count, 0);
+    if (!nulls_.empty()) {
+      for (int64_t i = 0; i < count; ++i) (*null_mask)[i] = nulls_[start + i];
+    }
+  }
+  switch (encoding_) {
+    case Encoding::kPlain:
+    case Encoding::kDictionary:
+      std::memcpy(out->data(), ints_.data() + start, count * sizeof(int64_t));
+      break;
+    case Encoding::kRle: {
+      // Locate the first overlapping run, then emit run-by-run.
+      const RleRun* run = FindRun(runs_, start);
+      int64_t idx = run != nullptr ? run - runs_.data() : 0;
+      int64_t produced = 0;
+      while (produced < count &&
+             idx < static_cast<int64_t>(runs_.size())) {
+        const RleRun& r = runs_[idx];
+        int64_t from = std::max(start + produced, r.start);
+        int64_t to = std::min(start + count, r.start + r.count);
+        for (int64_t row = from; row < to; ++row) {
+          (*out)[produced++] = r.value;
+        }
+        ++idx;
+      }
+      break;
+    }
+    case Encoding::kDelta: {
+      int64_t v = delta_base_;
+      for (int64_t i = 0; i < start; ++i) v += deltas_[i];
+      for (int64_t i = 0; i < count; ++i) {
+        (*out)[i] = v;
+        if (start + i < static_cast<int64_t>(deltas_.size())) {
+          v += deltas_[start + i];
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Column::DecodeDoubles(int64_t start, int64_t count,
+                           std::vector<double>* out,
+                           std::vector<uint8_t>* null_mask) const {
+  out->resize(count);
+  if (null_mask != nullptr) {
+    null_mask->assign(count, 0);
+    if (!nulls_.empty()) {
+      for (int64_t i = 0; i < count; ++i) (*null_mask)[i] = nulls_[start + i];
+    }
+  }
+  if (encoding_ == Encoding::kPlain) {
+    std::memcpy(out->data(), doubles_.data() + start, count * sizeof(double));
+    return;
+  }
+  // RLE/delta doubles travel through the int payload as bit patterns.
+  std::vector<int64_t> raw;
+  DecodeInts(start, count, &raw, nullptr);
+  for (int64_t i = 0; i < count; ++i) (*out)[i] = BitsToDouble(raw[i]);
+}
+
+void Column::DecodeStrings(int64_t start, int64_t count,
+                           std::vector<std::string>* out,
+                           std::vector<uint8_t>* null_mask) const {
+  out->resize(count);
+  if (null_mask != nullptr) {
+    null_mask->assign(count, 0);
+    if (!nulls_.empty()) {
+      for (int64_t i = 0; i < count; ++i) (*null_mask)[i] = nulls_[start + i];
+    }
+  }
+  if (dictionary_ != nullptr) {
+    std::vector<int64_t> tokens;
+    DecodeInts(start, count, &tokens, nullptr);
+    for (int64_t i = 0; i < count; ++i) {
+      if (nulls_.empty() || nulls_[start + i] == 0) {
+        (*out)[i] = dictionary_->value(tokens[i]);
+      }
+    }
+    return;
+  }
+  for (int64_t i = 0; i < count; ++i) (*out)[i] = strings_[start + i];
+}
+
+int64_t Column::ApproxBytes() const {
+  int64_t bytes = 64 + static_cast<int64_t>(nulls_.size());
+  bytes += static_cast<int64_t>(ints_.size()) * 8;
+  bytes += static_cast<int64_t>(doubles_.size()) * 8;
+  bytes += static_cast<int64_t>(runs_.size()) * 24;
+  bytes += static_cast<int64_t>(deltas_.size()) * 4;
+  for (const std::string& s : strings_) bytes += 24 + static_cast<int64_t>(s.size());
+  if (dictionary_ != nullptr) {
+    for (const std::string& s : dictionary_->values()) {
+      bytes += 24 + static_cast<int64_t>(s.size());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,87 @@
+#include "src/tde/storage/database.h"
+
+namespace vizq::tde {
+
+Status Database::CreateSchema(const std::string& schema) {
+  if (schema == kSysSchema) {
+    return InvalidArgument("SYS is a reserved schema");
+  }
+  auto [it, inserted] = schemas_.try_emplace(schema);
+  if (!inserted) return AlreadyExists("schema '" + schema + "' exists");
+  return OkStatus();
+}
+
+Status Database::AddTable(const std::string& schema,
+                          std::shared_ptr<Table> table) {
+  if (schema == kSysSchema) {
+    return InvalidArgument("SYS is a reserved schema");
+  }
+  auto it = schemas_.find(schema);
+  if (it == schemas_.end()) {
+    return NotFound("schema '" + schema + "' not found");
+  }
+  const std::string& name = table->name();
+  auto [tit, inserted] = it->second.try_emplace(name, std::move(table));
+  if (!inserted) {
+    return AlreadyExists("table '" + schema + "." + name + "' exists");
+  }
+  return OkStatus();
+}
+
+Status Database::DropTable(const std::string& schema,
+                           const std::string& table) {
+  auto it = schemas_.find(schema);
+  if (it == schemas_.end()) {
+    return NotFound("schema '" + schema + "' not found");
+  }
+  if (it->second.erase(table) == 0) {
+    return NotFound("table '" + schema + "." + table + "' not found");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::shared_ptr<Table>> Database::GetTable(
+    const std::string& path) const {
+  size_t dot = path.find('.');
+  if (dot == std::string::npos) return GetTable(kDefaultSchema, path);
+  return GetTable(path.substr(0, dot), path.substr(dot + 1));
+}
+
+StatusOr<std::shared_ptr<Table>> Database::GetTable(
+    const std::string& schema, const std::string& table) const {
+  auto it = schemas_.find(schema);
+  if (it == schemas_.end()) {
+    return NotFound("schema '" + schema + "' not found");
+  }
+  auto tit = it->second.find(table);
+  if (tit == it->second.end()) {
+    return NotFound("table '" + schema + "." + table + "' not found");
+  }
+  return tit->second;
+}
+
+std::vector<std::string> Database::ListSchemas() const {
+  std::vector<std::string> out;
+  out.reserve(schemas_.size());
+  for (const auto& [name, tables] : schemas_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Database::ListTables(const std::string& schema) const {
+  std::vector<std::string> out;
+  auto it = schemas_.find(schema);
+  if (it == schemas_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [name, table] : it->second) out.push_back(name);
+  return out;
+}
+
+int64_t Database::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [sname, tables] : schemas_) {
+    for (const auto& [tname, table] : tables) bytes += table->ApproxBytes();
+  }
+  return bytes;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,68 @@
+// Database: the TDE's three-layer namespace — database > schema > table >
+// column (§4.1.1). Metadata lives in the reserved SYS schema; the whole
+// database can be packed into a single file (see file_format.h), the
+// paper's key convenience feature for moving/sharing/publishing extracts.
+
+#ifndef VIZQUERY_TDE_STORAGE_DATABASE_H_
+#define VIZQUERY_TDE_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tde/storage/table.h"
+
+namespace vizq::tde {
+
+// Name of the default user schema.
+inline constexpr char kDefaultSchema[] = "Extract";
+// Reserved metadata schema (not user-writable).
+inline constexpr char kSysSchema[] = "SYS";
+// Conventional schema for session-scoped temporary tables.
+inline constexpr char kTempSchema[] = "temp";
+
+class Database {
+ public:
+  explicit Database(std::string name = "db") : name_(std::move(name)) {
+    schemas_[kDefaultSchema];  // default schema always exists
+  }
+
+  const std::string& name() const { return name_; }
+
+  Status CreateSchema(const std::string& schema);
+
+  // Registers `table` under `schema`.`table->name()`. Fails on duplicates
+  // and on writes to SYS.
+  Status AddTable(const std::string& schema, std::shared_ptr<Table> table);
+
+  // Adds to the default schema.
+  Status AddTable(std::shared_ptr<Table> table) {
+    return AddTable(kDefaultSchema, std::move(table));
+  }
+
+  Status DropTable(const std::string& schema, const std::string& table);
+
+  // Resolves "schema.table" or bare "table" (searched in the default
+  // schema).
+  StatusOr<std::shared_ptr<Table>> GetTable(const std::string& path) const;
+  StatusOr<std::shared_ptr<Table>> GetTable(const std::string& schema,
+                                            const std::string& table) const;
+
+  std::vector<std::string> ListSchemas() const;
+  std::vector<std::string> ListTables(const std::string& schema) const;
+
+  int64_t ApproxBytes() const;
+
+ private:
+  friend class DatabaseSerializer;
+
+  std::string name_;
+  std::map<std::string, std::map<std::string, std::shared_ptr<Table>>>
+      schemas_;
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_STORAGE_DATABASE_H_

@@ -1,0 +1,38 @@
+// Single-file database format (§4.1.1): the directory-shaped namespace
+// (database/schema/table/column) is packed into one little-endian file so
+// extracts can be moved, shared and published as a unit.
+//
+// Layout: header magic + version, then the schema tree with each column's
+// encoding payload serialized verbatim (runs for RLE, deltas for delta,
+// dictionary + tokens for dictionary columns). SYS metadata — sort columns
+// and column stats — is embedded so a reopened extract optimizes exactly
+// like the original.
+
+#ifndef VIZQUERY_TDE_STORAGE_FILE_FORMAT_H_
+#define VIZQUERY_TDE_STORAGE_FILE_FORMAT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/tde/storage/database.h"
+
+namespace vizq::tde {
+
+class DatabaseSerializer {
+ public:
+  // Serializes `db` into a byte string (the single-file image).
+  static std::string Pack(const Database& db);
+
+  // Reconstructs a database from a single-file image.
+  static StatusOr<std::shared_ptr<Database>> Unpack(const std::string& bytes);
+
+  // File-system conveniences.
+  static Status PackToFile(const Database& db, const std::string& path);
+  static StatusOr<std::shared_ptr<Database>> UnpackFromFile(
+      const std::string& path);
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_STORAGE_FILE_FORMAT_H_

@@ -1,0 +1,118 @@
+#include "src/tde/storage/table.h"
+
+#include <algorithm>
+
+namespace vizq::tde {
+
+int Table::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Table::SubsetMatchesSortPrefix(const std::vector<int>& columns,
+                                    int* prefix_len) const {
+  if (sort_columns_.empty() || columns.empty()) return false;
+  // Greedily match the longest sort prefix whose members are all in
+  // `columns` (a permutation of a subset of the group-by columns).
+  int matched = 0;
+  for (int sc : sort_columns_) {
+    if (std::find(columns.begin(), columns.end(), sc) == columns.end()) break;
+    ++matched;
+  }
+  if (matched == 0) return false;
+  if (prefix_len != nullptr) *prefix_len = matched;
+  return true;
+}
+
+ResultTable Table::Slice(int64_t start, int64_t count,
+                         const std::vector<int>& column_indices) const {
+  std::vector<ResultColumn> cols;
+  cols.reserve(column_indices.size());
+  for (int ci : column_indices) {
+    cols.push_back(ResultColumn{schema_[ci].name, schema_[ci].type});
+  }
+  ResultTable out(std::move(cols));
+  int64_t end = std::min(start + count, num_rows_);
+  for (int64_t r = start; r < end; ++r) {
+    ResultTable::Row row;
+    row.reserve(column_indices.size());
+    for (int ci : column_indices) row.push_back(columns_[ci]->GetValue(r));
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+int64_t Table::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->ApproxBytes();
+  return bytes;
+}
+
+TableBuilder::TableBuilder(std::string name, std::vector<ColumnInfo> schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  builders_.reserve(schema_.size());
+  for (const ColumnInfo& ci : schema_) {
+    builders_.emplace_back(ci.type);
+    choices_.push_back(EncodingChoice::kAuto);
+  }
+}
+
+Status TableBuilder::AddRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.size()) {
+    return InvalidArgument("row arity " + std::to_string(row.size()) +
+                           " does not match schema arity " +
+                           std::to_string(schema_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) builders_[i].Append(row[i]);
+  ++num_rows_;
+  return OkStatus();
+}
+
+void TableBuilder::SetEncodingChoice(int column, EncodingChoice choice) {
+  choices_[column] = choice;
+}
+
+void TableBuilder::DeclareSorted(std::vector<int> sort_columns) {
+  sort_columns_ = std::move(sort_columns);
+}
+
+StatusOr<std::shared_ptr<Table>> TableBuilder::Finish() {
+  auto table = std::make_shared<Table>();
+  table->name_ = name_;
+  table->schema_ = schema_;
+  table->num_rows_ = num_rows_;
+  table->columns_.reserve(builders_.size());
+  for (size_t i = 0; i < builders_.size(); ++i) {
+    VIZQ_ASSIGN_OR_RETURN(std::shared_ptr<Column> col,
+                          builders_[i].Finish(choices_[i]));
+    table->columns_.push_back(std::move(col));
+  }
+
+  // Validate the declared sort order before trusting it.
+  if (!sort_columns_.empty()) {
+    for (int sc : sort_columns_) {
+      if (sc < 0 || sc >= static_cast<int>(schema_.size())) {
+        return InvalidArgument("sort column index out of range");
+      }
+    }
+    for (int64_t r = 1; r < num_rows_; ++r) {
+      for (int sc : sort_columns_) {
+        Value prev = table->columns_[sc]->GetValue(r - 1);
+        Value cur = table->columns_[sc]->GetValue(r);
+        int cmp = prev.Compare(cur, schema_[sc].type.collation);
+        if (cmp < 0) break;
+        if (cmp > 0) {
+          return InvalidArgument("table '" + name_ +
+                                 "' is not sorted as declared at row " +
+                                 std::to_string(r));
+        }
+      }
+    }
+    table->sort_columns_ = sort_columns_;
+  }
+  return table;
+}
+
+}  // namespace vizq::tde

@@ -1,0 +1,99 @@
+// Table: an immutable, named collection of equally-sized columns, with the
+// SYS-style metadata the optimizer consumes — row count, per-column stats,
+// and the ordered list of sort columns ("most tables are sorted according
+// to one or more columns", §4.2.3).
+
+#ifndef VIZQUERY_TDE_STORAGE_TABLE_H_
+#define VIZQUERY_TDE_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result_table.h"
+#include "src/common/status.h"
+#include "src/tde/storage/column.h"
+
+namespace vizq::tde {
+
+// Schema entry of a stored column.
+struct ColumnInfo {
+  std::string name;
+  DataType type;
+};
+
+class Table {
+ public:
+  const std::string& name() const { return name_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const std::vector<ColumnInfo>& schema() const { return schema_; }
+  const ColumnInfo& column_info(int i) const { return schema_[i]; }
+  const std::shared_ptr<Column>& column(int i) const { return columns_[i]; }
+
+  // Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  // Ordered column indices the physical data is sorted by (major first);
+  // empty when unsorted. This is metadata declared at build time and
+  // validated by TableBuilder.
+  const std::vector<int>& sort_columns() const { return sort_columns_; }
+
+  // True when a permutation of some subset of `columns` forms a prefix of
+  // sort_columns() — the §4.2.3 Lemma 3 precondition for removing the
+  // global aggregate via range partitioning. When true, `prefix_len` is set
+  // to the length of the matched prefix.
+  bool SubsetMatchesSortPrefix(const std::vector<int>& columns,
+                               int* prefix_len) const;
+
+  // Materializes rows [start, start+count) of the given columns into a
+  // ResultTable (API-boundary convenience used by tests and small scans).
+  ResultTable Slice(int64_t start, int64_t count,
+                    const std::vector<int>& column_indices) const;
+
+  int64_t ApproxBytes() const;
+
+ private:
+  friend class TableBuilder;
+  friend class DatabaseSerializer;
+
+  std::string name_;
+  int64_t num_rows_ = 0;
+  std::vector<ColumnInfo> schema_;
+  std::vector<std::shared_ptr<Column>> columns_;
+  std::vector<int> sort_columns_;
+};
+
+// Builds a Table row-by-row or column-by-column.
+class TableBuilder {
+ public:
+  TableBuilder(std::string name, std::vector<ColumnInfo> schema);
+
+  // Appends one row; `row` arity must match the schema.
+  Status AddRow(const std::vector<Value>& row);
+
+  // Per-column encoding override (defaults to kAuto).
+  void SetEncodingChoice(int column, EncodingChoice choice);
+
+  // Declares that the appended data is sorted by these columns (major
+  // first). Verified during Finish; an incorrect declaration is an error —
+  // the parallelizer's correctness depends on it (§4.2.3).
+  void DeclareSorted(std::vector<int> sort_columns);
+
+  int64_t num_rows() const { return num_rows_; }
+
+  StatusOr<std::shared_ptr<Table>> Finish();
+
+ private:
+  std::string name_;
+  std::vector<ColumnInfo> schema_;
+  std::vector<ColumnBuilder> builders_;
+  std::vector<EncodingChoice> choices_;
+  std::vector<int> sort_columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_STORAGE_TABLE_H_

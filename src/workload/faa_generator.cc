@@ -1,0 +1,251 @@
+#include "src/workload/faa_generator.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/common/str_util.h"
+
+namespace vizq::workload {
+
+namespace {
+
+const std::vector<std::string>& CarrierCodesImpl() {
+  static const auto* codes = new std::vector<std::string>{
+      "AA", "DL", "UA", "WN", "B6", "AS", "HA", "F9", "NK", "VX",
+      "OO", "EV", "MQ", "US"};
+  return *codes;
+}
+
+const std::vector<std::string>& AirlineNamesImpl() {
+  static const auto* names = new std::vector<std::string>{
+      "American Airlines", "Delta Air Lines",  "United Airlines",
+      "Southwest Airlines", "JetBlue Airways", "Alaska Airlines",
+      "Hawaiian Airlines",  "Frontier Airlines", "Spirit Airlines",
+      "Virgin America",     "SkyWest Airlines", "ExpressJet",
+      "Envoy Air",          "US Airways"};
+  return *names;
+}
+
+const std::vector<std::string>& AirportCodesImpl() {
+  static const auto* codes = new std::vector<std::string>{
+      "ATL", "LAX", "ORD", "DFW", "DEN", "JFK", "SFO", "SEA", "LAS", "MCO",
+      "EWR", "CLT", "PHX", "IAH", "MIA", "BOS", "MSP", "FLL", "DTW", "PHL",
+      "LGA", "BWI", "SLC", "SAN", "HNL", "OGG", "DCA", "MDW", "TPA", "PDX"};
+  return *codes;
+}
+
+const std::vector<std::string>& AirportStatesImpl() {
+  static const auto* states = new std::vector<std::string>{
+      "GA", "CA", "IL", "TX", "CO", "NY", "CA", "WA", "NV", "FL",
+      "NJ", "NC", "AZ", "TX", "FL", "MA", "MN", "FL", "MI", "PA",
+      "NY", "MD", "UT", "CA", "HI", "HI", "DC", "IL", "FL", "OR"};
+  return *states;
+}
+
+struct FlightRow {
+  int carrier;
+  int64_t fl_date;
+  int weekday;
+  int dep_hour;
+  int origin;
+  int dest;
+  int64_t distance;
+  int64_t dep_delay;
+  int64_t arr_delay;
+  bool cancelled;
+};
+
+std::vector<FlightRow> GenerateRows(const FaaOptions& options) {
+  Rng rng(options.seed);
+  int carriers = std::min<int>(options.num_carriers,
+                               static_cast<int>(CarrierCodesImpl().size()));
+  int airports = std::min<int>(options.num_airports,
+                               static_cast<int>(AirportCodesImpl().size()));
+  // 2014-01-01 as the era start.
+  int64_t base_date = *ParseDateDays("2014-01-01");
+
+  // Skew: big carriers and big airports dominate.
+  ZipfDistribution carrier_dist(carriers, 0.9);
+  ZipfDistribution airport_dist(airports, 0.8);
+
+  std::vector<FlightRow> rows;
+  rows.reserve(options.num_flights);
+  for (int64_t i = 0; i < options.num_flights; ++i) {
+    FlightRow row;
+    row.carrier = static_cast<int>(carrier_dist.Sample(rng));
+    row.fl_date = base_date + rng.Range(0, options.num_days - 1);
+    row.weekday = DayOfWeek(row.fl_date);
+    // Departures concentrate in daytime banks.
+    int hour_bank = static_cast<int>(rng.Below(3));
+    row.dep_hour = hour_bank == 0   ? static_cast<int>(rng.Range(6, 10))
+                   : hour_bank == 1 ? static_cast<int>(rng.Range(11, 16))
+                                    : static_cast<int>(rng.Range(17, 22));
+    row.origin = static_cast<int>(airport_dist.Sample(rng));
+    do {
+      row.dest = static_cast<int>(airport_dist.Sample(rng));
+    } while (row.dest == row.origin);
+    row.distance = 150 + rng.Range(0, 2500);
+    // Delay: mostly early/on time, heavy right tail; worse on Fridays
+    // (weekday 4) and in the evening.
+    int64_t base = rng.Range(-10, 15);
+    if (rng.Chance(0.18)) base += rng.Range(10, 90);
+    if (rng.Chance(0.03)) base += rng.Range(60, 300);
+    if (row.weekday == 4) base += rng.Range(0, 12);
+    if (row.dep_hour >= 17) base += rng.Range(0, 15);
+    row.dep_delay = base;
+    row.arr_delay = base + rng.Range(-15, 20);
+    row.cancelled = rng.Chance(row.weekday == 6 ? 0.013 : 0.022);
+    rows.push_back(row);
+  }
+
+  // Sort per the requested order.
+  if (!options.sort_by.empty()) {
+    auto key_of = [](const FlightRow& r, const std::string& name) -> int64_t {
+      if (name == "carrier") return r.carrier;
+      if (name == "fl_date") return r.fl_date;
+      if (name == "weekday") return r.weekday;
+      if (name == "dep_hour") return r.dep_hour;
+      if (name == "origin") return r.origin;
+      if (name == "dest") return r.dest;
+      return 0;
+    };
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const FlightRow& a, const FlightRow& b) {
+                       for (const std::string& k : options.sort_by) {
+                         // Carrier codes sort by code string to match the
+                         // declared table order.
+                         if (k == "carrier") {
+                           const std::string& ca = CarrierCodesImpl()[a.carrier];
+                           const std::string& cb = CarrierCodesImpl()[b.carrier];
+                           if (ca != cb) return ca < cb;
+                           continue;
+                         }
+                         int64_t ka = key_of(a, k);
+                         int64_t kb = key_of(b, k);
+                         if (ka != kb) return ka < kb;
+                       }
+                       return false;
+                     });
+  }
+  return rows;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FaaCarrierCodes() { return CarrierCodesImpl(); }
+const std::vector<std::string>& FaaAirlineNames() { return AirlineNamesImpl(); }
+const std::vector<std::string>& FaaAirportCodes() { return AirportCodesImpl(); }
+const std::vector<std::string>& FaaAirportStates() { return AirportStatesImpl(); }
+
+StatusOr<std::shared_ptr<tde::Database>> GenerateFaaDatabase(
+    const FaaOptions& options) {
+  using namespace vizq::tde;
+  std::vector<FlightRow> rows = GenerateRows(options);
+
+  std::vector<ColumnInfo> schema = {
+      {"carrier", DataType::String()},
+      {"fl_date", DataType::Date()},
+      {"weekday", DataType::Int64()},
+      {"dep_hour", DataType::Int64()},
+      {"origin", DataType::String()},
+      {"dest", DataType::String()},
+      {"origin_state", DataType::String()},
+      {"dest_state", DataType::String()},
+      {"market", DataType::String()},
+      {"distance", DataType::Int64()},
+      {"dep_delay", DataType::Int64()},
+      {"arr_delay", DataType::Int64()},
+      {"cancelled", DataType::Bool()},
+  };
+  TableBuilder builder("flights", schema);
+  const auto& codes = CarrierCodesImpl();
+  const auto& airports = AirportCodesImpl();
+  const auto& states = AirportStatesImpl();
+  for (const FlightRow& r : rows) {
+    std::string market = airports[r.origin] + "-" + airports[r.dest];
+    VIZQ_RETURN_IF_ERROR(builder.AddRow({
+        Value(codes[r.carrier]),
+        Value(r.fl_date),
+        Value(static_cast<int64_t>(r.weekday)),
+        Value(static_cast<int64_t>(r.dep_hour)),
+        Value(airports[r.origin]),
+        Value(airports[r.dest]),
+        Value(states[r.origin]),
+        Value(states[r.dest]),
+        Value(std::move(market)),
+        Value(r.distance),
+        Value(r.dep_delay),
+        Value(r.arr_delay),
+        Value(r.cancelled),
+    }));
+  }
+  if (!options.sort_by.empty()) {
+    std::vector<int> sort_cols;
+    for (const std::string& name : options.sort_by) {
+      for (size_t c = 0; c < schema.size(); ++c) {
+        if (schema[c].name == name) {
+          sort_cols.push_back(static_cast<int>(c));
+        }
+      }
+    }
+    builder.DeclareSorted(sort_cols);
+  }
+  VIZQ_ASSIGN_OR_RETURN(std::shared_ptr<Table> flights, builder.Finish());
+
+  TableBuilder carriers("carriers", {{"code", DataType::String()},
+                                     {"airline_name", DataType::String()}});
+  int ncarriers = std::min<int>(options.num_carriers,
+                                static_cast<int>(codes.size()));
+  for (int c = 0; c < ncarriers; ++c) {
+    VIZQ_RETURN_IF_ERROR(
+        carriers.AddRow({Value(codes[c]), Value(AirlineNamesImpl()[c])}));
+  }
+  VIZQ_ASSIGN_OR_RETURN(std::shared_ptr<Table> carriers_table,
+                        carriers.Finish());
+
+  auto db = std::make_shared<Database>("faa");
+  VIZQ_RETURN_IF_ERROR(db->AddTable(std::move(flights)));
+  VIZQ_RETURN_IF_ERROR(db->AddTable(std::move(carriers_table)));
+  return db;
+}
+
+StatusOr<std::string> GenerateFaaCsv(const FaaOptions& options) {
+  std::vector<FlightRow> rows = GenerateRows(options);
+  const auto& codes = CarrierCodesImpl();
+  const auto& airports = AirportCodesImpl();
+  const auto& states = AirportStatesImpl();
+  std::string out =
+      "carrier,fl_date,weekday,dep_hour,origin,dest,origin_state,"
+      "dest_state,market,distance,dep_delay,arr_delay,cancelled\n";
+  for (const FlightRow& r : rows) {
+    out += codes[r.carrier];
+    out += ',';
+    out += FormatDateDays(r.fl_date);
+    out += ',';
+    out += std::to_string(r.weekday);
+    out += ',';
+    out += std::to_string(r.dep_hour);
+    out += ',';
+    out += airports[r.origin];
+    out += ',';
+    out += airports[r.dest];
+    out += ',';
+    out += states[r.origin];
+    out += ',';
+    out += states[r.dest];
+    out += ',';
+    out += airports[r.origin] + "-" + airports[r.dest];
+    out += ',';
+    out += std::to_string(r.distance);
+    out += ',';
+    out += std::to_string(r.dep_delay);
+    out += ',';
+    out += std::to_string(r.arr_delay);
+    out += ',';
+    out += r.cancelled ? "true" : "false";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vizq::workload

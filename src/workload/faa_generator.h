@@ -1,0 +1,62 @@
+// Synthetic FAA Flights On-Time data (the paper's running example, Figs.
+// 1-2). Deterministic for a given seed; cardinalities, skew and delay
+// distributions are shaped like the real data set: a few dominant
+// carriers, Zipf-distributed market popularity, mostly-small delays with a
+// heavy tail, ~2% cancellations, weekday and hour-of-day effects.
+//
+// Schema of Extract.flights (sorted by carrier, fl_date by default, which
+// the TDE records and the §4.2.3 range-partitioning rule exploits):
+//   carrier        string   operating carrier code
+//   fl_date        date
+//   weekday        int64    0 = Monday .. 6 = Sunday (materialized)
+//   dep_hour       int64    scheduled departure hour 0..23
+//   origin         string   airport code
+//   dest           string
+//   origin_state   string
+//   dest_state     string
+//   market         string   "ORIGIN-DEST"
+//   distance       int64    miles
+//   dep_delay      int64    minutes (negative = early)
+//   arr_delay      int64
+//   cancelled      bool
+//
+// Extract.carriers is the airline dimension: carrier -> airline_name.
+
+#ifndef VIZQUERY_WORKLOAD_FAA_GENERATOR_H_
+#define VIZQUERY_WORKLOAD_FAA_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tde/storage/database.h"
+
+namespace vizq::workload {
+
+struct FaaOptions {
+  int64_t num_flights = 100000;
+  uint64_t seed = 2015;
+  int num_carriers = 10;   // <= 14
+  int num_airports = 24;   // <= 30
+  int num_days = 365;
+  // Sort order of the fact table (column names); empty = unsorted.
+  std::vector<std::string> sort_by = {"carrier", "fl_date"};
+};
+
+// Builds a database holding Extract.flights and Extract.carriers.
+StatusOr<std::shared_ptr<tde::Database>> GenerateFaaDatabase(
+    const FaaOptions& options);
+
+// The same data as CSV text (header + rows), for the shadow-extract
+// pipeline and examples.
+StatusOr<std::string> GenerateFaaCsv(const FaaOptions& options);
+
+// Carrier codes / airline names used by the generator (index-aligned).
+const std::vector<std::string>& FaaCarrierCodes();
+const std::vector<std::string>& FaaAirlineNames();
+const std::vector<std::string>& FaaAirportCodes();
+const std::vector<std::string>& FaaAirportStates();
+
+}  // namespace vizq::workload
+
+#endif  // VIZQUERY_WORKLOAD_FAA_GENERATOR_H_

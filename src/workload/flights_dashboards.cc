@@ -1,0 +1,150 @@
+#include "src/workload/flights_dashboards.h"
+
+namespace vizq::workload {
+
+using dashboard::Dashboard;
+using dashboard::FilterAction;
+using dashboard::QuickFilterBinding;
+using dashboard::Zone;
+using dashboard::ZoneKind;
+using query::AbstractQuery;
+using query::QueryBuilder;
+
+query::ViewDefinition FlightsStarView() {
+  query::ViewDefinition view;
+  view.name = kFlightsView;
+  view.fact_table = "flights";
+  view.joins.push_back(
+      query::ViewJoin{"carriers", "carrier", "code", /*referential=*/true});
+  return view;
+}
+
+Dashboard BuildFigure1Dashboard(const std::string& data_source) {
+  Dashboard dash("faa-on-time");
+
+  auto viz = [&](std::string name, AbstractQuery q) {
+    Zone z;
+    z.name = std::move(name);
+    z.kind = ZoneKind::kViz;
+    z.base = std::move(q);
+    (void)dash.AddZone(std::move(z));
+  };
+
+  // Upper maps: flight origins / destinations by state. Each is annotated
+  // with average delays and flights per day (avg delay + count measures).
+  viz("OriginMap", QueryBuilder(data_source, kFlightsView)
+                       .Dim("origin_state")
+                       .CountAll("flights")
+                       .Agg(AggFunc::kAvg, "arr_delay", "avg_delay")
+                       .Build());
+  viz("DestMap", QueryBuilder(data_source, kFlightsView)
+                     .Dim("dest_state")
+                     .CountAll("flights")
+                     .Agg(AggFunc::kAvg, "arr_delay", "avg_delay")
+                     .Build());
+
+  // Bottom charts.
+  viz("Airlines", QueryBuilder(data_source, kFlightsView)
+                      .Dim("airline_name")
+                      .CountAll("flights")
+                      .Agg(AggFunc::kAvg, "arr_delay", "avg_delay")
+                      .Build());
+  viz("DestAirports", QueryBuilder(data_source, kFlightsView)
+                          .Dim("dest")
+                          .CountAll("flights")
+                          .OrderBy("flights", /*ascending=*/false)
+                          .Limit(10)
+                          .Build());
+  viz("CancellationsByWeekday",
+      QueryBuilder(data_source, kFlightsView)
+          .Dim("weekday")
+          .CountAll("cancelled_flights")
+          .FilterIn("cancelled", {Value(true)})
+          .Build());
+  viz("DelayByHour", QueryBuilder(data_source, kFlightsView)
+                         .Dim("dep_hour")
+                         .Agg(AggFunc::kAvg, "arr_delay", "avg_delay")
+                         .CountAll("flights")
+                         .Build());
+  viz("TotalCount",
+      QueryBuilder(data_source, kFlightsView).CountAll("records").Build());
+
+  // Right-hand side: quick filters (their domains are queried once).
+  Zone carrier_filter;
+  carrier_filter.name = "CarrierFilter";
+  carrier_filter.kind = ZoneKind::kQuickFilter;
+  carrier_filter.filter_column = "carrier";
+  carrier_filter.base =
+      QueryBuilder(data_source, kFlightsView).Dim("carrier").Build();
+  (void)dash.AddZone(std::move(carrier_filter));
+
+  Zone weekday_filter;
+  weekday_filter.name = "WeekdayFilter";
+  weekday_filter.kind = ZoneKind::kQuickFilter;
+  weekday_filter.filter_column = "weekday";
+  weekday_filter.base =
+      QueryBuilder(data_source, kFlightsView).Dim("weekday").Build();
+  (void)dash.AddZone(std::move(weekday_filter));
+
+  // Static legend (no queries).
+  Zone legend;
+  legend.name = "Legend";
+  legend.kind = ZoneKind::kStatic;
+  (void)dash.AddZone(std::move(legend));
+
+  dash.AddQuickFilter(QuickFilterBinding{"carrier", {}});
+  dash.AddQuickFilter(QuickFilterBinding{"weekday", {}});
+
+  // The maps act as origin/destination selectors for the bottom charts.
+  const std::vector<std::string> bottom = {
+      "Airlines", "DestAirports", "CancellationsByWeekday", "DelayByHour",
+      "TotalCount"};
+  dash.AddAction(FilterAction{"OriginMap", "origin_state", bottom});
+  dash.AddAction(FilterAction{"DestMap", "dest_state", bottom});
+  return dash;
+}
+
+Dashboard BuildFigure2Dashboard(const std::string& data_source) {
+  Dashboard dash("market-carrier-airline");
+
+  Zone market;
+  market.name = "Market";
+  market.base = QueryBuilder(data_source, kFlightsView)
+                    .Dim("market")
+                    .CountAll("flights")
+                    .OrderBy("flights", /*ascending=*/false)
+                    .Limit(12)
+                    .Build();
+  (void)dash.AddZone(std::move(market));
+
+  // "The Carrier zone is filtered to the top 5 carriers, based upon number
+  // of flights, that have more than 1,400 Flights/Day." Our synthetic data
+  // is smaller, so the floor is a count floor with the same shape.
+  Zone carrier;
+  carrier.name = "Carrier";
+  carrier.base = QueryBuilder(data_source, kFlightsView)
+                     .Dim("carrier")
+                     .CountAll("flights")
+                     .OrderBy("flights", /*ascending=*/false)
+                     .Limit(5)
+                     .Build();
+  (void)dash.AddZone(std::move(carrier));
+
+  Zone airline;
+  airline.name = "AirlineName";
+  airline.base = QueryBuilder(data_source, kFlightsView)
+                     .Dim("airline_name")
+                     .CountAll("flights")
+                     .Build();
+  (void)dash.AddZone(std::move(airline));
+
+  // "(1) selecting a field in the Market zone will filter the results in
+  // the Carrier and Airline Name zones, and (2) selecting a carrier in the
+  // Carrier zone will filter the Airline Name zone."
+  dash.AddAction(
+      FilterAction{"Market", "market", {"Carrier", "AirlineName"}});
+  dash.AddAction(FilterAction{"Carrier", "carrier", {"AirlineName"}});
+  return dash;
+}
+
+}  // namespace vizq::workload

@@ -1,0 +1,33 @@
+// The paper's example dashboards over the FAA data.
+//
+// Figure 1: two state maps (origins / destinations) that also act as
+// filters, plus airline, destination-airport, cancellations-by-weekday and
+// delay-by-hour charts, a record-count readout and quick filters.
+//
+// Figure 2: three zones — Market, Carrier (top 5 by flights, with a
+// flights-per-day floor) and Airline Name — linked by two filter actions:
+// Market filters Carrier and Airline Name; Carrier filters Airline Name.
+
+#ifndef VIZQUERY_WORKLOAD_FLIGHTS_DASHBOARDS_H_
+#define VIZQUERY_WORKLOAD_FLIGHTS_DASHBOARDS_H_
+
+#include "src/dashboard/dashboard.h"
+#include "src/query/compiler.h"
+
+namespace vizq::workload {
+
+// The view name both dashboards query ("flights" joined to "carriers").
+inline constexpr char kFlightsView[] = "flights_star";
+
+// The star view definition registering flights ⋈ carriers.
+query::ViewDefinition FlightsStarView();
+
+// Builds the Fig. 1 dashboard ("FAA Flights On-Time").
+dashboard::Dashboard BuildFigure1Dashboard(const std::string& data_source);
+
+// Builds the Fig. 2 dashboard (Market / Carrier / Airline Name).
+dashboard::Dashboard BuildFigure2Dashboard(const std::string& data_source);
+
+}  // namespace vizq::workload
+
+#endif  // VIZQUERY_WORKLOAD_FLIGHTS_DASHBOARDS_H_

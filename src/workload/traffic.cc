@@ -1,0 +1,41 @@
+#include "src/workload/traffic.h"
+
+#include "src/common/rng.h"
+
+namespace vizq::workload {
+
+std::vector<TrafficEvent> GenerateTraffic(
+    const TrafficOptions& options, const std::vector<Selectable>& selectable) {
+  Rng rng(options.seed);
+  std::vector<TrafficEvent> events;
+  for (int user = 0; user < options.num_users; ++user) {
+    TrafficEvent load;
+    load.kind = TrafficEvent::Kind::kInitialLoad;
+    load.user = user;
+    events.push_back(std::move(load));
+
+    if (selectable.empty() || !rng.Chance(options.interaction_probability)) {
+      continue;
+    }
+    int interactions =
+        static_cast<int>(rng.Range(1, options.max_interactions));
+    for (int i = 0; i < interactions; ++i) {
+      const Selectable& s = selectable[rng.Below(selectable.size())];
+      TrafficEvent e;
+      e.kind = s.is_quick_filter ? TrafficEvent::Kind::kQuickFilter
+                                 : TrafficEvent::Kind::kSelect;
+      e.user = user;
+      e.zone = s.zone;
+      e.column = s.column;
+      // Pick 1..3 candidate values.
+      int k = static_cast<int>(rng.Range(1, 3));
+      for (int v = 0; v < k && !s.candidates.empty(); ++v) {
+        e.values.push_back(s.candidates[rng.Below(s.candidates.size())]);
+      }
+      events.push_back(std::move(e));
+    }
+  }
+  return events;
+}
+
+}  // namespace vizq::workload

@@ -1,0 +1,58 @@
+// Multi-user traffic generation (§3.2): "In a multi-user scenario, it is
+// even more common to get identical or similar requests, since different
+// users are working with the same shared dashboards. An extreme example of
+// this is seen in Tableau Public ... The user-generated traffic is
+// saturated by initial load requests, as many viewers just read content
+// with the initial state of a dashboard and make further interactions
+// rarely."
+
+#ifndef VIZQUERY_WORKLOAD_TRAFFIC_H_
+#define VIZQUERY_WORKLOAD_TRAFFIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dashboard/dashboard.h"
+
+namespace vizq::workload {
+
+// One step of a user's session.
+struct TrafficEvent {
+  enum class Kind : uint8_t {
+    kInitialLoad,    // render the whole dashboard with default state
+    kSelect,         // select a value in a source zone (filter action)
+    kQuickFilter,    // change a quick-filter selection
+  };
+  Kind kind = Kind::kInitialLoad;
+  int user = 0;
+  std::string zone;      // kSelect
+  std::string column;    // kSelect / kQuickFilter
+  std::vector<Value> values;
+};
+
+struct TrafficOptions {
+  int num_users = 50;
+  // Probability a user interacts at all after the initial load
+  // (Tableau-Public-style traffic keeps this small).
+  double interaction_probability = 0.1;
+  // Interactions per interacting user.
+  int max_interactions = 3;
+  uint64_t seed = 99;
+};
+
+// Generates a session trace for `dashboard`. Selection values are drawn
+// from `selectable`: (zone, column, candidate values) triples the caller
+// derives from the dashboard's actions and data.
+struct Selectable {
+  std::string zone;
+  std::string column;
+  std::vector<Value> candidates;
+  bool is_quick_filter = false;
+};
+
+std::vector<TrafficEvent> GenerateTraffic(
+    const TrafficOptions& options, const std::vector<Selectable>& selectable);
+
+}  // namespace vizq::workload
+
+#endif  // VIZQUERY_WORKLOAD_TRAFFIC_H_

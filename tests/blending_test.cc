@@ -1,0 +1,132 @@
+// Data blending tests: aggregated results from two independent data
+// sources (each with its own pipeline and caches) left-joined on linking
+// dimensions.
+
+#include "src/dashboard/blending.h"
+
+#include <gtest/gtest.h>
+
+#include "src/federation/data_source.h"
+#include "tests/test_util.h"
+
+namespace vizq::dashboard {
+namespace {
+
+using query::QueryBuilder;
+
+class BlendingTest : public ::testing::Test {
+ protected:
+  BlendingTest() {
+    // Primary source: the sales database.
+    auto sales_db = vizq::testing::MakeTestDatabase(4096);
+    primary_source_ =
+        std::make_shared<federation::TdeDataSource>("salesdb", sales_db);
+    primary_caches_ = std::make_shared<CacheStack>();
+    primary_ = std::make_unique<QueryService>(primary_source_,
+                                              primary_caches_);
+    EXPECT_TRUE(primary_->RegisterTableView("sales").ok());
+
+    // Secondary source: a *separate* database with region quotas.
+    auto quota_db = std::make_shared<tde::Database>("quotadb");
+    tde::TableBuilder builder("quotas", {{"region", DataType::String()},
+                                         {"quota", DataType::Int64()}});
+    (void)builder.AddRow({Value("East"), Value(int64_t{1000})});
+    (void)builder.AddRow({Value("North"), Value(int64_t{1500})});
+    (void)builder.AddRow({Value("South"), Value(int64_t{800})});
+    // No quota row for West: blend must leave it NULL.
+    (void)quota_db->AddTable(*builder.Finish());
+    secondary_source_ =
+        std::make_shared<federation::TdeDataSource>("quotadb", quota_db);
+    secondary_ = std::make_unique<QueryService>(secondary_source_, nullptr);
+    EXPECT_TRUE(secondary_->RegisterTableView("quotas").ok());
+  }
+
+  std::shared_ptr<federation::TdeDataSource> primary_source_;
+  std::shared_ptr<CacheStack> primary_caches_;
+  std::unique_ptr<QueryService> primary_;
+  std::shared_ptr<federation::TdeDataSource> secondary_source_;
+  std::unique_ptr<QueryService> secondary_;
+};
+
+TEST_F(BlendingTest, LeftJoinsAggregatesAcrossSources) {
+  BlendSpec spec;
+  spec.primary = QueryBuilder("salesdb", "sales")
+                     .Dim("region")
+                     .Agg(AggFunc::kSum, "units", "total")
+                     .Build();
+  spec.secondary = QueryBuilder("quotadb", "quotas")
+                       .Dim("region")
+                       .Agg(AggFunc::kMax, "quota", "quota")
+                       .Build();
+  spec.link_on = {{"region", "region"}};
+
+  auto blended = ExecuteBlend(primary_.get(), secondary_.get(), spec);
+  ASSERT_TRUE(blended.ok()) << blended.status();
+  ASSERT_EQ(blended->num_rows(), 4);
+  ASSERT_EQ(blended->num_columns(), 3);  // region, total, quota
+  EXPECT_EQ(blended->columns()[2].name, "quota");
+
+  // Every region keeps its sales; West has no quota.
+  bool saw_west = false;
+  for (int64_t r = 0; r < blended->num_rows(); ++r) {
+    const std::string& region = blended->at(r, 0).string_value();
+    EXPECT_FALSE(blended->at(r, 1).is_null());
+    if (region == "West") {
+      saw_west = true;
+      EXPECT_TRUE(blended->at(r, 2).is_null());
+    } else {
+      EXPECT_FALSE(blended->at(r, 2).is_null());
+    }
+  }
+  EXPECT_TRUE(saw_west);
+}
+
+TEST_F(BlendingTest, CollidingSecondaryColumnIsRenamed) {
+  BlendSpec spec;
+  spec.primary = QueryBuilder("salesdb", "sales")
+                     .Dim("region")
+                     .CountAll("n")
+                     .Build();
+  spec.secondary = QueryBuilder("quotadb", "quotas")
+                       .Dim("region")
+                       .CountAll("n")
+                       .Build();
+  spec.link_on = {{"region", "region"}};
+  auto blended = ExecuteBlend(primary_.get(), secondary_.get(), spec);
+  ASSERT_TRUE(blended.ok());
+  EXPECT_EQ(blended->columns()[2].name, "n (secondary)");
+}
+
+TEST_F(BlendingTest, BothSidesBenefitFromTheirCaches) {
+  BlendSpec spec;
+  spec.primary = QueryBuilder("salesdb", "sales")
+                     .Dim("region")
+                     .Agg(AggFunc::kSum, "units", "total")
+                     .Build();
+  spec.secondary = QueryBuilder("quotadb", "quotas")
+                       .Dim("region")
+                       .Agg(AggFunc::kMax, "quota", "quota")
+                       .Build();
+  spec.link_on = {{"region", "region"}};
+  ASSERT_TRUE(ExecuteBlend(primary_.get(), secondary_.get(), spec).ok());
+  int64_t hits_before = primary_caches_->intelligent.stats().hits();
+  ASSERT_TRUE(ExecuteBlend(primary_.get(), secondary_.get(), spec).ok());
+  EXPECT_GT(primary_caches_->intelligent.stats().hits(), hits_before);
+}
+
+TEST_F(BlendingTest, ValidatesLinkingFields) {
+  BlendSpec spec;
+  spec.primary =
+      QueryBuilder("salesdb", "sales").Dim("region").CountAll("n").Build();
+  spec.secondary =
+      QueryBuilder("quotadb", "quotas").Dim("region").CountAll("n").Build();
+  EXPECT_FALSE(
+      ExecuteBlend(primary_.get(), secondary_.get(), spec).ok());  // no link
+  spec.link_on = {{"product", "region"}};  // not a primary dimension
+  EXPECT_FALSE(ExecuteBlend(primary_.get(), secondary_.get(), spec).ok());
+  spec.link_on = {{"region", "nope"}};
+  EXPECT_FALSE(ExecuteBlend(primary_.get(), secondary_.get(), spec).ok());
+}
+
+}  // namespace
+}  // namespace vizq::dashboard

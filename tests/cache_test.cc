@@ -1,0 +1,460 @@
+// Tests of the intelligent cache's view-matching and post-processing, the
+// literal cache, eviction, persistence, and the distributed tier.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/distributed.h"
+#include "src/cache/intelligent_cache.h"
+#include "src/cache/literal_cache.h"
+#include "src/cache/persistence.h"
+#include "src/dashboard/query_service.h"
+#include "src/federation/data_source.h"
+#include "tests/test_util.h"
+
+namespace vizq::cache {
+namespace {
+
+using dashboard::BatchOptions;
+using dashboard::CacheStack;
+using dashboard::QueryService;
+using query::AbstractQuery;
+using query::QueryBuilder;
+
+// Ground truth executor: runs a query with no caching whatsoever.
+class CacheTestEnv {
+ public:
+  CacheTestEnv()
+      : source_(std::make_shared<federation::TdeDataSource>(
+            "tde", vizq::testing::MakeTestDatabase(8192))),
+        truth_service_(source_, nullptr) {
+    (void)truth_service_.RegisterTableView("sales");
+  }
+
+  ResultTable Truth(const AbstractQuery& q) {
+    BatchOptions opts;
+    opts.use_intelligent_cache = false;
+    opts.use_literal_cache = false;
+    opts.fuse_queries = false;
+    opts.analyze_batch = false;
+    opts.adjust.decompose_avg = false;
+    auto result = truth_service_.ExecuteQuery(q, opts);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? *result : ResultTable();
+  }
+
+  std::shared_ptr<federation::DataSource> source_;
+  QueryService truth_service_;
+};
+
+AbstractQuery BaseQuery() {
+  return QueryBuilder("tde", "sales")
+      .Dim("region")
+      .Dim("product")
+      .Agg(AggFunc::kSum, "units", "total")
+      .Agg(AggFunc::kCount, "units", "n")
+      .Agg(AggFunc::kMin, "units", "lo")
+      .Agg(AggFunc::kMax, "units", "hi")
+      .Build();
+}
+
+TEST(IntelligentCacheTest, ExactHit) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery q = BaseQuery();
+  ResultTable truth = env.Truth(q);
+  cache.Put(q, truth, 10.0);
+  auto hit = cache.Lookup(q);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit, truth));
+  EXPECT_EQ(cache.stats().exact_hits, 1);
+}
+
+TEST(IntelligentCacheTest, RollupMatchesDirectExecution) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = BaseQuery();
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  // Coarser granularity: roll product out.
+  AbstractQuery rolled = QueryBuilder("tde", "sales")
+                             .Dim("region")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .Agg(AggFunc::kCount, "units", "n")
+                             .Agg(AggFunc::kMin, "units", "lo")
+                             .Agg(AggFunc::kMax, "units", "hi")
+                             .Build();
+  auto hit = cache.Lookup(rolled);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit, env.Truth(rolled)))
+      << hit->ToCsv() << "\nvs\n" << env.Truth(rolled).ToCsv();
+  EXPECT_EQ(cache.stats().derived_hits, 1);
+}
+
+TEST(IntelligentCacheTest, ResidualFilterOnDimension) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = BaseQuery();
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  AbstractQuery filtered = QueryBuilder("tde", "sales")
+                               .Dim("region")
+                               .Dim("product")
+                               .Agg(AggFunc::kSum, "units", "total")
+                               .Agg(AggFunc::kCount, "units", "n")
+                               .Agg(AggFunc::kMin, "units", "lo")
+                               .Agg(AggFunc::kMax, "units", "hi")
+                               .FilterIn("region", {Value("East"), Value("West")})
+                               .Build();
+  auto hit = cache.Lookup(filtered);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit, env.Truth(filtered)));
+}
+
+TEST(IntelligentCacheTest, RollupPlusFilterPlusTopN) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = BaseQuery();
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  AbstractQuery request = QueryBuilder("tde", "sales")
+                              .Dim("product")
+                              .Agg(AggFunc::kSum, "units", "total")
+                              .FilterIn("region", {Value("South")})
+                              .OrderBy("total", /*ascending=*/false)
+                              .Limit(3)
+                              .Build();
+  auto hit = cache.Lookup(request);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->num_rows(), 3);
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit, env.Truth(request)))
+      << hit->ToCsv() << "\nvs\n" << env.Truth(request).ToCsv();
+}
+
+TEST(IntelligentCacheTest, AvgDerivedFromSumAndCount) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = QueryBuilder("tde", "sales")
+                             .Dim("region")
+                             .Dim("product")
+                             .Agg(AggFunc::kSum, "price", "")
+                             .Agg(AggFunc::kCount, "price", "")
+                             .Build();
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  AbstractQuery request = QueryBuilder("tde", "sales")
+                              .Dim("region")
+                              .Agg(AggFunc::kAvg, "price", "mean")
+                              .Build();
+  auto hit = cache.Lookup(request);
+  ASSERT_TRUE(hit.has_value());
+  ResultTable truth = env.Truth(request);
+  ASSERT_EQ(hit->num_rows(), truth.num_rows());
+  ResultTable a = *hit, b = truth;
+  a.SortRowsByAllColumns();
+  b.SortRowsByAllColumns();
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.at(r, 0).string_value(), b.at(r, 0).string_value());
+    EXPECT_NEAR(a.at(r, 1).AsDouble(), b.at(r, 1).AsDouble(), 1e-9);
+  }
+}
+
+TEST(IntelligentCacheTest, CountDistinctFromDimension) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = BaseQuery();  // has product as a dimension
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  AbstractQuery request = QueryBuilder("tde", "sales")
+                              .Dim("region")
+                              .Agg(AggFunc::kCountDistinct, "product", "nd")
+                              .Build();
+  auto hit = cache.Lookup(request);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit, env.Truth(request)));
+}
+
+TEST(IntelligentCacheTest, MismatchesMiss) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = QueryBuilder("tde", "sales")
+                             .Dim("region")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .FilterIn("region", {Value("East")})
+                             .Build();
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  // Weaker filter than stored: stored lacks the rows.
+  AbstractQuery weaker = QueryBuilder("tde", "sales")
+                             .Dim("region")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .Build();
+  EXPECT_FALSE(cache.Lookup(weaker).has_value());
+
+  // Finer granularity than stored.
+  AbstractQuery finer = QueryBuilder("tde", "sales")
+                            .Dim("region")
+                            .Dim("product")
+                            .Agg(AggFunc::kSum, "units", "total")
+                            .FilterIn("region", {Value("East")})
+                            .Build();
+  EXPECT_FALSE(cache.Lookup(finer).has_value());
+
+  // Measure not derivable (needs raw data).
+  AbstractQuery needs_raw = QueryBuilder("tde", "sales")
+                                .Dim("region")
+                                .Agg(AggFunc::kCountDistinct, "units", "nd")
+                                .FilterIn("region", {Value("East")})
+                                .Build();
+  EXPECT_FALSE(cache.Lookup(needs_raw).has_value());
+
+  // Different view entirely.
+  AbstractQuery other_view = QueryBuilder("tde", "products")
+                                 .Dim("category")
+                                 .CountAll("n")
+                                 .Build();
+  EXPECT_FALSE(cache.Lookup(other_view).has_value());
+}
+
+TEST(IntelligentCacheTest, StoredTopNOnlyServesExactRequests) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = QueryBuilder("tde", "sales")
+                             .Dim("product")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .OrderBy("total", false)
+                             .Limit(3)
+                             .Build();
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  EXPECT_TRUE(cache.Lookup(stored).has_value());
+
+  AbstractQuery rolled = QueryBuilder("tde", "sales")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .Build();
+  EXPECT_FALSE(cache.Lookup(rolled).has_value());
+}
+
+TEST(IntelligentCacheTest, ResidualFilterOnNonDimensionMisses) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = QueryBuilder("tde", "sales")
+                             .Dim("region")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .Build();
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  // Filter on product, which is not in the stored granularity.
+  AbstractQuery request = QueryBuilder("tde", "sales")
+                              .Dim("region")
+                              .Agg(AggFunc::kSum, "units", "total")
+                              .FilterIn("product", {Value("apple")})
+                              .Build();
+  EXPECT_FALSE(cache.Lookup(request).has_value());
+}
+
+TEST(IntelligentCacheTest, AdjustForReuseDecomposesAvg) {
+  AbstractQuery q = QueryBuilder("tde", "sales")
+                        .Dim("region")
+                        .Agg(AggFunc::kAvg, "price", "mean")
+                        .Build();
+  AbstractQuery adjusted = AdjustForReuse(q, AdjustOptions{});
+  bool has_avg = false, has_sum = false, has_cnt = false;
+  for (const query::Measure& m : adjusted.measures) {
+    has_avg |= m.func == AggFunc::kAvg;
+    has_sum |= m.func == AggFunc::kSum && m.column == "price";
+    has_cnt |= m.func == AggFunc::kCount && m.column == "price";
+  }
+  EXPECT_FALSE(has_avg);
+  EXPECT_TRUE(has_sum);
+  EXPECT_TRUE(has_cnt);
+  // And the adjusted result answers the original.
+  auto plan = MatchQueries(adjusted, {}, q);
+  EXPECT_TRUE(plan.has_value());
+}
+
+TEST(IntelligentCacheTest, AdjustAddFilterDimensionsEnablesReuse) {
+  AbstractQuery q = QueryBuilder("tde", "sales")
+                        .Dim("region")
+                        .Agg(AggFunc::kSum, "units", "total")
+                        .FilterIn("product", {Value("apple"), Value("fig")})
+                        .Build();
+  AdjustOptions opts;
+  opts.add_filter_dimensions = true;
+  AbstractQuery adjusted = AdjustForReuse(q, opts);
+  // product became a dimension, so a later deselection is post-processable.
+  AbstractQuery narrower = QueryBuilder("tde", "sales")
+                               .Dim("region")
+                               .Agg(AggFunc::kSum, "units", "total")
+                               .FilterIn("product", {Value("apple")})
+                               .Build();
+  EXPECT_TRUE(MatchQueries(adjusted, {}, q).has_value());
+  EXPECT_TRUE(MatchQueries(adjusted, {}, narrower).has_value());
+}
+
+TEST(IntelligentCacheTest, EvictionRespectsCapacityAndInvalidations) {
+  CacheTestEnv env;
+  IntelligentCacheOptions options;
+  options.max_bytes = 1;  // force immediate eviction
+  IntelligentCache tiny(options);
+  AbstractQuery q = BaseQuery();
+  tiny.Put(q, env.Truth(q), 10.0);
+  EXPECT_EQ(tiny.num_entries(), 0);
+  EXPECT_EQ(tiny.stats().evictions, 1);
+
+  IntelligentCache normal;
+  normal.Put(q, env.Truth(q), 10.0);
+  EXPECT_EQ(normal.num_entries(), 1);
+  normal.InvalidateDataSource("tde");
+  EXPECT_EQ(normal.num_entries(), 0);
+  EXPECT_FALSE(normal.Lookup(q).has_value());
+}
+
+TEST(IntelligentCacheTest, MinEvalCostGatesAdmission) {
+  CacheTestEnv env;
+  IntelligentCacheOptions options;
+  options.min_eval_cost_ms = 5.0;
+  IntelligentCache cache(options);
+  AbstractQuery q = BaseQuery();
+  cache.Put(q, env.Truth(q), 1.0);  // too cheap to bother caching
+  EXPECT_EQ(cache.num_entries(), 0);
+  cache.Put(q, env.Truth(q), 50.0);
+  EXPECT_EQ(cache.num_entries(), 1);
+}
+
+TEST(LiteralCacheTest, HitsOnExactTextOnly) {
+  LiteralCache cache;
+  ResultTable t(std::vector<ResultColumn>{{"x", DataType::Int64()}});
+  t.AddRow({Value(int64_t{1})});
+  cache.Put("SELECT 1", t, 5.0, "src");
+  EXPECT_TRUE(cache.Lookup("SELECT 1").has_value());
+  EXPECT_FALSE(cache.Lookup("SELECT  1").has_value());
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  cache.InvalidateDataSource("src");
+  EXPECT_FALSE(cache.Lookup("SELECT 1").has_value());
+}
+
+TEST(PersistenceTest, RoundTripsBothCaches) {
+  CacheTestEnv env;
+  IntelligentCache intelligent;
+  LiteralCache literal;
+  AbstractQuery q = BaseQuery();
+  intelligent.Put(q, env.Truth(q), 12.0);
+  ResultTable t(std::vector<ResultColumn>{{"x", DataType::Int64()}});
+  t.AddRow({Value(int64_t{42})});
+  literal.Put("SELECT 42", t, 3.0, "tde");
+
+  std::string bytes = SerializeCaches(intelligent, literal);
+
+  IntelligentCache restored_i;
+  LiteralCache restored_l;
+  ASSERT_TRUE(DeserializeCaches(bytes, &restored_i, &restored_l).ok());
+  EXPECT_TRUE(restored_i.Lookup(q).has_value());
+  EXPECT_TRUE(restored_l.Lookup("SELECT 42").has_value());
+
+  // Corrupt image fails cleanly.
+  std::string corrupt = bytes.substr(0, bytes.size() / 2);
+  IntelligentCache scratch_i;
+  LiteralCache scratch_l;
+  EXPECT_FALSE(DeserializeCaches(corrupt, &scratch_i, &scratch_l).ok());
+}
+
+TEST(DistributedTest, SecondNodeStaysWarm) {
+  CacheTestEnv env;
+  DistributedCacheTier::Options tier_options;
+  tier_options.simulate_latency = false;
+  auto tier = std::make_shared<DistributedCacheTier>(tier_options);
+  NodeCacheLayer node_a("a", tier);
+  NodeCacheLayer node_b("b", tier);
+
+  AbstractQuery q = BaseQuery();
+  ResultTable truth = env.Truth(q);
+  node_a.Put(q, truth, 20.0);
+
+  // Node B never saw the query but gets it from the shared tier.
+  auto hit = node_b.Lookup(q);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit, truth));
+  EXPECT_EQ(node_b.shared_hits(), 1);
+
+  // Second lookup on B is local.
+  ASSERT_TRUE(node_b.Lookup(q).has_value());
+  EXPECT_EQ(node_b.shared_hits(), 1);
+  EXPECT_GE(tier->hits(), 1);
+}
+
+// Parameterized sweep: every (stored granularity, requested granularity,
+// filter) combination answered from cache must equal direct execution.
+struct SweepCase {
+  std::vector<std::string> stored_dims;
+  std::vector<std::string> requested_dims;
+  bool filter_region;
+};
+
+class CacheEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheEquivalenceSweep, DerivedResultsMatchTruth) {
+  static CacheTestEnv* env = new CacheTestEnv();
+  const std::vector<std::vector<std::string>> granularities = {
+      {"region", "product"}, {"region"}, {"product"}, {}};
+  int param = GetParam();
+  const auto& stored_dims = granularities[param % 4];
+  const auto& requested_dims = granularities[(param / 4) % 4];
+  bool filter_region = (param / 16) % 2 == 1;
+
+  // Requested must be derivable: requested dims subset of stored dims and
+  // (when filtering on region) region in stored dims.
+  auto contains = [](const std::vector<std::string>& v, const std::string& s) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  };
+  bool derivable = true;
+  for (const std::string& d : requested_dims) {
+    if (!contains(stored_dims, d)) derivable = false;
+  }
+  if (filter_region && !contains(stored_dims, "region")) derivable = false;
+
+  QueryBuilder stored_builder("tde", "sales");
+  for (const std::string& d : stored_dims) stored_builder.Dim(d);
+  stored_builder.Agg(AggFunc::kSum, "units", "total")
+      .Agg(AggFunc::kCount, "units", "n");
+  AbstractQuery stored = stored_builder.Build();
+
+  QueryBuilder req_builder("tde", "sales");
+  for (const std::string& d : requested_dims) req_builder.Dim(d);
+  req_builder.Agg(AggFunc::kSum, "units", "total")
+      .Agg(AggFunc::kAvg, "units", "mean");
+  if (filter_region) {
+    req_builder.FilterIn("region", {Value("East"), Value("North")});
+  }
+  AbstractQuery requested = req_builder.Build();
+
+  IntelligentCache cache;
+  cache.Put(stored, env->Truth(stored), 10.0);
+  auto hit = cache.Lookup(requested);
+  if (!derivable) {
+    EXPECT_FALSE(hit.has_value());
+    return;
+  }
+  ASSERT_TRUE(hit.has_value());
+  ResultTable truth = env->Truth(requested);
+  ASSERT_EQ(hit->num_rows(), truth.num_rows());
+  ResultTable a = *hit, b = truth;
+  a.SortRowsByAllColumns();
+  b.SortRowsByAllColumns();
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      if (a.at(r, c).is_double() || b.at(r, c).is_double()) {
+        EXPECT_NEAR(a.at(r, c).AsDouble(), b.at(r, c).AsDouble(), 1e-9);
+      } else {
+        EXPECT_TRUE(a.at(r, c).Equals(b.at(r, c)))
+            << a.at(r, c).ToString() << " vs " << b.at(r, c).ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GranularityByFilter, CacheEquivalenceSweep,
+                         ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace vizq::cache

@@ -1,0 +1,223 @@
+// Query compiler tests: plan generation, SQL dialect rendering, join
+// culling, domain-based predicate simplification and large-IN
+// externalization (§3.1).
+
+#include "src/query/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/federation/data_source.h"
+#include "tests/test_util.h"
+
+namespace vizq::query {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  CompilerTest() : db_(vizq::testing::MakeTestDatabase(1024)) {
+    view_.name = "sales_star";
+    view_.fact_table = "sales";
+    view_.joins.push_back(ViewJoin{"products", "product", "name", true});
+  }
+
+  QueryCompiler MakeCompiler(Capabilities caps = Capabilities::Tde(),
+                             SqlDialect dialect = SqlDialect::Ansi()) {
+    return QueryCompiler(view_, caps, dialect, db_.get());
+  }
+
+  std::shared_ptr<tde::Database> db_;
+  ViewDefinition view_;
+};
+
+TEST_F(CompilerTest, ResolvesColumnsAcrossStar) {
+  QueryCompiler compiler = MakeCompiler();
+  EXPECT_TRUE(compiler.view_columns().count("region"));    // fact
+  EXPECT_TRUE(compiler.view_columns().count("category"));  // dim
+}
+
+TEST_F(CompilerTest, CullsUnreferencedJoins) {
+  QueryCompiler compiler = MakeCompiler();
+  AbstractQuery q = QueryBuilder("src", "sales_star")
+                        .Dim("region")
+                        .Agg(AggFunc::kSum, "units", "total")
+                        .Build();
+  auto cq = compiler.Compile(q);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  EXPECT_EQ(cq->culled_joins, 1);
+  EXPECT_EQ(cq->sql.find("INNER JOIN"), std::string::npos) << cq->sql;
+
+  AbstractQuery with_dim_col = QueryBuilder("src", "sales_star")
+                                   .Dim("category")
+                                   .Agg(AggFunc::kSum, "units", "total")
+                                   .Build();
+  auto cq2 = compiler.Compile(with_dim_col);
+  ASSERT_TRUE(cq2.ok()) << cq2.status();
+  EXPECT_EQ(cq2->culled_joins, 0);
+  EXPECT_NE(cq2->sql.find("INNER JOIN"), std::string::npos) << cq2->sql;
+}
+
+TEST_F(CompilerTest, CompiledPlanExecutesOnTde) {
+  QueryCompiler compiler = MakeCompiler();
+  AbstractQuery q = QueryBuilder("src", "sales_star")
+                        .Dim("category")
+                        .Agg(AggFunc::kSum, "units", "total")
+                        .FilterIn("region", {Value("East")})
+                        .Build();
+  auto cq = compiler.Compile(q);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  tde::TdeEngine engine(db_);
+  auto result = engine.Execute(cq->plan, tde::QueryOptions::Serial());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->table.num_columns(), 2);
+  EXPECT_GT(result->table.num_rows(), 0);
+}
+
+TEST_F(CompilerTest, DomainSimplificationDropsCoveringFilters) {
+  QueryCompiler compiler = MakeCompiler();
+  ColumnDomains domains;
+  domains["region"] = {Value("East"), Value("North"), Value("South"),
+                       Value("West")};
+  AbstractQuery q =
+      QueryBuilder("src", "sales_star")
+          .Dim("region")
+          .Agg(AggFunc::kSum, "units", "total")
+          .FilterIn("region", {Value("East"), Value("North"), Value("South"),
+                               Value("West")})
+          .Build();
+  auto cq = compiler.Compile(q, CompilerOptions(), &domains);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  EXPECT_EQ(cq->dropped_domain_filters, 1);
+  EXPECT_EQ(cq->sql.find("WHERE"), std::string::npos) << cq->sql;
+
+  // Partial selection is kept.
+  AbstractQuery partial = QueryBuilder("src", "sales_star")
+                              .Dim("region")
+                              .Agg(AggFunc::kSum, "units", "total")
+                              .FilterIn("region", {Value("East")})
+                              .Build();
+  auto cq2 = compiler.Compile(partial, CompilerOptions(), &domains);
+  ASSERT_TRUE(cq2.ok());
+  EXPECT_EQ(cq2->dropped_domain_filters, 0);
+  EXPECT_NE(cq2->sql.find("WHERE"), std::string::npos);
+}
+
+TEST_F(CompilerTest, ExternalizesLargeInLists) {
+  QueryCompiler compiler = MakeCompiler();
+  std::vector<Value> many;
+  for (int i = 0; i < 500; ++i) many.push_back(Value(int64_t{i}));
+  AbstractQuery q = QueryBuilder("src", "sales_star")
+                        .Dim("region")
+                        .Agg(AggFunc::kSum, "units", "total")
+                        .FilterIn("units", std::move(many))
+                        .Build();
+  CompilerOptions options;
+  options.externalize_threshold = 64;
+  auto cq = compiler.Compile(q, options, nullptr);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  EXPECT_TRUE(cq->used_externalization);
+  ASSERT_EQ(cq->temp_tables.size(), 1u);
+  EXPECT_EQ(cq->temp_tables[0].source_column, "units");
+  EXPECT_NE(cq->sql.find(cq->temp_tables[0].name), std::string::npos)
+      << cq->sql;
+
+  // Execute on a connection (temp tables created on the session).
+  auto source = std::make_shared<federation::TdeDataSource>("tde", db_);
+  auto conn = source->Connect();
+  ASSERT_TRUE(conn.ok());
+  federation::ExecutionInfo info;
+  auto result = (*conn)->Execute(*cq, &info);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->num_rows(), 0);
+
+  // Same query again on the same session reuses the temp table.
+  auto again = (*conn)->Execute(*cq, &info);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(info.reused_temp_table);
+}
+
+TEST_F(CompilerTest, NoTempTablesMeansInlineOrReject) {
+  Capabilities caps = Capabilities::LegacyFileDriver();  // max_in_list = 64
+  QueryCompiler compiler = MakeCompiler(caps);
+  std::vector<Value> many;
+  for (int i = 0; i < 500; ++i) many.push_back(Value(int64_t{i}));
+  AbstractQuery q = QueryBuilder("src", "sales_star")
+                        .Dim("region")
+                        .Agg(AggFunc::kSum, "units", "total")
+                        .FilterIn("units", std::move(many))
+                        .Build();
+  auto cq = compiler.Compile(q);
+  EXPECT_FALSE(cq.ok());
+  EXPECT_EQ(cq.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(CompilerTest, LocalTopNWhenBackendLacksIt) {
+  Capabilities caps = Capabilities::LegacyFileDriver();
+  QueryCompiler compiler = MakeCompiler(caps);
+  AbstractQuery q = QueryBuilder("src", "sales_star")
+                        .Dim("product")
+                        .Agg(AggFunc::kSum, "units", "total")
+                        .OrderBy("total", false)
+                        .Limit(3)
+                        .Build();
+  auto cq = compiler.Compile(q);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  EXPECT_TRUE(cq->requires_local_topn);
+  EXPECT_EQ(cq->sql.find("LIMIT"), std::string::npos) << cq->sql;
+  EXPECT_EQ(cq->sql.find("ORDER BY"), std::string::npos) << cq->sql;
+}
+
+struct DialectCase {
+  SqlDialect dialect;
+  std::string expect_fragment;
+};
+
+class DialectRenderingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DialectRenderingTest, LimitStyleMatchesDialect) {
+  auto db = vizq::testing::MakeTestDatabase(256);
+  ViewDefinition view;
+  view.name = "sales";
+  view.fact_table = "sales";
+
+  const std::vector<DialectCase> cases = {
+      {SqlDialect::Ansi(), " LIMIT 5"},
+      {SqlDialect::MssqlLike(), "SELECT TOP 5 "},
+      {SqlDialect::MysqlLike(), " LIMIT 5"},
+      {SqlDialect::BigWarehouse(), " FETCH FIRST 5 ROWS ONLY"},
+  };
+  const DialectCase& c = cases[GetParam()];
+  QueryCompiler compiler(view, Capabilities::SingleThreadedSql(), c.dialect,
+                         db.get());
+  AbstractQuery q = QueryBuilder("src", "sales")
+                        .Dim("region")
+                        .Agg(AggFunc::kSum, "units", "total")
+                        .OrderBy("total", false)
+                        .Limit(5)
+                        .Build();
+  auto cq = compiler.Compile(q);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  EXPECT_NE(cq->sql.find(c.expect_fragment), std::string::npos) << cq->sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDialects, DialectRenderingTest,
+                         ::testing::Range(0, 4));
+
+TEST(SqlDialectTest, LiteralEscaping) {
+  SqlDialect d = SqlDialect::Ansi();
+  EXPECT_EQ(d.RenderLiteral(Value("O'Brien")), "'O''Brien'");
+  EXPECT_EQ(d.RenderLiteral(Value(true)), "TRUE");
+  SqlDialect mssql = SqlDialect::MssqlLike();
+  EXPECT_EQ(mssql.RenderLiteral(Value(true)), "1");
+  EXPECT_EQ(mssql.QuoteIdentifier("units"), "[units]");
+  // Date literals render as dates.
+  EXPECT_EQ(d.RenderLiteral(Value(int64_t{0}), /*as_date=*/true),
+            "DATE '1970-01-01'");
+}
+
+TEST(SqlDialectTest, IdentifierQuoteEscaping) {
+  SqlDialect d = SqlDialect::Ansi();
+  EXPECT_EQ(d.QuoteIdentifier("we\"ird"), "\"we\"\"ird\"");
+}
+
+}  // namespace
+}  // namespace vizq::query

@@ -1,0 +1,188 @@
+// Targeted coverage for less-traveled paths: range-predicate residual
+// post-filtering in the intelligent cache, the dictionary-vector demotion
+// fallback, date-literal SQL rendering, TopN buffer pruning cycles, and
+// schema-file-driven extraction through the engine.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/intelligent_cache.h"
+#include "src/common/str_util.h"
+#include "src/extract/shadow_extract.h"
+#include "src/federation/data_source.h"
+#include "src/query/compiler.h"
+#include "src/tde/exec/sort.h"
+#include "tests/test_util.h"
+
+namespace vizq {
+namespace {
+
+TEST(CacheRangeResidualTest, RangeFilterPostProcessesOnDimension) {
+  using query::QueryBuilder;
+  auto db = vizq::testing::MakeTestDatabase(4096);
+  auto source = std::make_shared<federation::TdeDataSource>("tde", db);
+  dashboard::QueryService service(source, nullptr);
+  ASSERT_TRUE(service.RegisterTableView("sales").ok());
+  dashboard::BatchOptions raw;
+  raw.use_intelligent_cache = false;
+  raw.use_literal_cache = false;
+  raw.adjust.decompose_avg = false;
+
+  // Stored at units granularity; requested narrows units by a range.
+  auto stored = QueryBuilder("tde", "sales")
+                    .Dim("region")
+                    .Dim("units")
+                    .Agg(AggFunc::kSum, "price", "total")
+                    .Agg(AggFunc::kCount, "price", "n")
+                    .Build();
+  auto requested = QueryBuilder("tde", "sales")
+                       .Dim("region")
+                       .Agg(AggFunc::kSum, "price", "total")
+                       .FilterRange("units", Value(int64_t{20}),
+                                    Value(int64_t{60}))
+                       .Build();
+  cache::IntelligentCache cache;
+  auto stored_result = service.ExecuteQuery(stored, raw);
+  ASSERT_TRUE(stored_result.ok());
+  cache.Put(stored, *stored_result, 10.0);
+
+  auto hit = cache.Lookup(requested);
+  ASSERT_TRUE(hit.has_value());
+  auto truth = service.ExecuteQuery(requested, raw);
+  ASSERT_TRUE(truth.ok());
+  ResultTable a = *hit, b = *truth;
+  a.SortRowsByAllColumns();
+  b.SortRowsByAllColumns();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.at(r, 0).string_value(), b.at(r, 0).string_value());
+    EXPECT_NEAR(a.at(r, 1).AsDouble(), b.at(r, 1).AsDouble(), 1e-9);
+  }
+
+  // Exclusive bounds behave correctly too.
+  query::AbstractQuery exclusive = QueryBuilder("tde", "sales")
+                                       .Dim("region")
+                                       .Agg(AggFunc::kSum, "price", "total")
+                                       .Build();
+  exclusive.filters.predicates.push_back(query::ColumnPredicate::Range(
+      "units", Value(int64_t{20}), Value(int64_t{60}),
+      /*lower_inclusive=*/false, /*upper_inclusive=*/false));
+  exclusive.Canonicalize();
+  auto hit2 = cache.Lookup(exclusive);
+  ASSERT_TRUE(hit2.has_value());
+  auto truth2 = service.ExecuteQuery(exclusive, raw);
+  ASSERT_TRUE(truth2.ok());
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit2, *truth2));
+}
+
+TEST(DictDemoteTest, AppendingForeignStringDemotesToPlain) {
+  using namespace vizq::tde;
+  // Build a dict-backed vector, then append a string the dictionary does
+  // not contain: the vector must transparently demote and stay correct.
+  auto dict = std::make_shared<StringDictionary>(Collation::kBinary);
+  int64_t a = dict->Intern("alpha");
+  int64_t b = dict->Intern("beta");
+  ColumnVector cv(DataType::String());
+  cv.dict = dict;
+  cv.AppendToken(a);
+  cv.AppendNull();
+  cv.AppendToken(b);
+  ASSERT_TRUE(cv.is_dict_string());
+
+  cv.AppendValue(Value("gamma"));  // not in the dictionary
+  EXPECT_FALSE(cv.is_dict_string());
+  ASSERT_EQ(cv.size(), 4);
+  EXPECT_EQ(cv.GetValue(0).string_value(), "alpha");
+  EXPECT_TRUE(cv.IsNull(1));
+  EXPECT_EQ(cv.GetValue(2).string_value(), "beta");
+  EXPECT_EQ(cv.GetValue(3).string_value(), "gamma");
+}
+
+TEST(DateSqlTest, DateFiltersRenderAsDateLiterals) {
+  auto db = std::make_shared<tde::Database>("d");
+  tde::TableBuilder builder("events", {{"day", DataType::Date()},
+                                       {"n", DataType::Int64()}});
+  (void)builder.AddRow({Value(*ParseDateDays("2014-06-01")), Value(int64_t{1})});
+  (void)db->AddTable(*builder.Finish());
+
+  query::ViewDefinition view;
+  view.name = "events";
+  view.fact_table = "events";
+  query::QueryCompiler compiler(view, query::Capabilities::SingleThreadedSql(),
+                                query::SqlDialect::Ansi(), db.get());
+  query::AbstractQuery q =
+      query::QueryBuilder("d", "events")
+          .Dim("day")
+          .CountAll("c")
+          .FilterRange("day", Value(*ParseDateDays("2014-06-01")),
+                       Value(*ParseDateDays("2014-06-30")))
+          .Build();
+  auto cq = compiler.Compile(q);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  EXPECT_NE(cq->sql.find("DATE '2014-06-01'"), std::string::npos) << cq->sql;
+  EXPECT_NE(cq->sql.find("DATE '2014-06-30'"), std::string::npos) << cq->sql;
+}
+
+TEST(TopNPruneTest, ManyPruneCyclesKeepExactTop) {
+  using namespace vizq::tde;
+  // 50k rows, limit 7: forces many intermediate PruneTo cycles.
+  TableBuilder builder("t", {{"v", DataType::Int64()}});
+  Rng rng(17);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    int64_t v = rng.Range(0, 1000000);
+    values.push_back(v);
+    (void)builder.AddRow({Value(v)});
+  }
+  auto table = *builder.Finish();
+  auto scan = std::make_unique<TableScanOperator>(table, std::vector<int>{0});
+  auto key = *BindExpr(Col("v"), scan->schema());
+  TopNOperator topn(std::move(scan), {SortKey{key, /*ascending=*/false}}, 7);
+  auto result = *CollectToResultTable(&topn);
+  ASSERT_EQ(result.num_rows(), 7);
+  std::sort(values.begin(), values.end(), std::greater<int64_t>());
+  for (int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(result.at(i, 0).int_value(), values[i]);
+  }
+}
+
+TEST(SchemaFileExtractTest, SchemaFileDrivesTypesThroughTheEngine) {
+  const std::string schema_text =
+      "# schema for the orders feed\n"
+      "order_id:int64\n"
+      "customer:string:nocase\n"
+      "amount:float64\n"
+      "placed:date\n";
+  auto columns = extract::ParseSchemaFile(schema_text);
+  ASSERT_TRUE(columns.ok()) << columns.status();
+
+  const std::string csv =
+      "order_id,customer,amount,placed\n"
+      "1,ACME,10.5,2014-06-01\n"
+      "2,acme,3.25,2014-06-02\n"
+      "3,Globex,8.00,2014-06-02\n";
+  auto db = std::make_shared<tde::Database>("orders");
+  extract::ShadowExtractManager manager(db);
+  extract::ExtractOptions options;
+  options.schema = *columns;
+  auto table = manager.ExtractCsv("orders", csv, options);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 3);
+
+  // The nocase collation declared in the schema file folds ACME/acme.
+  tde::TdeEngine engine(db);
+  auto result = engine.Query(
+      "(aggregate ((customer customer)) ((total sum amount)) (scan orders))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 2);
+}
+
+TEST(ResultTableCsvTest, DebugRenderingIsStable) {
+  ResultTable t(std::vector<ResultColumn>{{"a", DataType::String()},
+                                          {"b", DataType::Int64()}});
+  t.AddRow({Value("x"), Value(int64_t{1})});
+  t.AddRow({Value::Null(), Value(int64_t{2})});
+  EXPECT_EQ(t.ToCsv(), "a,b\nx,1\nNULL,2\n");
+}
+
+}  // namespace
+}  // namespace vizq

@@ -1,0 +1,224 @@
+// Data Server tests (§5): publishing, metadata, shared calculations,
+// row-level permissions, temp tables and shared temp definitions.
+
+#include "src/server/data_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/federation/data_source.h"
+#include "tests/test_util.h"
+
+namespace vizq::server {
+namespace {
+
+using query::AbstractQuery;
+using query::QueryBuilder;
+
+class DataServerTest : public ::testing::Test {
+ protected:
+  DataServerTest() {
+    backend_ = std::make_shared<federation::TdeDataSource>(
+        "backend", vizq::testing::MakeTestDatabase(8192));
+    PublishedDataSource source;
+    source.name = "SalesAnalytics";
+    source.view.fact_table = "sales";
+    source.view.joins.push_back(
+        query::ViewJoin{"products", "product", "name", true});
+    // A shared calculation: total units, defined once (§5.2).
+    source.calculations["Total Units"] =
+        query::Measure{AggFunc::kSum, "units", ""};
+    // Row-level security: east_rep only sees the East region.
+    query::PredicateSet east_only;
+    east_only.predicates.push_back(
+        query::ColumnPredicate::InSet("region", {Value("East")}));
+    source.permissions.SetUserFilter("east_rep", std::move(east_only));
+    EXPECT_TRUE(server_.Publish(std::move(source), backend_).ok());
+  }
+
+  std::shared_ptr<federation::TdeDataSource> backend_;
+  DataServer server_;
+};
+
+TEST_F(DataServerTest, ConnectReturnsMetadata) {
+  auto session = server_.Connect("alice", "SalesAnalytics");
+  ASSERT_TRUE(session.ok()) << session.status();
+  const SourceMetadata& md = (*session)->metadata();
+  EXPECT_EQ(md.source_name, "SalesAnalytics");
+  EXPECT_GT(md.columns.size(), 4u);  // fact + dim columns
+  ASSERT_EQ(md.calculation_names.size(), 1u);
+  EXPECT_EQ(md.calculation_names[0], "Total Units");
+  EXPECT_TRUE(md.supports_temp_tables);
+}
+
+TEST_F(DataServerTest, UnknownSourceFails) {
+  EXPECT_FALSE(server_.Connect("alice", "Nope").ok());
+}
+
+TEST_F(DataServerTest, QueriesRunThroughTheProxy) {
+  auto session = server_.Connect("alice", "SalesAnalytics");
+  ASSERT_TRUE(session.ok());
+  ClientQuery cq;
+  cq.query = QueryBuilder("", "")
+                 .Dim("region")
+                 .Agg(AggFunc::kSum, "units", "total")
+                 .Build();
+  auto result = (*session)->Query(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 4);
+}
+
+TEST_F(DataServerTest, SharedCalculationExpands) {
+  auto session = server_.Connect("alice", "SalesAnalytics");
+  ASSERT_TRUE(session.ok());
+  ClientQuery cq;
+  // Reference the published calculation by name.
+  cq.query.dimensions = {"region"};
+  cq.query.measures.push_back(
+      query::Measure{AggFunc::kSum, "Total Units", "tu"});
+  auto result = (*session)->Query(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_columns(), 2);
+  EXPECT_EQ(result->columns()[1].name, "tu");
+}
+
+TEST_F(DataServerTest, RowLevelPermissionsRestrictResults) {
+  auto alice = server_.Connect("alice", "SalesAnalytics");
+  auto east = server_.Connect("east_rep", "SalesAnalytics");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(east.ok());
+
+  ClientQuery cq;
+  cq.query = QueryBuilder("", "").Dim("region").CountAll("n").Build();
+  auto full = (*alice)->Query(cq);
+  auto restricted = (*east)->Query(cq);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(full->num_rows(), 4);
+  ASSERT_EQ(restricted->num_rows(), 1);
+  EXPECT_EQ(restricted->at(0, 0).string_value(), "East");
+
+  // The user cannot widen their own access: an explicit filter for West
+  // intersects with the East-only policy, yielding nothing.
+  ClientQuery sneaky;
+  sneaky.query = QueryBuilder("", "")
+                     .Dim("region")
+                     .CountAll("n")
+                     .FilterIn("region", {Value("West")})
+                     .Build();
+  auto denied = (*east)->Query(sneaky);
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied->num_rows(), 0);
+}
+
+TEST_F(DataServerTest, DenyUnlistedUsersPolicy) {
+  PublishedDataSource locked;
+  locked.name = "Locked";
+  locked.view.fact_table = "sales";
+  locked.permissions.set_deny_unlisted_users(true);
+  query::PredicateSet all;
+  locked.permissions.SetUserFilter("boss", std::move(all));
+  ASSERT_TRUE(server_.Publish(std::move(locked), backend_).ok());
+  EXPECT_FALSE(server_.Connect("intruder", "Locked").ok());
+  EXPECT_TRUE(server_.Connect("boss", "Locked").ok());
+}
+
+TEST_F(DataServerTest, TempTablesReduceClientTraffic) {
+  auto session = server_.Connect("alice", "SalesAnalytics");
+  ASSERT_TRUE(session.ok());
+
+  std::vector<Value> units;
+  for (int i = 0; i < 40; ++i) units.push_back(Value(int64_t{i}));
+  ASSERT_TRUE((*session)
+                  ->CreateTempTable("myfilter", "units", DataType::Int64(),
+                                    units)
+                  .ok());
+  EXPECT_TRUE((*session)->HasTempTable("myfilter"));
+
+  ClientQuery cq;
+  cq.query = QueryBuilder("", "").Dim("region").CountAll("n").Build();
+  cq.temp_filters["units"] = "myfilter";
+  auto result = (*session)->Query(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Equivalent inline query matches.
+  ClientQuery inline_q;
+  inline_q.query = QueryBuilder("", "")
+                       .Dim("region")
+                       .CountAll("n")
+                       .FilterIn("units", units)
+                       .Build();
+  auto inline_result = (*session)->Query(inline_q);
+  ASSERT_TRUE(inline_result.ok());
+  EXPECT_TRUE(ResultTable::SameUnordered(*result, *inline_result));
+
+  // Referencing the table twice saves 2x the enumeration in traffic.
+  ASSERT_TRUE((*session)->Query(cq).ok());
+  EXPECT_EQ(server_.values_saved_by_temp_refs(), 80);
+
+  EXPECT_FALSE((*session)->Query(ClientQuery{
+                              QueryBuilder("", "").CountAll("n").Build(),
+                              {{"units", "nosuch"}}})
+                   .ok());
+}
+
+TEST_F(DataServerTest, TempDefinitionsSharedAcrossSessions) {
+  auto s1 = server_.Connect("u1", "SalesAnalytics");
+  auto s2 = server_.Connect("u2", "SalesAnalytics");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  std::vector<Value> vals = {Value(int64_t{1}), Value(int64_t{2})};
+  ASSERT_TRUE(
+      (*s1)->CreateTempTable("t", "units", DataType::Int64(), vals).ok());
+  ASSERT_TRUE(
+      (*s2)->CreateTempTable("t", "units", DataType::Int64(), vals).ok());
+  // Identical contents share one definition (§5.4).
+  EXPECT_EQ(server_.temp_registry().num_definitions(), 1);
+  EXPECT_EQ(server_.temp_registry().shared_acquisitions(), 1);
+
+  // Reclaimed when the last reference closes.
+  (*s1)->Close();
+  EXPECT_EQ(server_.temp_registry().num_definitions(), 1);
+  (*s2)->Close();
+  EXPECT_EQ(server_.temp_registry().num_definitions(), 0);
+
+  // Closed sessions refuse work.
+  EXPECT_FALSE((*s1)->Query(ClientQuery{
+                              QueryBuilder("", "").CountAll("n").Build(),
+                              {}})
+                   .ok());
+}
+
+TEST_F(DataServerTest, InMemoryTempTablesCanBeDisabled) {
+  DataServerOptions options;
+  options.enable_in_memory_temp_tables = false;
+  DataServer server(options);
+  PublishedDataSource source;
+  source.name = "S";
+  source.view.fact_table = "sales";
+  ASSERT_TRUE(server.Publish(std::move(source), backend_).ok());
+  auto session = server.Connect("u", "S");
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE((*session)->metadata().supports_temp_tables);
+  EXPECT_FALSE(
+      (*session)
+          ->CreateTempTable("t", "units", DataType::Int64(), {Value(int64_t{1})})
+          .ok());
+}
+
+TEST_F(DataServerTest, ProxyCachesServeRepeatQueriesAcrossUsers) {
+  auto u1 = server_.Connect("u1", "SalesAnalytics");
+  auto u2 = server_.Connect("u2", "SalesAnalytics");
+  ASSERT_TRUE(u1.ok());
+  ASSERT_TRUE(u2.ok());
+  ClientQuery cq;
+  cq.query = QueryBuilder("", "").Dim("product").CountAll("n").Build();
+  dashboard::BatchReport r1, r2;
+  ASSERT_TRUE((*u1)->Query(cq, &r1).ok());
+  ASSERT_TRUE((*u2)->Query(cq, &r2).ok());
+  EXPECT_EQ(r1.remote_queries, 1);
+  EXPECT_EQ(r2.remote_queries, 0);  // §3.2 multi-user sharing
+  EXPECT_EQ(r2.cache_hits, 1);
+}
+
+}  // namespace
+}  // namespace vizq::server

@@ -1,0 +1,401 @@
+// Execution-layer tests: expression evaluation (null semantics, collation,
+// token fast paths), individual Volcano operators, the Exchange operator
+// (threaded and serial-measurement modes), and the shared join build.
+
+#include <gtest/gtest.h>
+
+#include "src/common/str_util.h"
+#include "src/tde/exec/aggregate.h"
+#include "src/tde/exec/exchange.h"
+#include "src/tde/exec/expression.h"
+#include "src/tde/exec/join.h"
+#include "src/tde/exec/rle_index.h"
+#include "src/tde/exec/scan.h"
+#include "src/tde/exec/sort.h"
+#include "tests/test_util.h"
+
+namespace vizq::tde {
+namespace {
+
+// One-column int batch.
+Batch IntBatch(const std::vector<std::optional<int64_t>>& values) {
+  Batch b;
+  ColumnVector cv(DataType::Int64());
+  for (const auto& v : values) {
+    if (v.has_value()) {
+      cv.AppendInt(*v);
+    } else {
+      cv.AppendNull();
+    }
+  }
+  b.columns.push_back(std::move(cv));
+  b.num_rows = static_cast<int64_t>(values.size());
+  return b;
+}
+
+BatchSchema IntSchema(const std::string& name = "x") {
+  BatchSchema s;
+  s.names = {name};
+  s.prototypes.emplace_back(DataType::Int64());
+  return s;
+}
+
+TEST(ExpressionTest, ArithmeticAndTypePromotion) {
+  Batch b = IntBatch({{10}, {20}});
+  auto e = *BindExpr(Add(Col("x"), Lit(int64_t{5})), IntSchema());
+  auto v = *EvalExpr(*e, b);
+  EXPECT_EQ(v.ints[0], 15);
+
+  // Division always yields float.
+  auto d = *BindExpr(Div(Col("x"), Lit(int64_t{4})), IntSchema());
+  auto dv = *EvalExpr(*d, b);
+  EXPECT_EQ(dv.type.kind, TypeKind::kFloat64);
+  EXPECT_DOUBLE_EQ(dv.doubles[0], 2.5);
+
+  // Division by zero is NULL.
+  auto z = *BindExpr(Div(Col("x"), Lit(int64_t{0})), IntSchema());
+  auto zv = *EvalExpr(*z, b);
+  EXPECT_TRUE(zv.IsNull(0));
+}
+
+TEST(ExpressionTest, NullPropagationAndKleeneLogic) {
+  Batch b = IntBatch({{1}, std::nullopt, {3}});
+  // x + 1 is null where x is null.
+  auto add = *BindExpr(Add(Col("x"), Lit(int64_t{1})), IntSchema());
+  auto av = *EvalExpr(*add, b);
+  EXPECT_FALSE(av.IsNull(0));
+  EXPECT_TRUE(av.IsNull(1));
+
+  // (x > 0) OR TRUE is true even for null x; AND FALSE is false.
+  auto or_true =
+      *BindExpr(Or(Gt(Col("x"), Lit(int64_t{0})), Lit(true)), IntSchema());
+  auto ov = *EvalExpr(*or_true, b);
+  EXPECT_EQ(ov.ints[1], 1);
+  EXPECT_FALSE(ov.IsNull(1));
+
+  auto and_false =
+      *BindExpr(And(Gt(Col("x"), Lit(int64_t{0})), Lit(false)), IntSchema());
+  auto fv = *EvalExpr(*and_false, b);
+  EXPECT_EQ(fv.ints[1], 0);
+  EXPECT_FALSE(fv.IsNull(1));
+
+  // (x > 0) AND TRUE stays null for null x.
+  auto and_true =
+      *BindExpr(And(Gt(Col("x"), Lit(int64_t{0})), Lit(true)), IntSchema());
+  auto tv = *EvalExpr(*and_true, b);
+  EXPECT_TRUE(tv.IsNull(1));
+
+  // Comparisons with null are null, and EvalPredicate drops them.
+  auto gt = *BindExpr(Gt(Col("x"), Lit(int64_t{0})), IntSchema());
+  auto selected = *EvalPredicate(*gt, b);
+  EXPECT_EQ(selected.size(), 2u);
+
+  // IS NULL is never null.
+  auto isnull = *BindExpr(IsNull(Col("x")), IntSchema());
+  auto nv = *EvalExpr(*isnull, b);
+  EXPECT_EQ(nv.ints[0], 0);
+  EXPECT_EQ(nv.ints[1], 1);
+}
+
+TEST(ExpressionTest, CollatedStringComparison) {
+  BatchSchema schema;
+  schema.names = {"s"};
+  schema.prototypes.emplace_back(
+      DataType::String(Collation::kCaseInsensitive));
+  Batch b;
+  ColumnVector cv(DataType::String(Collation::kCaseInsensitive));
+  cv.AppendString("Apple");
+  cv.AppendString("BANANA");
+  b.columns.push_back(std::move(cv));
+  b.num_rows = 2;
+
+  auto eq = *BindExpr(Eq(Col("s"), Lit("apple")), schema);
+  auto v = *EvalExpr(*eq, b);
+  EXPECT_EQ(v.ints[0], 1);  // case-insensitive match
+  EXPECT_EQ(v.ints[1], 0);
+}
+
+TEST(ExpressionTest, ScalarFunctions) {
+  BatchSchema schema;
+  schema.names = {"s", "d"};
+  schema.prototypes.emplace_back(DataType::String());
+  schema.prototypes.emplace_back(DataType::Date());
+  Batch b;
+  ColumnVector s(DataType::String());
+  s.AppendString("Hello");
+  ColumnVector d(DataType::Date());
+  d.AppendInt(*vizq::ParseDateDays("2014-06-01"));
+  b.columns = {std::move(s), std::move(d)};
+  b.num_rows = 1;
+
+  auto upper = *BindExpr(Func(ScalarFunc::kUpper, {Col("s")}), schema);
+  EXPECT_EQ((*EvalExpr(*upper, b)).GetValue(0).string_value(), "HELLO");
+  auto len = *BindExpr(Func(ScalarFunc::kStrLen, {Col("s")}), schema);
+  EXPECT_EQ((*EvalExpr(*len, b)).ints[0], 5);
+  auto sub = *BindExpr(
+      Func(ScalarFunc::kSubstr, {Col("s"), Lit(int64_t{2}), Lit(int64_t{3})}),
+      schema);
+  EXPECT_EQ((*EvalExpr(*sub, b)).GetValue(0).string_value(), "ell");
+  auto year = *BindExpr(Func(ScalarFunc::kYear, {Col("d")}), schema);
+  EXPECT_EQ((*EvalExpr(*year, b)).ints[0], 2014);
+  auto month = *BindExpr(Func(ScalarFunc::kMonth, {Col("d")}), schema);
+  EXPECT_EQ((*EvalExpr(*month, b)).ints[0], 6);
+  // 2014-06-01 was a Sunday -> weekday 6 (Monday = 0).
+  auto wd = *BindExpr(Func(ScalarFunc::kWeekday, {Col("d")}), schema);
+  EXPECT_EQ((*EvalExpr(*wd, b)).ints[0], 6);
+  auto iff = *BindExpr(
+      Func(ScalarFunc::kIf,
+           {Gt(Func(ScalarFunc::kStrLen, {Col("s")}), Lit(int64_t{3})),
+            Lit(int64_t{1}), Lit(int64_t{0})}),
+      schema);
+  EXPECT_EQ((*EvalExpr(*iff, b)).ints[0], 1);
+}
+
+TEST(ExpressionTest, StructuralEqualityAndHash) {
+  auto a = Gt(Col("x"), Lit(int64_t{5}));
+  auto b = Gt(Col("x"), Lit(int64_t{5}));
+  auto c = Gt(Col("x"), Lit(int64_t{6}));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_EQ(a->Hash(), b->Hash());
+}
+
+TEST(ExchangeTest, MergesAllInputsThreaded) {
+  auto table = vizq::testing::MakeSalesTable(4000);
+  std::vector<int64_t> offsets = SplitRows(table->num_rows(), 4);
+  std::vector<OperatorPtr> inputs;
+  for (int f = 0; f < 4; ++f) {
+    inputs.push_back(std::make_unique<TableScanOperator>(
+        table, std::vector<int>{2}, offsets[f], offsets[f + 1]));
+  }
+  ExecStats stats;
+  ExchangeOperator exchange(std::move(inputs), &stats);
+  int64_t rows = 0;
+  ASSERT_TRUE(exchange.Open().ok());
+  Batch batch;
+  while (true) {
+    auto more = exchange.Next(&batch);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    rows += batch.num_rows;
+  }
+  ASSERT_TRUE(exchange.Close().ok());
+  EXPECT_EQ(rows, 4000);
+  EXPECT_EQ(stats.fractions.size(), 4u);
+}
+
+TEST(ExchangeTest, SerialMeasurementModeMatches) {
+  auto table = vizq::testing::MakeSalesTable(4000);
+  for (bool serial : {false, true}) {
+    std::vector<int64_t> offsets = SplitRows(table->num_rows(), 3);
+    std::vector<OperatorPtr> inputs;
+    for (int f = 0; f < 3; ++f) {
+      inputs.push_back(std::make_unique<TableScanOperator>(
+          table, std::vector<int>{2}, offsets[f], offsets[f + 1]));
+    }
+    ExecStats stats;
+    ExchangeOperator exchange(std::move(inputs), &stats, serial);
+    auto result = CollectToResultTable(&exchange);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->num_rows(), 4000);
+    EXPECT_EQ(stats.fractions.size(), 3u);
+  }
+}
+
+TEST(SharedBuildTest, BuildHappensOnceAcrossProbes) {
+  auto dim = vizq::testing::MakeProductDim();
+  auto build_scan = std::make_unique<TableScanOperator>(
+      dim, std::vector<int>{0, 1});
+  BatchSchema dim_schema = build_scan->schema();
+  auto key = *BindExpr(Col("name"), dim_schema);
+  auto shared = std::make_shared<SharedBuildState>(
+      std::move(build_scan), std::vector<ExprPtr>{key});
+
+  auto fact = vizq::testing::MakeSalesTable(512);
+  std::vector<int64_t> offsets = SplitRows(fact->num_rows(), 2);
+  int64_t total = 0;
+  for (int f = 0; f < 2; ++f) {
+    auto probe = std::make_unique<TableScanOperator>(
+        fact, std::vector<int>{1, 2}, offsets[f], offsets[f + 1]);
+    auto probe_key = *BindExpr(Col("product"), probe->schema());
+    HashJoinOperator join(std::move(probe), shared,
+                          std::vector<ExprPtr>{probe_key}, JoinType::kInner);
+    auto result = CollectToResultTable(&join);
+    ASSERT_TRUE(result.ok()) << result.status();
+    total += result->num_rows();
+    // Joined output has left + right columns.
+    EXPECT_EQ(result->num_columns(), 4);
+  }
+  EXPECT_EQ(total, 512);  // every sale matches exactly one product
+}
+
+TEST(JoinTest, LeftOuterKeepsUnmatched) {
+  // Probe values 1..4 against build {2, 4}.
+  Batch probe_data = IntBatch({{1}, {2}, {3}, {4}});
+  // A scan stub over the probe batch.
+  class OneBatchOp : public Operator {
+   public:
+    OneBatchOp(Batch b, BatchSchema s) : batch_(std::move(b)), schema_(s) {}
+    const BatchSchema& schema() const override { return schema_; }
+    Status Open() override {
+      done_ = false;
+      return OkStatus();
+    }
+    StatusOr<bool> Next(Batch* out) override {
+      if (done_) return false;
+      *out = batch_;
+      done_ = true;
+      return true;
+    }
+    Status Close() override { return OkStatus(); }
+
+   private:
+    Batch batch_;
+    BatchSchema schema_;
+    bool done_ = false;
+  };
+
+  auto build_op = std::make_unique<OneBatchOp>(IntBatch({{2}, {4}}),
+                                               IntSchema("k"));
+  auto build_key = *BindExpr(Col("k"), build_op->schema());
+  auto shared = std::make_shared<SharedBuildState>(
+      std::move(build_op), std::vector<ExprPtr>{build_key});
+  auto probe_op =
+      std::make_unique<OneBatchOp>(std::move(probe_data), IntSchema("x"));
+  auto probe_key = *BindExpr(Col("x"), probe_op->schema());
+  HashJoinOperator join(std::move(probe_op), shared,
+                        std::vector<ExprPtr>{probe_key},
+                        JoinType::kLeftOuter);
+  auto result = *CollectToResultTable(&join);
+  ASSERT_EQ(result.num_rows(), 4);
+  // Rows 1 and 3 have null right side.
+  ResultTable sorted = result;
+  sorted.SortRowsByAllColumns();
+  EXPECT_TRUE(sorted.at(0, 1).is_null());   // x=1 unmatched
+  EXPECT_FALSE(sorted.at(1, 1).is_null());  // x=2 matched
+}
+
+TEST(SortTest, TopNAgreesWithFullSort) {
+  auto table = vizq::testing::MakeSalesTable(2000);
+  auto make_scan = [&] {
+    return std::make_unique<TableScanOperator>(table, std::vector<int>{2, 3});
+  };
+  auto key_expr = *BindExpr(Col("units"), make_scan()->schema());
+  std::vector<SortKey> keys = {SortKey{key_expr, false}};
+
+  SortOperator sort(make_scan(), keys);
+  auto sorted = *CollectToResultTable(&sort);
+  TopNOperator topn(make_scan(), keys, 25);
+  auto top = *CollectToResultTable(&topn);
+  ASSERT_EQ(top.num_rows(), 25);
+  for (int64_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(top.at(i, 0).int_value(), sorted.at(i, 0).int_value());
+  }
+}
+
+TEST(RleIndexExecTest, MatchingRunsRespectPredicate) {
+  ColumnBuilder key_builder(DataType::Int64());
+  ColumnBuilder val_builder(DataType::Int64());
+  for (int64_t i = 0; i < 900; ++i) {
+    key_builder.AppendInt(i / 300);  // 3 runs of 300
+    val_builder.AppendInt(i);
+  }
+  TableBuilder table_builder("t", {{"k", DataType::Int64()},
+                                   {"v", DataType::Int64()}});
+  table_builder.SetEncodingChoice(0, EncodingChoice::kForceRle);
+  for (int64_t i = 0; i < 900; ++i) {
+    (void)table_builder.AddRow({Value(i / 300), Value(i)});
+  }
+  auto table = *table_builder.Finish();
+
+  BatchSchema run_schema;
+  run_schema.names = {"k"};
+  run_schema.prototypes.emplace_back(DataType::Int64());
+  auto pred = *BindExpr(Eq(Col("k"), Lit(int64_t{1})), run_schema);
+  auto ranges = ComputeMatchingRuns(*table, 0, pred);
+  ASSERT_TRUE(ranges.ok()) << ranges.status();
+  ASSERT_EQ(ranges->size(), 1u);
+  EXPECT_EQ((*ranges)[0].start, 300);
+  EXPECT_EQ((*ranges)[0].count, 300);
+
+  RleIndexScanOperator scan(table, {0, 1}, *ranges);
+  auto result = *CollectToResultTable(&scan);
+  EXPECT_EQ(result.num_rows(), 300);
+  EXPECT_EQ(result.at(0, 1).int_value(), 300);
+}
+
+TEST(RleIndexExecTest, SplitRangesBalancesLoad) {
+  std::vector<RowRange> ranges = {{0, 1000}, {2000, 10},   {3000, 990},
+                                  {5000, 500}, {7000, 500}};
+  auto groups = SplitRanges(ranges, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  int64_t total = 0;
+  int64_t biggest = 0;
+  for (const auto& g : groups) {
+    int64_t load = 0;
+    for (const RowRange& r : g) load += r.count;
+    total += load;
+    biggest = std::max(biggest, load);
+  }
+  EXPECT_EQ(total, 3000);
+  EXPECT_LE(biggest, 1100);  // greedy balance keeps the max near 1000
+}
+
+TEST(AggregateTest, PartialFinalComposition) {
+  auto table = vizq::testing::MakeSalesTable(1024);
+  auto scan =
+      std::make_unique<TableScanOperator>(table, std::vector<int>{0, 2});
+  BatchSchema scan_schema = scan->schema();
+  std::vector<GroupExpr> groups = {
+      GroupExpr{"region", *BindExpr(Col("region"), scan_schema)}};
+  std::vector<AggSpec> specs = {
+      AggSpec{AggFunc::kAvg, *BindExpr(Col("units"), scan_schema), "mean"},
+      AggSpec{AggFunc::kCountStar, nullptr, "n"}};
+
+  auto partial = std::make_unique<HashAggregateOperator>(
+      std::move(scan), groups, specs, AggPhase::kPartial);
+  // Final over the partial: group expr is column 0 of the partial output,
+  // args are positional.
+  BatchSchema partial_schema = partial->schema();
+  ASSERT_EQ(partial_schema.num_columns(), 4);  // region, mean$sum, mean$cnt, n
+  std::vector<GroupExpr> final_groups = {
+      GroupExpr{"region", ColIdx(0, partial_schema.prototypes[0].type)}};
+  std::vector<AggSpec> final_specs = {
+      AggSpec{AggFunc::kAvg, ColIdx(1, DataType::Float64()), "mean"},
+      AggSpec{AggFunc::kCountStar, ColIdx(3, DataType::Int64()), "n"}};
+  HashAggregateOperator final_agg(std::move(partial), final_groups,
+                                  final_specs, AggPhase::kFinal);
+  auto composed = *CollectToResultTable(&final_agg);
+
+  // Ground truth: complete aggregation.
+  auto scan2 =
+      std::make_unique<TableScanOperator>(table, std::vector<int>{0, 2});
+  HashAggregateOperator complete(std::move(scan2), groups, specs,
+                                 AggPhase::kComplete);
+  auto truth = *CollectToResultTable(&complete);
+  EXPECT_TRUE(ResultTable::SameUnordered(composed, truth))
+      << composed.ToCsv() << "\nvs\n" << truth.ToCsv();
+}
+
+TEST(AggregateTest, StreamingMatchesHashOnSortedInput) {
+  auto table = vizq::testing::MakeSalesTable(2048);  // sorted by region
+  auto make_scan = [&] {
+    return std::make_unique<TableScanOperator>(table,
+                                               std::vector<int>{0, 2});
+  };
+  BatchSchema schema = make_scan()->schema();
+  std::vector<GroupExpr> groups = {
+      GroupExpr{"region", *BindExpr(Col("region"), schema)}};
+  std::vector<AggSpec> specs = {
+      AggSpec{AggFunc::kSum, *BindExpr(Col("units"), schema), "total"},
+      AggSpec{AggFunc::kMin, *BindExpr(Col("units"), schema), "lo"}};
+
+  StreamingAggregateOperator streaming(make_scan(), groups, specs);
+  auto s = *CollectToResultTable(&streaming);
+  HashAggregateOperator hash(make_scan(), groups, specs, AggPhase::kComplete);
+  auto h = *CollectToResultTable(&hash);
+  EXPECT_TRUE(ResultTable::SameUnordered(s, h));
+}
+
+}  // namespace
+}  // namespace vizq::tde

@@ -1,0 +1,170 @@
+// Shadow extract tests (§4.4): CSV parsing, schema inference, schema
+// files, extraction into the TDE, persistence, and refresh semantics.
+
+#include "src/extract/shadow_extract.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/extract/csv_parser.h"
+#include "src/extract/type_inference.h"
+#include "src/workload/faa_generator.h"
+
+namespace vizq::extract {
+namespace {
+
+TEST(CsvParserTest, BasicRecords) {
+  auto records = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[1][1], "2");
+}
+
+TEST(CsvParserTest, QuotedFieldsWithSeparatorsAndNewlines) {
+  auto records = ParseCsv(
+      "name,notes\n"
+      "\"Smith, John\",\"line1\nline2\"\n"
+      "plain,\"embedded \"\"quotes\"\"\"\n");
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[1][0], "Smith, John");
+  EXPECT_EQ((*records)[1][1], "line1\nline2");
+  EXPECT_EQ((*records)[2][1], "embedded \"quotes\"");
+}
+
+TEST(CsvParserTest, CrLfAndFinalLineWithoutNewline) {
+  auto records = ParseCsv("a,b\r\n1,2\r\n3,4");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[2][1], "4");
+}
+
+TEST(CsvParserTest, RaggedRowsFail) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvParserTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(TypeInferenceTest, HeaderAndTypesDetected) {
+  auto records = *ParseCsv(
+      "city,population,avg_temp,founded,active\n"
+      "Springfield,30000,12.5,1900-01-02,true\n"
+      "Shelbyville,NULL,13.0,1910-07-20,false\n");
+  InferredSchema schema = InferSchema(records);
+  EXPECT_TRUE(schema.first_row_is_header);
+  ASSERT_EQ(schema.columns.size(), 5u);
+  EXPECT_EQ(schema.columns[0].type.kind, TypeKind::kString);
+  EXPECT_EQ(schema.columns[1].type.kind, TypeKind::kInt64);
+  EXPECT_EQ(schema.columns[2].type.kind, TypeKind::kFloat64);
+  EXPECT_EQ(schema.columns[3].type.kind, TypeKind::kDate);
+  EXPECT_EQ(schema.columns[4].type.kind, TypeKind::kBool);
+}
+
+TEST(TypeInferenceTest, NoHeaderGetsGeneratedNames) {
+  auto records = *ParseCsv("1,2.5\n3,4.5\n");
+  InferredSchema schema = InferSchema(records);
+  EXPECT_FALSE(schema.first_row_is_header);
+  ASSERT_EQ(schema.columns.size(), 2u);
+  EXPECT_EQ(schema.columns[0].name, "F1");
+  EXPECT_EQ(schema.columns[0].type.kind, TypeKind::kInt64);
+  EXPECT_EQ(schema.columns[1].type.kind, TypeKind::kFloat64);
+}
+
+TEST(TypeInferenceTest, MixedIntFloatWidensAndMixedOtherCollapses) {
+  auto records = *ParseCsv("a,b\n1,1\n2.5,x\n");
+  InferredSchema schema = InferSchema(records);
+  EXPECT_EQ(schema.columns[0].type.kind, TypeKind::kFloat64);
+  EXPECT_EQ(schema.columns[1].type.kind, TypeKind::kString);
+}
+
+TEST(TypeInferenceTest, SchemaFileParsing) {
+  auto cols = ParseSchemaFile(
+      "# flights schema\n"
+      "carrier:string:nocase\n"
+      "fl_date:date\n"
+      "delay:int64\n");
+  ASSERT_TRUE(cols.ok()) << cols.status();
+  ASSERT_EQ(cols->size(), 3u);
+  EXPECT_EQ((*cols)[0].type.collation, Collation::kCaseInsensitive);
+  EXPECT_EQ((*cols)[1].type.kind, TypeKind::kDate);
+
+  EXPECT_FALSE(ParseSchemaFile("bad line here\n").ok());
+  EXPECT_FALSE(ParseSchemaFile("x:frobnitz\n").ok());
+  EXPECT_FALSE(ParseSchemaFile("# only comments\n").ok());
+}
+
+TEST(ShadowExtractTest, ExtractAndQuery) {
+  workload::FaaOptions options;
+  options.num_flights = 2000;
+  std::string csv = *workload::GenerateFaaCsv(options);
+
+  auto db = std::make_shared<tde::Database>("extracts");
+  ShadowExtractManager manager(db);
+  ExtractOptions eopts;
+  eopts.sort_by = {"carrier"};
+  ExtractStats stats;
+  auto table = manager.ExtractCsv("flights", csv, eopts, &stats);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 2000);
+  EXPECT_GT(stats.parse_ms, 0);
+  EXPECT_EQ((*table)->sort_columns().size(), 1u);
+
+  // Queries now run in the TDE.
+  tde::TdeEngine engine(manager.shared_database());
+  auto result = engine.Query(
+      "(aggregate ((carrier carrier)) ((n count*)) (scan flights))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->num_rows(), 2);
+}
+
+TEST(ShadowExtractTest, RefreshReplacesExtract) {
+  auto db = std::make_shared<tde::Database>("extracts");
+  ShadowExtractManager manager(db);
+  ASSERT_TRUE(manager.ExtractCsv("t", "x\n1\n2\n").ok());
+  ASSERT_TRUE(manager.ExtractCsv("t", "x\n1\n2\n3\n").ok());
+  auto table = db->GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 3);
+}
+
+TEST(ShadowExtractTest, PersistAndRestoreSkipsReextraction) {
+  std::string path = ::testing::TempDir() + "/vizq_extract_test.tde";
+  {
+    auto db = std::make_shared<tde::Database>("extracts");
+    ShadowExtractManager manager(db);
+    ASSERT_TRUE(manager.ExtractCsv("t", "x,y\n1,a\n2,b\n").ok());
+    ASSERT_TRUE(manager.PersistTo(path).ok());
+  }
+  {
+    auto db = std::make_shared<tde::Database>("empty");
+    ShadowExtractManager manager(db);
+    ASSERT_TRUE(manager.RestoreFrom(path).ok());
+    auto table = manager.database().GetTable("t");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->num_rows(), 2);
+    EXPECT_EQ((*table)->column_info(1).type.kind, TypeKind::kString);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShadowExtractTest, ExplicitSchemaOverridesInference) {
+  auto db = std::make_shared<tde::Database>("extracts");
+  ShadowExtractManager manager(db);
+  ExtractOptions options;
+  options.schema = {
+      InferredColumn{"code", DataType::String(Collation::kCaseInsensitive)},
+      InferredColumn{"amount", DataType::Float64()},
+  };
+  auto table = manager.ExtractCsv("t", "code,amount\nAA,1\nbb,2\n", options);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 2);  // header skipped
+  EXPECT_EQ((*table)->column_info(0).type.collation,
+            Collation::kCaseInsensitive);
+  EXPECT_EQ((*table)->column_info(1).type.kind, TypeKind::kFloat64);
+}
+
+}  // namespace
+}  // namespace vizq::extract

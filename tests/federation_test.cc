@@ -1,0 +1,210 @@
+// Federation tests: connection pooling (reuse, caps, temp-table affinity,
+// age-wise eviction), the simulated backends' admission control and
+// concurrency behaviour.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/thread_pool.h"
+#include "src/federation/connection_pool.h"
+#include "src/federation/simulated_source.h"
+#include "tests/test_util.h"
+
+namespace vizq::federation {
+namespace {
+
+using query::QueryBuilder;
+
+query::CompiledQuery CompileCount(const DataSource& source) {
+  query::ViewDefinition view;
+  view.name = "sales";
+  view.fact_table = "sales";
+  query::QueryCompiler compiler(view, source.capabilities(), source.dialect(),
+                                &source.catalog());
+  auto q = QueryBuilder("src", "sales").Dim("region").CountAll("n").Build();
+  auto cq = compiler.Compile(q);
+  EXPECT_TRUE(cq.ok());
+  return *cq;
+}
+
+TEST(ConnectionPoolTest, ReusesIdleConnections) {
+  auto source = std::make_shared<TdeDataSource>(
+      "tde", vizq::testing::MakeTestDatabase(256));
+  ConnectionPool pool(source, 4);
+  {
+    auto c1 = pool.Acquire();
+    ASSERT_TRUE(c1.ok());
+  }  // released
+  {
+    auto c2 = pool.Acquire();
+    ASSERT_TRUE(c2.ok());
+  }
+  EXPECT_EQ(pool.stats().opened, 1);
+  EXPECT_EQ(pool.stats().reused, 1);
+  EXPECT_EQ(pool.size(), 1);
+}
+
+TEST(ConnectionPoolTest, BlocksAtCapUntilRelease) {
+  auto source = std::make_shared<TdeDataSource>(
+      "tde", vizq::testing::MakeTestDatabase(256));
+  ConnectionPool pool(source, 1);
+  auto held = pool.Acquire();
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto c = pool.Acquire();
+    acquired = c.ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load());
+  held->Release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GE(pool.stats().waits, 1);
+}
+
+TEST(ConnectionPoolTest, TempTableAffinity) {
+  auto source = std::make_shared<TdeDataSource>(
+      "tde", vizq::testing::MakeTestDatabase(256));
+  ConnectionPool pool(source, 4);
+
+  // Open two connections; create a temp table on the second.
+  Connection* with_temp = nullptr;
+  {
+    auto c1 = pool.Acquire();
+    auto c2 = pool.Acquire();
+    ASSERT_TRUE(c1.ok() && c2.ok());
+    query::TempTableSpec spec;
+    spec.name = "#t";
+    spec.column = "v";
+    spec.source_column = "units";
+    spec.type = DataType::Int64();
+    spec.values = {Value(int64_t{1})};
+    ASSERT_TRUE((*c2)->CreateTempTable(spec).ok());
+    with_temp = c2->get();
+  }
+  // Preferring the temp table returns exactly that connection.
+  auto c = pool.AcquirePreferring({"#t"});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->get(), with_temp);
+  EXPECT_GE(pool.stats().temp_affinity, 1);
+}
+
+TEST(ConnectionPoolTest, AgeWiseEviction) {
+  auto source = std::make_shared<TdeDataSource>(
+      "tde", vizq::testing::MakeTestDatabase(256));
+  ConnectionPool pool(source, 4);
+  {
+    auto a = pool.Acquire();
+    auto b = pool.Acquire();
+  }
+  EXPECT_EQ(pool.size(), 2);
+  // Burn pool operations so the idle connections age.
+  for (int i = 0; i < 10; ++i) {
+    auto c = pool.Acquire();
+  }
+  pool.EvictIdle(/*max_idle_acquisitions=*/5);
+  EXPECT_GE(pool.stats().evicted, 1);
+}
+
+TEST(ConnectionPoolTest, EvictedSlotsAreReopened) {
+  auto source = std::make_shared<TdeDataSource>(
+      "tde", vizq::testing::MakeTestDatabase(256));
+  ConnectionPool pool(source, 2);
+  // Create a mid-list hole: hold slot 1 while evicting slot 0.
+  auto first = pool.Acquire();
+  ASSERT_TRUE(first.ok());
+  auto second = pool.Acquire();
+  ASSERT_TRUE(second.ok());
+  first->Release();
+  pool.EvictIdle(/*max_idle_acquisitions=*/0);  // evict the idle slot 0
+  ASSERT_GE(pool.stats().evicted, 1);
+  // The hole must be reusable: with slot 1 still held, a new acquisition
+  // must open a replacement rather than deadlock at the cap.
+  auto replacement = pool.Acquire();
+  ASSERT_TRUE(replacement.ok());
+  EXPECT_NE(replacement->get(), second->get());
+}
+
+TEST(SimulatedSourceTest, ConnectionCapEnforced) {
+  auto source = SimulatedDataSource::ThrottledCloud(
+      "cloud", vizq::testing::MakeTestDatabase(256));
+  std::vector<std::unique_ptr<Connection>> held;
+  for (int i = 0; i < source->capabilities().max_connections; ++i) {
+    auto c = source->Connect();
+    ASSERT_TRUE(c.ok());
+    held.push_back(*std::move(c));
+  }
+  auto over = source->Connect();
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  held[0]->Close();
+  EXPECT_TRUE(source->Connect().ok());
+}
+
+TEST(SimulatedSourceTest, ExecutesCorrectResults) {
+  auto db = vizq::testing::MakeTestDatabase(1024);
+  auto source = SimulatedDataSource::SingleThreadedSql("sql", db);
+  auto conn = source->Connect();
+  ASSERT_TRUE(conn.ok());
+  query::CompiledQuery cq = CompileCount(*source);
+  ExecutionInfo info;
+  auto result = (*conn)->Execute(cq, &info);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 4);
+  int64_t total = 0;
+  for (int64_t r = 0; r < result->num_rows(); ++r) {
+    total += result->at(r, 1).int_value();
+  }
+  EXPECT_EQ(total, 1024);
+  EXPECT_GT(info.total_ms, 0);
+}
+
+TEST(SimulatedSourceTest, AdmissionThrottleQueuesQueries) {
+  auto db = vizq::testing::MakeTestDatabase(8192);
+  auto source = SimulatedDataSource::ThrottledCloud("cloud", db);
+  ASSERT_EQ(source->capabilities().max_concurrent_queries, 2);
+  query::CompiledQuery cq = CompileCount(*source);
+
+  // 4 concurrent queries against an admission limit of 2: at least one
+  // must report queue time.
+  std::vector<std::unique_ptr<Connection>> conns;
+  for (int i = 0; i < 4; ++i) {
+    auto c = source->Connect();
+    ASSERT_TRUE(c.ok());
+    conns.push_back(*std::move(c));
+  }
+  std::vector<ExecutionInfo> infos(4);
+  {
+    ThreadPool workers(4);
+    for (int i = 0; i < 4; ++i) {
+      workers.Submit([&, i] {
+        auto r = conns[i]->Execute(cq, &infos[i]);
+        EXPECT_TRUE(r.ok());
+      });
+    }
+    workers.Wait();
+  }
+  double max_queue = 0;
+  for (const ExecutionInfo& info : infos) {
+    max_queue = std::max(max_queue, info.queue_ms);
+  }
+  EXPECT_GT(max_queue, 0.5);
+}
+
+TEST(SimulatedSourceTest, ClosedConnectionRefusesWork) {
+  auto db = vizq::testing::MakeTestDatabase(256);
+  auto source = SimulatedDataSource::SingleThreadedSql("sql", db);
+  auto conn = source->Connect();
+  ASSERT_TRUE(conn.ok());
+  (*conn)->Close();
+  query::CompiledQuery cq = CompileCount(*source);
+  EXPECT_FALSE((*conn)->Execute(cq).ok());
+  EXPECT_EQ(source->open_connections(), 0);
+}
+
+}  // namespace
+}  // namespace vizq::federation

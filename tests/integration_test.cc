@@ -1,0 +1,181 @@
+// Full-stack integration: CSV text -> shadow extract -> TDE database ->
+// published through the Data Server -> dashboards rendered by multiple
+// user sessions with caching, prefetching and permissions -- the whole
+// Fig. 6 eco-system in one test, plus cache persistence across a
+// simulated restart.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/cache/persistence.h"
+#include "src/dashboard/prefetcher.h"
+#include "src/dashboard/renderer.h"
+#include "src/extract/shadow_extract.h"
+#include "src/federation/simulated_source.h"
+#include "src/server/data_server.h"
+#include "src/workload/faa_generator.h"
+#include "src/workload/flights_dashboards.h"
+
+namespace vizq {
+namespace {
+
+TEST(IntegrationTest, CsvToDashboardThroughDataServer) {
+  // 1. "Receive" a CSV file and shadow-extract it (§4.4).
+  workload::FaaOptions faa;
+  faa.num_flights = 15000;
+  auto csv = workload::GenerateFaaCsv(faa);
+  ASSERT_TRUE(csv.ok());
+  auto extract_db = std::make_shared<tde::Database>("extracts");
+  extract::ShadowExtractManager extracts(extract_db);
+  extract::ExtractOptions eopts;
+  eopts.sort_by = {"carrier"};
+  ASSERT_TRUE(extracts.ExtractCsv("flights", *csv, eopts).ok());
+
+  // The carriers dimension arrives separately (reference data).
+  std::string carriers_csv = "code,airline_name\n";
+  for (size_t i = 0; i < 10; ++i) {
+    carriers_csv += workload::FaaCarrierCodes()[i] + "," +
+                    workload::FaaAirlineNames()[i] + "\n";
+  }
+  ASSERT_TRUE(extracts.ExtractCsv("carriers", carriers_csv).ok());
+
+  // 2. The extract database backs a simulated warehouse published to the
+  //    Data Server (§5).
+  auto backend = federation::SimulatedDataSource::ParallelWarehouse(
+      "warehouse", extract_db);
+  server::DataServer server;
+  server::PublishedDataSource source;
+  source.name = "faa";
+  source.view = workload::FlightsStarView();
+  query::PredicateSet ca_only;
+  ca_only.predicates.push_back(
+      query::ColumnPredicate::InSet("dest_state", {Value("CA")}));
+  source.permissions.SetUserFilter("regional", std::move(ca_only));
+  ASSERT_TRUE(server.Publish(std::move(source), backend).ok());
+
+  // 3. Render the Fig. 2 dashboard through a server session.
+  auto session = server.Connect("analyst", "faa");
+  ASSERT_TRUE(session.ok());
+  dashboard::Dashboard dash = workload::BuildFigure2Dashboard("faa");
+  dashboard::InteractionState state;
+  std::vector<server::ClientQuery> batch;
+  std::vector<std::string> zone_order;
+  for (const std::string& zone : dash.QueryZoneNames()) {
+    auto q = dash.BuildZoneQuery(zone, state);
+    ASSERT_TRUE(q.ok());
+    batch.push_back(server::ClientQuery{*std::move(q), {}});
+    zone_order.push_back(zone);
+  }
+  dashboard::BatchReport report;
+  auto results = (*session)->QueryBatch(batch, &report);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_GT((*results)[0].num_rows(), 0);
+
+  // 4. A second user repeats the load: all served from the shared proxy
+  //    cache (§3.2 multi-user sharing).
+  auto viewer = server.Connect("viewer", "faa");
+  ASSERT_TRUE(viewer.ok());
+  dashboard::BatchReport viewer_report;
+  auto viewer_results = (*viewer)->QueryBatch(batch, &viewer_report);
+  ASSERT_TRUE(viewer_results.ok());
+  EXPECT_EQ(viewer_report.remote_queries, 0) << viewer_report.Summary();
+  for (size_t i = 0; i < results->size(); ++i) {
+    EXPECT_TRUE(
+        ResultTable::SameUnordered((*results)[i], (*viewer_results)[i]));
+  }
+
+  // 5. The restricted user sees only CA destinations.
+  auto regional = server.Connect("regional", "faa");
+  ASSERT_TRUE(regional.ok());
+  server::ClientQuery states;
+  states.query =
+      query::QueryBuilder("", "").Dim("dest_state").CountAll("n").Build();
+  auto restricted = (*regional)->Query(states);
+  ASSERT_TRUE(restricted.ok());
+  ASSERT_EQ(restricted->num_rows(), 1);
+  EXPECT_EQ(restricted->at(0, 0).string_value(), "CA");
+}
+
+TEST(IntegrationTest, DesktopSessionPersistsCachesAcrossRestart) {
+  // Desktop behaviour (§3.2): caches persist across sessions.
+  workload::FaaOptions faa;
+  faa.num_flights = 10000;
+  auto db = workload::GenerateFaaDatabase(faa);
+  ASSERT_TRUE(db.ok());
+  const std::string cache_path = ::testing::TempDir() + "/vizq_caches.bin";
+  query::AbstractQuery q = query::QueryBuilder("faa", "flights")
+                               .Dim("carrier")
+                               .Agg(AggFunc::kSum, "arr_delay", "total")
+                               .Build();
+
+  {  // session 1: miss, execute, persist
+    auto source = std::make_shared<federation::TdeDataSource>("faa", *db);
+    auto caches = std::make_shared<dashboard::CacheStack>();
+    dashboard::QueryService service(source, caches);
+    ASSERT_TRUE(service.RegisterTableView("flights").ok());
+    dashboard::BatchReport report;
+    ASSERT_TRUE(service.ExecuteBatch({q}, {}, &report).ok());
+    EXPECT_EQ(report.remote_queries, 1);
+    ASSERT_TRUE(cache::SaveCachesToFile(caches->intelligent, caches->literal,
+                                        cache_path)
+                    .ok());
+  }
+  {  // session 2 ("restart"): loaded caches serve the query locally
+    auto source = std::make_shared<federation::TdeDataSource>("faa", *db);
+    auto caches = std::make_shared<dashboard::CacheStack>();
+    ASSERT_TRUE(cache::LoadCachesFromFile(cache_path, &caches->intelligent,
+                                          &caches->literal)
+                    .ok());
+    dashboard::QueryService service(source, caches);
+    ASSERT_TRUE(service.RegisterTableView("flights").ok());
+    dashboard::BatchReport report;
+    auto result = service.ExecuteBatch({q}, {}, &report);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(report.remote_queries, 0) << report.Summary();
+    EXPECT_EQ(report.cache_hits, 1);
+  }
+  std::remove(cache_path.c_str());
+}
+
+TEST(IntegrationTest, RenderPrefetchInteractLoop) {
+  // Desktop loop: render -> prefetch -> user clicks a predicted mark ->
+  // instant refresh; repeat with an unpredicted click.
+  workload::FaaOptions faa;
+  faa.num_flights = 15000;
+  auto db = workload::GenerateFaaDatabase(faa);
+  ASSERT_TRUE(db.ok());
+  auto source = std::make_shared<federation::TdeDataSource>("faa", *db);
+  auto caches = std::make_shared<dashboard::CacheStack>();
+  dashboard::QueryService service(source, caches);
+  ASSERT_TRUE(service.RegisterView(workload::FlightsStarView()).ok());
+
+  dashboard::Dashboard dash = workload::BuildFigure1Dashboard("faa");
+  dashboard::DashboardRenderer renderer(&service);
+  dashboard::Prefetcher prefetcher(&service);
+  dashboard::InteractionState state;
+  dashboard::BatchOptions options;
+  options.adjust.add_filter_dimensions = true;
+
+  auto load = renderer.Render(dash, &state, options);
+  ASSERT_TRUE(load.ok());
+  prefetcher.PrefetchAfterRender(dash, state, *load, options);
+  prefetcher.Wait();
+
+  // Click the top origin state (predicted).
+  const ResultTable& origins = load->zone_results.at("OriginMap");
+  state.Select("OriginMap", "origin_state", {origins.at(0, 0)});
+  auto r1 = renderer.Refresh(dash, &state, dash.ActionTargets("OriginMap"),
+                             options);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->batches[0].remote_queries, 0) << r1->batches[0].Summary();
+
+  // Every rendered zone carries sane data.
+  for (const auto& [zone, table] : r1->zone_results) {
+    EXPECT_GT(table.num_columns(), 0) << zone;
+  }
+}
+
+}  // namespace
+}  // namespace vizq

@@ -1,0 +1,152 @@
+// Property tests for the structured predicate model that powers the
+// intelligent cache's subsumption proofs.
+
+#include "src/query/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace vizq::query {
+namespace {
+
+Value V(const char* s) { return Value(s); }
+Value V(int64_t i) { return Value(i); }
+
+TEST(ColumnPredicateTest, SetImpliesSuperset) {
+  auto small = ColumnPredicate::InSet("c", {V("a"), V("b")});
+  auto big = ColumnPredicate::InSet("c", {V("a"), V("b"), V("d")});
+  EXPECT_TRUE(small.Implies(big));
+  EXPECT_FALSE(big.Implies(small));
+  EXPECT_TRUE(small.Implies(small));
+}
+
+TEST(ColumnPredicateTest, SetOrderIsCanonical) {
+  auto a = ColumnPredicate::InSet("c", {V("b"), V("a")});
+  auto b = ColumnPredicate::InSet("c", {V("a"), V("b")});
+  EXPECT_TRUE(a.EqualsPredicate(b));
+  EXPECT_EQ(a.ToKeyString(), b.ToKeyString());
+}
+
+TEST(ColumnPredicateTest, RangeImplication) {
+  auto narrow = ColumnPredicate::Range("x", Value(int64_t{10}), Value(int64_t{20}));
+  auto wide = ColumnPredicate::Range("x", Value(int64_t{0}), Value(int64_t{100}));
+  EXPECT_TRUE(narrow.Implies(wide));
+  EXPECT_FALSE(wide.Implies(narrow));
+
+  auto unbounded_hi = ColumnPredicate::Range("x", Value(int64_t{5}), std::nullopt);
+  EXPECT_TRUE(narrow.Implies(unbounded_hi));
+  EXPECT_FALSE(unbounded_hi.Implies(narrow));
+}
+
+TEST(ColumnPredicateTest, RangeInclusivityMatters) {
+  auto closed = ColumnPredicate::Range("x", Value(int64_t{10}), Value(int64_t{20}),
+                                       /*lower_inclusive=*/true,
+                                       /*upper_inclusive=*/true);
+  auto open = ColumnPredicate::Range("x", Value(int64_t{10}), Value(int64_t{20}),
+                                     /*lower_inclusive=*/false,
+                                     /*upper_inclusive=*/false);
+  EXPECT_TRUE(open.Implies(closed));
+  EXPECT_FALSE(closed.Implies(open));
+}
+
+TEST(ColumnPredicateTest, SetImpliesRange) {
+  auto set = ColumnPredicate::InSet("x", {V(int64_t{5}), V(int64_t{7})});
+  auto range = ColumnPredicate::Range("x", Value(int64_t{0}), Value(int64_t{10}));
+  EXPECT_TRUE(set.Implies(range));
+  auto out = ColumnPredicate::InSet("x", {V(int64_t{5}), V(int64_t{70})});
+  EXPECT_FALSE(out.Implies(range));
+  // A range never implies a finite set (no domain knowledge).
+  EXPECT_FALSE(range.Implies(set));
+}
+
+TEST(PredicateSetTest, NormalizeIntersectsDuplicateColumns) {
+  PredicateSet set;
+  set.predicates.push_back(ColumnPredicate::InSet("c", {V("a"), V("b")}));
+  set.predicates.push_back(ColumnPredicate::InSet("c", {V("b"), V("d")}));
+  set.Normalize();
+  ASSERT_EQ(set.predicates.size(), 1u);
+  ASSERT_EQ(set.predicates[0].values.size(), 1u);
+  EXPECT_EQ(set.predicates[0].values[0].string_value(), "b");
+}
+
+TEST(PredicateSetTest, NormalizeTightensRanges) {
+  PredicateSet set;
+  set.predicates.push_back(
+      ColumnPredicate::Range("x", Value(int64_t{0}), Value(int64_t{50})));
+  set.predicates.push_back(
+      ColumnPredicate::Range("x", Value(int64_t{10}), Value(int64_t{100})));
+  set.Normalize();
+  ASSERT_EQ(set.predicates.size(), 1u);
+  EXPECT_EQ(set.predicates[0].lower->int_value(), 10);
+  EXPECT_EQ(set.predicates[0].upper->int_value(), 50);
+}
+
+TEST(PredicateSetTest, ImpliesRequiresAllPredicatesCovered) {
+  PredicateSet strong;
+  strong.predicates.push_back(ColumnPredicate::InSet("c", {V("a")}));
+  strong.predicates.push_back(
+      ColumnPredicate::Range("x", Value(int64_t{5}), Value(int64_t{6})));
+  strong.Normalize();
+
+  PredicateSet weak;
+  weak.predicates.push_back(ColumnPredicate::InSet("c", {V("a"), V("b")}));
+  weak.Normalize();
+
+  EXPECT_TRUE(strong.Implies(weak));
+  EXPECT_FALSE(weak.Implies(strong));
+  PredicateSet empty;
+  EXPECT_TRUE(strong.Implies(empty));   // no constraints to satisfy
+  EXPECT_FALSE(empty.Implies(strong));  // unconstrained can't imply
+}
+
+TEST(PredicateSetTest, ResidualComputesUnguaranteedPredicates) {
+  PredicateSet request;
+  request.predicates.push_back(ColumnPredicate::InSet("c", {V("a")}));
+  request.predicates.push_back(
+      ColumnPredicate::Range("x", Value(int64_t{5}), Value(int64_t{6})));
+  request.Normalize();
+
+  PredicateSet stored;
+  stored.predicates.push_back(ColumnPredicate::InSet("c", {V("a")}));
+  stored.Normalize();
+
+  auto residual = request.ResidualAgainst(stored);
+  ASSERT_EQ(residual.size(), 1u);
+  EXPECT_EQ(residual[0].column, "x");
+}
+
+// Property sweep: implication is consistent with explicit evaluation.
+class ImplicationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicationPropertyTest, ImpliesIsSoundOverSmallDomains) {
+  // Enumerate subsets of a 5-value domain as IN-set predicates; check
+  // Implies(a, b) == (eval(a) subset-of eval(b)) pointwise.
+  int64_t domain[5] = {1, 2, 3, 5, 8};
+  int mask_a = GetParam() & 31;
+  for (int mask_b = 0; mask_b < 32; ++mask_b) {
+    std::vector<Value> va, vb;
+    for (int i = 0; i < 5; ++i) {
+      if (mask_a & (1 << i)) va.push_back(Value(domain[i]));
+      if (mask_b & (1 << i)) vb.push_back(Value(domain[i]));
+    }
+    auto pa = ColumnPredicate::InSet("x", va);
+    auto pb = ColumnPredicate::InSet("x", vb);
+    bool subset = (mask_a & mask_b) == mask_a;
+    EXPECT_EQ(pa.Implies(pb), subset) << "a=" << mask_a << " b=" << mask_b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, ImplicationPropertyTest,
+                         ::testing::Range(0, 32));
+
+TEST(PredicateExprTest, ToExprProducesBindableExpressions) {
+  auto set = ColumnPredicate::InSet("c", {V("a"), V("b")});
+  EXPECT_NE(set.ToExpr(), nullptr);
+  auto range = ColumnPredicate::Range("x", Value(int64_t{1}), std::nullopt,
+                                      /*lower_inclusive=*/false);
+  tde::ExprPtr e = range.ToExpr();
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->binary_op, tde::BinaryOp::kGt);
+}
+
+}  // namespace
+}  // namespace vizq::query

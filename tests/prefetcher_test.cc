@@ -1,0 +1,119 @@
+// Prefetcher tests (§7 future-work extension): speculation warms the
+// shared cache so a predicted interaction refreshes without any remote
+// query.
+
+#include "src/dashboard/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/federation/data_source.h"
+#include "src/workload/faa_generator.h"
+#include "src/workload/flights_dashboards.h"
+
+namespace vizq::dashboard {
+namespace {
+
+class PrefetcherTest : public ::testing::Test {
+ protected:
+  PrefetcherTest() {
+    workload::FaaOptions faa;
+    faa.num_flights = 20000;
+    auto db = workload::GenerateFaaDatabase(faa);
+    EXPECT_TRUE(db.ok());
+    source_ = std::make_shared<federation::TdeDataSource>("faa", *db);
+    caches_ = std::make_shared<CacheStack>();
+    service_ = std::make_unique<QueryService>(source_, caches_);
+    EXPECT_TRUE(service_->RegisterView(workload::FlightsStarView()).ok());
+  }
+
+  std::shared_ptr<federation::TdeDataSource> source_;
+  std::shared_ptr<CacheStack> caches_;
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST_F(PrefetcherTest, PredictedSelectionIsServedFromCache) {
+  Dashboard dash = workload::BuildFigure2Dashboard("faa");
+  DashboardRenderer renderer(service_.get());
+  InteractionState state;
+  BatchOptions options;
+
+  auto load = renderer.Render(dash, &state, options);
+  ASSERT_TRUE(load.ok()) << load.status();
+
+  Prefetcher prefetcher(service_.get());
+  int scheduled =
+      prefetcher.PrefetchAfterRender(dash, state, *load, options);
+  EXPECT_GT(scheduled, 0);
+  prefetcher.Wait();
+
+  // The user clicks the top market — exactly what the prefetcher
+  // speculated on. The refresh must be all cache hits.
+  const ResultTable& markets = load->zone_results.at("Market");
+  state.Select("Market", "market", {markets.at(0, 0)});
+  auto refresh =
+      renderer.Refresh(dash, &state, dash.ActionTargets("Market"), options);
+  ASSERT_TRUE(refresh.ok()) << refresh.status();
+  ASSERT_FALSE(refresh->batches.empty());
+  EXPECT_EQ(refresh->batches[0].remote_queries, 0)
+      << refresh->batches[0].Summary();
+}
+
+TEST_F(PrefetcherTest, UnpredictedSelectionStillWorks) {
+  Dashboard dash = workload::BuildFigure2Dashboard("faa");
+  DashboardRenderer renderer(service_.get());
+  InteractionState state;
+  BatchOptions options;
+  auto load = renderer.Render(dash, &state, options);
+  ASSERT_TRUE(load.ok());
+
+  Prefetcher prefetcher(service_.get());
+  prefetcher.PrefetchAfterRender(dash, state, *load, options);
+  prefetcher.Wait();
+
+  // Select a market beyond the speculation horizon: correctness unharmed.
+  const ResultTable& markets = load->zone_results.at("Market");
+  ASSERT_GT(markets.num_rows(), 5);
+  state.Select("Market", "market", {markets.at(5, 0)});
+  auto refresh =
+      renderer.Refresh(dash, &state, dash.ActionTargets("Market"), options);
+  ASSERT_TRUE(refresh.ok()) << refresh.status();
+  EXPECT_GT(refresh->zone_results.at("AirlineName").num_rows(), 0);
+}
+
+TEST_F(PrefetcherTest, RespectsQueryBudget) {
+  Dashboard dash = workload::BuildFigure1Dashboard("faa");
+  DashboardRenderer renderer(service_.get());
+  InteractionState state;
+  BatchOptions options;
+  auto load = renderer.Render(dash, &state, options);
+  ASSERT_TRUE(load.ok());
+
+  PrefetchOptions popts;
+  popts.max_queries = 3;
+  Prefetcher prefetcher(service_.get(), popts);
+  int scheduled =
+      prefetcher.PrefetchAfterRender(dash, state, *load, options);
+  EXPECT_LE(scheduled, 3);
+  prefetcher.Wait();
+}
+
+TEST_F(PrefetcherTest, NothingToSpeculateOnIsFine) {
+  Dashboard dash("empty");
+  Zone z;
+  z.name = "solo";
+  z.base = query::QueryBuilder("faa", workload::kFlightsView)
+               .Dim("carrier")
+               .CountAll("n")
+               .Build();
+  ASSERT_TRUE(dash.AddZone(std::move(z)).ok());  // no actions
+  DashboardRenderer renderer(service_.get());
+  InteractionState state;
+  auto load = renderer.Render(dash, &state, BatchOptions());
+  ASSERT_TRUE(load.ok());
+  Prefetcher prefetcher(service_.get());
+  EXPECT_EQ(
+      prefetcher.PrefetchAfterRender(dash, state, *load, BatchOptions()), 0);
+}
+
+}  // namespace
+}  // namespace vizq::dashboard

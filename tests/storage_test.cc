@@ -1,0 +1,301 @@
+// Storage-layer tests: column encodings (plain/dictionary/RLE/delta),
+// collation, stats, tables with sort metadata, the database namespace and
+// the single-file pack/unpack format.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tde/storage/column.h"
+#include "src/tde/storage/database.h"
+#include "src/tde/storage/file_format.h"
+#include "src/tde/storage/table.h"
+
+namespace vizq::tde {
+namespace {
+
+std::shared_ptr<Column> BuildIntColumn(const std::vector<int64_t>& values,
+                                       EncodingChoice choice) {
+  ColumnBuilder builder(DataType::Int64());
+  for (int64_t v : values) builder.AppendInt(v);
+  auto col = builder.Finish(choice);
+  EXPECT_TRUE(col.ok()) << col.status();
+  return *col;
+}
+
+TEST(ColumnEncodingTest, PlainRoundTrip) {
+  std::vector<int64_t> values = {5, -3, 12, 0, 99};
+  auto col = BuildIntColumn(values, EncodingChoice::kForcePlain);
+  ASSERT_EQ(col->encoding(), Encoding::kPlain);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(col->GetValue(i).int_value(), values[i]);
+  }
+}
+
+TEST(ColumnEncodingTest, RleRoundTripAndRuns) {
+  std::vector<int64_t> values;
+  for (int run = 0; run < 10; ++run) {
+    for (int i = 0; i < 100; ++i) values.push_back(run);
+  }
+  auto col = BuildIntColumn(values, EncodingChoice::kAuto);
+  EXPECT_EQ(col->encoding(), Encoding::kRle);
+  EXPECT_EQ(col->rle_runs().size(), 10u);
+  EXPECT_EQ(col->rle_runs()[3].value, 3);
+  EXPECT_EQ(col->rle_runs()[3].start, 300);
+  EXPECT_EQ(col->rle_runs()[3].count, 100);
+  // Bulk decode across run boundaries.
+  std::vector<int64_t> out;
+  col->DecodeInts(250, 200, &out, nullptr);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[49], 2);
+  EXPECT_EQ(out[50], 3);
+  EXPECT_EQ(out[149], 3);
+  EXPECT_EQ(out[150], 4);
+}
+
+TEST(ColumnEncodingTest, DeltaRoundTrip) {
+  std::vector<int64_t> values;
+  int64_t v = 1000;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(v);
+    v += rng.Range(0, 10);
+  }
+  auto col = BuildIntColumn(values, EncodingChoice::kForceDelta);
+  ASSERT_EQ(col->encoding(), Encoding::kDelta);
+  std::vector<int64_t> out;
+  col->DecodeInts(0, 500, &out, nullptr);
+  EXPECT_EQ(out, values);
+  // Random-access too.
+  EXPECT_EQ(col->GetValue(250).int_value(), values[250]);
+}
+
+TEST(ColumnEncodingTest, DeltaRequiresSortedInput) {
+  ColumnBuilder builder(DataType::Int64());
+  builder.AppendInt(5);
+  builder.AppendInt(3);
+  EXPECT_FALSE(builder.Finish(EncodingChoice::kForceDelta).ok());
+}
+
+TEST(ColumnEncodingTest, DictionaryStrings) {
+  ColumnBuilder builder(DataType::String());
+  for (int i = 0; i < 100; ++i) {
+    builder.AppendString(i % 2 == 0 ? "even" : "odd");
+  }
+  auto col = *builder.Finish();
+  EXPECT_TRUE(col->is_dictionary_string());
+  ASSERT_NE(col->dictionary(), nullptr);
+  EXPECT_EQ(col->dictionary()->size(), 2);
+  EXPECT_EQ(col->GetValue(0).string_value(), "even");
+  EXPECT_EQ(col->GetValue(1).string_value(), "odd");
+}
+
+TEST(ColumnEncodingTest, HighCardinalityStringsStayPlain) {
+  ColumnBuilder builder(DataType::String());
+  for (int i = 0; i < 100; ++i) {
+    builder.AppendString("unique_" + std::to_string(i));
+  }
+  auto col = *builder.Finish();
+  EXPECT_EQ(col->encoding(), Encoding::kPlain);
+  EXPECT_FALSE(col->is_dictionary_string());
+  EXPECT_EQ(col->GetValue(42).string_value(), "unique_42");
+}
+
+TEST(ColumnEncodingTest, CaseInsensitiveDictionarySharesTokens) {
+  ColumnBuilder builder(DataType::String(Collation::kCaseInsensitive));
+  for (int i = 0; i < 64; ++i) {
+    builder.AppendString(i % 2 == 0 ? "ABC" : "abc");
+  }
+  auto col = *builder.Finish(EncodingChoice::kForceDictionary);
+  ASSERT_TRUE(col->is_dictionary_string());
+  // Under nocase collation "ABC" and "abc" intern to the same token.
+  EXPECT_EQ(col->dictionary()->size(), 1);
+}
+
+TEST(ColumnEncodingTest, NullsSurviveEveryEncoding) {
+  for (EncodingChoice choice :
+       {EncodingChoice::kForcePlain, EncodingChoice::kForceRle}) {
+    ColumnBuilder builder(DataType::Int64());
+    builder.AppendInt(7);
+    builder.AppendNull();
+    builder.AppendInt(7);
+    builder.AppendNull();
+    auto col = *builder.Finish(choice);
+    EXPECT_FALSE(col->IsNull(0));
+    EXPECT_TRUE(col->IsNull(1));
+    EXPECT_TRUE(col->GetValue(1).is_null());
+    EXPECT_EQ(col->GetValue(2).int_value(), 7);
+    EXPECT_EQ(col->stats().null_count, 2);
+  }
+}
+
+TEST(ColumnEncodingTest, StatsMinMaxDistinct) {
+  auto col = BuildIntColumn({4, 9, 1, 9, 4, 1, 7}, EncodingChoice::kForcePlain);
+  EXPECT_TRUE(col->stats().has_min_max);
+  EXPECT_EQ(col->stats().min.int_value(), 1);
+  EXPECT_EQ(col->stats().max.int_value(), 9);
+  EXPECT_EQ(col->stats().distinct_estimate, 4);
+}
+
+// Property sweep: every encoding choice round-trips random data exactly.
+class EncodingRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingRoundTripTest, RandomDataRoundTrips) {
+  Rng rng(GetParam());
+  int64_t n = 1 + rng.Below(2000);
+  int64_t cardinality = 1 + rng.Below(20);
+  bool sorted = rng.Chance(0.5);
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < n; ++i) {
+    values.push_back(rng.Range(0, cardinality));
+  }
+  if (sorted) std::sort(values.begin(), values.end());
+
+  for (EncodingChoice choice : {EncodingChoice::kAuto,
+                                EncodingChoice::kForcePlain,
+                                EncodingChoice::kForceRle}) {
+    auto col = BuildIntColumn(values, choice);
+    ASSERT_EQ(col->size(), n);
+    // Random access and bulk decode agree with the source.
+    std::vector<int64_t> out;
+    col->DecodeInts(0, n, &out, nullptr);
+    ASSERT_EQ(out, values) << "choice=" << static_cast<int>(choice);
+    for (int probe = 0; probe < 16; ++probe) {
+      int64_t idx = rng.Below(n);
+      EXPECT_EQ(col->GetValue(idx).int_value(), values[idx]);
+    }
+    // Partial decodes at random offsets.
+    int64_t start = rng.Below(n);
+    int64_t count = 1 + rng.Below(n - start);
+    col->DecodeInts(start, count, &out, nullptr);
+    for (int64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[i], values[start + i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTripTest,
+                         ::testing::Range(1, 25));
+
+TEST(TableTest, SortValidationRejectsLies) {
+  TableBuilder builder("t", {{"a", DataType::Int64()}});
+  (void)builder.AddRow({Value(int64_t{2})});
+  (void)builder.AddRow({Value(int64_t{1})});
+  builder.DeclareSorted({0});
+  EXPECT_FALSE(builder.Finish().ok());
+}
+
+TEST(TableTest, SubsetMatchesSortPrefix) {
+  TableBuilder builder("t", {{"a", DataType::Int64()},
+                             {"b", DataType::Int64()},
+                             {"c", DataType::Int64()}});
+  for (int i = 0; i < 8; ++i) {
+    (void)builder.AddRow({Value(int64_t{i / 4}), Value(int64_t{i / 2}),
+                          Value(int64_t{i})});
+  }
+  builder.DeclareSorted({0, 1});
+  auto table = *builder.Finish();
+  int len = 0;
+  EXPECT_TRUE(table->SubsetMatchesSortPrefix({0}, &len));
+  EXPECT_EQ(len, 1);
+  EXPECT_TRUE(table->SubsetMatchesSortPrefix({1, 0}, &len));
+  EXPECT_EQ(len, 2);  // permutation of a subset matches the full prefix
+  EXPECT_FALSE(table->SubsetMatchesSortPrefix({1}, &len));  // not a prefix
+  EXPECT_FALSE(table->SubsetMatchesSortPrefix({2}, &len));
+}
+
+TEST(DatabaseTest, NamespaceRules) {
+  Database db("d");
+  EXPECT_FALSE(db.CreateSchema("SYS").ok());
+  EXPECT_TRUE(db.CreateSchema("other").ok());
+  EXPECT_FALSE(db.CreateSchema("other").ok());
+
+  TableBuilder builder("t", {{"a", DataType::Int64()}});
+  (void)builder.AddRow({Value(int64_t{1})});
+  auto table = *builder.Finish();
+  EXPECT_TRUE(db.AddTable(table).ok());
+  EXPECT_FALSE(db.AddTable(table).ok());  // duplicate
+  EXPECT_TRUE(db.AddTable("other", table).ok());
+  EXPECT_FALSE(db.AddTable("SYS", table).ok());
+
+  EXPECT_TRUE(db.GetTable("t").ok());
+  EXPECT_TRUE(db.GetTable("other.t").ok());
+  EXPECT_FALSE(db.GetTable("nope.t").ok());
+  EXPECT_FALSE(db.GetTable("other.nope").ok());
+
+  EXPECT_TRUE(db.DropTable("other", "t").ok());
+  EXPECT_FALSE(db.DropTable("other", "t").ok());
+}
+
+TEST(FileFormatTest, FullDatabaseRoundTrip) {
+  Database db("roundtrip");
+  {
+    TableBuilder builder("mixed", {{"s", DataType::String()},
+                                   {"i", DataType::Int64()},
+                                   {"f", DataType::Float64()},
+                                   {"b", DataType::Bool()},
+                                   {"d", DataType::Date()}});
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i) {
+      if (rng.Chance(0.1)) {
+        (void)builder.AddRow({Value::Null(), Value::Null(), Value::Null(),
+                              Value::Null(), Value::Null()});
+      } else {
+        (void)builder.AddRow(
+            {Value(std::string(1, static_cast<char>('a' + rng.Below(5)))),
+             Value(static_cast<int64_t>(i / 10)), Value(rng.NextDouble()),
+             Value(rng.Chance(0.5)), Value(static_cast<int64_t>(16000 + i))});
+      }
+    }
+    (void)db.AddTable(*builder.Finish());
+  }
+
+  std::string bytes = DatabaseSerializer::Pack(db);
+  auto restored = DatabaseSerializer::Unpack(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  auto table = (*restored)->GetTable("mixed");
+  ASSERT_TRUE(table.ok());
+  auto original = db.GetTable("mixed");
+  ASSERT_EQ((*table)->num_rows(), (*original)->num_rows());
+  for (int64_t r = 0; r < (*table)->num_rows(); ++r) {
+    for (int c = 0; c < (*table)->num_columns(); ++c) {
+      EXPECT_TRUE((*table)->column(c)->GetValue(r).Equals(
+          (*original)->column(c)->GetValue(r)))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(FileFormatTest, CorruptImagesFailCleanly) {
+  Database db("x");
+  TableBuilder builder("t", {{"a", DataType::Int64()}});
+  (void)builder.AddRow({Value(int64_t{1})});
+  (void)db.AddTable(*builder.Finish());
+  std::string bytes = DatabaseSerializer::Pack(db);
+
+  EXPECT_FALSE(DatabaseSerializer::Unpack("garbage").ok());
+  EXPECT_FALSE(
+      DatabaseSerializer::Unpack(bytes.substr(0, bytes.size() / 2)).ok());
+  std::string trailing = bytes + "x";
+  EXPECT_FALSE(DatabaseSerializer::Unpack(trailing).ok());
+}
+
+TEST(CollationTest, CompareEqualsHashAgree) {
+  const char* pairs[][2] = {{"abc", "ABC"}, {"Zebra", "zebRA"}, {"a", "b"},
+                            {"", ""},       {"Aa", "aA"}};
+  for (const auto& p : pairs) {
+    bool eq_nocase = CollatedEquals(p[0], p[1], Collation::kCaseInsensitive);
+    EXPECT_EQ(eq_nocase,
+              CollatedCompare(p[0], p[1], Collation::kCaseInsensitive) == 0);
+    if (eq_nocase) {
+      EXPECT_EQ(CollatedHash(p[0], Collation::kCaseInsensitive),
+                CollatedHash(p[1], Collation::kCaseInsensitive));
+      EXPECT_EQ(CollationKey(p[0], Collation::kCaseInsensitive),
+                CollationKey(p[1], Collation::kCaseInsensitive));
+    }
+  }
+  EXPECT_NE(CollatedCompare("abc", "ABC", Collation::kBinary), 0);
+  EXPECT_LT(CollatedCompare("abc", "abcd", Collation::kCaseInsensitive), 0);
+}
+
+}  // namespace
+}  // namespace vizq::tde

@@ -1,0 +1,200 @@
+// Additional TDE end-to-end coverage: date literals, collated string
+// columns, NULL handling in grouping/aggregation/ordering, dictionary
+// token fast paths, empty tables, and larger plan compositions.
+
+#include <gtest/gtest.h>
+
+#include "src/common/str_util.h"
+#include "src/tde/engine.h"
+#include "tests/test_util.h"
+
+namespace vizq::tde {
+namespace {
+
+std::shared_ptr<Database> MakeNullableDb() {
+  auto db = std::make_shared<Database>("nullable");
+  TableBuilder builder("t", {{"k", DataType::String()},
+                             {"v", DataType::Int64()},
+                             {"d", DataType::Date()}});
+  int64_t day = *ParseDateDays("2014-06-01");
+  (void)builder.AddRow({Value("a"), Value(int64_t{1}), Value(day)});
+  (void)builder.AddRow({Value("a"), Value::Null(), Value(day + 1)});
+  (void)builder.AddRow({Value::Null(), Value(int64_t{3}), Value(day + 40)});
+  (void)builder.AddRow({Value("b"), Value(int64_t{4}), Value::Null()});
+  (void)builder.AddRow({Value::Null(), Value::Null(), Value(day)});
+  (void)db->AddTable(*builder.Finish());
+  return db;
+}
+
+TEST(TdeNullsTest, NullsFormTheirOwnGroup) {
+  TdeEngine engine(MakeNullableDb());
+  auto result = engine.Query(
+      "(order ((k asc)) (aggregate ((k k)) ((n count*) (s sum v)) (scan t)))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 3);
+  // NULL sorts first.
+  EXPECT_TRUE(result->at(0, 0).is_null());
+  EXPECT_EQ(result->at(0, 1).int_value(), 2);   // two null-key rows
+  EXPECT_EQ(result->at(0, 2).int_value(), 3);   // sum skips the null v
+  EXPECT_EQ(result->at(1, 0).string_value(), "a");
+  EXPECT_EQ(result->at(1, 1).int_value(), 2);
+  EXPECT_EQ(result->at(1, 2).int_value(), 1);   // null v skipped
+}
+
+TEST(TdeNullsTest, CountVsCountStarOnNulls) {
+  TdeEngine engine(MakeNullableDb());
+  auto result = engine.Query(
+      "(aggregate () ((all count*) (vs count v) (ds count d)) (scan t))");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at(0, 0).int_value(), 5);
+  EXPECT_EQ(result->at(0, 1).int_value(), 3);
+  EXPECT_EQ(result->at(0, 2).int_value(), 4);
+}
+
+TEST(TdeNullsTest, FilterDropsNulls) {
+  TdeEngine engine(MakeNullableDb());
+  // v > 0 excludes null v rows (three-valued logic).
+  auto result = engine.Query(
+      "(aggregate () ((n count*)) (select (> v 0) (scan t)))");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at(0, 0).int_value(), 3);
+  // isnull finds them.
+  auto nulls = engine.Query(
+      "(aggregate () ((n count*)) (select (isnull v) (scan t)))");
+  ASSERT_TRUE(nulls.ok());
+  EXPECT_EQ(nulls->at(0, 0).int_value(), 2);
+}
+
+TEST(TdeDateTest, DateLiteralsInTql) {
+  TdeEngine engine(MakeNullableDb());
+  auto result = engine.Query(
+      "(aggregate () ((n count*))"
+      " (select (and (>= d d\"2014-06-01\") (< d d\"2014-06-10\"))"
+      " (scan t)))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->at(0, 0).int_value(), 3);
+  // year()/month() over the date column.
+  auto parts = engine.Query(
+      "(aggregate ((m (month d))) ((n count*)) (select (not (isnull d)) "
+      "(scan t)))");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->num_rows(), 2);  // June and July
+}
+
+TEST(TdeCollationTest, CaseInsensitiveColumnGroupsAndFilters) {
+  auto db = std::make_shared<Database>("collated");
+  TableBuilder builder(
+      "t", {{"name", DataType::String(Collation::kCaseInsensitive)},
+            {"v", DataType::Int64()}});
+  (void)builder.AddRow({Value("Apple"), Value(int64_t{1})});
+  (void)builder.AddRow({Value("APPLE"), Value(int64_t{2})});
+  (void)builder.AddRow({Value("apple"), Value(int64_t{4})});
+  (void)builder.AddRow({Value("Banana"), Value(int64_t{8})});
+  (void)db->AddTable(*builder.Finish());
+  TdeEngine engine(db);
+
+  // Grouping folds case.
+  auto groups = engine.Query(
+      "(aggregate ((name name)) ((s sum v)) (scan t))");
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->num_rows(), 2);
+
+  // Filtering folds case too.
+  auto filtered = engine.Query(
+      "(aggregate () ((s sum v)) (select (= name \"aPpLe\") (scan t)))");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->at(0, 0).int_value(), 7);
+
+  // IN-set with mixed case.
+  auto in_set = engine.Query(
+      "(aggregate () ((s sum v)) (select (in name \"APPLE\" \"banana\") "
+      "(scan t)))");
+  ASSERT_TRUE(in_set.ok());
+  EXPECT_EQ(in_set->at(0, 0).int_value(), 15);
+}
+
+TEST(TdeEmptyTest, EmptyTableBehaviours) {
+  auto db = std::make_shared<Database>("empty");
+  TableBuilder builder("t", {{"k", DataType::String()},
+                             {"v", DataType::Int64()}});
+  (void)db->AddTable(*builder.Finish());
+  TdeEngine engine(db);
+
+  auto group = engine.Query("(aggregate ((k k)) ((n count*)) (scan t))");
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group->num_rows(), 0);
+
+  auto scalar = engine.Query("(aggregate () ((n count*) (s sum v)) (scan t))");
+  ASSERT_TRUE(scalar.ok());
+  ASSERT_EQ(scalar->num_rows(), 1);
+  EXPECT_EQ(scalar->at(0, 0).int_value(), 0);
+  EXPECT_TRUE(scalar->at(0, 1).is_null());
+
+  auto topn = engine.Query("(topn 5 ((v desc)) (scan t))");
+  ASSERT_TRUE(topn.ok());
+  EXPECT_EQ(topn->num_rows(), 0);
+
+  // Parallel options on an empty table are harmless.
+  QueryOptions par;
+  par.parallel.min_rows_per_fraction = 1;
+  auto p = engine.Execute("(aggregate ((k k)) ((n count*)) (scan t))", par);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->table.num_rows(), 0);
+}
+
+TEST(TdeCompositionTest, NestedAggregationOverAggregation) {
+  auto db = vizq::testing::MakeTestDatabase(4096);
+  TdeEngine engine(db);
+  // Average per-product total by region: aggregate over an aggregate.
+  auto result = engine.Query(
+      "(order ((region asc))"
+      " (aggregate ((region region)) ((avg_total avg total))"
+      "  (aggregate ((region region) (product product))"
+      "             ((total sum units)) (scan sales))))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 4);
+  // Cross-check one region by hand.
+  auto per_product = engine.Query(
+      "(aggregate ((product product)) ((total sum units))"
+      " (select (= region \"East\") (scan sales)))");
+  ASSERT_TRUE(per_product.ok());
+  double sum = 0;
+  for (int64_t r = 0; r < per_product->num_rows(); ++r) {
+    sum += per_product->at(r, 1).AsDouble();
+  }
+  double expected = sum / static_cast<double>(per_product->num_rows());
+  EXPECT_NEAR(result->at(0, 1).AsDouble(), expected, 1e-9);
+}
+
+TEST(TdeCompositionTest, TopNWithTies) {
+  auto db = std::make_shared<Database>("ties");
+  TableBuilder builder("t", {{"k", DataType::Int64()}});
+  for (int i = 0; i < 10; ++i) {
+    (void)builder.AddRow({Value(static_cast<int64_t>(i / 2))});
+  }
+  (void)db->AddTable(*builder.Finish());
+  TdeEngine engine(db);
+  auto result = engine.Query("(topn 3 ((k desc)) (scan t))");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 3);
+  EXPECT_EQ(result->at(0, 0).int_value(), 4);
+  EXPECT_EQ(result->at(1, 0).int_value(), 4);
+  EXPECT_EQ(result->at(2, 0).int_value(), 3);
+}
+
+TEST(TdeCompositionTest, ProjectExpressionsThroughJoin) {
+  auto db = vizq::testing::MakeTestDatabase(1024);
+  TdeEngine engine(db);
+  auto result = engine.Query(
+      "(topn 5 ((rev desc))"
+      " (project ((label (substr category 1 3)) (rev (* units price)))"
+      "  (join inner ((product name)) (scan sales) (scan products)"
+      "   referential)))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 5);
+  EXPECT_EQ(result->columns()[0].name, "label");
+  EXPECT_LE(result->at(0, 0).string_value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace vizq::tde

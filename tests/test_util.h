@@ -1,0 +1,88 @@
+// Shared helpers for VizQuery tests: small deterministic tables and a
+// database the TQL tests run against.
+
+#ifndef VIZQUERY_TESTS_TEST_UTIL_H_
+#define VIZQUERY_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tde/engine.h"
+#include "src/tde/storage/database.h"
+#include "src/tde/storage/table.h"
+
+namespace vizq::testing {
+
+// Builds the "sales" table: region (string, 4 values), product (string,
+// 8 values), units (int), price (float), day (date-ish int). Sorted by
+// region, then product. Region/product are dictionary-compressible and
+// region is heavily run-length encoded (sorted).
+inline std::shared_ptr<tde::Table> MakeSalesTable(int64_t rows,
+                                                  uint64_t seed = 7) {
+  using namespace vizq::tde;
+  std::vector<ColumnInfo> schema = {
+      {"region", DataType::String()},   {"product", DataType::String()},
+      {"units", DataType::Int64()},     {"price", DataType::Float64()},
+      {"day", DataType::Date()},
+  };
+  const char* regions[] = {"East", "North", "South", "West"};
+  const char* products[] = {"apple", "banana", "cherry", "date",
+                            "elder", "fig",    "grape",  "honey"};
+  TableBuilder builder("sales", schema);
+  Rng rng(seed);
+  // Generate sorted (region, product) pairs by construction.
+  int64_t per_region = rows / 4;
+  for (int r = 0; r < 4; ++r) {
+    int64_t n = r == 3 ? rows - 3 * per_region : per_region;
+    // within a region, products in sorted order
+    int64_t per_product = n / 8;
+    for (int p = 0; p < 8; ++p) {
+      int64_t m = p == 7 ? n - 7 * per_product : per_product;
+      for (int64_t i = 0; i < m; ++i) {
+        std::vector<Value> row;
+        row.emplace_back(Value(regions[r]));
+        row.emplace_back(Value(products[p]));
+        row.emplace_back(Value(static_cast<int64_t>(rng.Range(0, 100))));
+        row.emplace_back(Value(rng.NextDouble() * 50.0));
+        row.emplace_back(Value(static_cast<int64_t>(16000 + rng.Range(0, 365))));
+        builder.AddRow(row);
+      }
+    }
+  }
+  builder.DeclareSorted({0, 1});
+  auto table = builder.Finish();
+  return *table;
+}
+
+// A small dimension table keyed by product name.
+inline std::shared_ptr<tde::Table> MakeProductDim() {
+  using namespace vizq::tde;
+  std::vector<ColumnInfo> schema = {
+      {"name", DataType::String()},
+      {"category", DataType::String()},
+      {"weight", DataType::Float64()},
+  };
+  TableBuilder builder("products", schema);
+  const char* products[] = {"apple", "banana", "cherry", "date",
+                            "elder", "fig",    "grape",  "honey"};
+  const char* cats[] = {"fruit", "fruit", "fruit", "dried",
+                        "berry", "dried", "fruit", "sweet"};
+  for (int i = 0; i < 8; ++i) {
+    builder.AddRow({Value(products[i]), Value(cats[i]),
+                    Value(static_cast<double>(i) * 1.5 + 0.5)});
+  }
+  return *builder.Finish();
+}
+
+inline std::shared_ptr<tde::Database> MakeTestDatabase(int64_t sales_rows = 4096) {
+  auto db = std::make_shared<tde::Database>("testdb");
+  (void)db->AddTable(MakeSalesTable(sales_rows));
+  (void)db->AddTable(MakeProductDim());
+  return db;
+}
+
+}  // namespace vizq::testing
+
+#endif  // VIZQUERY_TESTS_TEST_UTIL_H_

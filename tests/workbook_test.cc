@@ -1,0 +1,101 @@
+// Workbook / published-extract tests (§5.1–5.2): embedded extracts
+// duplicate disk bytes and refresh load linearly with the workbook count;
+// a published extract pays both once.
+
+#include "src/server/workbook.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/faa_generator.h"
+
+namespace vizq::server {
+namespace {
+
+ExtractRefreshFn FaaRefresher(int* counter) {
+  return [counter]() -> StatusOr<std::shared_ptr<tde::Database>> {
+    if (counter != nullptr) ++*counter;
+    workload::FaaOptions options;
+    options.num_flights = 2000;
+    return workload::GenerateFaaDatabase(options);
+  };
+}
+
+TEST(WorkbookTest, EmbeddedExtractsDuplicateBytesAndRefreshLoad) {
+  constexpr int kWorkbooks = 10;
+  int live_queries = 0;
+
+  WorkbookRepository embedded;
+  for (int i = 0; i < kWorkbooks; ++i) {
+    ASSERT_TRUE(embedded
+                    .AddSelfContainedWorkbook("wb" + std::to_string(i),
+                                              FaaRefresher(&live_queries))
+                    .ok());
+  }
+  int64_t embedded_bytes = embedded.TotalExtractBytes();
+  int setup_queries = live_queries;
+  EXPECT_EQ(setup_queries, kWorkbooks);  // one extraction per copy
+
+  live_queries = 0;
+  auto refreshed = embedded.RefreshAll();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(*refreshed, kWorkbooks);  // the §5.1 redundant load
+  EXPECT_EQ(live_queries, kWorkbooks);
+
+  // Published: one extract shared by every workbook.
+  int published_queries = 0;
+  WorkbookRepository published;
+  ASSERT_TRUE(
+      published.PublishExtract("faa", FaaRefresher(&published_queries)).ok());
+  for (int i = 0; i < kWorkbooks; ++i) {
+    ASSERT_TRUE(
+        published.AddPublishedWorkbook("wb" + std::to_string(i), "faa").ok());
+  }
+  int64_t published_bytes = published.TotalExtractBytes();
+  EXPECT_LT(published_bytes * (kWorkbooks - 1), embedded_bytes)
+      << "published extract storage must be ~1/N of embedded copies";
+
+  published_queries = 0;
+  auto prefreshed = published.RefreshAll();
+  ASSERT_TRUE(prefreshed.ok());
+  EXPECT_EQ(*prefreshed, 1);  // a single refresh serves all workbooks
+  EXPECT_EQ(published_queries, 1);
+}
+
+TEST(WorkbookTest, WorkbooksResolveTheirExtracts) {
+  WorkbookRepository repo;
+  ASSERT_TRUE(repo.PublishExtract("faa", FaaRefresher(nullptr)).ok());
+  ASSERT_TRUE(repo.AddPublishedWorkbook("shared", "faa").ok());
+  ASSERT_TRUE(
+      repo.AddSelfContainedWorkbook("own", FaaRefresher(nullptr)).ok());
+
+  auto shared_db = repo.ExtractFor("shared");
+  auto own_db = repo.ExtractFor("own");
+  ASSERT_TRUE(shared_db.ok());
+  ASSERT_TRUE(own_db.ok());
+  EXPECT_NE(shared_db->get(), own_db->get());
+
+  // Two published workbooks share one database instance.
+  ASSERT_TRUE(repo.AddPublishedWorkbook("shared2", "faa").ok());
+  auto shared2_db = repo.ExtractFor("shared2");
+  ASSERT_TRUE(shared2_db.ok());
+  EXPECT_EQ(shared_db->get(), shared2_db->get());
+
+  // After a refresh, published references see the fresh extract.
+  ASSERT_TRUE(repo.RefreshAll().ok());
+  auto after = repo.ExtractFor("shared");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->get(), shared_db->get());
+}
+
+TEST(WorkbookTest, Validations) {
+  WorkbookRepository repo;
+  EXPECT_FALSE(repo.AddPublishedWorkbook("wb", "missing").ok());
+  ASSERT_TRUE(repo.PublishExtract("src", FaaRefresher(nullptr)).ok());
+  EXPECT_FALSE(repo.PublishExtract("src", FaaRefresher(nullptr)).ok());
+  ASSERT_TRUE(repo.AddPublishedWorkbook("wb", "src").ok());
+  EXPECT_FALSE(repo.AddPublishedWorkbook("wb", "src").ok());
+  EXPECT_FALSE(repo.ExtractFor("nope").ok());
+}
+
+}  // namespace
+}  // namespace vizq::server

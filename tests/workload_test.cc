@@ -1,0 +1,164 @@
+// Workload-generation tests: determinism, schema shape, sort metadata,
+// CSV/database agreement, the Fig. 1/2 dashboard definitions and the
+// traffic generator.
+
+#include <gtest/gtest.h>
+
+#include "src/common/str_util.h"
+#include "src/workload/faa_generator.h"
+#include "src/workload/flights_dashboards.h"
+#include "src/workload/traffic.h"
+
+namespace vizq::workload {
+namespace {
+
+TEST(FaaGeneratorTest, DeterministicForSeed) {
+  FaaOptions options;
+  options.num_flights = 2000;
+  auto a = GenerateFaaDatabase(options);
+  auto b = GenerateFaaDatabase(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ta = *(*a)->GetTable("flights");
+  auto tb = *(*b)->GetTable("flights");
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (int64_t r = 0; r < 100; ++r) {
+    for (int c = 0; c < ta->num_columns(); ++c) {
+      EXPECT_TRUE(ta->column(c)->GetValue(r).Equals(
+          tb->column(c)->GetValue(r)));
+    }
+  }
+  options.seed = 77;
+  auto c = GenerateFaaDatabase(options);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  auto tc = *(*c)->GetTable("flights");
+  for (int64_t r = 0; r < 100 && !any_diff; ++r) {
+    if (!ta->column(4)->GetValue(r).Equals(tc->column(4)->GetValue(r))) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaaGeneratorTest, SchemaAndSortMetadata) {
+  FaaOptions options;
+  options.num_flights = 3000;
+  auto db = *GenerateFaaDatabase(options);
+  auto flights = *db->GetTable("flights");
+  EXPECT_EQ(flights->num_rows(), 3000);
+  EXPECT_EQ(flights->num_columns(), 13);
+  ASSERT_EQ(flights->sort_columns().size(), 2u);
+  EXPECT_EQ(flights->column_info(flights->sort_columns()[0]).name, "carrier");
+  // market = origin-dest.
+  for (int64_t r = 0; r < 50; ++r) {
+    std::string origin = flights->column(4)->GetValue(r).string_value();
+    std::string dest = flights->column(5)->GetValue(r).string_value();
+    std::string market = flights->column(8)->GetValue(r).string_value();
+    EXPECT_EQ(market, origin + "-" + dest);
+    EXPECT_NE(origin, dest);
+  }
+  auto carriers = *db->GetTable("carriers");
+  EXPECT_EQ(carriers->num_rows(), 10);
+}
+
+TEST(FaaGeneratorTest, WeekdayColumnConsistentWithDate) {
+  FaaOptions options;
+  options.num_flights = 500;
+  auto db = *GenerateFaaDatabase(options);
+  auto flights = *db->GetTable("flights");
+  for (int64_t r = 0; r < flights->num_rows(); ++r) {
+    int64_t date = flights->column(1)->GetValue(r).int_value();
+    int64_t weekday = flights->column(2)->GetValue(r).int_value();
+    EXPECT_EQ(weekday, vizq::DayOfWeek(date));
+  }
+}
+
+TEST(FaaGeneratorTest, CsvMatchesDatabaseRowCount) {
+  FaaOptions options;
+  options.num_flights = 800;
+  auto csv = *GenerateFaaCsv(options);
+  int64_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 801);  // header + rows
+}
+
+TEST(FlightsDashboardsTest, Figure1Structure) {
+  dashboard::Dashboard dash = BuildFigure1Dashboard("faa");
+  EXPECT_EQ(dash.QueryZoneNames().size(), 9u);  // 7 viz + 2 quick filters
+  EXPECT_NE(dash.FindZone("Legend"), nullptr);
+  EXPECT_FALSE(dash.FindZone("Legend")->has_query());
+  // Both maps drive the bottom charts.
+  EXPECT_EQ(dash.ActionTargets("OriginMap").size(), 5u);
+  EXPECT_EQ(dash.ActionTargets("DestMap").size(), 5u);
+  // Quick filters skip their own widget zone.
+  auto targets = dash.QuickFilterTargets("carrier");
+  for (const std::string& t : targets) {
+    EXPECT_NE(t, "CarrierFilter");
+  }
+}
+
+TEST(FlightsDashboardsTest, Figure2ActionsMatchThePaper) {
+  dashboard::Dashboard dash = BuildFigure2Dashboard("faa");
+  ASSERT_EQ(dash.actions().size(), 2u);
+  EXPECT_EQ(dash.actions()[0].source_zone, "Market");
+  EXPECT_EQ(dash.actions()[0].targets.size(), 2u);
+  EXPECT_EQ(dash.actions()[1].source_zone, "Carrier");
+  ASSERT_EQ(dash.actions()[1].targets.size(), 1u);
+  EXPECT_EQ(dash.actions()[1].targets[0], "AirlineName");
+
+  // The Carrier zone query carries the paper's top-5 shape.
+  dashboard::InteractionState state;
+  auto q = dash.BuildZoneQuery("Carrier", state);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->limit, 5);
+}
+
+TEST(FlightsDashboardsTest, SelectionsFlowIntoZoneQueries) {
+  dashboard::Dashboard dash = BuildFigure2Dashboard("faa");
+  dashboard::InteractionState state;
+  state.Select("Market", "market", {Value("LAX-SFO")});
+  state.Select("Carrier", "carrier", {Value("AA")});
+
+  auto airline = *dash.BuildZoneQuery("AirlineName", state);
+  EXPECT_NE(airline.filters.Find("market"), nullptr);
+  EXPECT_NE(airline.filters.Find("carrier"), nullptr);
+  // The Carrier zone gets the market filter but not its own selection.
+  auto carrier = *dash.BuildZoneQuery("Carrier", state);
+  EXPECT_NE(carrier.filters.Find("market"), nullptr);
+  EXPECT_EQ(carrier.filters.Find("carrier"), nullptr);
+  // Market is a source only; it receives no filters.
+  auto market = *dash.BuildZoneQuery("Market", state);
+  EXPECT_TRUE(market.filters.predicates.empty());
+}
+
+TEST(TrafficTest, PublicStyleTrafficIsLoadDominated) {
+  TrafficOptions options;
+  options.num_users = 200;
+  options.interaction_probability = 0.1;
+  std::vector<Selectable> selectable = {
+      Selectable{"Z", "c", {Value("a"), Value("b")}, false}};
+  auto events = GenerateTraffic(options, selectable);
+  int loads = 0, interactions = 0;
+  for (const TrafficEvent& e : events) {
+    if (e.kind == TrafficEvent::Kind::kInitialLoad) {
+      ++loads;
+    } else {
+      ++interactions;
+    }
+  }
+  EXPECT_EQ(loads, 200);
+  EXPECT_LT(interactions, 80);  // saturated by initial loads
+  // Deterministic.
+  auto again = GenerateTraffic(options, selectable);
+  ASSERT_EQ(again.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].user, events[i].user);
+    EXPECT_EQ(static_cast<int>(again[i].kind),
+              static_cast<int>(events[i].kind));
+  }
+}
+
+}  // namespace
+}  // namespace vizq::workload
