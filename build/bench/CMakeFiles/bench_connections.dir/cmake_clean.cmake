@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_connections.dir/bench_connections.cc.o"
+  "CMakeFiles/bench_connections.dir/bench_connections.cc.o.d"
+  "bench_connections"
+  "bench_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataserver_temp.dir/bench_dataserver_temp.cc.o"
+  "CMakeFiles/bench_dataserver_temp.dir/bench_dataserver_temp.cc.o.d"
+  "bench_dataserver_temp"
+  "bench_dataserver_temp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataserver_temp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_cache.dir/bench_distributed_cache.cc.o"
+  "CMakeFiles/bench_distributed_cache.dir/bench_distributed_cache.cc.o.d"
+  "bench_distributed_cache"
+  "bench_distributed_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intelligent_cache.dir/bench_intelligent_cache.cc.o"
+  "CMakeFiles/bench_intelligent_cache.dir/bench_intelligent_cache.cc.o.d"
+  "bench_intelligent_cache"
+  "bench_intelligent_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intelligent_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

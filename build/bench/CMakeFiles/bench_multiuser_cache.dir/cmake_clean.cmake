@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiuser_cache.dir/bench_multiuser_cache.cc.o"
+  "CMakeFiles/bench_multiuser_cache.dir/bench_multiuser_cache.cc.o.d"
+  "bench_multiuser_cache"
+  "bench_multiuser_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiuser_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_join.dir/bench_parallel_join.cc.o"
+  "CMakeFiles/bench_parallel_join.dir/bench_parallel_join.cc.o.d"
+  "bench_parallel_join"
+  "bench_parallel_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

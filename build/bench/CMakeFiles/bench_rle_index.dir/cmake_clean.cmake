@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rle_index.dir/bench_rle_index.cc.o"
+  "CMakeFiles/bench_rle_index.dir/bench_rle_index.cc.o.d"
+  "bench_rle_index"
+  "bench_rle_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rle_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

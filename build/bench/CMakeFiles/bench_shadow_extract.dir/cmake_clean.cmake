@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shadow_extract.dir/bench_shadow_extract.cc.o"
+  "CMakeFiles/bench_shadow_extract.dir/bench_shadow_extract.cc.o.d"
+  "bench_shadow_extract"
+  "bench_shadow_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shadow_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

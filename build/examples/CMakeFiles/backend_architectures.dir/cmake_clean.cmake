@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_architectures.dir/backend_architectures.cpp.o"
+  "CMakeFiles/backend_architectures.dir/backend_architectures.cpp.o.d"
+  "backend_architectures"
+  "backend_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blending.dir/blending.cpp.o"
+  "CMakeFiles/blending.dir/blending.cpp.o.d"
+  "blending"
+  "blending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_server_sharing.dir/data_server_sharing.cpp.o"
+  "CMakeFiles/data_server_sharing.dir/data_server_sharing.cpp.o.d"
+  "data_server_sharing"
+  "data_server_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_server_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flights_dashboard.dir/flights_dashboard.cpp.o"
+  "CMakeFiles/flights_dashboard.dir/flights_dashboard.cpp.o.d"
+  "flights_dashboard"
+  "flights_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flights_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/distributed.cc" "src/CMakeFiles/vizquery.dir/cache/distributed.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/cache/distributed.cc.o.d"
+  "/root/repo/src/cache/intelligent_cache.cc" "src/CMakeFiles/vizquery.dir/cache/intelligent_cache.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/cache/intelligent_cache.cc.o.d"
+  "/root/repo/src/cache/literal_cache.cc" "src/CMakeFiles/vizquery.dir/cache/literal_cache.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/cache/literal_cache.cc.o.d"
+  "/root/repo/src/cache/persistence.cc" "src/CMakeFiles/vizquery.dir/cache/persistence.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/cache/persistence.cc.o.d"
+  "/root/repo/src/common/collation.cc" "src/CMakeFiles/vizquery.dir/common/collation.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/common/collation.cc.o.d"
+  "/root/repo/src/common/result_table.cc" "src/CMakeFiles/vizquery.dir/common/result_table.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/common/result_table.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/vizquery.dir/common/status.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/vizquery.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/vizquery.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/vizquery.dir/common/types.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/common/types.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/vizquery.dir/common/value.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/common/value.cc.o.d"
+  "/root/repo/src/dashboard/blending.cc" "src/CMakeFiles/vizquery.dir/dashboard/blending.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/dashboard/blending.cc.o.d"
+  "/root/repo/src/dashboard/dashboard.cc" "src/CMakeFiles/vizquery.dir/dashboard/dashboard.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/dashboard/dashboard.cc.o.d"
+  "/root/repo/src/dashboard/fusion.cc" "src/CMakeFiles/vizquery.dir/dashboard/fusion.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/dashboard/fusion.cc.o.d"
+  "/root/repo/src/dashboard/opportunity_graph.cc" "src/CMakeFiles/vizquery.dir/dashboard/opportunity_graph.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/dashboard/opportunity_graph.cc.o.d"
+  "/root/repo/src/dashboard/prefetcher.cc" "src/CMakeFiles/vizquery.dir/dashboard/prefetcher.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/dashboard/prefetcher.cc.o.d"
+  "/root/repo/src/dashboard/query_service.cc" "src/CMakeFiles/vizquery.dir/dashboard/query_service.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/dashboard/query_service.cc.o.d"
+  "/root/repo/src/dashboard/renderer.cc" "src/CMakeFiles/vizquery.dir/dashboard/renderer.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/dashboard/renderer.cc.o.d"
+  "/root/repo/src/extract/csv_parser.cc" "src/CMakeFiles/vizquery.dir/extract/csv_parser.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/extract/csv_parser.cc.o.d"
+  "/root/repo/src/extract/shadow_extract.cc" "src/CMakeFiles/vizquery.dir/extract/shadow_extract.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/extract/shadow_extract.cc.o.d"
+  "/root/repo/src/extract/type_inference.cc" "src/CMakeFiles/vizquery.dir/extract/type_inference.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/extract/type_inference.cc.o.d"
+  "/root/repo/src/federation/connection_pool.cc" "src/CMakeFiles/vizquery.dir/federation/connection_pool.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/federation/connection_pool.cc.o.d"
+  "/root/repo/src/federation/data_source.cc" "src/CMakeFiles/vizquery.dir/federation/data_source.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/federation/data_source.cc.o.d"
+  "/root/repo/src/federation/simulated_source.cc" "src/CMakeFiles/vizquery.dir/federation/simulated_source.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/federation/simulated_source.cc.o.d"
+  "/root/repo/src/query/abstract_query.cc" "src/CMakeFiles/vizquery.dir/query/abstract_query.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/query/abstract_query.cc.o.d"
+  "/root/repo/src/query/capabilities.cc" "src/CMakeFiles/vizquery.dir/query/capabilities.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/query/capabilities.cc.o.d"
+  "/root/repo/src/query/compiler.cc" "src/CMakeFiles/vizquery.dir/query/compiler.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/query/compiler.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/vizquery.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/sql_dialect.cc" "src/CMakeFiles/vizquery.dir/query/sql_dialect.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/query/sql_dialect.cc.o.d"
+  "/root/repo/src/server/data_server.cc" "src/CMakeFiles/vizquery.dir/server/data_server.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/server/data_server.cc.o.d"
+  "/root/repo/src/server/temp_table_registry.cc" "src/CMakeFiles/vizquery.dir/server/temp_table_registry.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/server/temp_table_registry.cc.o.d"
+  "/root/repo/src/server/workbook.cc" "src/CMakeFiles/vizquery.dir/server/workbook.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/server/workbook.cc.o.d"
+  "/root/repo/src/tde/engine.cc" "src/CMakeFiles/vizquery.dir/tde/engine.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/engine.cc.o.d"
+  "/root/repo/src/tde/exec/aggregate.cc" "src/CMakeFiles/vizquery.dir/tde/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/aggregate.cc.o.d"
+  "/root/repo/src/tde/exec/batch.cc" "src/CMakeFiles/vizquery.dir/tde/exec/batch.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/batch.cc.o.d"
+  "/root/repo/src/tde/exec/cost_profile.cc" "src/CMakeFiles/vizquery.dir/tde/exec/cost_profile.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/cost_profile.cc.o.d"
+  "/root/repo/src/tde/exec/exchange.cc" "src/CMakeFiles/vizquery.dir/tde/exec/exchange.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/exchange.cc.o.d"
+  "/root/repo/src/tde/exec/expression.cc" "src/CMakeFiles/vizquery.dir/tde/exec/expression.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/expression.cc.o.d"
+  "/root/repo/src/tde/exec/join.cc" "src/CMakeFiles/vizquery.dir/tde/exec/join.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/join.cc.o.d"
+  "/root/repo/src/tde/exec/operators.cc" "src/CMakeFiles/vizquery.dir/tde/exec/operators.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/operators.cc.o.d"
+  "/root/repo/src/tde/exec/rle_index.cc" "src/CMakeFiles/vizquery.dir/tde/exec/rle_index.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/rle_index.cc.o.d"
+  "/root/repo/src/tde/exec/scan.cc" "src/CMakeFiles/vizquery.dir/tde/exec/scan.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/scan.cc.o.d"
+  "/root/repo/src/tde/exec/sort.cc" "src/CMakeFiles/vizquery.dir/tde/exec/sort.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/exec/sort.cc.o.d"
+  "/root/repo/src/tde/plan/binder.cc" "src/CMakeFiles/vizquery.dir/tde/plan/binder.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/plan/binder.cc.o.d"
+  "/root/repo/src/tde/plan/logical.cc" "src/CMakeFiles/vizquery.dir/tde/plan/logical.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/plan/logical.cc.o.d"
+  "/root/repo/src/tde/plan/optimizer.cc" "src/CMakeFiles/vizquery.dir/tde/plan/optimizer.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/plan/optimizer.cc.o.d"
+  "/root/repo/src/tde/plan/parallelizer.cc" "src/CMakeFiles/vizquery.dir/tde/plan/parallelizer.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/plan/parallelizer.cc.o.d"
+  "/root/repo/src/tde/plan/properties.cc" "src/CMakeFiles/vizquery.dir/tde/plan/properties.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/plan/properties.cc.o.d"
+  "/root/repo/src/tde/plan/rewriter.cc" "src/CMakeFiles/vizquery.dir/tde/plan/rewriter.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/plan/rewriter.cc.o.d"
+  "/root/repo/src/tde/plan/tql_parser.cc" "src/CMakeFiles/vizquery.dir/tde/plan/tql_parser.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/plan/tql_parser.cc.o.d"
+  "/root/repo/src/tde/plan/translator.cc" "src/CMakeFiles/vizquery.dir/tde/plan/translator.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/plan/translator.cc.o.d"
+  "/root/repo/src/tde/storage/column.cc" "src/CMakeFiles/vizquery.dir/tde/storage/column.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/storage/column.cc.o.d"
+  "/root/repo/src/tde/storage/database.cc" "src/CMakeFiles/vizquery.dir/tde/storage/database.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/storage/database.cc.o.d"
+  "/root/repo/src/tde/storage/encoding.cc" "src/CMakeFiles/vizquery.dir/tde/storage/encoding.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/storage/encoding.cc.o.d"
+  "/root/repo/src/tde/storage/file_format.cc" "src/CMakeFiles/vizquery.dir/tde/storage/file_format.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/storage/file_format.cc.o.d"
+  "/root/repo/src/tde/storage/table.cc" "src/CMakeFiles/vizquery.dir/tde/storage/table.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/tde/storage/table.cc.o.d"
+  "/root/repo/src/workload/faa_generator.cc" "src/CMakeFiles/vizquery.dir/workload/faa_generator.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/workload/faa_generator.cc.o.d"
+  "/root/repo/src/workload/flights_dashboards.cc" "src/CMakeFiles/vizquery.dir/workload/flights_dashboards.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/workload/flights_dashboards.cc.o.d"
+  "/root/repo/src/workload/traffic.cc" "src/CMakeFiles/vizquery.dir/workload/traffic.cc.o" "gcc" "src/CMakeFiles/vizquery.dir/workload/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

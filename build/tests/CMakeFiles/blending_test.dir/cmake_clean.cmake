@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blending_test.dir/blending_test.cc.o"
+  "CMakeFiles/blending_test.dir/blending_test.cc.o.d"
+  "blending_test"
+  "blending_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blending_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

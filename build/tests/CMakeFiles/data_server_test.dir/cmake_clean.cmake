@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_server_test.dir/data_server_test.cc.o"
+  "CMakeFiles/data_server_test.dir/data_server_test.cc.o.d"
+  "data_server_test"
+  "data_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

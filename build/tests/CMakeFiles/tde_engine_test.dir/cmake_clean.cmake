@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tde_engine_test.dir/tde_engine_test.cc.o"
+  "CMakeFiles/tde_engine_test.dir/tde_engine_test.cc.o.d"
+  "tde_engine_test"
+  "tde_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tde_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tde_extra_test.dir/tde_extra_test.cc.o"
+  "CMakeFiles/tde_extra_test.dir/tde_extra_test.cc.o.d"
+  "tde_extra_test"
+  "tde_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tde_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

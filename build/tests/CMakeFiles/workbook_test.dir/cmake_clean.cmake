@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workbook_test.dir/workbook_test.cc.o"
+  "CMakeFiles/workbook_test.dir/workbook_test.cc.o.d"
+  "workbook_test"
+  "workbook_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workbook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
