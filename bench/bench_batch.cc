@@ -106,18 +106,26 @@ void BM_DashboardBatch(benchmark::State& state) {
   // ServedFrom::kLocalFromBatch uses.
 
   dashboard::BatchReport report;
+  std::string last_trace;
   for (auto _ : state) {
-    auto results = service.ExecuteBatch(batch, options, &report);
+    ExecContext ctx;  // traced, no deadline
+    auto results = service.ExecuteBatch(ctx, batch, options, &report);
     if (!results.ok()) {
       state.SkipWithError(results.status().ToString().c_str());
       return;
     }
     benchmark::DoNotOptimize(results->size());
+    last_trace = ctx.trace()->ToText();
   }
   state.counters["queries"] = static_cast<double>(batch.size());
   state.counters["remote"] = report.remote_queries;
   state.counters["local"] = report.local_resolved;
   state.SetLabel(RegimeName(regime));
+  // One sample trace of the most elaborate regime, for latency accounting.
+  if (regime == 3 && !last_trace.empty()) {
+    fprintf(stderr, "--- batch trace (%s) ---\n%s", RegimeName(regime),
+            last_trace.c_str());
+  }
 }
 BENCHMARK(BM_DashboardBatch)
     ->Arg(0)->Arg(1)->Arg(2)->Arg(3)

@@ -490,7 +490,8 @@ query::AbstractQuery AdjustForReuse(const query::AbstractQuery& q,
   return adjusted;
 }
 
-std::optional<ResultTable> IntelligentCache::Lookup(const AbstractQuery& q) {
+std::optional<ResultTable> IntelligentCache::Lookup(const AbstractQuery& q,
+                                                    const ExecContext& ctx) {
   std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   std::string key = q.ToKeyString();
@@ -501,6 +502,7 @@ std::optional<ResultTable> IntelligentCache::Lookup(const AbstractQuery& q) {
     kit->second->usage.last_used_tick = tick_;
     ++kit->second->usage.hits;
     ++stats_.exact_hits;
+    ctx.Count("cache.intelligent.exact_hit");
     return kit->second->result;
   }
 
@@ -508,6 +510,7 @@ std::optional<ResultTable> IntelligentCache::Lookup(const AbstractQuery& q) {
   auto bit = buckets_.find(bucket_key);
   if (bit == buckets_.end()) {
     ++stats_.misses;
+    ctx.Count("cache.intelligent.miss");
     return std::nullopt;
   }
 
@@ -530,21 +533,25 @@ std::optional<ResultTable> IntelligentCache::Lookup(const AbstractQuery& q) {
   }
   if (best == nullptr) {
     ++stats_.misses;
+    ctx.Count("cache.intelligent.miss");
     return std::nullopt;
   }
   auto result = ApplyMatchPlan(best->result, best_plan, q);
   if (!result.ok()) {
     ++stats_.misses;
+    ctx.Count("cache.intelligent.miss");
     return std::nullopt;
   }
   best->usage.last_used_tick = tick_;
   ++best->usage.hits;
   ++stats_.derived_hits;
+  ctx.Count("cache.intelligent.derived_hit");
   return *std::move(result);
 }
 
 void IntelligentCache::Put(const AbstractQuery& q, ResultTable result,
-                           double eval_cost_ms) {
+                           double eval_cost_ms, const ExecContext& ctx) {
+  ctx.Count("cache.intelligent.insert_attempts");
   std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   if (eval_cost_ms < options_.min_eval_cost_ms) return;

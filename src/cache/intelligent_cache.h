@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/cache/eviction.h"
+#include "src/common/exec_context.h"
 #include "src/common/result_table.h"
 #include "src/query/abstract_query.h"
 
@@ -125,13 +126,17 @@ class IntelligentCache {
   explicit IntelligentCache(IntelligentCacheOptions options = {})
       : options_(options) {}
 
-  // Looks up `q`; on a hit returns the post-processed result.
-  std::optional<ResultTable> Lookup(const query::AbstractQuery& q);
+  // Looks up `q`; on a hit returns the post-processed result. Counts the
+  // outcome on `ctx` (cache.intelligent.exact_hit / derived_hit / miss).
+  std::optional<ResultTable> Lookup(
+      const query::AbstractQuery& q,
+      const ExecContext& ctx = ExecContext::Background());
 
   // Stores a result. `eval_cost_ms` drives both the admission decision and
   // the eviction score.
   void Put(const query::AbstractQuery& q, ResultTable result,
-           double eval_cost_ms);
+           double eval_cost_ms,
+           const ExecContext& ctx = ExecContext::Background());
 
   // §3.2: entries are purged when a connection to a data source is closed
   // or refreshed.

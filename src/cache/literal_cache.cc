@@ -2,22 +2,27 @@
 
 namespace vizq::cache {
 
-std::optional<ResultTable> LiteralCache::Lookup(const std::string& query_text) {
+std::optional<ResultTable> LiteralCache::Lookup(const std::string& query_text,
+                                                const ExecContext& ctx) {
   std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   auto it = entries_.find(query_text);
   if (it == entries_.end()) {
     ++misses_;
+    ctx.Count("cache.literal.miss");
     return std::nullopt;
   }
   it->second.usage.last_used_tick = tick_;
   ++it->second.usage.hits;
   ++hits_;
+  ctx.Count("cache.literal.hit");
   return it->second.result;
 }
 
 void LiteralCache::Put(const std::string& query_text, ResultTable result,
-                       double eval_cost_ms, const std::string& data_source) {
+                       double eval_cost_ms, const std::string& data_source,
+                       const ExecContext& ctx) {
+  ctx.Count("cache.literal.insert_attempts");
   std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   if (eval_cost_ms < options_.min_eval_cost_ms) return;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/cache/eviction.h"
+#include "src/common/exec_context.h"
 #include "src/common/result_table.h"
 
 namespace vizq::cache {
@@ -31,9 +32,13 @@ class LiteralCache {
   explicit LiteralCache(LiteralCacheOptions options = {})
       : options_(options) {}
 
-  std::optional<ResultTable> Lookup(const std::string& query_text);
+  // Counts the outcome on `ctx` (cache.literal.hit / miss).
+  std::optional<ResultTable> Lookup(
+      const std::string& query_text,
+      const ExecContext& ctx = ExecContext::Background());
   void Put(const std::string& query_text, ResultTable result,
-           double eval_cost_ms, const std::string& data_source = "");
+           double eval_cost_ms, const std::string& data_source = "",
+           const ExecContext& ctx = ExecContext::Background());
 
   // Purges entries recorded against `data_source` (connection close /
   // refresh semantics, §3.2).

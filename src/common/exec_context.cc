@@ -1,0 +1,241 @@
+#include "src/common/exec_context.h"
+
+#include <limits>
+#include <sstream>
+
+namespace vizq {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << ms;
+  return os.str();
+}
+
+}  // namespace
+
+// --- Span ---
+
+Span::Span(Trace* trace, std::string name)
+    : trace_(trace),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+double Span::duration_ms() const {
+  int64_t ns = duration_ns_.load(std::memory_order_acquire);
+  if (ns < 0) {
+    ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+             .count();
+  }
+  return static_cast<double>(ns) / 1e6;
+}
+
+void Span::End() {
+  int64_t expected = -1;
+  int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+  duration_ns_.compare_exchange_strong(expected, ns,
+                                       std::memory_order_acq_rel);
+}
+
+Span* Span::StartChild(const std::string& name) {
+  std::lock_guard<std::mutex> lock(trace_->mu_);
+  children_.push_back(std::unique_ptr<Span>(new Span(trace_, name)));
+  return children_.back().get();
+}
+
+std::vector<const Span*> Span::children() const {
+  std::lock_guard<std::mutex> lock(trace_->mu_);
+  std::vector<const Span*> out;
+  out.reserve(children_.size());
+  for (const auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+// --- Trace ---
+
+Trace::Trace(std::string root_name)
+    : root_(new Span(this, std::move(root_name))) {}
+
+namespace {
+
+void RenderText(const Span& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(span.name());
+  out->append("  ");
+  out->append(FormatMs(span.duration_ms()));
+  out->append(" ms\n");
+  for (const Span* child : span.children()) {
+    RenderText(*child, depth + 1, out);
+  }
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+void RenderJson(const Span& span, std::string* out) {
+  out->append("{\"name\":\"");
+  AppendJsonEscaped(span.name(), out);
+  out->append("\",\"ms\":");
+  out->append(FormatMs(span.duration_ms()));
+  std::vector<const Span*> children = span.children();
+  if (!children.empty()) {
+    out->append(",\"children\":[");
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      RenderJson(*children[i], out);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+void CollectNames(const Span& span, std::vector<std::string>* out) {
+  out->push_back(span.name());
+  for (const Span* child : span.children()) CollectNames(*child, out);
+}
+
+}  // namespace
+
+std::string Trace::ToText() const {
+  std::string out;
+  RenderText(*root_, 0, &out);
+  return out;
+}
+
+std::string Trace::ToJson() const {
+  std::string out;
+  RenderJson(*root_, &out);
+  return out;
+}
+
+std::vector<std::string> Trace::SpanNames() const {
+  std::vector<std::string> out;
+  CollectNames(*root_, &out);
+  return out;
+}
+
+// --- MetricsRegistry ---
+
+void MetricsRegistry::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramStats& h = histograms_[name];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  h.sum += value;
+  ++h.count;
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+MetricsRegistry::HistogramStats MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramStats{} : it->second;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " = {count " + std::to_string(h.count) + ", mean " +
+           FormatMs(h.mean()) + ", min " + FormatMs(h.min) + ", max " +
+           FormatMs(h.max) + "}\n";
+  }
+  return out;
+}
+
+// --- ExecContext ---
+
+ExecContext::ExecContext()
+    : trace_(std::make_shared<Trace>()),
+      metrics_(std::make_shared<MetricsRegistry>()) {}
+
+ExecContext::ExecContext(DisabledTag) {}
+
+const ExecContext& ExecContext::Background() {
+  static const ExecContext* background = new ExecContext(DisabledTag{});
+  return *background;
+}
+
+ExecContext ExecContext::WithDeadlineMs(double ms) {
+  ExecContext ctx;
+  ctx.has_deadline_ = true;
+  ctx.deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(static_cast<int64_t>(ms * 1000));
+  return ctx;
+}
+
+double ExecContext::remaining_ms() const {
+  if (!has_deadline_) return std::numeric_limits<double>::max();
+  return std::chrono::duration<double, std::milli>(
+             deadline_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+bool ExecContext::deadline_expired() const {
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+Status ExecContext::CheckContinue(const char* what) const {
+  if (deadline_expired()) {
+    return DeadlineExceeded(std::string(what) + ": deadline exceeded");
+  }
+  if (token_.cancelled()) {
+    return Aborted(std::string(what) + ": cancelled");
+  }
+  return OkStatus();
+}
+
+Span* ExecContext::StartSpan(const std::string& name) const {
+  if (trace_ == nullptr) return nullptr;
+  Span* parent = parent_ != nullptr ? parent_ : trace_->root();
+  return parent->StartChild(name);
+}
+
+ExecContext ExecContext::WithSpan(Span* span) const {
+  ExecContext copy = *this;
+  if (span != nullptr) copy.parent_ = span;
+  return copy;
+}
+
+void ExecContext::Count(const std::string& name, int64_t delta) const {
+  if (metrics_ != nullptr) metrics_->Add(name, delta);
+}
+
+void ExecContext::Observe(const std::string& name, double value) const {
+  if (metrics_ != nullptr) metrics_->Observe(name, value);
+}
+
+}  // namespace vizq

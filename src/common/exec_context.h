@@ -1,0 +1,239 @@
+// ExecContext: the per-request context threaded through the entire query
+// stack (QueryService -> caches -> connection pool -> data sources -> TDE
+// operators). It carries four concerns that every layer needs but none
+// should own:
+//
+//   * a monotonic **deadline** — the response-time budget of the request;
+//   * a cooperative **CancelToken** — callers abandon work (user navigated
+//     away, dashboard superseded) and every layer stops at the next
+//     checkpoint;
+//   * a hierarchical **trace** — one Span per pipeline stage / operator,
+//     rendered as a text tree or JSON for latency accounting;
+//   * a **MetricsRegistry** — named counters and histograms (cache hits,
+//     rows scanned, pool waits) aggregated per request.
+//
+// Ownership / threading rules (see DESIGN.md "ExecContext"):
+//   * The request originator creates the context and keeps it alive for
+//     the whole request; copies are cheap handles sharing the same trace,
+//     metrics and cancel state.
+//   * Anyone holding a copy may Cancel(); cancellation is sticky.
+//   * A Span is single-writer: only the thread that started it may End()
+//     it. Starting *children* of a span from multiple threads is safe
+//     (the trace serializes tree mutation).
+//   * `ExecContext::Background()` is the explicit "no deadline, no trace"
+//     context; zero-context overloads across the stack delegate to it so
+//     call sites can migrate incrementally.
+
+#ifndef VIZQUERY_COMMON_EXEC_CONTEXT_H_
+#define VIZQUERY_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace vizq {
+
+// Shared cooperative-cancellation flag. Copies observe the same state.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { state_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return state_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+class Trace;
+
+// One timed node in the trace tree. Created via ExecContext::StartSpan /
+// Span::StartChild; closed with End() (idempotent). Single-writer: the
+// starting thread ends it; concurrent child creation is safe.
+class Span {
+ public:
+  const std::string& name() const { return name_; }
+
+  // Milliseconds from start to End(); if still open, elapsed-so-far.
+  double duration_ms() const;
+  bool finished() const { return duration_ns_.load() >= 0; }
+
+  // Stops the clock. Safe to call more than once; later calls are no-ops.
+  void End();
+
+  // Starts a child span (thread-safe). Never returns null.
+  Span* StartChild(const std::string& name);
+
+  // Snapshot of the current children, in creation order.
+  std::vector<const Span*> children() const;
+
+ private:
+  friend class Trace;
+  Span(Trace* trace, std::string name);
+
+  Trace* trace_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<int64_t> duration_ns_{-1};  // -1 while open
+  std::vector<std::unique_ptr<Span>> children_;
+};
+
+// Owns a span tree. Rendering is meant for after the request completes,
+// but is safe (snapshot-consistent) at any time.
+class Trace {
+ public:
+  explicit Trace(std::string root_name = "request");
+
+  Span* root() { return root_.get(); }
+  const Span* root() const { return root_.get(); }
+
+  // Indented text tree: one line per span, "name  <ms> ms".
+  std::string ToText() const;
+  // Nested JSON: {"name":..,"ms":..,"children":[..]}.
+  std::string ToJson() const;
+
+  // Depth-first list of span names (root first); handy for tests.
+  std::vector<std::string> SpanNames() const;
+
+ private:
+  friend class Span;
+  mutable std::mutex mu_;
+  std::unique_ptr<Span> root_;
+};
+
+// Named counters + min/max/sum/count histograms. Thread-safe.
+class MetricsRegistry {
+ public:
+  struct HistogramStats {
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double mean() const { return count == 0 ? 0 : sum / count; }
+  };
+
+  void Add(const std::string& name, int64_t delta = 1);
+  void Observe(const std::string& name, double value);
+
+  // 0 / empty stats when the name was never touched.
+  int64_t counter(const std::string& name) const;
+  HistogramStats histogram(const std::string& name) const;
+
+  std::map<std::string, int64_t> counters() const;
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, HistogramStats> histograms_;
+};
+
+// The context itself: a cheap value type. Copies share deadline, cancel
+// state, trace and metrics; `WithSpan` re-parents where new spans attach.
+class ExecContext {
+ public:
+  // No deadline; tracing and metrics enabled.
+  ExecContext();
+
+  // Process-wide context with no deadline and tracing/metrics *disabled*
+  // (StartSpan returns null, Count/Observe are no-ops). The delegate for
+  // every zero-context overload in the stack.
+  static const ExecContext& Background();
+
+  // Fresh context whose deadline is `ms` from now.
+  static ExecContext WithDeadlineMs(double ms);
+
+  // --- deadline ---
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+  // Milliseconds until the deadline; a very large number when unset.
+  double remaining_ms() const;
+  bool deadline_expired() const;
+
+  // --- cancellation ---
+  void Cancel() { token_.Cancel(); }
+  // True when explicitly cancelled OR past the deadline.
+  bool cancelled() const { return token_.cancelled() || deadline_expired(); }
+  const CancelToken& cancel_token() const { return token_; }
+
+  // The cooperative checkpoint every layer polls: kDeadlineExceeded past
+  // the deadline, kAborted after Cancel(), OK otherwise. `what` names the
+  // checkpoint for the error message.
+  Status CheckContinue(const char* what) const;
+
+  // --- tracing ---
+  bool tracing_enabled() const { return trace_ != nullptr; }
+  Trace* trace() { return trace_.get(); }
+  const Trace* trace() const { return trace_.get(); }
+
+  // Starts a span under this context's current parent (the root unless
+  // re-parented with WithSpan). Returns null when tracing is disabled —
+  // ScopedSpan and End() tolerate null.
+  Span* StartSpan(const std::string& name) const;
+
+  // Copy whose StartSpan attaches children under `span`. Null leaves the
+  // parent unchanged.
+  ExecContext WithSpan(Span* span) const;
+
+  // --- metrics ---
+  bool metrics_enabled() const { return metrics_ != nullptr; }
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+  void Count(const std::string& name, int64_t delta = 1) const;
+  void Observe(const std::string& name, double value) const;
+
+ private:
+  struct DisabledTag {};
+  explicit ExecContext(DisabledTag);
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  CancelToken token_;
+  std::shared_ptr<Trace> trace_;
+  std::shared_ptr<MetricsRegistry> metrics_;
+  Span* parent_ = nullptr;  // default parent for StartSpan; null = root
+};
+
+// RAII helper: ends the span on scope exit. Tolerates a null span, so
+// `ScopedSpan s(ctx.StartSpan("x"))` works with tracing disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  explicit ScopedSpan(Span* span) : span_(span) {}
+  ScopedSpan(ScopedSpan&& other) noexcept : span_(other.span_) {
+    other.span_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      if (span_ != nullptr) span_->End();
+      span_ = other.span_;
+      other.span_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (span_ != nullptr) span_->End();
+  }
+
+  Span* get() const { return span_; }
+  // Ends the span now (idempotent with the destructor).
+  void End() {
+    if (span_ != nullptr) span_->End();
+  }
+
+ private:
+  Span* span_ = nullptr;
+};
+
+}  // namespace vizq
+
+#endif  // VIZQUERY_COMMON_EXEC_CONTEXT_H_

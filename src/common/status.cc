@@ -14,6 +14,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -55,6 +56,9 @@ Status Aborted(std::string message) {
 }
 Status DataLoss(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace vizq

@@ -28,6 +28,7 @@ enum class StatusCode {
   kResourceExhausted, // pool/queue/limit saturated
   kAborted,           // operation cancelled (connection closed, shutdown)
   kDataLoss,          // corrupt file / failed deserialization
+  kDeadlineExceeded,  // ExecContext deadline passed before completion
 };
 
 // Returns the canonical spelling of `code` ("OK", "NOT_FOUND", ...).
@@ -75,6 +76,7 @@ Status Internal(std::string message);
 Status ResourceExhausted(std::string message);
 Status Aborted(std::string message);
 Status DataLoss(std::string message);
+Status DeadlineExceeded(std::string message);
 
 // Holds either a value of type T or an error Status. Accessing the value of
 // an errored StatusOr is a programming error (checked in debug builds via

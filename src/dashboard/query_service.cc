@@ -74,10 +74,12 @@ void QueryService::RefreshDataSource() {
   }
 }
 
-StatusOr<ResultTable> QueryService::ExecuteRemote(const AbstractQuery& q,
+StatusOr<ResultTable> QueryService::ExecuteRemote(const ExecContext& ctx,
+                                                  const AbstractQuery& q,
                                                   const BatchOptions& options,
                                                   bool* literal_hit) {
   if (literal_hit != nullptr) *literal_hit = false;
+  VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("remote execution"));
   const query::QueryCompiler* compiler = FindCompiler(q.view);
   if (compiler == nullptr) {
     return NotFound("no view registered for '" + q.view + "'");
@@ -86,26 +88,31 @@ StatusOr<ResultTable> QueryService::ExecuteRemote(const AbstractQuery& q,
   auto dit = domains_.find(q.view);
   if (dit != domains_.end()) domains = &dit->second;
 
+  ScopedSpan compile_span(ctx.StartSpan("compile"));
   VIZQ_ASSIGN_OR_RETURN(query::CompiledQuery cq,
                         compiler->Compile(q, options.compiler, domains));
 
   if (options.use_literal_cache && caches_ != nullptr) {
-    auto hit = caches_->literal.Lookup(cq.sql);
+    auto hit = caches_->literal.Lookup(cq.sql, ctx);
     if (hit.has_value()) {
       if (literal_hit != nullptr) *literal_hit = true;
       return *std::move(hit);
     }
   }
+  compile_span.End();
 
   std::vector<std::string> wanted_temps;
   for (const query::TempTableSpec& t : cq.temp_tables) {
     wanted_temps.push_back(t.name);
   }
+  ScopedSpan submit_span(ctx.StartSpan("submit"));
+  ExecContext submit_ctx = ctx.WithSpan(submit_span.get());
   VIZQ_ASSIGN_OR_RETURN(federation::PooledConnection conn,
-                        pool_.AcquirePreferring(wanted_temps));
+                        pool_.AcquirePreferring(submit_ctx, wanted_temps));
   federation::ExecutionInfo info;
-  auto result = conn->Execute(cq, &info);
+  auto result = conn->Execute(cq, &info, submit_ctx);
   conn.Release();
+  submit_span.End();
   if (!result.ok()) return result.status();
 
   // Local top-n when the backend could not order/limit.
@@ -123,22 +130,26 @@ StatusOr<ResultTable> QueryService::ExecuteRemote(const AbstractQuery& q,
   }
 
   if (options.use_literal_cache && caches_ != nullptr) {
-    caches_->literal.Put(cq.sql, *result, info.total_ms, source_->name());
+    caches_->literal.Put(cq.sql, *result, info.total_ms, source_->name(),
+                         ctx);
   }
   return result;
 }
 
-StatusOr<ResultTable> QueryService::ExecuteQuery(const AbstractQuery& q,
+StatusOr<ResultTable> QueryService::ExecuteQuery(const ExecContext& ctx,
+                                                 const AbstractQuery& q,
                                                  const BatchOptions& options) {
   VIZQ_ASSIGN_OR_RETURN(std::vector<ResultTable> results,
-                        ExecuteBatch({q}, options, nullptr));
+                        ExecuteBatch(ctx, {q}, options, nullptr));
   return std::move(results[0]);
 }
 
 StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
-    const std::vector<AbstractQuery>& batch, const BatchOptions& options,
-    BatchReport* report) {
+    const ExecContext& ctx, const std::vector<AbstractQuery>& batch,
+    const BatchOptions& options, BatchReport* report) {
   auto wall_start = std::chrono::steady_clock::now();
+  ScopedSpan batch_span(ctx.StartSpan("batch"));
+  ExecContext bctx = ctx.WithSpan(batch_span.get());
   int n = static_cast<int>(batch.size());
   std::vector<ResultTable> results(n);
   std::vector<bool> resolved(n, false);
@@ -146,11 +157,12 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   local_report.queries.resize(n);
 
   // --- 1. intelligent cache ---
+  ScopedSpan cache_span(bctx.StartSpan("cache-lookup"));
   std::vector<int> misses;
   for (int i = 0; i < n; ++i) {
     if (options.use_intelligent_cache && caches_ != nullptr) {
       int64_t exact_before = caches_->intelligent.stats().exact_hits;
-      auto hit = caches_->intelligent.Lookup(batch[i]);
+      auto hit = caches_->intelligent.Lookup(batch[i], bctx);
       if (hit.has_value()) {
         results[i] = *std::move(hit);
         resolved[i] = true;
@@ -165,8 +177,10 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     }
     misses.push_back(i);
   }
+  cache_span.End();
 
   // --- 2. opportunity graph over the misses ---
+  ScopedSpan analysis_span(bctx.StartSpan("opportunity-analysis"));
   std::vector<AbstractQuery> pending;
   pending.reserve(misses.size());
   for (int i : misses) pending.push_back(batch[i]);
@@ -182,8 +196,10 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   for (size_t p = 0; p < pending.size(); ++p) {
     if (graph.remote[p]) remote_nodes.push_back(static_cast<int>(p));
   }
+  analysis_span.End();
 
   // --- 3. fusion over the remote set ---
+  ScopedSpan fusion_span(bctx.StartSpan("fusion"));
   std::vector<AbstractQuery> remote_queries;
   remote_queries.reserve(remote_nodes.size());
   for (int p : remote_nodes) remote_queries.push_back(pending[p]);
@@ -197,6 +213,7 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   }
   local_report.fused_groups = static_cast<int>(groups.size());
   local_report.remote_queries = static_cast<int>(groups.size());
+  fusion_span.End();
 
   // --- 4 + 5. adjust, execute concurrently, resolve as results land ---
   struct GroupOutcome {
@@ -217,7 +234,7 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     outcome.sent = cache::AdjustForReuse(groups[gi].fused, options.adjust);
     auto started = std::chrono::steady_clock::now();
     bool literal_hit = false;
-    auto result = ExecuteRemote(outcome.sent, options, &literal_hit);
+    auto result = ExecuteRemote(bctx, outcome.sent, options, &literal_hit);
     outcome.ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - started)
                      .count();
@@ -225,7 +242,8 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     if (result.ok()) {
       outcome.result = *std::move(result);
       if (options.use_intelligent_cache && caches_ != nullptr) {
-        caches_->intelligent.Put(outcome.sent, outcome.result, outcome.ms);
+        caches_->intelligent.Put(outcome.sent, outcome.result, outcome.ms,
+                                 bctx);
       }
     } else {
       outcome.status = result.status();
@@ -326,20 +344,26 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   }
   if (workers != nullptr) workers->Wait();
 
+  // When the context itself gave out (deadline / cancellation), the batch
+  // is over: don't burn more time in the safety net; surface the context's
+  // error (every worker has already drained, so pool slots are free).
+  Status ctx_status = bctx.CheckContinue("batch");
+  if (!ctx_status.ok() && first_error.ok()) first_error = ctx_status;
+
   // Safety net: anything still unresolved (e.g. a failed group, or a local
   // chain that could not be followed) executes remotely on its own.
-  for (int i = 0; i < n; ++i) {
+  for (int i = 0; i < n && first_error.ok(); ++i) {
     if (resolved[i]) continue;
     bool literal = false;
     AbstractQuery sent = cache::AdjustForReuse(batch[i], options.adjust);
-    auto result = ExecuteRemote(sent, options, &literal);
+    auto result = ExecuteRemote(bctx, sent, options, &literal);
     if (!result.ok()) {
       local_report.queries[i].served_from = ServedFrom::kFailed;
       if (first_error.ok()) first_error = result.status();
       continue;
     }
     if (options.use_intelligent_cache && caches_ != nullptr) {
-      caches_->intelligent.Put(sent, *result, 1.0);
+      caches_->intelligent.Put(sent, *result, 1.0, bctx);
     }
     auto plan = cache::MatchQueries(sent, result->columns(), batch[i]);
     if (plan.has_value()) {
@@ -364,6 +388,15 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
       }
     }
   }
+
+  // Served-from tallies mirror the per-query report on the metrics
+  // registry (asserted against QueryReport in tests).
+  for (const QueryReport& qr : local_report.queries) {
+    bctx.Count(std::string("service.served.") +
+               ServedFromToString(qr.served_from));
+  }
+  bctx.Count("service.batches");
+  bctx.Count("service.queries", n);
 
   if (!first_error.ok()) return first_error;
 

@@ -97,14 +97,31 @@ class QueryService {
   // quick-filter domains fetched once per dashboard).
   void SetDomains(const std::string& view, query::ColumnDomains domains);
 
-  StatusOr<ResultTable> ExecuteQuery(const query::AbstractQuery& q,
+  // The context-first forms are the real pipeline: the batch runs under a
+  // "batch" root span with children for each stage (cache-lookup,
+  // opportunity-analysis, fusion, and per remote group compile/submit),
+  // stops at the context's deadline/cancellation, and records cache and
+  // served-from counters on the context's metrics.
+  StatusOr<ResultTable> ExecuteQuery(const ExecContext& ctx,
+                                     const query::AbstractQuery& q,
                                      const BatchOptions& options = {});
 
   // Executes a batch, minimizing the latency of processing all of it
   // (§3.3). Results are positional. `report` may be null.
   StatusOr<std::vector<ResultTable>> ExecuteBatch(
-      const std::vector<query::AbstractQuery>& batch,
+      const ExecContext& ctx, const std::vector<query::AbstractQuery>& batch,
       const BatchOptions& options = {}, BatchReport* report = nullptr);
+
+  // Context-less conveniences (no deadline, no trace).
+  StatusOr<ResultTable> ExecuteQuery(const query::AbstractQuery& q,
+                                     const BatchOptions& options = {}) {
+    return ExecuteQuery(ExecContext::Background(), q, options);
+  }
+  StatusOr<std::vector<ResultTable>> ExecuteBatch(
+      const std::vector<query::AbstractQuery>& batch,
+      const BatchOptions& options = {}, BatchReport* report = nullptr) {
+    return ExecuteBatch(ExecContext::Background(), batch, options, report);
+  }
 
   // Closing/refreshing the data source purges cache entries (§3.2) and
   // drops pooled connections with their remote temp tables.
@@ -116,7 +133,8 @@ class QueryService {
 
  private:
   // Runs one query remotely (compile -> literal cache -> connection).
-  StatusOr<ResultTable> ExecuteRemote(const query::AbstractQuery& q,
+  StatusOr<ResultTable> ExecuteRemote(const ExecContext& ctx,
+                                      const query::AbstractQuery& q,
                                       const BatchOptions& options,
                                       bool* literal_hit);
 

@@ -1,6 +1,7 @@
 #include "src/federation/connection_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace vizq::federation {
 
@@ -38,22 +39,55 @@ void PooledConnection::Release() {
 
 ConnectionPool::ConnectionPool(std::shared_ptr<DataSource> source,
                                int max_size)
+    : ConnectionPool(std::move(source), PoolOptions{max_size, 30000}) {}
+
+ConnectionPool::ConnectionPool(std::shared_ptr<DataSource> source,
+                               PoolOptions options)
     : source_(std::move(source)),
-      max_size_(max_size > 0 ? max_size
-                             : source_->capabilities().max_connections) {}
+      options_(options),
+      max_size_(options.max_size > 0
+                    ? options.max_size
+                    : source_->capabilities().max_connections) {}
 
 ConnectionPool::~ConnectionPool() { CloseAll(); }
 
-StatusOr<PooledConnection> ConnectionPool::Acquire() {
-  return AcquirePreferring({});
+StatusOr<PooledConnection> ConnectionPool::Acquire(const ExecContext& ctx) {
+  return AcquirePreferring(ctx, {});
 }
 
 StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
-    const std::vector<std::string>& temp_tables) {
+    const ExecContext& ctx, const std::vector<std::string>& temp_tables) {
+  using Clock = std::chrono::steady_clock;
   std::unique_lock<std::mutex> lock(mu_);
   ++op_counter_;
 
+  bool waited = false;
+  Clock::time_point wait_started{};
+  // The pool's own bound: even deadline-less callers cannot block forever.
+  const bool has_cap = options_.max_wait_ms > 0;
+  const Clock::time_point wait_cap =
+      has_cap ? Clock::now() + std::chrono::microseconds(static_cast<int64_t>(
+                                   options_.max_wait_ms * 1000))
+              : Clock::time_point::max();
+
+  auto record_wait = [&] {
+    if (waited) {
+      ctx.Observe("pool.wait_ms",
+                  std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            wait_started)
+                      .count());
+    }
+  };
+
   while (true) {
+    Status alive = ctx.CheckContinue("connection pool acquire");
+    if (!alive.ok()) {
+      if (alive.code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.timeouts;
+        ctx.Count("pool.timeouts");
+      }
+      return alive;
+    }
     // 1. Idle connection holding a wanted temp table?
     if (!temp_tables.empty()) {
       for (size_t i = 0; i < slots_.size(); ++i) {
@@ -65,6 +99,7 @@ StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
             s.last_used_op = op_counter_;
             ++stats_.reused;
             ++stats_.temp_affinity;
+            record_wait();
             return PooledConnection(this, s.conn.get(), static_cast<int>(i));
           }
         }
@@ -77,6 +112,7 @@ StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
         s.in_use = true;
         s.last_used_op = op_counter_;
         ++stats_.reused;
+        record_wait();
         return PooledConnection(this, s.conn.get(), static_cast<int>(i));
       }
     }
@@ -106,11 +142,31 @@ StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
       }
       slots_[slot_idx].conn = std::move(*conn);
       ++stats_.opened;
+      record_wait();
       return PooledConnection(this, slots_[slot_idx].conn.get(), slot_idx);
     }
-    // 4. Wait for a release.
-    ++stats_.waits;
-    available_cv_.wait(lock, [this] {
+    // 4. Wait for a release. Short timed slices keep the wait responsive
+    // to cancellation (which does not signal the pool's CV) while the
+    // predicate handles normal releases promptly.
+    if (!waited) {
+      waited = true;
+      wait_started = Clock::now();
+      ++stats_.waits;
+      ctx.Count("pool.waits");
+    }
+    if (has_cap && Clock::now() >= wait_cap) {
+      ++stats_.timeouts;
+      ctx.Count("pool.timeouts");
+      return ResourceExhausted(
+          "connection pool acquire timed out after " +
+          std::to_string(options_.max_wait_ms) + " ms (" +
+          std::to_string(max_size_) + " connections all busy)");
+    }
+    Clock::time_point slice =
+        Clock::now() + std::chrono::milliseconds(5);
+    slice = std::min(slice, wait_cap);
+    if (ctx.has_deadline()) slice = std::min(slice, ctx.deadline());
+    available_cv_.wait_until(lock, slice, [this] {
       for (const Slot& s : slots_) {
         if (!s.in_use && s.conn != nullptr) return true;
       }

@@ -5,6 +5,12 @@
 // temporary structures stored in remote sessions. ... An age-wise eviction
 // policy is used in case of local memory pressure or to release remote
 // resources unused for longer periods of time."
+//
+// Acquisition is ExecContext-aware: a blocked Acquire honors the caller's
+// deadline (kDeadlineExceeded) and cancellation (kAborted), and is bounded
+// by the pool's own `max_wait_ms` even for callers without a deadline
+// (kResourceExhausted) — a saturated pool can no longer wedge a request
+// forever.
 
 #ifndef VIZQUERY_FEDERATION_CONNECTION_POOL_H_
 #define VIZQUERY_FEDERATION_CONNECTION_POOL_H_
@@ -14,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/exec_context.h"
 #include "src/federation/data_source.h"
 
 namespace vizq::federation {
@@ -51,8 +58,17 @@ struct PoolStats {
   int64_t opened = 0;        // physical connections created
   int64_t reused = 0;        // acquisitions served by an idle connection
   int64_t waits = 0;         // acquisitions that had to block at the cap
+  int64_t timeouts = 0;      // acquisitions abandoned (deadline/max_wait)
   int64_t temp_affinity = 0; // acquisitions steered by temp-table affinity
   int64_t evicted = 0;       // idle connections closed by age
+};
+
+struct PoolOptions {
+  // Maximum pooled connections; 0 means the source's connection cap.
+  int max_size = 0;
+  // Upper bound on how long an Acquire may block at the cap even when the
+  // caller's ExecContext has no deadline; <= 0 disables the bound.
+  double max_wait_ms = 30000;
 };
 
 class ConnectionPool {
@@ -60,17 +76,26 @@ class ConnectionPool {
   // `max_size` defaults to the source's connection cap.
   explicit ConnectionPool(std::shared_ptr<DataSource> source,
                           int max_size = 0);
+  ConnectionPool(std::shared_ptr<DataSource> source, PoolOptions options);
   ~ConnectionPool();
 
   // Acquires a connection: an idle one when available, otherwise a new one
-  // (below the cap), otherwise blocks until a release.
-  StatusOr<PooledConnection> Acquire();
+  // (below the cap), otherwise blocks until a release — bounded by the
+  // context deadline, cancellation, and the pool's max_wait_ms.
+  StatusOr<PooledConnection> Acquire(const ExecContext& ctx);
+  StatusOr<PooledConnection> Acquire() {
+    return Acquire(ExecContext::Background());
+  }
 
   // Acquire, preferring an idle connection that already holds the given
   // temp table — the §3.5 "preserving and reusing temporary structures"
   // path. Falls back to plain Acquire behaviour.
   StatusOr<PooledConnection> AcquirePreferring(
-      const std::vector<std::string>& temp_tables);
+      const ExecContext& ctx, const std::vector<std::string>& temp_tables);
+  StatusOr<PooledConnection> AcquirePreferring(
+      const std::vector<std::string>& temp_tables) {
+    return AcquirePreferring(ExecContext::Background(), temp_tables);
+  }
 
   // Age-wise eviction: closes idle connections not used for at least
   // `max_idle_acquisitions` pool operations.
@@ -81,6 +106,7 @@ class ConnectionPool {
   void CloseAll();
 
   const PoolStats& stats() const { return stats_; }
+  const PoolOptions& options() const { return options_; }
   int size() const;
   int idle() const;
 
@@ -96,6 +122,7 @@ class ConnectionPool {
   void ReturnSlot(int slot);
 
   std::shared_ptr<DataSource> source_;
+  PoolOptions options_;
   int max_size_;
 
   mutable std::mutex mu_;

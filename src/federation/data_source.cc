@@ -18,9 +18,12 @@ class TdeConnection : public Connection {
     (void)session_db_->CreateSchema(tde::kTempSchema);
   }
 
+  using Connection::Execute;
   StatusOr<ResultTable> Execute(const query::CompiledQuery& cq,
-                                ExecutionInfo* info) override {
+                                ExecutionInfo* info,
+                                const ExecContext& ctx) override {
     if (closed_) return FailedPrecondition("connection is closed");
+    VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("tde connection execute"));
     auto started = std::chrono::steady_clock::now();
     for (const query::TempTableSpec& spec : cq.temp_tables) {
       if (!HasTempTable(spec.name)) {
@@ -30,7 +33,7 @@ class TdeConnection : public Connection {
       }
     }
     VIZQ_ASSIGN_OR_RETURN(tde::QueryResult result,
-                          engine_.Execute(cq.plan, options_));
+                          engine_.Execute(cq.plan, options_, ctx));
     if (info != nullptr) {
       info->total_ms =
           std::chrono::duration<double, std::milli>(

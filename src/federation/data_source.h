@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/exec_context.h"
 #include "src/common/result_table.h"
 #include "src/common/status.h"
 #include "src/query/compiler.h"
@@ -37,8 +38,17 @@ class Connection {
 
   // Runs a compiled query and streams back the tabular result. Required
   // temp tables (cq.temp_tables) must have been created on this session.
+  // Implementations honor the context: they stop at the deadline /
+  // cancellation and attach spans under the context's current parent.
   virtual StatusOr<ResultTable> Execute(const query::CompiledQuery& cq,
-                                        ExecutionInfo* info = nullptr) = 0;
+                                        ExecutionInfo* info,
+                                        const ExecContext& ctx) = 0;
+
+  // Context-less convenience for incremental migration of call sites.
+  StatusOr<ResultTable> Execute(const query::CompiledQuery& cq,
+                                ExecutionInfo* info = nullptr) {
+    return Execute(cq, info, ExecContext::Background());
+  }
 
   // Session temp-table state (§3.1, §5.3–5.4).
   virtual Status CreateTempTable(const query::TempTableSpec& spec) = 0;

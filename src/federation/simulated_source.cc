@@ -1,5 +1,6 @@
 #include "src/federation/simulated_source.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -9,6 +10,19 @@ void SleepMs(double ms) {
   if (ms <= 0) return;
   std::this_thread::sleep_for(
       std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
+}
+
+Status SleepMsCancellable(double ms, const ExecContext& ctx,
+                          const std::string& what) {
+  constexpr double kSliceMs = 2.0;
+  double left = ms;
+  while (left > 0) {
+    VIZQ_RETURN_IF_ERROR(ctx.CheckContinue(what.c_str()));
+    double slice = std::min(left, kSliceMs);
+    SleepMs(slice);
+    left -= slice;
+  }
+  return ctx.CheckContinue(what.c_str());
 }
 
 namespace {
@@ -25,11 +39,16 @@ class SimulatedConnection : public Connection {
 
   ~SimulatedConnection() override { Close(); }
 
+  using Connection::Execute;
+
   StatusOr<ResultTable> Execute(const query::CompiledQuery& cq,
-                                ExecutionInfo* info) override {
+                                ExecutionInfo* info,
+                                const ExecContext& ctx) override {
     if (closed_) return FailedPrecondition("connection is closed");
     auto started = std::chrono::steady_clock::now();
     const PerformanceModel& m = source_->model();
+    ScopedSpan span(ctx.StartSpan("remote:" + source_->name()));
+    ExecContext remote_ctx = ctx.WithSpan(span.get());
 
     // Temp tables required by this query (created lazily, reused when the
     // session already holds them — the §3.5 pooling benefit).
@@ -42,17 +61,18 @@ class SimulatedConnection : public Connection {
     }
 
     // Request travels to the server.
-    SleepMs(m.network_rtt_ms);
+    VIZQ_RETURN_IF_ERROR(
+        SleepMsCancellable(m.network_rtt_ms, ctx, "simulated request send"));
 
     // Server-side admission throttle (§3.5: "the database is likely to
     // throttle them based on available resources or a hard-coded
     // threshold").
-    double queue_ms = source_->AdmitQuery();
+    VIZQ_ASSIGN_OR_RETURN(double queue_ms, source_->AdmitQuery(ctx));
 
     // Execute for real (serially; the timing model below charges the
     // architecture-dependent cost).
     tde::QueryOptions exec = tde::QueryOptions::Serial();
-    auto result = engine_.Execute(cq.plan, exec);
+    auto result = engine_.Execute(cq.plan, exec, remote_ctx);
     if (!result.ok()) {
       source_->FinishQuery();
       return result.status();
@@ -69,15 +89,17 @@ class SimulatedConnection : public Connection {
         m.dispatch_ms +
         static_cast<double>(result->stats->rows_scanned) /
             (m.rows_per_ms * static_cast<double>(got));
-    SleepMs(work_ms);
+    Status worked = SleepMsCancellable(work_ms, ctx, "simulated query work");
     source_->ReleaseCpuSlots(got);
     source_->FinishQuery();
+    VIZQ_RETURN_IF_ERROR(worked);
 
     // Results stream back.
     double transfer_ms =
         m.network_rtt_ms + static_cast<double>(result->table.num_rows()) /
                                m.rows_per_ms_network;
-    SleepMs(transfer_ms);
+    VIZQ_RETURN_IF_ERROR(
+        SleepMsCancellable(transfer_ms, ctx, "simulated result transfer"));
 
     if (info != nullptr) {
       info->total_ms =
@@ -170,12 +192,17 @@ void SimulatedDataSource::ConnectionClosed() {
   --open_connections_;
 }
 
-double SimulatedDataSource::AdmitQuery() {
+StatusOr<double> SimulatedDataSource::AdmitQuery(const ExecContext& ctx) {
   auto started = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
-  admission_cv_.wait(lock, [this] {
-    return running_queries_ < capabilities_.max_concurrent_queries;
-  });
+  // Timed slices: cancellation cannot signal the CV, so wake periodically
+  // to poll the context.
+  while (running_queries_ >= capabilities_.max_concurrent_queries) {
+    VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("backend admission queue"));
+    admission_cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
+      return running_queries_ < capabilities_.max_concurrent_queries;
+    });
+  }
   ++running_queries_;
   ++queries_executed_;
   return std::chrono::duration<double, std::milli>(

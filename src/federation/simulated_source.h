@@ -80,8 +80,11 @@ class SimulatedDataSource : public DataSource {
   int AcquireCpuSlots(int want);
   void ReleaseCpuSlots(int slots);
 
-  // Server-side admission control; returns queue wait in ms.
-  double AdmitQuery();
+  // Server-side admission control; returns queue wait in ms. The wait is
+  // bounded by `ctx`: an expired deadline or a cancellation aborts the
+  // queue wait instead of blocking until a slot frees up.
+  StatusOr<double> AdmitQuery(
+      const ExecContext& ctx = ExecContext::Background());
   void FinishQuery();
 
   void ConnectionClosed();
@@ -103,6 +106,12 @@ class SimulatedDataSource : public DataSource {
 
 // Precise-enough sleep helper shared by the simulation layers.
 void SleepMs(double ms);
+
+// Sleeps `ms`, waking every couple of milliseconds to poll `ctx`; returns
+// early with the context's error when the deadline expires or the request
+// is cancelled mid-"network". `what` labels the error message.
+Status SleepMsCancellable(double ms, const ExecContext& ctx,
+                          const std::string& what);
 
 }  // namespace vizq::federation
 

@@ -44,16 +44,18 @@ bool ServerSession::HasTempTable(const std::string& name) const {
   return temps_.find(name) != temps_.end();
 }
 
-StatusOr<ResultTable> ServerSession::Query(const ClientQuery& q,
+StatusOr<ResultTable> ServerSession::Query(const ExecContext& ctx,
+                                           const ClientQuery& q,
                                            BatchReport* report) {
   if (closed_) return FailedPrecondition("session is closed");
-  return server_->ExecuteForSession(this, q, report);
+  return server_->ExecuteForSession(ctx, this, q, report);
 }
 
 StatusOr<std::vector<ResultTable>> ServerSession::QueryBatch(
-    const std::vector<ClientQuery>& batch, BatchReport* report) {
+    const ExecContext& ctx, const std::vector<ClientQuery>& batch,
+    BatchReport* report) {
   if (closed_) return FailedPrecondition("session is closed");
-  return server_->ExecuteBatchForSession(this, batch, report);
+  return server_->ExecuteBatchForSession(ctx, this, batch, report);
 }
 
 void ServerSession::Close() {
@@ -186,17 +188,19 @@ StatusOr<AbstractQuery> DataServer::ResolveClientQuery(ServerSession* session,
   return resolved;
 }
 
-StatusOr<ResultTable> DataServer::ExecuteForSession(ServerSession* session,
+StatusOr<ResultTable> DataServer::ExecuteForSession(const ExecContext& ctx,
+                                                    ServerSession* session,
                                                     const ClientQuery& q,
                                                     BatchReport* report) {
   VIZQ_ASSIGN_OR_RETURN(std::vector<ResultTable> results,
-                        ExecuteBatchForSession(session, {q}, report));
+                        ExecuteBatchForSession(ctx, session, {q}, report));
   return std::move(results[0]);
 }
 
 StatusOr<std::vector<ResultTable>> DataServer::ExecuteBatchForSession(
-    ServerSession* session, const std::vector<ClientQuery>& batch,
-    BatchReport* report) {
+    const ExecContext& ctx, ServerSession* session,
+    const std::vector<ClientQuery>& batch, BatchReport* report) {
+  VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("server batch"));
   std::vector<AbstractQuery> resolved;
   resolved.reserve(batch.size());
   for (const ClientQuery& q : batch) {
@@ -212,7 +216,7 @@ StatusOr<std::vector<ResultTable>> DataServer::ExecuteBatchForSession(
     }
     service = it->second.service.get();
   }
-  return service->ExecuteBatch(resolved, options_.batch, report);
+  return service->ExecuteBatch(ctx, resolved, options_.batch, report);
 }
 
 }  // namespace vizq::server

@@ -76,11 +76,23 @@ class ServerSession {
   Status DropTempTable(const std::string& name);
   bool HasTempTable(const std::string& name) const;
 
-  StatusOr<ResultTable> Query(const ClientQuery& q,
+  // Context-first forms thread the caller's deadline/cancellation/trace
+  // through resolution and the full query pipeline.
+  StatusOr<ResultTable> Query(const ExecContext& ctx, const ClientQuery& q,
                               dashboard::BatchReport* report = nullptr);
   StatusOr<std::vector<ResultTable>> QueryBatch(
-      const std::vector<ClientQuery>& batch,
+      const ExecContext& ctx, const std::vector<ClientQuery>& batch,
       dashboard::BatchReport* report = nullptr);
+
+  StatusOr<ResultTable> Query(const ClientQuery& q,
+                              dashboard::BatchReport* report = nullptr) {
+    return Query(ExecContext::Background(), q, report);
+  }
+  StatusOr<std::vector<ResultTable>> QueryBatch(
+      const std::vector<ClientQuery>& batch,
+      dashboard::BatchReport* report = nullptr) {
+    return QueryBatch(ExecContext::Background(), batch, report);
+  }
 
   // Explicitly ends the session, reclaiming its temp-table references
   // (§5.4: state "is reclaimed when the connection is closed or expired").
@@ -143,12 +155,13 @@ class DataServer {
     std::unique_ptr<dashboard::QueryService> service;
   };
 
-  StatusOr<ResultTable> ExecuteForSession(ServerSession* session,
+  StatusOr<ResultTable> ExecuteForSession(const ExecContext& ctx,
+                                          ServerSession* session,
                                           const ClientQuery& q,
                                           dashboard::BatchReport* report);
   StatusOr<std::vector<ResultTable>> ExecuteBatchForSession(
-      ServerSession* session, const std::vector<ClientQuery>& batch,
-      dashboard::BatchReport* report);
+      const ExecContext& ctx, ServerSession* session,
+      const std::vector<ClientQuery>& batch, dashboard::BatchReport* report);
 
   // Expands temp references and permission filters into a plain query.
   StatusOr<query::AbstractQuery> ResolveClientQuery(ServerSession* session,

@@ -14,8 +14,14 @@ StatusOr<ResultTable> TdeEngine::Query(const std::string& tql) {
 
 StatusOr<QueryResult> TdeEngine::Execute(const std::string& tql,
                                          const QueryOptions& options) {
+  return Execute(tql, options, ExecContext::Background());
+}
+
+StatusOr<QueryResult> TdeEngine::Execute(const std::string& tql,
+                                         const QueryOptions& options,
+                                         const ExecContext& ctx) {
   VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr plan, ParseTql(tql));
-  return Execute(plan, options);
+  return Execute(plan, options, ctx);
 }
 
 StatusOr<LogicalOpPtr> TdeEngine::Compile(const LogicalOpPtr& plan,
@@ -30,14 +36,32 @@ StatusOr<LogicalOpPtr> TdeEngine::Compile(const LogicalOpPtr& plan,
 
 StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
                                          const QueryOptions& options) {
+  return Execute(plan, options, ExecContext::Background());
+}
+
+StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
+                                         const QueryOptions& options,
+                                         const ExecContext& ctx) {
+  VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("tde execute"));
+  ScopedSpan compile_span(ctx.StartSpan("tde:compile"));
   VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr compiled, Compile(plan, options));
+  compile_span.End();
+
   QueryResult result;
   result.stats = std::make_shared<ExecStats>();
   result.plan_text = compiled->ToString();
+  ScopedSpan run_span(ctx.StartSpan("tde:run"));
+  ExecContext run_ctx = ctx.WithSpan(run_span.get());
   Translator translator(result.stats.get(),
-                        options.serial_exchange_for_measurement);
+                        options.serial_exchange_for_measurement, run_ctx);
   VIZQ_ASSIGN_OR_RETURN(OperatorPtr root, translator.Translate(compiled));
   VIZQ_ASSIGN_OR_RETURN(result.table, CollectToResultTable(root.get()));
+  run_span.End();
+  {
+    std::lock_guard<std::mutex> lock(result.stats->mu);
+    ctx.Count("tde.rows_scanned", result.stats->rows_scanned);
+    ctx.Count("tde.batches", result.stats->batches);
+  }
   return result;
 }
 

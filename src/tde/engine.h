@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "src/common/exec_context.h"
 #include "src/common/result_table.h"
 #include "src/tde/plan/logical.h"
 #include "src/tde/plan/optimizer.h"
@@ -58,13 +59,22 @@ class TdeEngine {
   // Compiles and runs a TQL text query with default options.
   StatusOr<ResultTable> Query(const std::string& tql);
 
-  // Full-control entry points.
+  // Full-control entry points. The ExecContext overloads honor the
+  // context's deadline/cancellation (operators poll it between batches)
+  // and record "tde:*" spans; the context-less forms delegate to
+  // ExecContext::Background().
   StatusOr<QueryResult> Execute(const std::string& tql,
                                 const QueryOptions& options);
+  StatusOr<QueryResult> Execute(const std::string& tql,
+                                const QueryOptions& options,
+                                const ExecContext& ctx);
   // Takes any (possibly unbound) logical plan; the plan is cloned, so the
   // caller's tree is not mutated.
   StatusOr<QueryResult> Execute(const LogicalOpPtr& plan,
                                 const QueryOptions& options);
+  StatusOr<QueryResult> Execute(const LogicalOpPtr& plan,
+                                const QueryOptions& options,
+                                const ExecContext& ctx);
 
   // Compiles without running; returns the optimized + parallelized plan.
   StatusOr<LogicalOpPtr> Compile(const LogicalOpPtr& plan,

@@ -6,6 +6,9 @@
 
 namespace vizq::tde {
 
+// Deadline/cancel poll frequency while consuming input batches.
+constexpr int64_t kCtxPollBatches = 4;
+
 namespace {
 
 // True when this spec's running sum is integral.
@@ -80,11 +83,13 @@ BatchSchema MakeAggSchema(const std::vector<GroupExpr>& group_exprs,
 HashAggregateOperator::HashAggregateOperator(OperatorPtr child,
                                              std::vector<GroupExpr> group_exprs,
                                              std::vector<AggSpec> specs,
-                                             AggPhase phase)
+                                             AggPhase phase,
+                                             const ExecContext& ctx)
     : child_(std::move(child)),
       group_exprs_(std::move(group_exprs)),
       specs_(std::move(specs)),
-      phase_(phase) {
+      phase_(phase),
+      ctx_(ctx) {
   schema_ = MakeAggSchema(group_exprs_, specs_, phase_, child_->schema());
   group_store_.reserve(group_exprs_.size());
   for (size_t i = 0; i < group_exprs_.size(); ++i) {
@@ -97,10 +102,20 @@ Status HashAggregateOperator::Open() {
   consumed_ = false;
   emit_cursor_ = 0;
   num_groups_ = 0;
+  batches_consumed_ = 0;
   buckets_.clear();
   for (auto& cv : group_store_) cv = ColumnVector::LayoutLike(cv);
   for (auto& acc : accums_) acc = Accumulator{};
+  span_ = ctx_.StartSpan("op:aggregate");
   return child_->Open();
+}
+
+Status HashAggregateOperator::Close() {
+  if (span_ != nullptr) {
+    span_->End();
+    span_ = nullptr;
+  }
+  return child_->Close();
 }
 
 int64_t HashAggregateOperator::FindOrCreateGroup(
@@ -334,6 +349,10 @@ StatusOr<bool> HashAggregateOperator::Next(Batch* batch) {
   if (!consumed_) {
     Batch in;
     while (true) {
+      if (batches_consumed_ % kCtxPollBatches == 0) {
+        VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("hash aggregate"));
+      }
+      ++batches_consumed_;
       VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
       if (!more) break;
       VIZQ_RETURN_IF_ERROR(Consume(in));
@@ -360,10 +379,11 @@ StatusOr<bool> HashAggregateOperator::Next(Batch* batch) {
 
 StreamingAggregateOperator::StreamingAggregateOperator(
     OperatorPtr child, std::vector<GroupExpr> group_exprs,
-    std::vector<AggSpec> specs)
+    std::vector<AggSpec> specs, const ExecContext& ctx)
     : child_(std::move(child)),
       group_exprs_(std::move(group_exprs)),
-      specs_(std::move(specs)) {
+      specs_(std::move(specs)),
+      ctx_(ctx) {
   schema_ = MakeAggSchema(group_exprs_, specs_, AggPhase::kComplete,
                           child_->schema());
 }
@@ -372,7 +392,17 @@ Status StreamingAggregateOperator::Open() {
   in_group_ = false;
   done_ = false;
   saw_any_row_ = false;
+  batches_consumed_ = 0;
+  span_ = ctx_.StartSpan("op:streaming-aggregate");
   return child_->Open();
+}
+
+Status StreamingAggregateOperator::Close() {
+  if (span_ != nullptr) {
+    span_->End();
+    span_ = nullptr;
+  }
+  return child_->Close();
 }
 
 void StreamingAggregateOperator::StartGroup(
@@ -487,6 +517,10 @@ StatusOr<bool> StreamingAggregateOperator::Next(Batch* batch) {
   *batch = schema_.NewBatch();
   Batch in;
   while (batch->num_rows < kBatchRows) {
+    if (batches_consumed_ % kCtxPollBatches == 0) {
+      VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("streaming aggregate"));
+    }
+    ++batches_consumed_;
     VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) {
       if (in_group_) {

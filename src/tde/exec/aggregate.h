@@ -51,12 +51,13 @@ class HashAggregateOperator : public Operator {
   // referenced by index through the GroupExpr exprs) followed by the
   // concatenated PartialStateColumns of each spec.
   HashAggregateOperator(OperatorPtr child, std::vector<GroupExpr> group_exprs,
-                        std::vector<AggSpec> specs, AggPhase phase);
+                        std::vector<AggSpec> specs, AggPhase phase,
+                        const ExecContext& ctx = ExecContext::Background());
 
   const BatchSchema& schema() const override { return schema_; }
   Status Open() override;
   StatusOr<bool> Next(Batch* batch) override;
-  Status Close() override { return child_->Close(); }
+  Status Close() override;
 
  private:
   struct Accumulator {
@@ -91,6 +92,9 @@ class HashAggregateOperator : public Operator {
 
   bool consumed_ = false;
   int64_t emit_cursor_ = 0;
+  ExecContext ctx_;
+  Span* span_ = nullptr;
+  int64_t batches_consumed_ = 0;
 };
 
 class StreamingAggregateOperator : public Operator {
@@ -99,12 +103,13 @@ class StreamingAggregateOperator : public Operator {
   // (e.g. sorted by them). Same output schema as HashAggregate kComplete.
   StreamingAggregateOperator(OperatorPtr child,
                              std::vector<GroupExpr> group_exprs,
-                             std::vector<AggSpec> specs);
+                             std::vector<AggSpec> specs,
+                             const ExecContext& ctx = ExecContext::Background());
 
   const BatchSchema& schema() const override { return schema_; }
   Status Open() override;
   StatusOr<bool> Next(Batch* batch) override;
-  Status Close() override { return child_->Close(); }
+  Status Close() override;
 
  private:
   void StartGroup(const std::vector<ColumnVector>& keys, int64_t row);
@@ -127,6 +132,9 @@ class StreamingAggregateOperator : public Operator {
   std::vector<Value> extreme_;
   std::vector<char> has_value_;
   std::vector<std::set<Value>> distinct_;
+  ExecContext ctx_;
+  Span* span_ = nullptr;
+  int64_t batches_consumed_ = 0;
 };
 
 // Output schema shared by both aggregate operators.

@@ -4,6 +4,9 @@
 
 namespace vizq::tde {
 
+// Deadline/cancel poll frequency for the probe side.
+constexpr int64_t kCtxPollBatches = 4;
+
 SharedBuildState::SharedBuildState(OperatorPtr right,
                                    std::vector<ExprPtr> right_keys)
     : right_(std::move(right)), right_keys_(std::move(right_keys)) {}
@@ -43,11 +46,12 @@ const std::vector<int64_t>* SharedBuildState::Probe(uint64_t h) const {
 HashJoinOperator::HashJoinOperator(OperatorPtr left,
                                    std::shared_ptr<SharedBuildState> build,
                                    std::vector<ExprPtr> left_keys,
-                                   JoinType join_type)
+                                   JoinType join_type, const ExecContext& ctx)
     : left_(std::move(left)),
       build_(std::move(build)),
       left_keys_(std::move(left_keys)),
-      join_type_(join_type) {
+      join_type_(join_type),
+      ctx_(ctx) {
   // Output schema: left columns, then right columns (renamed on collision).
   const BatchSchema& ls = left_->schema();
   const BatchSchema& rs = build_->right_schema();
@@ -62,11 +66,25 @@ HashJoinOperator::HashJoinOperator(OperatorPtr left,
 }
 
 Status HashJoinOperator::Open() {
+  batches_probed_ = 0;
+  span_ = ctx_.StartSpan("op:hash-join");
   VIZQ_RETURN_IF_ERROR(build_->EnsureBuilt());
   return left_->Open();
 }
 
+Status HashJoinOperator::Close() {
+  if (span_ != nullptr) {
+    span_->End();
+    span_ = nullptr;
+  }
+  return left_->Close();
+}
+
 StatusOr<bool> HashJoinOperator::Next(Batch* batch) {
+  if (batches_probed_ % kCtxPollBatches == 0) {
+    VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("hash join"));
+  }
+  ++batches_probed_;
   Batch in;
   VIZQ_ASSIGN_OR_RETURN(bool more, left_->Next(&in));
   if (!more) return false;

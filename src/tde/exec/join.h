@@ -57,14 +57,15 @@ class HashJoinOperator : public Operator {
   // `left_keys` bound against left->schema(); paired positionally with the
   // build state's right keys. Output schema: left columns then right
   // columns (right column names prefixed with `right_prefix` when a name
-  // collision would result).
+  // collision would result). Probing polls `ctx` between batches.
   HashJoinOperator(OperatorPtr left, std::shared_ptr<SharedBuildState> build,
-                   std::vector<ExprPtr> left_keys, JoinType join_type);
+                   std::vector<ExprPtr> left_keys, JoinType join_type,
+                   const ExecContext& ctx = ExecContext::Background());
 
   const BatchSchema& schema() const override { return schema_; }
   Status Open() override;
   StatusOr<bool> Next(Batch* batch) override;
-  Status Close() override { return left_->Close(); }
+  Status Close() override;
 
  private:
   OperatorPtr left_;
@@ -72,6 +73,9 @@ class HashJoinOperator : public Operator {
   std::vector<ExprPtr> left_keys_;
   JoinType join_type_;
   BatchSchema schema_;
+  ExecContext ctx_;
+  Span* span_ = nullptr;
+  int64_t batches_probed_ = 0;
 };
 
 }  // namespace vizq::tde

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/exec_context.h"
 #include "src/common/result_table.h"
 #include "src/common/status.h"
 #include "src/tde/exec/batch.h"

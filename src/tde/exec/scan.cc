@@ -4,15 +4,20 @@
 
 namespace vizq::tde {
 
+// Deadline/cancel poll frequency: every batch is cheap enough (an atomic
+// load plus, on deadline contexts, one clock read per kCtxPollBatches).
+constexpr int64_t kCtxPollBatches = 4;
+
 TableScanOperator::TableScanOperator(std::shared_ptr<const Table> table,
                                      std::vector<int> column_indices,
                                      int64_t row_begin, int64_t row_end,
-                                     ExecStats* stats)
+                                     ExecStats* stats, const ExecContext& ctx)
     : table_(std::move(table)),
       column_indices_(std::move(column_indices)),
       row_begin_(row_begin),
       row_end_(row_end < 0 ? table_->num_rows() : row_end),
-      stats_(stats) {
+      stats_(stats),
+      ctx_(ctx) {
   for (int ci : column_indices_) {
     const ColumnInfo& info = table_->column_info(ci);
     schema_.names.push_back(info.name);
@@ -26,10 +31,24 @@ TableScanOperator::TableScanOperator(std::shared_ptr<const Table> table,
 
 Status TableScanOperator::Open() {
   cursor_ = row_begin_;
+  batches_emitted_ = 0;
+  span_ = ctx_.StartSpan("op:scan(" + table_->name() + ")");
+  return OkStatus();
+}
+
+Status TableScanOperator::Close() {
+  if (span_ != nullptr) {
+    span_->End();
+    span_ = nullptr;
+  }
   return OkStatus();
 }
 
 StatusOr<bool> TableScanOperator::Next(Batch* batch) {
+  if (batches_emitted_ % kCtxPollBatches == 0) {
+    VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("table scan"));
+  }
+  ++batches_emitted_;
   if (cursor_ >= row_end_) return false;
   int64_t count = std::min(kBatchRows, row_end_ - cursor_);
   *batch = schema_.NewBatch();

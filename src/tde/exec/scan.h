@@ -19,14 +19,17 @@ class TableScanOperator : public Operator {
  public:
   // Scans rows [row_begin, row_end) of `table`, producing the columns in
   // `column_indices` (in that order). row_end == -1 means "to the end".
+  // The scan polls `ctx` every few batches, so a deadline or cancellation
+  // actually stops the work mid-scan.
   TableScanOperator(std::shared_ptr<const Table> table,
                     std::vector<int> column_indices, int64_t row_begin = 0,
-                    int64_t row_end = -1, ExecStats* stats = nullptr);
+                    int64_t row_end = -1, ExecStats* stats = nullptr,
+                    const ExecContext& ctx = ExecContext::Background());
 
   const BatchSchema& schema() const override { return schema_; }
   Status Open() override;
   StatusOr<bool> Next(Batch* batch) override;
-  Status Close() override { return OkStatus(); }
+  Status Close() override;
 
  private:
   std::shared_ptr<const Table> table_;
@@ -36,6 +39,9 @@ class TableScanOperator : public Operator {
   int64_t cursor_ = 0;
   BatchSchema schema_;
   ExecStats* stats_;
+  ExecContext ctx_;
+  Span* span_ = nullptr;
+  int64_t batches_emitted_ = 0;
 };
 
 // Computes contiguous fraction boundaries for `num_rows` split `dop` ways:

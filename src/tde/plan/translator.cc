@@ -62,7 +62,7 @@ StatusOr<OperatorPtr> Translator::TranslateScan(const LogicalOp& op,
     }
   }
   return OperatorPtr(std::make_unique<TableScanOperator>(
-      op.table, op.scan_columns, begin, end, stats_));
+      op.table, op.scan_columns, begin, end, stats_, ctx_));
 }
 
 StatusOr<OperatorPtr> Translator::TranslateRleScan(const LogicalOp& op,
@@ -155,7 +155,7 @@ StatusOr<OperatorPtr> Translator::TranslateNode(const LogicalOp& op,
       for (const auto& [lk, rk] : op.join_keys) left_keys.push_back(lk);
       return OperatorPtr(std::make_unique<HashJoinOperator>(
           std::move(left), std::move(build), std::move(left_keys),
-          op.join_type));
+          op.join_type, ctx_));
     }
     case LogicalKind::kAggregate: {
       VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,
@@ -173,14 +173,15 @@ StatusOr<OperatorPtr> Translator::TranslateNode(const LogicalOp& op,
       if (op.agg_phase == AggPhase::kComplete && op.prefer_streaming) {
         if (stats_ != nullptr) stats_->used_streaming_agg = true;
         return OperatorPtr(std::make_unique<StreamingAggregateOperator>(
-            std::move(child), std::move(groups), std::move(specs)));
+            std::move(child), std::move(groups), std::move(specs), ctx_));
       }
       AggPhase phase = op.agg_phase;
       if (stats_ != nullptr && phase == AggPhase::kFinal) {
         stats_->used_local_global_agg = true;
       }
       return OperatorPtr(std::make_unique<HashAggregateOperator>(
-          std::move(child), std::move(groups), std::move(specs), phase));
+          std::move(child), std::move(groups), std::move(specs), phase,
+          ctx_));
     }
     case LogicalKind::kOrder: {
       VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,

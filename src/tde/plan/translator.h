@@ -14,6 +14,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/common/exec_context.h"
 #include "src/tde/plan/logical.h"
 
 namespace vizq::tde {
@@ -22,9 +23,12 @@ class Translator {
  public:
   // `stats` may be null. The logical plan must outlive execution of the
   // returned operator tree. `serial_exchange` puts every Exchange into
-  // serial-measurement mode (see ExchangeOperator).
-  explicit Translator(ExecStats* stats, bool serial_exchange = false)
-      : stats_(stats), serial_exchange_(serial_exchange) {}
+  // serial-measurement mode (see ExchangeOperator). Operators receive a
+  // copy of `ctx`: Scan/Join/Aggregate poll its cancellation/deadline
+  // between batches and record per-operator spans under its parent span.
+  explicit Translator(ExecStats* stats, bool serial_exchange = false,
+                      const ExecContext& ctx = ExecContext::Background())
+      : stats_(stats), serial_exchange_(serial_exchange), ctx_(ctx) {}
 
   StatusOr<OperatorPtr> Translate(const LogicalOpPtr& plan);
 
@@ -41,6 +45,7 @@ class Translator {
 
   ExecStats* stats_;
   bool serial_exchange_ = false;
+  ExecContext ctx_;
   std::unordered_map<const LogicalOp*, std::shared_ptr<SharedBuildState>>
       builds_;
   std::unordered_map<const LogicalOp*, std::vector<int64_t>> scan_offsets_;

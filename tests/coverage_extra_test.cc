@@ -5,11 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+
 #include "src/cache/intelligent_cache.h"
 #include "src/common/str_util.h"
+#include "src/dashboard/query_service.h"
 #include "src/extract/shadow_extract.h"
 #include "src/federation/data_source.h"
 #include "src/query/compiler.h"
+#include "src/tde/exec/scan.h"
 #include "src/tde/exec/sort.h"
 #include "tests/test_util.h"
 
@@ -71,7 +76,17 @@ TEST(CacheRangeResidualTest, RangeFilterPostProcessesOnDimension) {
   ASSERT_TRUE(hit2.has_value());
   auto truth2 = service.ExecuteQuery(exclusive, raw);
   ASSERT_TRUE(truth2.ok());
-  EXPECT_TRUE(ResultTable::SameUnordered(*hit2, *truth2));
+  // The cached path re-aggregates the stored partials in a different order
+  // than the direct scan, so the float sums differ in the last ulps:
+  // compare with the same tolerance as above instead of bit-exactly.
+  ResultTable a2 = *hit2, b2 = *truth2;
+  a2.SortRowsByAllColumns();
+  b2.SortRowsByAllColumns();
+  ASSERT_EQ(a2.num_rows(), b2.num_rows());
+  for (int64_t r = 0; r < a2.num_rows(); ++r) {
+    EXPECT_EQ(a2.at(r, 0).string_value(), b2.at(r, 0).string_value());
+    EXPECT_NEAR(a2.at(r, 1).AsDouble(), b2.at(r, 1).AsDouble(), 1e-9);
+  }
 }
 
 TEST(DictDemoteTest, AppendingForeignStringDemotesToPlain) {
