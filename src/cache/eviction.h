@@ -30,14 +30,25 @@ struct EvictionConfig {
   static EvictionConfig CostAware() { return EvictionConfig{}; }
 };
 
+// Time-invariant part of the eviction score. Because every entry in a
+// cache shares one EvictionConfig, EvictionScore(e, now) differs from
+// EvictionPriority(e) only by the entry-independent term
+// `age_weight * now` — so the entry with the highest *priority* is the
+// entry with the highest *score* at any instant. This is what lets the
+// sharded caches keep victims in a max-heap ordered once at insert time
+// instead of rescoring every entry per eviction.
+inline double EvictionPriority(const EntryUsage& entry,
+                               const EvictionConfig& config) {
+  return -config.age_weight * static_cast<double>(entry.last_used_tick) -
+         config.usage_weight * static_cast<double>(entry.hits) -
+         config.cost_weight * entry.eval_cost_ms;
+}
+
 // Eviction priority of `entry` at logical time `now` (higher evicts first).
 inline double EvictionScore(const EntryUsage& entry, int64_t now,
                             const EvictionConfig& config) {
-  double score =
-      config.age_weight * static_cast<double>(now - entry.last_used_tick);
-  score -= config.usage_weight * static_cast<double>(entry.hits);
-  score -= config.cost_weight * entry.eval_cost_ms;
-  return score;
+  return config.age_weight * static_cast<double>(now) +
+         EvictionPriority(entry, config);
 }
 
 }  // namespace vizq::cache

@@ -1,6 +1,7 @@
 #include "src/cache/intelligent_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 namespace vizq::cache {
@@ -37,13 +38,17 @@ bool SameDimensionSet(const AbstractQuery& a, const AbstractQuery& b) {
 }
 
 bool RowPassesPredicate(const Value& v, const ColumnPredicate& p) {
+  // SQL comparison semantics: NULL matches nothing — not even a NULL
+  // literal in an IN-set (the TDE engine's kIn yields NULL for NULL
+  // inputs, which the filter rejects). The null test must precede the
+  // set scan or Value::Equals(null, null) would admit the row.
+  if (v.is_null()) return false;
   if (p.kind == ColumnPredicate::Kind::kInSet) {
     for (const Value& allowed : p.values) {
       if (v.Equals(allowed)) return true;
     }
     return false;
   }
-  if (v.is_null()) return false;
   if (p.lower.has_value()) {
     int cmp = v.Compare(*p.lower);
     if (cmp < 0 || (cmp == 0 && !p.lower_inclusive)) return false;
@@ -331,9 +336,14 @@ StatusOr<ResultTable> ApplyMatchPlan(const ResultTable& stored,
             if (!cnt.is_null()) g.pair_cnt[mi] += cnt.int_value();
             break;
           }
-          case MeasureDerivation::Kind::kCountDistinctDim:
-            g.distinct[mi].insert(stored.at(r, d.column_a));
+          case MeasureDerivation::Kind::kCountDistinctDim: {
+            // COUNTD ignores NULLs (SQL semantics; the engine's
+            // aggregator skips them) — counting the null group would
+            // over-count by one whenever the dimension has nulls.
+            const Value& v = stored.at(r, d.column_a);
+            if (!v.is_null()) g.distinct[mi].insert(v);
             break;
+          }
         }
       }
     }
@@ -490,154 +500,267 @@ query::AbstractQuery AdjustForReuse(const query::AbstractQuery& q,
   return adjusted;
 }
 
+IntelligentCache::IntelligentCache(IntelligentCacheOptions options)
+    : options_(options) {
+  int n = NormalizeShardCount(options_.num_shards);
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
+                                                    const ExecContext& ctx) {
+  int64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string key = q.ToKeyString();
+  std::string bucket_key = q.data_source + "\x1f" + q.view;
+  Shard& shard = ShardFor(bucket_key);
+
+  // Under the shard lock: metadata only. The exact probe returns a
+  // refcounted snapshot; the subsumption scan compares descriptors and
+  // snapshots the winning entry so ApplyMatchPlan can run lock-free.
+  std::shared_ptr<Entry> best;
+  std::shared_ptr<const ResultTable> best_table;
+  MatchPlan best_plan;
+  {
+    TimedLockGuard lock(shard.mu, ctx, "cache.intelligent.lock_wait_us");
+    auto kit = shard.by_key.find(key);
+    if (kit != shard.by_key.end()) {
+      Entry& e = *kit->second;
+      e.usage.last_used_tick = tick;
+      ++e.usage.hits;
+      ++e.heap_seq;
+      stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+      ctx.Count("cache.intelligent.exact_hit");
+      return CacheHit{e.result, /*exact=*/true};
+    }
+    auto bit = shard.buckets.find(bucket_key);
+    if (bit != shard.buckets.end()) {
+      for (const std::shared_ptr<Entry>& entry : bit->second) {
+        auto plan =
+            MatchQueries(entry->descriptor, entry->result->columns(), q);
+        if (!plan.has_value()) continue;
+        // Weight the post-processing estimate by the stored row count.
+        plan->post_cost = (plan->post_cost + 1) * entry->result->num_rows();
+        if (options_.strategy == MatchStrategy::kFirstMatch) {
+          best = entry;
+          best_plan = std::move(*plan);
+          break;
+        }
+        if (best == nullptr || plan->post_cost < best_plan.post_cost) {
+          best = entry;
+          best_plan = std::move(*plan);
+        }
+      }
+    }
+    if (best != nullptr) best_table = best->result;
+  }
+
+  if (best == nullptr) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    ctx.Count("cache.intelligent.miss");
+    return std::nullopt;
+  }
+
+  // Derived hit: the roll-up/filter/top-n recipe runs outside the lock on
+  // the immutable snapshot, so concurrent lookups in this shard proceed.
+  auto apply_start = std::chrono::steady_clock::now();
+  auto result = ApplyMatchPlan(*best_table, best_plan, q);
+  if (ctx.metrics_enabled()) {
+    ctx.Observe("cache.intelligent.derived_apply_us",
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - apply_start)
+                    .count());
+  }
+  if (!result.ok()) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    ctx.Count("cache.intelligent.miss");
+    return std::nullopt;
+  }
+  {
+    // Re-acquire briefly to credit the source entry; it may have been
+    // evicted while we post-processed — then there is nothing to credit.
+    TimedLockGuard lock(shard.mu, ctx, "cache.intelligent.lock_wait_us");
+    if (!best->evicted) {
+      best->usage.last_used_tick = tick;
+      ++best->usage.hits;
+      ++best->heap_seq;
+    }
+  }
+  stats_.derived_hits.fetch_add(1, std::memory_order_relaxed);
+  ctx.Count("cache.intelligent.derived_hit");
+  return CacheHit{std::make_shared<const ResultTable>(*std::move(result)),
+                  /*exact=*/false};
+}
+
 std::optional<ResultTable> IntelligentCache::Lookup(const AbstractQuery& q,
                                                     const ExecContext& ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++tick_;
-  std::string key = q.ToKeyString();
-
-  // Exact fast path.
-  auto kit = by_key_.find(key);
-  if (kit != by_key_.end()) {
-    kit->second->usage.last_used_tick = tick_;
-    ++kit->second->usage.hits;
-    ++stats_.exact_hits;
-    ctx.Count("cache.intelligent.exact_hit");
-    return kit->second->result;
-  }
-
-  std::string bucket_key = q.data_source + "\x1f" + q.view;
-  auto bit = buckets_.find(bucket_key);
-  if (bit == buckets_.end()) {
-    ++stats_.misses;
-    ctx.Count("cache.intelligent.miss");
-    return std::nullopt;
-  }
-
-  std::shared_ptr<Entry> best;
-  MatchPlan best_plan;
-  for (const std::shared_ptr<Entry>& entry : bit->second) {
-    auto plan = MatchQueries(entry->descriptor, entry->result.columns(), q);
-    if (!plan.has_value()) continue;
-    // Weight the post-processing estimate by the stored row count.
-    plan->post_cost = (plan->post_cost + 1) * entry->result.num_rows();
-    if (options_.strategy == MatchStrategy::kFirstMatch) {
-      best = entry;
-      best_plan = std::move(*plan);
-      break;
-    }
-    if (best == nullptr || plan->post_cost < best_plan.post_cost) {
-      best = entry;
-      best_plan = std::move(*plan);
-    }
-  }
-  if (best == nullptr) {
-    ++stats_.misses;
-    ctx.Count("cache.intelligent.miss");
-    return std::nullopt;
-  }
-  auto result = ApplyMatchPlan(best->result, best_plan, q);
-  if (!result.ok()) {
-    ++stats_.misses;
-    ctx.Count("cache.intelligent.miss");
-    return std::nullopt;
-  }
-  best->usage.last_used_tick = tick_;
-  ++best->usage.hits;
-  ++stats_.derived_hits;
-  ctx.Count("cache.intelligent.derived_hit");
-  return *std::move(result);
+  auto hit = LookupHit(q, ctx);
+  if (!hit.has_value()) return std::nullopt;
+  return *hit->table;  // copy happens outside any shard lock
 }
 
 void IntelligentCache::Put(const AbstractQuery& q, ResultTable result,
                            double eval_cost_ms, const ExecContext& ctx) {
   ctx.Count("cache.intelligent.insert_attempts");
-  std::lock_guard<std::mutex> lock(mu_);
-  ++tick_;
   if (eval_cost_ms < options_.min_eval_cost_ms) return;
   int64_t bytes = result.ApproxBytes();
   if (bytes > options_.max_result_bytes) return;
-
-  std::string key = q.ToKeyString();
-  if (by_key_.find(key) != by_key_.end()) return;  // already cached
+  int64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   auto entry = std::make_shared<Entry>();
   entry->descriptor = q;
-  entry->result = std::move(result);
-  entry->usage.inserted_tick = tick_;
-  entry->usage.last_used_tick = tick_;
+  entry->result = std::make_shared<const ResultTable>(std::move(result));
+  entry->usage.inserted_tick = tick;
+  entry->usage.last_used_tick = tick;
   entry->usage.eval_cost_ms = eval_cost_ms;
   entry->usage.bytes = bytes;
+  entry->key = q.ToKeyString();
+  entry->bucket_key = q.data_source + "\x1f" + q.view;
 
-  buckets_[q.data_source + "\x1f" + q.view].push_back(entry);
-  by_key_[key] = entry;
-  total_bytes_ += bytes;
-  ++stats_.inserts;
-  EvictIfNeeded();
+  Shard& shard = ShardFor(entry->bucket_key);
+  {
+    TimedLockGuard lock(shard.mu, ctx, "cache.intelligent.lock_wait_us");
+    if (shard.by_key.find(entry->key) != shard.by_key.end()) {
+      return;  // already cached
+    }
+    shard.buckets[entry->bucket_key].push_back(entry);
+    shard.by_key[entry->key] = entry;
+    shard.bytes += bytes;
+    shard.heap.Push(entry, options_.eviction);
+    if (ctx.metrics_enabled()) {
+      ctx.Observe("cache.intelligent.shard_occupancy",
+                  static_cast<double>(shard.by_key.size()));
+    }
+  }
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  EvictIfNeeded(ctx);
 }
 
-void IntelligentCache::EvictIfNeeded() {
-  while (total_bytes_ > options_.max_bytes && !by_key_.empty()) {
-    // Highest eviction score goes first.
-    std::string victim_key;
-    double victim_score = 0;
-    for (const auto& [key, entry] : by_key_) {
-      double score = EvictionScore(entry->usage, tick_, options_.eviction);
-      if (victim_key.empty() || score > victim_score) {
-        victim_key = key;
-        victim_score = score;
+void IntelligentCache::RemoveLocked(Shard& shard,
+                                    const std::shared_ptr<Entry>& entry) {
+  entry->evicted = true;
+  shard.by_key.erase(entry->key);
+  auto bit = shard.buckets.find(entry->bucket_key);
+  if (bit != shard.buckets.end()) {
+    auto& bucket = bit->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), entry),
+                 bucket.end());
+    if (bucket.empty()) shard.buckets.erase(bit);
+  }
+  shard.bytes -= entry->usage.bytes;
+}
+
+void IntelligentCache::EvictIfNeeded(const ExecContext& ctx) {
+  // Round-robin over shards, holding one lock at a time; within a shard
+  // the lazy-deletion heap yields the shard-local best victim in O(log n).
+  // (Victim selection is best-in-shard, not best-overall — the standard
+  // sharded-LRU trade; uniform hashing keeps shards statistically alike.)
+  while (total_bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+    bool evicted_any = false;
+    size_t start = evict_cursor_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0;
+         i < shards_.size() &&
+         total_bytes_.load(std::memory_order_relaxed) > options_.max_bytes;
+         ++i) {
+      Shard& shard = *shards_[(start + i) % shards_.size()];
+      TimedLockGuard lock(shard.mu, ctx, "cache.intelligent.lock_wait_us");
+      while (total_bytes_.load(std::memory_order_relaxed) >
+             options_.max_bytes) {
+        std::shared_ptr<Entry> victim = shard.heap.PopVictim(options_.eviction);
+        if (victim == nullptr) break;  // shard drained
+        RemoveLocked(shard, victim);
+        total_bytes_.fetch_sub(victim->usage.bytes,
+                               std::memory_order_relaxed);
+        stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+        evicted_any = true;
       }
     }
-    auto it = by_key_.find(victim_key);
-    std::shared_ptr<Entry> victim = it->second;
-    total_bytes_ -= victim->usage.bytes;
-    by_key_.erase(it);
-    std::string bucket_key =
-        victim->descriptor.data_source + "\x1f" + victim->descriptor.view;
-    auto& bucket = buckets_[bucket_key];
-    bucket.erase(std::remove(bucket.begin(), bucket.end(), victim),
-                 bucket.end());
-    ++stats_.evictions;
+    if (!evicted_any) break;  // every shard empty; nothing left to drop
   }
 }
 
 void IntelligentCache::InvalidateDataSource(const std::string& data_source) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto bit = buckets_.begin(); bit != buckets_.end();) {
-    const std::string& key = bit->first;
-    std::string src = key.substr(0, key.find('\x1f'));
-    if (src == data_source) {
-      for (const std::shared_ptr<Entry>& entry : bit->second) {
-        total_bytes_ -= entry->usage.bytes;
-        by_key_.erase(entry->descriptor.ToKeyString());
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto bit = shard.buckets.begin(); bit != shard.buckets.end();) {
+      const std::string& key = bit->first;
+      std::string src = key.substr(0, key.find('\x1f'));
+      if (src == data_source) {
+        for (const std::shared_ptr<Entry>& entry : bit->second) {
+          entry->evicted = true;
+          shard.by_key.erase(entry->key);
+          shard.bytes -= entry->usage.bytes;
+          total_bytes_.fetch_sub(entry->usage.bytes,
+                                 std::memory_order_relaxed);
+          stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+        }
+        bit = shard.buckets.erase(bit);
+      } else {
+        ++bit;
       }
-      bit = buckets_.erase(bit);
-    } else {
-      ++bit;
     }
   }
 }
 
 void IntelligentCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  buckets_.clear();
-  by_key_.clear();
-  total_bytes_ = 0;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.by_key) entry->evicted = true;
+    total_bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    shard.by_key.clear();
+    shard.buckets.clear();
+    shard.heap.Clear();
+    shard.bytes = 0;
+  }
+  stats_.exact_hits.store(0, std::memory_order_relaxed);
+  stats_.derived_hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.inserts.store(0, std::memory_order_relaxed);
+  stats_.invalidations.store(0, std::memory_order_relaxed);
+}
+
+CacheStats IntelligentCache::stats() const {
+  CacheStats out;
+  out.exact_hits = stats_.exact_hits.load(std::memory_order_relaxed);
+  out.derived_hits = stats_.derived_hits.load(std::memory_order_relaxed);
+  out.misses = stats_.misses.load(std::memory_order_relaxed);
+  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.inserts = stats_.inserts.load(std::memory_order_relaxed);
+  out.invalidations = stats_.invalidations.load(std::memory_order_relaxed);
+  return out;
 }
 
 int64_t IntelligentCache::num_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(by_key_.size());
+  int64_t n = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += static_cast<int64_t>(shard->by_key.size());
+  }
+  return n;
+}
+
+std::vector<int64_t> IntelligentCache::ShardOccupancy() const {
+  std::vector<int64_t> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.push_back(static_cast<int64_t>(shard->by_key.size()));
+  }
+  return out;
 }
 
 std::vector<IntelligentCache::Snapshot> IntelligentCache::TakeSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Snapshot> out;
-  out.reserve(by_key_.size());
-  for (const auto& [key, entry] : by_key_) {
-    out.push_back(Snapshot{entry->descriptor, entry->result,
-                           entry->usage.eval_cost_ms});
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->by_key) {
+      out.push_back(Snapshot{entry->descriptor, *entry->result,
+                             entry->usage.eval_cost_ms});
+    }
   }
   return out;
 }

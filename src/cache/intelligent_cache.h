@@ -27,6 +27,7 @@
 #ifndef VIZQUERY_CACHE_INTELLIGENT_CACHE_H_
 #define VIZQUERY_CACHE_INTELLIGENT_CACHE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "src/cache/eviction.h"
+#include "src/cache/sharding.h"
 #include "src/common/exec_context.h"
 #include "src/common/result_table.h"
 #include "src/query/abstract_query.h"
@@ -110,6 +112,9 @@ struct IntelligentCacheOptions {
   int64_t max_result_bytes = 64 << 20;
   MatchStrategy strategy = MatchStrategy::kFirstMatch;
   EvictionConfig eviction;
+  // Lock striping width; normalized to a power of two in [1, 256], 0 =
+  // default (16). One shard degenerates to the old single-mutex cache.
+  int num_shards = 0;
 };
 
 struct CacheStats {
@@ -118,16 +123,39 @@ struct CacheStats {
   int64_t misses = 0;
   int64_t evictions = 0;
   int64_t inserts = 0;
+  int64_t invalidations = 0;  // entries purged by InvalidateDataSource
   int64_t hits() const { return exact_hits + derived_hits; }
 };
 
+// An intelligent-cache hit. `table` is an immutable snapshot shared with
+// the cache (exact hits) or freshly post-processed (derived hits); either
+// way it is safe to hold without copying and never mutated by the cache.
+struct CacheHit {
+  std::shared_ptr<const ResultTable> table;
+  bool exact = false;
+};
+
+// Thread-safe, lock-striped. Shards are selected by the hash of the
+// (data_source, view) bucket key, so one lookup — exact probe plus
+// subsumption scan — touches exactly one shard mutex. Under the shard
+// lock only metadata work happens (map probes, MatchQueries over
+// descriptors, usage bumps); exact hits hand back a refcounted snapshot
+// and the expensive derived-hit roll-up (ApplyMatchPlan) runs on a
+// snapshotted entry after the lock is released.
 class IntelligentCache {
  public:
-  explicit IntelligentCache(IntelligentCacheOptions options = {})
-      : options_(options) {}
+  explicit IntelligentCache(IntelligentCacheOptions options = {});
 
-  // Looks up `q`; on a hit returns the post-processed result. Counts the
-  // outcome on `ctx` (cache.intelligent.exact_hit / derived_hit / miss).
+  // Looks up `q`; on a hit returns the shared (exact) or freshly
+  // post-processed (derived) result without copying row data. Counts the
+  // outcome on `ctx` (cache.intelligent.exact_hit / derived_hit / miss)
+  // and observes cache.intelligent.lock_wait_us / derived_apply_us.
+  std::optional<CacheHit> LookupHit(
+      const query::AbstractQuery& q,
+      const ExecContext& ctx = ExecContext::Background());
+
+  // Copying convenience wrapper over LookupHit; the copy happens outside
+  // any shard lock.
   std::optional<ResultTable> Lookup(
       const query::AbstractQuery& q,
       const ExecContext& ctx = ExecContext::Background());
@@ -141,13 +169,23 @@ class IntelligentCache {
   // §3.2: entries are purged when a connection to a data source is closed
   // or refreshed.
   void InvalidateDataSource(const std::string& data_source);
+  // Drops every entry AND resets stats: the cache is as-new, so hit-rate
+  // reporting starts from zero instead of mixing epochs.
   void Clear();
 
-  const CacheStats& stats() const { return stats_; }
-  int64_t total_bytes() const { return total_bytes_; }
+  CacheStats stats() const;
+  int64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
   int64_t num_entries() const;
 
-  // Persistence support: snapshot / restore every live entry.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Live entries per shard; lets tests and benches quantify imbalance.
+  std::vector<int64_t> ShardOccupancy() const;
+
+  // Persistence support: snapshot / restore every live entry. The
+  // snapshot is per-shard sequentially consistent (each shard is copied
+  // atomically; concurrent writers may land between shards).
   struct Snapshot {
     query::AbstractQuery descriptor;
     ResultTable result;
@@ -159,22 +197,51 @@ class IntelligentCache {
  private:
   struct Entry {
     query::AbstractQuery descriptor;
-    ResultTable result;
+    std::shared_ptr<const ResultTable> result;
     EntryUsage usage;
+    uint64_t heap_seq = 0;  // bumped per usage change (lazy heap deletion)
+    bool evicted = false;   // left the maps; heap nodes must skip it
+    std::string key;        // descriptor.ToKeyString(), cached
+    std::string bucket_key;
   };
 
-  void EvictIfNeeded();
+  struct Shard {
+    mutable std::mutex mu;
+    // Exact-key fast path.
+    std::map<std::string, std::shared_ptr<Entry>> by_key;
+    // Bucketed by (data_source, view): the index that keeps subsumption
+    // scans from touching unrelated entries.
+    std::map<std::string, std::vector<std::shared_ptr<Entry>>> buckets;
+    EvictionHeap<Entry> heap;
+    int64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& bucket_key) {
+    return *shards_[ShardIndexFor(bucket_key,
+                                  static_cast<int>(shards_.size()))];
+  }
+
+  // Unlinks `entry` from the shard maps (shard lock held by caller).
+  void RemoveLocked(Shard& shard, const std::shared_ptr<Entry>& entry);
+  // Evicts shard-local victims round-robin until under budget. Must be
+  // called with NO shard lock held.
+  void EvictIfNeeded(const ExecContext& ctx);
 
   IntelligentCacheOptions options_;
-  mutable std::mutex mu_;
-  // Bucketed by (data_source, view): the index that keeps subsumption
-  // scans from touching unrelated entries.
-  std::map<std::string, std::vector<std::shared_ptr<Entry>>> buckets_;
-  // Exact-key fast path.
-  std::map<std::string, std::shared_ptr<Entry>> by_key_;
-  int64_t total_bytes_ = 0;
-  int64_t tick_ = 0;
-  CacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> tick_{0};
+  std::atomic<size_t> evict_cursor_{0};
+
+  struct AtomicStats {
+    std::atomic<int64_t> exact_hits{0};
+    std::atomic<int64_t> derived_hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> inserts{0};
+    std::atomic<int64_t> invalidations{0};
+  };
+  AtomicStats stats_;
 };
 
 }  // namespace vizq::cache

@@ -2,93 +2,164 @@
 
 namespace vizq::cache {
 
+LiteralCache::LiteralCache(LiteralCacheOptions options) : options_(options) {
+  int n = NormalizeShardCount(options_.num_shards);
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::shared_ptr<const ResultTable> LiteralCache::LookupShared(
+    const std::string& query_text, const ExecContext& ctx) {
+  int64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& shard = ShardFor(query_text);
+  {
+    TimedLockGuard lock(shard.mu, ctx, "cache.literal.lock_wait_us");
+    auto it = shard.entries.find(query_text);
+    if (it != shard.entries.end()) {
+      Entry& e = *it->second;
+      e.usage.last_used_tick = tick;
+      ++e.usage.hits;
+      ++e.heap_seq;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      ctx.Count("cache.literal.hit");
+      return e.result;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  ctx.Count("cache.literal.miss");
+  return nullptr;
+}
+
 std::optional<ResultTable> LiteralCache::Lookup(const std::string& query_text,
                                                 const ExecContext& ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++tick_;
-  auto it = entries_.find(query_text);
-  if (it == entries_.end()) {
-    ++misses_;
-    ctx.Count("cache.literal.miss");
-    return std::nullopt;
-  }
-  it->second.usage.last_used_tick = tick_;
-  ++it->second.usage.hits;
-  ++hits_;
-  ctx.Count("cache.literal.hit");
-  return it->second.result;
+  auto hit = LookupShared(query_text, ctx);
+  if (hit == nullptr) return std::nullopt;
+  return *hit;  // copy happens outside any shard lock
 }
 
 void LiteralCache::Put(const std::string& query_text, ResultTable result,
                        double eval_cost_ms, const std::string& data_source,
                        const ExecContext& ctx) {
   ctx.Count("cache.literal.insert_attempts");
-  std::lock_guard<std::mutex> lock(mu_);
-  ++tick_;
   if (eval_cost_ms < options_.min_eval_cost_ms) return;
   int64_t bytes = result.ApproxBytes();
   if (bytes > options_.max_result_bytes) return;
-  if (entries_.find(query_text) != entries_.end()) return;
+  int64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
 
-  Entry entry;
-  entry.result = std::move(result);
-  entry.data_source = data_source;
-  entry.usage.inserted_tick = tick_;
-  entry.usage.last_used_tick = tick_;
-  entry.usage.eval_cost_ms = eval_cost_ms;
-  entry.usage.bytes = bytes;
-  total_bytes_ += bytes;
-  entries_.emplace(query_text, std::move(entry));
-  EvictIfNeeded();
+  auto entry = std::make_shared<Entry>();
+  entry->result = std::make_shared<const ResultTable>(std::move(result));
+  entry->data_source = data_source;
+  entry->usage.inserted_tick = tick;
+  entry->usage.last_used_tick = tick;
+  entry->usage.eval_cost_ms = eval_cost_ms;
+  entry->usage.bytes = bytes;
+  entry->text = query_text;
+
+  Shard& shard = ShardFor(query_text);
+  {
+    TimedLockGuard lock(shard.mu, ctx, "cache.literal.lock_wait_us");
+    if (shard.entries.find(query_text) != shard.entries.end()) return;
+    shard.entries.emplace(query_text, entry);
+    shard.bytes += bytes;
+    shard.heap.Push(entry, options_.eviction);
+    if (ctx.metrics_enabled()) {
+      ctx.Observe("cache.literal.shard_occupancy",
+                  static_cast<double>(shard.entries.size()));
+    }
+  }
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  EvictIfNeeded(ctx);
 }
 
-void LiteralCache::EvictIfNeeded() {
-  while (total_bytes_ > options_.max_bytes && !entries_.empty()) {
-    auto victim = entries_.begin();
-    double victim_score =
-        EvictionScore(victim->second.usage, tick_, options_.eviction);
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      double score = EvictionScore(it->second.usage, tick_, options_.eviction);
-      if (score > victim_score) {
-        victim = it;
-        victim_score = score;
+void LiteralCache::EvictIfNeeded(const ExecContext& ctx) {
+  // One shard lock at a time; see IntelligentCache::EvictIfNeeded for the
+  // round-robin rationale.
+  while (total_bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+    bool evicted_any = false;
+    size_t start = evict_cursor_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0;
+         i < shards_.size() &&
+         total_bytes_.load(std::memory_order_relaxed) > options_.max_bytes;
+         ++i) {
+      Shard& shard = *shards_[(start + i) % shards_.size()];
+      TimedLockGuard lock(shard.mu, ctx, "cache.literal.lock_wait_us");
+      while (total_bytes_.load(std::memory_order_relaxed) >
+             options_.max_bytes) {
+        std::shared_ptr<Entry> victim = shard.heap.PopVictim(options_.eviction);
+        if (victim == nullptr) break;
+        victim->evicted = true;
+        shard.entries.erase(victim->text);
+        shard.bytes -= victim->usage.bytes;
+        total_bytes_.fetch_sub(victim->usage.bytes,
+                               std::memory_order_relaxed);
+        evicted_any = true;
       }
     }
-    total_bytes_ -= victim->second.usage.bytes;
-    entries_.erase(victim);
+    if (!evicted_any) break;
   }
 }
 
 void LiteralCache::InvalidateDataSource(const std::string& data_source) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.data_source == data_source) {
-      total_bytes_ -= it->second.usage.bytes;
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->second->data_source == data_source) {
+        it->second->evicted = true;
+        shard.bytes -= it->second->usage.bytes;
+        total_bytes_.fetch_sub(it->second->usage.bytes,
+                               std::memory_order_relaxed);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void LiteralCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  total_bytes_ = 0;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [text, entry] : shard.entries) entry->evicted = true;
+    total_bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    shard.entries.clear();
+    shard.heap.Clear();
+    shard.bytes = 0;
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
 }
 
 int64_t LiteralCache::num_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(entries_.size());
+  int64_t n = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += static_cast<int64_t>(shard->entries.size());
+  }
+  return n;
+}
+
+std::vector<int64_t> LiteralCache::ShardOccupancy() const {
+  std::vector<int64_t> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.push_back(static_cast<int64_t>(shard->entries.size()));
+  }
+  return out;
 }
 
 std::vector<LiteralCache::Snapshot> LiteralCache::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Snapshot> out;
-  out.reserve(entries_.size());
-  for (const auto& [text, entry] : entries_) {
-    out.push_back(Snapshot{text, entry.data_source, entry.result,
-                           entry.usage.eval_cost_ms});
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [text, entry] : shard->entries) {
+      out.push_back(Snapshot{text, entry->data_source, *entry->result,
+                             entry->usage.eval_cost_ms});
+    }
   }
   return out;
 }

@@ -4,17 +4,24 @@
 // performing complete query compilation" — e.g. two structurally different
 // queries that collapse to the same SQL after predicate simplification or
 // join culling.
+//
+// Thread-safe, lock-striped by the hash of the query text. Hits return a
+// refcounted snapshot of the stored result (no row copies under any
+// lock); eviction uses the shared lazy-deletion heap (sharding.h).
 
 #ifndef VIZQUERY_CACHE_LITERAL_CACHE_H_
 #define VIZQUERY_CACHE_LITERAL_CACHE_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/cache/eviction.h"
+#include "src/cache/sharding.h"
 #include "src/common/exec_context.h"
 #include "src/common/result_table.h"
 
@@ -25,17 +32,27 @@ struct LiteralCacheOptions {
   double min_eval_cost_ms = 0.0;
   int64_t max_result_bytes = 64 << 20;
   EvictionConfig eviction;
+  // Lock striping width; normalized to a power of two in [1, 256], 0 =
+  // default (16).
+  int num_shards = 0;
 };
 
 class LiteralCache {
  public:
-  explicit LiteralCache(LiteralCacheOptions options = {})
-      : options_(options) {}
+  explicit LiteralCache(LiteralCacheOptions options = {});
 
-  // Counts the outcome on `ctx` (cache.literal.hit / miss).
+  // Shared-snapshot lookup: a hit bumps a refcount instead of copying the
+  // rows. Counts the outcome on `ctx` (cache.literal.hit / miss) and
+  // observes cache.literal.lock_wait_us.
+  std::shared_ptr<const ResultTable> LookupShared(
+      const std::string& query_text,
+      const ExecContext& ctx = ExecContext::Background());
+
+  // Copying convenience wrapper; the copy happens outside any shard lock.
   std::optional<ResultTable> Lookup(
       const std::string& query_text,
       const ExecContext& ctx = ExecContext::Background());
+
   void Put(const std::string& query_text, ResultTable result,
            double eval_cost_ms, const std::string& data_source = "",
            const ExecContext& ctx = ExecContext::Background());
@@ -43,12 +60,20 @@ class LiteralCache {
   // Purges entries recorded against `data_source` (connection close /
   // refresh semantics, §3.2).
   void InvalidateDataSource(const std::string& data_source);
+  // Drops every entry AND resets hit/miss/invalidation counters.
   void Clear();
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
   int64_t num_entries() const;
-  int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::vector<int64_t> ShardOccupancy() const;
 
   struct Snapshot {
     std::string query_text;
@@ -61,20 +86,36 @@ class LiteralCache {
 
  private:
   struct Entry {
-    ResultTable result;
+    std::shared_ptr<const ResultTable> result;
     std::string data_source;
     EntryUsage usage;
+    uint64_t heap_seq = 0;
+    bool evicted = false;
+    std::string text;  // owning copy of the key, for map removal
   };
 
-  void EvictIfNeeded();
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<Entry>> entries;
+    EvictionHeap<Entry> heap;
+    int64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& text) {
+    return *shards_[ShardIndexFor(text, static_cast<int>(shards_.size()))];
+  }
+
+  // Must be called with NO shard lock held.
+  void EvictIfNeeded(const ExecContext& ctx);
 
   LiteralCacheOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  int64_t total_bytes_ = 0;
-  int64_t tick_ = 0;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> tick_{0};
+  std::atomic<size_t> evict_cursor_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
 };
 
 }  // namespace vizq::cache

@@ -93,10 +93,10 @@ StatusOr<ResultTable> QueryService::ExecuteRemote(const ExecContext& ctx,
                         compiler->Compile(q, options.compiler, domains));
 
   if (options.use_literal_cache && caches_ != nullptr) {
-    auto hit = caches_->literal.Lookup(cq.sql, ctx);
-    if (hit.has_value()) {
+    auto hit = caches_->literal.LookupShared(cq.sql, ctx);
+    if (hit != nullptr) {
       if (literal_hit != nullptr) *literal_hit = true;
-      return *std::move(hit);
+      return *hit;  // copy outside the cache's shard lock
     }
   }
   compile_span.End();
@@ -161,16 +161,13 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   std::vector<int> misses;
   for (int i = 0; i < n; ++i) {
     if (options.use_intelligent_cache && caches_ != nullptr) {
-      int64_t exact_before = caches_->intelligent.stats().exact_hits;
-      auto hit = caches_->intelligent.Lookup(batch[i], bctx);
+      auto hit = caches_->intelligent.LookupHit(batch[i], bctx);
       if (hit.has_value()) {
-        results[i] = *std::move(hit);
+        results[i] = *hit->table;  // copy outside the cache's shard lock
         resolved[i] = true;
-        bool exact =
-            caches_->intelligent.stats().exact_hits > exact_before;
         local_report.queries[i].served_from =
-            exact ? ServedFrom::kIntelligentCacheExact
-                  : ServedFrom::kIntelligentCacheDerived;
+            hit->exact ? ServedFrom::kIntelligentCacheExact
+                       : ServedFrom::kIntelligentCacheDerived;
         ++local_report.cache_hits;
         continue;
       }

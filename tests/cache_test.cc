@@ -383,6 +383,242 @@ TEST(DistributedTest, SecondNodeStaysWarm) {
   EXPECT_GE(tier->hits(), 1);
 }
 
+// --- Null-semantics differential tests (engine vs cache-derived) ---
+// The TDE engine skips NULLs in COUNTD and rejects NULL rows in IN-set
+// filters; cache post-processing must agree or derived hits silently
+// diverge from remote execution.
+
+class NullSemanticsEnv {
+ public:
+  NullSemanticsEnv()
+      : source_(std::make_shared<federation::TdeDataSource>(
+            "nulltde", vizq::testing::MakeNullableTestDatabase(512))),
+        truth_service_(source_, nullptr) {
+    (void)truth_service_.RegisterTableView("orders");
+  }
+
+  ResultTable Truth(const AbstractQuery& q) {
+    BatchOptions opts;
+    opts.use_intelligent_cache = false;
+    opts.use_literal_cache = false;
+    opts.fuse_queries = false;
+    opts.analyze_batch = false;
+    opts.adjust.decompose_avg = false;
+    auto result = truth_service_.ExecuteQuery(q, opts);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? *result : ResultTable();
+  }
+
+  std::shared_ptr<federation::DataSource> source_;
+  QueryService truth_service_;
+};
+
+TEST(NullSemanticsTest, DerivedCountDistinctSkipsNullDimensionValues) {
+  NullSemanticsEnv env;
+  AbstractQuery stored = QueryBuilder("nulltde", "orders")
+                             .Dim("region")
+                             .Dim("product")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .Build();
+  ResultTable stored_truth = env.Truth(stored);
+  // The fixture must actually exercise the null path: at least one group
+  // with a NULL product per the generator's 20% null rate.
+  bool has_null_dim = false;
+  for (int64_t r = 0; r < stored_truth.num_rows(); ++r) {
+    if (stored_truth.at(r, 1).is_null()) has_null_dim = true;
+  }
+  ASSERT_TRUE(has_null_dim) << "fixture lost its null dimension values";
+
+  IntelligentCache cache;
+  cache.Put(stored, stored_truth, 10.0);
+  AbstractQuery request = QueryBuilder("nulltde", "orders")
+                              .Dim("region")
+                              .Agg(AggFunc::kCountDistinct, "product", "nd")
+                              .Build();
+  auto hit = cache.Lookup(request);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cache.stats().derived_hits, 1);
+  // A COUNTD that counted the null group would be +1 on every row with a
+  // null-bearing region; the engine's answer is the spec.
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit, env.Truth(request)))
+      << hit->ToCsv() << "\nvs engine:\n" << env.Truth(request).ToCsv();
+}
+
+TEST(NullSemanticsTest, DerivedInSetFilterRejectsNullRows) {
+  NullSemanticsEnv env;
+  AbstractQuery stored = QueryBuilder("nulltde", "orders")
+                             .Dim("region")
+                             .Dim("product")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .Agg(AggFunc::kCount, "units", "n")
+                             .Build();
+  IntelligentCache cache;
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  // A predicate set containing a NULL literal must not admit NULL rows:
+  // SQL IN uses =, and NULL = NULL is not true. The engine enforces this;
+  // the residual post-filter has to match it.
+  AbstractQuery request =
+      QueryBuilder("nulltde", "orders")
+          .Dim("region")
+          .Agg(AggFunc::kSum, "units", "total")
+          .Agg(AggFunc::kCount, "units", "n")
+          .FilterIn("product", {Value("apple"), Value("banana"), Value::Null()})
+          .Build();
+  auto hit = cache.Lookup(request);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cache.stats().derived_hits, 1);
+  EXPECT_TRUE(ResultTable::SameUnordered(*hit, env.Truth(request)))
+      << hit->ToCsv() << "\nvs engine:\n" << env.Truth(request).ToCsv();
+}
+
+// --- Stats lifecycle (Clear / InvalidateDataSource observability) ---
+
+TEST(IntelligentCacheTest, ClearResetsStatsAndInvalidationsAreCounted) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery q = BaseQuery();
+  cache.Put(q, env.Truth(q), 10.0);
+  (void)cache.Lookup(q);                             // exact hit
+  (void)cache.Lookup(QueryBuilder("tde", "other").Dim("x").Build());  // miss
+  EXPECT_EQ(cache.stats().exact_hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().inserts, 1);
+
+  cache.InvalidateDataSource("tde");
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.total_bytes(), 0);
+
+  cache.Put(q, env.Truth(q), 10.0);
+  cache.Clear();
+  // Post-clear the cache reports as-new: hit-rate accounting restarts.
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.exact_hits, 0);
+  EXPECT_EQ(s.derived_hits, 0);
+  EXPECT_EQ(s.misses, 0);
+  EXPECT_EQ(s.inserts, 0);
+  EXPECT_EQ(s.invalidations, 0);
+  EXPECT_EQ(s.hits(), 0);
+  EXPECT_EQ(cache.num_entries(), 0);
+  EXPECT_EQ(cache.total_bytes(), 0);
+  // And counting resumes from zero.
+  cache.Put(q, env.Truth(q), 10.0);
+  (void)cache.Lookup(q);
+  EXPECT_EQ(cache.stats().exact_hits, 1);
+}
+
+TEST(LiteralCacheTest, ClearResetsCountersAndInvalidationsAreCounted) {
+  LiteralCache cache;
+  ResultTable t(std::vector<ResultColumn>{{"x", DataType::Int64()}});
+  t.AddRow({Value(int64_t{1})});
+  cache.Put("SELECT 1", t, 5.0, "src");
+  cache.Put("SELECT 2", t, 5.0, "src");
+  cache.Put("SELECT 3", t, 5.0, "other");
+  (void)cache.Lookup("SELECT 1");
+  (void)cache.Lookup("SELECT nope");
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+
+  cache.InvalidateDataSource("src");
+  EXPECT_EQ(cache.invalidations(), 2);
+  EXPECT_EQ(cache.num_entries(), 1);
+
+  cache.Clear();
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_EQ(cache.invalidations(), 0);
+  EXPECT_EQ(cache.num_entries(), 0);
+  EXPECT_EQ(cache.total_bytes(), 0);
+}
+
+// --- Sharded-layout behavior ---
+
+TEST(IntelligentCacheTest, LookupHitSharesSnapshotsWithoutCopying) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery q = BaseQuery();
+  cache.Put(q, env.Truth(q), 10.0);
+
+  auto first = cache.LookupHit(q);
+  auto second = cache.LookupHit(q);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(first->exact);
+  EXPECT_TRUE(second->exact);
+  // Exact hits share one immutable snapshot: a refcount bump, not a copy.
+  EXPECT_EQ(first->table.get(), second->table.get());
+
+  AbstractQuery rolled = QueryBuilder("tde", "sales")
+                             .Dim("region")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .Build();
+  auto derived = cache.LookupHit(rolled);
+  ASSERT_TRUE(derived.has_value());
+  EXPECT_FALSE(derived->exact);
+  EXPECT_TRUE(ResultTable::SameUnordered(*derived->table, env.Truth(rolled)));
+}
+
+TEST(IntelligentCacheTest, SnapshotRestoreRoundTripsAcrossShardLayouts) {
+  CacheTestEnv env;
+  IntelligentCacheOptions wide;
+  wide.num_shards = 32;
+  IntelligentCache cache(wide);
+  // Entries across several (data_source, view) buckets → several shards.
+  std::vector<AbstractQuery> queries;
+  for (int v = 0; v < 6; ++v) {
+    AbstractQuery q = BaseQuery();
+    q.view = "sales_v" + std::to_string(v);
+    q.Canonicalize();
+    queries.push_back(q);
+    cache.Put(q, env.Truth(BaseQuery()), 10.0 + v);
+  }
+  EXPECT_EQ(cache.num_entries(), 6);
+  EXPECT_EQ(cache.num_shards(), 32);
+  int64_t occupied = 0;
+  for (int64_t n : cache.ShardOccupancy()) occupied += n;
+  EXPECT_EQ(occupied, 6);
+
+  auto snapshot = cache.TakeSnapshot();
+  ASSERT_EQ(snapshot.size(), 6u);
+
+  // Restore into a cache with a different stripe width: the layout is an
+  // implementation detail, the entries must all come back.
+  IntelligentCacheOptions narrow;
+  narrow.num_shards = 2;
+  IntelligentCache restored(narrow);
+  restored.Restore(std::move(snapshot));
+  EXPECT_EQ(restored.num_entries(), 6);
+  EXPECT_EQ(restored.total_bytes(), cache.total_bytes());
+  for (const AbstractQuery& q : queries) {
+    auto hit = restored.LookupHit(q);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->exact);
+  }
+}
+
+TEST(LiteralCacheTest, SnapshotRestoreRoundTripsAcrossShardLayouts) {
+  LiteralCacheOptions wide;
+  wide.num_shards = 32;
+  LiteralCache cache(wide);
+  ResultTable t(std::vector<ResultColumn>{{"x", DataType::Int64()}});
+  t.AddRow({Value(int64_t{7})});
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("SELECT " + std::to_string(i), t, 5.0, "src");
+  }
+  auto snapshot = cache.TakeSnapshot();
+  ASSERT_EQ(snapshot.size(), 10u);
+
+  LiteralCacheOptions narrow;
+  narrow.num_shards = 1;
+  LiteralCache restored(narrow);
+  restored.Restore(std::move(snapshot));
+  EXPECT_EQ(restored.num_entries(), 10);
+  EXPECT_EQ(restored.total_bytes(), cache.total_bytes());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(restored.Lookup("SELECT " + std::to_string(i)).has_value());
+  }
+}
+
 // Parameterized sweep: every (stored granularity, requested granularity,
 // filter) combination answered from cache must equal direct execution.
 struct SweepCase {

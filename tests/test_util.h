@@ -83,6 +83,47 @@ inline std::shared_ptr<tde::Database> MakeTestDatabase(int64_t sales_rows = 4096
   return db;
 }
 
+// "orders" table with NULLs sprinkled into a dimension (product) and a
+// measure (units): the fixture for engine-vs-cache differential tests of
+// null semantics (COUNTD, IN-set filtering).
+inline std::shared_ptr<tde::Table> MakeNullableOrdersTable(
+    int64_t rows = 512, uint64_t seed = 11) {
+  using namespace vizq::tde;
+  std::vector<ColumnInfo> schema = {
+      {"region", DataType::String()},
+      {"product", DataType::String()},
+      {"units", DataType::Int64()},
+  };
+  const char* regions[] = {"East", "North", "South", "West"};
+  const char* products[] = {"apple", "banana", "cherry", "date", "elder"};
+  TableBuilder builder("orders", schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<Value> row;
+    row.emplace_back(Value(regions[rng.Below(4)]));
+    // ~20% null products: every region group sees null dimension values.
+    if (rng.Chance(0.2)) {
+      row.emplace_back(Value::Null());
+    } else {
+      row.emplace_back(Value(products[rng.Below(5)]));
+    }
+    if (rng.Chance(0.1)) {
+      row.emplace_back(Value::Null());
+    } else {
+      row.emplace_back(Value(static_cast<int64_t>(rng.Range(0, 50))));
+    }
+    (void)builder.AddRow(row);
+  }
+  return *builder.Finish();
+}
+
+inline std::shared_ptr<tde::Database> MakeNullableTestDatabase(
+    int64_t rows = 512) {
+  auto db = std::make_shared<tde::Database>("nulldb");
+  (void)db->AddTable(MakeNullableOrdersTable(rows));
+  return db;
+}
+
 }  // namespace vizq::testing
 
 #endif  // VIZQUERY_TESTS_TEST_UTIL_H_
