@@ -282,7 +282,11 @@ StatusOr<ResultTable> ApplyMatchPlan(const ResultTable& stored,
       if (!row_passes(r)) continue;
       std::string key;
       for (size_t i = 0; i < ndims; ++i) {
-        key += stored.at(r, plan.dim_columns[i]).ToString();
+        const Value& v = stored.at(r, plan.dim_columns[i]);
+        // Tag nulls out-of-band: ToString renders NULL as "NULL", which a
+        // genuine string value can collide with.
+        key += v.is_null() ? '\x00' : '\x01';
+        key += v.ToString();
         key += '\x1f';
       }
       auto [it, inserted] = groups.try_emplace(key);
@@ -346,6 +350,21 @@ StatusOr<ResultTable> ApplyMatchPlan(const ResultTable& stored,
           }
         }
       }
+    }
+
+    if (ndims == 0 && groups.empty()) {
+      // Scalar aggregate over an empty (or fully filtered-out) input still
+      // produces exactly one row: counts are 0, everything else is NULL —
+      // matching the engine's scalar-aggregation rule.
+      ResultTable::Row row;
+      for (size_t mi = 0; mi < plan.measures.size(); ++mi) {
+        AggFunc f = requested.measures[mi].func;
+        bool is_count = f == AggFunc::kCount || f == AggFunc::kCountStar ||
+                        f == AggFunc::kCountDistinct;
+        row.push_back(is_count ? Value(static_cast<int64_t>(0))
+                               : Value::Null());
+      }
+      out.AddRow(std::move(row));
     }
 
     for (auto& [key, g] : groups) {
@@ -479,12 +498,30 @@ query::AbstractQuery AdjustForReuse(const query::AbstractQuery& q,
     }
   }
   if (options.add_filter_dimensions) {
+    bool widened = false;
     for (const query::ColumnPredicate& p : adjusted.filters.predicates) {
       bool present = false;
       for (const std::string& d : adjusted.dimensions) {
         if (d == p.column) present = true;
       }
-      if (!present) adjusted.dimensions.push_back(p.column);
+      if (!present) {
+        adjusted.dimensions.push_back(p.column);
+        widened = true;
+      }
+    }
+    if (widened) {
+      // The widened result serves the original through a roll-up. Every
+      // re-aggregable measure survives that, but COUNTD does not — distinct
+      // counts cannot be re-aggregated across groups — so its column must
+      // also be kept as a dimension for the kCountDistinctDim derivation.
+      for (const Measure& m : q.measures) {
+        if (m.func != AggFunc::kCountDistinct) continue;
+        bool present = false;
+        for (const std::string& d : adjusted.dimensions) {
+          if (d == m.column) present = true;
+        }
+        if (!present) adjusted.dimensions.push_back(m.column);
+      }
     }
     // Extra dimensions make a top-n meaningless remotely; fetch untruncated.
     adjusted.order_by.clear();

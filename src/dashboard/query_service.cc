@@ -92,11 +92,30 @@ StatusOr<ResultTable> QueryService::ExecuteRemote(const ExecContext& ctx,
   VIZQ_ASSIGN_OR_RETURN(query::CompiledQuery cq,
                         compiler->Compile(q, options.compiler, domains));
 
+  // When the backend cannot order/limit, the compiled SQL carries neither —
+  // several logical queries (different ORDER BY/LIMIT, or none) share that
+  // SQL text. The literal cache must therefore store the backend's
+  // untruncated result, and local top-n is applied after lookup the same
+  // way it is after execution; caching the truncated rows under the
+  // orderless key would replay them for the other queries.
+  auto apply_local_topn = [&](ResultTable table) -> ResultTable {
+    AbstractQuery unlimited = q;
+    unlimited.order_by.clear();
+    unlimited.limit = 0;
+    auto plan = cache::MatchQueries(unlimited, table.columns(), q);
+    if (!plan.has_value()) return table;
+    auto processed = cache::ApplyMatchPlan(table, *plan, q);
+    if (!processed.ok()) return table;
+    return *std::move(processed);
+  };
+
   if (options.use_literal_cache && caches_ != nullptr) {
     auto hit = caches_->literal.LookupShared(cq.sql, ctx);
     if (hit != nullptr) {
       if (literal_hit != nullptr) *literal_hit = true;
-      return *hit;  // copy outside the cache's shard lock
+      ResultTable copy = *hit;  // copy outside the cache's shard lock
+      if (cq.requires_local_topn) return apply_local_topn(std::move(copy));
+      return copy;
     }
   }
   compile_span.End();
@@ -115,23 +134,14 @@ StatusOr<ResultTable> QueryService::ExecuteRemote(const ExecContext& ctx,
   submit_span.End();
   if (!result.ok()) return result.status();
 
-  // Local top-n when the backend could not order/limit.
-  if (cq.requires_local_topn) {
-    // The fetched result has the full rows; reuse the cache post-processor
-    // to apply ordering and limit.
-    AbstractQuery unlimited = q;
-    unlimited.order_by.clear();
-    unlimited.limit = 0;
-    auto plan = cache::MatchQueries(unlimited, result->columns(), q);
-    if (plan.has_value()) {
-      auto processed = cache::ApplyMatchPlan(*result, *plan, q);
-      if (processed.ok()) *result = *std::move(processed);
-    }
-  }
-
+  // Cache the untruncated rows (keyed on the SQL actually sent), then apply
+  // the local top-n the backend could not.
   if (options.use_literal_cache && caches_ != nullptr) {
     caches_->literal.Put(cq.sql, *result, info.total_ms, source_->name(),
                          ctx);
+  }
+  if (cq.requires_local_topn) {
+    *result = apply_local_topn(*std::move(result));
   }
   return result;
 }

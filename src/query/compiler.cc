@@ -1,7 +1,10 @@
 #include "src/query/compiler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+
+#include "src/common/rng.h"
 
 namespace vizq::query {
 
@@ -113,8 +116,19 @@ StatusOr<CompiledQuery> QueryCompiler::Compile(
     }
     if (externalize) {
       TempTableSpec spec;
-      spec.name = dialect_.temp_table_prefix + "in_" + p.column + "_" +
-                  std::to_string(temps.size());
+      // Content-addressed name: sessions reuse temp tables by name (and the
+      // pool routes queries toward connections that already hold them), so
+      // the name must change whenever the enumerated set does — otherwise a
+      // later query with a different IN-list on the same column silently
+      // joins against the earlier query's values.
+      uint64_t content_hash = p.values.size();
+      for (const Value& v : p.values) {
+        content_hash = HashCombine(content_hash, v.Hash());
+      }
+      char hex[17];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(content_hash));
+      spec.name = dialect_.temp_table_prefix + "in_" + p.column + "_" + hex;
       spec.column = "v";
       spec.source_column = p.column;
       auto tit = column_types_.find(p.column);

@@ -1,0 +1,381 @@
+#include "src/testing/lanes.h"
+
+#include <set>
+#include <utility>
+
+#include "src/cache/intelligent_cache.h"
+#include "src/common/rng.h"
+#include "src/federation/data_source.h"
+#include "src/federation/simulated_source.h"
+#include "src/testing/reference_oracle.h"
+
+namespace vizq::testing {
+
+namespace {
+
+using dashboard::BatchOptions;
+using dashboard::BatchReport;
+using dashboard::QueryService;
+using dashboard::ServedFrom;
+using query::AbstractQuery;
+using query::Measure;
+
+// A latency model where every wait rounds to zero: the backend executes
+// correctly but imposes no timing, keeping bounded fuzz runs fast.
+federation::PerformanceModel InstantModel() {
+  federation::PerformanceModel m;
+  m.connect_ms = 0;
+  m.dispatch_ms = 0;
+  m.rows_per_ms = 1e9;
+  m.network_rtt_ms = 0;
+  m.rows_per_ms_network = 1e9;
+  m.temp_table_row_ms = 0;
+  m.session_ddl_lock_ms = 0;
+  return m;
+}
+
+// A model slow enough that single-digit-millisecond deadlines interrupt
+// queries at every stage (connect, admission, work, transfer).
+federation::PerformanceModel SlowModel() {
+  federation::PerformanceModel m;
+  m.connect_ms = 1.0;
+  m.dispatch_ms = 0.5;
+  m.rows_per_ms = 50.0;
+  m.network_rtt_ms = 0.5;
+  m.rows_per_ms_network = 500.0;
+  return m;
+}
+
+std::unique_ptr<QueryService> MakeService(
+    std::shared_ptr<federation::DataSource> source,
+    std::shared_ptr<dashboard::CacheStack> caches, const std::string& table) {
+  auto service = std::make_unique<QueryService>(std::move(source),
+                                                std::move(caches));
+  (void)service->RegisterTableView(table);
+  return service;
+}
+
+}  // namespace
+
+AbstractQuery GeneralizeForDerivedHit(const AbstractQuery& q,
+                                      const Dataset& ds) {
+  AbstractQuery g = q;
+  g.order_by.clear();
+  g.limit = 0;
+  g.filters.predicates.clear();
+
+  auto add_dim = [&](const std::string& column) {
+    for (const std::string& d : g.dimensions) {
+      if (d == column) return;
+    }
+    g.dimensions.push_back(column);
+  };
+  // Residual filtering is only possible over grouped columns.
+  for (const query::ColumnPredicate& p : q.filters.predicates) {
+    add_dim(p.column);
+  }
+  // COUNTD derives from a stored dimension.
+  for (const Measure& m : q.measures) {
+    if (m.func == AggFunc::kCountDistinct) add_dim(m.column);
+  }
+  // One extra unused dimension (when the schema has one) forces the hit
+  // through the roll-up path.
+  for (const std::string& d : ds.dim_columns) {
+    bool used = false;
+    for (const std::string& have : g.dimensions) {
+      if (have == d) used = true;
+    }
+    if (!used) {
+      g.dimensions.push_back(d);
+      break;
+    }
+  }
+
+  std::vector<Measure> measures;
+  std::set<std::string> seen;
+  auto add_measure = [&](Measure m) {
+    m.alias.clear();  // canonical alias; matching is by (func, column)
+    if (seen.insert(m.ToKeyString()).second) measures.push_back(std::move(m));
+  };
+  for (const Measure& m : q.measures) {
+    if (m.func == AggFunc::kAvg) {
+      // Stored as a re-aggregable SUM + COUNT pair.
+      add_measure(Measure{AggFunc::kSum, m.column, ""});
+      add_measure(Measure{AggFunc::kCount, m.column, ""});
+    } else {
+      add_measure(m);
+    }
+  }
+  add_measure(Measure{AggFunc::kCountStar, "", ""});
+  g.measures = std::move(measures);
+  g.Canonicalize();
+  return g;
+}
+
+ExecutionLanes::ExecutionLanes(Dataset dataset, LaneSetupOptions options)
+    : dataset_(std::move(dataset)), options_(options) {
+  table_ = *dataset_.db->GetTable(dataset_.table);
+
+  truth_opts_.use_intelligent_cache = false;
+  truth_opts_.use_literal_cache = false;
+  truth_opts_.analyze_batch = false;
+  truth_opts_.fuse_queries = false;
+  truth_opts_.concurrent = false;
+  truth_opts_.adjust.decompose_avg = false;
+  truth_opts_.adjust.add_filter_dimensions = false;
+
+  auto tde_source = [&] {
+    return std::make_shared<federation::TdeDataSource>(
+        kFuzzDataSource, dataset_.db, tde::QueryOptions::Serial());
+  };
+  truth_service_ = MakeService(tde_source(), nullptr, dataset_.table);
+  literal_service_ = MakeService(
+      tde_source(), std::make_shared<dashboard::CacheStack>(), dataset_.table);
+  batch_service_ = MakeService(
+      tde_source(), std::make_shared<dashboard::CacheStack>(), dataset_.table);
+
+  if (options_.include_federated) {
+    auto mssql = std::make_shared<federation::SimulatedDataSource>(
+        kFuzzDataSource, dataset_.db, InstantModel(),
+        query::Capabilities::SingleThreadedSql(), query::SqlDialect::MssqlLike());
+    fed_mssql_ = MakeService(std::move(mssql),
+                             std::make_shared<dashboard::CacheStack>(),
+                             dataset_.table);
+    // Legacy driver: no temp tables, no top-n — but with the IN-list cap
+    // lifted so large enumerations stay inline instead of erroring.
+    query::Capabilities legacy = query::Capabilities::LegacyFileDriver();
+    legacy.max_in_list = 100000;
+    auto legacy_src = std::make_shared<federation::SimulatedDataSource>(
+        kFuzzDataSource, dataset_.db, InstantModel(), legacy,
+        query::SqlDialect::MysqlLike());
+    fed_legacy_ = MakeService(std::move(legacy_src),
+                              std::make_shared<dashboard::CacheStack>(),
+                              dataset_.table);
+  }
+  if (options_.deadline_lane) {
+    auto slow = std::make_shared<federation::SimulatedDataSource>(
+        kFuzzDataSource, dataset_.db, SlowModel(),
+        query::Capabilities::SingleThreadedSql(), query::SqlDialect::Ansi());
+    deadline_service_ = MakeService(std::move(slow), nullptr, dataset_.table);
+  }
+}
+
+StatusOr<OraclePair> ExecutionLanes::OracleFor(const AbstractQuery& q) {
+  std::string key = q.ToKeyString();
+  auto it = oracle_memo_.find(key);
+  if (it != oracle_memo_.end()) return it->second;
+  OraclePair pair;
+  VIZQ_ASSIGN_OR_RETURN(pair.limited, OracleExecute(*table_, q));
+  AbstractQuery unlimited = q;
+  unlimited.order_by.clear();
+  unlimited.limit = 0;
+  VIZQ_ASSIGN_OR_RETURN(pair.unlimited, OracleExecute(*table_, unlimited));
+  oracle_memo_.emplace(std::move(key), pair);
+  return pair;
+}
+
+StatusOr<ResultTable> ExecutionLanes::ExecuteTruth(const AbstractQuery& q) {
+  return truth_service_->ExecuteQuery(q, truth_opts_);
+}
+
+void ExecutionLanes::Check(const std::string& lane, const AbstractQuery& q,
+                           const StatusOr<ResultTable>& result,
+                           std::vector<LaneCheck>* out) {
+  ++checks_run_;
+  std::string key = q.ToKeyString();
+  if (!result.ok()) {
+    out->push_back(LaneCheck{lane, false,
+                             "execution failed: " + result.status().ToString(),
+                             key});
+    return;
+  }
+  auto oracle = OracleFor(q);
+  if (!oracle.ok()) {
+    out->push_back(LaneCheck{lane, false,
+                             "oracle failed: " + oracle.status().ToString(),
+                             key});
+    return;
+  }
+  DiffResult diff = DiffForQuery(oracle->limited, oracle->unlimited, *result,
+                                 q, options_.diff);
+  out->push_back(LaneCheck{lane, diff.equivalent, diff.message, key});
+}
+
+std::vector<LaneCheck> ExecutionLanes::RunQuery(const AbstractQuery& q,
+                                                uint64_t lane_seed) {
+  std::vector<LaneCheck> out;
+  Rng rng(HashCombine(lane_seed, 0x1a7e5));
+
+  // --- plain engine ---
+  StatusOr<ResultTable> direct = ExecuteTruth(q);
+  Check("tde_direct", q, direct, &out);
+
+  // --- fuzzer self-test: a bumped aggregate cell must be flagged ---
+  if (options_.inject_offby_one && direct.ok()) {
+    ResultTable bumped = *direct;
+    bool did = false;
+    for (int64_t r = 0; r < bumped.num_rows() && !did; ++r) {
+      for (int c = static_cast<int>(q.dimensions.size());
+           c < bumped.num_columns() && !did; ++c) {
+        const Value& v = bumped.at(r, c);
+        if (v.is_null()) continue;
+        ResultTable::Row row = bumped.row(r);
+        if (v.is_int()) {
+          row[c] = Value(v.int_value() + 1);
+        } else if (v.is_double()) {
+          row[c] = Value(v.double_value() + 1.0);
+        } else {
+          continue;
+        }
+        ResultTable replaced(std::vector<ResultColumn>(bumped.columns()));
+        for (int64_t i = 0; i < bumped.num_rows(); ++i) {
+          replaced.AddRow(i == r ? row : bumped.row(i));
+        }
+        bumped = std::move(replaced);
+        did = true;
+      }
+    }
+    if (did) Check("injected_offby_one", q, bumped, &out);
+  }
+
+  // --- intelligent-cache derived hit ---
+  {
+    AbstractQuery g = GeneralizeForDerivedHit(q, dataset_);
+    StatusOr<ResultTable> stored = ExecuteTruth(g);
+    if (!stored.ok()) {
+      out.push_back(LaneCheck{"derived_hit", false,
+                              "generalized store failed: " +
+                                  stored.status().ToString(),
+                              q.ToKeyString()});
+    } else {
+      cache::IntelligentCache cache;
+      cache.Put(g, *stored, 100.0);
+      auto hit = cache.LookupHit(q);
+      if (!hit.has_value()) {
+        out.push_back(LaneCheck{
+            "derived_hit", false,
+            "no cache hit for query generalized as " + g.ToKeyString(),
+            q.ToKeyString()});
+      } else {
+        Check("derived_hit", q, ResultTable(*hit->table), &out);
+      }
+    }
+  }
+
+  // --- literal cache: miss, then replay ---
+  {
+    BatchOptions opts = truth_opts_;
+    opts.use_literal_cache = true;
+    opts.adjust.decompose_avg = true;
+    BatchReport first_report, replay_report;
+    auto first = literal_service_->ExecuteBatch({q}, opts, &first_report);
+    Check("literal_first", q,
+          first.ok() ? StatusOr<ResultTable>((*first)[0])
+                     : StatusOr<ResultTable>(first.status()),
+          &out);
+    auto replay = literal_service_->ExecuteBatch({q}, opts, &replay_report);
+    Check("literal_replay", q,
+          replay.ok() ? StatusOr<ResultTable>((*replay)[0])
+                      : StatusOr<ResultTable>(replay.status()),
+          &out);
+    if (replay.ok() &&
+        replay_report.queries[0].served_from != ServedFrom::kLiteralCache) {
+      out.push_back(LaneCheck{
+          "literal_replay", false,
+          std::string("expected literal-cache hit on replay, served from ") +
+              dashboard::ServedFromToString(
+                  replay_report.queries[0].served_from),
+          q.ToKeyString()});
+    }
+  }
+
+  // --- federated backends ---
+  if (fed_mssql_ != nullptr) {
+    BatchOptions opts = truth_opts_;
+    opts.use_literal_cache = true;
+    opts.compiler.externalize_threshold = 16;
+    Check("fed_mssql", q, fed_mssql_->ExecuteQuery(q, opts), &out);
+  }
+  if (fed_legacy_ != nullptr) {
+    BatchOptions opts = truth_opts_;
+    opts.use_literal_cache = true;
+    Check("fed_legacy", q, fed_legacy_->ExecuteQuery(q, opts), &out);
+  }
+
+  // --- deadline: either a correct table or a clean deadline error ---
+  if (deadline_service_ != nullptr) {
+    static const double kBudgetsMs[] = {0.0, 1.0, 2.0, 5.0, 10.0};
+    double budget = kBudgetsMs[rng.Below(5)];
+    ExecContext ctx = ExecContext::WithDeadlineMs(budget);
+    auto result = deadline_service_->ExecuteQuery(ctx, q, truth_opts_);
+    ++checks_run_;
+    if (result.ok()) {
+      auto oracle = OracleFor(q);
+      if (!oracle.ok()) {
+        out.push_back(LaneCheck{"deadline", false,
+                                "oracle failed: " + oracle.status().ToString(),
+                                q.ToKeyString()});
+      } else {
+        DiffResult diff = DiffForQuery(oracle->limited, oracle->unlimited,
+                                       *result, q, options_.diff);
+        if (!diff.equivalent) {
+          out.push_back(LaneCheck{
+              "deadline", false,
+              "ok status with wrong rows under deadline: " + diff.message,
+              q.ToKeyString()});
+        } else {
+          out.push_back(LaneCheck{"deadline", true, "", q.ToKeyString()});
+        }
+      }
+    } else if (result.status().code() != StatusCode::kDeadlineExceeded &&
+               result.status().code() != StatusCode::kAborted) {
+      out.push_back(LaneCheck{
+          "deadline", false,
+          "unexpected error under deadline: " + result.status().ToString(),
+          q.ToKeyString()});
+    } else {
+      out.push_back(LaneCheck{"deadline", true, "", q.ToKeyString()});
+    }
+  }
+
+  return out;
+}
+
+std::vector<LaneCheck> ExecutionLanes::RunBatch(
+    const std::vector<AbstractQuery>& batch) {
+  std::vector<LaneCheck> out;
+  if (batch.empty()) return out;
+
+  BatchOptions fused;  // defaults: everything on
+  fused.adjust.add_filter_dimensions = true;
+  BatchReport report;
+  auto results = batch_service_->ExecuteBatch(batch, fused, &report);
+  if (!results.ok()) {
+    ++checks_run_;
+    out.push_back(LaneCheck{"batch_fused", false,
+                            "batch failed: " + results.status().ToString(),
+                            batch[0].ToKeyString()});
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Check("batch_fused", batch[i], (*results)[i], &out);
+    }
+  }
+
+  BatchOptions unfused = truth_opts_;
+  unfused.concurrent = true;
+  unfused.max_parallel_queries = 4;
+  auto serial = truth_service_->ExecuteBatch(batch, unfused, nullptr);
+  if (!serial.ok()) {
+    ++checks_run_;
+    out.push_back(LaneCheck{"batch_unfused", false,
+                            "batch failed: " + serial.status().ToString(),
+                            batch[0].ToKeyString()});
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Check("batch_unfused", batch[i], (*serial)[i], &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace vizq::testing

@@ -1,0 +1,264 @@
+#include "src/testing/reference_oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace vizq::testing {
+
+namespace {
+
+using query::AbstractQuery;
+using query::ColumnPredicate;
+using query::Measure;
+using query::OrderSpec;
+
+// Independent re-statement of the predicate contract: NULL satisfies
+// nothing; IN compares with Equals (a NULL literal in the set matches no
+// row); ranges compare with Value::Compare.
+bool PredicateAdmits(const Value& v, const ColumnPredicate& p) {
+  if (v.is_null()) return false;
+  if (p.kind == ColumnPredicate::Kind::kInSet) {
+    for (const Value& candidate : p.values) {
+      if (!candidate.is_null() && v.Equals(candidate)) return true;
+    }
+    return false;
+  }
+  if (p.lower.has_value()) {
+    int cmp = v.Compare(*p.lower);
+    if (cmp < 0 || (cmp == 0 && !p.lower_inclusive)) return false;
+  }
+  if (p.upper.has_value()) {
+    int cmp = v.Compare(*p.upper);
+    if (cmp > 0 || (cmp == 0 && !p.upper_inclusive)) return false;
+  }
+  return true;
+}
+
+struct RowLess {
+  bool operator()(const ResultTable::Row& a,
+                  const ResultTable::Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int cmp = a[i].Compare(b[i]);
+      if (cmp != 0) return cmp < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+// Naive per-group accumulator for one measure.
+struct Accumulator {
+  int64_t count = 0;        // non-null inputs seen (rows for COUNT(*))
+  int64_t sum_i = 0;        // integer SUM
+  double sum_d = 0;         // double SUM / AVG numerator
+  bool input_is_double = false;
+  Value extreme;            // MIN/MAX carrier, NULL until first input
+  std::set<Value> distinct;  // COUNTD
+};
+
+DataType OracleResultType(const Measure& m, const DataType& input) {
+  switch (m.func) {
+    case AggFunc::kSum:
+      return input.kind == TypeKind::kFloat64 ? DataType::Float64()
+                                              : DataType::Int64();
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return input;
+    case AggFunc::kAvg:
+      return DataType::Float64();
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+    case AggFunc::kCountDistinct:
+      return DataType::Int64();
+  }
+  return DataType::Int64();
+}
+
+void Accumulate(Accumulator& acc, const Measure& m, const Value& v) {
+  if (m.func == AggFunc::kCountStar) {
+    ++acc.count;
+    return;
+  }
+  if (v.is_null()) return;
+  ++acc.count;
+  switch (m.func) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (v.is_double()) {
+        acc.sum_d += v.double_value();
+        acc.input_is_double = true;
+      } else {
+        acc.sum_i += v.int_value();
+        acc.sum_d += static_cast<double>(v.int_value());
+      }
+      break;
+    case AggFunc::kMin:
+      if (acc.extreme.is_null() || v.Compare(acc.extreme) < 0) acc.extreme = v;
+      break;
+    case AggFunc::kMax:
+      if (acc.extreme.is_null() || v.Compare(acc.extreme) > 0) acc.extreme = v;
+      break;
+    case AggFunc::kCountDistinct:
+      acc.distinct.insert(v);
+      break;
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      break;  // count already bumped
+  }
+}
+
+Value Finalize(const Accumulator& acc, const Measure& m) {
+  switch (m.func) {
+    case AggFunc::kSum:
+      if (acc.count == 0) return Value::Null();
+      return acc.input_is_double ? Value(acc.sum_d) : Value(acc.sum_i);
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return acc.extreme;  // NULL when no non-null input
+    case AggFunc::kAvg:
+      if (acc.count == 0) return Value::Null();
+      return Value(acc.sum_d / static_cast<double>(acc.count));
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return Value(acc.count);
+    case AggFunc::kCountDistinct:
+      return Value(static_cast<int64_t>(acc.distinct.size()));
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+StatusOr<ResultTable> OracleAggregateRows(
+    const std::vector<ResultColumn>& input_columns,
+    const std::vector<ResultTable::Row>& input_rows,
+    const AbstractQuery& q) {
+  if (q.dimensions.empty() && q.measures.empty()) {
+    return InvalidArgument("oracle: query has neither dimensions nor measures");
+  }
+
+  std::map<std::string, int> by_name;
+  for (size_t i = 0; i < input_columns.size(); ++i) {
+    by_name[input_columns[i].name] = static_cast<int>(i);
+  }
+  auto resolve = [&](const std::string& name) -> StatusOr<int> {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return NotFound("oracle: column '" + name + "' not in input");
+    }
+    return it->second;
+  };
+
+  std::vector<int> dim_idx;
+  for (const std::string& d : q.dimensions) {
+    VIZQ_ASSIGN_OR_RETURN(int idx, resolve(d));
+    dim_idx.push_back(idx);
+  }
+  std::vector<int> measure_idx;  // -1 for COUNT(*)
+  for (const Measure& m : q.measures) {
+    if (m.func == AggFunc::kCountStar) {
+      measure_idx.push_back(-1);
+    } else {
+      VIZQ_ASSIGN_OR_RETURN(int idx, resolve(m.column));
+      measure_idx.push_back(idx);
+    }
+  }
+  std::vector<std::pair<int, const ColumnPredicate*>> filters;
+  for (const ColumnPredicate& p : q.filters.predicates) {
+    VIZQ_ASSIGN_OR_RETURN(int idx, resolve(p.column));
+    filters.emplace_back(idx, &p);
+  }
+
+  // Output schema.
+  std::vector<ResultColumn> out_cols;
+  for (size_t i = 0; i < q.dimensions.size(); ++i) {
+    out_cols.push_back(
+        ResultColumn{q.dimensions[i], input_columns[dim_idx[i]].type});
+  }
+  for (size_t i = 0; i < q.measures.size(); ++i) {
+    DataType input = measure_idx[i] >= 0 ? input_columns[measure_idx[i]].type
+                                         : DataType::Int64();
+    out_cols.push_back(ResultColumn{q.measures[i].EffectiveAlias(),
+                                    OracleResultType(q.measures[i], input)});
+  }
+  ResultTable out(std::move(out_cols));
+
+  // One pass: filter, group, accumulate.
+  std::map<ResultTable::Row, std::vector<Accumulator>, RowLess> groups;
+  const bool scalar = q.dimensions.empty() && !q.measures.empty();
+  if (scalar) {
+    // A scalar aggregate emits one row even over empty input.
+    groups.emplace(ResultTable::Row{},
+                   std::vector<Accumulator>(q.measures.size()));
+  }
+  for (const ResultTable::Row& row : input_rows) {
+    bool pass = true;
+    for (const auto& [idx, pred] : filters) {
+      if (!PredicateAdmits(row[idx], *pred)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    ResultTable::Row key;
+    key.reserve(dim_idx.size());
+    for (int idx : dim_idx) key.push_back(row[idx]);
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), q.measures.size());
+    for (size_t mi = 0; mi < q.measures.size(); ++mi) {
+      Value v = measure_idx[mi] >= 0 ? row[measure_idx[mi]] : Value::Null();
+      Accumulate(it->second[mi], q.measures[mi], v);
+    }
+  }
+
+  for (const auto& [key, accs] : groups) {
+    ResultTable::Row row = key;
+    for (size_t mi = 0; mi < q.measures.size(); ++mi) {
+      row.push_back(Finalize(accs[mi], q.measures[mi]));
+    }
+    out.AddRow(std::move(row));
+  }
+
+  // ORDER BY (stable; NULL first ascending, last descending) + LIMIT.
+  if (!q.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;
+    for (const OrderSpec& o : q.order_by) {
+      auto idx = out.FindColumn(o.by_alias);
+      if (!idx.has_value()) {
+        return InvalidArgument("oracle: order-by alias '" + o.by_alias +
+                               "' is not an output column");
+      }
+      keys.emplace_back(*idx, o.ascending);
+    }
+    std::vector<int64_t> order(out.num_rows());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      for (const auto& [col, asc] : keys) {
+        int cmp = out.at(a, col).Compare(out.at(b, col));
+        if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    ResultTable sorted(std::vector<ResultColumn>(out.columns()));
+    for (int64_t i : order) sorted.AddRow(out.row(i));
+    out = std::move(sorted);
+  }
+  if (q.has_limit() && out.num_rows() > q.limit) {
+    ResultTable limited(std::vector<ResultColumn>(out.columns()));
+    for (int64_t i = 0; i < q.limit; ++i) limited.AddRow(out.row(i));
+    out = std::move(limited);
+  }
+  return out;
+}
+
+StatusOr<ResultTable> OracleExecute(const tde::Table& table,
+                                    const AbstractQuery& q) {
+  std::vector<int> all_columns(table.num_columns());
+  std::iota(all_columns.begin(), all_columns.end(), 0);
+  ResultTable raw = table.Slice(0, table.num_rows(), all_columns);
+  return OracleAggregateRows(raw.columns(), raw.rows(), q);
+}
+
+}  // namespace vizq::testing

@@ -1,0 +1,49 @@
+// ReferenceOracle: a deliberately naive, row-at-a-time evaluator of
+// AbstractQuery against a TDE table, written independently of the TDE
+// operator code, the cache post-processors and the compiler. It is the
+// single source of truth the differential fuzzer diffs every execution
+// lane against.
+//
+// Semantics contract (see DESIGN.md §8):
+//   * Predicates use SQL three-valued logic collapsed to a boolean: a NULL
+//     cell satisfies no predicate — not even a NULL literal inside an
+//     IN-set. Range bounds compare with Value::Compare.
+//   * GROUP BY treats NULL as an ordinary key value: rows with a NULL
+//     dimension form their own group, and NULL==NULL for grouping.
+//   * Aggregates skip NULL inputs. COUNT(*) counts all rows; COUNT(c) and
+//     COUNTD(c) count non-null (distinct) values; SUM/MIN/MAX over zero
+//     non-null inputs are NULL; AVG is NULL when the non-null count is 0.
+//   * SUM over integer inputs accumulates in exact int64; over doubles in
+//     double.
+//   * A scalar aggregate (no dimensions) always emits exactly one row,
+//     even over an empty input relation.
+//   * A dimensions-only query returns the distinct dimension tuples
+//     (including NULL tuples).
+//   * ORDER BY sorts with Value::Compare — NULL first ascending, last
+//     descending — using a stable sort; LIMIT truncates after the sort.
+
+#ifndef VIZQUERY_TESTING_REFERENCE_ORACLE_H_
+#define VIZQUERY_TESTING_REFERENCE_ORACLE_H_
+
+#include "src/common/result_table.h"
+#include "src/common/status.h"
+#include "src/query/abstract_query.h"
+#include "src/tde/storage/table.h"
+
+namespace vizq::testing {
+
+// Evaluates `q` against `table` (schema columns referenced by name).
+// Ignores q.data_source/q.view — the caller picked the table.
+StatusOr<ResultTable> OracleExecute(const tde::Table& table,
+                                    const query::AbstractQuery& q);
+
+// Same, over an already-materialized row set (used by the metamorphic
+// roll-up check, which re-aggregates a lane's fine-grained result).
+StatusOr<ResultTable> OracleAggregateRows(
+    const std::vector<ResultColumn>& input_columns,
+    const std::vector<ResultTable::Row>& input_rows,
+    const query::AbstractQuery& q);
+
+}  // namespace vizq::testing
+
+#endif  // VIZQUERY_TESTING_REFERENCE_ORACLE_H_

@@ -1,0 +1,197 @@
+#include "src/testing/table_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace vizq::testing {
+
+namespace {
+
+bool ColumnsAgree(const ResultTable& expected, const ResultTable& actual,
+                  std::string* message) {
+  if (expected.num_columns() != actual.num_columns()) {
+    *message = "column count mismatch: expected " +
+               std::to_string(expected.num_columns()) + ", actual " +
+               std::to_string(actual.num_columns());
+    return false;
+  }
+  for (int i = 0; i < expected.num_columns(); ++i) {
+    if (expected.columns()[i].name != actual.columns()[i].name) {
+      *message = "column " + std::to_string(i) + " name mismatch: expected '" +
+                 expected.columns()[i].name + "', actual '" +
+                 actual.columns()[i].name + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RowsEquivalent(const ResultTable::Row& a, const ResultTable::Row& b,
+                    const DiffOptions& options) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!CellsEquivalent(a[i], b[i], options)) return false;
+  }
+  return true;
+}
+
+// Lexicographic row order via Value::Compare (NULL first, binary strings).
+bool RowLess(const ResultTable::Row& a, const ResultTable::Row& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    int cmp = a[i].Compare(b[i]);
+    if (cmp != 0) return cmp < 0;
+  }
+  return a.size() < b.size();
+}
+
+std::string RowToString(const ResultTable::Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].is_null() ? "NULL" : row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<ResultTable::Row> SortedRows(const ResultTable& t) {
+  std::vector<ResultTable::Row> rows = t.rows();
+  std::sort(rows.begin(), rows.end(), RowLess);
+  return rows;
+}
+
+}  // namespace
+
+bool CellsEquivalent(const Value& a, const Value& b,
+                     const DiffOptions& options) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  // Doubles (on either side) compare with tolerance; this also covers
+  // int-vs-double kind drift between lanes (e.g. a SUM surfaced as double
+  // by one lane and int by another).
+  if (a.is_double() || b.is_double()) {
+    if (!a.is_numeric() || !b.is_numeric()) return false;
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    if (std::isnan(x) || std::isnan(y)) return std::isnan(x) && std::isnan(y);
+    double diff = std::fabs(x - y);
+    double scale = std::max(std::fabs(x), std::fabs(y));
+    return diff <= options.abs_tol + options.rel_tol * scale;
+  }
+  return a.Equals(b);
+}
+
+DiffResult DiffTables(const ResultTable& expected, const ResultTable& actual,
+                      const DiffOptions& options) {
+  DiffResult r;
+  if (!ColumnsAgree(expected, actual, &r.message)) {
+    r.equivalent = false;
+    return r;
+  }
+  if (expected.num_rows() != actual.num_rows()) {
+    r.equivalent = false;
+    r.message = "row count mismatch: expected " +
+                std::to_string(expected.num_rows()) + ", actual " +
+                std::to_string(actual.num_rows());
+    return r;
+  }
+  // Canonical sort on both sides, then pairwise comparison with tolerance.
+  // Tolerances are far smaller than genuine value differences in any
+  // generated dataset, so nearly-equal rows sort to the same position.
+  std::vector<ResultTable::Row> exp = SortedRows(expected);
+  std::vector<ResultTable::Row> act = SortedRows(actual);
+  for (size_t i = 0; i < exp.size(); ++i) {
+    if (!RowsEquivalent(exp[i], act[i], options)) {
+      r.equivalent = false;
+      r.message = "row mismatch at canonical position " + std::to_string(i) +
+                  ": expected " + RowToString(exp[i]) + ", actual " +
+                  RowToString(act[i]);
+      return r;
+    }
+  }
+  return r;
+}
+
+DiffResult DiffTopN(const ResultTable& expected_limited,
+                    const ResultTable& expected_unlimited,
+                    const ResultTable& actual,
+                    const query::AbstractQuery& query,
+                    const DiffOptions& options) {
+  DiffResult r;
+  if (!ColumnsAgree(expected_limited, actual, &r.message)) {
+    r.equivalent = false;
+    return r;
+  }
+  if (expected_limited.num_rows() != actual.num_rows()) {
+    r.equivalent = false;
+    r.message = "row count mismatch: expected " +
+                std::to_string(expected_limited.num_rows()) + ", actual " +
+                std::to_string(actual.num_rows());
+    return r;
+  }
+
+  // Positional agreement on the order-by key columns: ties may swap rows,
+  // but the key sequence is fully determined by the ordering.
+  std::vector<int> key_cols;
+  for (const query::OrderSpec& o : query.order_by) {
+    auto idx = actual.FindColumn(o.by_alias);
+    if (!idx.has_value()) {
+      r.equivalent = false;
+      r.message = "order-by column '" + o.by_alias + "' missing from result";
+      return r;
+    }
+    key_cols.push_back(*idx);
+  }
+  for (int64_t i = 0; i < actual.num_rows(); ++i) {
+    for (int c : key_cols) {
+      if (!CellsEquivalent(expected_limited.at(i, c), actual.at(i, c),
+                           options)) {
+        r.equivalent = false;
+        r.message = "order-by key mismatch at row " + std::to_string(i) +
+                    " column '" + actual.columns()[c].name + "': expected " +
+                    expected_limited.at(i, c).ToString() + ", actual " +
+                    actual.at(i, c).ToString();
+        return r;
+      }
+    }
+  }
+
+  // Every actual row must be drawn from the unlimited reference result
+  // (multiset containment: a reference row serves at most one actual row).
+  std::vector<ResultTable::Row> pool = expected_unlimited.rows();
+  std::vector<char> used(pool.size(), 0);
+  for (int64_t i = 0; i < actual.num_rows(); ++i) {
+    bool found = false;
+    for (size_t j = 0; j < pool.size(); ++j) {
+      if (used[j]) continue;
+      if (RowsEquivalent(pool[j], actual.row(i), options)) {
+        used[j] = 1;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      r.equivalent = false;
+      r.message = "row " + std::to_string(i) + " = " +
+                  RowToString(actual.row(i)) +
+                  " does not appear in the unlimited reference result";
+      return r;
+    }
+  }
+  return r;
+}
+
+DiffResult DiffForQuery(const ResultTable& expected_limited,
+                        const ResultTable& expected_unlimited,
+                        const ResultTable& actual,
+                        const query::AbstractQuery& query,
+                        const DiffOptions& options) {
+  if (!query.order_by.empty() || query.has_limit()) {
+    return DiffTopN(expected_limited, expected_unlimited, actual, query,
+                    options);
+  }
+  return DiffTables(expected_limited, actual, options);
+}
+
+}  // namespace vizq::testing

@@ -1,0 +1,74 @@
+// Order-insensitive, tolerance-aware ResultTable comparison for the
+// differential fuzzer (and for hand-written tests via
+// tests/test_util.h::ExpectTablesEquivalent).
+//
+// Aggregate results come back in an unspecified row order (hash
+// aggregation), and floating-point measures accumulate in whatever order
+// the executing lane visited the rows — so equality here means "same
+// multiset of rows, numeric cells within tolerance". Integer cells compare
+// exactly (every lane computes them in exact int64 arithmetic); doubles
+// compare with a combined absolute + relative epsilon; NULL only matches
+// NULL.
+//
+// Top-n results need a weaker check: ties at the cut line may legally
+// differ between lanes. DiffTopN accepts any result whose order-by key
+// sequence matches the reference positionally and whose rows are all drawn
+// from the unlimited reference result.
+
+#ifndef VIZQUERY_TESTING_TABLE_DIFF_H_
+#define VIZQUERY_TESTING_TABLE_DIFF_H_
+
+#include <string>
+
+#include "src/common/result_table.h"
+#include "src/query/abstract_query.h"
+
+namespace vizq::testing {
+
+struct DiffOptions {
+  double abs_tol = 1e-9;
+  double rel_tol = 1e-9;
+};
+
+// Outcome of a comparison; `message` explains the first difference found.
+struct DiffResult {
+  bool equivalent = true;
+  std::string message;
+
+  explicit operator bool() const { return equivalent; }
+};
+
+// True when two cells are equivalent: NULL==NULL, exact for ints/bools/
+// strings, tolerance-aware when either side is a double.
+bool CellsEquivalent(const Value& a, const Value& b,
+                     const DiffOptions& options = {});
+
+// Order-insensitive multiset comparison. Column names must agree
+// positionally; row multisets must match cell-by-cell under
+// CellsEquivalent.
+DiffResult DiffTables(const ResultTable& expected, const ResultTable& actual,
+                      const DiffOptions& options = {});
+
+// Comparison for a query carrying order_by and/or a limit, where ties make
+// more than one answer correct. `expected_limited` is the reference result
+// with order/limit applied; `expected_unlimited` is the same query without
+// order/limit. Checks: same row count as `expected_limited`, positional
+// agreement on the order-by key columns, and every actual row present in
+// `expected_unlimited`.
+DiffResult DiffTopN(const ResultTable& expected_limited,
+                    const ResultTable& expected_unlimited,
+                    const ResultTable& actual,
+                    const query::AbstractQuery& query,
+                    const DiffOptions& options = {});
+
+// Dispatches to DiffTopN when the query has order_by/limit, DiffTables
+// otherwise.
+DiffResult DiffForQuery(const ResultTable& expected_limited,
+                        const ResultTable& expected_unlimited,
+                        const ResultTable& actual,
+                        const query::AbstractQuery& query,
+                        const DiffOptions& options = {});
+
+}  // namespace vizq::testing
+
+#endif  // VIZQUERY_TESTING_TABLE_DIFF_H_

@@ -147,15 +147,7 @@ TEST(IntelligentCacheTest, AvgDerivedFromSumAndCount) {
                               .Build();
   auto hit = cache.Lookup(request);
   ASSERT_TRUE(hit.has_value());
-  ResultTable truth = env.Truth(request);
-  ASSERT_EQ(hit->num_rows(), truth.num_rows());
-  ResultTable a = *hit, b = truth;
-  a.SortRowsByAllColumns();
-  b.SortRowsByAllColumns();
-  for (int64_t r = 0; r < a.num_rows(); ++r) {
-    EXPECT_EQ(a.at(r, 0).string_value(), b.at(r, 0).string_value());
-    EXPECT_NEAR(a.at(r, 1).AsDouble(), b.at(r, 1).AsDouble(), 1e-9);
-  }
+  EXPECT_TABLES_EQUIVALENT(env.Truth(request), *hit);
 }
 
 TEST(IntelligentCacheTest, CountDistinctFromDimension) {
@@ -672,25 +664,106 @@ TEST_P(CacheEquivalenceSweep, DerivedResultsMatchTruth) {
     return;
   }
   ASSERT_TRUE(hit.has_value());
-  ResultTable truth = env->Truth(requested);
-  ASSERT_EQ(hit->num_rows(), truth.num_rows());
-  ResultTable a = *hit, b = truth;
-  a.SortRowsByAllColumns();
-  b.SortRowsByAllColumns();
-  for (int64_t r = 0; r < a.num_rows(); ++r) {
-    for (int c = 0; c < a.num_columns(); ++c) {
-      if (a.at(r, c).is_double() || b.at(r, c).is_double()) {
-        EXPECT_NEAR(a.at(r, c).AsDouble(), b.at(r, c).AsDouble(), 1e-9);
-      } else {
-        EXPECT_TRUE(a.at(r, c).Equals(b.at(r, c)))
-            << a.at(r, c).ToString() << " vs " << b.at(r, c).ToString();
-      }
-    }
-  }
+  EXPECT_TABLES_EQUIVALENT(env->Truth(requested), *hit);
 }
 
 INSTANTIATE_TEST_SUITE_P(GranularityByFilter, CacheEquivalenceSweep,
                          ::testing::Range(0, 32));
+
+// Minimized from fuzz_differential (derived_hit lane): a scalar request
+// whose residual filter removes every stored group must still produce the
+// engine's single scalar row — counts 0, extremes/sums NULL — not an
+// empty table.
+TEST(IntelligentCacheTest, ScalarRollupOverEmptiedGroupsKeepsOneRow) {
+  CacheTestEnv env;
+  IntelligentCache cache;
+  AbstractQuery stored = QueryBuilder("tde", "sales")
+                             .Dim("region")
+                             .Agg(AggFunc::kMax, "product")
+                             .Agg(AggFunc::kCount, "units")
+                             .Build();
+  cache.Put(stored, env.Truth(stored), 10.0);
+
+  AbstractQuery request = QueryBuilder("tde", "sales")
+                              .Agg(AggFunc::kMax, "product")
+                              .Agg(AggFunc::kCount, "units")
+                              .FilterIn("region", {Value("Atlantis")})
+                              .Build();
+  auto hit = cache.Lookup(request);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->num_rows(), 1);
+  EXPECT_TRUE(hit->at(0, 0).is_null());
+  EXPECT_EQ(hit->at(0, 1).int_value(), 0);
+  EXPECT_TABLES_EQUIVALENT(env.Truth(request), *hit);
+}
+
+// Minimized from fuzz_differential: SQL NULL and the literal string
+// "NULL" are distinct group keys; the roll-up used to merge them because
+// its group key rendered both as the same text.
+TEST(IntelligentCacheTest, RollupKeepsNullAndLiteralNullStringApart) {
+  using namespace vizq::tde;
+  TableBuilder builder("t", {{"g", DataType::String()},
+                             {"h", DataType::String()},
+                             {"v", DataType::Int64()}});
+  (void)builder.AddRow({Value("a"), Value::Null(), Value(int64_t{1})});
+  (void)builder.AddRow({Value("a"), Value("NULL"), Value(int64_t{10})});
+  (void)builder.AddRow({Value("b"), Value::Null(), Value(int64_t{2})});
+  (void)builder.AddRow({Value("b"), Value("NULL"), Value(int64_t{20})});
+  auto db = std::make_shared<Database>("nullstr");
+  (void)db->AddTable(*builder.Finish());
+  auto source = std::make_shared<federation::TdeDataSource>(
+      "tde", db, QueryOptions::Serial());
+  QueryService service(source, nullptr);
+  ASSERT_TRUE(service.RegisterTableView("t").ok());
+  BatchOptions opts;
+  opts.use_intelligent_cache = false;
+  opts.use_literal_cache = false;
+  opts.fuse_queries = false;
+  opts.analyze_batch = false;
+  opts.adjust.decompose_avg = false;
+
+  AbstractQuery stored = QueryBuilder("tde", "t")
+                             .Dim("g")
+                             .Dim("h")
+                             .Agg(AggFunc::kSum, "v", "s")
+                             .Build();
+  AbstractQuery request =
+      QueryBuilder("tde", "t").Dim("h").Agg(AggFunc::kSum, "v", "s").Build();
+  auto stored_result = service.ExecuteQuery(stored, opts);
+  ASSERT_TRUE(stored_result.ok()) << stored_result.status();
+
+  IntelligentCache cache;
+  cache.Put(stored, *stored_result, 10.0);
+  auto hit = cache.Lookup(request);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->num_rows(), 2);  // one NULL group, one "NULL" group
+  auto truth = service.ExecuteQuery(request, opts);
+  ASSERT_TRUE(truth.ok()) << truth.status();
+  EXPECT_TABLES_EQUIVALENT(*truth, *hit);
+}
+
+// Minimized from fuzz_differential (batch_fused lane): widening a query
+// with its filter columns must keep COUNTD derivable — the COUNTD column
+// has to ride along as a dimension, because distinct counts cannot be
+// re-aggregated through the roll-up.
+TEST(AdjustForReuseTest, CountDistinctSurvivesFilterDimensionWidening) {
+  CacheTestEnv env;
+  AbstractQuery q = QueryBuilder("tde", "sales")
+                        .Agg(AggFunc::kCountDistinct, "product", "nd")
+                        .FilterIn("region", {Value("East"), Value("West")})
+                        .Build();
+  AdjustOptions options;
+  options.add_filter_dimensions = true;
+  AbstractQuery adjusted = AdjustForReuse(q, options);
+
+  ResultTable wide = env.Truth(adjusted);
+  auto plan = MatchQueries(adjusted, wide.columns(), q);
+  ASSERT_TRUE(plan.has_value())
+      << "widened query cannot serve the original: " << adjusted.ToKeyString();
+  auto derived = ApplyMatchPlan(wide, *plan, q);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+  EXPECT_TABLES_EQUIVALENT(env.Truth(q), *derived);
+}
 
 }  // namespace
 }  // namespace vizq::cache

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/common/thread_pool.h"
+#include "src/dashboard/query_service.h"
 #include "src/federation/connection_pool.h"
 #include "src/federation/simulated_source.h"
 #include "tests/test_util.h"
@@ -204,6 +205,112 @@ TEST(SimulatedSourceTest, ClosedConnectionRefusesWork) {
   query::CompiledQuery cq = CompileCount(*source);
   EXPECT_FALSE((*conn)->Execute(cq).ok());
   EXPECT_EQ(source->open_connections(), 0);
+}
+
+// A latency model whose waits all round to zero, for correctness-only tests.
+PerformanceModel InstantModel() {
+  PerformanceModel m;
+  m.connect_ms = 0;
+  m.dispatch_ms = 0;
+  m.rows_per_ms = 1e9;
+  m.network_rtt_ms = 0;
+  m.rows_per_ms_network = 1e9;
+  m.temp_table_row_ms = 0;
+  return m;
+}
+
+// Minimized from fuzz_differential (fed_legacy lane): a backend without
+// top-n support compiles ORDER BY/LIMIT variants to the same SQL text, so
+// the literal cache must hold the untruncated backend rows — with local
+// top-n applied after lookup — or one variant replays the other's rows.
+TEST(FederatedExecutionTest, LiteralCacheServesFullRowsUnderLocalTopn) {
+  auto source = std::make_shared<SimulatedDataSource>(
+      "legacy", vizq::testing::MakeTestDatabase(1024), InstantModel(),
+      query::Capabilities::LegacyFileDriver(), query::SqlDialect::MysqlLike());
+  auto caches = std::make_shared<dashboard::CacheStack>();
+  dashboard::QueryService service(source, caches);
+  ASSERT_TRUE(service.RegisterTableView("sales").ok());
+
+  dashboard::BatchOptions opts;
+  opts.use_intelligent_cache = false;
+  opts.fuse_queries = false;
+  opts.analyze_batch = false;
+
+  auto limited = QueryBuilder("legacy", "sales")
+                     .Dim("region")
+                     .CountAll("n")
+                     .OrderBy("region", true)
+                     .Limit(2)
+                     .Build();
+  auto unlimited =
+      QueryBuilder("legacy", "sales").Dim("region").CountAll("n").Build();
+
+  auto r1 = service.ExecuteQuery(limited, opts);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(r1->num_rows(), 2);
+
+  // The unlimited variant shares the SQL text; it must see all groups, not
+  // the truncated two rows the first call returned.
+  auto r2 = service.ExecuteQuery(unlimited, opts);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->num_rows(), 4);
+
+  // And the limited variant replayed from cache is still truncated.
+  auto r3 = service.ExecuteQuery(limited, opts);
+  ASSERT_TRUE(r3.ok()) << r3.status();
+  EXPECT_TABLES_EQUIVALENT(*r1, *r3);
+}
+
+// Minimized from fuzz_differential (metamorphic IN-split): sessions reuse
+// temp tables by name and the pool routes queries toward connections that
+// already hold them, so two different IN enumerations on the same column
+// must never compile to the same temp-table name.
+TEST(TempTableTest, ExternalizedInListsAreContentAddressed) {
+  auto source = std::make_shared<TdeDataSource>(
+      "tde", vizq::testing::MakeTestDatabase(1024));
+  query::ViewDefinition view;
+  view.name = "sales";
+  view.fact_table = "sales";
+  query::QueryCompiler compiler(view, source->capabilities(),
+                                source->dialect(), &source->catalog());
+  query::CompilerOptions copts;
+  copts.externalize_threshold = 2;
+
+  auto q1 = QueryBuilder("tde", "sales")
+                .Dim("region")
+                .CountAll("n")
+                .FilterIn("product",
+                          {Value("apple"), Value("banana"), Value("cherry")})
+                .Build();
+  auto q2 = QueryBuilder("tde", "sales")
+                .Dim("region")
+                .CountAll("n")
+                .FilterIn("product", {Value("apple"), Value("banana"),
+                                      Value("cherry"), Value("date"),
+                                      Value("elder")})
+                .Build();
+  auto cq1 = compiler.Compile(q1, copts, nullptr);
+  auto cq2 = compiler.Compile(q2, copts, nullptr);
+  ASSERT_TRUE(cq1.ok() && cq2.ok());
+  ASSERT_EQ(cq1->temp_tables.size(), 1u);
+  ASSERT_EQ(cq2->temp_tables.size(), 1u);
+  EXPECT_NE(cq1->temp_tables[0].name, cq2->temp_tables[0].name);
+  // Identical enumerations still share a name: that is the reuse win.
+  auto cq1b = compiler.Compile(q1, copts, nullptr);
+  ASSERT_TRUE(cq1b.ok());
+  EXPECT_EQ(cq1->temp_tables[0].name, cq1b->temp_tables[0].name);
+
+  // Same session, both queries: each must join against its own values.
+  auto conn = source->Connect();
+  ASSERT_TRUE(conn.ok());
+  auto r1 = (*conn)->Execute(*cq1, nullptr);
+  auto r2 = (*conn)->Execute(*cq2, nullptr);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  auto fresh = source->Connect();
+  ASSERT_TRUE(fresh.ok());
+  auto truth2 = (*fresh)->Execute(*cq2, nullptr);
+  ASSERT_TRUE(truth2.ok());
+  EXPECT_TABLES_EQUIVALENT(*truth2, *r2);
 }
 
 }  // namespace

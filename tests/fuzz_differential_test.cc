@@ -1,0 +1,105 @@
+// Bounded differential-fuzzer runs as tier-1 tests: every execution lane
+// must agree with the reference oracle over a fixed seed window, the
+// injected off-by-one self-test must be caught and minimized, and the
+// deadline lane must never return a partial-but-OK result.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/testing/dataset_gen.h"
+#include "src/testing/differential_fuzzer.h"
+#include "src/testing/lanes.h"
+#include "src/testing/query_gen.h"
+
+namespace vizq::testing {
+namespace {
+
+// The main bounded sweep: all lanes (TDE direct, derived hit, literal
+// first/replay, two federated backends, fused/unfused batch, deadline)
+// against the oracle. Deterministic: a failure here reprints the seeds
+// needed to replay it.
+TEST(DifferentialFuzz, AllLanesAgreeWithOracle) {
+  FuzzOptions options;
+  options.iterations = 60;
+  options.queries_per_iteration = 3;
+  FuzzReport report = RunDifferentialFuzz(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// A different seed exercises different dataset shapes (empty tables,
+// NULL-heavy columns, RLE runs) without growing the first test's budget.
+TEST(DifferentialFuzz, SecondSeedWindowAgrees) {
+  FuzzOptions options;
+  options.seed = 0xC0FFEE;
+  options.iterations = 40;
+  FuzzReport report = RunDifferentialFuzz(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.lane_checks, 0);
+}
+
+// Self-test: bumping one aggregate cell by one in a scratch lane must be
+// flagged, and the minimizer must shrink the offending query while the
+// shrunk query still fails the lane (proves seed-replay works).
+TEST(DifferentialFuzz, InjectedOffByOneIsCaughtAndMinimized) {
+  FuzzOptions options;
+  options.iterations = 10;
+  options.inject_offby_one = true;
+  options.max_failures = 3;
+  FuzzReport report = RunDifferentialFuzz(options);
+  ASSERT_FALSE(report.failures.empty());
+
+  bool found = false;
+  for (const FuzzFailure& f : report.failures) {
+    if (f.lane != "injected_offby_one") continue;
+    found = true;
+    // Replay from seeds alone: dataset seed + minimized query + lane seed
+    // must reproduce the failure on a fresh lane set.
+    Dataset ds = GenerateDataset(f.dataset_seed);
+    LaneSetupOptions lane_options;
+    lane_options.inject_offby_one = true;
+    std::string detail;
+    EXPECT_TRUE(LaneStillFails(ds, lane_options, f.minimized, f.lane,
+                               f.lane_seed, &detail))
+        << f.ToString();
+    // Minimization must not grow the query.
+    EXPECT_LE(f.minimized.ToKeyString().size(), f.query.ToKeyString().size());
+  }
+  EXPECT_TRUE(found) << report.Summary();
+}
+
+// Satellite (c): under an aggressive deadline the outcome is either a
+// fully correct table or kDeadlineExceeded/kAborted — RunQuery's deadline
+// lane fails the check otherwise. Run it many times across datasets.
+TEST(DifferentialFuzz, DeadlineLaneNeverReturnsPartialOk) {
+  Rng rng(77);
+  for (uint64_t ds_seed : {1ULL, 2ULL, 3ULL}) {
+    Dataset ds = GenerateDataset(ds_seed);
+    LaneSetupOptions lane_options;
+    lane_options.include_federated = false;  // deadline lane only needs truth
+    ExecutionLanes lanes(ds, lane_options);
+    for (int i = 0; i < 8; ++i) {
+      query::AbstractQuery q = GenerateQuery(ds, rng);
+      for (const LaneCheck& c : lanes.RunQuery(q, HashCombine(ds_seed, i))) {
+        if (c.lane != "deadline") continue;
+        EXPECT_TRUE(c.ok) << "dataset_seed=" << ds_seed << " query "
+                          << q.ToKeyString() << ": " << c.detail;
+      }
+    }
+  }
+}
+
+// The generator must be deterministic: same seed, same campaign.
+TEST(DifferentialFuzz, SeedReproducibility) {
+  Dataset a = GenerateDataset(42);
+  Dataset b = GenerateDataset(42);
+  ASSERT_EQ(a.rows, b.rows);
+
+  Rng ra(99), rb(99);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(GenerateQuery(a, ra).ToKeyString(),
+              GenerateQuery(b, rb).ToKeyString());
+  }
+}
+
+}  // namespace
+}  // namespace vizq::testing

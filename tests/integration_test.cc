@@ -16,6 +16,7 @@
 #include "src/server/data_server.h"
 #include "src/workload/faa_generator.h"
 #include "src/workload/flights_dashboards.h"
+#include "tests/test_util.h"
 
 namespace vizq {
 namespace {
@@ -82,8 +83,7 @@ TEST(IntegrationTest, CsvToDashboardThroughDataServer) {
   ASSERT_TRUE(viewer_results.ok());
   EXPECT_EQ(viewer_report.remote_queries, 0) << viewer_report.Summary();
   for (size_t i = 0; i < results->size(); ++i) {
-    EXPECT_TRUE(
-        ResultTable::SameUnordered((*results)[i], (*viewer_results)[i]));
+    EXPECT_TABLES_EQUIVALENT((*results)[i], (*viewer_results)[i]);
   }
 
   // 5. The restricted user sees only CA destinations.

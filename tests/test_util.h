@@ -8,12 +8,30 @@
 #include <string>
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "src/common/rng.h"
 #include "src/tde/engine.h"
 #include "src/tde/storage/database.h"
 #include "src/tde/storage/table.h"
+#include "src/testing/table_diff.h"
 
 namespace vizq::testing {
+
+// Order-insensitive, tolerance-aware result comparison (table_diff.h):
+// rows are matched canonically, int cells exactly, doubles within
+// DiffOptions tolerances, NULL only equal to NULL. Use wherever row order
+// is not part of the contract under test.
+inline ::testing::AssertionResult TablesEquivalent(
+    const ResultTable& expected, const ResultTable& actual,
+    const DiffOptions& options = DiffOptions{}) {
+  DiffResult diff = DiffTables(expected, actual, options);
+  if (diff.equivalent) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << diff.message;
+}
+
+#define EXPECT_TABLES_EQUIVALENT(expected, actual) \
+  EXPECT_TRUE(::vizq::testing::TablesEquivalent((expected), (actual)))
 
 // Builds the "sales" table: region (string, 4 values), product (string,
 // 8 values), units (int), price (float), day (date-ish int). Sorted by

@@ -1,0 +1,109 @@
+// Standalone driver for the differential query fuzzer (src/testing).
+//
+// Bounded tier-1 run (also registered as the `fuzz_differential` ctest):
+//   fuzz_differential --iterations 200
+// Unbounded soak with an explicit seed:
+//   fuzz_differential --iterations 20000 --seed 12345
+//
+// Exits 0 when every lane agreed with the oracle, 1 otherwise; each
+// failure is printed with its seeds and a minimized query so it can be
+// replayed (see src/testing/differential_fuzzer.h for the recipe).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/testing/differential_fuzzer.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iterations N] [--seed S] [--queries N]\n"
+               "          [--dataset-every N] [--max-failures N]\n"
+               "          [--no-federated] [--no-deadline] [--no-metamorphic]\n"
+               "          [--no-minimize] [--inject]\n",
+               argv0);
+}
+
+bool ParseInt64(const char* s, int64_t* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vizq::testing::FuzzOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_int = [&](int64_t* out) {
+      if (i + 1 >= argc || !ParseInt64(argv[++i], out)) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+    };
+    int64_t v = 0;
+    if (std::strcmp(arg, "--iterations") == 0) {
+      next_int(&v);
+      options.iterations = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      next_int(&v);
+      options.seed = static_cast<uint64_t>(v);
+    } else if (std::strcmp(arg, "--queries") == 0) {
+      next_int(&v);
+      options.queries_per_iteration = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--dataset-every") == 0) {
+      next_int(&v);
+      options.dataset_every = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--max-failures") == 0) {
+      next_int(&v);
+      options.max_failures = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--no-federated") == 0) {
+      options.include_federated = false;
+    } else if (std::strcmp(arg, "--no-deadline") == 0) {
+      options.deadline_lane = false;
+    } else if (std::strcmp(arg, "--no-metamorphic") == 0) {
+      options.metamorphic = false;
+    } else if (std::strcmp(arg, "--no-minimize") == 0) {
+      options.minimize = false;
+    } else if (std::strcmp(arg, "--inject") == 0) {
+      options.inject_offby_one = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("fuzz_differential: seed=%llu iterations=%d queries/iter=%d\n",
+              static_cast<unsigned long long>(options.seed),
+              options.iterations, options.queries_per_iteration);
+  std::fflush(stdout);
+
+  vizq::testing::FuzzReport report =
+      vizq::testing::RunDifferentialFuzz(options);
+  std::printf("%s\n", report.Summary().c_str());
+
+  if (options.inject_offby_one) {
+    // Self-test mode: the run must catch the injected off-by-one.
+    bool caught = false;
+    for (const auto& f : report.failures) {
+      if (f.lane == "injected_offby_one") caught = true;
+    }
+    if (!caught) {
+      std::printf("SELF-TEST FAILED: injected off-by-one was not detected\n");
+      return 1;
+    }
+    std::printf("self-test: injected off-by-one detected and minimized\n");
+    return 0;
+  }
+  return report.ok() ? 0 : 1;
+}
