@@ -23,13 +23,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 #include "src/cache/eviction.h"
 #include "src/cache/intelligent_cache.h"
@@ -333,6 +340,153 @@ void BM_ModeledScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_ModeledScaling)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --emit-json=PATH: machine-readable bench record (BENCH_cache.json) so
+// the throughput/p95 trajectory is tracked across PRs. Self-timed (no
+// google-benchmark harness): per thread count, every thread issues the
+// mixed workload against one shared sharded cache and logs per-op
+// latency; the run also measures the marginal cost of the global
+// MetricsRegistry on the exact-hit hot path (acceptance: < 5%).
+
+struct MixedRunResult {
+  int threads = 0;
+  double ops_per_s = 0;
+  double p95_us = 0;
+};
+
+MixedRunResult RunMixedThreads(int num_threads, int ops_per_thread) {
+  IntelligentCacheOptions options;
+  options.num_shards = 16;
+  IntelligentCache cache(options);
+  Prepopulate(cache);
+  ResultTable fresh = StoredResult();
+
+  std::vector<std::vector<double>> latencies_us(num_threads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    latencies_us[t].reserve(ops_per_thread);
+    threads.emplace_back([&, t] {
+      Rng rng(t + 101);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < ops_per_thread; ++i) {
+        double roll = rng.NextDouble();
+        int view = static_cast<int>(rng.Below(kNumViews));
+        int64_t t0 = NowNs();
+        if (roll < 0.70) {
+          benchmark::DoNotOptimize(cache.LookupHit(StoredQuery(view)));
+        } else if (roll < 0.85) {
+          benchmark::DoNotOptimize(cache.LookupHit(RollupQuery(view)));
+        } else if (roll < 0.95) {
+          benchmark::DoNotOptimize(
+              cache.LookupHit(MissQuery(static_cast<int>(rng.Below(100000)))));
+        } else {
+          cache.Put(StoredQuery(view), fresh, 25.0);
+        }
+        latencies_us[t].push_back(static_cast<double>(NowNs() - t0) / 1000.0);
+      }
+    });
+  }
+  int64_t start = NowNs();
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+  double wall_s = static_cast<double>(NowNs() - start) / 1e9;
+
+  std::vector<double> all;
+  for (const auto& v : latencies_us) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  MixedRunResult out;
+  out.threads = num_threads;
+  out.ops_per_s = static_cast<double>(all.size()) / wall_s;
+  out.p95_us = all.empty()
+                   ? 0
+                   : all[static_cast<size_t>(0.95 * (all.size() - 1))];
+  return out;
+}
+
+// ns/op for a single-threaded exact-hit loop under `ctx`.
+double MeasureExactHitNs(IntelligentCache& cache, const ExecContext& ctx,
+                         int ops) {
+  Rng rng(7);
+  int64_t start = NowNs();
+  for (int i = 0; i < ops; ++i) {
+    benchmark::DoNotOptimize(
+        cache.LookupHit(StoredQuery(static_cast<int>(rng.Below(kNumViews))),
+                        ctx));
+  }
+  return static_cast<double>(NowNs() - start) / ops;
+}
+
+int EmitJson(const std::string& path) {
+  constexpr int kOpsPerThread = 20000;
+  const int thread_counts[] = {1, 2, 4, 8, 16};
+  std::vector<MixedRunResult> runs;
+  for (int t : thread_counts) {
+    runs.push_back(RunMixedThreads(t, kOpsPerThread));
+    std::fprintf(stderr, "  mixed %2d threads: %.0f ops/s, p95 %.2f us\n",
+                 runs.back().threads, runs.back().ops_per_s,
+                 runs.back().p95_us);
+  }
+
+  // Registry hot-path overhead: exact-hit loop with per-request metrics
+  // on, with vs without the global sink forwarding. Warm-up first so
+  // instrument creation is not billed to either side.
+  IntelligentCacheOptions options;
+  options.num_shards = 16;
+  IntelligentCache cache(options);
+  Prepopulate(cache);
+  constexpr int kOverheadOps = 200000;
+  ExecContext ctx;
+  (void)obs::GlobalMetrics();  // ensure instruments exist
+  MeasureExactHitNs(cache, ctx, 10000);
+  SetGlobalMetricsSink(nullptr);
+  double ns_no_sink = MeasureExactHitNs(cache, ctx, kOverheadOps);
+  SetGlobalMetricsSink(&obs::GlobalMetrics());
+  double ns_with_sink = MeasureExactHitNs(cache, ctx, kOverheadOps);
+  double overhead_pct = 100.0 * (ns_with_sink - ns_no_sink) / ns_no_sink;
+  std::fprintf(stderr,
+               "  registry overhead: %.1f ns/op -> %.1f ns/op (%.2f%%)\n",
+               ns_no_sink, ns_with_sink, overhead_pct);
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  char buf[256];
+  f << "{\n  \"bench\": \"cache_concurrency\",\n"
+    << "  \"workload\": \"mixed 70% exact / 15% derived / 10% miss / 5% put,"
+    << " sharded16\",\n  \"ops_per_thread\": " << kOpsPerThread
+    << ",\n  \"threads\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"ops_per_s\": %.0f, "
+                  "\"p95_us\": %.3f}%s\n",
+                  runs[i].threads, runs[i].ops_per_s, runs[i].p95_us,
+                  i + 1 < runs.size() ? "," : "");
+    f << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"registry_overhead\": {\"exact_hit_ns_no_sink\": "
+                "%.1f, \"exact_hit_ns_with_sink\": %.1f, "
+                "\"overhead_pct\": %.2f}\n}\n",
+                ns_no_sink, ns_with_sink, overhead_pct);
+  f << buf;
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return overhead_pct < 5.0 ? 0 : 2;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
+      return EmitJson(argv[i] + 12);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -62,13 +62,37 @@ bool RowPassesPredicate(const Value& v, const ColumnPredicate& p) {
 
 }  // namespace
 
+const char* MissReasonToString(MissReason r) {
+  switch (r) {
+    case MissReason::kNone: return "none";
+    case MissReason::kNoCandidate: return "no_candidate";
+    case MissReason::kStoredTopN: return "stored_topn";
+    case MissReason::kDimensionNotStored: return "dimension_not_stored";
+    case MissReason::kFiltersNotImplied: return "filters_not_implied";
+    case MissReason::kResidualNotGrouped: return "residual_not_grouped";
+    case MissReason::kMeasureNotDerivable: return "measure_not_derivable";
+    case MissReason::kPostProcessFailed: return "post_process_failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// `return Fail(reason, out)` from MatchQueries: records why and misses.
+std::nullopt_t Fail(MissReason r, MissReason* out) {
+  if (out != nullptr) *out = r;
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::optional<MatchPlan> MatchQueries(
     const AbstractQuery& stored,
     const std::vector<ResultColumn>& stored_columns,
-    const AbstractQuery& requested) {
+    const AbstractQuery& requested, MissReason* reason) {
   if (stored.data_source != requested.data_source ||
       stored.view != requested.view) {
-    return std::nullopt;
+    return Fail(MissReason::kNoCandidate, reason);
   }
 
   // Byte-identical request: zero post-processing.
@@ -79,23 +103,27 @@ std::optional<MatchPlan> MatchQueries(
   }
 
   // A truncated (top-n) stored result cannot answer anything else.
-  if (stored.has_limit()) return std::nullopt;
+  if (stored.has_limit()) return Fail(MissReason::kStoredTopN, reason);
 
   // Dimensions of the request must exist in the stored granularity.
   MatchPlan plan;
   for (const std::string& dim : requested.dimensions) {
     int idx = FindStoredDimension(stored, dim);
-    if (idx < 0) return std::nullopt;
+    if (idx < 0) return Fail(MissReason::kDimensionNotStored, reason);
     plan.dim_columns.push_back(idx);
   }
   plan.needs_rollup = !SameDimensionSet(stored, requested);
 
   // Filters: the request must be at least as restrictive as the stored
   // query, and residual predicates must be post-filterable (grouped cols).
-  if (!requested.filters.Implies(stored.filters)) return std::nullopt;
+  if (!requested.filters.Implies(stored.filters)) {
+    return Fail(MissReason::kFiltersNotImplied, reason);
+  }
   plan.residual_filters = requested.filters.ResidualAgainst(stored.filters);
   for (const ColumnPredicate& p : plan.residual_filters) {
-    if (FindStoredDimension(stored, p.column) < 0) return std::nullopt;
+    if (FindStoredDimension(stored, p.column) < 0) {
+      return Fail(MissReason::kResidualNotGrouped, reason);
+    }
   }
 
   // Measures.
@@ -120,13 +148,13 @@ std::optional<MatchPlan> MatchQueries(
           continue;
         }
       }
-      return std::nullopt;
+      return Fail(MissReason::kMeasureNotDerivable, reason);
     }
     // Roll-up derivations.
     switch (m.func) {
       case AggFunc::kSum: {
         int src = FindStoredMeasure(stored, AggFunc::kSum, m.column);
-        if (src < 0) return std::nullopt;
+        if (src < 0) return Fail(MissReason::kMeasureNotDerivable, reason);
         d.kind = MeasureDerivation::Kind::kReagg;
         d.func = AggFunc::kSum;
         d.column_a = src;
@@ -134,7 +162,7 @@ std::optional<MatchPlan> MatchQueries(
       }
       case AggFunc::kCount: {
         int src = FindStoredMeasure(stored, AggFunc::kCount, m.column);
-        if (src < 0) return std::nullopt;
+        if (src < 0) return Fail(MissReason::kMeasureNotDerivable, reason);
         d.kind = MeasureDerivation::Kind::kReagg;
         d.func = AggFunc::kSum;  // counts combine by summation
         d.column_a = src;
@@ -142,7 +170,7 @@ std::optional<MatchPlan> MatchQueries(
       }
       case AggFunc::kCountStar: {
         int src = FindStoredMeasure(stored, AggFunc::kCountStar, "");
-        if (src < 0) return std::nullopt;
+        if (src < 0) return Fail(MissReason::kMeasureNotDerivable, reason);
         d.kind = MeasureDerivation::Kind::kReagg;
         d.func = AggFunc::kSum;
         d.column_a = src;
@@ -151,7 +179,7 @@ std::optional<MatchPlan> MatchQueries(
       case AggFunc::kMin:
       case AggFunc::kMax: {
         int src = FindStoredMeasure(stored, m.func, m.column);
-        if (src < 0) return std::nullopt;
+        if (src < 0) return Fail(MissReason::kMeasureNotDerivable, reason);
         d.kind = MeasureDerivation::Kind::kReagg;
         d.func = m.func;
         d.column_a = src;
@@ -160,7 +188,9 @@ std::optional<MatchPlan> MatchQueries(
       case AggFunc::kAvg: {
         int sum = FindStoredMeasure(stored, AggFunc::kSum, m.column);
         int cnt = FindStoredMeasure(stored, AggFunc::kCount, m.column);
-        if (sum < 0 || cnt < 0) return std::nullopt;
+        if (sum < 0 || cnt < 0) {
+          return Fail(MissReason::kMeasureNotDerivable, reason);
+        }
         d.kind = MeasureDerivation::Kind::kAvgPair;
         d.column_a = sum;
         d.column_b = cnt;
@@ -168,7 +198,7 @@ std::optional<MatchPlan> MatchQueries(
       }
       case AggFunc::kCountDistinct: {
         int dim = FindStoredDimension(stored, m.column);
-        if (dim < 0) return std::nullopt;
+        if (dim < 0) return Fail(MissReason::kMeasureNotDerivable, reason);
         d.kind = MeasureDerivation::Kind::kCountDistinctDim;
         d.column_a = dim;
         break;
@@ -557,6 +587,9 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
   std::shared_ptr<Entry> best;
   std::shared_ptr<const ResultTable> best_table;
   MatchPlan best_plan;
+  // Closest-progress rejection across the bucket's candidates; reasons
+  // are ordered by proof progress, so max is "the nearest near-miss".
+  MissReason miss_reason = MissReason::kNoCandidate;
   {
     TimedLockGuard lock(shard.mu, ctx, "cache.intelligent.lock_wait_us");
     auto kit = shard.by_key.find(key);
@@ -567,14 +600,25 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
       ++e.heap_seq;
       stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
       ctx.Count("cache.intelligent.exact_hit");
-      return CacheHit{e.result, /*exact=*/true};
+      CacheHit hit{e.result, /*exact=*/true};
+      lock.Release();  // breadcrumb formatting happens outside the lock
+      if (ctx.log_enabled()) {
+        ctx.LogEvent("cache.intelligent",
+                     "exact-hit view=" + q.view + " rows=" +
+                         std::to_string(hit.table->num_rows()));
+      }
+      return hit;
     }
     auto bit = shard.buckets.find(bucket_key);
     if (bit != shard.buckets.end()) {
       for (const std::shared_ptr<Entry>& entry : bit->second) {
-        auto plan =
-            MatchQueries(entry->descriptor, entry->result->columns(), q);
-        if (!plan.has_value()) continue;
+        MissReason candidate_reason = MissReason::kNone;
+        auto plan = MatchQueries(entry->descriptor, entry->result->columns(),
+                                 q, &candidate_reason);
+        if (!plan.has_value()) {
+          miss_reason = std::max(miss_reason, candidate_reason);
+          continue;
+        }
         // Weight the post-processing estimate by the stored row count.
         plan->post_cost = (plan->post_cost + 1) * entry->result->num_rows();
         if (options_.strategy == MatchStrategy::kFirstMatch) {
@@ -592,8 +636,7 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
   }
 
   if (best == nullptr) {
-    stats_.misses.fetch_add(1, std::memory_order_relaxed);
-    ctx.Count("cache.intelligent.miss");
+    CountMiss(miss_reason, q, ctx);
     return std::nullopt;
   }
 
@@ -608,8 +651,7 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
                     .count());
   }
   if (!result.ok()) {
-    stats_.misses.fetch_add(1, std::memory_order_relaxed);
-    ctx.Count("cache.intelligent.miss");
+    CountMiss(MissReason::kPostProcessFailed, q, ctx);
     return std::nullopt;
   }
   {
@@ -624,8 +666,39 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
   }
   stats_.derived_hits.fetch_add(1, std::memory_order_relaxed);
   ctx.Count("cache.intelligent.derived_hit");
+  if (ctx.log_enabled()) {
+    // Match-plan summary: which post-processing steps ran.
+    std::string summary = "derived-hit view=" + q.view;
+    if (best_plan.needs_rollup) summary += " rollup";
+    if (!best_plan.residual_filters.empty()) {
+      summary += " residual_filters=" +
+                 std::to_string(best_plan.residual_filters.size());
+    }
+    if (best_plan.apply_order_limit) summary += " order_limit";
+    summary +=
+        " stored_rows=" + std::to_string(best_table->num_rows()) +
+        " rows=" + std::to_string(result->num_rows());
+    ctx.LogEvent("cache.intelligent", std::move(summary));
+  }
   return CacheHit{std::make_shared<const ResultTable>(*std::move(result)),
                   /*exact=*/false};
+}
+
+void IntelligentCache::CountMiss(MissReason reason, const AbstractQuery& q,
+                                 const ExecContext& ctx) {
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  stats_.miss_reasons[static_cast<int>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+  ctx.Count("cache.intelligent.miss");
+  if (ctx.metrics_enabled()) {
+    ctx.Count(std::string("cache.intelligent.miss.") +
+              MissReasonToString(reason));
+  }
+  if (ctx.log_enabled()) {
+    ctx.LogEvent("cache.intelligent",
+                 std::string("miss view=") + q.view + " reason=" +
+                     MissReasonToString(reason));
+  }
 }
 
 std::optional<ResultTable> IntelligentCache::Lookup(const AbstractQuery& q,
@@ -751,12 +824,7 @@ void IntelligentCache::Clear() {
     shard.heap.Clear();
     shard.bytes = 0;
   }
-  stats_.exact_hits.store(0, std::memory_order_relaxed);
-  stats_.derived_hits.store(0, std::memory_order_relaxed);
-  stats_.misses.store(0, std::memory_order_relaxed);
-  stats_.evictions.store(0, std::memory_order_relaxed);
-  stats_.inserts.store(0, std::memory_order_relaxed);
-  stats_.invalidations.store(0, std::memory_order_relaxed);
+  SetStatsForRestore(CacheStats{});
 }
 
 CacheStats IntelligentCache::stats() const {
@@ -767,7 +835,24 @@ CacheStats IntelligentCache::stats() const {
   out.evictions = stats_.evictions.load(std::memory_order_relaxed);
   out.inserts = stats_.inserts.load(std::memory_order_relaxed);
   out.invalidations = stats_.invalidations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumMissReasons; ++i) {
+    out.miss_reasons[i] =
+        stats_.miss_reasons[i].load(std::memory_order_relaxed);
+  }
   return out;
+}
+
+void IntelligentCache::SetStatsForRestore(const CacheStats& stats) {
+  stats_.exact_hits.store(stats.exact_hits, std::memory_order_relaxed);
+  stats_.derived_hits.store(stats.derived_hits, std::memory_order_relaxed);
+  stats_.misses.store(stats.misses, std::memory_order_relaxed);
+  stats_.evictions.store(stats.evictions, std::memory_order_relaxed);
+  stats_.inserts.store(stats.inserts, std::memory_order_relaxed);
+  stats_.invalidations.store(stats.invalidations, std::memory_order_relaxed);
+  for (int i = 0; i < kNumMissReasons; ++i) {
+    stats_.miss_reasons[i].store(stats.miss_reasons[i],
+                                 std::memory_order_relaxed);
+  }
 }
 
 int64_t IntelligentCache::num_entries() const {

@@ -27,6 +27,7 @@
 #ifndef VIZQUERY_CACHE_INTELLIGENT_CACHE_H_
 #define VIZQUERY_CACHE_INTELLIGENT_CACHE_H_
 
+#include <array>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -71,12 +72,35 @@ struct MatchPlan {
   int64_t post_cost = 0;
 };
 
+// Why a lookup (or one candidate within it) failed the subsumption proof.
+// Ordered by how far the proof progressed before failing: aggregating the
+// max across a bucket's candidates reports the *closest* near-miss, which
+// is the actionable one ("only the measure wasn't derivable" suggests
+// AdjustForReuse; "wrong view" suggests nothing).
+enum class MissReason : uint8_t {
+  kNone = 0,             // not a miss
+  kNoCandidate,          // nothing stored for this (source, view)
+  kStoredTopN,           // candidate was a truncated top-n result
+  kDimensionNotStored,   // requested dim absent from stored granularity
+  kFiltersNotImplied,    // request not at least as restrictive as stored
+  kResidualNotGrouped,   // residual predicate on a non-grouped column
+  kMeasureNotDerivable,  // a measure could not be derived / re-aggregated
+  kPostProcessFailed,    // the match plan failed while being applied
+};
+inline constexpr int kNumMissReasons = 8;
+
+// Short stable token, e.g. "measure_not_derivable"; used as the
+// cache.intelligent.miss.<reason> metric suffix and in breadcrumbs.
+const char* MissReasonToString(MissReason r);
+
 // Attempts the subsumption proof. Returns nullopt when `stored` cannot
 // answer `requested`. `stored_columns` is the stored result's schema.
+// When `reason` is non-null and the proof fails, it receives which check
+// rejected the candidate (untouched on success).
 std::optional<MatchPlan> MatchQueries(
     const query::AbstractQuery& stored,
     const std::vector<ResultColumn>& stored_columns,
-    const query::AbstractQuery& requested);
+    const query::AbstractQuery& requested, MissReason* reason = nullptr);
 
 // Executes the post-processing recipe over the stored rows.
 StatusOr<ResultTable> ApplyMatchPlan(const ResultTable& stored,
@@ -124,6 +148,10 @@ struct CacheStats {
   int64_t evictions = 0;
   int64_t inserts = 0;
   int64_t invalidations = 0;  // entries purged by InvalidateDataSource
+  // Misses broken down by the closest-progress MissReason across the
+  // bucket's candidates; indexed by static_cast<int>(MissReason).
+  // Invariant: sum(miss_reasons) == misses.
+  std::array<int64_t, kNumMissReasons> miss_reasons{};
   int64_t hits() const { return exact_hits + derived_hits; }
 };
 
@@ -193,6 +221,10 @@ class IntelligentCache {
   };
   std::vector<Snapshot> TakeSnapshot() const;
   void Restore(std::vector<Snapshot> entries);
+  // Persistence: overwrite the hit/miss counters after a Restore() (SET
+  // semantics), so round-tripped stats do not double-count the inserts
+  // that Restore issues through Put().
+  void SetStatsForRestore(const CacheStats& stats);
 
  private:
   struct Entry {
@@ -240,8 +272,13 @@ class IntelligentCache {
     std::atomic<int64_t> evictions{0};
     std::atomic<int64_t> inserts{0};
     std::atomic<int64_t> invalidations{0};
+    std::array<std::atomic<int64_t>, kNumMissReasons> miss_reasons{};
   };
   AtomicStats stats_;
+
+  // Counts the miss (total + per-reason + ctx metric + breadcrumb).
+  void CountMiss(MissReason reason, const query::AbstractQuery& q,
+                 const ExecContext& ctx);
 };
 
 }  // namespace vizq::cache

@@ -2,6 +2,18 @@
 
 namespace vizq::cache {
 
+namespace {
+
+// Breadcrumbs carry a recognizable prefix of the query text, not the
+// whole statement (texts run to kilobytes).
+std::string TextPreview(const std::string& text) {
+  constexpr size_t kMax = 60;
+  if (text.size() <= kMax) return text;
+  return text.substr(0, kMax) + "...";
+}
+
+}  // namespace
+
 LiteralCache::LiteralCache(LiteralCacheOptions options) : options_(options) {
   int n = NormalizeShardCount(options_.num_shards);
   shards_.reserve(n);
@@ -12,6 +24,7 @@ std::shared_ptr<const ResultTable> LiteralCache::LookupShared(
     const std::string& query_text, const ExecContext& ctx) {
   int64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   Shard& shard = ShardFor(query_text);
+  std::shared_ptr<const ResultTable> found;
   {
     TimedLockGuard lock(shard.mu, ctx, "cache.literal.lock_wait_us");
     auto it = shard.entries.find(query_text);
@@ -20,13 +33,23 @@ std::shared_ptr<const ResultTable> LiteralCache::LookupShared(
       e.usage.last_used_tick = tick;
       ++e.usage.hits;
       ++e.heap_seq;
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      ctx.Count("cache.literal.hit");
-      return e.result;
+      found = e.result;
     }
+  }
+  // Counting and breadcrumbs happen after the shard lock is released.
+  if (found != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    ctx.Count("cache.literal.hit");
+    if (ctx.log_enabled()) {
+      ctx.LogEvent("cache.literal", "hit text=" + TextPreview(query_text));
+    }
+    return found;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   ctx.Count("cache.literal.miss");
+  if (ctx.log_enabled()) {
+    ctx.LogEvent("cache.literal", "miss text=" + TextPreview(query_text));
+  }
   return nullptr;
 }
 
@@ -168,6 +191,13 @@ void LiteralCache::Restore(std::vector<Snapshot> entries) {
   for (Snapshot& s : entries) {
     Put(s.query_text, std::move(s.result), s.eval_cost_ms, s.data_source);
   }
+}
+
+void LiteralCache::SetStatsForRestore(int64_t hits, int64_t misses,
+                                      int64_t invalidations) {
+  hits_.store(hits, std::memory_order_relaxed);
+  misses_.store(misses, std::memory_order_relaxed);
+  invalidations_.store(invalidations, std::memory_order_relaxed);
 }
 
 }  // namespace vizq::cache

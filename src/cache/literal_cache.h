@@ -83,6 +83,10 @@ class LiteralCache {
   };
   std::vector<Snapshot> TakeSnapshot() const;
   void Restore(std::vector<Snapshot> entries);
+  // Persistence: overwrite the counters after a Restore() (SET
+  // semantics) so round-tripped stats survive the reload intact.
+  void SetStatsForRestore(int64_t hits, int64_t misses,
+                          int64_t invalidations);
 
  private:
   struct Entry {

@@ -45,6 +45,9 @@ inline size_t ShardIndexFor(const std::string& key, int num_shards) {
 // a microsecond histogram on the context (e.g. cache.intelligent.
 // lock_wait_us). The clock is only read when the context has metrics, so
 // benchmark hot paths running under ExecContext::Background() pay nothing.
+// Only waits of at least 1 µs are reported: the metric is a contention
+// signal, and recording every uncontended ~20 ns acquire would both
+// drown it in noise and put two metric updates on the cache hot path.
 class TimedLockGuard {
  public:
   TimedLockGuard(std::mutex& mu, const ExecContext& ctx,
@@ -56,17 +59,29 @@ class TimedLockGuard {
       double us = std::chrono::duration<double, std::micro>(
                       std::chrono::steady_clock::now() - start)
                       .count();
-      ctx.Observe(wait_metric, us);
+      if (us >= 1.0) ctx.Observe(wait_metric, us);
     } else {
       mu_.lock();
     }
   }
   TimedLockGuard(const TimedLockGuard&) = delete;
   TimedLockGuard& operator=(const TimedLockGuard&) = delete;
-  ~TimedLockGuard() { mu_.unlock(); }
+  ~TimedLockGuard() {
+    if (!released_) mu_.unlock();
+  }
+
+  // Unlocks before scope exit (idempotent) — lets a hit path drop the
+  // shard lock before formatting breadcrumbs.
+  void Release() {
+    if (!released_) {
+      mu_.unlock();
+      released_ = true;
+    }
+  }
 
  private:
   std::mutex& mu_;
+  bool released_ = false;
 };
 
 // A max-heap of eviction candidates with lazy deletion. Entries carry a

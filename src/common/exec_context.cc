@@ -17,6 +17,49 @@ std::string FormatMs(double ms) {
 
 }  // namespace
 
+// --- global metrics sink ---
+
+namespace {
+std::atomic<GlobalMetricsSink*> g_metrics_sink{nullptr};
+}  // namespace
+
+void SetGlobalMetricsSink(GlobalMetricsSink* sink) {
+  g_metrics_sink.store(sink, std::memory_order_release);
+}
+
+GlobalMetricsSink* GetGlobalMetricsSink() {
+  return g_metrics_sink.load(std::memory_order_acquire);
+}
+
+// --- RequestLog ---
+
+void RequestLog::AddEvent(std::string category, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::chrono::steady_clock::now(),
+                          std::move(category), std::move(detail)});
+}
+
+void RequestLog::Attach(const std::string& name, std::string text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  attachments_[name] = std::move(text);
+}
+
+std::vector<RequestLog::Event> RequestLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::map<std::string, std::string> RequestLog::attachments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attachments_;
+}
+
+std::string RequestLog::attachment(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = attachments_.find(name);
+  return it == attachments_.end() ? std::string() : it->second;
+}
+
 // --- Span ---
 
 Span::Span(Trace* trace, std::string name)
@@ -180,7 +223,8 @@ std::string MetricsRegistry::ToString() const {
 
 ExecContext::ExecContext()
     : trace_(std::make_shared<Trace>()),
-      metrics_(std::make_shared<MetricsRegistry>()) {}
+      metrics_(std::make_shared<MetricsRegistry>()),
+      log_(std::make_shared<RequestLog>()) {}
 
 ExecContext::ExecContext(DisabledTag) {}
 
@@ -231,11 +275,27 @@ ExecContext ExecContext::WithSpan(Span* span) const {
 }
 
 void ExecContext::Count(const std::string& name, int64_t delta) const {
-  if (metrics_ != nullptr) metrics_->Add(name, delta);
+  if (metrics_ == nullptr) return;
+  metrics_->Add(name, delta);
+  if (GlobalMetricsSink* sink = GetGlobalMetricsSink(); sink != nullptr) {
+    sink->Add(name, delta);
+  }
 }
 
 void ExecContext::Observe(const std::string& name, double value) const {
-  if (metrics_ != nullptr) metrics_->Observe(name, value);
+  if (metrics_ == nullptr) return;
+  metrics_->Observe(name, value);
+  if (GlobalMetricsSink* sink = GetGlobalMetricsSink(); sink != nullptr) {
+    sink->Observe(name, value);
+  }
+}
+
+void ExecContext::LogEvent(std::string category, std::string detail) const {
+  if (log_ != nullptr) log_->AddEvent(std::move(category), std::move(detail));
+}
+
+void ExecContext::Attach(const std::string& name, std::string text) const {
+  if (log_ != nullptr) log_->Attach(name, std::move(text));
 }
 
 }  // namespace vizq

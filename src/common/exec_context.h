@@ -10,7 +10,16 @@
 //   * a hierarchical **trace** — one Span per pipeline stage / operator,
 //     rendered as a text tree or JSON for latency accounting;
 //   * a **MetricsRegistry** — named counters and histograms (cache hits,
-//     rows scanned, pool waits) aggregated per request.
+//     rows scanned, pool waits) aggregated per request;
+//   * a **RequestLog** — timestamped breadcrumbs (cache decisions, pool
+//     events) and named text attachments (the annotated EXPLAIN ANALYZE
+//     plan) that the process-wide PerfRecorder (src/obs/) captures when
+//     the request completes.
+//
+// Every Count/Observe is additionally forwarded to the process-global
+// metrics sink (installed by obs::GlobalMetrics()), so the per-request
+// and global views share one naming scheme. ExecContext::Background()
+// keeps its "observability off" contract: it forwards nothing.
 //
 // Ownership / threading rules (see DESIGN.md "ExecContext"):
 //   * The request originator creates the context and keeps it alive for
@@ -65,6 +74,10 @@ class Span {
   double duration_ms() const;
   bool finished() const { return duration_ns_.load() >= 0; }
 
+  // When the span started (steady clock) — the timestamp source for
+  // Chrome trace-event export (obs::PerfRecorder).
+  std::chrono::steady_clock::time_point start_time() const { return start_; }
+
   // Stops the clock. Safe to call more than once; later calls are no-ops.
   void End();
 
@@ -106,6 +119,52 @@ class Trace {
   friend class Span;
   mutable std::mutex mu_;
   std::unique_ptr<Span> root_;
+};
+
+// Process-global metrics destination. ExecContext::Count/Observe forward
+// every per-request update here as well (when a sink is installed and the
+// context has metrics enabled), giving the process a single registry with
+// the same metric names the per-request view uses. The canonical
+// implementation is obs::MetricsRegistry; the indirection keeps common/
+// free of a dependency on obs/.
+class GlobalMetricsSink {
+ public:
+  virtual ~GlobalMetricsSink() = default;
+  virtual void Add(const std::string& name, int64_t delta) = 0;
+  virtual void Observe(const std::string& name, double value) = 0;
+};
+
+// Installs / reads the process-global sink. The sink must outlive all use
+// (in practice it is a leaked singleton). Thread-safe.
+void SetGlobalMetricsSink(GlobalMetricsSink* sink);
+GlobalMetricsSink* GetGlobalMetricsSink();
+
+// Timestamped breadcrumbs + named text attachments for one request.
+// Breadcrumbs record *decisions* (why a cache lookup missed, where a pool
+// acquire was steered); attachments carry larger artifacts (the annotated
+// EXPLAIN ANALYZE plan). Shared by all copies of an ExecContext, like the
+// trace; thread-safe.
+class RequestLog {
+ public:
+  struct Event {
+    std::chrono::steady_clock::time_point at;
+    std::string category;  // e.g. "cache.intelligent", "pool"
+    std::string detail;
+  };
+
+  void AddEvent(std::string category, std::string detail);
+  // Stores `text` under `name`; a later Attach to the same name wins.
+  void Attach(const std::string& name, std::string text);
+
+  std::vector<Event> events() const;
+  std::map<std::string, std::string> attachments() const;
+  // Empty string when the attachment is absent.
+  std::string attachment(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::string, std::string> attachments_;
 };
 
 // Named counters + min/max/sum/count histograms. Thread-safe.
@@ -186,8 +245,18 @@ class ExecContext {
   bool metrics_enabled() const { return metrics_ != nullptr; }
   MetricsRegistry* metrics() { return metrics_.get(); }
   const MetricsRegistry* metrics() const { return metrics_.get(); }
+  // Both forward to the process-global sink as well (same names); see the
+  // header comment. Background() forwards nothing.
   void Count(const std::string& name, int64_t delta = 1) const;
   void Observe(const std::string& name, double value) const;
+
+  // --- request log (breadcrumbs + attachments) ---
+  bool log_enabled() const { return log_ != nullptr; }
+  RequestLog* log() { return log_.get(); }
+  const RequestLog* log() const { return log_.get(); }
+  // No-ops when the log is disabled (Background()).
+  void LogEvent(std::string category, std::string detail) const;
+  void Attach(const std::string& name, std::string text) const;
 
  private:
   struct DisabledTag {};
@@ -198,6 +267,7 @@ class ExecContext {
   CancelToken token_;
   std::shared_ptr<Trace> trace_;
   std::shared_ptr<MetricsRegistry> metrics_;
+  std::shared_ptr<RequestLog> log_;
   Span* parent_ = nullptr;  // default parent for StartSpan; null = root
 };
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/perf_recorder.h"
 
 namespace vizq::dashboard {
 
@@ -99,6 +100,10 @@ StatusOr<ResultTable> QueryService::ExecuteRemote(const ExecContext& ctx,
   // way it is after execution; caching the truncated rows under the
   // orderless key would replay them for the other queries.
   auto apply_local_topn = [&](ResultTable table) -> ResultTable {
+    // Breadcrumb: the returned rows are a local truncation of what the
+    // engine produced, so a recorder consistency check must not compare
+    // the plan's root row count against the result.
+    ctx.LogEvent("service", "local-topn view=" + q.view);
     AbstractQuery unlimited = q;
     unlimited.order_by.clear();
     unlimited.limit = 0;
@@ -405,11 +410,22 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   bctx.Count("service.batches");
   bctx.Count("service.queries", n);
 
-  if (!first_error.ok()) return first_error;
-
   local_report.wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
+  bctx.Observe("service.batch.ms", local_report.wall_ms);
+
+  // Hand the finished batch span to the flight recorder (error paths
+  // included — failed batches are the ones worth inspecting). The span is
+  // ended first so the recorded duration is final.
+  batch_span.End();
+  if (ctx.tracing_enabled()) {
+    std::string name = "batch:" + (n > 0 ? batch[0].view : std::string("?"));
+    obs::GlobalRecorder().Record(ctx, batch_span.get(), name);
+  }
+
+  if (!first_error.ok()) return first_error;
+
   if (report != nullptr) *report = std::move(local_report);
   return results;
 }

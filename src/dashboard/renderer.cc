@@ -59,15 +59,17 @@ std::vector<std::string> ValidateSelections(
 
 }  // namespace
 
-StatusOr<RenderReport> DashboardRenderer::Render(const Dashboard& dashboard,
+StatusOr<RenderReport> DashboardRenderer::Render(const ExecContext& ctx,
+                                                 const Dashboard& dashboard,
                                                  InteractionState* state,
                                                  const BatchOptions& options) {
-  return Refresh(dashboard, state, dashboard.QueryZoneNames(), options);
+  return Refresh(ctx, dashboard, state, dashboard.QueryZoneNames(), options);
 }
 
 StatusOr<RenderReport> DashboardRenderer::Refresh(
-    const Dashboard& dashboard, InteractionState* state,
-    std::vector<std::string> dirty_zones, const BatchOptions& options) {
+    const ExecContext& ctx, const Dashboard& dashboard,
+    InteractionState* state, std::vector<std::string> dirty_zones,
+    const BatchOptions& options) {
   auto started = std::chrono::steady_clock::now();
   RenderReport report;
 
@@ -90,7 +92,7 @@ StatusOr<RenderReport> DashboardRenderer::Refresh(
 
     BatchReport batch_report;
     VIZQ_ASSIGN_OR_RETURN(std::vector<ResultTable> results,
-                          service_->ExecuteBatch(batch, options,
+                          service_->ExecuteBatch(ctx, batch, options,
                                                  &batch_report));
     report.batches.push_back(std::move(batch_report));
 

@@ -35,17 +35,32 @@ class DashboardRenderer {
  public:
   explicit DashboardRenderer(QueryService* service) : service_(service) {}
 
-  // Renders the whole dashboard (initial load).
-  StatusOr<RenderReport> Render(const Dashboard& dashboard,
+  // Renders the whole dashboard (initial load). The ctx-less overloads
+  // delegate to ExecContext::Background() (no tracing, no recording).
+  StatusOr<RenderReport> Render(const ExecContext& ctx,
+                                const Dashboard& dashboard,
                                 InteractionState* state,
                                 const BatchOptions& options = {});
+  StatusOr<RenderReport> Render(const Dashboard& dashboard,
+                                InteractionState* state,
+                                const BatchOptions& options = {}) {
+    return Render(ExecContext::Background(), dashboard, state, options);
+  }
 
   // Refreshes after an interaction: only `dirty_zones` (plus knock-on
   // zones discovered during validation iterations) are re-queried.
-  StatusOr<RenderReport> Refresh(const Dashboard& dashboard,
+  StatusOr<RenderReport> Refresh(const ExecContext& ctx,
+                                 const Dashboard& dashboard,
                                  InteractionState* state,
                                  std::vector<std::string> dirty_zones,
                                  const BatchOptions& options = {});
+  StatusOr<RenderReport> Refresh(const Dashboard& dashboard,
+                                 InteractionState* state,
+                                 std::vector<std::string> dirty_zones,
+                                 const BatchOptions& options = {}) {
+    return Refresh(ExecContext::Background(), dashboard, state,
+                   std::move(dirty_zones), options);
+  }
 
  private:
   QueryService* service_;

@@ -58,6 +58,12 @@ StatusOr<PooledConnection> ConnectionPool::Acquire(const ExecContext& ctx) {
 StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
     const ExecContext& ctx, const std::vector<std::string>& temp_tables) {
   using Clock = std::chrono::steady_clock;
+  // Total acquisition latency (contended or not) — unlike pool.wait_ms,
+  // which only fires when the caller actually blocked, pool.acquire_us is
+  // observed on every successful acquire so dashboards always see it.
+  const bool timing = ctx.metrics_enabled();
+  const Clock::time_point acquire_started =
+      timing ? Clock::now() : Clock::time_point{};
   std::unique_lock<std::mutex> lock(mu_);
   ++op_counter_;
 
@@ -70,11 +76,18 @@ StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
                                    options_.max_wait_ms * 1000))
               : Clock::time_point::max();
 
-  auto record_wait = [&] {
+  // Called on every successful acquisition path.
+  auto record_acquired = [&] {
     if (waited) {
       ctx.Observe("pool.wait_ms",
                   std::chrono::duration<double, std::milli>(Clock::now() -
                                                             wait_started)
+                      .count());
+    }
+    if (timing) {
+      ctx.Observe("pool.acquire_us",
+                  std::chrono::duration<double, std::micro>(Clock::now() -
+                                                            acquire_started)
                       .count());
     }
   };
@@ -99,7 +112,7 @@ StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
             s.last_used_op = op_counter_;
             ++stats_.reused;
             ++stats_.temp_affinity;
-            record_wait();
+            record_acquired();
             return PooledConnection(this, s.conn.get(), static_cast<int>(i));
           }
         }
@@ -112,7 +125,7 @@ StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
         s.in_use = true;
         s.last_used_op = op_counter_;
         ++stats_.reused;
-        record_wait();
+        record_acquired();
         return PooledConnection(this, s.conn.get(), static_cast<int>(i));
       }
     }
@@ -142,7 +155,7 @@ StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
       }
       slots_[slot_idx].conn = std::move(*conn);
       ++stats_.opened;
-      record_wait();
+      record_acquired();
       return PooledConnection(this, slots_[slot_idx].conn.get(), slot_idx);
     }
     // 4. Wait for a release. Short timed slices keep the wait responsive
@@ -153,6 +166,10 @@ StatusOr<PooledConnection> ConnectionPool::AcquirePreferring(
       wait_started = Clock::now();
       ++stats_.waits;
       ctx.Count("pool.waits");
+      if (ctx.log_enabled()) {
+        ctx.LogEvent("pool", "wait all " + std::to_string(max_size_) +
+                                 " connections busy");
+      }
     }
     if (has_cap && Clock::now() >= wait_cap) {
       ++stats_.timeouts;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 namespace vizq::federation {
@@ -68,6 +69,13 @@ class SimulatedConnection : public Connection {
     // throttle them based on available resources or a hard-coded
     // threshold").
     VIZQ_ASSIGN_OR_RETURN(double queue_ms, source_->AdmitQuery(ctx));
+    ctx.Observe("remote.queue_ms", queue_ms);
+    if (queue_ms >= 1.0 && ctx.log_enabled()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", queue_ms);
+      ctx.LogEvent("remote", "admission-queued source=" + source_->name() +
+                                 " wait_ms=" + buf);
+    }
 
     // Execute for real (serially; the timing model below charges the
     // architecture-dependent cost).

@@ -1,0 +1,128 @@
+// PerfRecorder: the process-wide flight recorder for completed requests.
+//
+// When a request (one dashboard batch, one server query) finishes, the
+// owning layer calls Record(ctx, span, meta). The recorder copies the
+// span subtree into an owned RecordedRequest — wall times, the request's
+// breadcrumb trail (cache decisions, pool events) and named attachments
+// (the annotated EXPLAIN ANALYZE plan) — and files it in two places:
+//
+//   * a bounded ring buffer of the most recent N requests;
+//   * a bounded slow-query log retaining requests whose total duration
+//     exceeded a configurable threshold (evicting the *fastest* retained
+//     entry when full, so the log converges on the worst offenders).
+//
+// Entries can be exported individually or in bulk as Chrome trace-event
+// JSON ("trace event format"), loadable in chrome://tracing / Perfetto.
+// Spans become complete ("ph":"X") events; breadcrumbs become instant
+// ("ph":"i") events. Timestamps are microseconds relative to the
+// recorder's epoch (steady clock), so exports are stable run-to-run
+// modulo the actual durations.
+
+#ifndef VIZQUERY_OBS_PERF_RECORDER_H_
+#define VIZQUERY_OBS_PERF_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/exec_context.h"
+
+namespace vizq::obs {
+
+// One span, flattened out of the live Trace (which the request owns and
+// may destroy after Record returns).
+struct RecordedSpan {
+  std::string name;
+  double start_us = 0;  // relative to the recorder epoch
+  double duration_us = 0;
+  std::vector<RecordedSpan> children;
+
+  int TotalSpans() const;
+};
+
+// One breadcrumb from the request's RequestLog.
+struct RecordedEvent {
+  std::string category;
+  std::string detail;
+  double at_us = 0;  // relative to the recorder epoch
+};
+
+struct RecordedRequest {
+  int64_t id = 0;          // monotonically increasing record id
+  std::string name;        // e.g. "batch:flights_star" or "query:<view>"
+  double duration_us = 0;  // the recorded root span's wall time
+  RecordedSpan root;
+  std::vector<RecordedEvent> events;
+  std::map<std::string, std::string> attachments;
+};
+
+struct PerfRecorderOptions {
+  int ring_capacity = 256;
+  int slow_log_capacity = 32;
+  double slow_threshold_ms = 50.0;
+};
+
+class PerfRecorder {
+ public:
+  explicit PerfRecorder(PerfRecorderOptions options = {});
+
+  PerfRecorder(const PerfRecorder&) = delete;
+  PerfRecorder& operator=(const PerfRecorder&) = delete;
+
+  // Captures `span`'s subtree (plus the context's breadcrumbs that fall
+  // inside the span's [start, end] window, and all attachments) under
+  // `name`. The span should be ended; an open span is captured with its
+  // elapsed-so-far duration. No-op (returns 0) when the context has
+  // tracing disabled or `span` is null. Returns the record id.
+  int64_t Record(const ExecContext& ctx, const Span* span,
+                 const std::string& name);
+
+  // Most-recent-first snapshot of the ring buffer.
+  std::vector<RecordedRequest> Recent() const;
+  // Slow log, slowest first.
+  std::vector<RecordedRequest> Slowest() const;
+  // Lookup by record id in either store; nullopt-like empty request
+  // (id == 0) when evicted or unknown.
+  RecordedRequest FindById(int64_t id) const;
+
+  // Id that the next Record() call will return. FindById(x) for
+  // x >= NextRecordId() is always a miss; a fuzzer lane uses the pair to
+  // assert "this execution left a recorder entry".
+  int64_t NextRecordId() const;
+
+  int64_t total_recorded() const;
+
+  // Chrome trace-event JSON for one request / for every ring entry.
+  // Each request renders as one "pid" so Perfetto groups them.
+  static std::string ToChromeTrace(const RecordedRequest& request);
+  std::string AllToChromeTrace() const;
+
+  // Drops all retained entries (the id counter keeps advancing).
+  void Clear();
+
+  const PerfRecorderOptions& options() const { return options_; }
+
+ private:
+  void AppendLocked(RecordedRequest request);
+
+  const PerfRecorderOptions options_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  int64_t next_id_ = 1;
+  int64_t total_recorded_ = 0;
+  std::vector<RecordedRequest> ring_;  // oldest first
+  std::vector<RecordedRequest> slow_;  // unordered; sorted on read
+};
+
+// The process-wide recorder (leaked singleton), used by QueryService and
+// the data server unless a caller supplies their own.
+PerfRecorder& GlobalRecorder();
+
+}  // namespace vizq::obs
+
+#endif  // VIZQUERY_OBS_PERF_RECORDER_H_

@@ -117,6 +117,11 @@ StatusOr<std::unique_ptr<ServerSession>> DataServer::Connect(
   for (const auto& [name, calc] : pds.calculations) {
     metadata.calculation_names.push_back(name);
   }
+  // Connect has no per-request context; session churn is a process-level
+  // fact, so it goes straight to the global registry.
+  if (GlobalMetricsSink* sink = GetGlobalMetricsSink(); sink != nullptr) {
+    sink->Add("server.connects", 1);
+  }
   return std::unique_ptr<ServerSession>(
       new ServerSession(this, source, user, std::move(metadata)));
 }
@@ -201,11 +206,27 @@ StatusOr<std::vector<ResultTable>> DataServer::ExecuteBatchForSession(
     const ExecContext& ctx, ServerSession* session,
     const std::vector<ClientQuery>& batch, BatchReport* report) {
   VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("server batch"));
+  ctx.Count("server.batches");
+  ctx.Count("server.queries", static_cast<int64_t>(batch.size()));
+  if (ctx.log_enabled()) {
+    ctx.LogEvent("server", "batch source=" + session->source_ + " user=" +
+                               session->user_ + " queries=" +
+                               std::to_string(batch.size()));
+  }
   std::vector<AbstractQuery> resolved;
   resolved.reserve(batch.size());
+  int64_t temp_values = 0;
   for (const ClientQuery& q : batch) {
+    for (const auto& [column, temp_name] : q.temp_filters) {
+      (void)column;
+      (void)temp_name;
+      ++temp_values;
+    }
     VIZQ_ASSIGN_OR_RETURN(AbstractQuery r, ResolveClientQuery(session, q));
     resolved.push_back(std::move(r));
+  }
+  if (temp_values > 0) {
+    ctx.Count("server.temp_filter_expansions", temp_values);
   }
   dashboard::QueryService* service;
   {

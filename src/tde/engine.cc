@@ -49,11 +49,15 @@ StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
 
   QueryResult result;
   result.stats = std::make_shared<ExecStats>();
+  if (options.collect_analysis) {
+    result.analysis = std::make_shared<PlanAnalysis>();
+  }
   result.plan_text = compiled->ToString();
   ScopedSpan run_span(ctx.StartSpan("tde:run"));
   ExecContext run_ctx = ctx.WithSpan(run_span.get());
   Translator translator(result.stats.get(),
-                        options.serial_exchange_for_measurement, run_ctx);
+                        options.serial_exchange_for_measurement, run_ctx,
+                        result.analysis.get());
   VIZQ_ASSIGN_OR_RETURN(OperatorPtr root, translator.Translate(compiled));
   VIZQ_ASSIGN_OR_RETURN(result.table, CollectToResultTable(root.get()));
   run_span.End();
@@ -61,6 +65,19 @@ StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
     std::lock_guard<std::mutex> lock(result.stats->mu);
     ctx.Count("tde.rows_scanned", result.stats->rows_scanned);
     ctx.Count("tde.batches", result.stats->batches);
+  }
+  if (result.analysis != nullptr) {
+    // The annotated plan and its root row count ride on the request log,
+    // so the PerfRecorder snapshots them with the trace; per-kind wall
+    // times feed the "tde.op.<kind>.ms" histograms.
+    ctx.Attach("tde.analyze", result.analysis->ToText());
+    ctx.Attach("tde.analyze.root_rows",
+               std::to_string(result.analysis->root_rows()));
+    if (ctx.metrics_enabled()) {
+      result.analysis->ForEach([&ctx](const PlanNodeStats& node) {
+        ctx.Observe("tde.op." + node.metric_key + ".ms", node.wall_ms());
+      });
+    }
   }
   return result;
 }

@@ -16,6 +16,7 @@
 
 #include "src/common/exec_context.h"
 #include "src/common/result_table.h"
+#include "src/tde/exec/analyze.h"
 #include "src/tde/plan/logical.h"
 #include "src/tde/plan/optimizer.h"
 #include "src/tde/plan/parallelizer.h"
@@ -32,6 +33,12 @@ struct QueryOptions {
   // modeled-makespan reporting on single-core hosts — bench/bench_util.h).
   bool serial_exchange_for_measurement = false;
 
+  // Collect operator-level EXPLAIN ANALYZE stats (rows/batches/wall time
+  // per plan node) into QueryResult::analysis. Cheap (a few atomic adds
+  // and two clock reads per batch per operator); benches that want the
+  // bare pipeline can switch it off.
+  bool collect_analysis = true;
+
   // A convenient all-serial baseline.
   static QueryOptions Serial() {
     QueryOptions o;
@@ -46,6 +53,10 @@ struct QueryResult {
   ResultTable table;
   std::string plan_text;
   std::shared_ptr<ExecStats> stats;
+  // Per-operator runtime accounting (null when collect_analysis is off).
+  // analysis->ToText() is the annotated EXPLAIN ANALYZE plan; the same
+  // text is attached to the request log as "tde.analyze".
+  std::shared_ptr<PlanAnalysis> analysis;
 };
 
 class TdeEngine {

@@ -1,0 +1,105 @@
+// Operator-level EXPLAIN ANALYZE (the observability layer's per-operator
+// runtime accounting).
+//
+// The Translator (when handed a PlanAnalysis) wraps every physical
+// operator in an AnalyzeOperator decorator that accumulates rows-out,
+// batches, open count and wall time into a PlanNodeStats node. Nodes are
+// keyed by *logical* plan node, so the per-fraction operator instances an
+// Exchange expansion creates all feed one node: counts are totals across
+// fractions, and wall time is cumulative (inclusive of children; with DOP
+// > 1 it can exceed the query's elapsed time — it is work, not makespan).
+//
+// After execution, PlanAnalysis::ToText() renders the logical tree
+// annotated with the measured numbers, and root_rows() exposes the
+// invariant the fuzzer checks: the root's rows-out equals the returned
+// row count.
+
+#ifndef VIZQUERY_TDE_EXEC_ANALYZE_H_
+#define VIZQUERY_TDE_EXEC_ANALYZE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tde/exec/operators.h"
+#include "src/tde/plan/logical.h"
+
+namespace vizq::tde {
+
+// Accumulated runtime numbers for one logical plan node. Counters are
+// atomics because Exchange fractions execute sibling instances of the
+// same node concurrently.
+struct PlanNodeStats {
+  std::string label;       // e.g. "Scan flights_star [cols=4]"
+  std::string metric_key;  // e.g. "scan" — per-kind histogram suffix
+
+  std::atomic<int64_t> rows_out{0};
+  std::atomic<int64_t> batches{0};
+  std::atomic<int64_t> opens{0};  // #operator instances that ran
+  std::atomic<int64_t> wall_ns{0};
+
+  std::vector<PlanNodeStats*> children;  // fixed after translation
+
+  double wall_ms() const {
+    return static_cast<double>(wall_ns.load(std::memory_order_relaxed)) / 1e6;
+  }
+  // Rows entering this node = sum of the children's rows-out.
+  int64_t rows_in() const;
+};
+
+// Owns the node tree for one executed query. Built single-threaded during
+// translation; updated lock-free during execution; read after.
+class PlanAnalysis {
+ public:
+  PlanAnalysis() = default;
+  PlanAnalysis(const PlanAnalysis&) = delete;
+  PlanAnalysis& operator=(const PlanAnalysis&) = delete;
+
+  // Resolve-or-create the node for `op` (translation is single-threaded).
+  // The first call for a given `op` links it under `parent` (null for the
+  // root) and derives its label from the logical node.
+  PlanNodeStats* NodeFor(const LogicalOp& op, PlanNodeStats* parent);
+
+  const PlanNodeStats* root() const { return root_; }
+  // Rows the root operator emitted — must equal the result row count.
+  int64_t root_rows() const;
+
+  // Annotated plan, e.g.
+  //   Aggregate [groups=1 aggs=2]  (rows=12 rows_in=8k batches=3 time=1.2ms)
+  //     Scan flights_star [cols=3]  (rows=8k batches=8 time=0.9ms)
+  std::string ToText() const;
+
+  // Visits every node (pre-order).
+  void ForEach(const std::function<void(const PlanNodeStats&)>& fn) const;
+
+ private:
+  std::unordered_map<const LogicalOp*, PlanNodeStats*> index_;
+  std::vector<std::unique_ptr<PlanNodeStats>> nodes_;
+  PlanNodeStats* root_ = nullptr;
+};
+
+// The decorator. Transparent pass-through (schema, error propagation)
+// that times Open/Next/Close into `node` and counts the rows and batches
+// it forwards.
+class AnalyzeOperator : public Operator {
+ public:
+  AnalyzeOperator(OperatorPtr child, PlanNodeStats* node)
+      : child_(std::move(child)), node_(node) {}
+
+  const BatchSchema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  StatusOr<bool> Next(Batch* batch) override;
+  Status Close() override;
+
+ private:
+  OperatorPtr child_;
+  PlanNodeStats* node_;
+};
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_ANALYZE_H_

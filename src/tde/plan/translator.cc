@@ -111,6 +111,19 @@ StatusOr<OperatorPtr> Translator::TranslateExchange(const LogicalOp& op) {
 
 StatusOr<OperatorPtr> Translator::TranslateNode(const LogicalOp& op,
                                                 int fraction) {
+  if (analysis_ == nullptr) return TranslateNodeImpl(op, fraction);
+  PlanNodeStats* saved_parent = analyze_parent_;
+  PlanNodeStats* node = analysis_->NodeFor(op, saved_parent);
+  analyze_parent_ = node;
+  StatusOr<OperatorPtr> result = TranslateNodeImpl(op, fraction);
+  analyze_parent_ = saved_parent;
+  if (!result.ok()) return result;
+  return OperatorPtr(
+      std::make_unique<AnalyzeOperator>(std::move(*result), node));
+}
+
+StatusOr<OperatorPtr> Translator::TranslateNodeImpl(const LogicalOp& op,
+                                                    int fraction) {
   switch (op.kind) {
     case LogicalKind::kScan:
       return TranslateScan(op, fraction);

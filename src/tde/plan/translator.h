@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "src/common/exec_context.h"
+#include "src/tde/exec/analyze.h"
 #include "src/tde/plan/logical.h"
 
 namespace vizq::tde {
@@ -26,14 +27,24 @@ class Translator {
   // serial-measurement mode (see ExchangeOperator). Operators receive a
   // copy of `ctx`: Scan/Join/Aggregate poll its cancellation/deadline
   // between batches and record per-operator spans under its parent span.
+  // With a non-null `analysis`, every physical operator is wrapped in an
+  // AnalyzeOperator accumulating per-logical-node runtime stats (EXPLAIN
+  // ANALYZE); `analysis` must outlive execution of the operator tree.
   explicit Translator(ExecStats* stats, bool serial_exchange = false,
-                      const ExecContext& ctx = ExecContext::Background())
-      : stats_(stats), serial_exchange_(serial_exchange), ctx_(ctx) {}
+                      const ExecContext& ctx = ExecContext::Background(),
+                      PlanAnalysis* analysis = nullptr)
+      : stats_(stats),
+        serial_exchange_(serial_exchange),
+        ctx_(ctx),
+        analysis_(analysis) {}
 
   StatusOr<OperatorPtr> Translate(const LogicalOpPtr& plan);
 
  private:
+  // Resolves the analysis node for `op`, translates (TranslateNodeImpl)
+  // and wraps the result. All fractions of an Exchange share one node.
   StatusOr<OperatorPtr> TranslateNode(const LogicalOp& op, int fraction);
+  StatusOr<OperatorPtr> TranslateNodeImpl(const LogicalOp& op, int fraction);
   StatusOr<OperatorPtr> TranslateScan(const LogicalOp& op, int fraction);
   StatusOr<OperatorPtr> TranslateRleScan(const LogicalOp& op, int fraction);
   StatusOr<OperatorPtr> TranslateExchange(const LogicalOp& op);
@@ -46,6 +57,8 @@ class Translator {
   ExecStats* stats_;
   bool serial_exchange_ = false;
   ExecContext ctx_;
+  PlanAnalysis* analysis_ = nullptr;
+  PlanNodeStats* analyze_parent_ = nullptr;  // current parent during recursion
   std::unordered_map<const LogicalOp*, std::shared_ptr<SharedBuildState>>
       builds_;
   std::unordered_map<const LogicalOp*, std::vector<int64_t>> scan_offsets_;

@@ -7,6 +7,7 @@
 #include "src/common/rng.h"
 #include "src/federation/data_source.h"
 #include "src/federation/simulated_source.h"
+#include "src/obs/perf_recorder.h"
 #include "src/testing/reference_oracle.h"
 
 namespace vizq::testing {
@@ -209,6 +210,50 @@ std::vector<LaneCheck> ExecutionLanes::RunQuery(const AbstractQuery& q,
   // --- plain engine ---
   StatusOr<ResultTable> direct = ExecuteTruth(q);
   Check("tde_direct", q, direct, &out);
+
+  // --- recorder consistency: a traced execution must leave a coherent
+  // PerfRecorder entry (observability is differentially tested too) ---
+  {
+    obs::PerfRecorder& recorder = obs::GlobalRecorder();
+    const int64_t expect_id = recorder.NextRecordId();
+    ExecContext rctx;  // tracing + metrics + breadcrumbs all enabled
+    StatusOr<ResultTable> traced =
+        truth_service_->ExecuteQuery(rctx, q, truth_opts_);
+    ++checks_run_;
+    if (!traced.ok()) {
+      out.push_back(LaneCheck{"recorder", false,
+                              "traced execution failed: " +
+                                  traced.status().ToString(),
+                              q.ToKeyString()});
+    } else {
+      obs::RecordedRequest entry = recorder.FindById(expect_id);
+      std::string problem;
+      if (entry.id == 0) {
+        problem = "no recorder entry landed (expected id " +
+                  std::to_string(expect_id) + ")";
+      } else if (entry.root.TotalSpans() < 1 || entry.root.name.empty()) {
+        problem = "recorder entry has an empty span tree";
+      } else {
+        // Root-operator rows-out must equal the rows the caller got back,
+        // unless the service applied order/limit locally after the engine
+        // (the "local-topn" breadcrumb marks that).
+        bool local_topn = false;
+        for (const obs::RecordedEvent& e : entry.events) {
+          if (e.detail.rfind("local-topn", 0) == 0) local_topn = true;
+        }
+        auto it = entry.attachments.find("tde.analyze.root_rows");
+        if (it == entry.attachments.end()) {
+          problem = "recorder entry lacks tde.analyze.root_rows attachment";
+        } else if (!local_topn &&
+                   it->second != std::to_string(traced->num_rows())) {
+          problem = "root operator rows-out " + it->second +
+                    " != result rows " + std::to_string(traced->num_rows());
+        }
+      }
+      out.push_back(
+          LaneCheck{"recorder", problem.empty(), problem, q.ToKeyString()});
+    }
+  }
 
   // --- fuzzer self-test: a bumped aggregate cell must be flagged ---
   if (options_.inject_offby_one && direct.ok()) {

@@ -351,6 +351,77 @@ TEST(PersistenceTest, RoundTripsBothCaches) {
   EXPECT_FALSE(DeserializeCaches(corrupt, &scratch_i, &scratch_l).ok());
 }
 
+TEST(PersistenceTest, StatsSurviveRoundTrip) {
+  CacheTestEnv env;
+  IntelligentCache intelligent;
+  LiteralCache literal;
+
+  // Drive a mixed history: one exact hit, one derived (roll-up) hit, and
+  // misses with two distinct typed reasons.
+  AbstractQuery stored = BaseQuery();
+  intelligent.Put(stored, env.Truth(stored), 12.0);
+  EXPECT_TRUE(intelligent.Lookup(stored).has_value());  // exact
+  AbstractQuery rolled = QueryBuilder("tde", "sales")
+                             .Dim("region")
+                             .Agg(AggFunc::kSum, "units", "total")
+                             .Build();
+  EXPECT_TRUE(intelligent.Lookup(rolled).has_value());  // derived
+  AbstractQuery other_view = QueryBuilder("tde", "returns")
+                                 .Dim("region")
+                                 .CountAll("n")
+                                 .Build();
+  EXPECT_FALSE(intelligent.Lookup(other_view).has_value());  // no_candidate
+  AbstractQuery extra_dim = QueryBuilder("tde", "sales")
+                                .Dim("region")
+                                .Dim("product")
+                                .Dim("day")
+                                .Agg(AggFunc::kSum, "units", "total")
+                                .Build();
+  EXPECT_FALSE(intelligent.Lookup(extra_dim).has_value());  // dim_not_stored
+
+  ResultTable t(std::vector<ResultColumn>{{"x", DataType::Int64()}});
+  t.AddRow({Value(int64_t{42})});
+  literal.Put("SELECT 42", t, 3.0, "tde");
+  EXPECT_TRUE(literal.Lookup("SELECT 42").has_value());
+  EXPECT_FALSE(literal.Lookup("SELECT 43").has_value());
+  literal.InvalidateDataSource("tde");
+
+  CacheStats before = intelligent.stats();
+  ASSERT_EQ(before.exact_hits, 1);
+  ASSERT_EQ(before.derived_hits, 1);
+  ASSERT_EQ(before.misses, 2);
+  ASSERT_EQ(
+      before.miss_reasons[static_cast<int>(MissReason::kNoCandidate)], 1);
+  ASSERT_EQ(
+      before.miss_reasons[static_cast<int>(MissReason::kDimensionNotStored)],
+      1);
+
+  std::string bytes = SerializeCaches(intelligent, literal);
+  IntelligentCache restored_i;
+  LiteralCache restored_l;
+  ASSERT_TRUE(DeserializeCaches(bytes, &restored_i, &restored_l).ok());
+
+  // Every counter — including the per-reason breakdown — survives, and
+  // the sum(miss_reasons) == misses invariant still holds after restore.
+  CacheStats after = restored_i.stats();
+  EXPECT_EQ(after.exact_hits, before.exact_hits);
+  EXPECT_EQ(after.derived_hits, before.derived_hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.inserts, before.inserts);
+  EXPECT_EQ(after.evictions, before.evictions);
+  EXPECT_EQ(after.invalidations, before.invalidations);
+  int64_t reason_sum = 0;
+  for (int i = 0; i < kNumMissReasons; ++i) {
+    EXPECT_EQ(after.miss_reasons[i], before.miss_reasons[i])
+        << MissReasonToString(static_cast<MissReason>(i));
+    reason_sum += after.miss_reasons[i];
+  }
+  EXPECT_EQ(reason_sum, after.misses);
+  EXPECT_EQ(restored_l.hits(), literal.hits());
+  EXPECT_EQ(restored_l.misses(), literal.misses());
+  EXPECT_EQ(restored_l.invalidations(), literal.invalidations());
+}
+
 TEST(DistributedTest, SecondNodeStaysWarm) {
   CacheTestEnv env;
   DistributedCacheTier::Options tier_options;

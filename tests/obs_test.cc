@@ -1,0 +1,407 @@
+// Tests for the observability layer (src/obs/): MetricsRegistry exactness
+// under concurrency, histogram percentile monotonicity, JSON parsing and
+// Chrome-trace validation, PerfRecorder retention/export, and the
+// operator-level EXPLAIN ANALYZE plumbing — including the acceptance
+// criterion that a fixed-seed FAA batch exports a schema-valid Chrome
+// trace that is stable across runs modulo timestamps.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/intelligent_cache.h"
+#include "src/dashboard/query_service.h"
+#include "src/federation/data_source.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/perf_recorder.h"
+#include "src/workload/faa_generator.h"
+#include "src/workload/flights_dashboards.h"
+#include "tests/test_util.h"
+
+namespace vizq::obs {
+namespace {
+
+using dashboard::BatchOptions;
+using dashboard::QueryService;
+using query::AbstractQuery;
+using query::QueryBuilder;
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistryTest, ConcurrentCountersAndHistogramsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5000;
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> go{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      Counter& mine = registry.GetCounter("stress.thread." + std::to_string(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        registry.Add("stress.shared", 1);
+        mine.Add(2);
+        registry.Observe("stress.lat_us", static_cast<double>(i % 1000) + 0.5);
+        registry.SetGauge("stress.gauge", static_cast<double>(i));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+
+  MetricsSnapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("stress.shared"), kThreads * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counters.at("stress.thread." + std::to_string(t)),
+              2 * kOpsPerThread);
+  }
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const MetricsSnapshot::HistogramRow& h = snap.histograms[0];
+  EXPECT_EQ(h.name, "stress.lat_us");
+  EXPECT_EQ(h.count, kThreads * kOpsPerThread);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 999.5);
+  // Percentiles are monotone and inside [min, max] by construction.
+  EXPECT_LE(h.min, h.p50);
+  EXPECT_LE(h.p50, h.p95);
+  EXPECT_LE(h.p95, h.p99);
+  EXPECT_LE(h.p99, h.max);
+  // The bucket layout is exponential, so interpolation error is bounded by
+  // one bucket's growth factor (~1.58x).
+  EXPECT_GT(h.p50, 250.0);
+  EXPECT_LT(h.p50, 900.0);
+}
+
+TEST(MetricsRegistryTest, HistogramSumMinMaxAndMean) {
+  Histogram h;
+  h.Observe(1.0);
+  h.Observe(10.0);
+  h.Observe(100.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 111.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+  EXPECT_GE(h.Percentile(100), h.Percentile(50));
+  EXPECT_LE(h.Percentile(0), h.Percentile(50));
+}
+
+TEST(MetricsRegistryTest, InstrumentKindsAreSticky) {
+  MetricsRegistry registry;
+  registry.Add("metric.a", 1);
+  // Same name as a histogram: dropped, not crashed or converted.
+  registry.Observe("metric.a", 3.0);
+  MetricsSnapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("metric.a"), 1);
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsRegistryTest, ExpositionFormats) {
+  MetricsRegistry registry;
+  registry.Add("cache.hits", 7);
+  registry.SetGauge("pool.occupancy", 3.5);
+  registry.Observe("batch.ms", 12.0);
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("vizq_cache_hits 7"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.95\""), std::string::npos);
+  // The JSON snapshot parses with our own parser.
+  auto parsed = ParseJson(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* hits = counters->Find("cache.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(hits->number()), 7);
+}
+
+TEST(MetricsRegistryTest, GlobalSinkReceivesExecContextMetrics) {
+  MetricsRegistry& global = GlobalMetrics();  // installs the sink
+  Counter& c = global.GetCounter("obs_test.count");
+  int64_t before = c.value();
+  ExecContext ctx;
+  ctx.Count("obs_test.count", 3);
+  EXPECT_EQ(c.value(), before + 3);
+  // Background() forwards nothing.
+  ExecContext::Background().Count("obs_test.count", 5);
+  EXPECT_EQ(c.value(), before + 3);
+}
+
+// --- JSON parser / Chrome-trace validator ---
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto v = ParseJson(
+      R"({"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true, "e": null}})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.5);
+  const JsonValue* c = v->Find("b")->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->string(), "x\ny");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+}
+
+TEST(JsonTest, ValidateChromeTraceCatchesSchemaViolations) {
+  int n = 0;
+  EXPECT_TRUE(ValidateChromeTrace(
+                  R"({"traceEvents": [{"name": "x", "ph": "X", "ts": 1,)"
+                  R"( "dur": 2, "pid": 1, "tid": 0}]})",
+                  &n)
+                  .ok());
+  EXPECT_EQ(n, 1);
+  // Missing "name".
+  EXPECT_FALSE(ValidateChromeTrace(
+                   R"({"traceEvents": [{"ph": "X", "ts": 1, "pid": 1,)"
+                   R"( "tid": 0}]})")
+                   .ok());
+  // Negative timestamp.
+  EXPECT_FALSE(ValidateChromeTrace(
+                   R"({"traceEvents": [{"name": "x", "ph": "i", "ts": -4,)"
+                   R"( "pid": 1, "tid": 0}]})")
+                   .ok());
+  // No traceEvents array.
+  EXPECT_FALSE(ValidateChromeTrace(R"({"events": []})").ok());
+}
+
+// --- PerfRecorder ---
+
+// Builds a context with a finished two-level span tree and breadcrumbs.
+ExecContext MakeTracedWork(const std::string& crumb) {
+  ExecContext ctx;
+  ctx.LogEvent("test", crumb);
+  Span* child = ctx.trace()->root()->StartChild("stage");
+  child->StartChild("inner")->End();
+  child->End();
+  ctx.Attach("note", "attachment body");
+  return ctx;
+}
+
+TEST(PerfRecorderTest, RecordsSpansEventsAndAttachments) {
+  PerfRecorder recorder;
+  ExecContext ctx = MakeTracedWork("decision made");
+  int64_t id = recorder.Record(ctx, ctx.trace()->root(), "req:a");
+  ASSERT_GT(id, 0);
+  RecordedRequest r = recorder.FindById(id);
+  EXPECT_EQ(r.id, id);
+  EXPECT_EQ(r.name, "req:a");
+  EXPECT_EQ(r.root.TotalSpans(), 3);  // request -> stage -> inner
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].detail, "decision made");
+  EXPECT_EQ(r.attachments.at("note"), "attachment body");
+  EXPECT_EQ(recorder.total_recorded(), 1);
+  // Background contexts record nothing.
+  EXPECT_EQ(recorder.Record(ExecContext::Background(), nullptr, "x"), 0);
+}
+
+TEST(PerfRecorderTest, RingEvictsOldest) {
+  PerfRecorderOptions options;
+  options.ring_capacity = 2;
+  options.slow_log_capacity = 0;  // ring only
+  PerfRecorder recorder(options);
+  for (int i = 0; i < 4; ++i) {
+    ExecContext ctx = MakeTracedWork("r" + std::to_string(i));
+    recorder.Record(ctx, ctx.trace()->root(), "req:" + std::to_string(i));
+  }
+  std::vector<RecordedRequest> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 2u);  // ring kept the newest two
+  EXPECT_EQ(recent[0].name, "req:3");
+  EXPECT_EQ(recent[1].name, "req:2");
+  EXPECT_TRUE(recorder.Slowest().empty());
+  EXPECT_EQ(recorder.total_recorded(), 4);
+  // Evicted entries no longer resolve.
+  EXPECT_EQ(recorder.FindById(1).id, 0);
+}
+
+TEST(PerfRecorderTest, SlowLogRetainsEntriesTheRingEvicted) {
+  PerfRecorderOptions options;
+  options.ring_capacity = 1;
+  options.slow_log_capacity = 2;
+  options.slow_threshold_ms = 0.0;  // everything is "slow"
+  PerfRecorder recorder(options);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ExecContext ctx = MakeTracedWork("r" + std::to_string(i));
+    ids.push_back(
+        recorder.Record(ctx, ctx.trace()->root(), "req:" + std::to_string(i)));
+  }
+  ASSERT_EQ(recorder.Recent().size(), 1u);
+  std::vector<RecordedRequest> slow = recorder.Slowest();
+  ASSERT_EQ(slow.size(), 2u);  // fastest were evicted, slowest retained
+  EXPECT_GE(slow[0].duration_us, slow[1].duration_us);
+  // Slow-log entries stay resolvable by id even after the ring moved on.
+  for (const RecordedRequest& r : slow) {
+    EXPECT_EQ(recorder.FindById(r.id).id, r.id);
+  }
+  // Records in neither structure no longer resolve: of the four ids, the
+  // ring holds the newest and the slow log two more, so at least one is
+  // fully evicted.
+  int resolved = 0;
+  for (int64_t id : ids) {
+    if (recorder.FindById(id).id != 0) ++resolved;
+  }
+  EXPECT_LE(resolved, 3);
+}
+
+TEST(PerfRecorderTest, ChromeTraceExportValidates) {
+  PerfRecorder recorder;
+  ExecContext ctx = MakeTracedWork("crumb");
+  recorder.Record(ctx, ctx.trace()->root(), "req:x");
+  int n = 0;
+  Status s = ValidateChromeTrace(recorder.AllToChromeTrace(), &n);
+  EXPECT_TRUE(s.ok()) << s;
+  // 3 spans + 1 instant + at least 1 metadata event.
+  EXPECT_GE(n, 5);
+}
+
+// --- end-to-end: fixed-seed FAA batch through the service ---
+
+struct FaaFixture {
+  std::shared_ptr<tde::Database> db;
+  std::unique_ptr<QueryService> service;
+
+  FaaFixture() {
+    workload::FaaOptions faa;
+    faa.num_flights = 5000;
+    faa.seed = 2015;
+    db = *workload::GenerateFaaDatabase(faa);
+    auto source = std::make_shared<federation::TdeDataSource>("faa", db);
+    service = std::make_unique<QueryService>(
+        source, std::make_shared<dashboard::CacheStack>());
+    Status registered = service->RegisterView(workload::FlightsStarView());
+    if (!registered.ok()) ADD_FAILURE() << registered;
+  }
+
+  static std::vector<AbstractQuery> Batch() {
+    std::vector<AbstractQuery> batch;
+    batch.push_back(QueryBuilder("faa", workload::kFlightsView)
+                        .Dim("carrier")
+                        .CountAll("flights")
+                        .OrderBy("flights", false)
+                        .Build());
+    batch.push_back(QueryBuilder("faa", workload::kFlightsView)
+                        .Dim("dest_state")
+                        .Agg(AggFunc::kAvg, "dep_delay", "avg_delay")
+                        .Build());
+    batch.push_back(QueryBuilder("faa", workload::kFlightsView)
+                        .CountAll("n")
+                        .Build());
+    return batch;
+  }
+};
+
+// Strips every "ts"/"dur" value so two exports of the same workload can
+// be compared structurally (names, phases, nesting, pids/tids).
+std::string NormalizeTrace(const std::string& trace_json) {
+  auto parsed = ParseJson(trace_json);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  if (!parsed.ok()) return "";
+  std::string out;
+  const JsonValue* events = parsed->Find("traceEvents");
+  if (events == nullptr) return "";
+  for (const JsonValue& e : events->array()) {
+    const JsonValue* name = e.Find("name");
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* tid = e.Find("tid");
+    out += (name != nullptr ? name->string() : "?");
+    out += "|" + (ph != nullptr ? ph->string() : "?");
+    out += "|" + std::to_string(
+                     tid != nullptr ? static_cast<int64_t>(tid->number()) : -1);
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(ObservabilityEndToEndTest, FaaBatchTraceIsValidAndStableModuloTime) {
+  std::string normalized[2];
+  for (int run = 0; run < 2; ++run) {
+    FaaFixture fx;  // fresh service + caches: identical cold-start state
+    PerfRecorder recorder;
+    ExecContext ctx;
+    auto results = fx.service->ExecuteBatch(ctx, FaaFixture::Batch(), {},
+                                            nullptr);
+    ASSERT_TRUE(results.ok()) << results.status();
+    ASSERT_EQ(results->size(), 3u);
+    // Record into a private recorder for a deterministic single entry.
+    int64_t id = recorder.Record(ctx, ctx.trace()->root(), "batch:faa");
+    RecordedRequest r = recorder.FindById(id);
+    EXPECT_GE(r.root.TotalSpans(), 2);
+    std::string trace = PerfRecorder::ToChromeTrace(r);
+    int n = 0;
+    Status valid = ValidateChromeTrace(trace, &n);
+    ASSERT_TRUE(valid.ok()) << valid;
+    EXPECT_GT(n, 0);
+    normalized[run] = NormalizeTrace(trace);
+    ASSERT_FALSE(normalized[run].empty());
+  }
+  EXPECT_EQ(normalized[0], normalized[1])
+      << "trace structure should be deterministic for a fixed seed";
+}
+
+TEST(ObservabilityEndToEndTest, ExplainAnalyzeRootRowsMatchResult) {
+  FaaFixture fx;
+  BatchOptions opts;
+  opts.use_intelligent_cache = false;
+  opts.use_literal_cache = false;
+  AbstractQuery q = QueryBuilder("faa", workload::kFlightsView)
+                        .Dim("carrier")
+                        .Dim("dest_state")
+                        .Agg(AggFunc::kSum, "dep_delay", "total_delay")
+                        .Build();
+  ExecContext ctx;
+  auto result = fx.service->ExecuteQuery(ctx, q, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::string plan = ctx.log()->attachment("tde.analyze");
+  ASSERT_FALSE(plan.empty());
+  EXPECT_NE(plan.find("Aggregate"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("rows="), std::string::npos) << plan;
+  EXPECT_EQ(ctx.log()->attachment("tde.analyze.root_rows"),
+            std::to_string(result->num_rows()));
+}
+
+TEST(ObservabilityEndToEndTest, CacheMissReasonsReachGlobalRegistry) {
+  MetricsRegistry& global = GlobalMetrics();
+  Counter& miss_counter =
+      global.GetCounter("cache.intelligent.miss.dimension_not_stored");
+  int64_t before = miss_counter.value();
+
+  cache::IntelligentCache cache;
+  ResultTable t(std::vector<ResultColumn>{{"carrier", DataType::String()},
+                                          {"n", DataType::Int64()}});
+  t.AddRow({Value("AA"), Value(int64_t{10})});
+  AbstractQuery stored = QueryBuilder("faa", "flights_star")
+                             .Dim("carrier")
+                             .CountAll("n")
+                             .Build();
+  cache.Put(stored, t, 10.0);
+  AbstractQuery asks_more = QueryBuilder("faa", "flights_star")
+                                .Dim("carrier")
+                                .Dim("dest_state")
+                                .CountAll("n")
+                                .Build();
+  ExecContext ctx;
+  EXPECT_FALSE(cache.LookupHit(asks_more, ctx).has_value());
+  EXPECT_EQ(miss_counter.value(), before + 1);
+  // The typed reason also lands in the per-request breadcrumbs.
+  bool found = false;
+  for (const auto& e : ctx.log()->events()) {
+    if (e.detail.find("reason=dimension_not_stored") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace vizq::obs

@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/testing/differential_fuzzer.h"
 
 namespace {
@@ -24,8 +26,29 @@ void Usage(const char* argv0) {
                "usage: %s [--iterations N] [--seed S] [--queries N]\n"
                "          [--dataset-every N] [--max-failures N]\n"
                "          [--no-federated] [--no-deadline] [--no-metamorphic]\n"
-               "          [--no-minimize] [--inject]\n",
+               "          [--no-minimize] [--inject] [--artifacts-dir DIR]\n",
                argv0);
+}
+
+// CI uploads DIR as a workflow artifact: every failure with its replay
+// seeds and minimized query, plus the global metrics registry snapshot
+// (what the whole campaign did — lane counts, cache hit/miss reasons,
+// operator timings) for triage without a local rerun.
+void WriteArtifacts(const std::string& dir,
+                    const vizq::testing::FuzzReport& report) {
+  {
+    std::ofstream f(dir + "/failures.txt", std::ios::trunc);
+    f << report.Summary() << "\n\n";
+    for (const auto& failure : report.failures) {
+      f << failure.ToString() << "\n";
+    }
+  }
+  {
+    std::ofstream f(dir + "/registry_snapshot.json", std::ios::trunc);
+    f << vizq::obs::GlobalMetrics().ToJson() << "\n";
+  }
+  std::printf("wrote artifacts to %s/{failures.txt,registry_snapshot.json}\n",
+              dir.c_str());
 }
 
 bool ParseInt64(const char* s, int64_t* out) {
@@ -40,6 +63,7 @@ bool ParseInt64(const char* s, int64_t* out) {
 
 int main(int argc, char** argv) {
   vizq::testing::FuzzOptions options;
+  std::string artifacts_dir;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto next_int = [&](int64_t* out) {
@@ -74,6 +98,12 @@ int main(int argc, char** argv) {
       options.minimize = false;
     } else if (std::strcmp(arg, "--inject") == 0) {
       options.inject_offby_one = true;
+    } else if (std::strcmp(arg, "--artifacts-dir") == 0) {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        return 2;
+      }
+      artifacts_dir = argv[++i];
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       Usage(argv[0]);
       return 0;
@@ -83,6 +113,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Install the global metrics sink before the campaign so lane traffic
+  // lands in the registry snapshot (the singleton self-installs lazily).
+  vizq::obs::GlobalMetrics();
+
   std::printf("fuzz_differential: seed=%llu iterations=%d queries/iter=%d\n",
               static_cast<unsigned long long>(options.seed),
               options.iterations, options.queries_per_iteration);
@@ -91,6 +125,8 @@ int main(int argc, char** argv) {
   vizq::testing::FuzzReport report =
       vizq::testing::RunDifferentialFuzz(options);
   std::printf("%s\n", report.Summary().c_str());
+
+  if (!artifacts_dir.empty()) WriteArtifacts(artifacts_dir, report);
 
   if (options.inject_offby_one) {
     // Self-test mode: the run must catch the injected off-by-one.

@@ -1,0 +1,289 @@
+// vizq_stats: runs the paper's FAA dashboard workload through the full
+// stack (QueryService + caches + connection pool + simulated warehouse
+// backend) with observability enabled, then dumps what the obs/ layer
+// collected:
+//
+//   * the global MetricsRegistry snapshot (Prometheus text, or JSON with
+//     --json) — cache, pool, service and per-operator histograms;
+//   * the slowest-N recorded requests with their span trees;
+//   * the whole recorded workload as Chrome trace-event JSON
+//     (--trace-out FILE, loadable in chrome://tracing / Perfetto);
+//   * one operator-level EXPLAIN ANALYZE plan for a probe query.
+//
+// --selftest runs the same workload and asserts the acceptance criteria
+// (plausible p50<=p95<=p99 in cache/pool/operator histograms, schema-valid
+// Chrome trace, root rows-out == returned rows), exiting non-zero on any
+// violation; CI runs it on every Release build.
+//
+//   ./build/tools/vizq_stats [--flights N] [--seed S] [--slow-n N]
+//                            [--json] [--trace-out FILE] [--selftest]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/dashboard/renderer.h"
+#include "src/federation/simulated_source.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/perf_recorder.h"
+#include "src/query/abstract_query.h"
+#include "src/workload/faa_generator.h"
+#include "src/workload/flights_dashboards.h"
+
+using namespace vizq;
+
+namespace {
+
+struct ToolOptions {
+  int64_t flights = 20000;
+  uint64_t seed = 2015;
+  int slow_n = 3;
+  bool json = false;
+  bool selftest = false;
+  std::string trace_out;
+};
+
+// What one workload run leaves behind for printing / asserting.
+struct WorkloadResult {
+  std::string plan_text;       // annotated EXPLAIN ANALYZE of the probe
+  std::string plan_root_rows;  // "tde.analyze.root_rows" attachment
+  int64_t probe_rows = 0;      // rows the probe actually returned
+  int64_t queries_run = 0;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "vizq_stats: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<WorkloadResult> RunWorkload(const ToolOptions& opt) {
+  WorkloadResult out;
+
+  workload::FaaOptions faa;
+  faa.num_flights = opt.flights;
+  faa.seed = opt.seed;
+  VIZQ_ASSIGN_OR_RETURN(std::shared_ptr<tde::Database> db,
+                        workload::GenerateFaaDatabase(faa));
+
+  // A parallel-warehouse backend: realistic connect/dispatch/transfer
+  // latencies so the histograms have something to say, fast enough that
+  // the selftest stays in CI budget.
+  auto source = federation::SimulatedDataSource::ParallelWarehouse("faa", db);
+  auto caches = std::make_shared<dashboard::CacheStack>();
+  dashboard::QueryService service(source, caches);
+  VIZQ_RETURN_IF_ERROR(service.RegisterView(workload::FlightsStarView()));
+
+  dashboard::BatchOptions options;
+  options.adjust.add_filter_dimensions = true;
+  dashboard::DashboardRenderer renderer(&service);
+
+  // Figure 1: cold load, a map selection, then a warm re-render (cache
+  // exact/derived hits). Each render gets its own traced context, so each
+  // dashboard batch becomes one recorder entry.
+  dashboard::Dashboard fig1 = workload::BuildFigure1Dashboard("faa");
+  {
+    dashboard::InteractionState state;
+    ExecContext ctx;
+    VIZQ_ASSIGN_OR_RETURN(dashboard::RenderReport load,
+                          renderer.Render(ctx, fig1, &state, options));
+    for (const auto& b : load.batches) {
+      out.queries_run += static_cast<int64_t>(b.queries.size());
+    }
+    state.Select("DestMap", "dest_state", {Value("CA")});
+    ExecContext rctx;
+    VIZQ_ASSIGN_OR_RETURN(dashboard::RenderReport refresh,
+                          renderer.Refresh(rctx, fig1, &state,
+                                           fig1.ActionTargets("DestMap"),
+                                           options));
+    for (const auto& b : refresh.batches) {
+      out.queries_run += static_cast<int64_t>(b.queries.size());
+    }
+  }
+  {
+    dashboard::InteractionState warm;
+    ExecContext ctx;
+    VIZQ_ASSIGN_OR_RETURN(dashboard::RenderReport again,
+                          renderer.Render(ctx, fig1, &warm, options));
+    for (const auto& b : again.batches) {
+      out.queries_run += static_cast<int64_t>(b.queries.size());
+    }
+  }
+
+  // Figure 2: the Market / Carrier / Airline Name dashboard.
+  {
+    dashboard::Dashboard fig2 = workload::BuildFigure2Dashboard("faa");
+    dashboard::InteractionState state;
+    ExecContext ctx;
+    VIZQ_ASSIGN_OR_RETURN(dashboard::RenderReport load,
+                          renderer.Render(ctx, fig2, &state, options));
+    for (const auto& b : load.batches) {
+      out.queries_run += static_cast<int64_t>(b.queries.size());
+    }
+  }
+
+  // Probe query for the EXPLAIN ANALYZE dump: caches off so it must reach
+  // the engine and produce a plan.
+  query::AbstractQuery probe = query::QueryBuilder("faa", workload::kFlightsView)
+                                   .Dim("carrier")
+                                   .CountAll("flights")
+                                   .Build();
+  dashboard::BatchOptions probe_opts;
+  probe_opts.use_intelligent_cache = false;
+  probe_opts.use_literal_cache = false;
+  ExecContext pctx;
+  VIZQ_ASSIGN_OR_RETURN(ResultTable probe_result,
+                        service.ExecuteQuery(pctx, probe, probe_opts));
+  ++out.queries_run;
+  out.probe_rows = probe_result.num_rows();
+  out.plan_text = pctx.log()->attachment("tde.analyze");
+  out.plan_root_rows = pctx.log()->attachment("tde.analyze.root_rows");
+  return out;
+}
+
+void PrintSpanTree(const obs::RecordedSpan& span, int depth) {
+  std::printf("    %*s%s  %.3f ms\n", depth * 2, "", span.name.c_str(),
+              span.duration_us / 1000.0);
+  for (const obs::RecordedSpan& child : span.children) {
+    PrintSpanTree(child, depth + 1);
+  }
+}
+
+// --selftest: assert the acceptance criteria on what the run recorded.
+int SelfTest(const WorkloadResult& result) {
+  // (c) EXPLAIN ANALYZE root rows-out == returned rows.
+  if (result.plan_text.empty()) {
+    return Fail("selftest: probe left no tde.analyze attachment");
+  }
+  if (result.plan_root_rows != std::to_string(result.probe_rows)) {
+    return Fail("selftest: plan root rows-out '" + result.plan_root_rows +
+                "' != probe result rows " + std::to_string(result.probe_rows));
+  }
+
+  // (a) registry snapshot: cache, pool and per-operator histograms with
+  // monotone percentiles.
+  obs::MetricsSnapshot snap = obs::GlobalMetrics().TakeSnapshot();
+  bool saw_cache = false, saw_pool = false, saw_op = false;
+  for (const auto& h : snap.histograms) {
+    if (h.count <= 0) continue;
+    if (h.name.rfind("cache.", 0) == 0) saw_cache = true;
+    if (h.name.rfind("pool.", 0) == 0) saw_pool = true;
+    if (h.name.rfind("tde.op.", 0) == 0) saw_op = true;
+    if (!(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max &&
+          h.min <= h.p50)) {
+      return Fail("selftest: non-monotone percentiles in histogram " + h.name);
+    }
+  }
+  if (!saw_cache) return Fail("selftest: no cache.* histogram observed");
+  if (!saw_pool) return Fail("selftest: no pool.* histogram observed");
+  if (!saw_op) return Fail("selftest: no tde.op.* histogram observed");
+  if (snap.counters.find("cache.intelligent.miss") == snap.counters.end()) {
+    return Fail("selftest: cache.intelligent.miss counter missing");
+  }
+
+  // (b) the recorded workload exports as schema-valid Chrome trace JSON.
+  if (obs::GlobalRecorder().total_recorded() <= 0) {
+    return Fail("selftest: recorder captured no requests");
+  }
+  std::string trace = obs::GlobalRecorder().AllToChromeTrace();
+  int num_events = 0;
+  Status valid = obs::ValidateChromeTrace(trace, &num_events);
+  if (!valid.ok()) {
+    return Fail("selftest: Chrome trace invalid: " + valid.ToString());
+  }
+  if (num_events <= 0) return Fail("selftest: Chrome trace has no events");
+
+  std::printf("vizq_stats selftest OK: %lld queries, %lld recorded requests, "
+              "%d trace events, probe rows %lld\n",
+              static_cast<long long>(result.queries_run),
+              static_cast<long long>(obs::GlobalRecorder().total_recorded()),
+              num_events, static_cast<long long>(result.probe_rows));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ToolOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--flights") == 0 && i + 1 < argc) {
+      opt.flights = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--slow-n") == 0 && i + 1 < argc) {
+      opt.slow_n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json = true;
+    } else if (std::strcmp(argv[i], "--selftest") == 0) {
+      opt.selftest = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      opt.trace_out = argv[++i];
+    } else {
+      return Fail(std::string("unknown flag: ") + argv[i] +
+                  "\nusage: vizq_stats [--flights N] [--seed S] [--slow-n N]"
+                  " [--json] [--trace-out FILE] [--selftest]");
+    }
+  }
+
+  // Fresh observability epoch so the dump reflects exactly this run.
+  obs::GlobalMetrics().Reset();
+  obs::GlobalRecorder().Clear();
+
+  StatusOr<WorkloadResult> result = RunWorkload(opt);
+  if (!result.ok()) return Fail("workload failed: " + result.status().ToString());
+
+  if (opt.selftest) return SelfTest(*result);
+
+  // --- registry snapshot ---
+  std::printf("== global metrics (%s) ==\n",
+              opt.json ? "json" : "prometheus");
+  if (opt.json) {
+    std::printf("%s\n", obs::GlobalMetrics().ToJson().c_str());
+  } else {
+    std::printf("%s", obs::GlobalMetrics().ToPrometheusText().c_str());
+  }
+
+  // --- slowest recorded requests ---
+  // Fast runs leave the slow-query log empty; rank the ring instead so
+  // the dump always shows where the time went.
+  std::vector<obs::RecordedRequest> slow = obs::GlobalRecorder().Slowest();
+  if (slow.empty()) {
+    slow = obs::GlobalRecorder().Recent();
+    std::sort(slow.begin(), slow.end(),
+              [](const obs::RecordedRequest& a, const obs::RecordedRequest& b) {
+                return a.duration_us > b.duration_us;
+              });
+  }
+  std::printf("\n== slowest %d of %lld recorded requests ==\n", opt.slow_n,
+              static_cast<long long>(obs::GlobalRecorder().total_recorded()));
+  int shown = 0;
+  for (const obs::RecordedRequest& r : slow) {
+    if (shown++ >= opt.slow_n) break;
+    std::printf("  #%lld %s  %.3f ms, %d spans, %zu breadcrumbs\n",
+                static_cast<long long>(r.id), r.name.c_str(),
+                r.duration_us / 1000.0, r.root.TotalSpans(), r.events.size());
+    PrintSpanTree(r.root, 0);
+  }
+
+  // --- Chrome trace export ---
+  if (!opt.trace_out.empty()) {
+    std::ofstream f(opt.trace_out, std::ios::trunc);
+    if (!f) return Fail("cannot open " + opt.trace_out);
+    f << obs::GlobalRecorder().AllToChromeTrace();
+    std::printf("\nwrote Chrome trace (load in chrome://tracing) to %s\n",
+                opt.trace_out.c_str());
+  }
+
+  // --- one annotated plan ---
+  std::printf("\n== EXPLAIN ANALYZE: carrier flight counts (caches off) ==\n");
+  std::printf("%s", result->plan_text.c_str());
+  std::printf("  (root rows-out %s, returned rows %lld)\n",
+              result->plan_root_rows.c_str(),
+              static_cast<long long>(result->probe_rows));
+  return 0;
+}
