@@ -132,6 +132,12 @@ class GlobalMetricsSink {
   virtual ~GlobalMetricsSink() = default;
   virtual void Add(const std::string& name, int64_t delta) = 0;
   virtual void Observe(const std::string& name, double value) = 0;
+  // Last-write-wins instantaneous value (queue depths, pool occupancy).
+  // Default no-op so sinks that only aggregate counters keep working.
+  virtual void SetGauge(const std::string& name, double value) {
+    (void)name;
+    (void)value;
+  }
 };
 
 // Installs / reads the process-global sink. The sink must outlive all use

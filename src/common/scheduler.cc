@@ -1,0 +1,419 @@
+#include "src/common/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <thread>
+
+namespace vizq {
+
+namespace {
+
+// Set while a worker of some scheduler is running a task; lets Submit
+// detect nested spawns (which bypass the class caps, see scheduler.h).
+thread_local const Scheduler* tls_worker_of = nullptr;
+
+}  // namespace
+
+const char* TaskClassName(TaskClass c) {
+  switch (c) {
+    case TaskClass::kInteractive:
+      return "interactive";
+    case TaskClass::kBatch:
+      return "batch";
+    case TaskClass::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+// Earliest deadline first; deadline-free tasks sort after all deadlined
+// ones; ties break FIFO by submit sequence. std::push_heap keeps the
+// "best" task at front under this ordering.
+bool Scheduler::Worse(const Task& a, const Task& b) {
+  auto key = [](const Task& t) {
+    return t.has_deadline ? t.deadline
+                          : std::chrono::steady_clock::time_point::max();
+  };
+  auto ka = key(a);
+  auto kb = key(b);
+  if (ka != kb) return ka > kb;
+  return a.seq > b.seq;
+}
+
+namespace {
+
+// Metric names are fixed per (prefix, class); intern them once so the hot
+// path does no string concatenation.
+const std::string& ClassMetricName(const char* prefix, int ci) {
+  static std::mutex mu;
+  static std::map<std::pair<std::string, int>, std::string>* names =
+      new std::map<std::pair<std::string, int>, std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(std::string(prefix), ci);
+  auto it = names->find(key);
+  if (it == names->end()) {
+    it = names
+             ->emplace(key, std::string("sched.") + prefix + "." +
+                                TaskClassName(static_cast<TaskClass>(ci)))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
+  int n = options_.num_threads;
+  if (n <= 0) {
+    // Oversubscribed on purpose: tasks in this codebase mostly sleep on
+    // simulated I/O, so workers spend their time blocked, not computing.
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    n = std::clamp(2 * std::max(hw, 1), 8, 32);
+  }
+  num_threads_ = n;
+  double share = std::clamp(options_.non_interactive_share, 0.0, 1.0);
+  max_non_interactive_running_ =
+      std::clamp(static_cast<int>(std::lround(n * share)), 1, n);
+  max_background_running_ = std::max(1, max_non_interactive_running_ / 2);
+  pool_ = std::make_unique<ThreadPool>(n);
+  for (int i = 0; i < n; ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+void Scheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  pool_->Shutdown();
+}
+
+bool Scheduler::OnWorkerThread() const { return tls_worker_of == this; }
+
+Status Scheduler::Submit(TaskClass cls, std::function<void()> fn,
+                         const ExecContext& ctx, SubmitOptions opts) {
+  const int ci = static_cast<int>(cls);
+  Task t;
+  t.fn = std::move(fn);
+  t.ctx = ctx;
+  t.name = std::move(opts.name);
+  t.cls = cls;
+  t.skip_if_cancelled = opts.skip_if_cancelled;
+  t.nested = OnWorkerThread();
+  t.enqueued = std::chrono::steady_clock::now();
+  if (options_.prioritize && ctx.has_deadline()) {
+    t.has_deadline = true;
+    t.deadline = ctx.deadline();
+  }
+
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return FailedPrecondition("scheduler is shut down");
+    }
+    // Without priorities everything shares one FIFO (queue 0) whose
+    // capacity is the sum of the per-class bounds.
+    const int qi = options_.prioritize ? ci : 0;
+    int64_t capacity;
+    if (options_.prioritize) {
+      capacity = cls == TaskClass::kInteractive ? options_.max_queued_interactive
+                 : cls == TaskClass::kBatch     ? options_.max_queued_batch
+                                                : options_.max_queued_background;
+    } else {
+      capacity = static_cast<int64_t>(options_.max_queued_interactive) +
+                 options_.max_queued_batch + options_.max_queued_background;
+    }
+    std::vector<Task>& q = queues_[qi];
+    if (static_cast<int64_t>(q.size()) >= capacity) {
+      ++shed_[ci];
+      if (GlobalMetricsSink* sink = GetGlobalMetricsSink(); sink != nullptr) {
+        sink->Add(ClassMetricName("shed", ci), 1);
+      }
+      return ResourceExhausted(std::string("scheduler ") +
+                               TaskClassName(cls) +
+                               " queue is full (admission control)");
+    }
+    t.seq = next_seq_++;
+    q.push_back(std::move(t));
+    std::push_heap(q.begin(), q.end(), Worse);
+    ++submitted_[ci];
+    depth = q.size();
+  }
+  if (GlobalMetricsSink* sink = GetGlobalMetricsSink(); sink != nullptr) {
+    sink->Add(ClassMetricName("submitted", ci), 1);
+  }
+  PublishDepthGauge(options_.prioritize ? cls : TaskClass::kInteractive,
+                    depth);
+  work_cv_.notify_one();
+  return OkStatus();
+}
+
+int64_t Scheduler::TotalQueuedLocked() const {
+  int64_t total = 0;
+  for (const std::vector<Task>& q : queues_) {
+    total += static_cast<int64_t>(q.size());
+  }
+  return total;
+}
+
+bool Scheduler::PickTaskLocked(Task* out) {
+  auto pop = [&](std::vector<Task>& q) {
+    std::pop_heap(q.begin(), q.end(), Worse);
+    *out = std::move(q.back());
+    q.pop_back();
+  };
+
+  if (!options_.prioritize) {
+    std::vector<Task>& q = queues_[0];
+    if (q.empty()) return false;
+    pop(q);
+    ++dispatches_;
+    return true;
+  }
+
+  const bool boost =
+      options_.starvation_boost_period > 0 &&
+      (dispatches_ % options_.starvation_boost_period) ==
+          static_cast<uint64_t>(options_.starvation_boost_period) - 1;
+  static constexpr TaskClass kHighFirst[] = {
+      TaskClass::kInteractive, TaskClass::kBatch, TaskClass::kBackground};
+  static constexpr TaskClass kLowFirst[] = {
+      TaskClass::kBackground, TaskClass::kBatch, TaskClass::kInteractive};
+  for (TaskClass c : boost ? kLowFirst : kHighFirst) {
+    std::vector<Task>& q = queues_[static_cast<int>(c)];
+    if (q.empty()) continue;
+    // Class caps keep reserve workers for interactive arrivals. Nested
+    // tasks (spawned from inside a worker) bypass the caps: their parent
+    // already holds a slot and may be blocked waiting on them.
+    if (c != TaskClass::kInteractive && !q.front().nested) {
+      if (running_non_interactive_ >= max_non_interactive_running_) continue;
+      if (c == TaskClass::kBackground &&
+          running_background_ >= max_background_running_) {
+        continue;
+      }
+    }
+    pop(q);
+    ++dispatches_;
+    if (c != TaskClass::kInteractive) {
+      ++running_non_interactive_;
+      if (c == TaskClass::kBackground) ++running_background_;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::PublishDepthGauge(TaskClass cls, size_t depth) const {
+  if (GlobalMetricsSink* sink = GetGlobalMetricsSink(); sink != nullptr) {
+    sink->SetGauge(ClassMetricName("queue_depth", static_cast<int>(cls)),
+                   static_cast<double>(depth));
+  }
+}
+
+void Scheduler::RunTask(Task task) {
+  const int ci = static_cast<int>(task.cls);
+  GlobalMetricsSink* sink = GetGlobalMetricsSink();
+  auto started = std::chrono::steady_clock::now();
+  if (sink != nullptr) {
+    double wait_us =
+        std::chrono::duration<double, std::micro>(started - task.enqueued)
+            .count();
+    sink->Observe(ClassMetricName("wait_us", ci), wait_us);
+  }
+
+  if (task.skip_if_cancelled && task.ctx.cancelled()) {
+    if (sink != nullptr) sink->Add(ClassMetricName("skipped_cancelled", ci), 1);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++skipped_cancelled_[ci];
+    ++completed_[ci];
+    return;
+  }
+
+  {
+    ScopedSpan span(task.ctx.StartSpan(
+        "sched:" + (task.name.empty() ? TaskClassName(task.cls) : task.name)));
+    task.fn();
+  }
+
+  if (sink != nullptr) {
+    double run_us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+    sink->Observe(ClassMetricName("run_us", ci), run_us);
+    sink->Add(ClassMetricName("completed", ci), 1);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_[ci];
+}
+
+void Scheduler::WorkerLoop() {
+  const Scheduler* saved = tls_worker_of;
+  tls_worker_of = this;
+  while (true) {
+    Task task;
+    size_t depth = 0;
+    TaskClass depth_cls = TaskClass::kInteractive;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return stop_ || TotalQueuedLocked() > 0; });
+      if (TotalQueuedLocked() == 0) {
+        if (stop_) break;
+        continue;
+      }
+      if (!PickTaskLocked(&task)) {
+        // Everything queued is capped; wake when capacity frees (or poll,
+        // against missed wakeups).
+        work_cv_.wait_for(lock, std::chrono::milliseconds(2));
+        continue;
+      }
+      depth_cls = options_.prioritize ? task.cls : TaskClass::kInteractive;
+      depth = queues_[static_cast<int>(depth_cls)].size();
+    }
+    PublishDepthGauge(depth_cls, depth);
+    const TaskClass cls = task.cls;
+    RunTask(std::move(task));
+    if (options_.prioritize && cls != TaskClass::kInteractive) {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_non_interactive_;
+      if (cls == TaskClass::kBackground) --running_background_;
+    }
+    // A completion may unblock a capped class or a Wait()ing joiner.
+    work_cv_.notify_one();
+  }
+  tls_worker_of = saved;
+}
+
+int64_t Scheduler::queue_depth(TaskClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int qi = options_.prioritize ? static_cast<int>(cls) : 0;
+  return static_cast<int64_t>(queues_[qi].size());
+}
+
+int64_t Scheduler::submitted(TaskClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_[static_cast<int>(cls)];
+}
+
+int64_t Scheduler::completed(TaskClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_[static_cast<int>(cls)];
+}
+
+int64_t Scheduler::shed(TaskClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_[static_cast<int>(cls)];
+}
+
+int64_t Scheduler::skipped_cancelled(TaskClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skipped_cancelled_[static_cast<int>(cls)];
+}
+
+Scheduler& Scheduler::Global() {
+  // Leaked, like obs::GlobalMetrics(): worker threads must stay valid for
+  // any static-destruction-order stragglers.
+  static Scheduler* global = new Scheduler();
+  return *global;
+}
+
+// --- TaskGroup ---
+
+TaskGroup::TaskGroup(Scheduler* scheduler, TaskClass cls,
+                     const ExecContext& ctx, int max_concurrency)
+    : scheduler_(scheduler),
+      cls_(cls),
+      ctx_(ctx),
+      max_concurrency_(max_concurrency) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Spawn(std::function<void()> fn, std::string name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(Pending{std::move(fn), std::move(name)});
+    ++outstanding_;
+    ++spawned_;
+  }
+  Pump(0);
+}
+
+void TaskGroup::Pump(int64_t finished) {
+  // Lifetime invariant: `finished` completions are applied to
+  // outstanding_ — and waiters notified — as this call's very last touch
+  // of the group. A task that completed on a worker therefore keeps the
+  // group alive (its own outstanding_ count) while it pumps successors;
+  // decrementing before pumping would let Wait() return and the group be
+  // destroyed under the worker's feet.
+  while (true) {
+    Pending next;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty() ||
+          (max_concurrency_ > 0 && in_flight_ >= max_concurrency_)) {
+        outstanding_ -= finished;
+        if (finished > 0 && outstanding_ == 0) {
+          // Notify under the lock: the waiter re-acquires mu_ before
+          // returning from Wait(), so this thread is fully out of the
+          // group's members by the time destruction can proceed.
+          done_cv_.notify_all();
+        }
+        return;
+      }
+      next = std::move(pending_.front());
+      pending_.pop_front();
+      ++in_flight_;
+    }
+    // The wrapper owns completion accounting, so a task always finishes
+    // the group whether it ran on a worker or inline.
+    auto fn = std::make_shared<std::function<void()>>(std::move(next.fn));
+    Status submitted = scheduler_->Submit(
+        cls_,
+        [this, fn] {
+          (*fn)();
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            --in_flight_;
+          }
+          Pump(1);  // applies this task's completion on its exit path
+        },
+        ctx_, SubmitOptions{std::move(next.name), false});
+    if (!submitted.ok()) {
+      // Load shed (admission control) or shutdown: run inline on the
+      // spawning/pumping thread — the group never loses work. The
+      // completion is deferred into `finished` so it, too, is applied
+      // only on the exit path.
+      (*fn)();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++ran_inline_;
+        --in_flight_;
+      }
+      ++finished;
+    }
+  }
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+int64_t TaskGroup::spawned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spawned_;
+}
+
+int64_t TaskGroup::ran_inline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ran_inline_;
+}
+
+}  // namespace vizq

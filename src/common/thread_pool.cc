@@ -1,27 +1,42 @@
 #include "src/common/thread_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace vizq {
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
+  num_threads_ = num_threads;
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      std::fprintf(stderr,
+                   "ThreadPool::Submit called after shutdown; the task "
+                   "would never run\n");
+      std::abort();
+    }
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();

@@ -1,8 +1,14 @@
-// A fixed-size worker pool used by the Exchange operator, the dashboard
-// batch scheduler and the simulated backends.
+// A fixed-size worker pool. Since the unified scheduler landed
+// (src/common/scheduler.h) this class has exactly one production role:
+// hosting the Scheduler's worker threads. Everything that used to build
+// ad-hoc pools (Exchange producers, per-batch QueryService pools, the
+// Prefetcher) now submits tasks to the process-wide Scheduler instead.
+// Tests still use it directly as a plain fan-out helper.
 //
 // Tasks are arbitrary std::function<void()>. Submission never blocks; the
 // queue is unbounded (callers in this codebase bound their own fan-out).
+// Submitting after Shutdown() (or during destruction) is a hard error:
+// the old behaviour silently enqueued work that never ran.
 
 #ifndef VIZQUERY_COMMON_THREAD_POOL_H_
 #define VIZQUERY_COMMON_THREAD_POOL_H_
@@ -28,13 +34,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues `task` for execution on some worker.
+  // Enqueues `task` for execution on some worker. Aborts the process if
+  // the pool has been shut down — a submit that would never run is a
+  // lifecycle bug at the call site, not a condition to limp past.
   void Submit(std::function<void()> task);
 
   // Blocks until every task submitted so far has finished.
   void Wait();
 
-  int num_threads() const { return static_cast<int>(threads_.size()); }
+  // Completes outstanding tasks, joins the workers, and rejects any later
+  // Submit. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  int num_threads() const { return num_threads_; }
 
  private:
   void WorkerLoop();
@@ -45,6 +57,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   int active_ = 0;
   bool shutdown_ = false;
+  int num_threads_ = 0;
   std::vector<std::thread> threads_;
 };
 

@@ -46,16 +46,21 @@ int Prefetcher::PrefetchAfterRender(const Dashboard& dashboard,
   if (speculative.empty()) return 0;
   prefetched_ += static_cast<int64_t>(speculative.size());
 
-  // Run the whole speculative batch on the background pool; results are
-  // deposited in the shared cache by the QueryService as usual. The batch
-  // itself also benefits from analysis/fusion.
+  // Run the whole speculative batch as a kBackground scheduler task;
+  // results are deposited in the shared cache by the QueryService as
+  // usual. The batch itself also benefits from analysis/fusion. Its
+  // remote groups are demoted to kBackground too, so speculation never
+  // competes with interactive renders for workers.
   BatchOptions options = batch_options;
+  options.priority = TaskClass::kBackground;
   QueryService* service = service_;
   std::vector<query::AbstractQuery> batch = std::move(speculative);
   int scheduled = static_cast<int>(batch.size());
-  pool_->Submit([service, options, batch = std::move(batch)] {
-    (void)service->ExecuteBatch(batch, options, nullptr);
-  });
+  group_->Spawn(
+      [service, options, batch = std::move(batch)] {
+        (void)service->ExecuteBatch(batch, options, nullptr);
+      },
+      "prefetch-batch");
   return scheduled;
 }
 

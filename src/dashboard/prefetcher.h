@@ -16,7 +16,7 @@
 
 #include <memory>
 
-#include "src/common/thread_pool.h"
+#include "src/common/scheduler.h"
 #include "src/dashboard/renderer.h"
 
 namespace vizq::dashboard {
@@ -26,6 +26,8 @@ struct PrefetchOptions {
   int values_per_source = 2;
   // Upper bound on speculative queries per render.
   int max_queries = 16;
+  // Cap on concurrently running speculative batches (scheduler tasks, not
+  // dedicated threads — speculation rides the kBackground class).
   int background_threads = 2;
 };
 
@@ -34,7 +36,9 @@ class Prefetcher {
   Prefetcher(QueryService* service, PrefetchOptions options = {})
       : service_(service),
         options_(options),
-        pool_(std::make_unique<ThreadPool>(options.background_threads)) {}
+        group_(std::make_unique<TaskGroup>(
+            &Scheduler::Global(), TaskClass::kBackground,
+            ExecContext::Background(), options.background_threads)) {}
 
   // Predicts next interactions from `report`'s rendered results and warms
   // the cache in the background. Returns the number of speculative
@@ -45,14 +49,14 @@ class Prefetcher {
                           const BatchOptions& batch_options);
 
   // Blocks until scheduled speculation has finished.
-  void Wait() { pool_->Wait(); }
+  void Wait() { group_->Wait(); }
 
   int64_t queries_prefetched() const { return prefetched_; }
 
  private:
   QueryService* service_;
   PrefetchOptions options_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<TaskGroup> group_;
   int64_t prefetched_ = 0;
 };
 

@@ -3,9 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
-#include <thread>
 
-#include "src/common/thread_pool.h"
 #include "src/obs/perf_recorder.h"
 
 namespace vizq::dashboard {
@@ -267,13 +265,17 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     cv.notify_one();
   };
 
-  std::unique_ptr<ThreadPool> workers;
+  // Remote groups run as scheduler tasks under the batch's priority class;
+  // the group's max_concurrency preserves the §3.5 connection-level cap.
+  std::unique_ptr<TaskGroup> workers;
   if (options.concurrent && groups.size() > 1) {
-    workers = std::make_unique<ThreadPool>(
+    workers = std::make_unique<TaskGroup>(
+        &Scheduler::Global(), options.priority, bctx,
         std::min<int>(options.max_parallel_queries,
                       static_cast<int>(groups.size())));
     for (size_t gi = 0; gi < groups.size(); ++gi) {
-      workers->Submit([&, gi] { run_group(static_cast<int>(gi)); });
+      workers->Spawn([&, gi] { run_group(static_cast<int>(gi)); },
+                     "batch-group");
     }
   }
 

@@ -23,6 +23,7 @@
 
 #include "src/cache/intelligent_cache.h"
 #include "src/cache/literal_cache.h"
+#include "src/common/scheduler.h"
 #include "src/dashboard/fusion.h"
 #include "src/dashboard/opportunity_graph.h"
 #include "src/federation/connection_pool.h"
@@ -49,6 +50,10 @@ struct BatchOptions {
   bool fuse_queries = true;    // §3.4
   bool concurrent = true;      // concurrent remote submission (§3.5)
   int max_parallel_queries = 8;
+  // Scheduler class the batch's remote groups run under. User-facing
+  // renders keep the default; the prefetcher demotes its speculative
+  // batches to kBackground so they never delay interactive work.
+  TaskClass priority = TaskClass::kInteractive;
   cache::AdjustOptions adjust;     // §3.2 reuse adjustment
   query::CompilerOptions compiler;
 };

@@ -175,6 +175,7 @@ SimulatedDataSource::SimulatedDataSource(std::string name,
       dialect_(std::move(dialect)) {}
 
 StatusOr<std::unique_ptr<Connection>> SimulatedDataSource::Connect() {
+  bool adopt_warm = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (open_connections_ >= capabilities_.max_connections) {
@@ -184,10 +185,54 @@ StatusOr<std::unique_ptr<Connection>> SimulatedDataSource::Connect() {
                                ")");
     }
     ++open_connections_;
+    if (warm_sessions_ > 0) {
+      --warm_sessions_;
+      adopt_warm = true;  // handshake already paid by the prewarm task
+    }
   }
-  SleepMs(model_.connect_ms);
+  if (!adopt_warm) SleepMs(model_.connect_ms);
   return std::unique_ptr<Connection>(
       std::make_unique<SimulatedConnection>(this, db_));
+}
+
+void SimulatedDataSource::PrewarmAsync(int count, Scheduler* scheduler) {
+  if (count <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (prewarm_group_ == nullptr) {
+      prewarm_group_ = std::make_unique<TaskGroup>(
+          scheduler != nullptr ? scheduler : &Scheduler::Global(),
+          TaskClass::kBackground);
+    }
+  }
+  for (int i = 0; i < count; ++i) {
+    prewarm_group_->Spawn(
+        [this] {
+          SleepMs(model_.connect_ms);
+          std::lock_guard<std::mutex> lock(mu_);
+          // A warm session only helps if a future Connect() can use it
+          // within the connection cap; surplus handshakes are discarded.
+          if (warm_sessions_ + open_connections_ <
+              capabilities_.max_connections) {
+            ++warm_sessions_;
+          }
+        },
+        "prewarm-connect");
+  }
+}
+
+void SimulatedDataSource::WaitForPrewarm() {
+  TaskGroup* group = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    group = prewarm_group_.get();
+  }
+  if (group != nullptr) group->Wait();
+}
+
+int SimulatedDataSource::warm_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return warm_sessions_;
 }
 
 int SimulatedDataSource::open_connections() const {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/common/scheduler.h"
 #include "src/federation/data_source.h"
 
 namespace vizq::federation {
@@ -61,6 +62,16 @@ class SimulatedDataSource : public DataSource {
   // Live connections (enforces capabilities().max_connections).
   int open_connections() const;
 
+  // Establishes up to `count` warm sessions in the background (kBackground
+  // scheduler tasks): each pays the connect handshake up front so a later
+  // Connect() can adopt it and skip the handshake sleep. Warm sessions
+  // beyond the connection cap are discarded. `scheduler` defaults to the
+  // process-wide one.
+  void PrewarmAsync(int count, Scheduler* scheduler = nullptr);
+  // Joins outstanding prewarm work (tests / shutdown).
+  void WaitForPrewarm();
+  int warm_sessions() const;
+
   // Total queries executed (across all connections).
   int64_t queries_executed() const { return queries_executed_; }
 
@@ -101,7 +112,11 @@ class SimulatedDataSource : public DataSource {
   int running_queries_ = 0;
   int used_cpu_slots_ = 0;
   int open_connections_ = 0;
+  int warm_sessions_ = 0;
   int64_t queries_executed_ = 0;
+  // Last member: its destructor joins in-flight prewarm tasks while the
+  // rest of the object is still alive.
+  std::unique_ptr<TaskGroup> prewarm_group_;
 };
 
 // Precise-enough sleep helper shared by the simulation layers.

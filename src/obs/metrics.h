@@ -135,7 +135,7 @@ class MetricsRegistry : public GlobalMetricsSink {
   // GlobalMetricsSink: string-keyed convenience forms.
   void Add(const std::string& name, int64_t delta) override;
   void Observe(const std::string& name, double value) override;
-  void SetGauge(const std::string& name, double value);
+  void SetGauge(const std::string& name, double value) override;
 
   MetricsSnapshot TakeSnapshot() const;
 

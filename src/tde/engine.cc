@@ -30,7 +30,14 @@ StatusOr<LogicalOpPtr> TdeEngine::Compile(const LogicalOpPtr& plan,
   VIZQ_RETURN_IF_ERROR(BindPlan(working, *db_));
   VIZQ_RETURN_IF_ERROR(RewritePlan(&working));
   VIZQ_RETURN_IF_ERROR(OptimizePlan(&working, options.optimizer));
-  VIZQ_RETURN_IF_ERROR(ParallelizePlan(&working, options.parallel));
+  ParallelOptions parallel = options.parallel;
+  if (options.serial_exchange_for_measurement) {
+    // Serial measurement runs Exchange inputs one at a time; with a shared
+    // morsel queue the first input would claim every morsel and the
+    // per-fraction timings would be meaningless. Static fractions instead.
+    parallel.enable_morsel = false;
+  }
+  VIZQ_RETURN_IF_ERROR(ParallelizePlan(&working, parallel));
   return working;
 }
 

@@ -5,12 +5,16 @@
 namespace vizq::tde {
 
 ExchangeOperator::ExchangeOperator(std::vector<OperatorPtr> inputs,
-                                   ExecStats* stats, bool serial_measurement)
+                                   ExecStats* stats, bool serial_measurement,
+                                   const ExecContext& ctx,
+                                   Scheduler* scheduler)
     : inputs_(std::move(inputs)),
       stats_(stats),
+      ctx_(ctx),
+      scheduler_(scheduler != nullptr ? scheduler : &Scheduler::Global()),
       serial_measurement_(serial_measurement) {}
 
-ExchangeOperator::~ExchangeOperator() { StopThreads(); }
+ExchangeOperator::~ExchangeOperator() { StopProducers(); }
 
 Status ExchangeOperator::Open() {
   {
@@ -25,12 +29,27 @@ Status ExchangeOperator::Open() {
     opened_ = true;
     return OkStatus();  // inputs run lazily on first Next()
   }
-  threads_.reserve(inputs_.size());
-  for (size_t i = 0; i < inputs_.size(); ++i) {
-    threads_.emplace_back([this, i] { ProducerLoop(static_cast<int>(i)); });
+  const int n = static_cast<int>(inputs_.size());
+  // Zero-initialized: all inputs unclaimed.
+  claimed_ = std::make_unique<std::atomic<bool>[]>(n);
+  group_ = std::make_unique<TaskGroup>(scheduler_, TaskClass::kInteractive,
+                                       ctx_);
+  for (int i = 0; i < n; ++i) {
+    group_->Spawn(
+        [this, i] {
+          // The consumer may have run this input inline already (scheduler
+          // saturation); whoever wins the claim runs it exactly once.
+          if (!ClaimProducer(i)) return;
+          ProducerLoop(i, /*bounded=*/true);
+        },
+        "exchange-producer");
   }
   opened_ = true;
   return OkStatus();
+}
+
+bool ExchangeOperator::ClaimProducer(int input_index) {
+  return !claimed_[input_index].exchange(true, std::memory_order_acq_rel);
 }
 
 Status ExchangeOperator::RunInputsSerially() {
@@ -59,42 +78,75 @@ Status ExchangeOperator::RunInputsSerially() {
   return OkStatus();
 }
 
-void ExchangeOperator::ProducerLoop(int input_index) {
+void ExchangeOperator::ProducerLoop(int input_index, bool bounded) {
   auto started = std::chrono::steady_clock::now();
   Operator* input = inputs_[input_index].get();
   int64_t rows = 0;
-  Status status = input->Open();
-  if (status.ok()) {
-    Batch batch;
-    while (true) {
-      StatusOr<bool> more = input->Next(&batch);
-      if (!more.ok()) {
-        status = more.status();
-        break;
-      }
-      if (!*more) break;
-      rows += batch.num_rows;
-      std::unique_lock<std::mutex> lock(mu_);
-      can_push_.wait(lock, [this] {
-        return cancelled_ || queue_.size() < max_queue_;
-      });
-      if (cancelled_) break;
-      queue_.push_back(std::move(batch));
-      can_pop_.notify_one();
-    }
-    Status close_status = input->Close();
-    if (status.ok()) status = close_status;
+  Status status;
+  bool stopped_before_start;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_before_start = cancelled_;
   }
-  double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
-          .count();
-  if (stats_ != nullptr) stats_->AddFraction(seconds, rows);
+  if (!stopped_before_start) {
+    status = input->Open();
+    if (status.ok()) {
+      Batch batch;
+      while (true) {
+        StatusOr<bool> more = input->Next(&batch);
+        if (!more.ok()) {
+          status = more.status();
+          break;
+        }
+        if (!*more) break;
+        rows += batch.num_rows;
+        std::unique_lock<std::mutex> lock(mu_);
+        // The context cannot signal this CV, so a producer blocked on a
+        // full queue waits in timed slices and polls it: a cancel or an
+        // expired deadline wakes the producer instead of leaving it
+        // parked until the consumer drains (which it may never do).
+        while (bounded && !cancelled_ && queue_.size() >= max_queue_ &&
+               !ctx_.cancelled()) {
+          can_push_.wait_for(lock, std::chrono::milliseconds(2));
+        }
+        if (cancelled_) break;  // consumer-side stop: not an error
+        if (Status cont = ctx_.CheckContinue("exchange producer");
+            !cont.ok()) {
+          // Record the typed error so the consumer surfaces
+          // kDeadlineExceeded/kAborted, never a truncated OK stream.
+          status = cont;
+          break;
+        }
+        queue_.push_back(std::move(batch));
+        can_pop_.notify_one();
+      }
+      Status close_status = input->Close();
+      if (status.ok()) status = close_status;
+    }
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    if (stats_ != nullptr) stats_->AddFraction(seconds, rows);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!status.ok() && first_error_.ok()) first_error_ = status;
     --live_producers_;
   }
   can_pop_.notify_all();
+}
+
+bool ExchangeOperator::RunOneProducerInline() {
+  for (int i = 0; i < static_cast<int>(inputs_.size()); ++i) {
+    if (ClaimProducer(i)) {
+      // Unbounded: the consumer cannot simultaneously drain the queue, so
+      // respecting max_queue_ here would deadlock against ourselves.
+      // Memory stays bounded by the input's size, like serial mode.
+      ProducerLoop(i, /*bounded=*/false);
+      return true;
+    }
+  }
+  return false;
 }
 
 StatusOr<bool> ExchangeOperator::Next(Batch* batch) {
@@ -106,33 +158,45 @@ StatusOr<bool> ExchangeOperator::Next(Batch* batch) {
     return true;
   }
   std::unique_lock<std::mutex> lock(mu_);
-  can_pop_.wait(lock, [this] {
-    return !queue_.empty() || live_producers_ == 0;
-  });
-  if (!queue_.empty()) {
-    *batch = std::move(queue_.front());
-    queue_.pop_front();
-    can_push_.notify_one();
-    return true;
+  int idle_spins = 0;
+  while (true) {
+    if (!queue_.empty()) {
+      *batch = std::move(queue_.front());
+      queue_.pop_front();
+      can_push_.notify_one();
+      return true;
+    }
+    if (live_producers_ == 0) break;
+    VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("exchange consumer"));
+    can_pop_.wait_for(lock, std::chrono::milliseconds(2));
+    if (queue_.empty() && live_producers_ > 0 && ++idle_spins >= 5) {
+      // ~10ms with nothing to read: the scheduler may be saturated and
+      // our producers still queued. Help out by running an unstarted
+      // input inline — the Exchange drains even with zero free workers.
+      idle_spins = 0;
+      lock.unlock();
+      RunOneProducerInline();
+      lock.lock();
+    }
   }
   if (!first_error_.ok()) return first_error_;
   return false;
 }
 
-void ExchangeOperator::StopThreads() {
+void ExchangeOperator::StopProducers() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled_ = true;
   }
   can_push_.notify_all();
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+  if (group_ != nullptr) {
+    group_->Wait();
+    group_.reset();
   }
-  threads_.clear();
 }
 
 Status ExchangeOperator::Close() {
-  StopThreads();
+  StopProducers();
   std::lock_guard<std::mutex> lock(mu_);
   opened_ = false;
   return first_error_;

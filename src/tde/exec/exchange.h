@@ -1,10 +1,26 @@
 // The Exchange operator (§4.2.1): takes N inputs and produces one output,
-// running each input on its own thread — exactly the restricted N-to-1
+// running each input as a producer task — exactly the restricted N-to-1
 // form shipped in Tableau 9.0 (no repartitioning, no order preservation;
 // §4.2.2 explains the restriction and its consequence: everything above
 // the Exchange runs serially).
 //
-// Each producer thread's wall-clock time and row count are recorded into
+// Producers are kInteractive tasks on the process-wide Scheduler
+// (src/common/scheduler.h), not raw threads. Three consequences:
+//
+//   * cooperative cancellation: a producer blocked on the full output
+//     queue wakes on the ExecContext's cancellation/deadline, records the
+//     context's typed error and exits — the consumer surfaces
+//     kDeadlineExceeded/kAborted, never a silently truncated OK result;
+//   * saturation robustness: every producer input is guarded by a claim
+//     flag. When the scheduler is saturated (queued producers not yet
+//     dispatched) and the consumer has nothing to read, the consumer
+//     claims an unstarted input and runs it inline (unbounded buffering,
+//     like serial-measurement mode), so an Exchange can always drain even
+//     with zero available workers;
+//   * observability: producer wait/run times land in the sched.* metrics
+//     and scheduler spans like every other task.
+//
+// Each producer's wall-clock time and row count are recorded into
 // ExecStats; on a single-core host these per-fraction timings let benches
 // report the modeled multi-core makespan (max over fractions) alongside
 // the measured single-core total.
@@ -12,13 +28,14 @@
 #ifndef VIZQUERY_TDE_EXEC_EXCHANGE_H_
 #define VIZQUERY_TDE_EXEC_EXCHANGE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "src/common/scheduler.h"
 #include "src/tde/exec/operators.h"
 
 namespace vizq::tde {
@@ -27,12 +44,15 @@ class ExchangeOperator : public Operator {
  public:
   // All inputs must share one output schema. `stats` may be null.
   // With `serial_measurement` set, inputs are executed one after another
-  // on the consumer thread (buffering their batches) instead of on
-  // producer threads: results are identical, but each fraction's recorded
+  // on the consumer thread (buffering their batches) instead of as
+  // producer tasks: results are identical, but each fraction's recorded
   // time is contention-free, which is what the modeled-makespan reporting
   // on single-core hosts needs (see bench/bench_util.h).
+  // `scheduler` defaults to Scheduler::Global().
   ExchangeOperator(std::vector<OperatorPtr> inputs, ExecStats* stats,
-                   bool serial_measurement = false);
+                   bool serial_measurement = false,
+                   const ExecContext& ctx = ExecContext::Background(),
+                   Scheduler* scheduler = nullptr);
   ~ExchangeOperator() override;
 
   const BatchSchema& schema() const override { return inputs_[0]->schema(); }
@@ -43,12 +63,22 @@ class ExchangeOperator : public Operator {
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
 
  private:
-  void ProducerLoop(int input_index);
-  void StopThreads();
+  // Runs input `input_index` to completion, pushing batches. `bounded`
+  // producers respect max_queue_; the consumer's inline fallback runs
+  // unbounded (buffering everything) to avoid blocking on itself.
+  void ProducerLoop(int input_index, bool bounded);
+  // Atomically claims an input; false when someone else already ran it.
+  bool ClaimProducer(int input_index);
+  // Consumer-side help under scheduler saturation: claim one unstarted
+  // input and run it inline. False when every input is claimed.
+  bool RunOneProducerInline();
+  void StopProducers();
   Status RunInputsSerially();
 
   std::vector<OperatorPtr> inputs_;
   ExecStats* stats_;
+  ExecContext ctx_;
+  Scheduler* scheduler_;
 
   std::mutex mu_;
   std::condition_variable can_push_;
@@ -58,7 +88,8 @@ class ExchangeOperator : public Operator {
   int live_producers_ = 0;
   bool cancelled_ = false;
   Status first_error_;
-  std::vector<std::thread> threads_;
+  std::unique_ptr<TaskGroup> group_;
+  std::unique_ptr<std::atomic<bool>[]> claimed_;
   bool opened_ = false;
   bool serial_measurement_ = false;
   bool serial_done_ = false;

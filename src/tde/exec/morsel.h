@@ -1,0 +1,59 @@
+// Morsel-driven scan scheduling (DESIGN.md §10): instead of carving a
+// table into `dop` static fractions up front, the parallelizer can hand
+// every Exchange input one *shared* MorselQueue over the table's rows.
+// Each producer claims small row ranges ("morsels") from an atomic cursor
+// as it goes, so a fraction that hits cheap rows simply claims more work
+// instead of idling while a skewed sibling finishes — the dynamic
+// counterpart of the paper's static "random partitioning" (§4.2.1).
+//
+// The queue is a single fetch_add per claim; producers running as
+// scheduler tasks (see src/common/scheduler.h) pull from it until it is
+// drained. Partial-aggregate/merge plans compose unchanged: each producer
+// still feeds its own partial hash aggregate below the Exchange, and the
+// final aggregate above merges the partial states.
+
+#ifndef VIZQUERY_TDE_EXEC_MORSEL_H_
+#define VIZQUERY_TDE_EXEC_MORSEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace vizq::tde {
+
+// Default morsel size: small enough that 3-4 workers load-balance over
+// even modest tables, large enough that the per-claim atomic is noise
+// next to decoding kBatchRows-row batches.
+inline constexpr int64_t kDefaultMorselRows = 8192;
+
+class MorselQueue {
+ public:
+  MorselQueue(int64_t num_rows, int64_t morsel_rows)
+      : num_rows_(std::max<int64_t>(0, num_rows)),
+        morsel_rows_(std::max<int64_t>(1, morsel_rows)) {}
+
+  // Claims the next unclaimed row range into [*begin, *end); false when
+  // the table is exhausted. Wait-free; safe from any thread.
+  bool Claim(int64_t* begin, int64_t* end) {
+    int64_t b = cursor_.fetch_add(morsel_rows_, std::memory_order_relaxed);
+    if (b >= num_rows_) return false;
+    *begin = b;
+    *end = std::min(num_rows_, b + morsel_rows_);
+    return true;
+  }
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t morsel_rows() const { return morsel_rows_; }
+
+ private:
+  std::atomic<int64_t> cursor_{0};
+  int64_t num_rows_;
+  int64_t morsel_rows_;
+};
+
+using MorselQueuePtr = std::shared_ptr<MorselQueue>;
+
+}  // namespace vizq::tde
+
+#endif  // VIZQUERY_TDE_EXEC_MORSEL_H_

@@ -34,12 +34,14 @@ struct ExecStats {
   std::vector<FractionStat> fractions;
   int64_t rows_scanned = 0;
   int64_t batches = 0;
+  int64_t morsels_claimed = 0;  // row ranges claimed from MorselQueues
   int dop = 1;                  // degree of parallelism of the plan
   bool used_parallel_plan = false;
   bool used_local_global_agg = false;
   bool used_range_partition = false;
   bool used_rle_index = false;
   bool used_streaming_agg = false;
+  bool used_morsel_scan = false;
 
   void AddFraction(double seconds, int64_t rows) {
     std::lock_guard<std::mutex> lock(mu);

@@ -32,6 +32,8 @@ TableScanOperator::TableScanOperator(std::shared_ptr<const Table> table,
 Status TableScanOperator::Open() {
   cursor_ = row_begin_;
   batches_emitted_ = 0;
+  // Morsel mode: an empty current morsel forces a claim on first Next().
+  morsel_end_ = cursor_;
   span_ = ctx_.StartSpan("op:scan(" + table_->name() + ")");
   return OkStatus();
 }
@@ -49,8 +51,20 @@ StatusOr<bool> TableScanOperator::Next(Batch* batch) {
     VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("table scan"));
   }
   ++batches_emitted_;
-  if (cursor_ >= row_end_) return false;
-  int64_t count = std::min(kBatchRows, row_end_ - cursor_);
+  int64_t limit = row_end_;
+  if (morsels_ != nullptr) {
+    if (cursor_ >= morsel_end_) {
+      if (!morsels_->Claim(&cursor_, &morsel_end_)) return false;
+      if (stats_ != nullptr) {
+        std::lock_guard<std::mutex> lock(stats_->mu);
+        ++stats_->morsels_claimed;
+        stats_->used_morsel_scan = true;
+      }
+    }
+    limit = morsel_end_;
+  }
+  if (cursor_ >= limit) return false;
+  int64_t count = std::min(kBatchRows, limit - cursor_);
   *batch = schema_.NewBatch();
   for (size_t i = 0; i < column_indices_.size(); ++i) {
     const Column& col = *table_->column(column_indices_[i]);

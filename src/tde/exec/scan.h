@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/tde/exec/morsel.h"
 #include "src/tde/exec/operators.h"
 #include "src/tde/storage/table.h"
 
@@ -26,6 +27,12 @@ class TableScanOperator : public Operator {
                     int64_t row_end = -1, ExecStats* stats = nullptr,
                     const ExecContext& ctx = ExecContext::Background());
 
+  // Morsel mode (§10): instead of the fixed [row_begin, row_end) range,
+  // the scan claims row-range morsels from `queue` until it is drained.
+  // Sibling scans of one Exchange share the queue, so work distributes
+  // dynamically. Overrides the constructor's range.
+  void SetMorselQueue(MorselQueuePtr queue) { morsels_ = std::move(queue); }
+
   const BatchSchema& schema() const override { return schema_; }
   Status Open() override;
   StatusOr<bool> Next(Batch* batch) override;
@@ -37,6 +44,8 @@ class TableScanOperator : public Operator {
   int64_t row_begin_;
   int64_t row_end_;
   int64_t cursor_ = 0;
+  int64_t morsel_end_ = 0;  // end of the currently claimed morsel
+  MorselQueuePtr morsels_;
   BatchSchema schema_;
   ExecStats* stats_;
   ExecContext ctx_;

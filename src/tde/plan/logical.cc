@@ -52,9 +52,17 @@ std::string LogicalOp::ToString(int indent) const {
       out += " " + table_path;
       if (scan_dop > 1) {
         out += " dop=" + std::to_string(scan_dop);
-        out += partition == PartitionKind::kRangeOnSortPrefix
-                   ? " partition=range"
-                   : " partition=random";
+        switch (partition) {
+          case PartitionKind::kRangeOnSortPrefix:
+            out += " partition=range";
+            break;
+          case PartitionKind::kMorsel:
+            out += " partition=morsel";
+            break;
+          default:
+            out += " partition=random";
+            break;
+        }
       }
       if (kind == LogicalKind::kRleIndexScan && run_predicate != nullptr) {
         out += " runs[" + run_predicate->ToString() + "]";

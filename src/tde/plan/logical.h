@@ -46,6 +46,7 @@ enum class PartitionKind : uint8_t {
   kNone = 0,    // serial scan
   kRandom,      // contiguous even slices (TDE "random" partitioning)
   kRangeOnSortPrefix,  // group-aligned slices on the sorted prefix
+  kMorsel,      // dynamic row-range morsels from a shared queue (§10)
 };
 
 // A named output expression (projection entry / group-by entry).
@@ -88,6 +89,7 @@ struct LogicalOp {
   int scan_dop = 1;
   PartitionKind partition = PartitionKind::kNone;
   int range_prefix_len = 0;  // for kRangeOnSortPrefix
+  int64_t morsel_rows = 0;   // for kMorsel: rows per claimed morsel
   // kRleIndexScan only:
   int rle_column = -1;        // table column index the runs belong to
   ExprPtr run_predicate;      // bound against a 1-column schema of it

@@ -143,7 +143,16 @@ StatusOr<int> Par(LogicalOpPtr* node, Ctx& ctx) {
     case LogicalKind::kScan: {
       int dop = DecideDop(op->table->num_rows(), ctx);
       op->scan_dop = dop;
-      op->partition = dop > 1 ? PartitionKind::kRandom : PartitionKind::kNone;
+      if (dop <= 1) {
+        op->partition = PartitionKind::kNone;
+      } else if (ctx.opts.enable_morsel) {
+        // Dynamic morsels by default; ParAggregate may still override to
+        // kRangeOnSortPrefix, which needs static group-aligned fractions.
+        op->partition = PartitionKind::kMorsel;
+        op->morsel_rows = ctx.opts.morsel_rows;
+      } else {
+        op->partition = PartitionKind::kRandom;
+      }
       return dop;
     }
     case LogicalKind::kRleIndexScan: {

@@ -43,6 +43,14 @@ struct ParallelOptions {
   // the sort-prefix key has fewer distinct values than this (low
   // cardinality would starve fractions / skew them).
   int64_t range_partition_min_distinct = 8;
+  // Morsel-driven scans (DESIGN.md §10): randomly-partitioned scans claim
+  // dynamic row-range morsels from a queue shared by the Exchange inputs
+  // instead of fixed fractions, so skew self-balances. Range-partitioned
+  // scans keep static group-aligned fractions (alignment is the point),
+  // and the engine disables morsels under serial_exchange_for_measurement
+  // (one-at-a-time inputs would claim everything into fraction 0).
+  bool enable_morsel = true;
+  int64_t morsel_rows = 8192;  // rows per claimed morsel
 };
 
 // Rewrites the optimized, bound plan in place into a parallel plan.

@@ -43,6 +43,28 @@ StatusOr<const std::vector<std::vector<RowRange>>*> Translator::RleGroups(
 
 StatusOr<OperatorPtr> Translator::TranslateScan(const LogicalOp& op,
                                                 int fraction) {
+  if (op.partition == PartitionKind::kMorsel && op.scan_dop > 1 &&
+      fraction >= 0) {
+    // Every fraction scans the full range but only materializes rows of
+    // the morsels it claims from the scan node's shared queue.
+    auto it = morsel_queues_.find(&op);
+    if (it == morsel_queues_.end()) {
+      int64_t rows = op.morsel_rows > 0 ? op.morsel_rows : kDefaultMorselRows;
+      it = morsel_queues_
+               .emplace(&op, std::make_shared<MorselQueue>(
+                                 op.table->num_rows(), rows))
+               .first;
+    }
+    if (stats_ != nullptr) {
+      std::lock_guard<std::mutex> lock(stats_->mu);
+      stats_->used_morsel_scan = true;
+    }
+    auto scan = std::make_unique<TableScanOperator>(
+        op.table, op.scan_columns, /*row_begin=*/0, /*row_end=*/-1, stats_,
+        ctx_);
+    scan->SetMorselQueue(it->second);
+    return OperatorPtr(std::move(scan));
+  }
   int64_t begin = 0;
   int64_t end = -1;
   if (op.scan_dop > 1 && fraction >= 0) {
@@ -106,7 +128,7 @@ StatusOr<OperatorPtr> Translator::TranslateExchange(const LogicalOp& op) {
     stats_->dop = std::max(stats_->dop, dop);
   }
   return OperatorPtr(std::make_unique<ExchangeOperator>(
-      std::move(inputs), stats_, serial_exchange_));
+      std::move(inputs), stats_, serial_exchange_, ctx_));
 }
 
 StatusOr<OperatorPtr> Translator::TranslateNode(const LogicalOp& op,

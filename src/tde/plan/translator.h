@@ -16,6 +16,7 @@
 
 #include "src/common/exec_context.h"
 #include "src/tde/exec/analyze.h"
+#include "src/tde/exec/morsel.h"
 #include "src/tde/plan/logical.h"
 
 namespace vizq::tde {
@@ -64,6 +65,9 @@ class Translator {
   std::unordered_map<const LogicalOp*, std::vector<int64_t>> scan_offsets_;
   std::unordered_map<const LogicalOp*, std::vector<std::vector<RowRange>>>
       rle_groups_;
+  // One shared morsel queue per kMorsel scan node; all fractions of its
+  // Exchange claim row ranges from the same queue.
+  std::unordered_map<const LogicalOp*, MorselQueuePtr> morsel_queues_;
 };
 
 }  // namespace vizq::tde

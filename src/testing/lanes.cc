@@ -130,6 +130,20 @@ ExecutionLanes::ExecutionLanes(Dataset dataset, LaneSetupOptions options)
         kFuzzDataSource, dataset_.db, tde::QueryOptions::Serial());
   };
   truth_service_ = MakeService(tde_source(), nullptr, dataset_.table);
+
+  // Morsel-parallel lane: force parallel plans even on the fuzzer's small
+  // tables (tiny per-fraction minimum, tiny morsels) so Exchange producers
+  // run as scheduler tasks racing over a shared morsel queue.
+  tde::QueryOptions morsel_opts;
+  morsel_opts.parallel.enable_parallel = true;
+  morsel_opts.parallel.max_dop = 3;
+  morsel_opts.parallel.min_rows_per_fraction = 1;
+  morsel_opts.parallel.enable_morsel = true;
+  morsel_opts.parallel.morsel_rows = 7;
+  morsel_service_ = MakeService(
+      std::make_shared<federation::TdeDataSource>(kFuzzDataSource, dataset_.db,
+                                                  morsel_opts),
+      nullptr, dataset_.table);
   literal_service_ = MakeService(
       tde_source(), std::make_shared<dashboard::CacheStack>(), dataset_.table);
   batch_service_ = MakeService(
@@ -210,6 +224,10 @@ std::vector<LaneCheck> ExecutionLanes::RunQuery(const AbstractQuery& q,
   // --- plain engine ---
   StatusOr<ResultTable> direct = ExecuteTruth(q);
   Check("tde_direct", q, direct, &out);
+
+  // --- morsel-parallel engine vs the serial oracle ---
+  Check("morsel_parallel", q, morsel_service_->ExecuteQuery(q, truth_opts_),
+        &out);
 
   // --- recorder consistency: a traced execution must leave a coherent
   // PerfRecorder entry (observability is differentially tested too) ---

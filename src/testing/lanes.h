@@ -3,6 +3,11 @@
 //
 //   tde_direct      — QueryService over the in-process TDE, all caching,
 //                     fusion and adjustment off (the "plain engine" lane).
+//   morsel_parallel — the same query through a TDE service with parallel
+//                     plans forced on (tiny fractions, tiny morsels):
+//                     Exchange producers run as scheduler tasks claiming
+//                     dynamic morsels; the result is diffed against the
+//                     serial oracle ordering-insensitively.
 //   derived_hit     — a generalized version of the query is executed and
 //                     stored in a fresh IntelligentCache; the original must
 //                     then be answered as a (usually derived) hit,
@@ -100,6 +105,7 @@ class ExecutionLanes {
 
   dashboard::BatchOptions truth_opts_;
   std::unique_ptr<dashboard::QueryService> truth_service_;
+  std::unique_ptr<dashboard::QueryService> morsel_service_;
   std::unique_ptr<dashboard::QueryService> literal_service_;
   std::unique_ptr<dashboard::QueryService> batch_service_;
   std::unique_ptr<dashboard::QueryService> fed_mssql_;

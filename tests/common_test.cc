@@ -170,6 +170,26 @@ TEST(ThreadPoolTest, DestructorJoinsOutstandingWork) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 20);
+  pool.Shutdown();  // idempotent
+}
+
+// A Submit after Shutdown is a hard programming error: the task would
+// silently never run. The pool aborts loudly instead.
+TEST(ThreadPoolDeathTest, SubmitAfterShutdownAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_DEATH(pool.Submit([] {}), "Submit called after shutdown");
+}
+
 TEST(BinaryIoTest, AllFieldKindsRoundTrip) {
   BinaryWriter w;
   w.U8(7);

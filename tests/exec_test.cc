@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "src/common/str_util.h"
 #include "src/tde/exec/aggregate.h"
 #include "src/tde/exec/exchange.h"
@@ -200,6 +203,82 @@ TEST(ExchangeTest, SerialMeasurementModeMatches) {
     EXPECT_EQ(result->num_rows(), 4000);
     EXPECT_EQ(stats.fractions.size(), 3u);
   }
+}
+
+// Emits `total` one-row batches, so producers outpace any slow consumer
+// and block on the Exchange's bounded queue.
+class ManyBatchesOp : public Operator {
+ public:
+  explicit ManyBatchesOp(int64_t total)
+      : total_(total), schema_(IntSchema()) {}
+  const BatchSchema& schema() const override { return schema_; }
+  Status Open() override {
+    emitted_ = 0;
+    return OkStatus();
+  }
+  StatusOr<bool> Next(Batch* out) override {
+    if (emitted_ >= total_) return false;
+    *out = IntBatch({{emitted_}});
+    ++emitted_;
+    return true;
+  }
+  Status Close() override { return OkStatus(); }
+
+ private:
+  int64_t total_;
+  int64_t emitted_ = 0;
+  BatchSchema schema_;
+};
+
+// Regression (satellite 1): cancelling mid-stream while producers are
+// blocked on the full queue must surface a typed error promptly — the old
+// thread-based producers ignored cancellation while blocked, and a slow
+// consumer could hang the query (or worse, see a truncated-OK result).
+TEST(ExchangeTest, CancelMidStreamWithSlowConsumer) {
+  // Fresh context: copies share cancel state, so cancelling a copy of
+  // ExecContext::Background() would poison the whole process.
+  ExecContext ctx;
+  std::vector<OperatorPtr> inputs;
+  for (int f = 0; f < 3; ++f) {
+    inputs.push_back(std::make_unique<ManyBatchesOp>(100000));
+  }
+  ExecStats stats;
+  ExchangeOperator exchange(std::move(inputs), &stats, /*serial=*/false, ctx);
+  ASSERT_TRUE(exchange.Open().ok());
+
+  // Read a couple of batches so producers are running, then let them fill
+  // the bounded queue and block.
+  Batch batch;
+  for (int i = 0; i < 2; ++i) {
+    auto more = exchange.Next(&batch);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  auto cancelled_at = std::chrono::steady_clock::now();
+  ctx.Cancel();
+
+  // The consumer must see the cancellation as a typed error, not an
+  // endless stream or a clean end-of-stream.
+  Status seen = OkStatus();
+  while (true) {
+    auto more = exchange.Next(&batch);
+    if (!more.ok()) {
+      seen = more.status();
+      break;
+    }
+    ASSERT_TRUE(*more) << "cancelled exchange ended with truncated OK";
+  }
+  EXPECT_EQ(seen.code(), StatusCode::kAborted) << seen;
+  double waited_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - cancelled_at)
+                         .count();
+  EXPECT_LT(waited_ms, 2000.0) << "cancellation took too long to propagate";
+  // Close must join the (cancelled) producers promptly; whether its
+  // status carries the producer-recorded error or the consumer-side stop
+  // won the race is timing-dependent, so only completion is asserted.
+  (void)exchange.Close();
 }
 
 TEST(SharedBuildTest, BuildHappensOnceAcrossProbes) {

@@ -37,6 +37,22 @@ TEST(DifferentialFuzz, SecondSeedWindowAgrees) {
   EXPECT_GT(report.lane_checks, 0);
 }
 
+// Morsel-lane sweep: engine-only iterations (federated/deadline lanes
+// off, so no simulated-I/O sleeps) bringing the morsel_parallel lane to
+// >= 200 bounded iterations across this file. The lane runs every query
+// through scheduler-dispatched Exchange producers claiming tiny dynamic
+// morsels and diffs against the serial oracle.
+TEST(DifferentialFuzz, MorselLaneSweepEngineOnly) {
+  FuzzOptions options;
+  options.seed = 0x5EED5;
+  options.iterations = 100;
+  options.include_federated = false;
+  options.deadline_lane = false;
+  FuzzReport report = RunDifferentialFuzz(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.lane_checks, 0);
+}
+
 // Self-test: bumping one aggregate cell by one in a scratch lane must be
 // flagged, and the minimizer must shrink the offending query while the
 // shrunk query still fails the lane (proves seed-replay works).

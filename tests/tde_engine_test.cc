@@ -6,12 +6,24 @@
 #include <gtest/gtest.h>
 
 #include "src/tde/plan/tql_parser.h"
+#include "src/testing/table_diff.h"
 #include "tests/test_util.h"
 
 namespace vizq::tde {
 namespace {
 
 using vizq::testing::MakeTestDatabase;
+
+// Order-insensitive with float tolerance: parallel plans (morsel scans,
+// exchange interleaving, partial-aggregate merges) accumulate FP measures
+// in a different order than the serial plan, which legally perturbs the
+// last ulp of AVG results (see src/testing/table_diff.h).
+::testing::AssertionResult TablesEquivalent(const ResultTable& expected,
+                                            const ResultTable& actual) {
+  vizq::testing::DiffResult diff = vizq::testing::DiffTables(expected, actual);
+  if (diff.equivalent) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << diff.message;
+}
 
 class TdeEngineTest : public ::testing::Test {
  protected:
@@ -153,7 +165,7 @@ TEST_P(ParallelEquivalenceTest, MatchesSerialResults) {
     auto rp = engine.Execute(q, parallel);
     ASSERT_TRUE(rs.ok()) << rs.status() << " for " << q;
     ASSERT_TRUE(rp.ok()) << rp.status() << " for " << q;
-    EXPECT_TRUE(ResultTable::SameUnordered(rs->table, rp->table))
+    EXPECT_TRUE(TablesEquivalent(rs->table, rp->table))
         << "config " << GetParam().name << "\nquery " << q << "\nserial:\n"
         << rs->table.ToCsv() << "\nparallel:\n"
         << rp->table.ToCsv() << "\nplan:\n"
@@ -221,6 +233,58 @@ TEST(TdeParallelPlanTest, CountDistinctBlocksLocalGlobal) {
       QueryOptions::Serial());
   ASSERT_TRUE(serial.ok());
   EXPECT_TRUE(ResultTable::SameUnordered(result->table, serial->table));
+}
+
+TEST(TdeParallelPlanTest, MorselScanMatchesSerialAndClaimsMorsels) {
+  auto db = MakeTestDatabase(40000);
+  TdeEngine engine(db);
+  const std::vector<std::string> queries = {
+      "(aggregate ((region region)) ((n count*) (total sum units) (mean avg "
+      "price)) (scan sales))",
+      "(aggregate () ((total sum units) (n count*)) (scan sales))",
+      "(topn 5 ((total desc) (product asc)) (aggregate ((product product)) "
+      "((total sum units)) (scan sales)))",
+  };
+  for (const std::string& q : queries) {
+    QueryOptions options;
+    options.parallel.max_dop = 4;
+    options.parallel.min_rows_per_fraction = 1024;
+    options.parallel.enable_range_partition = false;
+    // Tiny morsels: every fraction must claim many, so skew between the
+    // scheduler-dispatched producers self-balances.
+    options.parallel.morsel_rows = 1000;
+    auto rp = engine.Execute(q, options);
+    auto rs = engine.Execute(q, QueryOptions::Serial());
+    ASSERT_TRUE(rp.ok()) << rp.status() << " for " << q;
+    ASSERT_TRUE(rs.ok()) << rs.status() << " for " << q;
+    EXPECT_TRUE(TablesEquivalent(rs->table, rp->table))
+        << "query " << q << "\nserial:\n"
+        << rs->table.ToCsv() << "\nmorsel:\n"
+        << rp->table.ToCsv() << "\nplan:\n"
+        << rp->plan_text;
+    EXPECT_TRUE(rp->stats->used_morsel_scan) << rp->plan_text;
+    // 40000 rows / 1000-row morsels = 40 claims shared across fractions.
+    EXPECT_GE(rp->stats->morsels_claimed, 40) << rp->plan_text;
+  }
+}
+
+TEST(TdeParallelPlanTest, SerialMeasurementModeDisablesMorsels) {
+  // Serial-measurement mode runs exchange inputs one at a time for
+  // contention-free per-fraction timing; dynamic morsels would let input 0
+  // claim the whole table, so the engine falls back to static ranges.
+  auto db = MakeTestDatabase(40000);
+  TdeEngine engine(db);
+  QueryOptions options;
+  options.parallel.max_dop = 4;
+  options.parallel.min_rows_per_fraction = 1024;
+  options.serial_exchange_for_measurement = true;
+  auto result = engine.Execute(
+      "(aggregate ((region region)) ((total sum units)) (scan sales))",
+      options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->stats->used_morsel_scan) << result->plan_text;
+  EXPECT_EQ(result->stats->morsels_claimed, 0);
+  EXPECT_EQ(result->table.num_rows(), 4);
 }
 
 TEST(TdeStreamingAggTest, SortedInputUsesStreamingAggregate) {
