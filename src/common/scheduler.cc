@@ -149,8 +149,7 @@ Status Scheduler::Submit(TaskClass cls, std::function<void()> fn,
   if (GlobalMetricsSink* sink = GetGlobalMetricsSink(); sink != nullptr) {
     sink->Add(ClassMetricName("submitted", ci), 1);
   }
-  PublishDepthGauge(options_.prioritize ? cls : TaskClass::kInteractive,
-                    depth);
+  PublishDepthGauge(cls, depth);
   work_cv_.notify_one();
   return OkStatus();
 }
@@ -192,14 +191,16 @@ bool Scheduler::PickTaskLocked(Task* out) {
     // Class caps keep reserve workers for interactive arrivals. Nested
     // tasks (spawned from inside a worker) bypass the caps: their parent
     // already holds a slot and may be blocked waiting on them.
-    if (c != TaskClass::kInteractive && !q.front().nested) {
-      if (running_non_interactive_ >= max_non_interactive_running_) continue;
-      if (c == TaskClass::kBackground &&
-          running_background_ >= max_background_running_) {
-        continue;
-      }
+    const bool capped =
+        c != TaskClass::kInteractive &&
+        (running_non_interactive_ >= max_non_interactive_running_ ||
+         (c == TaskClass::kBackground &&
+          running_background_ >= max_background_running_));
+    if (!capped) {
+      pop(q);
+    } else if (!PopNestedLocked(q, out)) {
+      continue;  // capped and no nested task anywhere in the class
     }
-    pop(q);
     ++dispatches_;
     if (c != TaskClass::kInteractive) {
       ++running_non_interactive_;
@@ -210,10 +211,37 @@ bool Scheduler::PickTaskLocked(Task* out) {
   return false;
 }
 
+bool Scheduler::PopNestedLocked(std::vector<Task>& q, Task* out) {
+  // The cap-bypassing nested task may sit anywhere in the heap behind
+  // non-nested tasks — a front-only check would skip the class while a
+  // capped parent blocks on its buried child (permanent deadlock). Scan
+  // for the best nested task by dispatch order; this path only runs when
+  // the class is capped, so the O(n) scan + re-heapify is off the common
+  // dispatch path.
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(q.size()); ++i) {
+    if (q[i].nested && (best < 0 || Worse(q[best], q[i]))) best = i;
+  }
+  if (best < 0) return false;
+  *out = std::move(q[best]);
+  q[best] = std::move(q.back());
+  q.pop_back();
+  std::make_heap(q.begin(), q.end(), Worse);
+  return true;
+}
+
 void Scheduler::PublishDepthGauge(TaskClass cls, size_t depth) const {
-  if (GlobalMetricsSink* sink = GetGlobalMetricsSink(); sink != nullptr) {
+  GlobalMetricsSink* sink = GetGlobalMetricsSink();
+  if (sink == nullptr) return;
+  if (options_.prioritize) {
     sink->SetGauge(ClassMetricName("queue_depth", static_cast<int>(cls)),
                    static_cast<double>(depth));
+  } else {
+    // One undifferentiated FIFO: publishing it under a class name (the
+    // shared queue holds every class) would misreport the baseline.
+    static const std::string* kShared =
+        new std::string("sched.queue_depth.shared");
+    sink->SetGauge(*kShared, static_cast<double>(depth));
   }
 }
 
@@ -274,8 +302,9 @@ void Scheduler::WorkerLoop() {
         work_cv_.wait_for(lock, std::chrono::milliseconds(2));
         continue;
       }
-      depth_cls = options_.prioritize ? task.cls : TaskClass::kInteractive;
-      depth = queues_[static_cast<int>(depth_cls)].size();
+      depth_cls = task.cls;
+      depth = queues_[options_.prioritize ? static_cast<int>(task.cls) : 0]
+                  .size();
     }
     PublishDepthGauge(depth_cls, depth);
     const TaskClass cls = task.cls;
@@ -328,92 +357,145 @@ Scheduler& Scheduler::Global() {
 
 TaskGroup::TaskGroup(Scheduler* scheduler, TaskClass cls,
                      const ExecContext& ctx, int max_concurrency)
-    : scheduler_(scheduler),
-      cls_(cls),
-      ctx_(ctx),
-      max_concurrency_(max_concurrency) {}
+    : state_(std::make_shared<State>()) {
+  state_->scheduler = scheduler;
+  state_->cls = cls;
+  state_->ctx = ctx;
+  state_->max_concurrency = max_concurrency;
+}
 
 TaskGroup::~TaskGroup() { Wait(); }
 
 void TaskGroup::Spawn(std::function<void()> fn, std::string name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending_.push_back(Pending{std::move(fn), std::move(name)});
-    ++outstanding_;
-    ++spawned_;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->pending.push_back(Pending{std::move(fn), std::move(name)});
+    ++state_->outstanding;
+    ++state_->spawned;
   }
-  Pump(0);
+  Pump(state_, 0);
 }
 
-void TaskGroup::Pump(int64_t finished) {
-  // Lifetime invariant: `finished` completions are applied to
-  // outstanding_ — and waiters notified — as this call's very last touch
-  // of the group. A task that completed on a worker therefore keeps the
-  // group alive (its own outstanding_ count) while it pumps successors;
-  // decrementing before pumping would let Wait() return and the group be
-  // destroyed under the worker's feet.
+void TaskGroup::RunClaimed(const std::shared_ptr<State>& s,
+                           const std::shared_ptr<Submitted>& task) {
+  task->fn();
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    --s->in_flight;
+  }
+  Pump(s, 1);  // applies this task's completion on its exit path
+}
+
+std::shared_ptr<TaskGroup::Submitted> TaskGroup::StealLocked(State& s) {
+  while (!s.submitted.empty()) {
+    std::shared_ptr<Submitted> task = std::move(s.submitted.front());
+    s.submitted.pop_front();
+    if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void TaskGroup::Pump(const std::shared_ptr<State>& s, int64_t finished) {
   while (true) {
-    Pending next;
+    std::shared_ptr<Submitted> task;
+    std::string name;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (pending_.empty() ||
-          (max_concurrency_ > 0 && in_flight_ >= max_concurrency_)) {
-        outstanding_ -= finished;
-        if (finished > 0 && outstanding_ == 0) {
-          // Notify under the lock: the waiter re-acquires mu_ before
-          // returning from Wait(), so this thread is fully out of the
-          // group's members by the time destruction can proceed.
-          done_cv_.notify_all();
-        }
+      std::lock_guard<std::mutex> lock(s->mu);
+      // Trim wrappers that already dispatched (or were stolen) off the
+      // steal window so it tracks in-flight work, not group history.
+      while (!s->submitted.empty() &&
+             s->submitted.front()->claimed.load(std::memory_order_acquire)) {
+        s->submitted.pop_front();
+      }
+      if (s->pending.empty() ||
+          (s->max_concurrency > 0 && s->in_flight >= s->max_concurrency)) {
+        // Completions are applied (and waiters notified) as this call's
+        // last touch of the counters, so Wait() cannot observe
+        // outstanding == 0 while a finishing task is mid-bookkeeping.
+        s->outstanding -= finished;
+        if (finished > 0 && s->outstanding == 0) s->done_cv.notify_all();
         return;
       }
-      next = std::move(pending_.front());
-      pending_.pop_front();
-      ++in_flight_;
+      task = std::make_shared<Submitted>();
+      task->fn = std::move(s->pending.front().fn);
+      name = std::move(s->pending.front().name);
+      s->pending.pop_front();
+      ++s->in_flight;
+      s->submitted.push_back(task);
+      // A new steal target exists: wake any worker parked in Wait().
+      s->done_cv.notify_all();
     }
-    // The wrapper owns completion accounting, so a task always finishes
-    // the group whether it ran on a worker or inline.
-    auto fn = std::make_shared<std::function<void()>>(std::move(next.fn));
-    Status submitted = scheduler_->Submit(
-        cls_,
-        [this, fn] {
-          (*fn)();
-          {
-            std::lock_guard<std::mutex> lock(mu_);
-            --in_flight_;
-          }
-          Pump(1);  // applies this task's completion on its exit path
+    // The claim flag picks exactly one runner for the task: the
+    // dispatched wrapper, a Wait()ing worker that stole it, or (on a
+    // failed submit) this pumping thread. The wrapper captures the shared
+    // state, so a wrapper that loses its claim no-ops safely even after
+    // the TaskGroup object itself is gone.
+    Status submitted = s->scheduler->Submit(
+        s->cls,
+        [s, task] {
+          if (task->claimed.exchange(true, std::memory_order_acq_rel)) return;
+          RunClaimed(s, task);
         },
-        ctx_, SubmitOptions{std::move(next.name), false});
+        s->ctx, SubmitOptions{std::move(name), false});
     if (!submitted.ok()) {
       // Load shed (admission control) or shutdown: run inline on the
       // spawning/pumping thread — the group never loses work. The
       // completion is deferred into `finished` so it, too, is applied
       // only on the exit path.
-      (*fn)();
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++ran_inline_;
-        --in_flight_;
+      if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+        task->fn();
+        {
+          std::lock_guard<std::mutex> lock(s->mu);
+          ++s->ran_inline;
+          --s->in_flight;
+        }
+        ++finished;
       }
-      ++finished;
     }
   }
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  std::shared_ptr<State> s = state_;
+  // A scheduler worker parked here holds a worker slot while the group's
+  // queued wrappers wait for a worker — circular under saturation (every
+  // worker inside some group's Wait() and nobody left to dispatch).
+  // Workers therefore help instead of parking: claim still-queued
+  // wrappers out of the scheduler and run them inline; the dispatched
+  // wrapper later no-ops. Non-worker threads park normally, so Wait()
+  // from a test or service thread does not change dispatch order.
+  const bool help = s->scheduler->OnWorkerThread();
+  std::unique_lock<std::mutex> lock(s->mu);
+  while (s->outstanding > 0) {
+    if (help) {
+      if (std::shared_ptr<Submitted> task = StealLocked(*s);
+          task != nullptr) {
+        ++s->stolen;
+        lock.unlock();
+        RunClaimed(s, task);
+        lock.lock();
+        continue;
+      }
+    }
+    s->done_cv.wait(lock);
+  }
 }
 
 int64_t TaskGroup::spawned() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return spawned_;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->spawned;
 }
 
 int64_t TaskGroup::ran_inline() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ran_inline_;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->ran_inline;
+}
+
+int64_t TaskGroup::stolen() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stolen;
 }
 
 }  // namespace vizq

@@ -41,6 +41,7 @@
 #ifndef VIZQUERY_COMMON_SCHEDULER_H_
 #define VIZQUERY_COMMON_SCHEDULER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -159,6 +160,11 @@ class Scheduler {
   // Picks the next runnable task under mu_; false when nothing is
   // dispatchable right now (empty, or capped classes only).
   bool PickTaskLocked(Task* out);
+  // Extracts the best (by dispatch order) cap-bypassing nested task from
+  // a capped class's heap — nested tasks may sit behind non-nested ones,
+  // so the front alone does not decide dispatchability. False when the
+  // queue holds no nested task.
+  static bool PopNestedLocked(std::vector<Task>& q, Task* out);
   void RunTask(Task task);
   int64_t TotalQueuedLocked() const;
   void PublishDepthGauge(TaskClass cls, size_t depth) const;
@@ -193,6 +199,11 @@ class Scheduler {
 // scheduler and class; a shed or post-shutdown submit runs the task inline
 // on the spawning (or pumping) thread, so the group never loses work.
 // Wait() blocks until every spawned task finished; the destructor waits.
+// When Wait() runs on a scheduler worker it does not merely park: it
+// claims the group's still-queued tasks and runs them inline, so workers
+// blocked joining nested fan-outs cannot starve the very tasks they wait
+// for (every worker parked in some Wait() would otherwise be a circular
+// wait under saturation).
 //
 // `max_concurrency` > 0 bounds how many of the group's tasks are in
 // flight at once (the §3.5 max_parallel_queries semantics); further
@@ -213,31 +224,58 @@ class TaskGroup {
   int64_t spawned() const;
   // Tasks that were shed by the scheduler and ran inline instead.
   int64_t ran_inline() const;
+  // Still-queued tasks a Wait()ing scheduler worker claimed and ran
+  // itself instead of parking.
+  int64_t stolen() const;
 
  private:
   struct Pending {
     std::function<void()> fn;
     std::string name;
   };
+  // A task handed to the scheduler. The claim flag picks exactly one
+  // runner: the dispatched wrapper, a Wait()ing worker that stole it, or
+  // the pumping thread when the submit itself failed.
+  struct Submitted {
+    std::function<void()> fn;
+    std::atomic<bool> claimed{false};
+  };
+  // All group state sits behind a shared_ptr: wrappers queued in the
+  // scheduler capture it, so a wrapper that loses its claim (its task was
+  // stolen) still runs safely after the TaskGroup object is gone, and a
+  // worker finishing a task can pump successors without racing group
+  // destruction.
+  struct State {
+    Scheduler* scheduler = nullptr;
+    TaskClass cls = TaskClass::kInteractive;
+    ExecContext ctx;
+    int max_concurrency = 0;
+
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::deque<Pending> pending;
+    // Submitted-but-possibly-unstarted wrappers: the steal window for
+    // Wait()ing workers. Claimed entries are trimmed lazily.
+    std::deque<std::shared_ptr<Submitted>> submitted;
+    int64_t outstanding = 0;  // spawned, not yet finished
+    int64_t in_flight = 0;    // submitted or running
+    int64_t spawned = 0;
+    int64_t ran_inline = 0;
+    int64_t stolen = 0;
+  };
 
   // Submits pending tasks while below max_concurrency, then applies
-  // `finished` completions to outstanding_ (notifying waiters) as its
-  // very last touch of the group — the ordering that makes it safe for
-  // a worker to pump after its task completed. Call without holding mu_.
-  void Pump(int64_t finished);
+  // `finished` completions to outstanding (notifying waiters) as its
+  // very last touch of the counters. Call without holding s->mu.
+  static void Pump(const std::shared_ptr<State>& s, int64_t finished);
+  // Runs a claimed task and its completion bookkeeping, then pumps.
+  static void RunClaimed(const std::shared_ptr<State>& s,
+                         const std::shared_ptr<Submitted>& task);
+  // Pops the first unclaimed submitted wrapper, claiming it; null when
+  // none remain. Requires s.mu held.
+  static std::shared_ptr<Submitted> StealLocked(State& s);
 
-  Scheduler* scheduler_;
-  TaskClass cls_;
-  ExecContext ctx_;
-  int max_concurrency_;
-
-  mutable std::mutex mu_;
-  std::condition_variable done_cv_;
-  std::deque<Pending> pending_;
-  int64_t outstanding_ = 0;  // spawned, not yet finished
-  int64_t in_flight_ = 0;    // submitted or running
-  int64_t spawned_ = 0;
-  int64_t ran_inline_ = 0;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace vizq

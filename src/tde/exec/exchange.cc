@@ -17,6 +17,9 @@ ExchangeOperator::ExchangeOperator(std::vector<OperatorPtr> inputs,
 ExchangeOperator::~ExchangeOperator() { StopProducers(); }
 
 Status ExchangeOperator::Open() {
+  // A re-open without an intervening Close() must not leave the previous
+  // producers racing the reset below: stop and join them first.
+  StopProducers();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.clear();
@@ -25,6 +28,11 @@ Status ExchangeOperator::Open() {
     live_producers_ = static_cast<int>(inputs_.size());
     serial_done_ = false;
   }
+  // Re-opening re-scans: rewind the shared morsel cursors before any
+  // producer starts claiming (a second Open would otherwise silently
+  // return zero rows from the drained queues).
+  for (const MorselQueuePtr& q : morsel_queues_) q->Reset();
+  consumer_tid_ = std::this_thread::get_id();
   if (serial_measurement_) {
     opened_ = true;
     return OkStatus();  // inputs run lazily on first Next()
@@ -40,7 +48,14 @@ Status ExchangeOperator::Open() {
           // The consumer may have run this input inline already (scheduler
           // saturation); whoever wins the claim runs it exactly once.
           if (!ClaimProducer(i)) return;
-          ProducerLoop(i, /*bounded=*/true);
+          // Bounded is a run-time property: when the scheduler sheds this
+          // wrapper (or Wait() steals it) it executes on the consumer
+          // thread, which cannot simultaneously drain queue_ — respecting
+          // max_queue_ there would deadlock against ourselves, exactly
+          // like RunOneProducerInline.
+          ProducerLoop(i,
+                       /*bounded=*/std::this_thread::get_id() !=
+                           consumer_tid_);
         },
         "exchange-producer");
   }

@@ -33,9 +33,11 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/common/scheduler.h"
+#include "src/tde/exec/morsel.h"
 #include "src/tde/exec/operators.h"
 
 namespace vizq::tde {
@@ -61,6 +63,13 @@ class ExchangeOperator : public Operator {
   Status Close() override;
 
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
+
+  // Registers a morsel queue shared by this Exchange's scan inputs. Open()
+  // rewinds every registered queue before producers start, so re-opening
+  // the operator tree re-scans instead of seeing drained cursors.
+  void AddMorselQueue(MorselQueuePtr queue) {
+    morsel_queues_.push_back(std::move(queue));
+  }
 
  private:
   // Runs input `input_index` to completion, pushing batches. `bounded`
@@ -90,6 +99,11 @@ class ExchangeOperator : public Operator {
   Status first_error_;
   std::unique_ptr<TaskGroup> group_;
   std::unique_ptr<std::atomic<bool>[]> claimed_;
+  std::vector<MorselQueuePtr> morsel_queues_;
+  // The thread that called Open() — the consumer. A producer wrapper
+  // executing on it (shed or stolen) must run unbounded: the consumer
+  // cannot drain its own queue while inside the producer.
+  std::thread::id consumer_tid_;
   bool opened_ = false;
   bool serial_measurement_ = false;
   bool serial_done_ = false;

@@ -46,6 +46,12 @@ class MorselQueue {
   int64_t num_rows() const { return num_rows_; }
   int64_t morsel_rows() const { return morsel_rows_; }
 
+  // Rewinds the claim cursor so the table can be scanned again. Only safe
+  // while no producer is claiming — the owning Exchange calls this from
+  // Open(), before it spawns producers (a re-open would otherwise see a
+  // drained queue and silently scan zero rows).
+  void Reset() { cursor_.store(0, std::memory_order_relaxed); }
+
  private:
   std::atomic<int64_t> cursor_{0};
   int64_t num_rows_;

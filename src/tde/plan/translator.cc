@@ -1,6 +1,7 @@
 #include "src/tde/plan/translator.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/tde/exec/exchange.h"
 #include "src/tde/exec/scan.h"
@@ -117,6 +118,11 @@ StatusOr<OperatorPtr> Translator::TranslateExchange(const LogicalOp& op) {
   int dop = op.dop;
   std::vector<OperatorPtr> inputs;
   inputs.reserve(dop);
+  // Morsel queues created while translating this Exchange's fractions
+  // belong to it: the Exchange rewinds them on (re-)Open.
+  std::unordered_set<const LogicalOp*> queues_before;
+  queues_before.reserve(morsel_queues_.size());
+  for (const auto& [node, queue] : morsel_queues_) queues_before.insert(node);
   for (int f = 0; f < dop; ++f) {
     VIZQ_ASSIGN_OR_RETURN(OperatorPtr input,
                           TranslateNode(*op.children[0], f));
@@ -127,8 +133,12 @@ StatusOr<OperatorPtr> Translator::TranslateExchange(const LogicalOp& op) {
     stats_->used_parallel_plan = true;
     stats_->dop = std::max(stats_->dop, dop);
   }
-  return OperatorPtr(std::make_unique<ExchangeOperator>(
-      std::move(inputs), stats_, serial_exchange_, ctx_));
+  auto exchange = std::make_unique<ExchangeOperator>(
+      std::move(inputs), stats_, serial_exchange_, ctx_);
+  for (const auto& [node, queue] : morsel_queues_) {
+    if (queues_before.count(node) == 0) exchange->AddMorselQueue(queue);
+  }
+  return OperatorPtr(std::move(exchange));
 }
 
 StatusOr<OperatorPtr> Translator::TranslateNode(const LogicalOp& op,

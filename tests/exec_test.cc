@@ -281,6 +281,66 @@ TEST(ExchangeTest, CancelMidStreamWithSlowConsumer) {
   (void)exchange.Close();
 }
 
+// Regression: when every producer wrapper is shed (here: scheduler shut
+// down), TaskGroup runs them inline on the consumer thread during Open().
+// They must run unbounded there — a bounded producer would fill max_queue_
+// and then spin forever, since the consumer cannot drain its own queue
+// while it is inside Open().
+TEST(ExchangeTest, ShedProducersRunUnboundedOnConsumerThread) {
+  Scheduler sched(SchedulerOptions{.num_threads = 1});
+  sched.Shutdown();
+  std::vector<OperatorPtr> inputs;
+  for (int f = 0; f < 2; ++f) {
+    // Well past max_queue_ (8) one-row batches per input.
+    inputs.push_back(std::make_unique<ManyBatchesOp>(64));
+  }
+  ExecStats stats;
+  ExchangeOperator exchange(std::move(inputs), &stats, /*serial=*/false,
+                            ExecContext::Background(), &sched);
+  ASSERT_TRUE(exchange.Open().ok());
+  int64_t rows = 0;
+  Batch batch;
+  while (true) {
+    auto more = exchange.Next(&batch);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    rows += batch.num_rows;
+  }
+  ASSERT_TRUE(exchange.Close().ok());
+  EXPECT_EQ(rows, 128);
+}
+
+// Regression: a morsel-mode Exchange must be re-openable. The shared
+// MorselQueue cursor is rewound by Open(), so a second run re-scans the
+// table instead of silently returning zero rows from a drained queue.
+TEST(ExchangeTest, MorselModeReopenRescans) {
+  auto table = vizq::testing::MakeSalesTable(4000);
+  auto queue = std::make_shared<MorselQueue>(table->num_rows(), 512);
+  std::vector<OperatorPtr> inputs;
+  for (int f = 0; f < 3; ++f) {
+    auto scan =
+        std::make_unique<TableScanOperator>(table, std::vector<int>{2});
+    scan->SetMorselQueue(queue);
+    inputs.push_back(std::move(scan));
+  }
+  ExecStats stats;
+  ExchangeOperator exchange(std::move(inputs), &stats);
+  exchange.AddMorselQueue(queue);
+  for (int run = 0; run < 2; ++run) {
+    ASSERT_TRUE(exchange.Open().ok());
+    int64_t rows = 0;
+    Batch batch;
+    while (true) {
+      auto more = exchange.Next(&batch);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+      rows += batch.num_rows;
+    }
+    ASSERT_TRUE(exchange.Close().ok());
+    EXPECT_EQ(rows, 4000) << "run " << run;
+  }
+}
+
 TEST(SharedBuildTest, BuildHappensOnceAcrossProbes) {
   auto dim = vizq::testing::MakeProductDim();
   auto build_scan = std::make_unique<TableScanOperator>(

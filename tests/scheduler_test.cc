@@ -316,6 +316,106 @@ TEST(SchedulerTest, NestedSpawnBypassesClassCaps) {
   EXPECT_TRUE(child_ran.load());
 }
 
+// Regression: the cap bypass must find a nested task anywhere in the
+// class queue, not only at the heap front. A non-nested task with an
+// earlier sequence number sits at the front of the capped background
+// queue; the nested child queued behind it must still dispatch, or its
+// parent (holding the only background slot) deadlocks the class.
+TEST(SchedulerTest, NestedTaskBehindCappedNonNestedDispatches) {
+  SchedulerOptions opts;
+  opts.num_threads = 2;  // background cap resolves to 1
+  opts.starvation_boost_period = 0;
+  Scheduler sched(opts);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool parent_running = false;
+  bool decoy_queued = false;
+  bool child_done = false;
+  bool parent_done = false;
+  // The assertion target: the child must dispatch while the parent still
+  // holds the background slot — a late run after the parent gives up
+  // (freeing the slot) is exactly the deadlock being tested for.
+  bool child_ran_while_parent_blocked = false;
+
+  ASSERT_TRUE(
+      sched
+          .Submit(TaskClass::kBackground,
+                  [&] {
+                    {
+                      std::unique_lock<std::mutex> lock(mu);
+                      parent_running = true;
+                      cv.notify_all();
+                      cv.wait(lock, [&] { return decoy_queued; });
+                    }
+                    // Submitted from a worker: nested. It lands behind
+                    // the decoy in the FIFO heap.
+                    Status child =
+                        sched.Submit(TaskClass::kBackground, [&] {
+                          std::lock_guard<std::mutex> lock(mu);
+                          child_done = true;
+                          cv.notify_all();
+                        });
+                    EXPECT_TRUE(child.ok()) << child.ToString();
+                    std::unique_lock<std::mutex> lock(mu);
+                    child_ran_while_parent_blocked =
+                        cv.wait_for(lock, std::chrono::seconds(5),
+                                    [&] { return child_done; });
+                    parent_done = true;
+                    cv.notify_all();
+                  })
+          .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return parent_running; });
+  }
+  // Non-nested decoy: earlier seq than the child, undispatchable while
+  // the parent holds the background slot.
+  ASSERT_TRUE(sched.Submit(TaskClass::kBackground, [] {}).ok());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    decoy_queued = true;
+    cv.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return parent_done; }));
+  EXPECT_TRUE(child_ran_while_parent_blocked);
+}
+
+// Regression: Wait() on a scheduler worker must help drain the group
+// instead of parking. With a single worker stuck inside the outer task,
+// the inner group's tasks are queued with no worker left to dispatch
+// them — the waiting worker has to claim and run them itself.
+TEST(SchedulerTest, WaitOnWorkerHelpsDrainQueuedGroupTasks) {
+  Scheduler sched(SchedulerOptions{.num_threads = 1});
+  std::atomic<int> ran{0};
+  TaskGroup outer(&sched, TaskClass::kInteractive);
+  outer.Spawn([&] {
+    TaskGroup inner(&sched, TaskClass::kInteractive);
+    for (int i = 0; i < 4; ++i) inner.Spawn([&ran] { ran.fetch_add(1); });
+    inner.Wait();
+    EXPECT_EQ(inner.stolen(), 4);
+  });
+  outer.Wait();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(SchedulerTest, NonPrioritizedModePublishesSharedDepthGauge) {
+  obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+  SchedulerOptions opts;
+  opts.num_threads = 1;
+  opts.prioritize = false;
+  Scheduler sched(opts);
+  WorkerGate gate(&sched);
+  // The shared queue holds every class; publishing it as "interactive"
+  // would misreport the baseline configuration benches compare against.
+  ASSERT_TRUE(sched.Submit(TaskClass::kBatch, [] {}).ok());
+  obs::MetricsSnapshot snap = metrics.TakeSnapshot();
+  EXPECT_TRUE(snap.gauges.count("sched.queue_depth.shared"));
+  gate.Release();
+}
+
 TEST(SchedulerTest, NonPrioritizedModeIsPureFifo) {
   SchedulerOptions opts;
   opts.num_threads = 1;
