@@ -38,6 +38,9 @@ StatusOr<LogicalOpPtr> TdeEngine::Compile(const LogicalOpPtr& plan,
     parallel.enable_morsel = false;
   }
   VIZQ_RETURN_IF_ERROR(ParallelizePlan(&working, parallel));
+  // Post-parallelize: the final topology decides where the encoded
+  // Scan→Filter→Aggregate path applies (flags on the logical nodes).
+  DecideEncodedExec(working, options.optimizer);
   return working;
 }
 
@@ -52,6 +55,10 @@ StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
   VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("tde execute"));
   ScopedSpan compile_span(ctx.StartSpan("tde:compile"));
   VIZQ_ASSIGN_OR_RETURN(LogicalOpPtr compiled, Compile(plan, options));
+  // Re-derive the encoded-exec decision (idempotent) to capture the
+  // plan/fallback counts for this execution's observability.
+  EncodedExecDecision encoded =
+      DecideEncodedExec(compiled, options.optimizer);
   compile_span.End();
 
   QueryResult result;
@@ -68,16 +75,32 @@ StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
   VIZQ_ASSIGN_OR_RETURN(OperatorPtr root, translator.Translate(compiled));
   VIZQ_ASSIGN_OR_RETURN(result.table, CollectToResultTable(root.get()));
   run_span.End();
+  int64_t rows_undecoded = 0;
   {
     std::lock_guard<std::mutex> lock(result.stats->mu);
+    result.stats->encoded_plans = encoded.plans;
+    result.stats->encoded_fallbacks = encoded.fallbacks;
+    rows_undecoded = result.stats->encoded_rows_undecoded;
     ctx.Count("tde.rows_scanned", result.stats->rows_scanned);
     ctx.Count("tde.batches", result.stats->batches);
+    if (encoded.plans > 0 || encoded.fallbacks > 0 || rows_undecoded > 0) {
+      ctx.Count("tde.encoded.plans", encoded.plans);
+      ctx.Count("tde.encoded.fallbacks", encoded.fallbacks);
+      ctx.Count("tde.encoded.rows_undecoded", rows_undecoded);
+    }
   }
   if (result.analysis != nullptr) {
     // The annotated plan and its root row count ride on the request log,
     // so the PerfRecorder snapshots them with the trace; per-kind wall
     // times feed the "tde.op.<kind>.ms" histograms.
-    ctx.Attach("tde.analyze", result.analysis->ToText());
+    std::string analyze_text = result.analysis->ToText();
+    if (encoded.plans > 0 || encoded.fallbacks > 0) {
+      analyze_text += "encoded: plans=" + std::to_string(encoded.plans) +
+                      " fallbacks=" + std::to_string(encoded.fallbacks) +
+                      " rows_undecoded=" + std::to_string(rows_undecoded) +
+                      "\n";
+    }
+    ctx.Attach("tde.analyze", analyze_text);
     ctx.Attach("tde.analyze.root_rows",
                std::to_string(result.analysis->root_rows()));
     if (ctx.metrics_enabled()) {

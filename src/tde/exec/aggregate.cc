@@ -98,12 +98,19 @@ HashAggregateOperator::HashAggregateOperator(OperatorPtr child,
   accums_.resize(specs_.size());
 }
 
+void HashAggregateOperator::EnableDenseGroups(DenseAggConfig config,
+                                              ExecStats* stats) {
+  dense_ = std::move(config);
+  stats_ = stats;
+}
+
 Status HashAggregateOperator::Open() {
   consumed_ = false;
   emit_cursor_ = 0;
   num_groups_ = 0;
   batches_consumed_ = 0;
   buckets_.clear();
+  cell_to_group_.clear();
   for (auto& cv : group_store_) cv = ColumnVector::LayoutLike(cv);
   for (auto& acc : accums_) acc = Accumulator{};
   span_ = ctx_.StartSpan("op:aggregate");
@@ -140,6 +147,12 @@ int64_t HashAggregateOperator::FindOrCreateGroup(
   for (size_t k = 0; k < key_cols.size(); ++k) {
     group_store_[k].AppendFrom(key_cols[k], row);
   }
+  AppendGroupSlots();
+  bucket.push_back(g);
+  return g;
+}
+
+void HashAggregateOperator::AppendGroupSlots() {
   for (size_t s = 0; s < specs_.size(); ++s) {
     Accumulator& acc = accums_[s];
     acc.sum_d.push_back(0);
@@ -151,8 +164,6 @@ int64_t HashAggregateOperator::FindOrCreateGroup(
       acc.distinct.emplace_back();
     }
   }
-  bucket.push_back(g);
-  return g;
 }
 
 void HashAggregateOperator::UpdateAccumulator(int spec_idx, int64_t group,
@@ -168,16 +179,14 @@ void HashAggregateOperator::UpdateAccumulator(int spec_idx, int64_t group,
   switch (spec.func) {
     case AggFunc::kSum:
       if (SumIsIntegral(spec)) {
-        acc.sum_i[group] += arg_col.ints[row];
+        acc.sum_i[group] += arg_col.IntAt(row);
       } else {
-        acc.sum_d[group] += arg_col.doubles[row];
+        acc.sum_d[group] += arg_col.DoubleAt(row);
       }
       acc.has_value[group] = 1;
       break;
     case AggFunc::kAvg:
-      acc.sum_d[group] += arg_col.type.kind == TypeKind::kFloat64
-                              ? arg_col.doubles[row]
-                              : static_cast<double>(arg_col.ints[row]);
+      acc.sum_d[group] += arg_col.DoubleAt(row);
       ++acc.count[group];
       break;
     case AggFunc::kCount:
@@ -293,6 +302,167 @@ Status HashAggregateOperator::Consume(const Batch& in) {
   return OkStatus();
 }
 
+Status HashAggregateOperator::ConsumeDense(Batch& in) {
+  if (in.num_rows == 0) return OkStatus();
+  const int64_t n = in.num_rows;
+  if (cell_to_group_.empty() && dense_.total_cells > 0) {
+    cell_to_group_.assign(dense_.total_cells, -1);
+  }
+
+  std::vector<const ColumnVector*> keys;
+  keys.reserve(dense_.key_columns.size());
+  for (int c : dense_.key_columns) keys.push_back(&in.columns[c]);
+  std::vector<size_t> key_run(keys.size(), 0);
+
+  // Resolve agg args. Bare column refs stay as-is (possibly run-encoded,
+  // folded below); computed args evaluate through the normal vectorized
+  // path over flat columns. `owned` also provides the COUNT(*) dummy.
+  std::vector<const ColumnVector*> args(specs_.size(), nullptr);
+  std::vector<ColumnVector> owned(specs_.size());
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const AggSpec& spec = specs_[s];
+    if (spec.arg == nullptr) {
+      args[s] = &owned[s];
+      continue;
+    }
+    if (spec.arg->kind == ExprKind::kColumnRef && spec.arg->column_index >= 0) {
+      args[s] = &in.columns[spec.arg->column_index];
+      continue;
+    }
+    // The planner only admits computed args over flat columns; flatten
+    // defensively in case a run-encoded one reached us anyway.
+    std::vector<int> refs;
+    spec.arg->CollectColumnIndices(&refs);
+    for (int c : refs) in.columns[c].DecodeRuns();
+    VIZQ_ASSIGN_OR_RETURN(owned[s], EvalExpr(*spec.arg, in));
+    args[s] = &owned[s];
+  }
+  std::vector<size_t> arg_run(specs_.size(), 0);
+
+  const int32_t* sel = in.has_selection ? in.selection.data() : nullptr;
+  const size_t sel_n = in.selection.size();
+  size_t sel_idx = 0;
+
+  int64_t pos = 0;
+  while (pos < n) {
+    // Maximal segment [pos, seg_end) on which every key column is constant:
+    // bounded by the enclosing run of each run-encoded key, one row for
+    // flat keys. Cell digit 0 encodes NULL (runs never straddle null
+    // boundaries, so the run's first row carries its null status).
+    int64_t seg_end = n;
+    int64_t cell = 0;
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const ColumnVector& kc = *keys[k];
+      int64_t token;
+      if (kc.is_run_encoded()) {
+        while (kc.runs[key_run[k]].start + kc.runs[key_run[k]].count <= pos) {
+          ++key_run[k];
+        }
+        const RleRun& r = kc.runs[key_run[k]];
+        token = kc.IsNull(pos) ? -1 : r.value;
+        seg_end = std::min(seg_end, r.start + r.count);
+      } else {
+        token = kc.IsNull(pos) ? -1 : kc.ints[pos];
+        seg_end = std::min(seg_end, pos + 1);
+      }
+      cell = cell * (dense_.key_cards[k] + 1) + (token + 1);
+    }
+
+    if (sel != nullptr) {
+      // Selection path: update per live row (accessors are run-aware).
+      // Segments with no survivors must not create their group.
+      size_t first = sel_idx;
+      while (sel_idx < sel_n && sel[sel_idx] < seg_end) ++sel_idx;
+      if (sel_idx == first) {
+        pos = seg_end;
+        continue;
+      }
+      int64_t g = cell_to_group_[cell];
+      if (g < 0) {
+        g = num_groups_++;
+        for (size_t k = 0; k < keys.size(); ++k) {
+          group_store_[k].AppendFrom(*keys[k], pos);
+        }
+        AppendGroupSlots();
+        cell_to_group_[cell] = static_cast<int32_t>(g);
+      }
+      for (size_t i = first; i < sel_idx; ++i) {
+        int64_t r = sel[i];
+        for (size_t s = 0; s < specs_.size(); ++s) {
+          UpdateAccumulator(static_cast<int>(s), g, *args[s], r);
+        }
+      }
+      pos = seg_end;
+      continue;
+    }
+
+    int64_t g = cell_to_group_[cell];
+    if (g < 0) {
+      g = num_groups_++;
+      for (size_t k = 0; k < keys.size(); ++k) {
+        group_store_[k].AppendFrom(*keys[k], pos);
+      }
+      AppendGroupSlots();
+      cell_to_group_[cell] = static_cast<int32_t>(g);
+    }
+    int64_t seg_len = seg_end - pos;
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      const AggSpec& spec = specs_[s];
+      Accumulator& acc = accums_[s];
+      if (spec.arg == nullptr) {  // COUNT(*)
+        acc.count[g] += seg_len;
+        continue;
+      }
+      const ColumnVector& a = *args[s];
+      if (a.is_run_encoded()) {
+        // Fold whole runs: one multiply-add per run instead of per row.
+        while (a.runs[arg_run[s]].start + a.runs[arg_run[s]].count <= pos) {
+          ++arg_run[s];
+        }
+        for (size_t ri = arg_run[s]; ri < a.runs.size(); ++ri) {
+          const RleRun& r = a.runs[ri];
+          int64_t f = std::max(pos, r.start);
+          int64_t t = std::min(seg_end, r.start + r.count);
+          if (f >= t) break;
+          if (a.IsNull(f)) continue;  // null run: aggregates skip nulls
+          int64_t len = t - f;
+          switch (spec.func) {
+            case AggFunc::kSum:
+              if (SumIsIntegral(spec)) {
+                acc.sum_i[g] += r.value * len;
+              } else {
+                acc.sum_d[g] += a.DoubleAt(f) * len;
+              }
+              acc.has_value[g] = 1;
+              break;
+            case AggFunc::kAvg:
+              acc.sum_d[g] += a.DoubleAt(f) * len;
+              acc.count[g] += len;
+              break;
+            case AggFunc::kCount:
+              acc.count[g] += len;
+              break;
+            case AggFunc::kMin:
+            case AggFunc::kMax:
+            case AggFunc::kCountDistinct:
+              // Constant within the run: one per-row update suffices.
+              UpdateAccumulator(static_cast<int>(s), g, a, f);
+              break;
+            case AggFunc::kCountStar:
+              break;  // handled above
+          }
+        }
+      } else {
+        for (int64_t r = pos; r < seg_end; ++r) {
+          UpdateAccumulator(static_cast<int>(s), g, a, r);
+        }
+      }
+    }
+    pos = seg_end;
+  }
+  return OkStatus();
+}
+
 void HashAggregateOperator::EmitGroup(int64_t group, Batch* batch) const {
   for (size_t k = 0; k < group_exprs_.size(); ++k) {
     batch->columns[k].AppendFrom(group_store_[k], group);
@@ -355,7 +525,11 @@ StatusOr<bool> HashAggregateOperator::Next(Batch* batch) {
       ++batches_consumed_;
       VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
       if (!more) break;
-      VIZQ_RETURN_IF_ERROR(Consume(in));
+      if (dense_.enabled && phase_ != AggPhase::kFinal) {
+        VIZQ_RETURN_IF_ERROR(ConsumeDense(in));
+      } else {
+        VIZQ_RETURN_IF_ERROR(Consume(in));
+      }
     }
     consumed_ = true;
     // Scalar aggregation over an empty input still yields one row

@@ -45,6 +45,18 @@ struct GroupExpr {
 // kPartial -> Exchange -> kFinal plans.
 std::vector<ResultColumn> PartialStateColumns(const AggSpec& spec);
 
+// Configuration of the dense (token-indexed) grouping path: every group key
+// is a bare reference to a dictionary-token child column, so a group's
+// identity is a mixed-radix cell index over (token+1) digits — radix
+// card+1, digit 0 reserved for NULL — and the usual hash probe becomes one
+// array lookup. Decided by the optimizer (DecideEncodedExec, DESIGN.md §11).
+struct DenseAggConfig {
+  bool enabled = false;
+  std::vector<int> key_columns;    // child column index per group key
+  std::vector<int64_t> key_cards;  // dictionary size per key column
+  int64_t total_cells = 1;         // prod(card + 1), capped by the optimizer
+};
+
 class HashAggregateOperator : public Operator {
  public:
   // For kFinal, `child` must produce: group columns (in group_exprs order,
@@ -53,6 +65,12 @@ class HashAggregateOperator : public Operator {
   HashAggregateOperator(OperatorPtr child, std::vector<GroupExpr> group_exprs,
                         std::vector<AggSpec> specs, AggPhase phase,
                         const ExecContext& ctx = ExecContext::Background());
+
+  // Switches group lookup to the dense token-indexed path and enables
+  // whole-run folding of RLE argument columns (one multiply-add per run).
+  // Only valid when the config matches this operator's group exprs; the
+  // planner guarantees that. Not supported for kFinal.
+  void EnableDenseGroups(DenseAggConfig config, ExecStats* stats);
 
   const BatchSchema& schema() const override { return schema_; }
   Status Open() override;
@@ -70,8 +88,11 @@ class HashAggregateOperator : public Operator {
   };
 
   Status Consume(const Batch& in);
+  Status ConsumeDense(Batch& in);
   int64_t FindOrCreateGroup(const std::vector<ColumnVector>& key_cols,
                             int64_t row);
+  // Pushes the per-spec accumulator slots of a freshly created group.
+  void AppendGroupSlots();
   void UpdateAccumulator(int spec_idx, int64_t group,
                          const ColumnVector& arg_col, int64_t row);
   void UpdateFinalAccumulator(int spec_idx, int64_t group, const Batch& in,
@@ -95,6 +116,13 @@ class HashAggregateOperator : public Operator {
   ExecContext ctx_;
   Span* span_ = nullptr;
   int64_t batches_consumed_ = 0;
+
+  // Dense path state: cell index -> compact group id (-1 = unseen), sized
+  // lazily to total_cells on first dense batch. Group ids stay compact and
+  // first-seen-ordered, so emission is identical to the hash path's.
+  DenseAggConfig dense_;
+  std::vector<int32_t> cell_to_group_;
+  ExecStats* stats_ = nullptr;
 };
 
 class StreamingAggregateOperator : public Operator {

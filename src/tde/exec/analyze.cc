@@ -32,7 +32,11 @@ std::string LabelFor(const LogicalOp& op) {
     case LogicalKind::kRleIndexScan:
       os << " " << op.table_path << " [cols=" << op.scan_columns.size();
       if (op.scan_dop > 1) os << " dop=" << op.scan_dop;
+      if (op.emit_encoded) os << " encoded";
       os << "]";
+      break;
+    case LogicalKind::kSelect:
+      if (op.encoded_filter) os << " [encoded]";
       break;
     case LogicalKind::kJoin:
       os << " [keys=" << op.join_keys.size()
@@ -44,6 +48,7 @@ std::string LabelFor(const LogicalOp& op) {
       if (op.agg_phase == AggPhase::kPartial) os << " phase=partial";
       if (op.agg_phase == AggPhase::kFinal) os << " phase=final";
       if (op.prefer_streaming) os << " streaming";
+      if (op.use_encoded_agg) os << " dense";
       os << "]";
       break;
     case LogicalKind::kTopN:
@@ -176,7 +181,8 @@ StatusOr<bool> AnalyzeOperator::Next(Batch* batch) {
   ScopedWall wall(&node_->wall_ns);
   StatusOr<bool> more = child_->Next(batch);
   if (more.ok() && *more && batch->num_rows > 0) {
-    node_->rows_out.fetch_add(batch->num_rows, std::memory_order_relaxed);
+    // Selection-carrying batches (encoded filters) only count live rows.
+    node_->rows_out.fetch_add(batch->live_rows(), std::memory_order_relaxed);
     node_->batches.fetch_add(1, std::memory_order_relaxed);
   }
   return more;

@@ -1,6 +1,36 @@
 #include "src/tde/exec/batch.h"
 
+#include <cstring>
+
 namespace vizq::tde {
+
+namespace {
+
+inline double RunBitsToDouble(int64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+// Finds the run containing `row` by binary search on run starts.
+inline const RleRun* FindBatchRun(const std::vector<RleRun>& runs,
+                                  int64_t row) {
+  int64_t lo = 0, hi = static_cast<int64_t>(runs.size()) - 1;
+  while (lo <= hi) {
+    int64_t mid = (lo + hi) / 2;
+    const RleRun& r = runs[mid];
+    if (row < r.start) {
+      hi = mid - 1;
+    } else if (row >= r.start + r.count) {
+      lo = mid + 1;
+    } else {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 ColumnVector ColumnVector::LayoutLike(const ColumnVector& proto) {
   ColumnVector out(proto.type);
@@ -9,6 +39,10 @@ ColumnVector ColumnVector::LayoutLike(const ColumnVector& proto) {
 }
 
 int64_t ColumnVector::size() const {
+  if (run_encoded) {
+    if (runs.empty()) return 0;
+    return runs.back().start + runs.back().count;
+  }
   switch (type.kind) {
     case TypeKind::kFloat64:
       return static_cast<int64_t>(doubles.size());
@@ -20,25 +54,71 @@ int64_t ColumnVector::size() const {
   }
 }
 
+int64_t ColumnVector::IntAt(int64_t row) const {
+  if (run_encoded) {
+    const RleRun* r = FindBatchRun(runs, row);
+    if (r == nullptr) return 0;
+    // Run values of float64 columns hold the double's bit pattern.
+    if (type.kind == TypeKind::kFloat64) {
+      return static_cast<int64_t>(RunBitsToDouble(r->value));
+    }
+    return r->value;
+  }
+  if (type.kind == TypeKind::kFloat64) {
+    return static_cast<int64_t>(doubles[row]);
+  }
+  return ints[row];
+}
+
+double ColumnVector::DoubleAt(int64_t row) const {
+  if (run_encoded) {
+    const RleRun* r = FindBatchRun(runs, row);
+    if (r == nullptr) return 0.0;
+    if (type.kind == TypeKind::kFloat64) return RunBitsToDouble(r->value);
+    return static_cast<double>(r->value);
+  }
+  if (type.kind == TypeKind::kFloat64) return doubles[row];
+  return static_cast<double>(ints[row]);
+}
+
+void ColumnVector::DecodeRuns() {
+  if (!run_encoded) return;
+  int64_t n = size();
+  if (type.kind == TypeKind::kFloat64) {
+    doubles.resize(n);
+    for (const RleRun& r : runs) {
+      double v = RunBitsToDouble(r.value);
+      for (int64_t i = 0; i < r.count; ++i) doubles[r.start + i] = v;
+    }
+  } else {
+    ints.resize(n);
+    for (const RleRun& r : runs) {
+      for (int64_t i = 0; i < r.count; ++i) ints[r.start + i] = r.value;
+    }
+  }
+  runs.clear();
+  run_encoded = false;
+}
+
 Value ColumnVector::GetValue(int64_t row) const {
   if (IsNull(row)) return Value::Null();
   switch (type.kind) {
     case TypeKind::kBool:
-      return Value(ints[row] != 0);
+      return Value(IntAt(row) != 0);
     case TypeKind::kInt64:
     case TypeKind::kDate:
-      return Value(ints[row]);
+      return Value(IntAt(row));
     case TypeKind::kFloat64:
-      return Value(doubles[row]);
+      return Value(DoubleAt(row));
     case TypeKind::kString:
-      if (dict != nullptr) return Value(dict->value(ints[row]));
+      if (dict != nullptr) return Value(dict->value(IntAt(row)));
       return Value(strings[row]);
   }
   return Value::Null();
 }
 
 std::string_view ColumnVector::GetStringView(int64_t row) const {
-  if (dict != nullptr) return dict->value(ints[row]);
+  if (dict != nullptr) return dict->value(IntAt(row));
   return strings[row];
 }
 
@@ -61,7 +141,7 @@ int ColumnVector::CompareAt(int64_t a, const ColumnVector& other,
   if (type.kind == TypeKind::kString && other.type.kind == TypeKind::kString) {
     // Token fast path: same dictionary implies interning by collation key,
     // so equal tokens mean collated-equal strings.
-    if (dict != nullptr && dict == other.dict && ints[a] == other.ints[b]) {
+    if (dict != nullptr && dict == other.dict && IntAt(a) == other.IntAt(b)) {
       return 0;
     }
     return CollatedCompare(GetStringView(a), other.GetStringView(b),
@@ -69,17 +149,14 @@ int ColumnVector::CompareAt(int64_t a, const ColumnVector& other,
   }
   if (type.kind == TypeKind::kFloat64 ||
       other.type.kind == TypeKind::kFloat64) {
-    double x = type.kind == TypeKind::kFloat64 ? doubles[a]
-                                               : static_cast<double>(ints[a]);
-    double y = other.type.kind == TypeKind::kFloat64
-                   ? other.doubles[b]
-                   : static_cast<double>(other.ints[b]);
+    double x = DoubleAt(a);
+    double y = other.DoubleAt(b);
     if (x < y) return -1;
     if (x > y) return 1;
     return 0;
   }
-  int64_t x = ints[a];
-  int64_t y = other.ints[b];
+  int64_t x = IntAt(a);
+  int64_t y = other.IntAt(b);
   if (x < y) return -1;
   if (x > y) return 1;
   return 0;
@@ -205,7 +282,7 @@ void ColumnVector::AppendFrom(const ColumnVector& src, int64_t row) {
   }
   if (type.kind == TypeKind::kString) {
     if (dict != nullptr && dict == src.dict) {
-      AppendToken(src.ints[row]);
+      AppendToken(src.IntAt(row));
       return;
     }
     if (dict != nullptr && src.dict == nullptr) {
@@ -221,14 +298,12 @@ void ColumnVector::AppendFrom(const ColumnVector& src, int64_t row) {
     return;
   }
   if (type.kind == TypeKind::kFloat64) {
-    AppendDouble(src.type.kind == TypeKind::kFloat64
-                     ? src.doubles[row]
-                     : static_cast<double>(src.ints[row]));
+    AppendDouble(src.DoubleAt(row));
     return;
   }
   AppendInt(src.type.kind == TypeKind::kFloat64
-                ? static_cast<int64_t>(src.doubles[row])
-                : src.ints[row]);
+                ? static_cast<int64_t>(src.DoubleAt(row))
+                : src.IntAt(row));
 }
 
 std::vector<Value> Batch::GetRow(int64_t row) const {

@@ -39,6 +39,18 @@ struct ColumnVector {
   std::shared_ptr<const StringDictionary> dict;
   std::vector<uint8_t> nulls;  // empty means "no nulls in this vector"
 
+  // Optional run-length representation. When `run_encoded` is true the
+  // fixed-width payload lives in `runs` (batch-relative starts, contiguous,
+  // non-empty, covering [0, size())) and `ints`/`doubles` are empty; double
+  // payloads are bit-cast into RleRun::value like the storage layer. The
+  // null mask stays flat/positional (never run-compressed). Value-level
+  // accessors below resolve through the runs, but bulk consumers
+  // (expression eval, plain operators) require flat vectors — the planner
+  // only routes run-encoded batches into run-aware operators, and
+  // DecodeRuns() flattens as a fallback.
+  std::vector<RleRun> runs;
+  bool run_encoded = false;
+
   ColumnVector() = default;
   explicit ColumnVector(DataType t) : type(t) {}
 
@@ -54,6 +66,18 @@ struct ColumnVector {
   bool is_dict_string() const {
     return type.kind == TypeKind::kString && dict != nullptr;
   }
+
+  bool is_run_encoded() const { return run_encoded; }
+
+  // Raw fixed-width payload of `row` (int/bool/date value, dict token, or
+  // bit-cast double), resolving through runs when run-encoded.
+  int64_t IntAt(int64_t row) const;
+  double DoubleAt(int64_t row) const;
+
+  // Flattens a run-encoded vector into plain ints/doubles (no-op
+  // otherwise). Correctness fallback for consumers that index payloads
+  // directly.
+  void DecodeRuns();
 
   // Materializes row `row` as a Value (strings resolved through the
   // dictionary).
@@ -91,8 +115,26 @@ struct Batch {
   std::vector<ColumnVector> columns;
   int64_t num_rows = 0;
 
+  // Optional selection vector: when `has_selection` is true only the rows
+  // whose indexes appear in `selection` (sorted ascending) are live; the
+  // column payloads are untouched. Lets filters pass encoded batches
+  // through without materializing copies. `num_rows` stays the physical
+  // row count.
+  std::vector<int32_t> selection;
+  bool has_selection = false;
+
   bool empty() const { return num_rows == 0; }
   int num_columns() const { return static_cast<int>(columns.size()); }
+
+  // Rows surviving the selection vector (== num_rows when none).
+  int64_t live_rows() const {
+    return has_selection ? static_cast<int64_t>(selection.size()) : num_rows;
+  }
+
+  void ClearSelection() {
+    selection.clear();
+    has_selection = false;
+  }
 
   // Materializes the batch row as Values.
   std::vector<Value> GetRow(int64_t row) const;

@@ -855,4 +855,71 @@ StatusOr<std::vector<int64_t>> EvalPredicate(const Expr& expr,
   return selected;
 }
 
+StatusOr<TokenMatchBitmap> BuildTokenMatchBitmap(const Expr& expr,
+                                                 int column_index,
+                                                 const ColumnVector& proto) {
+  if (proto.dict == nullptr) {
+    return Internal("token bitmap requires a dictionary column");
+  }
+  TokenMatchBitmap out;
+  int64_t n = proto.dict->size();
+  out.match.assign(n, 0);
+
+  // One synthetic row per distinct token, evaluated by the normal path.
+  Batch tokens;
+  tokens.columns.resize(column_index + 1);
+  ColumnVector cv = ColumnVector::LayoutLike(proto);
+  cv.Reserve(n);
+  for (int64_t t = 0; t < n; ++t) cv.AppendToken(t);
+  tokens.columns[column_index] = std::move(cv);
+  tokens.num_rows = n;
+  VIZQ_ASSIGN_OR_RETURN(std::vector<int64_t> sel, EvalPredicate(expr, tokens));
+  for (int64_t row : sel) out.match[row] = 1;
+
+  // And one NULL row for the null verdict (IS NULL predicates etc.).
+  Batch null_row;
+  null_row.columns.resize(column_index + 1);
+  ColumnVector nv = ColumnVector::LayoutLike(proto);
+  nv.AppendNull();
+  null_row.columns[column_index] = std::move(nv);
+  null_row.num_rows = 1;
+  VIZQ_ASSIGN_OR_RETURN(std::vector<int64_t> nsel,
+                        EvalPredicate(expr, null_row));
+  out.null_matches = !nsel.empty();
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> EvalPredicatePerRun(const Expr& expr,
+                                                   int column_index,
+                                                   const ColumnVector& cv) {
+  if (!cv.is_run_encoded()) {
+    return Internal("per-run predicate requires a run-encoded vector");
+  }
+  int64_t n = static_cast<int64_t>(cv.runs.size());
+  // One synthetic row per run. Runs never straddle a null/non-null boundary
+  // (storage invariant), so the run's first row carries its null status.
+  Batch synth;
+  synth.columns.resize(column_index + 1);
+  ColumnVector one(cv.type);
+  one.dict = cv.dict;
+  one.Reserve(n);
+  for (const RleRun& r : cv.runs) {
+    if (cv.IsNull(r.start)) {
+      one.AppendNull();
+    } else if (cv.type.kind == TypeKind::kFloat64) {
+      one.AppendDouble(cv.DoubleAt(r.start));
+    } else if (one.dict != nullptr) {
+      one.AppendToken(r.value);
+    } else {
+      one.AppendInt(r.value);
+    }
+  }
+  synth.columns[column_index] = std::move(one);
+  synth.num_rows = n;
+  VIZQ_ASSIGN_OR_RETURN(std::vector<int64_t> sel, EvalPredicate(expr, synth));
+  std::vector<uint8_t> verdicts(n, 0);
+  for (int64_t row : sel) verdicts[row] = 1;
+  return verdicts;
+}
+
 }  // namespace vizq::tde

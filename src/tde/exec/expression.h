@@ -139,6 +139,30 @@ StatusOr<ColumnVector> EvalExpr(const Expr& expr, const Batch& batch);
 StatusOr<std::vector<int64_t>> EvalPredicate(const Expr& expr,
                                              const Batch& batch);
 
+// Per-token verdicts of a single-column predicate over a dictionary column:
+// match[t] is the predicate's result for token t, null_matches its result
+// for a NULL input. Built by running the normal vectorized evaluator over a
+// synthetic one-row-per-token batch, so the semantics are exactly
+// EvalPredicate's.
+struct TokenMatchBitmap {
+  std::vector<uint8_t> match;
+  bool null_matches = false;
+};
+
+// Builds the token bitmap for `expr` (a predicate referencing only column
+// `column_index`) against dict-string layout `proto`.
+StatusOr<TokenMatchBitmap> BuildTokenMatchBitmap(const Expr& expr,
+                                                 int column_index,
+                                                 const ColumnVector& proto);
+
+// Evaluates `expr` (a predicate referencing only column `column_index`)
+// once per run of run-encoded vector `cv`: out[i] is the verdict for
+// cv.runs[i]. Null runs evaluate with a NULL input (exact three-valued
+// semantics via the normal evaluator).
+StatusOr<std::vector<uint8_t>> EvalPredicatePerRun(const Expr& expr,
+                                                   int column_index,
+                                                   const ColumnVector& cv);
+
 }  // namespace vizq::tde
 
 #endif  // VIZQUERY_TDE_EXEC_EXPRESSION_H_

@@ -19,7 +19,123 @@ double ExecStats::SumFractionSeconds() const {
 FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
+void FilterOperator::EnableEncodedFilter(std::vector<EncodedConjunct> conjuncts,
+                                         ExecStats* stats) {
+  encoded_ = true;
+  conjuncts_ = std::move(conjuncts);
+  stats_ = stats;
+}
+
+Status FilterOperator::Open() {
+  VIZQ_RETURN_IF_ERROR(child_->Open());
+  if (!encoded_) return OkStatus();
+  bitmaps_.clear();
+  bitmaps_.resize(conjuncts_.size());
+  const BatchSchema& in = child_->schema();
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    const EncodedConjunct& c = conjuncts_[i];
+    if (c.kind != EncodedConjunct::Kind::kTokenBitmap) continue;
+    VIZQ_ASSIGN_OR_RETURN(bitmaps_[i],
+                          BuildTokenMatchBitmap(*c.expr, c.column_index,
+                                                in.prototypes[c.column_index]));
+  }
+  return OkStatus();
+}
+
+StatusOr<bool> FilterOperator::NextEncoded(Batch* batch) {
+  Batch in;
+  while (true) {
+    VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    if (in.num_rows == 0) continue;
+    // Live mask over physical rows, seeded from any incoming selection.
+    std::vector<uint8_t> live;
+    if (in.has_selection) {
+      live.assign(in.num_rows, 0);
+      for (int32_t r : in.selection) live[r] = 1;
+    } else {
+      live.assign(in.num_rows, 1);
+    }
+    for (size_t i = 0; i < conjuncts_.size(); ++i) {
+      const EncodedConjunct& c = conjuncts_[i];
+      ColumnVector* cv =
+          c.column_index >= 0 ? &in.columns[c.column_index] : nullptr;
+      switch (c.kind) {
+        case EncodedConjunct::Kind::kTokenBitmap: {
+          const TokenMatchBitmap& bm = bitmaps_[i];
+          if (cv->is_run_encoded()) {
+            for (const RleRun& r : cv->runs) {
+              bool ok = cv->IsNull(r.start) ? bm.null_matches
+                                            : bm.match[r.value] != 0;
+              if (ok) continue;
+              std::fill(live.begin() + r.start,
+                        live.begin() + r.start + r.count, 0);
+            }
+          } else {
+            for (int64_t r = 0; r < in.num_rows; ++r) {
+              if (!live[r]) continue;
+              bool ok = cv->IsNull(r) ? bm.null_matches
+                                      : bm.match[cv->ints[r]] != 0;
+              if (!ok) live[r] = 0;
+            }
+          }
+          break;
+        }
+        case EncodedConjunct::Kind::kPerRun: {
+          if (cv->is_run_encoded()) {
+            VIZQ_ASSIGN_OR_RETURN(
+                std::vector<uint8_t> verdicts,
+                EvalPredicatePerRun(*c.expr, c.column_index, *cv));
+            for (size_t k = 0; k < cv->runs.size(); ++k) {
+              if (verdicts[k]) continue;
+              const RleRun& r = cv->runs[k];
+              std::fill(live.begin() + r.start,
+                        live.begin() + r.start + r.count, 0);
+            }
+            break;
+          }
+          [[fallthrough]];  // batch arrived flat: evaluate per row
+        }
+        case EncodedConjunct::Kind::kPerRow: {
+          // The planner only classifies kPerRow for conjuncts over flat
+          // columns; flatten defensively in case a run reached us anyway.
+          std::vector<int> refs;
+          c.expr->CollectColumnIndices(&refs);
+          for (int col : refs) in.columns[col].DecodeRuns();
+          VIZQ_ASSIGN_OR_RETURN(std::vector<int64_t> sel,
+                                EvalPredicate(*c.expr, in));
+          std::vector<uint8_t> match(in.num_rows, 0);
+          for (int64_t r : sel) match[r] = 1;
+          for (int64_t r = 0; r < in.num_rows; ++r) {
+            if (live[r] && !match[r]) live[r] = 0;
+          }
+          break;
+        }
+      }
+    }
+    int64_t survivors = 0;
+    for (int64_t r = 0; r < in.num_rows; ++r) survivors += live[r];
+    if (survivors == 0) {
+      *batch = Batch{};
+      return true;  // empty batch; caller loops
+    }
+    *batch = std::move(in);
+    if (survivors == batch->num_rows) {
+      batch->ClearSelection();
+      return true;
+    }
+    batch->selection.clear();
+    batch->selection.reserve(survivors);
+    for (int64_t r = 0; r < batch->num_rows; ++r) {
+      if (live[r]) batch->selection.push_back(static_cast<int32_t>(r));
+    }
+    batch->has_selection = true;
+    return true;
+  }
+}
+
 StatusOr<bool> FilterOperator::Next(Batch* batch) {
+  if (encoded_) return NextEncoded(batch);
   Batch in;
   while (true) {
     VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));

@@ -42,6 +42,13 @@ struct ExecStats {
   bool used_rle_index = false;
   bool used_streaming_agg = false;
   bool used_morsel_scan = false;
+  bool used_encoded_path = false;
+  // Encoding-aware execution (DESIGN.md §11): rows that crossed the
+  // storage→exec boundary without being decoded to flat vectors, and
+  // encoded-path candidates that had to fall back to the row path.
+  int64_t encoded_rows_undecoded = 0;
+  int64_t encoded_fallbacks = 0;
+  int64_t encoded_plans = 0;
 
   void AddFraction(double seconds, int64_t rows) {
     std::lock_guard<std::mutex> lock(mu);
@@ -73,20 +80,50 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
+// One conjunct of an encoded filter, classified by how the encoded path
+// evaluates it (classification happens in the optimizer's
+// DecideEncodedExec; see DESIGN.md §11).
+struct EncodedConjunct {
+  enum class Kind : uint8_t {
+    kTokenBitmap,  // single dict-string column: eval once per distinct token
+    kPerRun,       // single run-encoded fixed-width column: eval once per run
+    kPerRow,       // anything else: normal vectorized per-row evaluation
+                   // (must only touch flat, non-run-encoded columns)
+  };
+  ExprPtr expr;           // bound against the filter's child schema
+  int column_index = -1;  // the column driving kTokenBitmap / kPerRun
+  Kind kind = Kind::kPerRow;
+};
+
 // --- Filter (the TQL Select operator): streaming predicate evaluation ---
 class FilterOperator : public Operator {
  public:
   // `predicate` must be bound against child->schema().
   FilterOperator(OperatorPtr child, ExprPtr predicate);
 
+  // Switches to encoded mode: instead of materializing the surviving rows,
+  // Next() moves the child batch through with a selection vector attached,
+  // evaluating each conjunct once per dictionary token (kTokenBitmap), once
+  // per RLE run (kPerRun), or per row (kPerRow). The downstream operator
+  // must be selection-aware (the planner guarantees this).
+  void EnableEncodedFilter(std::vector<EncodedConjunct> conjuncts,
+                           ExecStats* stats);
+
   const BatchSchema& schema() const override { return child_->schema(); }
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   StatusOr<bool> Next(Batch* batch) override;
   Status Close() override { return child_->Close(); }
 
  private:
+  StatusOr<bool> NextEncoded(Batch* batch);
+
   OperatorPtr child_;
   ExprPtr predicate_;
+  bool encoded_ = false;
+  std::vector<EncodedConjunct> conjuncts_;
+  // Parallel to conjuncts_; populated at Open for kTokenBitmap entries.
+  std::vector<TokenMatchBitmap> bitmaps_;
+  ExecStats* stats_ = nullptr;
 };
 
 // --- Project: computes named expressions over the child ---

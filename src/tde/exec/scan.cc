@@ -32,6 +32,7 @@ TableScanOperator::TableScanOperator(std::shared_ptr<const Table> table,
 Status TableScanOperator::Open() {
   cursor_ = row_begin_;
   batches_emitted_ = 0;
+  delta_cursors_.assign(column_indices_.size(), Column::DecodeCursor{});
   // Morsel mode: an empty current morsel forces a claim on first Next().
   morsel_end_ = cursor_;
   span_ = ctx_.StartSpan("op:scan(" + table_->name() + ")");
@@ -66,9 +67,19 @@ StatusOr<bool> TableScanOperator::Next(Batch* batch) {
   if (cursor_ >= limit) return false;
   int64_t count = std::min(kBatchRows, limit - cursor_);
   *batch = schema_.NewBatch();
+  int64_t encoded_rows = 0;
   for (size_t i = 0; i < column_indices_.size(); ++i) {
     const Column& col = *table_->column(column_indices_[i]);
     ColumnVector& cv = batch->columns[i];
+    if (emit_encoded_ && col.is_rle()) {
+      // Keep the runs: emit the payload (ints, dict tokens, or bit-cast
+      // doubles) run-length encoded; the null mask stays flat.
+      col.EmitRuns(cursor_, count, &cv.runs);
+      cv.run_encoded = true;
+      col.DecodeNulls(cursor_, count, &cv.nulls);
+      encoded_rows += count;
+      continue;
+    }
     std::vector<uint8_t> nulls;
     switch (cv.type.kind) {
       case TypeKind::kFloat64:
@@ -76,13 +87,15 @@ StatusOr<bool> TableScanOperator::Next(Batch* batch) {
         break;
       case TypeKind::kString:
         if (cv.dict != nullptr) {
-          col.DecodeInts(cursor_, count, &cv.ints, &nulls);
+          col.DecodeIntsResumable(&delta_cursors_[i], cursor_, count,
+                                  &cv.ints, &nulls);
         } else {
           col.DecodeStrings(cursor_, count, &cv.strings, &nulls);
         }
         break;
       default:
-        col.DecodeInts(cursor_, count, &cv.ints, &nulls);
+        col.DecodeIntsResumable(&delta_cursors_[i], cursor_, count, &cv.ints,
+                                &nulls);
         break;
     }
     bool any_null = false;
@@ -99,6 +112,7 @@ StatusOr<bool> TableScanOperator::Next(Batch* batch) {
   if (stats_ != nullptr) {
     std::lock_guard<std::mutex> lock(stats_->mu);
     stats_->rows_scanned += count;
+    stats_->encoded_rows_undecoded += encoded_rows;
     ++stats_->batches;
   }
   return true;
@@ -125,13 +139,11 @@ std::vector<int64_t> SplitRowsOnSortedPrefix(const Table& table,
     return offsets;
   }
 
+  // Encoding-aware comparison: adjacent rows in the same RLE run or with
+  // equal dict tokens compare equal without materializing Values.
   auto keys_equal = [&](int64_t a, int64_t b) {
     for (int k : keys) {
-      Value va = table.column(k)->GetValue(a);
-      Value vb = table.column(k)->GetValue(b);
-      if (va.Compare(vb, table.column_info(k).type.collation) != 0) {
-        return false;
-      }
+      if (table.column(k)->CompareRows(a, b) != 0) return false;
     }
     return true;
   };

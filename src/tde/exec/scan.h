@@ -33,6 +33,12 @@ class TableScanOperator : public Operator {
   // dynamically. Overrides the constructor's range.
   void SetMorselQueue(MorselQueuePtr queue) { morsels_ = std::move(queue); }
 
+  // Encoded emission (DESIGN.md §11): kRle columns are emitted as
+  // run-encoded ColumnVectors (clipped, batch-relative runs over the raw
+  // payload / dict tokens) instead of being flattened. Only enabled by the
+  // planner when every downstream operator on the path is run-aware.
+  void SetEmitEncoded(bool v) { emit_encoded_ = v; }
+
   const BatchSchema& schema() const override { return schema_; }
   Status Open() override;
   StatusOr<bool> Next(Batch* batch) override;
@@ -46,6 +52,9 @@ class TableScanOperator : public Operator {
   int64_t cursor_ = 0;
   int64_t morsel_end_ = 0;  // end of the currently claimed morsel
   MorselQueuePtr morsels_;
+  bool emit_encoded_ = false;
+  // Per-output-column resume cursors so kDelta scans are O(n), not O(n^2).
+  std::vector<Column::DecodeCursor> delta_cursors_;
   BatchSchema schema_;
   ExecStats* stats_;
   ExecContext ctx_;

@@ -93,9 +93,16 @@ struct LogicalOp {
   // kRleIndexScan only:
   int rle_column = -1;        // table column index the runs belong to
   ExprPtr run_predicate;      // bound against a 1-column schema of it
+  // Encoding-aware execution (DESIGN.md §11), set by DecideEncodedExec:
+  // kScan emits kRle columns run-encoded instead of flattening them.
+  bool emit_encoded = false;
 
   // --- kSelect ---
   ExprPtr predicate;
+  // Encoded filter: pass batches through with a selection vector,
+  // evaluating classified conjuncts per token / per run (DESIGN.md §11).
+  bool encoded_filter = false;
+  std::vector<EncodedConjunct> encoded_conjuncts;
 
   // --- kProject ---
   std::vector<NamedExpr> projections;
@@ -114,6 +121,11 @@ struct LogicalOp {
   AggPhase agg_phase = AggPhase::kComplete;
   bool prefer_streaming = false;  // set by the optimizer when sortedness
                                   // makes a streaming aggregate applicable
+  // Dense token-indexed grouping (DESIGN.md §11), set by DecideEncodedExec.
+  bool use_encoded_agg = false;
+  std::vector<int> encoded_key_columns;    // child column index per key
+  std::vector<int64_t> encoded_key_cards;  // dictionary size per key
+  int64_t encoded_cells = 1;               // prod(card + 1)
 
   // --- kOrder / kTopN ---
   std::vector<LogicalSortKey> order_keys;

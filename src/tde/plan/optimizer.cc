@@ -652,6 +652,167 @@ Status RleNode(LogicalOpPtr* node, const OptimizerOptions& options) {
   return OkStatus();
 }
 
+// --- encoding-aware execution (DESIGN.md §11) ---
+
+// The pattern DecideEncodedExec looks for: Aggregate → [Select]* → Scan
+// where every group key is a bare reference to a dictionary-string column.
+// `candidate` means the pattern matched; `viable` means all gates passed
+// too (key-space cap, argument and conjunct encodings).
+struct EncodedCandidate {
+  bool candidate = false;
+  bool viable = false;
+  LogicalOp* scan = nullptr;
+  std::vector<LogicalOp*> selects;  // outermost first
+  std::vector<int> key_columns;     // child-schema index per group key
+  std::vector<int64_t> key_cards;   // dictionary size per group key
+  int64_t cells = 1;                // prod(card + 1)
+  bool all_keys_rle = false;        // every key column is storage-RLE
+  // Classified conjuncts, parallel to `selects`.
+  std::vector<std::vector<EncodedConjunct>> conjuncts;
+};
+
+EncodedCandidate AnalyzeEncodedCandidate(LogicalOp* op,
+                                         const OptimizerOptions& options) {
+  EncodedCandidate cand;
+  if (op->kind != LogicalKind::kAggregate ||
+      op->agg_phase == AggPhase::kFinal || op->group_by.empty()) {
+    return cand;
+  }
+  // Walk the child chain: Selects over a plain table scan.
+  LogicalOp* cur = op->children.empty() ? nullptr : op->children[0].get();
+  while (cur != nullptr && cur->kind == LogicalKind::kSelect) {
+    cand.selects.push_back(cur);
+    cur = cur->children.empty() ? nullptr : cur->children[0].get();
+  }
+  if (cur == nullptr || cur->kind != LogicalKind::kScan ||
+      cur->table == nullptr) {
+    return cand;
+  }
+  cand.scan = cur;
+  const Table& table = *cur->table;
+  int num_cols = static_cast<int>(cur->scan_columns.size());
+
+  auto table_column = [&](int child_col) -> const Column* {
+    if (child_col < 0 || child_col >= num_cols) return nullptr;
+    return table.column(cur->scan_columns[child_col]).get();
+  };
+
+  // Every group key must be a bare reference to a dict-string column.
+  cand.all_keys_rle = true;
+  for (const NamedExpr& g : op->group_by) {
+    if (g.expr->kind != ExprKind::kColumnRef || g.expr->column_index < 0) {
+      return cand;
+    }
+    const Column* col = table_column(g.expr->column_index);
+    if (col == nullptr || !col->is_dictionary_string()) return cand;
+    cand.key_columns.push_back(g.expr->column_index);
+    cand.key_cards.push_back(col->dictionary()->size());
+    if (!col->is_rle()) cand.all_keys_rle = false;
+  }
+  cand.candidate = true;
+
+  // Gate 1: the dense cell space must fit under the cap (overflow-safe).
+  int64_t cap = options.encoded_group_cells_max;
+  for (int64_t card : cand.key_cards) {
+    if (card + 1 > cap / cand.cells) return cand;  // fallback
+    cand.cells *= card + 1;
+  }
+
+  // Gate 2: aggregate arguments. Bare column refs fold run-aware; computed
+  // args must only touch columns the scan will emit flat (non-RLE).
+  for (const LogicalAgg& a : op->aggregates) {
+    if (a.arg == nullptr) continue;
+    if (a.arg->kind == ExprKind::kColumnRef) {
+      if (a.arg->column_index < 0 ||
+          table_column(a.arg->column_index) == nullptr) {
+        return cand;
+      }
+      continue;
+    }
+    std::vector<int> refs;
+    a.arg->CollectColumnIndices(&refs);
+    for (int c : refs) {
+      const Column* col = table_column(c);
+      if (col == nullptr || col->is_rle()) return cand;
+    }
+  }
+
+  // Gate 3: classify filter conjuncts. Single-column conjuncts over dict
+  // columns evaluate per token, over RLE columns per run; everything else
+  // runs per row and must only touch flat columns.
+  for (LogicalOp* sel : cand.selects) {
+    std::vector<ExprPtr> parts;
+    SplitConjuncts(sel->predicate, &parts);
+    std::vector<EncodedConjunct> classified;
+    for (const ExprPtr& e : parts) {
+      std::vector<int> refs;
+      e->CollectColumnIndices(&refs);
+      std::sort(refs.begin(), refs.end());
+      refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+      EncodedConjunct ec;
+      ec.expr = e;
+      if (refs.size() == 1) {
+        const Column* col = table_column(refs[0]);
+        if (col == nullptr) return cand;
+        ec.column_index = refs[0];
+        if (col->is_dictionary_string()) {
+          ec.kind = EncodedConjunct::Kind::kTokenBitmap;
+        } else if (col->is_rle()) {
+          ec.kind = EncodedConjunct::Kind::kPerRun;
+        } else {
+          ec.kind = EncodedConjunct::Kind::kPerRow;
+        }
+      } else {
+        ec.kind = EncodedConjunct::Kind::kPerRow;
+        for (int c : refs) {
+          const Column* col = table_column(c);
+          if (col == nullptr || col->is_rle()) return cand;
+        }
+      }
+      classified.push_back(std::move(ec));
+    }
+    cand.conjuncts.push_back(std::move(classified));
+  }
+
+  cand.viable = true;
+  return cand;
+}
+
+void DecideEncodedNode(const LogicalOpPtr& node,
+                       const OptimizerOptions& options,
+                       EncodedExecDecision* out) {
+  LogicalOp* op = node.get();
+  // Streaming aggregation keeps precedence where it actually executes
+  // (complete-phase, sorted input): it pipelines and never materializes a
+  // table. Partial-phase nodes in parallel plans never run streaming, so
+  // the dense path may claim them even if prefer_streaming survived the
+  // phase split.
+  bool claimed_by_streaming =
+      op->prefer_streaming && op->agg_phase == AggPhase::kComplete;
+  if (op->kind == LogicalKind::kAggregate && !claimed_by_streaming) {
+    EncodedCandidate cand = AnalyzeEncodedCandidate(op, options);
+    if (cand.candidate) {
+      if (cand.viable) {
+        op->use_encoded_agg = true;
+        op->encoded_key_columns = cand.key_columns;
+        op->encoded_key_cards = cand.key_cards;
+        op->encoded_cells = cand.cells;
+        cand.scan->emit_encoded = true;
+        for (size_t i = 0; i < cand.selects.size(); ++i) {
+          cand.selects[i]->encoded_filter = true;
+          cand.selects[i]->encoded_conjuncts = cand.conjuncts[i];
+        }
+        ++out->plans;
+      } else {
+        ++out->fallbacks;
+      }
+    }
+  }
+  for (const LogicalOpPtr& c : op->children) {
+    DecideEncodedNode(c, options, out);
+  }
+}
+
 // --- streaming aggregate selection ---
 
 Status StreamingNode(LogicalOpPtr* node) {
@@ -708,6 +869,14 @@ Status RleIndexPass(LogicalOpPtr* root, const OptimizerOptions& options) {
 }
 
 Status StreamingAggPass(LogicalOpPtr* root) { return StreamingNode(root); }
+
+EncodedExecDecision DecideEncodedExec(const LogicalOpPtr& root,
+                                      const OptimizerOptions& options) {
+  EncodedExecDecision decision;
+  if (root == nullptr || !options.enable_encoded_exec) return decision;
+  DecideEncodedNode(root, options, &decision);
+  return decision;
+}
 
 Status OrderRemovalPass(LogicalOpPtr* root) { return OrderNode(root); }
 

@@ -27,7 +27,29 @@ struct OptimizerOptions {
   RleIndexMode rle_index = RleIndexMode::kAuto;
   // kAuto threshold: apply when runs * kAutoRunFactor <= rows.
   int64_t rle_auto_run_factor = 8;
+
+  // Encoding-aware execution (DESIGN.md §11): run the Scan→Filter→Aggregate
+  // hot path on compressed columns (run-encoded batches, per-token /
+  // per-run filters, dense token-indexed grouping). The dense accumulator
+  // is bounded by encoded_group_cells_max cells (product of key
+  // cardinalities + 1); larger key spaces fall back to the hash path.
+  bool enable_encoded_exec = true;
+  int64_t encoded_group_cells_max = 1 << 16;
 };
+
+// Outcome of the encoded-execution decision, for observability counters.
+struct EncodedExecDecision {
+  int plans = 0;      // pipelines that got the encoded path
+  int fallbacks = 0;  // candidate pipelines that failed a gate
+};
+
+// Decides, per Scan→[Select]→Aggregate pipeline of the (parallelized) plan,
+// whether the encoded path applies, annotating the nodes in place
+// (emit_encoded / encoded_filter / use_encoded_agg). Idempotent; walks
+// through Exchange into each fragment. The row path stays the correctness
+// baseline for everything not annotated.
+EncodedExecDecision DecideEncodedExec(const LogicalOpPtr& root,
+                                      const OptimizerOptions& options);
 
 // Optimizes the bound plan in place.
 Status OptimizePlan(LogicalOpPtr* root, const OptimizerOptions& options);

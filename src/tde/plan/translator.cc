@@ -64,6 +64,7 @@ StatusOr<OperatorPtr> Translator::TranslateScan(const LogicalOp& op,
         op.table, op.scan_columns, /*row_begin=*/0, /*row_end=*/-1, stats_,
         ctx_);
     scan->SetMorselQueue(it->second);
+    scan->SetEmitEncoded(op.emit_encoded);
     return OperatorPtr(std::move(scan));
   }
   int64_t begin = 0;
@@ -84,8 +85,10 @@ StatusOr<OperatorPtr> Translator::TranslateScan(const LogicalOp& op,
       stats_->used_range_partition = true;
     }
   }
-  return OperatorPtr(std::make_unique<TableScanOperator>(
-      op.table, op.scan_columns, begin, end, stats_, ctx_));
+  auto scan = std::make_unique<TableScanOperator>(op.table, op.scan_columns,
+                                                  begin, end, stats_, ctx_);
+  scan->SetEmitEncoded(op.emit_encoded);
+  return OperatorPtr(std::move(scan));
 }
 
 StatusOr<OperatorPtr> Translator::TranslateRleScan(const LogicalOp& op,
@@ -164,8 +167,13 @@ StatusOr<OperatorPtr> Translator::TranslateNodeImpl(const LogicalOp& op,
     case LogicalKind::kSelect: {
       VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,
                             TranslateNode(*op.children[0], fraction));
-      return OperatorPtr(
-          std::make_unique<FilterOperator>(std::move(child), op.predicate));
+      auto filter =
+          std::make_unique<FilterOperator>(std::move(child), op.predicate);
+      if (op.encoded_filter) {
+        filter->EnableEncodedFilter(op.encoded_conjuncts, stats_);
+        if (stats_ != nullptr) stats_->used_encoded_path = true;
+      }
+      return OperatorPtr(std::move(filter));
     }
     case LogicalKind::kProject: {
       VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,
@@ -224,9 +232,18 @@ StatusOr<OperatorPtr> Translator::TranslateNodeImpl(const LogicalOp& op,
       if (stats_ != nullptr && phase == AggPhase::kFinal) {
         stats_->used_local_global_agg = true;
       }
-      return OperatorPtr(std::make_unique<HashAggregateOperator>(
-          std::move(child), std::move(groups), std::move(specs), phase,
-          ctx_));
+      auto agg = std::make_unique<HashAggregateOperator>(
+          std::move(child), std::move(groups), std::move(specs), phase, ctx_);
+      if (op.use_encoded_agg && phase != AggPhase::kFinal) {
+        DenseAggConfig config;
+        config.enabled = true;
+        config.key_columns = op.encoded_key_columns;
+        config.key_cards = op.encoded_key_cards;
+        config.total_cells = op.encoded_cells;
+        agg->EnableDenseGroups(std::move(config), stats_);
+        if (stats_ != nullptr) stats_->used_encoded_path = true;
+      }
+      return OperatorPtr(std::move(agg));
     }
     case LogicalKind::kOrder: {
       VIZQ_ASSIGN_OR_RETURN(OperatorPtr child,

@@ -184,6 +184,135 @@ void Column::DecodeStrings(int64_t start, int64_t count,
   for (int64_t i = 0; i < count; ++i) (*out)[i] = strings_[start + i];
 }
 
+void Column::DecodeNulls(int64_t start, int64_t count,
+                         std::vector<uint8_t>* out) const {
+  out->clear();
+  if (nulls_.empty()) return;
+  bool any = false;
+  for (int64_t i = 0; i < count; ++i) {
+    if (nulls_[start + i] != 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  out->assign(nulls_.begin() + start, nulls_.begin() + start + count);
+}
+
+void Column::DecodeIntsResumable(DecodeCursor* cursor, int64_t start,
+                                 int64_t count, std::vector<int64_t>* out,
+                                 std::vector<uint8_t>* null_mask) const {
+  if (encoding_ != Encoding::kDelta || cursor == nullptr ||
+      cursor->next_row != start) {
+    DecodeInts(start, count, out, null_mask);
+    if (cursor != nullptr && encoding_ == Encoding::kDelta && count > 0) {
+      cursor->next_row = start + count;
+      cursor->acc = (*out)[count - 1];
+      if (start + count - 1 < static_cast<int64_t>(deltas_.size())) {
+        cursor->acc += deltas_[start + count - 1];
+      }
+    }
+    return;
+  }
+  out->resize(count);
+  if (null_mask != nullptr) {
+    null_mask->assign(count, 0);
+    if (!nulls_.empty()) {
+      for (int64_t i = 0; i < count; ++i) (*null_mask)[i] = nulls_[start + i];
+    }
+  }
+  // A fresh cursor ({0, 0}) matches start == 0 but was never seeded:
+  // row 0 of a delta column is delta_base_, not the zero-initialized acc.
+  if (start == 0) cursor->acc = delta_base_;
+  int64_t v = cursor->acc;
+  for (int64_t i = 0; i < count; ++i) {
+    (*out)[i] = v;
+    if (start + i < static_cast<int64_t>(deltas_.size())) {
+      v += deltas_[start + i];
+    }
+  }
+  cursor->next_row = start + count;
+  cursor->acc = v;
+}
+
+int64_t Column::EmitRuns(int64_t start, int64_t count,
+                         std::vector<RleRun>* out) const {
+  if (count <= 0) return 0;
+  const RleRun* run = FindRun(runs_, start);
+  int64_t idx = run != nullptr ? run - runs_.data() : 0;
+  int64_t emitted = 0;
+  int64_t end = start + count;
+  while (idx < static_cast<int64_t>(runs_.size())) {
+    const RleRun& r = runs_[idx];
+    int64_t from = std::max(start, r.start);
+    int64_t to = std::min(end, r.start + r.count);
+    if (from >= to) break;
+    out->push_back(RleRun{r.value, from - start, to - from});
+    ++emitted;
+    ++idx;
+  }
+  return emitted;
+}
+
+int Column::CompareRows(int64_t a, int64_t b) const {
+  if (a == b) return 0;
+  bool an = IsNull(a);
+  bool bn = IsNull(b);
+  if (an || bn) {
+    if (an && bn) return 0;
+    return an ? -1 : 1;
+  }
+  auto compare_payload = [&](int64_t x, int64_t y) -> int {
+    if (type_.kind == TypeKind::kFloat64) {
+      double dx = BitsToDouble(x), dy = BitsToDouble(y);
+      if (dx < dy) return -1;
+      if (dx > dy) return 1;
+      return 0;
+    }
+    if (dictionary_ != nullptr) {
+      // Equal tokens intern to the same collation key; unequal tokens need
+      // a collated compare (token order is first-appearance, not sorted).
+      if (x == y) return 0;
+      return CollatedCompare(dictionary_->value(x), dictionary_->value(y),
+                             type_.collation);
+    }
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  };
+  switch (encoding_) {
+    case Encoding::kPlain:
+      if (type_.kind == TypeKind::kString) {
+        return CollatedCompare(strings_[a], strings_[b], type_.collation);
+      }
+      if (type_.kind == TypeKind::kFloat64) {
+        if (doubles_[a] < doubles_[b]) return -1;
+        if (doubles_[a] > doubles_[b]) return 1;
+        return 0;
+      }
+      return compare_payload(ints_[a], ints_[b]);
+    case Encoding::kDictionary:
+      return compare_payload(ints_[a], ints_[b]);
+    case Encoding::kRle: {
+      const RleRun* ra = FindRun(runs_, a);
+      const RleRun* rb = FindRun(runs_, b);
+      if (ra == rb) return 0;  // same run => same value
+      return compare_payload(ra != nullptr ? ra->value : 0,
+                             rb != nullptr ? rb->value : 0);
+    }
+    case Encoding::kDelta: {
+      // Delta columns are sorted ascending and null-free by construction:
+      // rows a < b are equal iff every delta in (a, b] is zero.
+      int64_t lo = std::min(a, b), hi = std::max(a, b);
+      for (int64_t i = lo; i < hi; ++i) {
+        if (deltas_[i] != 0) return a < b ? -1 : 1;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
 int64_t Column::ApproxBytes() const {
   int64_t bytes = 64 + static_cast<int64_t>(nulls_.size());
   bytes += static_cast<int64_t>(ints_.size()) * 8;

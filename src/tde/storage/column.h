@@ -124,6 +124,43 @@ class Column {
                      std::vector<std::string>* out,
                      std::vector<uint8_t>* null_mask) const;
 
+  // Decodes only the null mask of rows [start, start+count). `out` is
+  // cleared when the range has no nulls (the "no nulls" convention of
+  // ColumnVector); otherwise it holds `count` flags.
+  void DecodeNulls(int64_t start, int64_t count,
+                   std::vector<uint8_t>* out) const;
+
+  // Streaming decode state for DecodeIntsResumable: carries the delta
+  // prefix sum across consecutive batch decodes so a full-column scan is
+  // O(n) instead of O(n^2) (DecodeInts recomputes the prefix from row 0 on
+  // every call).
+  struct DecodeCursor {
+    int64_t next_row = 0;
+    int64_t acc = 0;  // value of row next_row (kDelta only)
+  };
+
+  // DecodeInts with a resume cursor. Equivalent output; when `start`
+  // matches cursor->next_row on a kDelta column the prefix sum continues
+  // incrementally. Any other encoding (or a non-contiguous start, e.g. a
+  // morsel jump) delegates to DecodeInts and re-seeds the cursor.
+  void DecodeIntsResumable(DecodeCursor* cursor, int64_t start, int64_t count,
+                           std::vector<int64_t>* out,
+                           std::vector<uint8_t>* null_mask) const;
+
+  // Emits the kRle runs overlapping rows [start, start+count), clipped to
+  // the range and rebased so run starts are relative to `start`. Runs are
+  // contiguous, non-empty, and cover [0, count). Returns the number of
+  // runs appended. Valid only for is_rle() columns.
+  int64_t EmitRuns(int64_t start, int64_t count,
+                   std::vector<RleRun>* out) const;
+
+  // Encoding-aware three-way comparison of rows `a` and `b` without
+  // materializing Values: equal dictionary tokens and same-run RLE rows
+  // compare equal in O(log runs); kDelta rows compare by scanning the
+  // deltas between them (O(|b-a|), O(1) for neighbors) instead of the
+  // O(row) per-row prefix sum of GetValue. Nulls sort first.
+  int CompareRows(int64_t a, int64_t b) const;
+
   // Dictionary of a kDictionary column; nullptr otherwise.
   const StringDictionary* dictionary() const { return dictionary_.get(); }
   std::shared_ptr<const StringDictionary> shared_dictionary() const {

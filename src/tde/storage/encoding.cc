@@ -241,9 +241,10 @@ StatusOr<std::shared_ptr<Column>> ColumnBuilder::Finish(
   std::vector<RleRun> runs = BuildRuns(payload, col->nulls_);
   bool rle_wins = runs.size() * 4 <= payload.size();
 
+  // An empty column is trivially sorted and null-free; kForceDelta on it
+  // must not error (encoded-exec tests build empty fixtures this way).
   bool sorted = type_.kind != TypeKind::kFloat64 && IsSortedAscending(payload);
-  bool delta_ok = sorted && col->nulls_.empty() && DeltasFitInt32(payload) &&
-                  !payload.empty();
+  bool delta_ok = sorted && col->nulls_.empty() && DeltasFitInt32(payload);
 
   Encoding enc = Encoding::kPlain;
   switch (choice) {
@@ -281,10 +282,13 @@ StatusOr<std::shared_ptr<Column>> ColumnBuilder::Finish(
       col->runs_ = std::move(runs);
       break;
     case Encoding::kDelta:
-      col->delta_base_ = payload[0];
-      col->deltas_.reserve(payload.size() - 1);
-      for (size_t i = 1; i < payload.size(); ++i) {
-        col->deltas_.push_back(static_cast<int32_t>(payload[i] - payload[i - 1]));
+      if (!payload.empty()) {
+        col->delta_base_ = payload[0];
+        col->deltas_.reserve(payload.size() - 1);
+        for (size_t i = 1; i < payload.size(); ++i) {
+          col->deltas_.push_back(
+              static_cast<int32_t>(payload[i] - payload[i - 1]));
+        }
       }
       break;
     case Encoding::kDictionary:

@@ -79,6 +79,10 @@ Dataset GenerateDataset(uint64_t seed) {
       {"m0", DataType::Int64()},   {"m1", DataType::Float64()},
   };
   TableBuilder builder(ds.table, schema);
+  TableBuilder builder_plain(ds.table, schema);
+  for (int c = 0; c < static_cast<int>(schema.size()); ++c) {
+    builder_plain.SetEncodingChoice(c, tde::EncodingChoice::kForcePlain);
+  }
 
   auto pick_string = [&](const StringDimProfile& p, int64_t row) -> Value {
     if (p.null_frac > 0 && rng.Chance(p.null_frac)) return Value::Null();
@@ -119,11 +123,15 @@ Dataset GenerateDataset(uint64_t seed) {
       row.push_back(Value(v));
     }
     (void)builder.AddRow(row);
+    (void)builder_plain.AddRow(row);
   }
 
   auto table = builder.Finish();
   ds.db = std::make_shared<tde::Database>("fuzzdb");
   (void)ds.db->AddTable(*table);
+  auto table_plain = builder_plain.Finish();
+  ds.db_plain = std::make_shared<tde::Database>("fuzzdb_plain");
+  (void)ds.db_plain->AddTable(*table_plain);
 
   // Literal pools for filter generation: occurring values, a NULL literal,
   // and out-of-domain probes.

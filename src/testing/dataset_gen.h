@@ -34,6 +34,11 @@ inline constexpr char kFuzzDataSource[] = "fuzzsrc";
 
 struct Dataset {
   std::shared_ptr<tde::Database> db;
+  // Same rows with every column forced to kPlain encoding: the
+  // plain_encoding lane diffs results over this twin against the (kAuto,
+  // possibly dictionary/RLE/delta-encoded) `db`, so every fuzz iteration
+  // checks the encoded execution path against the decoded one.
+  std::shared_ptr<tde::Database> db_plain;
   std::string table = "fuzz";
   int64_t rows = 0;
 

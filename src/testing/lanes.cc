@@ -144,6 +144,15 @@ ExecutionLanes::ExecutionLanes(Dataset dataset, LaneSetupOptions options)
       std::make_shared<federation::TdeDataSource>(kFuzzDataSource, dataset_.db,
                                                   morsel_opts),
       nullptr, dataset_.table);
+  // Forced-plain twin: same rows, every column kForcePlain, so the diff
+  // against the oracle (which reads the kAuto-encoded table) isolates the
+  // encoded execution path.
+  if (dataset_.db_plain != nullptr) {
+    plain_service_ = MakeService(
+        std::make_shared<federation::TdeDataSource>(
+            kFuzzDataSource, dataset_.db_plain, tde::QueryOptions::Serial()),
+        nullptr, dataset_.table);
+  }
   literal_service_ = MakeService(
       tde_source(), std::make_shared<dashboard::CacheStack>(), dataset_.table);
   batch_service_ = MakeService(
@@ -228,6 +237,12 @@ std::vector<LaneCheck> ExecutionLanes::RunQuery(const AbstractQuery& q,
   // --- morsel-parallel engine vs the serial oracle ---
   Check("morsel_parallel", q, morsel_service_->ExecuteQuery(q, truth_opts_),
         &out);
+
+  // --- forced-plain encoding twin vs the serial oracle ---
+  if (plain_service_ != nullptr) {
+    Check("plain_encoding", q, plain_service_->ExecuteQuery(q, truth_opts_),
+          &out);
+  }
 
   // --- recorder consistency: a traced execution must leave a coherent
   // PerfRecorder entry (observability is differentially tested too) ---

@@ -8,6 +8,11 @@
 //                     Exchange producers run as scheduler tasks claiming
 //                     dynamic morsels; the result is diffed against the
 //                     serial oracle ordering-insensitively.
+//   plain_encoding  — the same query over the dataset's forced-kPlain twin
+//                     (db_plain): every iteration diffs the encoded
+//                     execution path (dictionary/RLE/delta columns, dense
+//                     grouping, per-token filters) against fully decoded
+//                     storage.
 //   derived_hit     — a generalized version of the query is executed and
 //                     stored in a fresh IntelligentCache; the original must
 //                     then be answered as a (usually derived) hit,
@@ -106,6 +111,7 @@ class ExecutionLanes {
   dashboard::BatchOptions truth_opts_;
   std::unique_ptr<dashboard::QueryService> truth_service_;
   std::unique_ptr<dashboard::QueryService> morsel_service_;
+  std::unique_ptr<dashboard::QueryService> plain_service_;
   std::unique_ptr<dashboard::QueryService> literal_service_;
   std::unique_ptr<dashboard::QueryService> batch_service_;
   std::unique_ptr<dashboard::QueryService> fed_mssql_;

@@ -54,6 +54,10 @@ struct WorkloadResult {
   std::string plan_text;       // annotated EXPLAIN ANALYZE of the probe
   std::string plan_root_rows;  // "tde.analyze.root_rows" attachment
   int64_t probe_rows = 0;      // rows the probe actually returned
+  // Second probe (carrier x dest_state): grouping not satisfied by the
+  // table sort, so the encoded Scan->Aggregate path must claim it.
+  std::string encoded_plan_text;
+  int64_t encoded_probe_rows = 0;
   int64_t queries_run = 0;
 };
 
@@ -143,6 +147,23 @@ StatusOr<WorkloadResult> RunWorkload(const ToolOptions& opt) {
   out.probe_rows = probe_result.num_rows();
   out.plan_text = pctx.log()->attachment("tde.analyze");
   out.plan_root_rows = pctx.log()->attachment("tde.analyze.root_rows");
+
+  // Encoded-path probe: carrier x dest_state. The flights table is sorted
+  // by carrier only, so streaming aggregation cannot claim this grouping;
+  // the dense token-indexed path must (carrier's RLE runs stay undecoded
+  // through the scan).
+  query::AbstractQuery encoded_probe =
+      query::QueryBuilder("faa", workload::kFlightsView)
+          .Dim("carrier")
+          .Dim("dest_state")
+          .CountAll("flights")
+          .Build();
+  ExecContext ectx;
+  VIZQ_ASSIGN_OR_RETURN(ResultTable encoded_result,
+                        service.ExecuteQuery(ectx, encoded_probe, probe_opts));
+  ++out.queries_run;
+  out.encoded_probe_rows = encoded_result.num_rows();
+  out.encoded_plan_text = ectx.log()->attachment("tde.analyze");
   return out;
 }
 
@@ -163,6 +184,35 @@ int SelfTest(const WorkloadResult& result) {
   if (result.plan_root_rows != std::to_string(result.probe_rows)) {
     return Fail("selftest: plan root rows-out '" + result.plan_root_rows +
                 "' != probe result rows " + std::to_string(result.probe_rows));
+  }
+
+  // (d) the encoded-path probe ran Scan->Aggregate on compressed columns:
+  // dense grouping in the plan, no fallback, RLE rows never decoded.
+  if (result.encoded_plan_text.find(" dense") == std::string::npos) {
+    return Fail("selftest: encoded probe plan lacks dense aggregation:\n" +
+                result.encoded_plan_text);
+  }
+  if (result.encoded_plan_text.find(" encoded") == std::string::npos) {
+    return Fail("selftest: encoded probe plan lacks an encoded scan:\n" +
+                result.encoded_plan_text);
+  }
+  {
+    size_t at = result.encoded_plan_text.find("encoded: plans=");
+    int plans = 0, fallbacks = -1;
+    long long undecoded = 0;
+    if (at == std::string::npos ||
+        std::sscanf(result.encoded_plan_text.c_str() + at,
+                    "encoded: plans=%d fallbacks=%d rows_undecoded=%lld",
+                    &plans, &fallbacks, &undecoded) != 3) {
+      return Fail("selftest: encoded probe plan lacks the encoded footer:\n" +
+                  result.encoded_plan_text);
+    }
+    if (plans < 1 || fallbacks != 0 || undecoded <= 0) {
+      return Fail("selftest: encoded probe did not take the encoded path "
+                  "(plans=" + std::to_string(plans) +
+                  " fallbacks=" + std::to_string(fallbacks) +
+                  " rows_undecoded=" + std::to_string(undecoded) + ")");
+    }
   }
 
   // (a) registry snapshot: cache, pool and per-operator histograms with
@@ -285,5 +335,11 @@ int main(int argc, char** argv) {
   std::printf("  (root rows-out %s, returned rows %lld)\n",
               result->plan_root_rows.c_str(),
               static_cast<long long>(result->probe_rows));
+
+  std::printf("\n== EXPLAIN ANALYZE: flights by carrier x dest_state "
+              "(encoded path) ==\n");
+  std::printf("%s", result->encoded_plan_text.c_str());
+  std::printf("  (returned rows %lld)\n",
+              static_cast<long long>(result->encoded_probe_rows));
   return 0;
 }
