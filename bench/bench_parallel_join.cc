@@ -1,44 +1,126 @@
-// E6 (§4.2.2, Fig. 4): parallel plans with joins. The fact side probes in
-// parallel fractions; the dimension side is built once into a SharedTable
-// and a single hash table shared by every probing thread.
+// E6 (§4.2.2, Fig. 4): parallel plans with blocking operators. The fact
+// side probes in parallel fractions; the dimension side is built ONCE into
+// a shared hash table — morsel-parallel key hashing plus one sole-writer
+// insert task per hash partition — and the final aggregate merges
+// thread-local partial states partitioned by group-key hash.
 //
-// Manual time = modeled multi-core makespan; wall_ms = measured.
+// Headline workload (--emit-json): a 2M-flight FAA fact joined to a
+// derived dimension (market × fl_date COUNT(*), ~hundreds of thousands of
+// build rows), grouped by carrier × dest_state with COUNT(*) and
+// AVG(arr_delay). The build side is the expensive part — a full aggregate
+// over the fact table — so serial build/merge caps scaling no matter how
+// many probe fractions run; this bench records how far the partitioned
+// build and merge move that cap.
+//
+// Manual time = modeled multi-core makespan (bench_util.h): serial
+// remainder plus the per-section critical path measured contention-free
+// under serial_exchange_for_measurement. wall_ms = measured 1-CPU wall.
+//
+// --selftest: parallel-vs-serial result equivalence (tolerance-aware
+// table diff) plus the used_parallel_build/used_parallel_merge stats
+// flags; exit 0 pass, 1 fail. --emit-json=PATH writes BENCH_join.json and
+// enforces the acceptance bar: >=3x modeled speedup at DOP 8 over the
+// all-serial baseline (exit 2 below bar, 1 on malfunction).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "src/testing/table_diff.h"
 
 namespace {
 
 using namespace vizq;
 
-constexpr int64_t kRows = 300000;
+constexpr int64_t kQuickRows = 300000;    // harness + selftest
+constexpr int64_t kEmitRows = 2000000;    // acceptance run
+
+// Fact × derived-dimension join: every flight matches its own
+// market × fl_date group, so the probe output stays 1:1 with the fact
+// table while the build side is a full aggregate over it.
+const char kDerivedDimJoin[] =
+    "(aggregate ((carrier carrier) (dest_state dest_state))"
+    " ((n count*) (delay avg arr_delay))"
+    " (join inner ((market market) (fl_date day))"
+    " (scan flights)"
+    " (aggregate ((market market) (day fl_date)) ((m count*))"
+    " (scan flights))))";
+
+// Classic small-dimension join (carriers is a handful of rows): probe
+// scaling with a near-free build.
+const char kCarrierJoin[] =
+    "(aggregate ((airline airline_name)) ((n count*) (delay avg arr_delay))"
+    " (join inner ((carrier code)) (scan flights) (scan carriers)"
+    " referential))";
+
+tde::QueryOptions ParallelOptions(int dop, bool for_measurement) {
+  tde::QueryOptions o;
+  o.parallel.max_dop = dop;
+  o.parallel.min_rows_per_fraction = 1024;
+  o.parallel.enable_range_partition = false;
+  o.parallel.parallel_build_min_rows = 1;
+  o.parallel.parallel_merge_min_rows = 1;
+  o.optimizer.enable_join_culling = false;
+  o.serial_exchange_for_measurement = for_measurement;
+  return o;
+}
+
+tde::QueryOptions SerialOptions() {
+  tde::QueryOptions o = tde::QueryOptions::Serial();
+  o.optimizer.enable_join_culling = false;
+  return o;
+}
+
+struct Timed {
+  double wall_ms = 0;
+  double modeled_ms = 0;
+};
+
+// Best-of-`reps` by modeled time (first run is a discarded warmup).
+Timed TimeModeled(tde::TdeEngine& engine, const std::string& tql,
+                  const tde::QueryOptions& options, int reps = 3) {
+  Timed best;
+  best.modeled_ms = 1e300;
+  for (int i = 0; i <= reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = engine.Execute(tql, options);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    double wall = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double modeled = options.serial_exchange_for_measurement
+                         ? benchutil::ModeledParallelMs(wall, *result->stats)
+                         : wall;
+    if (i > 0 && modeled < best.modeled_ms) {
+      best.wall_ms = wall;
+      best.modeled_ms = modeled;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Harness benches (quick variants; the acceptance run is --emit-json).
 
 void BM_ParallelJoin(benchmark::State& state) {
   int dop = static_cast<int>(state.range(0));
-  auto db = benchutil::FaaDb(kRows);
+  auto db = benchutil::FaaDb(kQuickRows);
   tde::TdeEngine engine(db);
-  tde::QueryOptions options;
-  if (dop <= 1) {
-    options.parallel.enable_parallel = false;
-  } else {
-    options.parallel.max_dop = dop;
-    options.parallel.min_rows_per_fraction = 1024;
-  }
-  options.parallel.enable_range_partition = false;
-  options.serial_exchange_for_measurement = true;
-  // Group by a dimension-side column so the join cannot be culled.
-  const std::string tql =
-      "(aggregate ((airline airline_name)) ((n count*) (delay avg arr_delay))"
-      " (join inner ((carrier code)) (scan flights) (scan carriers)"
-      " referential))";
+  tde::QueryOptions options =
+      dop <= 1 ? SerialOptions() : ParallelOptions(dop, true);
 
   double wall_total = 0;
   for (auto _ : state) {
     auto started = std::chrono::steady_clock::now();
-    auto result = engine.Execute(tql, options);
+    auto result = engine.Execute(kDerivedDimJoin, options);
     double wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - started)
                          .count();
@@ -66,7 +148,7 @@ BENCHMARK(BM_ParallelJoin)
 // dimension join contributes nothing and is culled.
 void BM_JoinCulling(benchmark::State& state) {
   bool culling = state.range(0) == 1;
-  auto db = benchutil::FaaDb(kRows);
+  auto db = benchutil::FaaDb(kQuickRows);
   tde::TdeEngine engine(db);
   tde::QueryOptions options = tde::QueryOptions::Serial();
   options.optimizer.enable_join_culling = culling;
@@ -86,6 +168,219 @@ void BM_JoinCulling(benchmark::State& state) {
 }
 BENCHMARK(BM_JoinCulling)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --selftest: parallel results must equal serial results, and the
+// partitioned build + partitioned merge must actually have run.
+
+int SelfTest() {
+  auto db = benchutil::FaaDb(kQuickRows);
+  tde::TdeEngine engine(db);
+  testing::DiffOptions diff;
+  int failures = 0;
+
+  auto check = [&](const char* name, const std::string& tql) {
+    auto serial = engine.Execute(tql, SerialOptions());
+    // Real scheduler-dispatched tasks, not measurement mode: the selftest
+    // covers the concurrent path.
+    auto parallel = engine.Execute(tql, ParallelOptions(8, false));
+    if (!serial.ok() || !parallel.ok()) {
+      std::fprintf(stderr, "FAIL %s: execution error: %s\n", name,
+                   (!serial.ok() ? serial.status() : parallel.status())
+                       .ToString()
+                       .c_str());
+      ++failures;
+      return;
+    }
+    testing::DiffResult d =
+        testing::DiffTables(serial->table, parallel->table, diff);
+    if (!d.equivalent) {
+      std::fprintf(stderr, "FAIL %s: parallel != serial: %s\n", name,
+                   d.message.c_str());
+      ++failures;
+      return;
+    }
+    std::fprintf(stderr, "ok %s: %lld rows, build_morsels=%lld "
+                 "merge_partitions=%lld parallel_build=%d parallel_merge=%d\n",
+                 name, static_cast<long long>(parallel->table.num_rows()),
+                 static_cast<long long>(parallel->stats->join_build_morsels),
+                 static_cast<long long>(parallel->stats->merge_partitions),
+                 parallel->stats->used_parallel_build ? 1 : 0,
+                 parallel->stats->used_parallel_merge ? 1 : 0);
+    if (std::strcmp(name, "derived_dim_join") == 0 &&
+        (!parallel->stats->used_parallel_build ||
+         !parallel->stats->used_parallel_merge ||
+         parallel->stats->join_build_morsels <= 0)) {
+      std::fprintf(stderr,
+                   "FAIL %s: partitioned build/merge did not engage\n", name);
+      ++failures;
+    }
+  };
+  check("derived_dim_join", kDerivedDimJoin);
+  check("carrier_join", kCarrierJoin);
+  std::fprintf(stderr, failures == 0 ? "selftest passed\n"
+                                     : "selftest FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --emit-json=PATH: the BENCH_join.json record (EXPERIMENTS.md).
+
+int EmitJson(const std::string& path) {
+  auto db = benchutil::FaaDb(kEmitRows);
+  tde::TdeEngine engine(db);
+  std::fprintf(stderr, "parallel join: %lld flights, derived-dim build\n",
+               static_cast<long long>(kEmitRows));
+
+  // Flag check: the measured plan must actually run the partitioned build
+  // and the partitioned final merge.
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    auto probe = engine.Execute(kDerivedDimJoin, ParallelOptions(8, true));
+    auto t1 = std::chrono::steady_clock::now();
+    if (!probe.ok()) {
+      std::fprintf(stderr, "flag run failed: %s\n",
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    double wall = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const tde::ExecStats& st = *probe->stats;
+    std::fprintf(stderr,
+                 "  stage breakdown @8: wall %.1f ms, fractions %.1f ms "
+                 "(scan cp %.1f, build cp %.1f, merge cp %.1f), serial "
+                 "remainder %.1f ms\n",
+                 wall, st.SumFractionSeconds() * 1000,
+                 st.StageCriticalPathSeconds(tde::ExecStats::kStageScan) * 1000,
+                 st.StageCriticalPathSeconds(tde::ExecStats::kStageBuild) *
+                     1000,
+                 st.StageCriticalPathSeconds(tde::ExecStats::kStageMerge) *
+                     1000,
+                 wall - st.SumFractionSeconds() * 1000);
+    if (std::getenv("VIZQ_BENCH_FRACTIONS") != nullptr) {
+      for (const auto& f : st.fractions) {
+        std::fprintf(stderr, "    frac section=%d stage=%d %.1f ms %lld rows\n",
+                     f.section, f.stage, f.seconds * 1000,
+                     static_cast<long long>(f.rows));
+      }
+    }
+    if (!probe->stats->used_parallel_build ||
+        !probe->stats->used_parallel_merge ||
+        probe->stats->join_build_morsels <= 0 ||
+        probe->stats->merge_partitions <= 0) {
+      std::fprintf(stderr, "partitioned build/merge did not engage "
+                   "(build=%d merge=%d morsels=%lld partitions=%lld)\n",
+                   probe->stats->used_parallel_build ? 1 : 0,
+                   probe->stats->used_parallel_merge ? 1 : 0,
+                   static_cast<long long>(probe->stats->join_build_morsels),
+                   static_cast<long long>(probe->stats->merge_partitions));
+      return 1;
+    }
+  }
+
+  // The acceptance ratio (serial vs DOP 8) gets extra reps: single-core
+  // hosts jitter the serial baseline by ~10% and best-of-N converges it.
+  Timed serial = TimeModeled(engine, kDerivedDimJoin, SerialOptions(), 5);
+  std::fprintf(stderr, "  serial: %.1f ms\n", serial.wall_ms);
+
+  const int kDops[] = {2, 4, 8};
+  Timed scaled[3];
+  for (int i = 0; i < 3; ++i) {
+    scaled[i] = TimeModeled(engine, kDerivedDimJoin,
+                            ParallelOptions(kDops[i], true),
+                            kDops[i] == 8 ? 5 : 3);
+    std::fprintf(stderr, "  dop %d: wall %.1f ms, modeled %.1f ms (%.2fx)\n",
+                 kDops[i], scaled[i].wall_ms, scaled[i].modeled_ms,
+                 serial.wall_ms / scaled[i].modeled_ms);
+  }
+
+  // Ablations at DOP 8: what serial blocking operators give back.
+  tde::QueryOptions no_build = ParallelOptions(8, true);
+  no_build.parallel.enable_parallel_build = false;
+  tde::QueryOptions no_merge = ParallelOptions(8, true);
+  no_merge.parallel.enable_parallel_merge = false;
+  tde::QueryOptions no_both = ParallelOptions(8, true);
+  no_both.parallel.enable_parallel_build = false;
+  no_both.parallel.enable_parallel_merge = false;
+  Timed abl_build = TimeModeled(engine, kDerivedDimJoin, no_build);
+  Timed abl_merge = TimeModeled(engine, kDerivedDimJoin, no_merge);
+  Timed abl_both = TimeModeled(engine, kDerivedDimJoin, no_both);
+  std::fprintf(stderr,
+               "  dop 8 ablations: serial-build %.1f ms, serial-merge %.1f "
+               "ms, both-serial %.1f ms\n",
+               abl_build.modeled_ms, abl_merge.modeled_ms,
+               abl_both.modeled_ms);
+
+  Timed carrier_serial = TimeModeled(engine, kCarrierJoin, SerialOptions());
+  Timed carrier_dop8 =
+      TimeModeled(engine, kCarrierJoin, ParallelOptions(8, true));
+
+  double speedup8 = scaled[2].modeled_ms > 0
+                        ? serial.wall_ms / scaled[2].modeled_ms
+                        : 0;
+  double blocking_gain = scaled[2].modeled_ms > 0
+                             ? abl_both.modeled_ms / scaled[2].modeled_ms
+                             : 0;
+  double carrier_x = carrier_dop8.modeled_ms > 0
+                         ? carrier_serial.wall_ms / carrier_dop8.modeled_ms
+                         : 0;
+  std::fprintf(stderr,
+               "  speedup@8 %.2fx, blocking-operator gain %.2fx, "
+               "carrier join %.2fx\n",
+               speedup8, blocking_gain, carrier_x);
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"bench\": \"parallel_join\",\n"
+      "  \"workload\": \"%lld FAA flights joined to derived market x "
+      "fl_date dimension, grouped by carrier x dest_state (count, avg "
+      "arr_delay); modeled multi-core makespan from serial-measurement "
+      "fractions\",\n"
+      "  \"serial_ms\": %.3f,\n"
+      "  \"dop2\": {\"wall_ms\": %.3f, \"modeled_ms\": %.3f, \"speedup_x\": "
+      "%.2f},\n"
+      "  \"dop4\": {\"wall_ms\": %.3f, \"modeled_ms\": %.3f, \"speedup_x\": "
+      "%.2f},\n"
+      "  \"dop8\": {\"wall_ms\": %.3f, \"modeled_ms\": %.3f, \"speedup_x\": "
+      "%.2f},\n"
+      "  \"dop8_ablation_serial_build_ms\": %.3f,\n"
+      "  \"dop8_ablation_serial_merge_ms\": %.3f,\n"
+      "  \"dop8_ablation_serial_both_ms\": %.3f,\n"
+      "  \"blocking_operator_gain_x\": %.2f,\n"
+      "  \"carrier_join\": {\"serial_ms\": %.3f, \"dop8_modeled_ms\": %.3f, "
+      "\"speedup_x\": %.2f},\n"
+      "  \"flags_confirmed\": true\n"
+      "}\n",
+      static_cast<long long>(kEmitRows), serial.wall_ms, scaled[0].wall_ms,
+      scaled[0].modeled_ms, serial.wall_ms / scaled[0].modeled_ms,
+      scaled[1].wall_ms, scaled[1].modeled_ms,
+      serial.wall_ms / scaled[1].modeled_ms, scaled[2].wall_ms,
+      scaled[2].modeled_ms, speedup8, abl_build.modeled_ms,
+      abl_merge.modeled_ms, abl_both.modeled_ms, blocking_gain,
+      carrier_serial.wall_ms, carrier_dop8.modeled_ms, carrier_x);
+  f << buf;
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  // Acceptance: >=3x modeled speedup at DOP 8 over the serial baseline.
+  return speedup8 >= 3.0 ? 0 : 2;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) return SelfTest();
+    if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
+      return EmitJson(argv[i] + 12);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,12 +6,16 @@
 // benches therefore report a *modeled* multi-core makespan computed from
 // per-fraction work measurements:
 //
-//   modeled = (wall - sum_of_fraction_times) + max_fraction_time
+//   modeled = (wall - sum_of_fraction_times) + critical_path
 //
-// i.e. the serial sections as measured plus the slowest fraction, which is
-// what an idle multi-core host would realize. Both numbers are reported;
-// I/O-bound benches (simulated remote sources) use real wall time, since
-// sleeping connections overlap regardless of core count.
+// where critical_path sums, over each parallel section (scan fan-out, the
+// partitioned join build's stages, the partitioned final merge), the
+// slowest fraction of that section — sections run back-to-back, fractions
+// within a section run concurrently. I.e. the serial sections as measured
+// plus the per-section stragglers, which is what an idle multi-core host
+// would realize. Both numbers are reported; I/O-bound benches (simulated
+// remote sources) use real wall time, since sleeping connections overlap
+// regardless of core count.
 
 #ifndef VIZQUERY_BENCH_BENCH_UTIL_H_
 #define VIZQUERY_BENCH_BENCH_UTIL_H_
@@ -45,10 +49,10 @@ inline std::shared_ptr<tde::Database> FaaDb(int64_t rows,
 // Modeled multi-core makespan in milliseconds (see the header comment).
 inline double ModeledParallelMs(double wall_ms, const tde::ExecStats& stats) {
   double sum_ms = stats.SumFractionSeconds() * 1000.0;
-  double max_ms = stats.MaxFractionSeconds() * 1000.0;
+  double path_ms = stats.CriticalPathSeconds() * 1000.0;
   double serial_ms = wall_ms - sum_ms;
   if (serial_ms < 0) serial_ms = 0;
-  return serial_ms + max_ms;
+  return serial_ms + path_ms;
 }
 
 }  // namespace vizq::benchutil

@@ -69,11 +69,27 @@ StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
   result.plan_text = compiled->ToString();
   ScopedSpan run_span(ctx.StartSpan("tde:run"));
   ExecContext run_ctx = ctx.WithSpan(run_span.get());
-  Translator translator(result.stats.get(),
-                        options.serial_exchange_for_measurement, run_ctx,
+  TranslateOptions translate_options;
+  translate_options.serial_exchange = options.serial_exchange_for_measurement;
+  translate_options.priority = options.priority;
+  translate_options.parallel_build_min_rows =
+      options.parallel.parallel_build_min_rows;
+  translate_options.parallel_merge_min_rows =
+      options.parallel.parallel_merge_min_rows;
+  Translator translator(result.stats.get(), translate_options, run_ctx,
                         result.analysis.get());
   VIZQ_ASSIGN_OR_RETURN(OperatorPtr root, translator.Translate(compiled));
   VIZQ_ASSIGN_OR_RETURN(result.table, CollectToResultTable(root.get()));
+  // Hand the executed tree to the caller: Execute() responds as soon as
+  // the table is collected, and freeing per-query scratch (materialized
+  // build sides, partition tables) rides on the result's lifetime. The
+  // compiled plan rides along — operators hold expressions bound into it.
+  struct Retained {
+    OperatorPtr root;
+    LogicalOpPtr plan;
+  };
+  result.pipeline = std::shared_ptr<void>(
+      new Retained{std::move(root), std::move(compiled)});
   run_span.End();
   int64_t rows_undecoded = 0;
   {

@@ -16,6 +16,7 @@
 
 #include "src/common/exec_context.h"
 #include "src/common/result_table.h"
+#include "src/common/scheduler.h"
 #include "src/tde/exec/analyze.h"
 #include "src/tde/plan/logical.h"
 #include "src/tde/plan/optimizer.h"
@@ -39,6 +40,10 @@ struct QueryOptions {
   // bare pipeline can switch it off.
   bool collect_analysis = true;
 
+  // The scheduler class every task of this query — Exchange producers,
+  // join-build tasks, final-merge tasks — is submitted under.
+  TaskClass priority = TaskClass::kInteractive;
+
   // A convenient all-serial baseline.
   static QueryOptions Serial() {
     QueryOptions o;
@@ -57,6 +62,12 @@ struct QueryResult {
   // analysis->ToText() is the annotated EXPLAIN ANALYZE plan; the same
   // text is attached to the request log as "tde.analyze".
   std::shared_ptr<PlanAnalysis> analysis;
+  // The executed operator tree, kept alive until the caller drops the
+  // result. Execute() returns as soon as the table is collected; freeing
+  // per-query scratch (materialized join build sides, partition hash
+  // tables) rides on the result's lifetime instead of the response path,
+  // like a real cursor. Opaque: nothing should reach back into it.
+  std::shared_ptr<void> pipeline;
 };
 
 class TdeEngine {

@@ -1,6 +1,7 @@
 #include "src/tde/exec/aggregate.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/rng.h"
 
@@ -8,6 +9,8 @@ namespace vizq::tde {
 
 // Deadline/cancel poll frequency while consuming input batches.
 constexpr int64_t kCtxPollBatches = 4;
+// Merge-partition ceiling; partitions are a power of two >= merge_dop.
+constexpr int kMaxMergePartitions = 64;
 
 namespace {
 
@@ -91,11 +94,18 @@ HashAggregateOperator::HashAggregateOperator(OperatorPtr child,
       phase_(phase),
       ctx_(ctx) {
   schema_ = MakeAggSchema(group_exprs_, specs_, phase_, child_->schema());
-  group_store_.reserve(group_exprs_.size());
+  main_ = NewGroupTable();
+}
+
+HashAggregateOperator::GroupTable HashAggregateOperator::NewGroupTable()
+    const {
+  GroupTable gt;
+  gt.group_store.reserve(group_exprs_.size());
   for (size_t i = 0; i < group_exprs_.size(); ++i) {
-    group_store_.push_back(ColumnVector::LayoutLike(schema_.prototypes[i]));
+    gt.group_store.push_back(ColumnVector::LayoutLike(schema_.prototypes[i]));
   }
-  accums_.resize(specs_.size());
+  gt.accums.resize(specs_.size());
+  return gt;
 }
 
 void HashAggregateOperator::EnableDenseGroups(DenseAggConfig config,
@@ -104,15 +114,21 @@ void HashAggregateOperator::EnableDenseGroups(DenseAggConfig config,
   stats_ = stats;
 }
 
+void HashAggregateOperator::EnableParallelMerge(const AggMergeOptions& options,
+                                                ExecStats* stats) {
+  merge_ = options;
+  stats_ = stats;
+}
+
 Status HashAggregateOperator::Open() {
   consumed_ = false;
   emit_cursor_ = 0;
-  num_groups_ = 0;
+  emit_table_idx_ = 0;
   batches_consumed_ = 0;
-  buckets_.clear();
   cell_to_group_.clear();
-  for (auto& cv : group_store_) cv = ColumnVector::LayoutLike(cv);
-  for (auto& acc : accums_) acc = Accumulator{};
+  main_ = NewGroupTable();
+  merge_tables_.clear();
+  emit_tables_.clear();
   span_ = ctx_.StartSpan("op:aggregate");
   return child_->Open();
 }
@@ -126,16 +142,22 @@ Status HashAggregateOperator::Close() {
 }
 
 int64_t HashAggregateOperator::FindOrCreateGroup(
-    const std::vector<ColumnVector>& key_cols, int64_t row) {
+    GroupTable& gt, const std::vector<ColumnVector>& key_cols, int64_t row) {
   uint64_t h = 0x9e3779b97f4a7c15ULL;
   for (const ColumnVector& kc : key_cols) {
     h = HashCombine(h, kc.HashAt(row));
   }
-  auto& bucket = buckets_[h];
+  return FindOrCreateGroup(gt, key_cols, row, h);
+}
+
+int64_t HashAggregateOperator::FindOrCreateGroup(
+    GroupTable& gt, const std::vector<ColumnVector>& key_cols, int64_t row,
+    uint64_t hash) {
+  auto& bucket = gt.buckets[hash];
   for (int64_t candidate : bucket) {
     bool equal = true;
     for (size_t k = 0; k < key_cols.size(); ++k) {
-      if (group_store_[k].CompareAt(candidate, key_cols[k], row) != 0) {
+      if (gt.group_store[k].CompareAt(candidate, key_cols[k], row) != 0) {
         equal = false;
         break;
       }
@@ -143,18 +165,18 @@ int64_t HashAggregateOperator::FindOrCreateGroup(
     if (equal) return candidate;
   }
   // New group.
-  int64_t g = num_groups_++;
+  int64_t g = gt.num_groups++;
   for (size_t k = 0; k < key_cols.size(); ++k) {
-    group_store_[k].AppendFrom(key_cols[k], row);
+    gt.group_store[k].AppendFrom(key_cols[k], row);
   }
-  AppendGroupSlots();
+  AppendGroupSlots(gt);
   bucket.push_back(g);
   return g;
 }
 
-void HashAggregateOperator::AppendGroupSlots() {
+void HashAggregateOperator::AppendGroupSlots(GroupTable& gt) {
   for (size_t s = 0; s < specs_.size(); ++s) {
-    Accumulator& acc = accums_[s];
+    Accumulator& acc = gt.accums[s];
     acc.sum_d.push_back(0);
     acc.sum_i.push_back(0);
     acc.count.push_back(0);
@@ -166,11 +188,12 @@ void HashAggregateOperator::AppendGroupSlots() {
   }
 }
 
-void HashAggregateOperator::UpdateAccumulator(int spec_idx, int64_t group,
+void HashAggregateOperator::UpdateAccumulator(GroupTable& gt, int spec_idx,
+                                              int64_t group,
                                               const ColumnVector& arg_col,
                                               int64_t row) {
   const AggSpec& spec = specs_[spec_idx];
-  Accumulator& acc = accums_[spec_idx];
+  Accumulator& acc = gt.accums[spec_idx];
   if (spec.func == AggFunc::kCountStar) {
     ++acc.count[group];
     return;
@@ -215,12 +238,13 @@ void HashAggregateOperator::UpdateAccumulator(int spec_idx, int64_t group,
   }
 }
 
-void HashAggregateOperator::UpdateFinalAccumulator(int spec_idx, int64_t group,
+void HashAggregateOperator::UpdateFinalAccumulator(GroupTable& gt,
+                                                   int spec_idx, int64_t group,
                                                    const Batch& in,
                                                    int first_col,
                                                    int64_t row) {
   const AggSpec& spec = specs_[spec_idx];
-  Accumulator& acc = accums_[spec_idx];
+  Accumulator& acc = gt.accums[spec_idx];
   const ColumnVector& c0 = in.columns[first_col];
   switch (spec.func) {
     case AggFunc::kSum:
@@ -276,10 +300,10 @@ Status HashAggregateOperator::Consume(const Batch& in) {
   if (phase_ == AggPhase::kFinal) {
     int first_col = static_cast<int>(group_exprs_.size());
     for (int64_t r = 0; r < in.num_rows; ++r) {
-      int64_t g = FindOrCreateGroup(key_cols, r);
+      int64_t g = FindOrCreateGroup(main_, key_cols, r);
       int col = first_col;
       for (size_t s = 0; s < specs_.size(); ++s) {
-        UpdateFinalAccumulator(static_cast<int>(s), g, in, col, r);
+        UpdateFinalAccumulator(main_, static_cast<int>(s), g, in, col, r);
         col += static_cast<int>(PartialStateColumns(specs_[s]).size());
       }
     }
@@ -294,10 +318,227 @@ Status HashAggregateOperator::Consume(const Batch& in) {
     }
   }
   for (int64_t r = 0; r < in.num_rows; ++r) {
-    int64_t g = FindOrCreateGroup(key_cols, r);
+    int64_t g = FindOrCreateGroup(main_, key_cols, r);
     for (size_t s = 0; s < specs_.size(); ++s) {
-      UpdateAccumulator(static_cast<int>(s), g, arg_cols[s], r);
+      UpdateAccumulator(main_, static_cast<int>(s), g, arg_cols[s], r);
     }
+  }
+  return OkStatus();
+}
+
+Status HashAggregateOperator::ConsumeFinalParallel() {
+  // Buffer the partial states first. They are bounded by groups ×
+  // fractions — far smaller than the input the kPartial lanes consumed —
+  // so materializing them is cheap relative to the merge itself.
+  std::vector<Batch> buffered;
+  int64_t total_rows = 0;
+  Batch in;
+  while (true) {
+    if (batches_consumed_ % kCtxPollBatches == 0) {
+      VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("hash aggregate"));
+    }
+    ++batches_consumed_;
+    VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    if (in.num_rows == 0) continue;
+    total_rows += in.num_rows;
+    buffered.push_back(std::move(in));
+    in = Batch{};
+  }
+  if (total_rows < merge_.min_parallel_rows) {
+    for (const Batch& b : buffered) {
+      VIZQ_RETURN_IF_ERROR(Consume(b));
+    }
+    return OkStatus();
+  }
+
+  const int dop = std::min(merge_.merge_dop, kMaxMergePartitions);
+  int parts = 1;
+  while (parts < dop) parts <<= 1;
+  const uint64_t mask = static_cast<uint64_t>(parts - 1);
+
+  // Per-batch group keys and combined key hashes (the hash both routes a
+  // row to its partition and seeds the partition's bucket lookup).
+  // Batches are independent, so the precompute fans out too — over the
+  // inner aggregate of a large local/global plan this pass touches every
+  // partial row and would otherwise be the merge's serial Amdahl term.
+  struct Prepared {
+    const Batch* batch = nullptr;
+    std::vector<ColumnVector> keys;
+    std::vector<uint64_t> hashes;
+  };
+  std::vector<Prepared> prepared(buffered.size());
+  const int prep_tasks =
+      static_cast<int>(std::min<size_t>(dop, buffered.size()));
+  std::vector<Status> prep_status(std::max(prep_tasks, 1));
+  const int prep_section = stats_ != nullptr ? stats_->NewSection() : 0;
+  auto prep_task = [&](int t) {
+    auto t0 = std::chrono::steady_clock::now();
+    int64_t rows = 0;
+    Status s;
+    for (size_t b = t; b < buffered.size();
+         b += static_cast<size_t>(prep_tasks)) {
+      s = ctx_.CheckContinue("final merge prepare");
+      if (!s.ok()) break;
+      Prepared& p = prepared[b];
+      p.batch = &buffered[b];
+      p.keys.reserve(group_exprs_.size());
+      for (const GroupExpr& g : group_exprs_) {
+        StatusOr<ColumnVector> v = EvalExpr(*g.expr, buffered[b]);
+        if (!v.ok()) {
+          s = v.status();
+          break;
+        }
+        p.keys.push_back(std::move(*v));
+      }
+      if (!s.ok()) break;
+      p.hashes.resize(buffered[b].num_rows);
+      for (int64_t r = 0; r < buffered[b].num_rows; ++r) {
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (const ColumnVector& kc : p.keys) {
+          h = HashCombine(h, kc.HashAt(r));
+        }
+        p.hashes[r] = h;
+      }
+      rows += buffered[b].num_rows;
+    }
+    prep_status[t] = s;
+    if (stats_ != nullptr) {
+      double seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      stats_->AddFraction(seconds, rows, prep_section,
+                          ExecStats::kStageMerge);
+    }
+  };
+  if (merge_.serial_measurement || prep_tasks <= 1) {
+    for (int t = 0; t < prep_tasks; ++t) prep_task(t);
+  } else {
+    TaskGroup group(&Scheduler::Global(), merge_.priority, ctx_);
+    for (int t = 0; t < prep_tasks; ++t) {
+      group.Spawn([&prep_task, t] { prep_task(t); }, "final-merge-prep");
+    }
+    group.Wait();
+  }
+  for (const Status& s : prep_status) {
+    VIZQ_RETURN_IF_ERROR(s);
+  }
+  merge_tables_.clear();
+  merge_tables_.resize(parts);
+
+  const int first_col = static_cast<int>(group_exprs_.size());
+  std::vector<int> widths(specs_.size());
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    widths[s] = static_cast<int>(PartialStateColumns(specs_[s]).size());
+  }
+
+  // One task per partition; each merges only the rows whose key hash
+  // falls in its partition, into its own GroupTable — no shared mutable
+  // state, no locking.
+  std::vector<Status> task_status(parts);
+  const int section = stats_ != nullptr ? stats_->NewSection() : 0;
+  auto merge_task = [&](int p) {
+    auto t0 = std::chrono::steady_clock::now();
+    // Constructing (and, in the emit task, freeing) the partition table is
+    // real per-partition work; doing it here keeps it on the task's clock.
+    merge_tables_[p] = NewGroupTable();
+    GroupTable& gt = merge_tables_[p];
+    const uint64_t want = static_cast<uint64_t>(p);
+    int64_t merged = 0;
+    Status s;
+    for (const Prepared& pb : prepared) {
+      s = ctx_.CheckContinue("final merge");
+      if (!s.ok()) break;
+      for (int64_t r = 0; r < pb.batch->num_rows; ++r) {
+        if ((pb.hashes[r] & mask) != want) continue;
+        int64_t g = FindOrCreateGroup(gt, pb.keys, r, pb.hashes[r]);
+        int col = first_col;
+        for (size_t sp = 0; sp < specs_.size(); ++sp) {
+          UpdateFinalAccumulator(gt, static_cast<int>(sp), g, *pb.batch, col,
+                                 r);
+          col += widths[sp];
+        }
+        ++merged;
+      }
+    }
+    task_status[p] = s;
+    if (stats_ != nullptr) {
+      double seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      stats_->AddFraction(seconds, merged, section, ExecStats::kStageMerge);
+    }
+  };
+  if (merge_.serial_measurement) {
+    for (int p = 0; p < parts; ++p) merge_task(p);
+  } else {
+    TaskGroup group(&Scheduler::Global(), merge_.priority, ctx_);
+    for (int p = 0; p < parts; ++p) {
+      group.Spawn([&merge_task, p] { merge_task(p); }, "final-merge");
+    }
+    group.Wait();
+  }
+  for (const Status& s : task_status) {
+    VIZQ_RETURN_IF_ERROR(s);
+  }
+  // Stage 3 — per-partition emission: building the output batches walks
+  // every merged group and appends into column vectors, which for a large
+  // group count (the inner aggregate of a local/global plan) costs as
+  // much as the merge itself. Partitions materialize their own batches.
+  std::vector<std::vector<Batch>> emitted(parts);
+  std::vector<Status> emit_status(parts);
+  const int emit_section = stats_ != nullptr ? stats_->NewSection() : 0;
+  auto emit_task = [&](int p) {
+    auto t0 = std::chrono::steady_clock::now();
+    const GroupTable& gt = merge_tables_[p];
+    Status s;
+    int64_t g = 0;
+    while (g < gt.num_groups) {
+      s = ctx_.CheckContinue("final merge emit");
+      if (!s.ok()) break;
+      const int64_t end = std::min(gt.num_groups, g + kBatchRows);
+      Batch out = schema_.NewBatch();
+      for (int64_t i = g; i < end; ++i) EmitGroup(gt, i, &out);
+      out.num_rows = end - g;
+      emitted[p].push_back(std::move(out));
+      g = end;
+    }
+    emit_status[p] = s;
+    const int64_t emitted_groups = gt.num_groups;
+    // Free this partition's table here: a couple hundred thousand bucket
+    // vectors take real time to release, and each partition's are
+    // independent — parallel teardown, on this task's clock.
+    merge_tables_[p] = GroupTable{};
+    if (stats_ != nullptr) {
+      double seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      stats_->AddFraction(seconds, emitted_groups, emit_section,
+                          ExecStats::kStageMerge);
+    }
+  };
+  if (merge_.serial_measurement || parts <= 1) {
+    for (int p = 0; p < parts; ++p) emit_task(p);
+  } else {
+    TaskGroup group(&Scheduler::Global(), merge_.priority, ctx_);
+    for (int p = 0; p < parts; ++p) {
+      group.Spawn([&emit_task, p] { emit_task(p); }, "final-merge-emit");
+    }
+    group.Wait();
+  }
+  for (const Status& s : emit_status) {
+    VIZQ_RETURN_IF_ERROR(s);
+  }
+  for (std::vector<Batch>& part : emitted) {
+    for (Batch& b : part) prebuilt_.push_back(std::move(b));
+  }
+  merge_tables_.clear();  // group state is spent; output lives in prebuilt_
+  prebuilt_ready_ = true;
+
+  if (stats_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    stats_->used_parallel_merge = true;
+    stats_->merge_partitions += parts;
   }
   return OkStatus();
 }
@@ -379,17 +620,17 @@ Status HashAggregateOperator::ConsumeDense(Batch& in) {
       }
       int64_t g = cell_to_group_[cell];
       if (g < 0) {
-        g = num_groups_++;
+        g = main_.num_groups++;
         for (size_t k = 0; k < keys.size(); ++k) {
-          group_store_[k].AppendFrom(*keys[k], pos);
+          main_.group_store[k].AppendFrom(*keys[k], pos);
         }
-        AppendGroupSlots();
+        AppendGroupSlots(main_);
         cell_to_group_[cell] = static_cast<int32_t>(g);
       }
       for (size_t i = first; i < sel_idx; ++i) {
         int64_t r = sel[i];
         for (size_t s = 0; s < specs_.size(); ++s) {
-          UpdateAccumulator(static_cast<int>(s), g, *args[s], r);
+          UpdateAccumulator(main_, static_cast<int>(s), g, *args[s], r);
         }
       }
       pos = seg_end;
@@ -398,17 +639,17 @@ Status HashAggregateOperator::ConsumeDense(Batch& in) {
 
     int64_t g = cell_to_group_[cell];
     if (g < 0) {
-      g = num_groups_++;
+      g = main_.num_groups++;
       for (size_t k = 0; k < keys.size(); ++k) {
-        group_store_[k].AppendFrom(*keys[k], pos);
+        main_.group_store[k].AppendFrom(*keys[k], pos);
       }
-      AppendGroupSlots();
+      AppendGroupSlots(main_);
       cell_to_group_[cell] = static_cast<int32_t>(g);
     }
     int64_t seg_len = seg_end - pos;
     for (size_t s = 0; s < specs_.size(); ++s) {
       const AggSpec& spec = specs_[s];
-      Accumulator& acc = accums_[s];
+      Accumulator& acc = main_.accums[s];
       if (spec.arg == nullptr) {  // COUNT(*)
         acc.count[g] += seg_len;
         continue;
@@ -446,7 +687,7 @@ Status HashAggregateOperator::ConsumeDense(Batch& in) {
             case AggFunc::kMax:
             case AggFunc::kCountDistinct:
               // Constant within the run: one per-row update suffices.
-              UpdateAccumulator(static_cast<int>(s), g, a, f);
+              UpdateAccumulator(main_, static_cast<int>(s), g, a, f);
               break;
             case AggFunc::kCountStar:
               break;  // handled above
@@ -454,7 +695,7 @@ Status HashAggregateOperator::ConsumeDense(Batch& in) {
         }
       } else {
         for (int64_t r = pos; r < seg_end; ++r) {
-          UpdateAccumulator(static_cast<int>(s), g, a, r);
+          UpdateAccumulator(main_, static_cast<int>(s), g, a, r);
         }
       }
     }
@@ -463,14 +704,15 @@ Status HashAggregateOperator::ConsumeDense(Batch& in) {
   return OkStatus();
 }
 
-void HashAggregateOperator::EmitGroup(int64_t group, Batch* batch) const {
+void HashAggregateOperator::EmitGroup(const GroupTable& gt, int64_t group,
+                                      Batch* batch) const {
   for (size_t k = 0; k < group_exprs_.size(); ++k) {
-    batch->columns[k].AppendFrom(group_store_[k], group);
+    batch->columns[k].AppendFrom(gt.group_store[k], group);
   }
   int col = static_cast<int>(group_exprs_.size());
   for (size_t s = 0; s < specs_.size(); ++s) {
     const AggSpec& spec = specs_[s];
-    const Accumulator& acc = accums_[s];
+    const Accumulator& acc = gt.accums[s];
     if (phase_ == AggPhase::kPartial && spec.func == AggFunc::kAvg) {
       batch->columns[col].AppendDouble(acc.sum_d[group]);
       batch->columns[col + 1].AppendInt(acc.count[group]);
@@ -517,33 +759,60 @@ void HashAggregateOperator::EmitGroup(int64_t group, Batch* batch) const {
 
 StatusOr<bool> HashAggregateOperator::Next(Batch* batch) {
   if (!consumed_) {
-    Batch in;
-    while (true) {
-      if (batches_consumed_ % kCtxPollBatches == 0) {
-        VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("hash aggregate"));
-      }
-      ++batches_consumed_;
-      VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
-      if (!more) break;
-      if (dense_.enabled && phase_ != AggPhase::kFinal) {
-        VIZQ_RETURN_IF_ERROR(ConsumeDense(in));
-      } else {
-        VIZQ_RETURN_IF_ERROR(Consume(in));
+    if (phase_ == AggPhase::kFinal && merge_.merge_dop > 1 &&
+        !group_exprs_.empty()) {
+      VIZQ_RETURN_IF_ERROR(ConsumeFinalParallel());
+    } else {
+      Batch in;
+      while (true) {
+        if (batches_consumed_ % kCtxPollBatches == 0) {
+          VIZQ_RETURN_IF_ERROR(ctx_.CheckContinue("hash aggregate"));
+        }
+        ++batches_consumed_;
+        VIZQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+        if (!more) break;
+        if (dense_.enabled && phase_ != AggPhase::kFinal) {
+          VIZQ_RETURN_IF_ERROR(ConsumeDense(in));
+        } else {
+          VIZQ_RETURN_IF_ERROR(Consume(in));
+        }
       }
     }
     consumed_ = true;
     // Scalar aggregation over an empty input still yields one row
     // (complete/final phases only; empty partials are correct as empty).
-    if (group_exprs_.empty() && num_groups_ == 0 &&
+    // Scalar finals never take the parallel path, so main_ is the table.
+    if (group_exprs_.empty() && main_.num_groups == 0 &&
         phase_ != AggPhase::kPartial) {
       std::vector<ColumnVector> no_keys;
-      FindOrCreateGroup(no_keys, 0);
+      FindOrCreateGroup(main_, no_keys, 0);
+    }
+    if (prebuilt_ready_) {
+      emit_tables_.clear();
+    } else if (merge_tables_.empty()) {
+      emit_tables_ = {&main_};
+    } else {
+      emit_tables_.clear();
+      for (const GroupTable& gt : merge_tables_) emit_tables_.push_back(&gt);
     }
   }
-  if (emit_cursor_ >= num_groups_) return false;
+  if (prebuilt_ready_) {
+    if (prebuilt_idx_ >= prebuilt_.size()) return false;
+    *batch = std::move(prebuilt_[prebuilt_idx_++]);
+    return true;
+  }
+  // Emit from one table per batch; partitions follow each other in order
+  // (output order across partitions is unspecified, like any hash agg).
+  while (emit_table_idx_ < emit_tables_.size() &&
+         emit_cursor_ >= emit_tables_[emit_table_idx_]->num_groups) {
+    ++emit_table_idx_;
+    emit_cursor_ = 0;
+  }
+  if (emit_table_idx_ >= emit_tables_.size()) return false;
+  const GroupTable& gt = *emit_tables_[emit_table_idx_];
   *batch = schema_.NewBatch();
-  int64_t end = std::min(num_groups_, emit_cursor_ + kBatchRows);
-  for (int64_t g = emit_cursor_; g < end; ++g) EmitGroup(g, batch);
+  int64_t end = std::min(gt.num_groups, emit_cursor_ + kBatchRows);
+  for (int64_t g = emit_cursor_; g < end; ++g) EmitGroup(gt, g, batch);
   batch->num_rows = end - emit_cursor_;
   emit_cursor_ = end;
   return true;

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/scheduler.h"
 #include "src/tde/exec/operators.h"
 
 namespace vizq::tde {
@@ -57,6 +58,18 @@ struct DenseAggConfig {
   int64_t total_cells = 1;         // prod(card + 1), capped by the optimizer
 };
 
+// Configuration of the parallel kFinal merge (DESIGN.md §12): partial
+// states are partitioned by group-key hash and the partitions merged
+// concurrently on a TaskGroup under the query's priority class.
+struct AggMergeOptions {
+  int merge_dop = 1;                 // >1: partitioned parallel merge
+  int64_t min_parallel_rows = 4096;  // serial below this many partial rows
+  TaskClass priority = TaskClass::kInteractive;  // the query's class
+  // Measurement mode (single-core host): run the merge tasks one at a
+  // time and record per-task fraction timings.
+  bool serial_measurement = false;
+};
+
 class HashAggregateOperator : public Operator {
  public:
   // For kFinal, `child` must produce: group columns (in group_exprs order,
@@ -71,6 +84,11 @@ class HashAggregateOperator : public Operator {
   // Only valid when the config matches this operator's group exprs; the
   // planner guarantees that. Not supported for kFinal.
   void EnableDenseGroups(DenseAggConfig config, ExecStats* stats);
+
+  // Enables the partitioned parallel merge; only meaningful for kFinal
+  // with group keys (scalar finals stay serial — one group, nothing to
+  // partition). The row threshold keeps tiny merges off the scheduler.
+  void EnableParallelMerge(const AggMergeOptions& options, ExecStats* stats);
 
   const BatchSchema& schema() const override { return schema_; }
   Status Open() override;
@@ -87,17 +105,35 @@ class HashAggregateOperator : public Operator {
     std::vector<std::set<Value>> distinct;
   };
 
+  // One independent group hash table: keys, hash buckets, accumulators.
+  // The serial paths use main_; the parallel kFinal merge gives each hash
+  // partition its own table so merge tasks never share mutable state.
+  struct GroupTable {
+    std::vector<ColumnVector> group_store;  // one row per group
+    std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+    int64_t num_groups = 0;
+    std::vector<Accumulator> accums;  // one per spec
+  };
+
+  GroupTable NewGroupTable() const;
   Status Consume(const Batch& in);
   Status ConsumeDense(Batch& in);
-  int64_t FindOrCreateGroup(const std::vector<ColumnVector>& key_cols,
+  // Buffers the child's partial states, then merges hash partitions
+  // concurrently (falls back to serial Consume below the row threshold).
+  Status ConsumeFinalParallel();
+  int64_t FindOrCreateGroup(GroupTable& gt,
+                            const std::vector<ColumnVector>& key_cols,
                             int64_t row);
+  int64_t FindOrCreateGroup(GroupTable& gt,
+                            const std::vector<ColumnVector>& key_cols,
+                            int64_t row, uint64_t hash);
   // Pushes the per-spec accumulator slots of a freshly created group.
-  void AppendGroupSlots();
-  void UpdateAccumulator(int spec_idx, int64_t group,
+  void AppendGroupSlots(GroupTable& gt);
+  void UpdateAccumulator(GroupTable& gt, int spec_idx, int64_t group,
                          const ColumnVector& arg_col, int64_t row);
-  void UpdateFinalAccumulator(int spec_idx, int64_t group, const Batch& in,
-                              int first_col, int64_t row);
-  void EmitGroup(int64_t group, Batch* batch) const;
+  void UpdateFinalAccumulator(GroupTable& gt, int spec_idx, int64_t group,
+                              const Batch& in, int first_col, int64_t row);
+  void EmitGroup(const GroupTable& gt, int64_t group, Batch* batch) const;
 
   OperatorPtr child_;
   std::vector<GroupExpr> group_exprs_;
@@ -105,11 +141,19 @@ class HashAggregateOperator : public Operator {
   AggPhase phase_;
   BatchSchema schema_;
 
-  // Group storage: one ColumnVector per group expr, one row per group.
-  std::vector<ColumnVector> group_store_;
-  std::unordered_map<uint64_t, std::vector<int64_t>> buckets_;
-  int64_t num_groups_ = 0;
-  std::vector<Accumulator> accums_;
+  GroupTable main_;
+  // Parallel-merge state: one table per hash partition; emission walks
+  // emit_tables_ (either {&main_} or the merge partitions) in order.
+  AggMergeOptions merge_;
+  std::vector<GroupTable> merge_tables_;
+  std::vector<const GroupTable*> emit_tables_;
+  size_t emit_table_idx_ = 0;
+  // Parallel-merge stage 3 pre-materializes the output batches per
+  // partition (emission walks every group and is itself worth fanning
+  // out); Next() then just hands them over.
+  std::vector<Batch> prebuilt_;
+  size_t prebuilt_idx_ = 0;
+  bool prebuilt_ready_ = false;
 
   bool consumed_ = false;
   int64_t emit_cursor_ = 0;

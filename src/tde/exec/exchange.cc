@@ -7,11 +7,14 @@ namespace vizq::tde {
 ExchangeOperator::ExchangeOperator(std::vector<OperatorPtr> inputs,
                                    ExecStats* stats, bool serial_measurement,
                                    const ExecContext& ctx,
-                                   Scheduler* scheduler)
+                                   Scheduler* scheduler, TaskClass priority,
+                                   int stage)
     : inputs_(std::move(inputs)),
       stats_(stats),
       ctx_(ctx),
       scheduler_(scheduler != nullptr ? scheduler : &Scheduler::Global()),
+      priority_(priority),
+      stage_(stage),
       serial_measurement_(serial_measurement) {}
 
 ExchangeOperator::~ExchangeOperator() { StopProducers(); }
@@ -33,6 +36,8 @@ Status ExchangeOperator::Open() {
   // return zero rows from the drained queues).
   for (const MorselQueuePtr& q : morsel_queues_) q->Reset();
   consumer_tid_ = std::this_thread::get_id();
+  // This fan-out is one parallel section of the plan's timeline.
+  section_ = stats_ != nullptr ? stats_->NewSection() : 0;
   if (serial_measurement_) {
     opened_ = true;
     return OkStatus();  // inputs run lazily on first Next()
@@ -40,8 +45,7 @@ Status ExchangeOperator::Open() {
   const int n = static_cast<int>(inputs_.size());
   // Zero-initialized: all inputs unclaimed.
   claimed_ = std::make_unique<std::atomic<bool>[]>(n);
-  group_ = std::make_unique<TaskGroup>(scheduler_, TaskClass::kInteractive,
-                                       ctx_);
+  group_ = std::make_unique<TaskGroup>(scheduler_, priority_, ctx_);
   for (int i = 0; i < n; ++i) {
     group_->Spawn(
         [this, i] {
@@ -69,12 +73,18 @@ bool ExchangeOperator::ClaimProducer(int input_index) {
 
 Status ExchangeOperator::RunInputsSerially() {
   // Contention-free per-fraction timing: one input at a time, all batches
-  // buffered. max_queue_ does not apply in this mode.
+  // buffered. max_queue_ does not apply in this mode. All Opens run first,
+  // untimed: a blocking hash-join build in the first input's Open is
+  // accounted by its own kStageBuild fractions (and the build side's
+  // serial consume by the wall-minus-fractions remainder), not smeared
+  // into that input's probe fraction.
+  for (auto& input : inputs_) {
+    VIZQ_RETURN_IF_ERROR(input->Open());
+  }
   for (size_t i = 0; i < inputs_.size(); ++i) {
     auto started = std::chrono::steady_clock::now();
     Operator* input = inputs_[i].get();
     int64_t rows = 0;
-    VIZQ_RETURN_IF_ERROR(input->Open());
     Batch batch;
     while (true) {
       VIZQ_ASSIGN_OR_RETURN(bool more, input->Next(&batch));
@@ -86,7 +96,7 @@ Status ExchangeOperator::RunInputsSerially() {
     double seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - started)
                          .count();
-    if (stats_ != nullptr) stats_->AddFraction(seconds, rows);
+    if (stats_ != nullptr) stats_->AddFraction(seconds, rows, section_, stage_);
   }
   live_producers_ = 0;
   serial_done_ = true;
@@ -141,7 +151,7 @@ void ExchangeOperator::ProducerLoop(int input_index, bool bounded) {
     double seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - started)
                          .count();
-    if (stats_ != nullptr) stats_->AddFraction(seconds, rows);
+    if (stats_ != nullptr) stats_->AddFraction(seconds, rows, section_, stage_);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

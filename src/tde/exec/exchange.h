@@ -50,11 +50,16 @@ class ExchangeOperator : public Operator {
   // producer tasks: results are identical, but each fraction's recorded
   // time is contention-free, which is what the modeled-makespan reporting
   // on single-core hosts needs (see bench/bench_util.h).
-  // `scheduler` defaults to Scheduler::Global().
+  // `scheduler` defaults to Scheduler::Global(). Producers are submitted
+  // under `priority` — the query's class, threaded in by the translator.
+  // `stage` tags this Exchange's fraction timings (probe-side scans vs a
+  // build-side Exchange, ExecStats::kStage*).
   ExchangeOperator(std::vector<OperatorPtr> inputs, ExecStats* stats,
                    bool serial_measurement = false,
                    const ExecContext& ctx = ExecContext::Background(),
-                   Scheduler* scheduler = nullptr);
+                   Scheduler* scheduler = nullptr,
+                   TaskClass priority = TaskClass::kInteractive,
+                   int stage = 0 /* ExecStats::kStageScan */);
   ~ExchangeOperator() override;
 
   const BatchSchema& schema() const override { return inputs_[0]->schema(); }
@@ -88,6 +93,10 @@ class ExchangeOperator : public Operator {
   ExecStats* stats_;
   ExecContext ctx_;
   Scheduler* scheduler_;
+  TaskClass priority_;
+  int stage_;
+  // Parallel-section id of the current Open()'s producer fan-out.
+  int section_ = 0;
 
   std::mutex mu_;
   std::condition_variable can_push_;

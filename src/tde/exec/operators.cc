@@ -1,6 +1,7 @@
 #include "src/tde/exec/operators.h"
 
 #include <algorithm>
+#include <map>
 
 namespace vizq::tde {
 
@@ -14,6 +15,34 @@ double ExecStats::SumFractionSeconds() const {
   double sum = 0;
   for (const FractionStat& f : fractions) sum += f.seconds;
   return sum;
+}
+
+namespace {
+
+// Sum over sections of the slowest matching fraction. `stage` < 0 means all
+// stages. Fractions of one section ran concurrently (critical path = their
+// max); distinct sections ran back-to-back (sum their maxima).
+double SectionedCriticalPath(const std::vector<ExecStats::FractionStat>& fs,
+                             int stage) {
+  std::map<int, double> max_by_section;
+  for (const ExecStats::FractionStat& f : fs) {
+    if (stage >= 0 && f.stage != stage) continue;
+    double& mx = max_by_section[f.section];
+    mx = std::max(mx, f.seconds);
+  }
+  double total = 0;
+  for (const auto& [section, mx] : max_by_section) total += mx;
+  return total;
+}
+
+}  // namespace
+
+double ExecStats::CriticalPathSeconds() const {
+  return SectionedCriticalPath(fractions, /*stage=*/-1);
+}
+
+double ExecStats::StageCriticalPathSeconds(int stage) const {
+  return SectionedCriticalPath(fractions, stage);
 }
 
 FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate)
@@ -200,7 +229,12 @@ StatusOr<ResultTable> CollectToResultTable(Operator* op) {
   while (true) {
     VIZQ_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
     if (!more) break;
-    for (int64_t r = 0; r < batch.num_rows; ++r) {
+    // Batches from selection-aware operators carry dead physical rows.
+    const int64_t live = batch.has_selection
+                             ? static_cast<int64_t>(batch.selection.size())
+                             : batch.num_rows;
+    for (int64_t i = 0; i < live; ++i) {
+      const int64_t r = batch.has_selection ? batch.selection[i] : i;
       out.AddRow(batch.GetRow(r));
     }
   }
@@ -216,12 +250,16 @@ StatusOr<int64_t> CollectToBatch(Operator* op, Batch* out) {
   while (true) {
     VIZQ_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
     if (!more) break;
+    const int64_t live = batch.has_selection
+                             ? static_cast<int64_t>(batch.selection.size())
+                             : batch.num_rows;
     for (size_t c = 0; c < out->columns.size(); ++c) {
-      for (int64_t r = 0; r < batch.num_rows; ++r) {
+      for (int64_t i = 0; i < live; ++i) {
+        const int64_t r = batch.has_selection ? batch.selection[i] : i;
         out->columns[c].AppendFrom(batch.columns[c], r);
       }
     }
-    total += batch.num_rows;
+    total += live;
   }
   out->num_rows = total;
   VIZQ_RETURN_IF_ERROR(op->Close());

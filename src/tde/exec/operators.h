@@ -7,6 +7,7 @@
 #ifndef VIZQUERY_TDE_EXEC_OPERATORS_H_
 #define VIZQUERY_TDE_EXEC_OPERATORS_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,21 +22,38 @@
 namespace vizq::tde {
 
 // Execution statistics collected while a plan runs. Fraction timings are
-// appended by Exchange producer threads; on a single-core host they let
-// benches compute the modeled parallel makespan (max over fractions) that a
-// multi-core host would realize (see EXPERIMENTS.md).
+// appended by the parallel workers (Exchange producers, join-build tasks,
+// final-merge tasks); on a single-core host they let benches compute the
+// modeled parallel makespan that a multi-core host would realize (see
+// EXPERIMENTS.md).
+//
+// A plan may contain several *parallel sections* that run back-to-back
+// (scan fractions, then the join-build fan-out, then the final-merge
+// fan-out). Each section allocates an id with NewSection() and tags its
+// fractions with it, so the modeled critical path is the sum over sections
+// of the slowest fraction in that section — not one global max, which
+// would undercount sequential sections.
 struct ExecStats {
+  // What kind of parallel section a fraction belongs to (reporting only).
+  static constexpr int kStageScan = 0;   // Exchange producers (scan/probe)
+  static constexpr int kStageBuild = 1;  // hash-join build tasks (§4.2.2)
+  static constexpr int kStageMerge = 2;  // kFinal aggregate merge tasks
+
   struct FractionStat {
     double seconds = 0;
     int64_t rows = 0;
+    int section = 0;  // NewSection() id; same id = ran concurrently
+    int stage = kStageScan;
   };
 
   std::mutex mu;
   std::vector<FractionStat> fractions;
   int64_t rows_scanned = 0;
   int64_t batches = 0;
-  int64_t morsels_claimed = 0;  // row ranges claimed from MorselQueues
-  int dop = 1;                  // degree of parallelism of the plan
+  int64_t morsels_claimed = 0;     // row ranges claimed from MorselQueues
+  int64_t join_build_morsels = 0;  // build-side morsels hashed in parallel
+  int64_t merge_partitions = 0;    // kFinal merge partitions fanned out
+  int dop = 1;                     // degree of parallelism of the plan
   bool used_parallel_plan = false;
   bool used_local_global_agg = false;
   bool used_range_partition = false;
@@ -43,6 +61,8 @@ struct ExecStats {
   bool used_streaming_agg = false;
   bool used_morsel_scan = false;
   bool used_encoded_path = false;
+  bool used_parallel_build = false;  // partitioned hash-join build ran
+  bool used_parallel_merge = false;  // partitioned kFinal merge ran
   // Encoding-aware execution (DESIGN.md §11): rows that crossed the
   // storage→exec boundary without being decoded to flat vectors, and
   // encoded-path candidates that had to fall back to the row path.
@@ -50,15 +70,29 @@ struct ExecStats {
   int64_t encoded_fallbacks = 0;
   int64_t encoded_plans = 0;
 
-  void AddFraction(double seconds, int64_t rows) {
-    std::lock_guard<std::mutex> lock(mu);
-    fractions.push_back(FractionStat{seconds, rows});
+  // Allocates the id of the next parallel section (thread-safe).
+  int NewSection() {
+    return next_section_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  // Modeled makespan of the parallel section: the slowest fraction.
+  void AddFraction(double seconds, int64_t rows, int section = 0,
+                   int stage = kStageScan) {
+    std::lock_guard<std::mutex> lock(mu);
+    fractions.push_back(FractionStat{seconds, rows, section, stage});
+  }
+
+  // Slowest single fraction across all sections.
   double MaxFractionSeconds() const;
   // Total work across fractions.
   double SumFractionSeconds() const;
+  // Modeled critical path of the parallel work: sum over sections of the
+  // slowest fraction in that section (sections run back-to-back).
+  double CriticalPathSeconds() const;
+  // Critical-path contribution of sections with the given stage tag.
+  double StageCriticalPathSeconds(int stage) const;
+
+ private:
+  std::atomic<int> next_section_{0};
 };
 
 // Base class of all physical operators.

@@ -114,6 +114,9 @@ struct LogicalOp {
   // one right (dimension) row. Gates join culling both ways (§6's join
   // culling, and fact-table culling for domain queries §4.1.2).
   bool referential = false;
+  // Parallelism of the partitioned hash build (set by the parallelizer;
+  // 1 = serial build). Gated at runtime by the build side's row count.
+  int build_dop = 1;
 
   // --- kAggregate / kDistinct ---
   std::vector<NamedExpr> group_by;
@@ -121,6 +124,9 @@ struct LogicalOp {
   AggPhase agg_phase = AggPhase::kComplete;
   bool prefer_streaming = false;  // set by the optimizer when sortedness
                                   // makes a streaming aggregate applicable
+  // Parallelism of the kFinal partitioned merge (set by the parallelizer
+  // alongside the local/global split; 1 = serial merge above the Exchange).
+  int merge_dop = 1;
   // Dense token-indexed grouping (DESIGN.md §11), set by DecideEncodedExec.
   bool use_encoded_agg = false;
   std::vector<int> encoded_key_columns;    // child column index per key

@@ -126,6 +126,10 @@ StatusOr<int> ParAggregate(LogicalOpPtr* node, Ctx& ctx) {
     }
     op->agg_phase = AggPhase::kFinal;
     op->prefer_streaming = false;
+    // The merge above the Exchange partitions partial states by group-key
+    // hash and merges concurrently (DESIGN.md §12); one partition per
+    // contributing lane is the natural fan-out.
+    op->merge_dop = ctx.opts.enable_parallel_merge ? child_dop : 1;
     op->children[0] = exchange;
     VIZQ_RETURN_IF_ERROR(DeriveOutput(op.get()));
     return 1;
@@ -180,6 +184,12 @@ StatusOr<int> Par(LogicalOpPtr* node, Ctx& ctx) {
       if (right_dop > 1) {
         op->children[1] = MakeExchange(right_dop, op->children[1]);
       }
+      // The hash build over the materialized right side fans out on its
+      // own (DESIGN.md §12), independent of how the right sub-tree was
+      // produced; the runtime row threshold keeps small builds serial.
+      op->build_dop = (ctx.opts.enable_parallel && ctx.opts.enable_parallel_build)
+                          ? std::max(1, ctx.opts.max_dop)
+                          : 1;
       return left_dop;
     }
     case LogicalKind::kAggregate:

@@ -51,6 +51,14 @@ struct ParallelOptions {
   // (one-at-a-time inputs would claim everything into fraction 0).
   bool enable_morsel = true;
   int64_t morsel_rows = 8192;  // rows per claimed morsel
+  // Blocking-operator parallelism (DESIGN.md §12): the partitioned
+  // hash-join build and the partitioned kFinal merge. The dop lands as a
+  // plan annotation (build_dop / merge_dop); the row thresholds gate the
+  // fan-out at runtime, when the actual build/partial sizes are known.
+  bool enable_parallel_build = true;
+  bool enable_parallel_merge = true;
+  int64_t parallel_build_min_rows = 65536;
+  int64_t parallel_merge_min_rows = 4096;
 };
 
 // Rewrites the optimized, bound plan in place into a parallel plan.

@@ -10,7 +10,16 @@
 namespace vizq::tde {
 
 StatusOr<OperatorPtr> Translator::Translate(const LogicalOpPtr& plan) {
-  return TranslateNode(*plan, /*fraction=*/-1);
+  StatusOr<OperatorPtr> root = TranslateNode(*plan, /*fraction=*/-1);
+  // Drop the translation-time registries. The operators hold their own
+  // references (SharedBuildState, morsel queues), so every per-query
+  // structure is owned by the returned tree and freed with it — not by
+  // this translator's destructor on the query's response path.
+  builds_.clear();
+  scan_offsets_.clear();
+  rle_groups_.clear();
+  morsel_queues_.clear();
+  return root;
 }
 
 StatusOr<const std::vector<int64_t>*> Translator::ScanOffsets(
@@ -137,7 +146,9 @@ StatusOr<OperatorPtr> Translator::TranslateExchange(const LogicalOp& op) {
     stats_->dop = std::max(stats_->dop, dop);
   }
   auto exchange = std::make_unique<ExchangeOperator>(
-      std::move(inputs), stats_, serial_exchange_, ctx_);
+      std::move(inputs), stats_, options_.serial_exchange, ctx_,
+      /*scheduler=*/nullptr, options_.priority,
+      in_build_side_ ? ExecStats::kStageBuild : ExecStats::kStageScan);
   for (const auto& [node, queue] : morsel_queues_) {
     if (queues_before.count(node) == 0) exchange->AddMorselQueue(queue);
   }
@@ -194,14 +205,25 @@ StatusOr<OperatorPtr> Translator::TranslateNodeImpl(const LogicalOp& op,
       if (it != builds_.end()) {
         build = it->second;
       } else {
-        // The build side is its own serial unit (fraction -1): built once,
-        // shared by every probing fraction.
-        VIZQ_ASSIGN_OR_RETURN(OperatorPtr right,
-                              TranslateNode(*op.children[1], -1));
+        // The build side is its own unit (fraction -1): built once, shared
+        // by every probing fraction. Its own Exchange (if any) records
+        // build-stage fractions.
+        bool saved_build_side = in_build_side_;
+        in_build_side_ = true;
+        StatusOr<OperatorPtr> right = TranslateNode(*op.children[1], -1);
+        in_build_side_ = saved_build_side;
+        VIZQ_RETURN_IF_ERROR(right.status());
         std::vector<ExprPtr> right_keys;
         for (const auto& [lk, rk] : op.join_keys) right_keys.push_back(rk);
-        build = std::make_shared<SharedBuildState>(std::move(right),
-                                                   std::move(right_keys));
+        JoinBuildOptions build_options;
+        build_options.build_dop = op.build_dop;
+        build_options.min_parallel_rows = options_.parallel_build_min_rows;
+        build_options.priority = options_.priority;
+        build_options.serial_measurement = options_.serial_exchange;
+        build_options.stats = stats_;
+        build = std::make_shared<SharedBuildState>(std::move(*right),
+                                                   std::move(right_keys),
+                                                   build_options);
         builds_.emplace(&op, build);
       }
       std::vector<ExprPtr> left_keys;
@@ -234,6 +256,14 @@ StatusOr<OperatorPtr> Translator::TranslateNodeImpl(const LogicalOp& op,
       }
       auto agg = std::make_unique<HashAggregateOperator>(
           std::move(child), std::move(groups), std::move(specs), phase, ctx_);
+      if (phase == AggPhase::kFinal && op.merge_dop > 1) {
+        AggMergeOptions merge_options;
+        merge_options.merge_dop = op.merge_dop;
+        merge_options.min_parallel_rows = options_.parallel_merge_min_rows;
+        merge_options.priority = options_.priority;
+        merge_options.serial_measurement = options_.serial_exchange;
+        agg->EnableParallelMerge(merge_options, stats_);
+      }
       if (op.use_encoded_agg && phase != AggPhase::kFinal) {
         DenseAggConfig config;
         config.enabled = true;

@@ -15,33 +15,56 @@
 #include <unordered_map>
 
 #include "src/common/exec_context.h"
+#include "src/common/scheduler.h"
 #include "src/tde/exec/analyze.h"
 #include "src/tde/exec/morsel.h"
 #include "src/tde/plan/logical.h"
 
 namespace vizq::tde {
 
+// Runtime knobs the translator threads into the physical operators.
+struct TranslateOptions {
+  // Puts every Exchange — and the join-build / final-merge fan-outs —
+  // into serial-measurement mode (see ExchangeOperator).
+  bool serial_exchange = false;
+  // The query's priority class; producer tasks, build tasks and merge
+  // tasks are all submitted under it.
+  TaskClass priority = TaskClass::kInteractive;
+  // Runtime row thresholds below which the blocking-operator fan-outs
+  // (plan annotations build_dop / merge_dop) stay serial.
+  int64_t parallel_build_min_rows = 65536;
+  int64_t parallel_merge_min_rows = 4096;
+};
+
 class Translator {
  public:
   // `stats` may be null. The logical plan must outlive execution of the
-  // returned operator tree. `serial_exchange` puts every Exchange into
-  // serial-measurement mode (see ExchangeOperator). Operators receive a
-  // copy of `ctx`: Scan/Join/Aggregate poll its cancellation/deadline
-  // between batches and record per-operator spans under its parent span.
-  // With a non-null `analysis`, every physical operator is wrapped in an
-  // AnalyzeOperator accumulating per-logical-node runtime stats (EXPLAIN
-  // ANALYZE); `analysis` must outlive execution of the operator tree.
+  // returned operator tree. Operators receive a copy of `ctx`:
+  // Scan/Join/Aggregate poll its cancellation/deadline between batches
+  // and record per-operator spans under its parent span. With a non-null
+  // `analysis`, every physical operator is wrapped in an AnalyzeOperator
+  // accumulating per-logical-node runtime stats (EXPLAIN ANALYZE);
+  // `analysis` must outlive execution of the operator tree.
+  Translator(ExecStats* stats, const TranslateOptions& options,
+             const ExecContext& ctx = ExecContext::Background(),
+             PlanAnalysis* analysis = nullptr)
+      : stats_(stats), options_(options), ctx_(ctx), analysis_(analysis) {}
+
+  // Legacy convenience: only the serial-measurement switch.
   explicit Translator(ExecStats* stats, bool serial_exchange = false,
                       const ExecContext& ctx = ExecContext::Background(),
                       PlanAnalysis* analysis = nullptr)
-      : stats_(stats),
-        serial_exchange_(serial_exchange),
-        ctx_(ctx),
-        analysis_(analysis) {}
+      : Translator(stats, MakeSerialOptions(serial_exchange), ctx, analysis) {}
 
   StatusOr<OperatorPtr> Translate(const LogicalOpPtr& plan);
 
  private:
+  static TranslateOptions MakeSerialOptions(bool serial_exchange) {
+    TranslateOptions o;
+    o.serial_exchange = serial_exchange;
+    return o;
+  }
+
   // Resolves the analysis node for `op`, translates (TranslateNodeImpl)
   // and wraps the result. All fractions of an Exchange share one node.
   StatusOr<OperatorPtr> TranslateNode(const LogicalOp& op, int fraction);
@@ -56,10 +79,13 @@ class Translator {
       const LogicalOp& scan);
 
   ExecStats* stats_;
-  bool serial_exchange_ = false;
+  TranslateOptions options_;
   ExecContext ctx_;
   PlanAnalysis* analysis_ = nullptr;
   PlanNodeStats* analyze_parent_ = nullptr;  // current parent during recursion
+  // True while translating a join's build-side subtree: a build-side
+  // Exchange tags its fractions with the build stage, not the scan stage.
+  bool in_build_side_ = false;
   std::unordered_map<const LogicalOp*, std::shared_ptr<SharedBuildState>>
       builds_;
   std::unordered_map<const LogicalOp*, std::vector<int64_t>> scan_offsets_;

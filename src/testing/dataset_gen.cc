@@ -171,6 +171,43 @@ Dataset GenerateDataset(uint64_t seed) {
                                Value(2.5e5), Value(1e6)};
     ds.pools["m1"] = pool;
   }
+
+  // --- join dimension table (join_fuzz.h lanes). Generated after every
+  // fact-table rng draw so existing datasets are byte-identical for a
+  // given seed. Keys come from d0's pool so fact rows usually match;
+  // skipped keys leave fact rows unmatched, duplicated keys multiply
+  // matches, and NULL/absent keys probe the never-match contract. ---
+  {
+    std::vector<ColumnInfo> dim_schema = {{"k", DataType::String()},
+                                          {"p", DataType::Int64()}};
+    TableBuilder dim_builder(ds.dim_table, dim_schema);
+    TableBuilder dim_builder_plain(ds.dim_table, dim_schema);
+    for (int c = 0; c < static_cast<int>(dim_schema.size()); ++c) {
+      dim_builder_plain.SetEncodingChoice(c, tde::EncodingChoice::kForcePlain);
+    }
+    auto add_dim_row = [&](const Value& k) {
+      std::vector<Value> row = {k, Value(rng.Range(-50, 50))};
+      (void)dim_builder.AddRow(row);
+      (void)dim_builder_plain.AddRow(row);
+      ++ds.dim_rows;
+    };
+    if (!rng.Chance(0.1)) {  // 10%: empty dimension table
+      size_t keys = std::min<size_t>(d0.pool.size(), 60);
+      for (size_t i = 0; i < keys; ++i) {
+        if (rng.Chance(0.2)) continue;  // fact rows with no dim match
+        add_dim_row(Value(d0.pool[i]));
+        if (rng.Chance(0.2)) add_dim_row(Value(d0.pool[i]));  // duplicate
+      }
+      for (int i = 0; i < 2; ++i) {  // keys the fact side never has
+        if (rng.Chance(0.5)) {
+          add_dim_row(Value("dimonly" + std::to_string(i)));
+        }
+      }
+      if (rng.Chance(0.4)) add_dim_row(Value::Null());  // never matches
+    }
+    (void)ds.db->AddTable(*dim_builder.Finish());
+    (void)ds.db_plain->AddTable(*dim_builder_plain.Finish());
+  }
   return ds;
 }
 

@@ -42,6 +42,17 @@ struct Dataset {
   std::string table = "fuzz";
   int64_t rows = 0;
 
+  // Join-lane dimension table (join_fuzz.h), present in both `db` and
+  // `db_plain`:
+  //   k : string join key drawn from d0's value pool, plus keys absent
+  //       from the fact table, duplicate keys (one fact row matching
+  //       several dimension rows) and NULL keys (which never match)
+  //   p : int64 payload measure
+  // May be empty (inner joins produce nothing; left-outer joins emit
+  // all-NULL right columns).
+  std::string dim_table = "fuzzdim";
+  int64_t dim_rows = 0;
+
   std::vector<std::string> dim_columns;      // d0, d1, d2, day
   std::vector<std::string> measure_columns;  // m0, m1
 

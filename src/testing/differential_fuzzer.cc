@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/rng.h"
+#include "src/testing/join_fuzz.h"
 #include "src/testing/query_gen.h"
 #include "src/testing/reference_oracle.h"
 
@@ -315,6 +316,18 @@ FuzzReport RunDifferentialFuzz(const FuzzOptions& options) {
       RecordFailures(checks, iter, dataset_seed,
                      HashCombine(iter_seed, 0x3e7a), meta_keys, ds,
                      lane_options, options, &seen_failures, &report);
+    }
+
+    // --- join lane: a generated two-table equi-join vs the nested-loop
+    // oracle join (join_fuzz.h). No minimizer entry: the case description
+    // rides in the failure detail, and the fingerprint dedups per case. ---
+    if (options.join_lane) {
+      JoinFuzzCase jc = GenerateJoinCase(ds, rng);
+      auto checks = RunJoinLanes(ds, jc, options.diff);
+      report.lane_checks += static_cast<int64_t>(checks.size());
+      RecordFailures(checks, iter, dataset_seed,
+                     HashCombine(iter_seed, 0x107a9), {}, ds, lane_options,
+                     options, &seen_failures, &report);
     }
 
     report.lane_checks = lanes->checks_run() + report.lane_checks;

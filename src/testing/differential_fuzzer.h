@@ -32,6 +32,11 @@ struct FuzzOptions {
   bool include_federated = true;
   bool deadline_lane = true;
   bool metamorphic = true;
+  // Two-table equi-join lane (join_fuzz.h): one generated inner or
+  // left-outer join + aggregation per iteration, diffed against a
+  // nested-loop reference join in serial, forced-parallel (partitioned
+  // hash-join build + partitioned final merge) and plain-encoding modes.
+  bool join_lane = true;
   // Self-test: bump one aggregate cell of the engine result by one in a
   // scratch lane; the diff must catch it.
   bool inject_offby_one = false;

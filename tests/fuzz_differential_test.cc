@@ -8,6 +8,7 @@
 #include "src/common/rng.h"
 #include "src/testing/dataset_gen.h"
 #include "src/testing/differential_fuzzer.h"
+#include "src/testing/join_fuzz.h"
 #include "src/testing/lanes.h"
 #include "src/testing/query_gen.h"
 
@@ -48,6 +49,25 @@ TEST(DifferentialFuzz, MorselLaneSweepEngineOnly) {
   options.iterations = 100;
   options.include_federated = false;
   options.deadline_lane = false;
+  FuzzReport report = RunDifferentialFuzz(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.lane_checks, 0);
+}
+
+// Join-lane sweep (engine-only): generated two-table equi-joins — inner
+// and left-outer, NULL keys, duplicate dimension keys, empty dimension
+// tables — aggregated over the joined schema and diffed against the
+// nested-loop oracle join in serial, forced-parallel (partitioned
+// hash-join build + partitioned final merge at tiny thresholds) and
+// plain-encoding modes.
+TEST(DifferentialFuzz, JoinLaneSweepEngineOnly) {
+  FuzzOptions options;
+  options.seed = 0x10141;
+  options.iterations = 60;
+  options.queries_per_iteration = 1;
+  options.include_federated = false;
+  options.deadline_lane = false;
+  options.metamorphic = false;
   FuzzReport report = RunDifferentialFuzz(options);
   EXPECT_TRUE(report.ok()) << report.Summary();
   EXPECT_GT(report.lane_checks, 0);
@@ -114,6 +134,13 @@ TEST(DifferentialFuzz, SeedReproducibility) {
   for (int i = 0; i < 20; ++i) {
     EXPECT_EQ(GenerateQuery(a, ra).ToKeyString(),
               GenerateQuery(b, rb).ToKeyString());
+  }
+
+  ASSERT_EQ(a.dim_rows, b.dim_rows);
+  Rng rc(123), rd(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(GenerateJoinCase(a, rc).Describe(),
+              GenerateJoinCase(b, rd).Describe());
   }
 }
 

@@ -26,6 +26,7 @@ void Usage(const char* argv0) {
                "usage: %s [--iterations N] [--seed S] [--queries N]\n"
                "          [--dataset-every N] [--max-failures N]\n"
                "          [--no-federated] [--no-deadline] [--no-metamorphic]\n"
+               "          [--no-join]\n"
                "          [--no-minimize] [--inject] [--artifacts-dir DIR]\n",
                argv0);
 }
@@ -94,6 +95,8 @@ int main(int argc, char** argv) {
       options.deadline_lane = false;
     } else if (std::strcmp(arg, "--no-metamorphic") == 0) {
       options.metamorphic = false;
+    } else if (std::strcmp(arg, "--no-join") == 0) {
+      options.join_lane = false;
     } else if (std::strcmp(arg, "--no-minimize") == 0) {
       options.minimize = false;
     } else if (std::strcmp(arg, "--inject") == 0) {
