@@ -1,0 +1,589 @@
+// E19: the million-user traffic harness. Closed-loop interactive sessions
+// (dashboard-open -> filter -> drill navigation, exponential think time,
+// Zipfian workbook popularity) drive the real serving stack — Frontend
+// (fair admission + load-shed ladder) -> QueryService -> intelligent /
+// literal caches -> scheduler -> simulated backend — under an open-loop
+// offered-load ramp that pushes past saturation.
+//
+// Arrival model: a Poisson arrival process at the target rate activates
+// sessions. An arrival reuses an existing session whose think time has
+// expired, or admits a brand-new user (open-loop population growth — at a
+// million users there is always another browser tab). Each active step is
+// one interaction batch with a client-side deadline that starts ticking at
+// ARRIVAL, so queue wait burns response budget exactly as a real user's
+// patience does.
+//
+// Two configurations per load point:
+//   protected    — admission caps + the stale/derived/shed ladder on
+//   unprotected  — everything admitted, no ladder (the ablation)
+//
+// Reported per point: measured offered load, goodput (content responses —
+// fresh, labeled-stale, or derived — per second), shed rate, error rate,
+// and p50/p95/p99 of arrival-to-response latency over ALL terminated
+// requests (content, sheds, errors, and abandoned-at-cutoff arrivals).
+// --emit-json=PATH writes BENCH_traffic.json; --selftest runs the quick
+// CI invariants (see Selftest below).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/dashboard/query_service.h"
+#include "src/federation/simulated_source.h"
+#include "src/server/frontend.h"
+#include "src/workload/flights_dashboards.h"
+#include "src/workload/sessions.h"
+
+namespace {
+
+using namespace vizq;
+
+constexpr int64_t kRows = 20000;
+constexpr int kWorkbooks = 8;
+constexpr double kZipfSkew = 1.2;
+// Client patience: the request's ExecContext deadline. Past this the user
+// has navigated away and delivery is pointless (the context aborts
+// in-flight backend work).
+constexpr double kDeadlineMs = 2000.0;
+// Interactive SLO: the response-time budget the paper is about. Content
+// that lands inside the patience window but past this bound is "late" —
+// delivered to a user who already stopped caring — and does not count as
+// goodput.
+constexpr double kSloMs = 500.0;
+constexpr double kFreshTtlMs = 1200.0;   // cache entries go stale after this
+constexpr double kStaleServeMs = 30000.0;  // ladder freshness bound
+constexpr int kWorkers = 16;             // serving threads per load point
+
+// Bench sessions navigate faster than the human default so filter/drill
+// diversity (the cache-missing part of the workload) shows up within a
+// 2.5s load point.
+workload::SessionProfile BenchProfile() {
+  workload::SessionProfile p;
+  p.think_mean_ms = 120.0;
+  p.p_leave = 0.10;
+  p.max_steps = 16;
+  return p;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Stack: one backend + shared caches + frontend, per configuration.
+
+struct Stack {
+  std::shared_ptr<federation::SimulatedDataSource> source;
+  std::shared_ptr<dashboard::CacheStack> caches;
+  std::unique_ptr<dashboard::QueryService> service;
+  std::unique_ptr<server::Frontend> frontend;
+  std::vector<workload::Workbook> workbooks;
+};
+
+// A deliberately modest backend (few concurrent queries, single thread per
+// query) so saturation arrives at a load the bench can ramp past quickly.
+Stack MakeStack(bool protected_mode, double fresh_ttl_ms = kFreshTtlMs) {
+  Stack s;
+  auto db = benchutil::FaaDb(kRows);
+  federation::PerformanceModel m;
+  m.connect_ms = 5;
+  m.dispatch_ms = 0.6;
+  m.rows_per_ms = 500;  // ~40ms of scan per uncached query
+  m.cpu_slots = 2;
+  m.max_parallel_per_query = 1;
+  m.network_rtt_ms = 0.4;
+  query::Capabilities caps = query::Capabilities::SingleThreadedSql();
+  caps.max_connections = 8;
+  caps.max_concurrent_queries = 2;
+  s.source = std::make_shared<federation::SimulatedDataSource>(
+      "faa", db, m, caps, query::SqlDialect::MssqlLike());
+  cache::IntelligentCacheOptions iopts;
+  iopts.fresh_ttl_ms = fresh_ttl_ms;
+  s.caches = std::make_shared<dashboard::CacheStack>(iopts);
+  s.service = std::make_unique<dashboard::QueryService>(s.source, s.caches);
+  if (!s.service->RegisterView(workload::FlightsStarView()).ok()) {
+    std::abort();
+  }
+  server::FrontendOptions fo;
+  fo.admission.enabled = protected_mode;
+  fo.admission.fair = true;
+  fo.admission.max_global_inflight = 6;
+  fo.admission.max_session_inflight = 2;
+  fo.stale_serve_ms = protected_mode ? kStaleServeMs : 0;
+  s.frontend = std::make_unique<server::Frontend>(s.service.get(), fo);
+  s.workbooks = workload::BuildWorkbookSet("faa", kWorkbooks);
+  return s;
+}
+
+// Runs every workbook's open batch once through the full pipeline, so the
+// caches hold each dashboard's initial render before traffic starts (the
+// steady-state of a server that has been up for more than one minute).
+void WarmCaches(Stack& s) {
+  for (size_t w = 0; w < s.workbooks.size(); ++w) {
+    workload::Session session(1000 + w, &s.workbooks[w], {}, /*seed=*/1);
+    auto step = session.Next();
+    if (!step.has_value()) continue;
+    auto batch = session.BuildBatch(*step);
+    if (!batch.ok()) continue;
+    dashboard::BatchOptions opts;
+    (void)s.service->ExecuteBatch(ExecContext::Background(), *batch, opts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Load generation.
+
+struct ActiveSession {
+  workload::Session session;
+  ActiveSession(uint64_t id, const workload::Workbook* wb, uint64_t seed)
+      : session(id, wb, BenchProfile(), seed) {}
+};
+
+struct Arrival {
+  std::unique_ptr<ActiveSession> session;
+  ExecContext ctx;   // deadline starts at arrival
+  int64_t t_arrive_ns = 0;
+  // A user whose request was rejected clicks again. Retries are what turn
+  // saturation into congestion collapse: they add offered load exactly
+  // when the server can least afford it. Bounded so one user gives up
+  // eventually.
+  int retries_left = 2;
+};
+
+struct PointResult {
+  double rate_per_s = 0;      // target
+  double offered_per_s = 0;   // measured arrivals/s
+  int64_t attempted = 0;
+  int64_t fresh = 0;
+  int64_t stale = 0;
+  int64_t derived = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;
+  int64_t late = 0;           // content served past the client deadline
+  int64_t abandoned = 0;      // still queued at cutoff
+  int64_t backend_queries = 0;  // actually executed by the data source
+  double goodput_per_s = 0;   // (fresh+stale+derived) / duration
+  double shed_rate = 0;
+  double error_rate = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<size_t>(p * (v.size() - 1))];
+}
+
+PointResult RunPoint(Stack& stack, double rate_per_s, double duration_s,
+                     uint64_t seed) {
+  PointResult out;
+  out.rate_per_s = rate_per_s;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Arrival> queue;
+  // Sessions between steps: ready again once their think time elapses.
+  std::deque<std::pair<int64_t, std::unique_ptr<ActiveSession>>> thinking;
+  bool arrivals_done = false;
+
+  std::atomic<int64_t> next_session_id{1};
+  std::atomic<int64_t> attempted{0}, fresh{0}, stale{0}, derived{0};
+  std::atomic<int64_t> shed{0}, errors{0}, late{0};
+  std::mutex lat_mu;
+  std::vector<double> latencies_ms;
+
+  ZipfDistribution zipf(kWorkbooks, kZipfSkew);
+  Rng arrival_rng(seed);
+
+  int64_t backend_before = stack.source->queries_executed();
+  int64_t t_start = NowNs();
+  int64_t t_stop = t_start + static_cast<int64_t>(duration_s * 1e9);
+  // Hard cutoff: whatever is still queued then is abandoned.
+  int64_t t_cutoff = t_stop + static_cast<int64_t>(2e9);
+
+  std::thread arrival_thread([&] {
+    Rng rng(seed * 7919 + 1);
+    double next_ns = static_cast<double>(t_start);
+    while (true) {
+      double gap_ms = workload::SampleThinkMs(rng, 1000.0 / rate_per_s);
+      next_ns += gap_ms * 1e6;
+      int64_t target = static_cast<int64_t>(next_ns);
+      if (target >= t_stop) break;
+      int64_t now = NowNs();
+      if (target > now) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(target - now));
+      }
+      Arrival a;
+      a.ctx = ExecContext::WithDeadlineMs(kDeadlineMs);
+      a.t_arrive_ns = NowNs();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!thinking.empty() && thinking.front().first <= a.t_arrive_ns) {
+          a.session = std::move(thinking.front().second);
+          thinking.pop_front();
+        }
+      }
+      if (a.session == nullptr) {  // a new user shows up
+        uint64_t id = static_cast<uint64_t>(
+            next_session_id.fetch_add(1, std::memory_order_relaxed));
+        const workload::Workbook* wb =
+            &stack.workbooks[zipf.Sample(arrival_rng)];
+        a.session = std::make_unique<ActiveSession>(id, wb, seed);
+      }
+      attempted.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(std::move(a));
+      }
+      cv.notify_one();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      arrivals_done = true;
+    }
+    cv.notify_all();
+  });
+
+  auto record_latency = [&](int64_t t_arrive_ns_, int64_t t_done_ns) {
+    std::lock_guard<std::mutex> lock(lat_mu);
+    latencies_ms.push_back(
+        static_cast<double>(t_done_ns - t_arrive_ns_) / 1e6);
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(seed * 31 + w);
+      while (true) {
+        Arrival a;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return !queue.empty() || arrivals_done; });
+          if (queue.empty()) return;
+          if (NowNs() > t_cutoff) return;  // drain handles the rest
+          a = std::move(queue.front());
+          queue.pop_front();
+        }
+        workload::Session& session = a.session->session;
+        auto step = session.Next();
+        if (!step.has_value()) {  // user left: a fresh one takes the slot
+          uint64_t id = static_cast<uint64_t>(
+              next_session_id.fetch_add(1, std::memory_order_relaxed));
+          a.session = std::make_unique<ActiveSession>(
+              id, &stack.workbooks[rng.Below(kWorkbooks)], seed);
+          step = a.session->session.Next();
+        }
+        workload::Session& live = a.session->session;
+        auto batch = live.BuildBatch(*step);
+        if (!batch.ok() || batch->empty()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          record_latency(a.t_arrive_ns, NowNs());
+          continue;
+        }
+        server::ServeReport report;
+        auto result =
+            stack.frontend->Serve(live.id(), a.ctx, *batch, &report);
+        int64_t t_done = NowNs();
+        record_latency(a.t_arrive_ns, t_done);
+        double lat_ms =
+            static_cast<double>(t_done - a.t_arrive_ns) / 1e6;
+        if (result.ok() && lat_ms > kSloMs) {
+          // The interactive budget ran out before the content landed: not
+          // goodput, whatever the server thinks it served.
+          late.fetch_add(1, std::memory_order_relaxed);
+        } else if (result.ok()) {
+          switch (report.outcome) {
+            case server::ServeOutcome::kFresh:
+              fresh.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case server::ServeOutcome::kStale:
+              stale.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              derived.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        } else {
+          if (result.status().code() == StatusCode::kResourceExhausted) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (a.retries_left > 0 && NowNs() < t_stop) {
+            Arrival retry;
+            retry.session = std::move(a.session);
+            retry.ctx = ExecContext::WithDeadlineMs(kDeadlineMs);
+            retry.t_arrive_ns = NowNs();
+            retry.retries_left = a.retries_left - 1;
+            attempted.fetch_add(1, std::memory_order_relaxed);
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              queue.push_back(std::move(retry));
+            }
+            cv.notify_one();
+            continue;
+          }
+        }
+        // Closed-loop: the session thinks before its next interaction.
+        double think =
+            workload::SampleThinkMs(rng, BenchProfile().think_mean_ms);
+        int64_t ready = t_done + static_cast<int64_t>(think * 1e6);
+        std::lock_guard<std::mutex> lock(mu);
+        thinking.emplace_back(ready, std::move(a.session));
+      }
+    });
+  }
+
+  arrival_thread.join();
+  for (auto& t : workers) t.join();
+
+  // Abandoned arrivals: latency is at least wait-until-cutoff.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& a : queue) {
+      ++out.abandoned;
+      record_latency(a.t_arrive_ns, t_cutoff);
+    }
+    queue.clear();
+  }
+
+  out.backend_queries = stack.source->queries_executed() - backend_before;
+  out.attempted = attempted.load();
+  out.fresh = fresh.load();
+  out.stale = stale.load();
+  out.derived = derived.load();
+  out.shed = shed.load();
+  out.late = late.load();
+  out.errors = errors.load() + out.late + out.abandoned;
+  out.offered_per_s = static_cast<double>(out.attempted) / duration_s;
+  out.goodput_per_s =
+      static_cast<double>(out.fresh + out.stale + out.derived) / duration_s;
+  if (out.attempted > 0) {
+    out.shed_rate = static_cast<double>(out.shed) / out.attempted;
+    out.error_rate = static_cast<double>(out.errors) / out.attempted;
+  }
+  out.p50_ms = Percentile(latencies_ms, 0.50);
+  out.p95_ms = Percentile(latencies_ms, 0.95);
+  out.p99_ms = Percentile(latencies_ms, 0.99);
+  return out;
+}
+
+void PrintPoint(const char* mode, const PointResult& r) {
+  std::fprintf(stderr,
+               "  %-11s rate %6.0f/s offered %6.1f/s goodput %6.1f/s "
+               "shed %4.1f%% err %4.1f%% p50 %7.1fms p95 %7.1fms "
+               "p99 %7.1fms backend_q %5lld\n",
+               mode, r.rate_per_s, r.offered_per_s, r.goodput_per_s,
+               100 * r.shed_rate, 100 * r.error_rate, r.p50_ms, r.p95_ms,
+               r.p99_ms, static_cast<long long>(r.backend_queries));
+}
+
+// ---------------------------------------------------------------------------
+// Full ramp (--emit-json).
+
+int EmitJson(const std::string& path) {
+  const double rates[] = {10, 20, 40, 80, 160};
+  const double kDurationS = 3.0;
+  std::vector<PointResult> protected_pts, unprotected_pts;
+  for (int mode = 0; mode < 2; ++mode) {
+    bool prot = mode == 0;
+    Stack stack = MakeStack(prot);
+    WarmCaches(stack);
+    std::fprintf(stderr, "%s:\n", prot ? "protected" : "unprotected");
+    uint64_t seed = 42;
+    for (double rate : rates) {
+      PointResult r = RunPoint(stack, rate, kDurationS, seed++);
+      PrintPoint(prot ? "protected" : "unprotected", r);
+      (prot ? protected_pts : unprotected_pts).push_back(r);
+    }
+  }
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  auto emit_points = [&](const std::vector<PointResult>& pts) {
+    for (size_t i = 0; i < pts.size(); ++i) {
+      const PointResult& r = pts[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "      {\"rate_per_s\": %.0f, \"offered_per_s\": %.1f, "
+          "\"goodput_per_s\": %.1f, \"shed_rate\": %.3f, "
+          "\"error_rate\": %.3f, \"p50_ms\": %.1f, \"p95_ms\": %.1f, "
+          "\"p99_ms\": %.1f, \"fresh\": %lld, \"stale\": %lld, "
+          "\"derived\": %lld, \"shed\": %lld, \"late\": %lld, "
+          "\"errors\": %lld, \"backend_queries\": %lld}%s\n",
+          r.rate_per_s, r.offered_per_s, r.goodput_per_s, r.shed_rate,
+          r.error_rate, r.p50_ms, r.p95_ms, r.p99_ms,
+          static_cast<long long>(r.fresh), static_cast<long long>(r.stale),
+          static_cast<long long>(r.derived), static_cast<long long>(r.shed),
+          static_cast<long long>(r.late), static_cast<long long>(r.errors),
+          static_cast<long long>(r.backend_queries),
+          i + 1 < pts.size() ? "," : "");
+      f << buf;
+    }
+  };
+  f << "{\n  \"bench\": \"traffic\",\n"
+    << "  \"workload\": \"closed-loop FAA dashboard sessions, Zipf("
+    << kZipfSkew << ") over " << kWorkbooks
+    << " workbooks, exp think, open-loop Poisson ramp, patience "
+    << kDeadlineMs << "ms, SLO " << kSloMs << "ms\",\n"
+    << "  \"slo_ms\": " << kSloMs << ",\n"
+    << "  \"duration_s_per_point\": 3.0,\n"
+    << "  \"modes\": {\n    \"protected\": [\n";
+  emit_points(protected_pts);
+  f << "    ],\n    \"unprotected\": [\n";
+  emit_points(unprotected_pts);
+  f << "    ]\n  }\n}\n";
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Selftest (CI): fast invariants over the harness and the ladder.
+
+#define CHECK_OR_FAIL(cond, msg)                           \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      std::fprintf(stderr, "SELFTEST FAIL: %s\n", (msg));  \
+      return 1;                                            \
+    }                                                      \
+  } while (0)
+
+int Selftest() {
+  // 1. Session machine is deterministic per seed.
+  {
+    auto wbs = workload::BuildWorkbookSet("faa", 2);
+    for (int w = 0; w < 2; ++w) {
+      workload::Session a(7, &wbs[w], {}, 99), b(7, &wbs[w], {}, 99);
+      for (int i = 0; i < 12; ++i) {
+        auto sa = a.Next(), sb = b.Next();
+        CHECK_OR_FAIL(sa.has_value() == sb.has_value(),
+                      "session divergence (liveness)");
+        if (!sa.has_value()) break;
+        CHECK_OR_FAIL(sa->action == sb->action && sa->zone == sb->zone &&
+                          sa->think_ms == sb->think_ms &&
+                          sa->dirty_zones == sb->dirty_zones,
+                      "session divergence (trace)");
+      }
+    }
+  }
+  // 2. Zipf popularity is skewed the right way.
+  {
+    ZipfDistribution zipf(kWorkbooks, kZipfSkew);
+    Rng rng(5);
+    std::vector<int> hist(kWorkbooks, 0);
+    for (int i = 0; i < 20000; ++i) ++hist[zipf.Sample(rng)];
+    CHECK_OR_FAIL(hist[0] > 2 * hist[kWorkbooks - 1],
+                  "Zipf head not hotter than tail");
+  }
+  // 3. The ladder engages: a saturated frontend serves bounded-stale
+  //    content from the cache and types its sheds.
+  {
+    Stack stack = MakeStack(/*protected_mode=*/true, /*fresh_ttl_ms=*/50);
+    WarmCaches(stack);
+    std::this_thread::sleep_for(std::chrono::milliseconds(90));
+    // Saturate: admit nothing, every request walks the ladder.
+    server::FrontendOptions fo;
+    fo.admission.enabled = true;
+    fo.admission.max_global_inflight = 0;
+    fo.stale_serve_ms = kStaleServeMs;
+    server::Frontend saturated(stack.service.get(), fo);
+    workload::Session session(1, &stack.workbooks[0], {}, 1);
+    auto step = session.Next();
+    CHECK_OR_FAIL(step.has_value(), "no open step");
+    auto batch = session.BuildBatch(*step);
+    CHECK_OR_FAIL(batch.ok() && !batch->empty(), "open batch build failed");
+    server::ServeReport report;
+    auto res = saturated.Serve(1, ExecContext(), *batch, &report);
+    CHECK_OR_FAIL(res.ok(), "warmed ladder request not served");
+    CHECK_OR_FAIL(report.outcome == server::ServeOutcome::kStale,
+                  "past-TTL answer not labeled stale");
+    CHECK_OR_FAIL(report.max_age_ms > 50 &&
+                      report.max_age_ms <= kStaleServeMs,
+                  "stale age outside (ttl, bound]");
+    // A query the cache has never seen must shed, typed.
+    auto cold = query::QueryBuilder("faa", workload::kFlightsView)
+                    .Dim("dest_state")
+                    .Agg(AggFunc::kMin, "distance", "min_distance")
+                    .Build();
+    server::ServeReport shed_report;
+    auto shed_res = saturated.Serve(1, ExecContext(),
+                                    {cold}, &shed_report);
+    CHECK_OR_FAIL(!shed_res.ok() && shed_res.status().code() ==
+                                        StatusCode::kResourceExhausted,
+                  "cold overload request not a typed shed");
+    CHECK_OR_FAIL(shed_report.outcome == server::ServeOutcome::kShed,
+                  "shed outcome not reported");
+  }
+  // 4. Fair admission invariant: one session can never hold more than
+  //    max_session_inflight admitted requests, however hard it hammers.
+  {
+    Stack stack = MakeStack(/*protected_mode=*/true);
+    WarmCaches(stack);
+    workload::Session session(42, &stack.workbooks[0], {}, 3);
+    auto step = session.Next();
+    auto batch = session.BuildBatch(*step);
+    CHECK_OR_FAIL(batch.ok(), "fairness batch build failed");
+    std::vector<std::thread> greedy;
+    for (int t = 0; t < 6; ++t) {
+      greedy.emplace_back([&] {
+        for (int i = 0; i < 8; ++i) {
+          server::ServeReport r;
+          (void)stack.frontend->Serve(42, ExecContext::WithDeadlineMs(500),
+                                      *batch, &r);
+        }
+      });
+    }
+    for (auto& t : greedy) t.join();
+    auto stats = stack.frontend->admission().stats();
+    CHECK_OR_FAIL(
+        stats.peak_session_inflight <=
+            stack.frontend->options().admission.max_session_inflight,
+        "per-session in-flight cap exceeded");
+    CHECK_OR_FAIL(stats.inflight == 0, "admission tickets leaked");
+  }
+  // 5. Offered load ramps monotonically with the target rate.
+  {
+    Stack stack = MakeStack(/*protected_mode=*/true);
+    WarmCaches(stack);
+    PointResult low = RunPoint(stack, 10, 0.8, 11);
+    PointResult high = RunPoint(stack, 80, 0.8, 12);
+    CHECK_OR_FAIL(high.attempted > low.attempted,
+                  "offered load not monotone in target rate");
+  }
+  std::fprintf(stderr, "bench_traffic selftest: OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) return Selftest();
+    if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
+      return EmitJson(argv[i] + 12);
+    }
+  }
+  std::fprintf(stderr,
+               "usage: bench_traffic --selftest | --emit-json=PATH\n");
+  return Selftest();
+}

@@ -71,6 +71,7 @@ const char* MissReasonToString(MissReason r) {
     case MissReason::kFiltersNotImplied: return "filters_not_implied";
     case MissReason::kResidualNotGrouped: return "residual_not_grouped";
     case MissReason::kMeasureNotDerivable: return "measure_not_derivable";
+    case MissReason::kEntryStale: return "entry_stale";
     case MissReason::kPostProcessFailed: return "post_process_failed";
   }
   return "unknown";
@@ -574,12 +575,28 @@ IntelligentCache::IntelligentCache(IntelligentCacheOptions options)
   for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
 }
 
-std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
-                                                    const ExecContext& ctx) {
+std::optional<CacheHit> IntelligentCache::LookupHit(
+    const AbstractQuery& q, const ExecContext& ctx,
+    const LookupOptions& lookup) {
   int64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::string key = q.ToKeyString();
   std::string bucket_key = q.data_source + "\x1f" + q.view;
   Shard& shard = ShardFor(bucket_key);
+
+  auto now = std::chrono::steady_clock::now();
+  double ttl = options_.fresh_ttl_ms;
+  auto age_of = [&](const Entry& e) {
+    return std::chrono::duration<double, std::milli>(now - e.stored_at)
+        .count();
+  };
+  // Whether an entry of `age` may serve this lookup; `*is_stale` labels
+  // past-TTL answers (only reachable when the lookup opted in).
+  auto admissible = [&](double age, bool* is_stale) {
+    bool past_ttl = ttl > 0 && age > ttl;
+    *is_stale = past_ttl;
+    if (!past_ttl) return true;
+    return lookup.max_age_ms >= 0 && age <= lookup.max_age_ms;
+  };
 
   // Under the shard lock: metadata only. The exact probe returns a
   // refcounted snapshot; the subsumption scan compares descriptors and
@@ -587,6 +604,8 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
   std::shared_ptr<Entry> best;
   std::shared_ptr<const ResultTable> best_table;
   MatchPlan best_plan;
+  double best_age = 0.0;
+  bool best_stale = false;
   // Closest-progress rejection across the bucket's candidates; reasons
   // are ordered by proof progress, so max is "the nearest near-miss".
   MissReason miss_reason = MissReason::kNoCandidate;
@@ -595,23 +614,48 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
     auto kit = shard.by_key.find(key);
     if (kit != shard.by_key.end()) {
       Entry& e = *kit->second;
-      e.usage.last_used_tick = tick;
-      ++e.usage.hits;
-      ++e.heap_seq;
-      stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
-      ctx.Count("cache.intelligent.exact_hit");
-      CacheHit hit{e.result, /*exact=*/true};
-      lock.Release();  // breadcrumb formatting happens outside the lock
-      if (ctx.log_enabled()) {
-        ctx.LogEvent("cache.intelligent",
-                     "exact-hit view=" + q.view + " rows=" +
-                         std::to_string(hit.table->num_rows()));
+      double age = age_of(e);
+      bool is_stale = false;
+      if (admissible(age, &is_stale)) {
+        e.usage.last_used_tick = tick;
+        ++e.usage.hits;
+        ++e.heap_seq;
+        if (is_stale) {
+          stats_.stale_hits.fetch_add(1, std::memory_order_relaxed);
+          ctx.Count("cache.intelligent.stale_hit");
+          if (ctx.metrics_enabled()) {
+            ctx.Observe("cache.intelligent.stale_age_ms", age);
+          }
+        } else {
+          stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+          ctx.Count("cache.intelligent.exact_hit");
+        }
+        CacheHit hit{e.result, /*exact=*/true, age, is_stale};
+        lock.Release();  // breadcrumb formatting happens outside the lock
+        if (ctx.log_enabled()) {
+          ctx.LogEvent("cache.intelligent",
+                       std::string(is_stale ? "stale-" : "") +
+                           "exact-hit view=" + q.view + " rows=" +
+                           std::to_string(hit.table->num_rows()) +
+                           (is_stale ? " age_ms=" + std::to_string(age)
+                                     : std::string()));
+        }
+        return hit;
       }
-      return hit;
+      // The exact entry exists but is too old for this lookup; the scan
+      // below may still find a fresher derivable candidate.
+      miss_reason = MissReason::kEntryStale;
     }
-    auto bit = shard.buckets.find(bucket_key);
+    auto bit = lookup.exact_only ? shard.buckets.end()
+                                 : shard.buckets.find(bucket_key);
     if (bit != shard.buckets.end()) {
       for (const std::shared_ptr<Entry>& entry : bit->second) {
+        double age = age_of(*entry);
+        bool is_stale = false;
+        if (!admissible(age, &is_stale)) {
+          miss_reason = std::max(miss_reason, MissReason::kEntryStale);
+          continue;
+        }
         MissReason candidate_reason = MissReason::kNone;
         auto plan = MatchQueries(entry->descriptor, entry->result->columns(),
                                  q, &candidate_reason);
@@ -621,14 +665,27 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
         }
         // Weight the post-processing estimate by the stored row count.
         plan->post_cost = (plan->post_cost + 1) * entry->result->num_rows();
+        // Among admissible candidates a fresh one always beats a stale
+        // one; post_cost only breaks ties within the same freshness.
+        bool better =
+            best == nullptr ||
+            (best_stale && !is_stale) ||
+            (best_stale == is_stale && plan->post_cost < best_plan.post_cost);
         if (options_.strategy == MatchStrategy::kFirstMatch) {
-          best = entry;
-          best_plan = std::move(*plan);
-          break;
+          if (best == nullptr || (best_stale && !is_stale)) {
+            best = entry;
+            best_plan = std::move(*plan);
+            best_age = age;
+            best_stale = is_stale;
+          }
+          if (!best_stale) break;
+          continue;
         }
-        if (best == nullptr || plan->post_cost < best_plan.post_cost) {
+        if (better) {
           best = entry;
           best_plan = std::move(*plan);
+          best_age = age;
+          best_stale = is_stale;
         }
       }
     }
@@ -664,11 +721,21 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
       ++best->heap_seq;
     }
   }
-  stats_.derived_hits.fetch_add(1, std::memory_order_relaxed);
-  ctx.Count("cache.intelligent.derived_hit");
+  if (best_stale) {
+    stats_.stale_hits.fetch_add(1, std::memory_order_relaxed);
+    ctx.Count("cache.intelligent.stale_hit");
+    if (ctx.metrics_enabled()) {
+      ctx.Observe("cache.intelligent.stale_age_ms", best_age);
+    }
+  } else {
+    stats_.derived_hits.fetch_add(1, std::memory_order_relaxed);
+    ctx.Count("cache.intelligent.derived_hit");
+  }
   if (ctx.log_enabled()) {
     // Match-plan summary: which post-processing steps ran.
-    std::string summary = "derived-hit view=" + q.view;
+    std::string summary = std::string(best_stale ? "stale-" : "") +
+                          "derived-hit view=" + q.view;
+    if (best_stale) summary += " age_ms=" + std::to_string(best_age);
     if (best_plan.needs_rollup) summary += " rollup";
     if (!best_plan.residual_filters.empty()) {
       summary += " residual_filters=" +
@@ -681,7 +748,7 @@ std::optional<CacheHit> IntelligentCache::LookupHit(const AbstractQuery& q,
     ctx.LogEvent("cache.intelligent", std::move(summary));
   }
   return CacheHit{std::make_shared<const ResultTable>(*std::move(result)),
-                  /*exact=*/false};
+                  /*exact=*/false, best_age, best_stale};
 }
 
 void IntelligentCache::CountMiss(MissReason reason, const AbstractQuery& q,
@@ -719,6 +786,7 @@ void IntelligentCache::Put(const AbstractQuery& q, ResultTable result,
   auto entry = std::make_shared<Entry>();
   entry->descriptor = q;
   entry->result = std::make_shared<const ResultTable>(std::move(result));
+  entry->stored_at = std::chrono::steady_clock::now();
   entry->usage.inserted_tick = tick;
   entry->usage.last_used_tick = tick;
   entry->usage.eval_cost_ms = eval_cost_ms;
@@ -831,6 +899,7 @@ CacheStats IntelligentCache::stats() const {
   CacheStats out;
   out.exact_hits = stats_.exact_hits.load(std::memory_order_relaxed);
   out.derived_hits = stats_.derived_hits.load(std::memory_order_relaxed);
+  out.stale_hits = stats_.stale_hits.load(std::memory_order_relaxed);
   out.misses = stats_.misses.load(std::memory_order_relaxed);
   out.evictions = stats_.evictions.load(std::memory_order_relaxed);
   out.inserts = stats_.inserts.load(std::memory_order_relaxed);
@@ -845,6 +914,7 @@ CacheStats IntelligentCache::stats() const {
 void IntelligentCache::SetStatsForRestore(const CacheStats& stats) {
   stats_.exact_hits.store(stats.exact_hits, std::memory_order_relaxed);
   stats_.derived_hits.store(stats.derived_hits, std::memory_order_relaxed);
+  stats_.stale_hits.store(stats.stale_hits, std::memory_order_relaxed);
   stats_.misses.store(stats.misses, std::memory_order_relaxed);
   stats_.evictions.store(stats.evictions, std::memory_order_relaxed);
   stats_.inserts.store(stats.inserts, std::memory_order_relaxed);

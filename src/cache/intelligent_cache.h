@@ -29,6 +29,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -85,9 +86,12 @@ enum class MissReason : uint8_t {
   kFiltersNotImplied,    // request not at least as restrictive as stored
   kResidualNotGrouped,   // residual predicate on a non-grouped column
   kMeasureNotDerivable,  // a measure could not be derived / re-aggregated
+  kEntryStale,           // proof succeeded but the entry is older than the
+                         // freshness TTL (and the lookup did not opt into
+                         // stale answers covering that age)
   kPostProcessFailed,    // the match plan failed while being applied
 };
-inline constexpr int kNumMissReasons = 8;
+inline constexpr int kNumMissReasons = 9;
 
 // Short stable token, e.g. "measure_not_derivable"; used as the
 // cache.intelligent.miss.<reason> metric suffix and in breadcrumbs.
@@ -135,6 +139,13 @@ struct IntelligentCacheOptions {
   double min_eval_cost_ms = 0.0;
   int64_t max_result_bytes = 64 << 20;
   MatchStrategy strategy = MatchStrategy::kFirstMatch;
+  // Entries older than this are no longer "fresh": a default lookup treats
+  // them as misses (kEntryStale) so the stack recomputes, while a lookup
+  // that opts in via LookupOptions::max_age_ms may still be served from
+  // them — labeled stale, with the actual age attached. 0 = entries never
+  // go stale (the historical behavior; data sources here are immutable, so
+  // staleness is a freshness policy, not a correctness one).
+  double fresh_ttl_ms = 0.0;
   EvictionConfig eviction;
   // Lock striping width; normalized to a power of two in [1, 256], 0 =
   // default (16). One shard degenerates to the old single-mutex cache.
@@ -144,6 +155,7 @@ struct IntelligentCacheOptions {
 struct CacheStats {
   int64_t exact_hits = 0;
   int64_t derived_hits = 0;  // answered via post-processing
+  int64_t stale_hits = 0;    // served past the freshness TTL (opt-in only)
   int64_t misses = 0;
   int64_t evictions = 0;
   int64_t inserts = 0;
@@ -152,7 +164,8 @@ struct CacheStats {
   // bucket's candidates; indexed by static_cast<int>(MissReason).
   // Invariant: sum(miss_reasons) == misses.
   std::array<int64_t, kNumMissReasons> miss_reasons{};
-  int64_t hits() const { return exact_hits + derived_hits; }
+  // Every served answer, fresh or stale.
+  int64_t hits() const { return exact_hits + derived_hits + stale_hits; }
 };
 
 // An intelligent-cache hit. `table` is an immutable snapshot shared with
@@ -161,6 +174,24 @@ struct CacheStats {
 struct CacheHit {
   std::shared_ptr<const ResultTable> table;
   bool exact = false;
+  // Age of the serving entry at lookup time and whether it was past the
+  // freshness TTL (only possible for lookups that opted into stale
+  // answers). Stale answers are always correctly *labeled*: callers that
+  // surface them must carry age_ms along (the load-shed ladder does).
+  double age_ms = 0.0;
+  bool stale = false;
+};
+
+// Per-lookup freshness policy (the load-shed ladder's knob).
+struct LookupOptions {
+  // < 0: fresh answers only — entries older than the cache's fresh TTL
+  // are treated as misses (kEntryStale). >= 0: accept entries up to this
+  // old, labeling the hit stale when it is past the TTL.
+  double max_age_ms = -1.0;
+  // Restrict the lookup to the exact-key probe; the subsumption scan is
+  // skipped. Rung 1 of the shed ladder serves exact stale answers before
+  // falling back to derived ones.
+  bool exact_only = false;
 };
 
 // Thread-safe, lock-striped. Shards are selected by the hash of the
@@ -180,7 +211,8 @@ class IntelligentCache {
   // and observes cache.intelligent.lock_wait_us / derived_apply_us.
   std::optional<CacheHit> LookupHit(
       const query::AbstractQuery& q,
-      const ExecContext& ctx = ExecContext::Background());
+      const ExecContext& ctx = ExecContext::Background(),
+      const LookupOptions& lookup = {});
 
   // Copying convenience wrapper over LookupHit; the copy happens outside
   // any shard lock.
@@ -230,6 +262,9 @@ class IntelligentCache {
   struct Entry {
     query::AbstractQuery descriptor;
     std::shared_ptr<const ResultTable> result;
+    // Wall-free insertion instant; an entry's age at lookup decides fresh
+    // vs stale under the fresh_ttl_ms policy.
+    std::chrono::steady_clock::time_point stored_at{};
     EntryUsage usage;
     uint64_t heap_seq = 0;  // bumped per usage change (lazy heap deletion)
     bool evicted = false;   // left the maps; heap nodes must skip it
@@ -268,6 +303,7 @@ class IntelligentCache {
   struct AtomicStats {
     std::atomic<int64_t> exact_hits{0};
     std::atomic<int64_t> derived_hits{0};
+    std::atomic<int64_t> stale_hits{0};
     std::atomic<int64_t> misses{0};
     std::atomic<int64_t> evictions{0};
     std::atomic<int64_t> inserts{0};

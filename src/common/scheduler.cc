@@ -105,6 +105,7 @@ Status Scheduler::Submit(TaskClass cls, std::function<void()> fn,
   t.name = std::move(opts.name);
   t.cls = cls;
   t.skip_if_cancelled = opts.skip_if_cancelled;
+  t.session_id = opts.session_id;
   t.nested = OnWorkerThread();
   t.enqueued = std::chrono::steady_clock::now();
   if (options_.prioritize && ctx.has_deadline()) {
@@ -140,6 +141,26 @@ Status Scheduler::Submit(TaskClass cls, std::function<void()> fn,
                                TaskClassName(cls) +
                                " queue is full (admission control)");
     }
+    // Per-session fair admission: one session may only occupy a bounded
+    // slice of the queues, so a hot session's flood sheds its own work.
+    if (t.session_id != 0 && options_.max_queued_per_session > 0) {
+      int64_t& queued = session_queued_[t.session_id];
+      if (queued >= options_.max_queued_per_session) {
+        ++shed_[ci];
+        ++session_shed_;
+        if (GlobalMetricsSink* sink = GetGlobalMetricsSink();
+            sink != nullptr) {
+          sink->Add(ClassMetricName("shed", ci), 1);
+          static const std::string* kSessionShed =
+              new std::string("sched.session_shed");
+          sink->Add(*kSessionShed, 1);
+        }
+        return ResourceExhausted(
+            "scheduler per-session queue cap reached for session " +
+            std::to_string(t.session_id));
+      }
+      ++queued;
+    }
     t.seq = next_seq_++;
     q.push_back(std::move(t));
     std::push_heap(q.begin(), q.end(), Worse);
@@ -168,11 +189,20 @@ bool Scheduler::PickTaskLocked(Task* out) {
     *out = std::move(q.back());
     q.pop_back();
   };
+  // A dequeued task stops counting against its session's queue slice.
+  auto release_session = [&] {
+    if (out->session_id == 0) return;
+    auto it = session_queued_.find(out->session_id);
+    if (it != session_queued_.end() && --it->second <= 0) {
+      session_queued_.erase(it);
+    }
+  };
 
   if (!options_.prioritize) {
     std::vector<Task>& q = queues_[0];
     if (q.empty()) return false;
     pop(q);
+    release_session();
     ++dispatches_;
     return true;
   }
@@ -201,6 +231,7 @@ bool Scheduler::PickTaskLocked(Task* out) {
     } else if (!PopNestedLocked(q, out)) {
       continue;  // capped and no nested task anywhere in the class
     }
+    release_session();
     ++dispatches_;
     if (c != TaskClass::kInteractive) {
       ++running_non_interactive_;
@@ -258,9 +289,12 @@ void Scheduler::RunTask(Task task) {
 
   if (task.skip_if_cancelled && task.ctx.cancelled()) {
     if (sink != nullptr) sink->Add(ClassMetricName("skipped_cancelled", ci), 1);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++skipped_cancelled_[ci];
-    ++completed_[ci];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++skipped_cancelled_[ci];
+      ++completed_[ci];
+    }
+    completed_cv_.notify_all();
     return;
   }
 
@@ -277,8 +311,11 @@ void Scheduler::RunTask(Task task) {
     sink->Observe(ClassMetricName("run_us", ci), run_us);
     sink->Add(ClassMetricName("completed", ci), 1);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++completed_[ci];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_[ci];
+  }
+  completed_cv_.notify_all();
 }
 
 void Scheduler::WorkerLoop() {
@@ -346,6 +383,25 @@ int64_t Scheduler::skipped_cancelled(TaskClass cls) const {
   return skipped_cancelled_[static_cast<int>(cls)];
 }
 
+int64_t Scheduler::session_shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return session_shed_;
+}
+
+int64_t Scheduler::session_queued(uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = session_queued_.find(session_id);
+  return it == session_queued_.end() ? 0 : it->second;
+}
+
+bool Scheduler::WaitForCompleted(TaskClass cls, int64_t n,
+                                 std::chrono::milliseconds timeout) {
+  const int ci = static_cast<int>(cls);
+  std::unique_lock<std::mutex> lock(mu_);
+  return completed_cv_.wait_for(lock, timeout,
+                                [&] { return completed_[ci] >= n; });
+}
+
 Scheduler& Scheduler::Global() {
   // Leaked, like obs::GlobalMetrics(): worker threads must stay valid for
   // any static-destruction-order stragglers.
@@ -356,12 +412,14 @@ Scheduler& Scheduler::Global() {
 // --- TaskGroup ---
 
 TaskGroup::TaskGroup(Scheduler* scheduler, TaskClass cls,
-                     const ExecContext& ctx, int max_concurrency)
+                     const ExecContext& ctx, int max_concurrency,
+                     uint64_t session_id)
     : state_(std::make_shared<State>()) {
   state_->scheduler = scheduler;
   state_->cls = cls;
   state_->ctx = ctx;
   state_->max_concurrency = max_concurrency;
+  state_->session_id = session_id;
 }
 
 TaskGroup::~TaskGroup() { Wait(); }
@@ -438,7 +496,7 @@ void TaskGroup::Pump(const std::shared_ptr<State>& s, int64_t finished) {
           if (task->claimed.exchange(true, std::memory_order_acq_rel)) return;
           RunClaimed(s, task);
         },
-        s->ctx, SubmitOptions{std::move(name), false});
+        s->ctx, SubmitOptions{std::move(name), false, s->session_id});
     if (!submitted.ok()) {
       // Load shed (admission control) or shutdown: run inline on the
       // spawning/pumping thread — the group never loses work. The

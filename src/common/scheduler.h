@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -89,6 +90,13 @@ struct SchedulerOptions {
   // kBackground cannot starve forever under sustained kInteractive load.
   int starvation_boost_period = 16;
 
+  // Per-session fair admission (defense in depth under the server-level
+  // AdmissionController): at most this many tasks of ONE session may be
+  // queued across all classes; excess submits shed with
+  // kResourceExhausted and count into session_shed. 0 = no per-session
+  // cap. Tasks without a session (session_id == 0) are exempt.
+  int max_queued_per_session = 0;
+
   // false = one undifferentiated FIFO ignoring class, deadline and caps —
   // the "single shared pool" baseline bench_scheduler measures against.
   bool prioritize = true;
@@ -101,6 +109,11 @@ struct SubmitOptions {
   // cancelled or past deadline at dispatch. Only for fire-and-forget
   // work; joined work runs so its completion bookkeeping happens.
   bool skip_if_cancelled = false;
+  // The user session this task belongs to; 0 = sessionless (exempt from
+  // the per-session queue cap). Set by QueryService from
+  // BatchOptions::session_id so one hot session saturating the queues
+  // sheds its own work instead of everyone's.
+  uint64_t session_id = 0;
 };
 
 class Scheduler {
@@ -129,6 +142,16 @@ class Scheduler {
   int64_t completed(TaskClass cls) const;
   int64_t shed(TaskClass cls) const;
   int64_t skipped_cancelled(TaskClass cls) const;
+  // Submits shed by the per-session cap (also counted in shed(cls)).
+  int64_t session_shed() const;
+  // Currently queued tasks of one session (0 when unknown).
+  int64_t session_queued(uint64_t session_id) const;
+
+  // Blocks until completed(cls) >= n or `timeout` elapses; returns whether
+  // the target was reached. The CV-latch replacement for sleep-poll loops
+  // in tests and for harness drains.
+  bool WaitForCompleted(TaskClass cls, int64_t n,
+                        std::chrono::milliseconds timeout);
 
   // The process-wide scheduler (leaked singleton, like GlobalMetrics()).
   static Scheduler& Global();
@@ -145,6 +168,7 @@ class Scheduler {
     std::string name;
     TaskClass cls = TaskClass::kInteractive;
     uint64_t seq = 0;
+    uint64_t session_id = 0;
     bool has_deadline = false;
     bool skip_if_cancelled = false;
     bool nested = false;  // submitted from a worker of this scheduler
@@ -176,6 +200,8 @@ class Scheduler {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
+  // Notified on every task completion; WaitForCompleted parks here.
+  std::condition_variable completed_cv_;
   // Per-class min-heaps ordered by (deadline, seq): EDF among deadlined
   // tasks, then FIFO (no-deadline tasks sort last, among themselves FIFO).
   std::vector<Task> queues_[kNumTaskClasses];
@@ -189,6 +215,10 @@ class Scheduler {
   int64_t completed_[kNumTaskClasses] = {};
   int64_t shed_[kNumTaskClasses] = {};
   int64_t skipped_cancelled_[kNumTaskClasses] = {};
+  // Queued tasks per session (entries erased at zero) and the count of
+  // submits shed by the per-session cap.
+  std::map<uint64_t, int64_t> session_queued_;
+  int64_t session_shed_ = 0;
 
   // The worker host. Kept last so it is destroyed (joined) first.
   std::unique_ptr<ThreadPool> pool_;
@@ -210,9 +240,11 @@ class Scheduler {
 // spawns queue inside the group and are released as tasks finish.
 class TaskGroup {
  public:
+  // `session_id` tags every task the group submits (per-session fair
+  // admission); a session-cap shed runs inline like any other shed.
   TaskGroup(Scheduler* scheduler, TaskClass cls,
             const ExecContext& ctx = ExecContext::Background(),
-            int max_concurrency = 0);
+            int max_concurrency = 0, uint64_t session_id = 0);
   ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
@@ -250,6 +282,7 @@ class TaskGroup {
     TaskClass cls = TaskClass::kInteractive;
     ExecContext ctx;
     int max_concurrency = 0;
+    uint64_t session_id = 0;
 
     std::mutex mu;
     std::condition_variable done_cv;

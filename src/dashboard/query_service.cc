@@ -14,6 +14,7 @@ const char* ServedFromToString(ServedFrom s) {
   switch (s) {
     case ServedFrom::kIntelligentCacheExact: return "cache-exact";
     case ServedFrom::kIntelligentCacheDerived: return "cache-derived";
+    case ServedFrom::kIntelligentCacheStale: return "cache-stale";
     case ServedFrom::kLocalFromBatch: return "local-from-batch";
     case ServedFrom::kLiteralCache: return "literal-cache";
     case ServedFrom::kRemote: return "remote";
@@ -172,15 +173,20 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   // --- 1. intelligent cache ---
   ScopedSpan cache_span(bctx.StartSpan("cache-lookup"));
   std::vector<int> misses;
+  cache::LookupOptions lookup;
+  lookup.max_age_ms = options.max_result_age_ms;
+  lookup.exact_only = options.cache_exact_only;
   for (int i = 0; i < n; ++i) {
     if (options.use_intelligent_cache && caches_ != nullptr) {
-      auto hit = caches_->intelligent.LookupHit(batch[i], bctx);
+      auto hit = caches_->intelligent.LookupHit(batch[i], bctx, lookup);
       if (hit.has_value()) {
         results[i] = *hit->table;  // copy outside the cache's shard lock
         resolved[i] = true;
         local_report.queries[i].served_from =
-            hit->exact ? ServedFrom::kIntelligentCacheExact
-                       : ServedFrom::kIntelligentCacheDerived;
+            hit->stale ? ServedFrom::kIntelligentCacheStale
+            : hit->exact ? ServedFrom::kIntelligentCacheExact
+                         : ServedFrom::kIntelligentCacheDerived;
+        local_report.queries[i].age_ms = hit->age_ms;
         ++local_report.cache_hits;
         continue;
       }
@@ -188,6 +194,20 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     misses.push_back(i);
   }
   cache_span.End();
+
+  // Cache-only mode (the shed ladder's degraded rungs): a miss means this
+  // batch cannot be served at probe cost — fail typed, never go remote.
+  if (options.cache_only && !misses.empty()) {
+    for (int i : misses) {
+      local_report.queries[i].served_from = ServedFrom::kFailed;
+    }
+    bctx.Count("service.cache_only_miss", static_cast<int64_t>(misses.size()));
+    batch_span.End();
+    if (report != nullptr) *report = std::move(local_report);
+    return ResourceExhausted(
+        "cache-only batch: " + std::to_string(misses.size()) + " of " +
+        std::to_string(n) + " queries missed the cache");
+  }
 
   // --- 2. opportunity graph over the misses ---
   ScopedSpan analysis_span(bctx.StartSpan("opportunity-analysis"));
@@ -272,7 +292,8 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     workers = std::make_unique<TaskGroup>(
         &Scheduler::Global(), options.priority, bctx,
         std::min<int>(options.max_parallel_queries,
-                      static_cast<int>(groups.size())));
+                      static_cast<int>(groups.size())),
+        options.session_id);
     for (size_t gi = 0; gi < groups.size(); ++gi) {
       workers->Spawn([&, gi] { run_group(static_cast<int>(gi)); },
                      "batch-group");

@@ -35,6 +35,8 @@ namespace vizq::dashboard {
 enum class ServedFrom : uint8_t {
   kIntelligentCacheExact,
   kIntelligentCacheDerived,
+  kIntelligentCacheStale,  // past the freshness TTL, served under a
+                           // stale-tolerant lookup (load-shed ladder)
   kLocalFromBatch,  // computed from another batch member's fresh result
   kLiteralCache,
   kRemote,
@@ -54,6 +56,23 @@ struct BatchOptions {
   // renders keep the default; the prefetcher demotes its speculative
   // batches to kBackground so they never delay interactive work.
   TaskClass priority = TaskClass::kInteractive;
+  // The user session this batch belongs to (0 = sessionless). Tags the
+  // scheduler tasks the batch spawns, so the scheduler's per-session queue
+  // cap can shed a hot session's work specifically.
+  uint64_t session_id = 0;
+  // Serve-from-cache-or-fail: the batch never goes remote. Misses return
+  // kResourceExhausted instead of executing — the load-shed ladder's
+  // degraded rungs, where a response must cost a cache probe, not a
+  // backend round trip.
+  bool cache_only = false;
+  // Intelligent-cache freshness tolerance for this batch (LookupOptions::
+  // max_age_ms): < 0 serves fresh entries only; >= 0 also accepts entries
+  // up to this many ms old, reporting them as kIntelligentCacheStale.
+  double max_result_age_ms = -1.0;
+  // Restrict intelligent-cache lookups to exact matches (no subsumption
+  // scan). The ladder's first degraded rung: exact answers are cheaper and
+  // carry no derivation risk, so they are tried before derived ones.
+  bool cache_exact_only = false;
   cache::AdjustOptions adjust;     // §3.2 reuse adjustment
   query::CompilerOptions compiler;
 };
@@ -61,6 +80,9 @@ struct BatchOptions {
 struct QueryReport {
   ServedFrom served_from = ServedFrom::kRemote;
   double ms = 0;
+  // For kIntelligentCacheStale: how old the serving entry was. Stale
+  // answers are always labeled; callers surface age to the user layer.
+  double age_ms = 0;
 };
 
 struct BatchReport {

@@ -1,0 +1,99 @@
+#include "src/server/admission.h"
+
+#include <algorithm>
+
+namespace vizq::server {
+
+void AdmissionController::Ticket::Release() {
+  if (ctrl_ != nullptr) {
+    ctrl_->Release(session_);
+    ctrl_ = nullptr;
+  }
+}
+
+AdmissionDecision AdmissionController::Admit(uint64_t session_id,
+                                             Ticket* ticket,
+                                             std::string* reason) {
+  auto set_reason = [&](const char* r) {
+    if (reason != nullptr) *reason = r;
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opts_.enabled) {
+    ++stats_.admitted;
+    ++stats_.inflight;
+    stats_.peak_inflight = std::max(stats_.peak_inflight, stats_.inflight);
+    PerSession& s = sessions_[session_id];
+    ++s.inflight;
+    stats_.peak_session_inflight =
+        std::max(stats_.peak_session_inflight, s.inflight);
+    *ticket = Ticket(this, session_id);
+    return AdmissionDecision::kAdmit;
+  }
+  if (opts_.max_global_inflight >= 0 &&
+      stats_.inflight >= opts_.max_global_inflight) {
+    ++stats_.degraded;
+    ++stats_.degraded_global;
+    set_reason("global_inflight");
+    return AdmissionDecision::kDegrade;
+  }
+  PerSession& s = sessions_[session_id];
+  if (opts_.fair && session_id != 0) {
+    if (opts_.max_session_inflight > 0 &&
+        s.inflight >= opts_.max_session_inflight) {
+      ++stats_.degraded;
+      ++stats_.degraded_session;
+      set_reason("session_inflight");
+      return AdmissionDecision::kDegrade;
+    }
+    if (opts_.credits_per_s > 0) {
+      auto now = std::chrono::steady_clock::now();
+      if (!s.credits_init) {
+        s.credits = opts_.credit_burst;
+        s.credits_init = true;
+      } else {
+        double dt = std::chrono::duration<double>(now - s.last_refill).count();
+        s.credits = std::min(opts_.credit_burst,
+                             s.credits + dt * opts_.credits_per_s);
+      }
+      s.last_refill = now;
+      if (s.credits < 1.0) {
+        ++stats_.degraded;
+        ++stats_.degraded_credits;
+        set_reason("credits");
+        return AdmissionDecision::kDegrade;
+      }
+      s.credits -= 1.0;
+    }
+  }
+  ++stats_.admitted;
+  ++stats_.inflight;
+  stats_.peak_inflight = std::max(stats_.peak_inflight, stats_.inflight);
+  ++s.inflight;
+  stats_.peak_session_inflight =
+      std::max(stats_.peak_session_inflight, s.inflight);
+  *ticket = Ticket(this, session_id);
+  return AdmissionDecision::kAdmit;
+}
+
+void AdmissionController::Release(uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.inflight;
+  auto it = sessions_.find(session);
+  if (it != sessions_.end()) {
+    if (--it->second.inflight <= 0 && it->second.credits_init == false) {
+      sessions_.erase(it);
+    }
+  }
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AdmissionController::set_fair(bool fair) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.fair = fair;
+}
+
+}  // namespace vizq::server

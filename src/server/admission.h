@@ -1,0 +1,139 @@
+// Fair admission control for interactive request serving.
+//
+// With thousands of sessions sharing one server process, a handful of
+// greedy clients (dashboards auto-refreshing in a loop, runaway scripted
+// tenants) can queue enough work to starve everyone else. The admission
+// controller sits in front of the query pipeline and decides, per request:
+//
+//   * kAdmit   — run the full pipeline; the caller holds an RAII Ticket
+//                that releases the in-flight claim when the request ends.
+//   * kDegrade — the server is saturated (global cap), the session is
+//                hogging (per-session cap), or the session has spent its
+//                credit allowance. The caller should fall down the
+//                load-shed ladder (stale / derived cache answers, then a
+//                typed shed) instead of queueing more backend work.
+//
+// Fairness is two mechanisms, independently toggleable:
+//   * per-session in-flight cap: one session can hold at most
+//     `max_session_inflight` admitted requests concurrently;
+//   * per-session credit bucket: `credits_per_s` tokens refill up to
+//     `credit_burst`; each admission spends one. A polite session with
+//     human think times never exhausts it, a tight-loop client does.
+//
+// Everything is a pure in-memory decision — no blocking, no timers — so
+// it can sit on the request hot path.
+
+#ifndef VIZQUERY_SERVER_ADMISSION_H_
+#define VIZQUERY_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace vizq::server {
+
+struct AdmissionOptions {
+  // Master switch: disabled admits everything (the ablation baseline).
+  bool enabled = true;
+  // Per-session fairness (in-flight cap + credit bucket). Off leaves only
+  // the global cap — the "unfair" configuration the fairness test reverts
+  // to, to prove the mechanism is what bounds the polite session's tail.
+  bool fair = true;
+  // Global concurrent-admission cap. < 0 = unlimited; 0 admits nothing,
+  // which forces every request down the shed ladder (the stale_shed fuzz
+  // lane's overload injection).
+  int max_global_inflight = 64;
+  int max_session_inflight = 4;  // 0 = unlimited; needs `fair`
+  // Credit bucket per session; 0 disables the credit throttle.
+  double credits_per_s = 0.0;
+  double credit_burst = 8.0;
+};
+
+enum class AdmissionDecision : uint8_t { kAdmit, kDegrade };
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions opts = {}) : opts_(opts) {}
+
+  // RAII in-flight claim. Default-constructed = not admitted. Destruction
+  // (or Release) returns the claim; safe to destroy after the controller
+  // only if Release was called first, so keep tickets inside the
+  // controller's lifetime (the frontend owns both).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept : ctrl_(o.ctrl_), session_(o.session_) {
+      o.ctrl_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& o) noexcept {
+      if (this != &o) {
+        Release();
+        ctrl_ = o.ctrl_;
+        session_ = o.session_;
+        o.ctrl_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool admitted() const { return ctrl_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* c, uint64_t session)
+        : ctrl_(c), session_(session) {}
+    AdmissionController* ctrl_ = nullptr;
+    uint64_t session_ = 0;
+  };
+
+  // Decides for one request of `session_id` (0 = sessionless, exempt from
+  // per-session fairness). On kAdmit fills `*ticket`; on kDegrade leaves
+  // it empty and, when `reason` is non-null, names the binding limit
+  // ("global_inflight" / "session_inflight" / "credits").
+  AdmissionDecision Admit(uint64_t session_id, Ticket* ticket,
+                          std::string* reason = nullptr);
+
+  struct Stats {
+    int64_t admitted = 0;
+    int64_t degraded = 0;
+    int64_t degraded_global = 0;
+    int64_t degraded_session = 0;
+    int64_t degraded_credits = 0;
+    int64_t inflight = 0;       // currently admitted
+    int64_t peak_inflight = 0;  // high-water mark, global
+    // High-water mark of any single session's concurrent admissions; with
+    // `fair` on this never exceeds max_session_inflight (the invariant
+    // bench_traffic --selftest checks).
+    int64_t peak_session_inflight = 0;
+  };
+  Stats stats() const;
+
+  const AdmissionOptions& options() const { return opts_; }
+
+  // Test hook: flips fairness at runtime (revert-verify in tests).
+  void set_fair(bool fair);
+
+ private:
+  struct PerSession {
+    int64_t inflight = 0;
+    double credits = 0;
+    bool credits_init = false;
+    std::chrono::steady_clock::time_point last_refill{};
+  };
+
+  void Release(uint64_t session);
+
+  AdmissionOptions opts_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, PerSession> sessions_;
+  Stats stats_;
+};
+
+}  // namespace vizq::server
+
+#endif  // VIZQUERY_SERVER_ADMISSION_H_

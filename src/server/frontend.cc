@@ -1,0 +1,152 @@
+#include "src/server/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vizq::server {
+
+const char* ServeOutcomeName(ServeOutcome o) {
+  switch (o) {
+    case ServeOutcome::kFresh: return "fresh";
+    case ServeOutcome::kStale: return "stale";
+    case ServeOutcome::kDegradedDerived: return "derived";
+    case ServeOutcome::kShed: return "shed";
+    case ServeOutcome::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+// True for the failure codes the degraded rungs can still help with:
+// resource exhaustion anywhere below (scheduler shed, pool saturation)
+// and a spent deadline. A bad query or backend error stays an error.
+bool Degradable(const Status& s) {
+  return s.code() == StatusCode::kResourceExhausted ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+double MaxAge(const dashboard::BatchReport& r) {
+  double m = 0;
+  for (const auto& q : r.queries) m = std::max(m, q.age_ms);
+  return m;
+}
+
+bool AnyDerived(const dashboard::BatchReport& r) {
+  for (const auto& q : r.queries) {
+    if (q.served_from == dashboard::ServedFrom::kIntelligentCacheDerived) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ResultTable>> Frontend::Serve(
+    uint64_t session_id, const ExecContext& ctx,
+    const std::vector<query::AbstractQuery>& batch, ServeReport* report) {
+  auto started = std::chrono::steady_clock::now();
+  ScopedSpan serve_span(ctx.StartSpan("frontend.serve"));
+  ServeReport local;
+  auto finish = [&](ServeOutcome outcome,
+                    StatusOr<std::vector<ResultTable>> result)
+      -> StatusOr<std::vector<ResultTable>> {
+    local.outcome = outcome;
+    local.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+    local.max_age_ms = MaxAge(local.batch);
+    ctx.Count(std::string("frontend.serve_") + ServeOutcomeName(outcome));
+    if (local.max_age_ms > 0) {
+      ctx.Observe("frontend.served_age_ms", local.max_age_ms);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      switch (outcome) {
+        case ServeOutcome::kFresh: ++stats_.fresh; break;
+        case ServeOutcome::kStale: ++stats_.stale; break;
+        case ServeOutcome::kDegradedDerived: ++stats_.derived; break;
+        case ServeOutcome::kShed: ++stats_.shed; break;
+        case ServeOutcome::kError: ++stats_.errors; break;
+      }
+    }
+    if (report != nullptr) *report = std::move(local);
+    return result;
+  };
+
+  AdmissionController::Ticket ticket;
+  std::string reason;
+  if (admission_.Admit(session_id, &ticket, &reason) ==
+      AdmissionDecision::kAdmit) {
+    ctx.Count("frontend.admit");
+    dashboard::BatchOptions opts = opts_.batch;
+    opts.session_id = session_id;
+    opts.cache_only = false;
+    opts.cache_exact_only = false;
+    opts.max_result_age_ms = -1.0;
+    auto result = service_->ExecuteBatch(ctx, batch, opts, &local.batch);
+    ticket.Release();
+    if (result.ok()) return finish(ServeOutcome::kFresh, std::move(result));
+    if (!Degradable(result.status())) {
+      local.degrade_reason = result.status().message();
+      return finish(ServeOutcome::kError, std::move(result));
+    }
+    reason = "admitted_failed: " + result.status().message();
+  }
+  // --- degraded rungs ---
+  ctx.Count("frontend.degrade");
+  ctx.LogEvent("frontend", "degrade session=" + std::to_string(session_id) +
+                               " reason=" + reason);
+  local.degrade_reason = reason;
+  if (opts_.stale_serve_ms > 0) {
+    ServeOutcome outcome = ServeOutcome::kShed;
+    auto degraded = ServeDegraded(session_id, ctx, batch, &local, &outcome);
+    if (degraded.ok()) return finish(outcome, std::move(degraded));
+  }
+  ctx.Count("frontend.shed");
+  ctx.LogEvent("frontend", "shed session=" + std::to_string(session_id));
+  return finish(ServeOutcome::kShed,
+                ResourceExhausted("server overloaded (" + reason +
+                                  "); no cache answer within " +
+                                  std::to_string(opts_.stale_serve_ms) +
+                                  "ms freshness bound — retry with backoff"));
+}
+
+StatusOr<std::vector<ResultTable>> Frontend::ServeDegraded(
+    uint64_t session_id, const ExecContext& ctx,
+    const std::vector<query::AbstractQuery>& batch, ServeReport* report,
+    ServeOutcome* outcome) {
+  ScopedSpan span(ctx.StartSpan("frontend.degraded"));
+  dashboard::BatchOptions opts = opts_.batch;
+  opts.session_id = session_id;
+  opts.cache_only = true;
+  opts.max_result_age_ms = opts_.stale_serve_ms;
+  // Rung 1: exact entries only (fresh or bounded-stale).
+  opts.cache_exact_only = true;
+  auto exact = service_->ExecuteBatch(ctx, batch, opts, &report->batch);
+  if (exact.ok()) {
+    *outcome = MaxAge(report->batch) > 0 ? ServeOutcome::kStale
+                                         : ServeOutcome::kFresh;
+    ctx.Count("frontend.rung_exact");
+    return exact;
+  }
+  // Rung 2: allow subsumption roll-ups from larger cached results.
+  opts.cache_exact_only = false;
+  auto derived = service_->ExecuteBatch(ctx, batch, opts, &report->batch);
+  if (derived.ok()) {
+    *outcome = AnyDerived(report->batch) ? ServeOutcome::kDegradedDerived
+               : MaxAge(report->batch) > 0 ? ServeOutcome::kStale
+                                           : ServeOutcome::kFresh;
+    ctx.Count("frontend.rung_derived");
+    return derived;
+  }
+  return derived;
+}
+
+Frontend::Stats Frontend::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace vizq::server

@@ -1,0 +1,108 @@
+// Frontend: the per-request serving path that million-user traffic hits.
+//
+// Serve(session, ctx, batch) applies fair admission and, when the server
+// is saturated, walks a graceful load-shed ladder instead of queueing:
+//
+//   rung 0  admitted        full pipeline (QueryService::ExecuteBatch)
+//   rung 1  stale-exact     cache-only, exact entries up to stale_serve_ms
+//   rung 2  stale-derived   cache-only, subsumption roll-ups allowed too
+//   rung 3  typed shed      kResourceExhausted — client backs off
+//
+// The content contract under overload: every response is exact-correct,
+// or correctly LABELED stale with a bounded age (ServedFrom::
+// kIntelligentCacheStale + QueryReport::age_ms <= stale_serve_ms), or a
+// typed shed. Nothing silently wrong, nothing unboundedly old — the
+// property the stale_shed fuzz lane checks.
+//
+// An admitted request that then fails with kResourceExhausted or
+// kDeadlineExceeded (scheduler queue shed, pool saturation, deadline past)
+// also falls down the ladder: the degraded rungs cost a cache probe, so
+// they are still worth trying after the expensive path lost its budget.
+
+#ifndef VIZQUERY_SERVER_FRONTEND_H_
+#define VIZQUERY_SERVER_FRONTEND_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/dashboard/query_service.h"
+#include "src/server/admission.h"
+
+namespace vizq::server {
+
+struct FrontendOptions {
+  AdmissionOptions admission;
+  // Freshness bound of the degraded rungs: how old a cache answer may be
+  // and still be served (labeled) instead of shed. <= 0 disables the
+  // stale rungs — overload goes straight to the typed shed.
+  double stale_serve_ms = 15000.0;
+  // Base pipeline options for the admitted path; Serve overrides
+  // session_id and the ladder fields per call.
+  dashboard::BatchOptions batch;
+};
+
+// What one Serve call amounted to (the ladder rung that answered).
+enum class ServeOutcome : uint8_t {
+  kFresh,           // admitted, full pipeline, fresh results
+  kStale,           // degraded rung: stale-tolerant exact cache answers
+  kDegradedDerived, // degraded rung: at least one derived/roll-up answer
+  kShed,            // typed kResourceExhausted, no content
+  kError,           // non-shed failure (bad query, backend error)
+};
+const char* ServeOutcomeName(ServeOutcome o);
+
+struct ServeReport {
+  ServeOutcome outcome = ServeOutcome::kError;
+  // Why the request left rung 0 (admission reason or the admitted
+  // failure's message). Empty for kFresh.
+  std::string degrade_reason;
+  double wall_ms = 0;
+  // Oldest age among served answers (0 when all fresh).
+  double max_age_ms = 0;
+  dashboard::BatchReport batch;
+};
+
+class Frontend {
+ public:
+  // `service` must outlive the frontend.
+  Frontend(dashboard::QueryService* service, FrontendOptions opts = {})
+      : service_(service), opts_(opts), admission_(opts.admission) {}
+
+  // Serves one interaction batch for `session_id`. On the shed rung the
+  // status is kResourceExhausted and the report outcome is kShed.
+  StatusOr<std::vector<ResultTable>> Serve(
+      uint64_t session_id, const ExecContext& ctx,
+      const std::vector<query::AbstractQuery>& batch,
+      ServeReport* report = nullptr);
+
+  AdmissionController& admission() { return admission_; }
+  const FrontendOptions& options() const { return opts_; }
+
+  struct Stats {
+    int64_t fresh = 0;
+    int64_t stale = 0;
+    int64_t derived = 0;
+    int64_t shed = 0;
+    int64_t errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  // Rungs 1-2; fills `*outcome` with what actually served.
+  StatusOr<std::vector<ResultTable>> ServeDegraded(
+      uint64_t session_id, const ExecContext& ctx,
+      const std::vector<query::AbstractQuery>& batch, ServeReport* report,
+      ServeOutcome* outcome);
+
+  dashboard::QueryService* service_;
+  FrontendOptions opts_;
+  AdmissionController admission_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace vizq::server
+
+#endif  // VIZQUERY_SERVER_FRONTEND_H_

@@ -216,6 +216,7 @@ FuzzReport RunDifferentialFuzz(const FuzzOptions& options) {
   LaneSetupOptions lane_options;
   lane_options.include_federated = options.include_federated;
   lane_options.deadline_lane = options.deadline_lane;
+  lane_options.stale_shed_lane = options.stale_shed_lane;
   lane_options.inject_offby_one = options.inject_offby_one;
   lane_options.diff = options.diff;
 

@@ -31,6 +31,9 @@ struct FuzzOptions {
   int dataset_every = 8;
   bool include_federated = true;
   bool deadline_lane = true;
+  // Overload lane: every response from a saturated frontend is exact-
+  // correct, labeled stale within the serve bound, or a typed shed.
+  bool stale_shed_lane = true;
   bool metamorphic = true;
   // Two-table equi-join lane (join_fuzz.h): one generated inner or
   // left-outer join + aggregation per iteration, diffed against a

@@ -56,6 +56,13 @@ std::unique_ptr<QueryService> MakeService(
   return service;
 }
 
+// stale_shed lane bounds. The TTL is microseconds so every cache answer is
+// already past freshness by the time the saturated frontend probes it (no
+// sleeps needed in a bounded fuzz run); the serve bound is generous enough
+// that in-run entries never age out of it.
+constexpr double kStaleShedTtlMs = 0.05;
+constexpr double kStaleShedBoundMs = 10000.0;
+
 }  // namespace
 
 AbstractQuery GeneralizeForDerivedHit(const AbstractQuery& q,
@@ -181,6 +188,19 @@ ExecutionLanes::ExecutionLanes(Dataset dataset, LaneSetupOptions options)
         kFuzzDataSource, dataset_.db, SlowModel(),
         query::Capabilities::SingleThreadedSql(), query::SqlDialect::Ansi());
     deadline_service_ = MakeService(std::move(slow), nullptr, dataset_.table);
+  }
+  if (options_.stale_shed_lane) {
+    cache::IntelligentCacheOptions iopts;
+    iopts.fresh_ttl_ms = kStaleShedTtlMs;
+    stale_service_ = MakeService(
+        tde_source(), std::make_shared<dashboard::CacheStack>(iopts),
+        dataset_.table);
+    server::FrontendOptions fo;
+    fo.admission.enabled = true;
+    fo.admission.max_global_inflight = 0;  // injected overload: admit nothing
+    fo.stale_serve_ms = kStaleShedBoundMs;
+    stale_frontend_ =
+        std::make_unique<server::Frontend>(stale_service_.get(), fo);
   }
 }
 
@@ -413,6 +433,69 @@ std::vector<LaneCheck> ExecutionLanes::RunQuery(const AbstractQuery& q,
           q.ToKeyString()});
     } else {
       out.push_back(LaneCheck{"deadline", true, "", q.ToKeyString()});
+    }
+  }
+
+  // --- stale_shed: under injected overload (nothing admitted) every
+  // response must be exact-correct, correctly-labeled stale within the
+  // serve bound, or a typed shed ---
+  if (stale_frontend_ != nullptr) {
+    // Steer rung coverage: warm the exact query (stale-exact rung), a
+    // generalized superset (derived rung), or nothing (shed path). The
+    // cache persists across the dataset's queries, so the unwarmed case
+    // may still find an answer — any rung is acceptable as long as the
+    // response obeys the contract.
+    uint64_t variant = rng.Below(3);
+    bool warmed_exact = false;
+    if (variant == 0) {
+      warmed_exact = stale_service_->ExecuteQuery(q, BatchOptions{}).ok();
+    } else if (variant == 1) {
+      AbstractQuery g = GeneralizeForDerivedHit(q, dataset_);
+      (void)stale_service_->ExecuteQuery(g, BatchOptions{});
+    }
+    // Overload races spent deadlines too: the response must still be
+    // typed, never a partial-but-OK table.
+    bool expired = rng.Chance(0.15);
+    ExecContext ctx =
+        expired ? ExecContext::WithDeadlineMs(0.0) : ExecContext::Background();
+    server::ServeReport report;
+    auto served = stale_frontend_->Serve(1, ctx, {q}, &report);
+    if (served.ok()) {
+      std::string problem;
+      if (report.outcome == server::ServeOutcome::kShed ||
+          report.outcome == server::ServeOutcome::kError) {
+        problem = std::string("ok result reported as ") +
+                  server::ServeOutcomeName(report.outcome);
+      } else if (report.max_age_ms > kStaleShedBoundMs) {
+        problem = "served age " + std::to_string(report.max_age_ms) +
+                  "ms exceeds the " + std::to_string(kStaleShedBoundMs) +
+                  "ms serve bound";
+      } else if (report.outcome == server::ServeOutcome::kStale &&
+                 !(report.max_age_ms > 0)) {
+        problem = "stale outcome without an age label";
+      }
+      if (!problem.empty()) {
+        ++checks_run_;
+        out.push_back(
+            LaneCheck{"stale_shed", false, problem, q.ToKeyString()});
+      } else {
+        Check("stale_shed", q, StatusOr<ResultTable>((*served)[0]), &out);
+      }
+    } else {
+      ++checks_run_;
+      if (served.status().code() != StatusCode::kResourceExhausted) {
+        out.push_back(LaneCheck{"stale_shed", false,
+                                "overload failure not a typed shed: " +
+                                    served.status().ToString(),
+                                q.ToKeyString()});
+      } else if (warmed_exact && !expired) {
+        out.push_back(LaneCheck{
+            "stale_shed", false,
+            "shed despite a warm in-bound exact cache answer",
+            q.ToKeyString()});
+      } else {
+        out.push_back(LaneCheck{"stale_shed", true, "", q.ToKeyString()});
+      }
     }
   }
 

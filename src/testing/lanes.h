@@ -32,6 +32,14 @@
 //                     under a tight deadline; the outcome must be either a
 //                     fully correct table or kDeadlineExceeded/kAborted —
 //                     never a partial-but-OK result.
+//   stale_shed      — the query hits a Frontend under injected overload
+//                     (admission cap 0: nothing runs the full pipeline)
+//                     over a tiny-TTL cache that is randomly pre-warmed
+//                     with the exact query, a generalized superset, or
+//                     nothing. Every response must be exact-correct,
+//                     correctly-LABELED stale within the serve bound, or
+//                     a typed kResourceExhausted shed — never silently
+//                     wrong, unboundedly old, or an untyped failure.
 //   injected_offby_one — only with inject_offby_one: a copy of the
 //                     tde_direct result with one aggregate cell bumped by
 //                     one, which the differ must flag (fuzzer self-test).
@@ -49,6 +57,7 @@
 #include <vector>
 
 #include "src/dashboard/query_service.h"
+#include "src/server/frontend.h"
 #include "src/testing/dataset_gen.h"
 #include "src/testing/table_diff.h"
 
@@ -57,6 +66,7 @@ namespace vizq::testing {
 struct LaneSetupOptions {
   bool include_federated = true;
   bool deadline_lane = true;
+  bool stale_shed_lane = true;
   bool inject_offby_one = false;
   DiffOptions diff;
 };
@@ -117,6 +127,10 @@ class ExecutionLanes {
   std::unique_ptr<dashboard::QueryService> fed_mssql_;
   std::unique_ptr<dashboard::QueryService> fed_legacy_;
   std::unique_ptr<dashboard::QueryService> deadline_service_;
+  // stale_shed lane: a tiny-TTL cached service behind a saturated
+  // frontend (admission cap 0) that can only answer via the shed ladder.
+  std::unique_ptr<dashboard::QueryService> stale_service_;
+  std::unique_ptr<server::Frontend> stale_frontend_;
 
   std::map<std::string, OraclePair> oracle_memo_;
   int64_t checks_run_ = 0;

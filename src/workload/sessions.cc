@@ -1,0 +1,248 @@
+#include "src/workload/sessions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/workload/faa_generator.h"
+#include "src/workload/flights_dashboards.h"
+
+namespace vizq::workload {
+
+const char* SessionActionName(SessionAction a) {
+  switch (a) {
+    case SessionAction::kOpen: return "open";
+    case SessionAction::kFilter: return "filter";
+    case SessionAction::kDrill: return "drill";
+    case SessionAction::kQuickFilter: return "quick_filter";
+    case SessionAction::kLeave: return "leave";
+  }
+  return "?";
+}
+
+double SampleThinkMs(Rng& rng, double mean_ms) {
+  if (mean_ms <= 0) return 0;
+  // Inverse CDF of Exp(1/mean). 1 - u keeps the argument in (0, 1].
+  double u = rng.NextDouble();
+  return -mean_ms * std::log(1.0 - u);
+}
+
+namespace {
+
+std::vector<Value> StringValues(const std::vector<std::string>& in) {
+  std::vector<Value> out;
+  out.reserve(in.size());
+  for (const std::string& s : in) out.push_back(Value(s));
+  return out;
+}
+
+// The states list is index-aligned with airports and repeats; the
+// selectable domain wants each state once, first-seen order (stable
+// across runs).
+std::vector<Value> UniqueStates() {
+  std::vector<Value> out;
+  std::set<std::string> seen;
+  for (const std::string& s : FaaAirportStates()) {
+    if (seen.insert(s).second) out.push_back(Value(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Workbook> BuildWorkbookSet(const std::string& data_source,
+                                       int n) {
+  const std::vector<std::string>& carriers = FaaCarrierCodes();
+  const std::vector<std::string>& airports = FaaAirportCodes();
+  std::vector<Value> carrier_vals = StringValues(carriers);
+  std::vector<Value> state_vals = UniqueStates();
+  std::vector<Value> weekday_vals;
+  for (int64_t d = 0; d < 7; ++d) weekday_vals.push_back(Value(d));
+  // Markets as the generator builds them: "ORIGIN-DEST" over the airport
+  // codes. A fixed stride keeps the domain deterministic and mostly
+  // non-empty in generated data.
+  std::vector<Value> market_vals;
+  for (size_t j = 0; j + 1 < airports.size() && market_vals.size() < 16;
+       j += 2) {
+    market_vals.push_back(Value(airports[j] + "-" + airports[j + 1]));
+  }
+
+  std::vector<Workbook> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Workbook wb;
+    const bool fig1 = (i % 2) == 0;
+    wb.dash = fig1 ? BuildFigure1Dashboard(data_source)
+                   : BuildFigure2Dashboard(data_source);
+    wb.name = (fig1 ? "fig1-wb" : "fig2-wb") + std::to_string(i);
+    if (fig1) {
+      // Distinct baseline per workbook: the carrier quick filter keeps
+      // all-but-one carrier, rotating which one is dropped, so every
+      // workbook's zone queries carry distinct predicates (their own
+      // cache keyspace) while sessions of one workbook share entries.
+      std::vector<Value> subset;
+      for (size_t c = 0; c < carriers.size(); ++c) {
+        if (c != static_cast<size_t>(i) % carriers.size()) {
+          subset.push_back(Value(carriers[c]));
+        }
+      }
+      wb.base_state.SetQuickFilter("carrier", std::move(subset));
+      wb.selectables.push_back(
+          Selectable{"OriginMap", "origin_state", state_vals, false});
+      wb.selectables.push_back(
+          Selectable{"DestMap", "dest_state", state_vals, false});
+      wb.selectables.push_back(
+          Selectable{"CarrierFilter", "carrier", carrier_vals, true});
+      wb.selectables.push_back(
+          Selectable{"WeekdayFilter", "weekday", weekday_vals, true});
+    } else {
+      // Fig. 2 has no quick filters; rotate a baseline Market selection
+      // instead (filters Carrier + AirlineName via the dashboard action).
+      if (!market_vals.empty()) {
+        wb.base_state.Select(
+            "Market", "market",
+            {market_vals[static_cast<size_t>(i) % market_vals.size()]});
+      }
+      wb.selectables.push_back(
+          Selectable{"Market", "market", market_vals, false});
+      wb.selectables.push_back(
+          Selectable{"Carrier", "carrier", carrier_vals, false});
+    }
+    out.push_back(std::move(wb));
+  }
+  return out;
+}
+
+Session::Session(uint64_t id, const Workbook* workbook,
+                 SessionProfile profile, uint64_t seed)
+    : id_(id),
+      workbook_(workbook),
+      profile_(profile),
+      rng_(HashCombine(seed, id)),
+      state_(workbook->base_state) {}
+
+std::optional<Session::Step> Session::Next() {
+  if (done_) return std::nullopt;
+  if (steps_taken_ == 0) {
+    Step s;
+    s.action = SessionAction::kOpen;
+    s.think_ms = 0;
+    s.dirty_zones = workbook_->dash.QueryZoneNames();
+    ++steps_taken_;
+    return s;
+  }
+  if (steps_taken_ >= profile_.max_steps) {
+    done_ = true;
+    return std::nullopt;
+  }
+  double think = SampleThinkMs(rng_, profile_.think_mean_ms);
+  double wf = std::max(0.0, profile_.p_filter);
+  double wd = std::max(0.0, profile_.p_drill);
+  double wq = std::max(0.0, profile_.p_quick_filter);
+  double wl = std::max(0.0, profile_.p_leave);
+  double total = wf + wd + wq + wl;
+  if (total <= 0) {
+    done_ = true;
+    return std::nullopt;
+  }
+  double u = rng_.NextDouble() * total;
+  Step s;
+  if (u < wf) {
+    s = MakeFilterStep(/*drill=*/false);
+  } else if (u < wf + wd) {
+    s = MakeFilterStep(/*drill=*/true);
+  } else if (u < wf + wd + wq) {
+    s = MakeQuickFilterStep();
+  } else {
+    done_ = true;
+    return std::nullopt;
+  }
+  s.think_ms = think;
+  ++steps_taken_;
+  return s;
+}
+
+Session::Step Session::MakeFilterStep(bool drill) {
+  std::vector<int> sources;
+  bool have_quick = false;
+  for (size_t i = 0; i < workbook_->selectables.size(); ++i) {
+    const Selectable& sel = workbook_->selectables[i];
+    if (sel.is_quick_filter) {
+      have_quick = true;
+    } else if (!sel.candidates.empty()) {
+      sources.push_back(static_cast<int>(i));
+    }
+  }
+  if (sources.empty()) {
+    if (have_quick) return MakeQuickFilterStep();
+    Step s;  // no interaction points at all: plain refresh
+    s.action = drill ? SessionAction::kDrill : SessionAction::kFilter;
+    s.dirty_zones = workbook_->dash.QueryZoneNames();
+    return s;
+  }
+  const Selectable& sel =
+      workbook_->selectables[sources[rng_.Below(sources.size())]];
+  size_t count =
+      drill ? 1
+            : 1 + rng_.Below(std::min<uint64_t>(3, sel.candidates.size()));
+  size_t start = rng_.Below(sel.candidates.size());
+  std::vector<Value> values;
+  for (size_t k = 0; k < count; ++k) {
+    values.push_back(sel.candidates[(start + k) % sel.candidates.size()]);
+  }
+  state_.Select(sel.zone, sel.column, values);
+  Step s;
+  s.action = drill ? SessionAction::kDrill : SessionAction::kFilter;
+  s.zone = sel.zone;
+  s.column = sel.column;
+  s.dirty_zones = workbook_->dash.ActionTargets(sel.zone);
+  if (s.dirty_zones.empty()) {
+    s.dirty_zones = workbook_->dash.QueryZoneNames();
+  }
+  return s;
+}
+
+Session::Step Session::MakeQuickFilterStep() {
+  std::vector<int> quick;
+  for (size_t i = 0; i < workbook_->selectables.size(); ++i) {
+    const Selectable& sel = workbook_->selectables[i];
+    if (sel.is_quick_filter && !sel.candidates.empty()) {
+      quick.push_back(static_cast<int>(i));
+    }
+  }
+  if (quick.empty()) return MakeFilterStep(/*drill=*/false);
+  const Selectable& sel =
+      workbook_->selectables[quick[rng_.Below(quick.size())]];
+  size_t count =
+      1 + rng_.Below(std::min<uint64_t>(4, sel.candidates.size()));
+  size_t start = rng_.Below(sel.candidates.size());
+  std::vector<Value> values;
+  for (size_t k = 0; k < count; ++k) {
+    values.push_back(sel.candidates[(start + k) % sel.candidates.size()]);
+  }
+  state_.SetQuickFilter(sel.column, values);
+  Step s;
+  s.action = SessionAction::kQuickFilter;
+  s.column = sel.column;
+  s.dirty_zones = workbook_->dash.QuickFilterTargets(sel.column);
+  if (s.dirty_zones.empty()) {
+    s.dirty_zones = workbook_->dash.QueryZoneNames();
+  }
+  return s;
+}
+
+StatusOr<std::vector<query::AbstractQuery>> Session::BuildBatch(
+    const Step& step) const {
+  std::vector<query::AbstractQuery> batch;
+  batch.reserve(step.dirty_zones.size());
+  for (const std::string& zone_name : step.dirty_zones) {
+    const dashboard::Zone* zone = workbook_->dash.FindZone(zone_name);
+    if (zone == nullptr || !zone->has_query()) continue;
+    VIZQ_ASSIGN_OR_RETURN(query::AbstractQuery q,
+                          workbook_->dash.BuildZoneQuery(zone_name, state_));
+    batch.push_back(std::move(q));
+  }
+  return batch;
+}
+
+}  // namespace vizq::workload

@@ -1,0 +1,122 @@
+// Closed-loop interactive sessions for the traffic harness (ROADMAP item
+// 3, grounded in IDEBench's think-time/workflow benchmark shape).
+//
+// A Session walks a dashboard-open -> filter -> drill navigation graph
+// with exponential think time between steps:
+//
+//     kOpen ──► explore ──► kFilter       (select values in a source zone)
+//                  │   ╲──► kDrill        (narrow a selection to one value)
+//                  │   ╲──► kQuickFilter  (change a quick-filter subset)
+//                  └──────► kLeave
+//
+// Workbooks give sessions a shared keyspace with Zipfian popularity: each
+// workbook is one of the paper's FAA dashboards (Fig. 1 / Fig. 2) plus a
+// per-workbook baseline interaction state, so two workbooks over the same
+// layout still have distinct cache keys — the way distinct published
+// workbooks do — while sessions of ONE workbook share each other's cache
+// entries.
+//
+// Everything is deterministic per seed (Rng/ZipfDistribution), so tests
+// can assert exact navigation traces and popularity histograms.
+
+#ifndef VIZQUERY_WORKLOAD_SESSIONS_H_
+#define VIZQUERY_WORKLOAD_SESSIONS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dashboard/dashboard.h"
+#include "src/workload/traffic.h"
+
+namespace vizq::workload {
+
+enum class SessionAction : uint8_t {
+  kOpen,         // initial load: every query zone renders
+  kFilter,       // filter action: select 1-3 values in a source zone
+  kDrill,        // drill: narrow a source-zone selection to one value
+  kQuickFilter,  // change a quick-filter selection subset
+  kLeave,        // session over
+};
+const char* SessionActionName(SessionAction a);
+
+// Transition weights out of the exploring state (normalized at use) and
+// the think-time distribution between steps.
+struct SessionProfile {
+  double think_mean_ms = 800.0;  // exponential think-time mean
+  double p_filter = 0.40;
+  double p_drill = 0.22;
+  double p_quick_filter = 0.18;
+  double p_leave = 0.20;
+  // Hard cap on steps (including the open); the navigation graph leaves
+  // by itself with probability p_leave per step before that.
+  int max_steps = 10;
+};
+
+// One published workbook: a dashboard plus the baseline interaction state
+// every session of this workbook starts from.
+struct Workbook {
+  std::string name;
+  dashboard::Dashboard dash{""};
+  dashboard::InteractionState base_state;
+  // Candidate interaction points (filter-action sources and quick
+  // filters) with their value domains; what Session samples from.
+  std::vector<Selectable> selectables;
+};
+
+// Builds `n` workbooks over the FAA dashboards, alternating the Fig. 1
+// and Fig. 2 layouts, each with a distinct baseline quick-filter /
+// selection subset (distinct cache keyspaces per workbook).
+std::vector<Workbook> BuildWorkbookSet(const std::string& data_source,
+                                       int n);
+
+// Exponential think time with the given mean (inverse-CDF sampling).
+double SampleThinkMs(Rng& rng, double mean_ms);
+
+class Session {
+ public:
+  struct Step {
+    SessionAction action = SessionAction::kOpen;
+    double think_ms = 0;  // pause that preceded this step
+    // Zones whose queries must rerun (the action's dirty set).
+    std::vector<std::string> dirty_zones;
+    std::string zone;    // source zone (kFilter/kDrill)
+    std::string column;  // filtered column
+  };
+
+  // `workbook` must outlive the session.
+  Session(uint64_t id, const Workbook* workbook, SessionProfile profile,
+          uint64_t seed);
+
+  // Advances the navigation graph; nullopt once the user has left (or the
+  // step cap is reached). Deterministic per seed.
+  std::optional<Step> Next();
+
+  // The dirty zones' queries under the session's current interaction
+  // state (what the harness submits as one batch).
+  StatusOr<std::vector<query::AbstractQuery>> BuildBatch(
+      const Step& step) const;
+
+  uint64_t id() const { return id_; }
+  int steps_taken() const { return steps_taken_; }
+  bool done() const { return done_; }
+  const dashboard::InteractionState& state() const { return state_; }
+
+ private:
+  Step MakeFilterStep(bool drill);
+  Step MakeQuickFilterStep();
+
+  uint64_t id_;
+  const Workbook* workbook_;
+  SessionProfile profile_;
+  Rng rng_;
+  dashboard::InteractionState state_;
+  int steps_taken_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace vizq::workload
+
+#endif  // VIZQUERY_WORKLOAD_SESSIONS_H_

@@ -124,6 +124,32 @@ TEST(DifferentialFuzz, DeadlineLaneNeverReturnsPartialOk) {
   }
 }
 
+// The stale_shed lane: every response from a saturated frontend (nothing
+// admitted) is exact-correct, correctly-labeled stale within the serve
+// bound, or a typed shed. Run it across datasets and assert the lane
+// actually produced verdicts (it must never be silently skipped).
+TEST(DifferentialFuzz, StaleShedLaneHoldsUnderInjectedOverload) {
+  Rng rng(88);
+  int stale_shed_checks = 0;
+  for (uint64_t ds_seed : {4ULL, 5ULL, 6ULL}) {
+    Dataset ds = GenerateDataset(ds_seed);
+    LaneSetupOptions lane_options;
+    lane_options.include_federated = false;
+    lane_options.deadline_lane = false;  // no simulated-I/O sleeps needed
+    ExecutionLanes lanes(ds, lane_options);
+    for (int i = 0; i < 10; ++i) {
+      query::AbstractQuery q = GenerateQuery(ds, rng);
+      for (const LaneCheck& c : lanes.RunQuery(q, HashCombine(ds_seed, i))) {
+        if (c.lane != "stale_shed") continue;
+        ++stale_shed_checks;
+        EXPECT_TRUE(c.ok) << "dataset_seed=" << ds_seed << " query "
+                          << q.ToKeyString() << ": " << c.detail;
+      }
+    }
+  }
+  EXPECT_EQ(stale_shed_checks, 30);
+}
+
 // The generator must be deterministic: same seed, same campaign.
 TEST(DifferentialFuzz, SeedReproducibility) {
   Dataset a = GenerateDataset(42);

@@ -71,13 +71,11 @@ TEST(SchedulerTest, RunsSubmittedTasks) {
   EXPECT_EQ(ran.load(), 32);
   EXPECT_EQ(group.spawned(), 32);
   // Wait() returns when the last task *body* finishes; the scheduler
-  // bumps its completed counter just after, so give it a beat.
+  // bumps its completed counter just after. WaitForCompleted blocks on
+  // the scheduler's own completion CV — no wall-clock polling.
   const int64_t want = 32 - group.ran_inline();
-  for (int spin = 0;
-       spin < 200 && sched.completed(TaskClass::kInteractive) < want;
-       ++spin) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+  EXPECT_TRUE(sched.WaitForCompleted(TaskClass::kInteractive, want,
+                                     std::chrono::seconds(10)));
   EXPECT_GE(sched.completed(TaskClass::kInteractive), want);
 }
 
