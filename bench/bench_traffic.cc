@@ -21,8 +21,21 @@
 // fresh, labeled-stale, or derived — per second), shed rate, error rate,
 // and p50/p95/p99 of arrival-to-response latency over ALL terminated
 // requests (content, sheds, errors, and abandoned-at-cutoff arrivals).
+//
+// PR 9 adds the request-timeline layer on top: every request's
+// PhaseTimeline decomposes arrival-to-response latency into named phases
+// (client_queue, client_prep, admission, cache_lookup, plan, execution,
+// materialize, ladder — plus per-class scheduler queue waits as additive
+// detail), each point reports per-phase p50/p95/p99 and the attributed
+// share of end-to-end latency, the frontend's SloMonitor burn rates ride
+// along per point, the slowest requests of the ramp export as a Chrome
+// trace from the TailExemplarStore, and the whole layer's hot-path
+// overhead is measured by rerunning the warm serve path with timelines
+// disabled.
+//
 // --emit-json=PATH writes BENCH_traffic.json; --selftest runs the quick
-// CI invariants (see Selftest below).
+// CI invariants (see Selftest below); --tail-trace-out=PATH additionally
+// writes the retained tail-exemplar Chrome trace.
 
 #include <algorithm>
 #include <atomic>
@@ -40,9 +53,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/phase_timeline.h"
 #include "src/common/rng.h"
 #include "src/dashboard/query_service.h"
 #include "src/federation/simulated_source.h"
+#include "src/obs/exemplar.h"
+#include "src/obs/json.h"
 #include "src/server/frontend.h"
 #include "src/workload/flights_dashboards.h"
 #include "src/workload/sessions.h"
@@ -66,6 +82,10 @@ constexpr double kSloMs = 500.0;
 constexpr double kFreshTtlMs = 1200.0;   // cache entries go stale after this
 constexpr double kStaleServeMs = 30000.0;  // ladder freshness bound
 constexpr int kWorkers = 16;             // serving threads per load point
+
+// --tail-trace-out=PATH (optional): where the retained tail-exemplar
+// Chrome trace is written (by --emit-json and by the selftest).
+std::string g_tail_trace_out;
 
 // Bench sessions navigate faster than the human default so filter/drill
 // diversity (the cache-missing part of the workload) shows up within a
@@ -165,6 +185,11 @@ struct Arrival {
   int retries_left = 2;
 };
 
+struct PhaseQuantiles {
+  int64_t count = 0;  // requests that spent any time in this phase
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+};
+
 struct PointResult {
   double rate_per_s = 0;      // target
   double offered_per_s = 0;   // measured arrivals/s
@@ -181,6 +206,15 @@ struct PointResult {
   double shed_rate = 0;
   double error_rate = 0;
   double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  // --- request-timeline decomposition ---
+  PhaseQuantiles phases[kNumPhases];
+  // Mean attributed share of arrival-to-response wall time (root phases
+  // incl. client_queue/client_prep, which the harness charges) over all
+  // terminated requests, and over the slow tail (latency >= this point's
+  // p95) — the "where did the p95 go" number.
+  double attributed_mean = 0;
+  double attributed_tail = 0;
+  obs::SloSnapshot slo;  // the frontend's burn-rate view of this point
 };
 
 double Percentile(std::vector<double>& v, double p) {
@@ -206,6 +240,13 @@ PointResult RunPoint(Stack& stack, double rate_per_s, double duration_s,
   std::atomic<int64_t> shed{0}, errors{0}, late{0};
   std::mutex lat_mu;
   std::vector<double> latencies_ms;
+  std::vector<double> phase_samples[kNumPhases];
+  // (arrival-to-response ms, attributed fraction) per terminated request.
+  std::vector<std::pair<double, double>> attribution;
+
+  // Fresh SLO epoch per load point so the burn-rate windows describe
+  // exactly this point's traffic.
+  stack.frontend->slo().Reset();
 
   ZipfDistribution zipf(kWorkbooks, kZipfSkew);
   Rng arrival_rng(seed);
@@ -264,6 +305,19 @@ PointResult RunPoint(Stack& stack, double rate_per_s, double duration_s,
     latencies_ms.push_back(
         static_cast<double>(t_done_ns - t_arrive_ns_) / 1e6);
   };
+  auto record_timeline = [&](const ExecContext& rctx, int64_t wall_ns) {
+    const PhaseTimeline* tl = rctx.timeline();
+    if (tl == nullptr || wall_ns <= 0) return;
+    std::lock_guard<std::mutex> lock(lat_mu);
+    for (int p = 0; p < kNumPhases; ++p) {
+      double ms = tl->phase_ms(static_cast<Phase>(p));
+      if (ms > 0) phase_samples[p].push_back(ms);
+    }
+    attribution.emplace_back(
+        static_cast<double>(wall_ns) / 1e6,
+        static_cast<double>(tl->attributed_ns()) /
+            static_cast<double>(wall_ns));
+  };
 
   std::vector<std::thread> workers;
   workers.reserve(kWorkers);
@@ -280,7 +334,14 @@ PointResult RunPoint(Stack& stack, double rate_per_s, double duration_s,
           a = std::move(queue.front());
           queue.pop_front();
         }
+        // Arrival-to-pickup is the client-side queue wait; the step/batch
+        // construction that follows is client_prep. Both are root phases,
+        // so the timeline decomposes the FULL arrival-to-response wall.
+        if (PhaseTimeline* tl = a.ctx.timeline()) {
+          tl->Add(Phase::kClientQueue, NowNs() - a.t_arrive_ns);
+        }
         workload::Session& session = a.session->session;
+        PhaseScope prep(a.ctx.timeline(), Phase::kClientPrep);
         auto step = session.Next();
         if (!step.has_value()) {  // user left: a fresh one takes the slot
           uint64_t id = static_cast<uint64_t>(
@@ -290,10 +351,13 @@ PointResult RunPoint(Stack& stack, double rate_per_s, double duration_s,
           step = a.session->session.Next();
         }
         workload::Session& live = a.session->session;
-        auto batch = live.BuildBatch(*step);
+        auto batch = live.BuildBatch(a.ctx, *step);
+        prep.End();
         if (!batch.ok() || batch->empty()) {
           errors.fetch_add(1, std::memory_order_relaxed);
-          record_latency(a.t_arrive_ns, NowNs());
+          int64_t t_fail = NowNs();
+          record_latency(a.t_arrive_ns, t_fail);
+          record_timeline(a.ctx, t_fail - a.t_arrive_ns);
           continue;
         }
         server::ServeReport report;
@@ -301,6 +365,7 @@ PointResult RunPoint(Stack& stack, double rate_per_s, double duration_s,
             stack.frontend->Serve(live.id(), a.ctx, *batch, &report);
         int64_t t_done = NowNs();
         record_latency(a.t_arrive_ns, t_done);
+        record_timeline(a.ctx, t_done - a.t_arrive_ns);
         double lat_ms =
             static_cast<double>(t_done - a.t_arrive_ns) / 1e6;
         if (result.ok() && lat_ms > kSloMs) {
@@ -358,7 +423,13 @@ PointResult RunPoint(Stack& stack, double rate_per_s, double duration_s,
     std::lock_guard<std::mutex> lock(mu);
     for (auto& a : queue) {
       ++out.abandoned;
+      // The whole abandoned wait is client-side queueing: fully
+      // attributed, so the tail decomposition covers these too.
+      if (PhaseTimeline* tl = a.ctx.timeline()) {
+        tl->Add(Phase::kClientQueue, t_cutoff - a.t_arrive_ns);
+      }
       record_latency(a.t_arrive_ns, t_cutoff);
+      record_timeline(a.ctx, t_cutoff - a.t_arrive_ns);
     }
     queue.clear();
   }
@@ -381,6 +452,29 @@ PointResult RunPoint(Stack& stack, double rate_per_s, double duration_s,
   out.p50_ms = Percentile(latencies_ms, 0.50);
   out.p95_ms = Percentile(latencies_ms, 0.95);
   out.p99_ms = Percentile(latencies_ms, 0.99);
+
+  for (int p = 0; p < kNumPhases; ++p) {
+    std::vector<double>& v = phase_samples[p];
+    out.phases[p].count = static_cast<int64_t>(v.size());
+    if (v.empty()) continue;
+    out.phases[p].p50_ms = Percentile(v, 0.50);
+    out.phases[p].p95_ms = Percentile(v, 0.95);
+    out.phases[p].p99_ms = Percentile(v, 0.99);
+  }
+  double frac_sum = 0, tail_sum = 0;
+  int64_t tail_n = 0;
+  for (const auto& [wall_ms, frac] : attribution) {
+    frac_sum += frac;
+    if (wall_ms >= out.p95_ms) {
+      tail_sum += frac;
+      ++tail_n;
+    }
+  }
+  if (!attribution.empty()) {
+    out.attributed_mean = frac_sum / static_cast<double>(attribution.size());
+  }
+  if (tail_n > 0) out.attributed_tail = tail_sum / static_cast<double>(tail_n);
+  out.slo = stack.frontend->slo().Snapshot();
   return out;
 }
 
@@ -388,18 +482,83 @@ void PrintPoint(const char* mode, const PointResult& r) {
   std::fprintf(stderr,
                "  %-11s rate %6.0f/s offered %6.1f/s goodput %6.1f/s "
                "shed %4.1f%% err %4.1f%% p50 %7.1fms p95 %7.1fms "
-               "p99 %7.1fms backend_q %5lld\n",
+               "p99 %7.1fms backend_q %5lld attr %4.1f%% (tail %4.1f%%) "
+               "burn %.1f/%.1f%s\n",
                mode, r.rate_per_s, r.offered_per_s, r.goodput_per_s,
                100 * r.shed_rate, 100 * r.error_rate, r.p50_ms, r.p95_ms,
-               r.p99_ms, static_cast<long long>(r.backend_queries));
+               r.p99_ms, static_cast<long long>(r.backend_queries),
+               100 * r.attributed_mean, 100 * r.attributed_tail,
+               r.slo.short_burn, r.slo.long_burn,
+               r.slo.firing ? " SLO-FIRING" : "");
+}
+
+// ---------------------------------------------------------------------------
+// Timeline overhead: the warm admitted serve path (the hot path a healthy
+// server runs all day), timed with the whole layer on vs the process-wide
+// kill switch off (contexts then carry no timeline and every scope is a
+// no-op). Single-threaded, min-of-rounds to shed scheduler noise.
+
+double MeasureTimelineOverhead(double* on_us_per_req, double* off_us_per_req) {
+  // An effectively infinite fresh TTL keeps every iteration on the warm
+  // cache-hit path; otherwise entries expire mid-measurement and the probe
+  // times the simulated backend's sleeps instead of the serving layer.
+  Stack stack = MakeStack(/*protected_mode=*/true, /*fresh_ttl_ms=*/1e12);
+  WarmCaches(stack);
+  workload::Session session(9, &stack.workbooks[0], {}, 13);
+  auto step = session.Next();
+  if (!step.has_value()) return 0;
+  auto batch = session.BuildBatch(*step);
+  if (!batch.ok() || batch->empty()) return 0;
+
+  auto run = [&](bool enabled, int iters) {
+    PhaseTimeline::SetEnabled(enabled);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      ExecContext ctx;  // timeline allocation rides on context creation
+      server::ServeReport r;
+      (void)stack.frontend->Serve(9, ctx, *batch, &r);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    PhaseTimeline::SetEnabled(true);
+    return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+           static_cast<double>(iters);
+  };
+
+  // Let the box settle: the ramp that usually precedes this probe leaves
+  // worker pools draining and the CPU in a boosted-then-throttled state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  run(true, 200);  // warm: caches, allocator, TLS instrument memos
+  // Paired rounds, median of per-round ratios. Each off/on pair runs
+  // back-to-back inside one time slice, so slow drift (CPU frequency,
+  // thermal) cancels within the pair; the median sheds the rounds a
+  // background task landed on. A global min-on vs min-off comparison is
+  // NOT drift-safe: the two minima can come from different regimes.
+  std::vector<double> ratios, ons, offs;
+  for (int round = 0; round < 25; ++round) {
+    double off = run(false, 100);
+    double on = run(true, 100);
+    if (off <= 0) continue;
+    ratios.push_back(on / off);
+    ons.push_back(on);
+    offs.push_back(off);
+  }
+  if (ratios.empty()) return 0;
+  auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  *on_us_per_req = median(ons);
+  *off_us_per_req = median(offs);
+  return 100.0 * (median(ratios) - 1.0);
 }
 
 // ---------------------------------------------------------------------------
 // Full ramp (--emit-json).
 
-int EmitJson(const std::string& path) {
+int EmitJson(const std::string& path, const std::string& tail_trace_out) {
   const double rates[] = {10, 20, 40, 80, 160};
   const double kDurationS = 3.0;
+  obs::GlobalExemplars().Clear();  // the tail trace describes this ramp
   std::vector<PointResult> protected_pts, unprotected_pts;
   for (int mode = 0; mode < 2; ++mode) {
     bool prot = mode == 0;
@@ -414,6 +573,28 @@ int EmitJson(const std::string& path) {
     }
   }
 
+  double on_us = 0, off_us = 0;
+  double overhead_pct = MeasureTimelineOverhead(&on_us, &off_us);
+  std::fprintf(stderr,
+               "timeline overhead: %.2f us/req on vs %.2f us/req off "
+               "(%.2f%%)\n",
+               on_us, off_us, overhead_pct);
+
+  obs::Exemplar slowest = obs::GlobalExemplars().Slowest();
+  std::string tail_trace = obs::GlobalExemplars().ToChromeTrace();
+  int tail_events = 0;
+  (void)obs::ValidateChromeTrace(tail_trace, &tail_events);
+  if (!tail_trace_out.empty()) {
+    std::ofstream tf(tail_trace_out, std::ios::trunc);
+    if (!tf) {
+      std::fprintf(stderr, "cannot open %s\n", tail_trace_out.c_str());
+      return 1;
+    }
+    tf << tail_trace;
+    std::fprintf(stderr, "wrote tail-exemplar Chrome trace to %s\n",
+                 tail_trace_out.c_str());
+  }
+
   std::ofstream f(path, std::ios::trunc);
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -422,7 +603,7 @@ int EmitJson(const std::string& path) {
   auto emit_points = [&](const std::vector<PointResult>& pts) {
     for (size_t i = 0; i < pts.size(); ++i) {
       const PointResult& r = pts[i];
-      char buf[512];
+      char buf[640];
       std::snprintf(
           buf, sizeof(buf),
           "      {\"rate_per_s\": %.0f, \"offered_per_s\": %.1f, "
@@ -430,15 +611,44 @@ int EmitJson(const std::string& path) {
           "\"error_rate\": %.3f, \"p50_ms\": %.1f, \"p95_ms\": %.1f, "
           "\"p99_ms\": %.1f, \"fresh\": %lld, \"stale\": %lld, "
           "\"derived\": %lld, \"shed\": %lld, \"late\": %lld, "
-          "\"errors\": %lld, \"backend_queries\": %lld}%s\n",
+          "\"errors\": %lld, \"backend_queries\": %lld,\n",
           r.rate_per_s, r.offered_per_s, r.goodput_per_s, r.shed_rate,
           r.error_rate, r.p50_ms, r.p95_ms, r.p99_ms,
           static_cast<long long>(r.fresh), static_cast<long long>(r.stale),
           static_cast<long long>(r.derived), static_cast<long long>(r.shed),
           static_cast<long long>(r.late), static_cast<long long>(r.errors),
-          static_cast<long long>(r.backend_queries),
-          i + 1 < pts.size() ? "," : "");
+          static_cast<long long>(r.backend_queries));
       f << buf;
+      std::snprintf(buf, sizeof(buf),
+                    "       \"attributed_fraction_mean\": %.4f, "
+                    "\"attributed_fraction_tail\": %.4f,\n",
+                    r.attributed_mean, r.attributed_tail);
+      f << buf;
+      std::snprintf(buf, sizeof(buf),
+                    "       \"slo\": {\"good\": %lld, \"total\": %lld, "
+                    "\"sheds\": %lld, \"short_burn\": %.2f, "
+                    "\"long_burn\": %.2f, \"firing\": %s},\n",
+                    static_cast<long long>(r.slo.good),
+                    static_cast<long long>(r.slo.total),
+                    static_cast<long long>(r.slo.sheds), r.slo.short_burn,
+                    r.slo.long_burn, r.slo.firing ? "true" : "false");
+      f << buf;
+      f << "       \"phases\": {";
+      bool first = true;
+      for (int p = 0; p < kNumPhases; ++p) {
+        if (r.phases[p].count == 0) continue;
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n        \"%s\": {\"count\": %lld, "
+                      "\"p50_ms\": %.2f, \"p95_ms\": %.2f, "
+                      "\"p99_ms\": %.2f}",
+                      first ? "" : ",", PhaseName(static_cast<Phase>(p)),
+                      static_cast<long long>(r.phases[p].count),
+                      r.phases[p].p50_ms, r.phases[p].p95_ms,
+                      r.phases[p].p99_ms);
+        first = false;
+        f << buf;
+      }
+      f << "}}" << (i + 1 < pts.size() ? "," : "") << "\n";
     }
   };
   f << "{\n  \"bench\": \"traffic\",\n"
@@ -447,8 +657,23 @@ int EmitJson(const std::string& path) {
     << " workbooks, exp think, open-loop Poisson ramp, patience "
     << kDeadlineMs << "ms, SLO " << kSloMs << "ms\",\n"
     << "  \"slo_ms\": " << kSloMs << ",\n"
-    << "  \"duration_s_per_point\": 3.0,\n"
-    << "  \"modes\": {\n    \"protected\": [\n";
+    << "  \"duration_s_per_point\": 3.0,\n";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"timeline_overhead\": {\"enabled_us_per_req\": %.2f, "
+                  "\"disabled_us_per_req\": %.2f, \"overhead_pct\": %.2f},\n",
+                  on_us, off_us, overhead_pct);
+    f << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"tail_exemplars\": {\"retained\": %lld, "
+                  "\"slowest_ms\": %.1f, \"trace_events\": %d},\n",
+                  static_cast<long long>(
+                      obs::GlobalExemplars().total_retained()),
+                  slowest.duration_ms, tail_events);
+    f << buf;
+  }
+  f << "  \"modes\": {\n    \"protected\": [\n";
   emit_points(protected_pts);
   f << "    ],\n    \"unprotected\": [\n";
   emit_points(unprotected_pts);
@@ -570,6 +795,117 @@ int Selftest() {
     CHECK_OR_FAIL(high.attempted > low.attempted,
                   "offered load not monotone in target rate");
   }
+  // 6. Phase attribution: for sequential requests through the full
+  //    pipeline, the root phases decompose the observed wall time — each
+  //    request's attributed sum stays within clock-read tolerance of its
+  //    wall, and never overshoots (exclusive accounting means no
+  //    double-counting).
+  {
+    CHECK_OR_FAIL(PhaseTimeline::Enabled(), "timelines off at selftest start");
+    Stack stack = MakeStack(/*protected_mode=*/true);
+    WarmCaches(stack);
+    workload::Session session(3, &stack.workbooks[1], {}, 17);
+    double wall_total = 0, attr_total = 0;
+    int measured = 0;
+    for (int i = 0; i < 30; ++i) {
+      auto step = session.Next();
+      if (!step.has_value()) {
+        session = workload::Session(3 + i, &stack.workbooks[i % kWorkbooks],
+                                    {}, 17 + i);
+        step = session.Next();
+      }
+      CHECK_OR_FAIL(step.has_value(), "attribution: no step");
+      ExecContext ctx = ExecContext::WithDeadlineMs(kDeadlineMs);
+      int64_t t0 = NowNs();
+      auto batch = session.BuildBatch(ctx, *step);
+      CHECK_OR_FAIL(batch.ok(), "attribution: batch build failed");
+      if (batch->empty()) continue;
+      server::ServeReport report;
+      (void)stack.frontend->Serve(session.id(), ctx, *batch, &report);
+      double wall_ms = static_cast<double>(NowNs() - t0) / 1e6;
+      const PhaseTimeline* tl = ctx.timeline();
+      CHECK_OR_FAIL(tl != nullptr, "request context carries no timeline");
+      double attr_ms = static_cast<double>(tl->attributed_ns()) / 1e6;
+      CHECK_OR_FAIL(attr_ms <= wall_ms * 1.10 + 1.0,
+                    "attributed phases exceed wall time");
+      wall_total += wall_ms;
+      attr_total += attr_ms;
+      ++measured;
+    }
+    CHECK_OR_FAIL(measured >= 20, "attribution: too few measured requests");
+    CHECK_OR_FAIL(attr_total >= 0.85 * wall_total - 1.0,
+                  "phases attribute <85% of sequential wall time");
+    CHECK_OR_FAIL(attr_total <= 1.05 * wall_total + 1.0,
+                  "phases over-attribute sequential wall time");
+  }
+  // 7. The burn-rate monitor fires on the unprotected ablation under
+  //    saturating load and stays quiet on the protected ladder, and the
+  //    timeline attributes the vast majority of latency either way.
+  {
+#ifdef NDEBUG
+    // Saturating for the optimized build: ~4x the rate where the
+    // unprotected ablation collapses, still inside ladder capacity.
+    const double kProtectedRate = 160;
+#else
+    // An unoptimized build is ~10x slower per request; at 160/s even the
+    // ladder's fast path exceeds single-core capacity and the queue wait
+    // alone (correctly) burns the user-latency SLO. Scale the protected
+    // check to what this build can physically serve — the property under
+    // test is the ladder's protection, not the build's clock speed.
+    const double kProtectedRate = 40;
+#endif
+    Stack prot = MakeStack(/*protected_mode=*/true);
+    WarmCaches(prot);
+    PointResult p = RunPoint(prot, kProtectedRate, 2.0, 21);
+    CHECK_OR_FAIL(!p.slo.firing,
+                  "SLO burn-rate fired on the protected ladder");
+    CHECK_OR_FAIL(p.attributed_mean >= 0.90,
+                  "protected: attributed mean share < 90%");
+    CHECK_OR_FAIL(p.attributed_tail >= 0.95,
+                  "protected: attributed tail share < 95%");
+
+    Stack unprot = MakeStack(/*protected_mode=*/false);
+    WarmCaches(unprot);
+    PointResult u = RunPoint(unprot, 160, 2.0, 22);
+    CHECK_OR_FAIL(u.slo.firing,
+                  "SLO burn-rate silent on the unprotected ablation");
+    CHECK_OR_FAIL(u.attributed_tail >= 0.95,
+                  "unprotected: attributed tail share < 95%");
+  }
+  // 8. Tail exemplars: the ramp above retained the slowest requests, and
+  //    they export as a valid Chrome trace.
+  {
+    obs::TailExemplarStore& store = obs::GlobalExemplars();
+    CHECK_OR_FAIL(store.total_retained() > 0, "no tail exemplars retained");
+    obs::Exemplar slowest = store.Slowest();
+    CHECK_OR_FAIL(slowest.duration_ms > 0, "slowest exemplar has no duration");
+    std::string trace = store.ToChromeTrace();
+    int events = 0;
+    Status valid = obs::ValidateChromeTrace(trace, &events);
+    CHECK_OR_FAIL(valid.ok(), "tail-exemplar trace fails schema validation");
+    CHECK_OR_FAIL(events > 0, "tail-exemplar trace has no events");
+    if (!g_tail_trace_out.empty()) {
+      std::ofstream tf(g_tail_trace_out, std::ios::trunc);
+      CHECK_OR_FAIL(static_cast<bool>(tf), "cannot open tail trace path");
+      tf << trace;
+      std::fprintf(stderr, "selftest wrote tail trace: %s (%d events)\n",
+                   g_tail_trace_out.c_str(), events);
+    }
+  }
+  // 9. The always-on layer is cheap: warm hot-path overhead with
+  //    timelines on vs the kill switch off stays under 10% (CI bound;
+  //    the recorded bench run documents the tighter <5% number).
+  {
+    double on_us = 0, off_us = 0;
+    double pct = MeasureTimelineOverhead(&on_us, &off_us);
+    std::fprintf(stderr,
+                 "timeline overhead: %.2f us/req on vs %.2f us/req off "
+                 "(%.2f%%)\n",
+                 on_us, off_us, pct);
+    CHECK_OR_FAIL(pct < 10.0, "timeline hot-path overhead >= 10%");
+    CHECK_OR_FAIL(PhaseTimeline::Enabled(),
+                  "overhead probe left the kill switch off");
+  }
   std::fprintf(stderr, "bench_traffic selftest: OK\n");
   return 0;
 }
@@ -577,13 +913,25 @@ int Selftest() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool selftest = false;
+  std::string emit_json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--selftest") == 0) return Selftest();
-    if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
-      return EmitJson(argv[i] + 12);
+    if (std::strcmp(argv[i], "--selftest") == 0) {
+      selftest = true;
+    } else if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
+      emit_json_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--tail-trace-out=", 17) == 0) {
+      g_tail_trace_out = argv[i] + 17;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_traffic --selftest | --emit-json=PATH "
+                   "[--tail-trace-out=PATH]\n");
+      return 2;
     }
   }
-  std::fprintf(stderr,
-               "usage: bench_traffic --selftest | --emit-json=PATH\n");
+  if (selftest) return Selftest();
+  if (!emit_json_path.empty()) {
+    return EmitJson(emit_json_path, g_tail_trace_out);
+  }
   return Selftest();
 }

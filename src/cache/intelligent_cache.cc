@@ -578,6 +578,11 @@ IntelligentCache::IntelligentCache(IntelligentCacheOptions options)
 std::optional<CacheHit> IntelligentCache::LookupHit(
     const AbstractQuery& q, const ExecContext& ctx,
     const LookupOptions& lookup) {
+  // Attribute the probe to the request's cache_lookup phase. Nesting
+  // under a caller's own kCacheLookup scope is free: the same-phase
+  // child goes inert and the parent's running clock keeps charging the
+  // same bucket.
+  PhaseScope phase(ctx.timeline(), Phase::kCacheLookup);
   int64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::string key = q.ToKeyString();
   std::string bucket_key = q.data_source + "\x1f" + q.view;

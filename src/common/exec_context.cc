@@ -224,7 +224,9 @@ std::string MetricsRegistry::ToString() const {
 ExecContext::ExecContext()
     : trace_(std::make_shared<Trace>()),
       metrics_(std::make_shared<MetricsRegistry>()),
-      log_(std::make_shared<RequestLog>()) {}
+      log_(std::make_shared<RequestLog>()),
+      timeline_(PhaseTimeline::Enabled() ? std::make_shared<PhaseTimeline>()
+                                         : nullptr) {}
 
 ExecContext::ExecContext(DisabledTag) {}
 

@@ -14,7 +14,11 @@
 //   * a **RequestLog** — timestamped breadcrumbs (cache decisions, pool
 //     events) and named text attachments (the annotated EXPLAIN ANALYZE
 //     plan) that the process-wide PerfRecorder (src/obs/) captures when
-//     the request completes.
+//     the request completes;
+//   * a **PhaseTimeline** — named-phase wall-time attribution (admission,
+//     cache lookup, scheduler queue wait, execution, materialization)
+//     whose root phases decompose the request's end-to-end latency (see
+//     phase_timeline.h).
 //
 // Every Count/Observe is additionally forwarded to the process-global
 // metrics sink (installed by obs::GlobalMetrics()), so the per-request
@@ -45,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/phase_timeline.h"
 #include "src/common/status.h"
 
 namespace vizq {
@@ -256,6 +261,12 @@ class ExecContext {
   void Count(const std::string& name, int64_t delta = 1) const;
   void Observe(const std::string& name, double value) const;
 
+  // --- phase timeline ---
+  // Null when timelines are disabled (Background(), or the process-wide
+  // PhaseTimeline::SetEnabled(false) kill switch at creation time). All
+  // copies of a context share one timeline, like the trace.
+  PhaseTimeline* timeline() const { return timeline_.get(); }
+
   // --- request log (breadcrumbs + attachments) ---
   bool log_enabled() const { return log_ != nullptr; }
   RequestLog* log() { return log_.get(); }
@@ -274,6 +285,7 @@ class ExecContext {
   std::shared_ptr<Trace> trace_;
   std::shared_ptr<MetricsRegistry> metrics_;
   std::shared_ptr<RequestLog> log_;
+  std::shared_ptr<PhaseTimeline> timeline_;
   Span* parent_ = nullptr;  // default parent for StartSpan; null = root
 };
 

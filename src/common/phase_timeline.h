@@ -1,0 +1,158 @@
+// PhaseTimeline: per-request phase attribution for the serving stack.
+//
+// The paper's subject is user-perceived response time; the traffic
+// harness (PR 8) can say *that* p99 degrades past saturation but not
+// *where the time went*. Every request now carries a PhaseTimeline on
+// its ExecContext and each serving layer charges its wall time to a
+// named phase:
+//
+//   root phases (exclusive, sum ~= end-to-end wall):
+//     client_queue   arrival -> a serving thread picked the request up
+//     client_prep    client-side step/batch construction
+//     admission      fair-admission decision
+//     cache_lookup   intelligent-cache probes (all ladder rungs)
+//     plan           opportunity analysis + fusion
+//     execution      remote execution: scheduler + backend + group join
+//     materialize    roll-ups, result resolution, result copies
+//     ladder         shed-ladder bookkeeping outside the probes
+//
+//   detail phases (additive, NOT part of the sum invariant):
+//     queue_interactive / queue_batch / queue_background
+//       scheduler queue wait per task class. Tasks of one request run
+//       concurrently on many workers, so their waits overlap the root
+//       `execution` phase and each other; they decompose *where queueing
+//       happens*, not wall time.
+//
+// Exclusive accounting is what makes "phases sum to ~total" hold: root
+// phases are measured only on the thread driving the request, through a
+// thread-local stack of PhaseScopes. Starting a nested scope pauses the
+// enclosing one (its elapsed time is flushed and its clock stops), and
+// destroying the nested scope resumes it — so a ladder rung that calls
+// into the batch pipeline never double-counts the cache probes inside.
+//
+// This header lives in common/ (with ExecContext) and is dependency-free;
+// aggregation into histograms / SLO monitors happens in obs/ and the
+// server layer. A process-wide kill switch (SetEnabled) lets benches
+// measure the overhead of the whole layer; with it off, contexts carry no
+// timeline and every scope is a no-op.
+
+#ifndef VIZQUERY_COMMON_PHASE_TIMELINE_H_
+#define VIZQUERY_COMMON_PHASE_TIMELINE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace vizq {
+
+enum class Phase : uint8_t {
+  // Root phases: exclusive decomposition of the request's wall time.
+  kClientQueue = 0,
+  kClientPrep,
+  kAdmission,
+  kCacheLookup,
+  kPlan,
+  kExecution,
+  kMaterialize,
+  kLadder,
+  // Detail phases: additive annotations outside the sum invariant.
+  kQueueInteractive,
+  kQueueBatch,
+  kQueueBackground,
+};
+
+inline constexpr int kNumPhases = 11;
+inline constexpr int kNumRootPhases = 8;
+
+const char* PhaseName(Phase p);
+inline bool IsRootPhase(Phase p) {
+  return static_cast<int>(p) < kNumRootPhases;
+}
+
+// Thread-safe accumulator; shared (via shared_ptr on ExecContext) by every
+// copy of a request's context.
+class PhaseTimeline {
+ public:
+  // Process-wide kill switch, default on. Only consulted when a context is
+  // *created* (ExecContext allocates the timeline), so flipping it does
+  // not disturb requests already in flight.
+  static void SetEnabled(bool enabled);
+  static bool Enabled();
+
+  void Add(Phase p, int64_t ns) {
+    if (ns > 0) {
+      ns_[static_cast<int>(p)].fetch_add(ns, std::memory_order_relaxed);
+    }
+  }
+
+  int64_t phase_ns(Phase p) const {
+    return ns_[static_cast<int>(p)].load(std::memory_order_relaxed);
+  }
+  double phase_ms(Phase p) const {
+    return static_cast<double>(phase_ns(p)) / 1e6;
+  }
+
+  // Sum of the root phases: the attributed share of end-to-end wall time.
+  int64_t attributed_ns() const;
+  double attributed_ms() const {
+    return static_cast<double>(attributed_ns()) / 1e6;
+  }
+
+  // The shed-ladder rung that answered (-1 unset, 0 admitted fresh path,
+  // 1 stale-exact, 2 derived, 3 typed shed) and the serve outcome label;
+  // set by the frontend when the request finishes.
+  void SetRung(int rung) { rung_.store(rung, std::memory_order_relaxed); }
+  int rung() const { return rung_.load(std::memory_order_relaxed); }
+  // `outcome` must point at a string literal / static storage.
+  void SetOutcome(const char* outcome) {
+    outcome_.store(outcome, std::memory_order_relaxed);
+  }
+  const char* outcome() const {
+    const char* o = outcome_.load(std::memory_order_relaxed);
+    return o == nullptr ? "" : o;
+  }
+
+  // "client_queue=0.12ms cache_lookup=0.45ms ... rung=1 outcome=stale"
+  // (phases with zero time are omitted).
+  std::string ToString() const;
+
+ private:
+  std::array<std::atomic<int64_t>, kNumPhases> ns_{};
+  std::atomic<int> rung_{-1};
+  std::atomic<const char*> outcome_{nullptr};
+};
+
+// RAII scope charging elapsed wall time on *this thread* to one root
+// phase. Scopes nest through a thread-local stack: constructing a scope
+// pauses the enclosing one, destroying it resumes the parent — the
+// exclusive accounting described in the header comment. A null timeline
+// makes the scope inert, as does nesting directly under a scope for the
+// SAME phase of the same timeline (the parent's running clock already
+// charges that bucket, so the child skips the pause/resume clock reads).
+// Scopes must be strictly nested per thread (guaranteed by stack
+// allocation) and are neither copyable nor movable.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseTimeline* timeline, Phase phase);
+  ~PhaseScope() { End(); }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  // Flushes the accumulated time now (idempotent with the destructor).
+  void End();
+
+ private:
+  PhaseTimeline* timeline_;
+  Phase phase_;
+  PhaseScope* parent_ = nullptr;
+  std::chrono::steady_clock::time_point started_{};
+  int64_t accumulated_ns_ = 0;  // flushed while paused by a nested scope
+  bool ended_ = false;
+};
+
+}  // namespace vizq
+
+#endif  // VIZQUERY_COMMON_PHASE_TIMELINE_H_

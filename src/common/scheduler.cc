@@ -280,11 +280,22 @@ void Scheduler::RunTask(Task task) {
   const int ci = static_cast<int>(task.cls);
   GlobalMetricsSink* sink = GetGlobalMetricsSink();
   auto started = std::chrono::steady_clock::now();
+  auto wait = started - task.enqueued;
   if (sink != nullptr) {
-    double wait_us =
-        std::chrono::duration<double, std::micro>(started - task.enqueued)
-            .count();
+    double wait_us = std::chrono::duration<double, std::micro>(wait).count();
     sink->Observe(ClassMetricName("wait_us", ci), wait_us);
+  }
+  // Charge the queue wait to the owning request's per-class detail phase.
+  // Detail phases are additive (a request's tasks wait concurrently on
+  // many workers), so this is a plain Add, not a PhaseScope.
+  if (PhaseTimeline* tl = task.ctx.timeline()) {
+    static constexpr Phase kQueuePhase[] = {
+        Phase::kQueueInteractive, Phase::kQueueBatch, Phase::kQueueBackground};
+    if (ci >= 0 && ci < 3) {
+      tl->Add(kQueuePhase[ci],
+              std::chrono::duration_cast<std::chrono::nanoseconds>(wait)
+                  .count());
+    }
   }
 
   if (task.skip_if_cancelled && task.ctx.cancelled()) {

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "src/obs/exemplar.h"
 #include "src/obs/perf_recorder.h"
 
 namespace vizq::dashboard {
@@ -173,25 +174,28 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   // --- 1. intelligent cache ---
   ScopedSpan cache_span(bctx.StartSpan("cache-lookup"));
   std::vector<int> misses;
-  cache::LookupOptions lookup;
-  lookup.max_age_ms = options.max_result_age_ms;
-  lookup.exact_only = options.cache_exact_only;
-  for (int i = 0; i < n; ++i) {
-    if (options.use_intelligent_cache && caches_ != nullptr) {
-      auto hit = caches_->intelligent.LookupHit(batch[i], bctx, lookup);
-      if (hit.has_value()) {
-        results[i] = *hit->table;  // copy outside the cache's shard lock
-        resolved[i] = true;
-        local_report.queries[i].served_from =
-            hit->stale ? ServedFrom::kIntelligentCacheStale
-            : hit->exact ? ServedFrom::kIntelligentCacheExact
-                         : ServedFrom::kIntelligentCacheDerived;
-        local_report.queries[i].age_ms = hit->age_ms;
-        ++local_report.cache_hits;
-        continue;
+  {
+    PhaseScope cache_phase(bctx.timeline(), Phase::kCacheLookup);
+    cache::LookupOptions lookup;
+    lookup.max_age_ms = options.max_result_age_ms;
+    lookup.exact_only = options.cache_exact_only;
+    for (int i = 0; i < n; ++i) {
+      if (options.use_intelligent_cache && caches_ != nullptr) {
+        auto hit = caches_->intelligent.LookupHit(batch[i], bctx, lookup);
+        if (hit.has_value()) {
+          results[i] = *hit->table;  // copy outside the cache's shard lock
+          resolved[i] = true;
+          local_report.queries[i].served_from =
+              hit->stale ? ServedFrom::kIntelligentCacheStale
+              : hit->exact ? ServedFrom::kIntelligentCacheExact
+                           : ServedFrom::kIntelligentCacheDerived;
+          local_report.queries[i].age_ms = hit->age_ms;
+          ++local_report.cache_hits;
+          continue;
+        }
       }
+      misses.push_back(i);
     }
-    misses.push_back(i);
   }
   cache_span.End();
 
@@ -210,6 +214,8 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   }
 
   // --- 2. opportunity graph over the misses ---
+  // Stages 2 + 3 are the batch's planning work: one `plan` phase.
+  PhaseScope plan_phase(bctx.timeline(), Phase::kPlan);
   ScopedSpan analysis_span(bctx.StartSpan("opportunity-analysis"));
   std::vector<AbstractQuery> pending;
   pending.reserve(misses.size());
@@ -244,6 +250,7 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   local_report.fused_groups = static_cast<int>(groups.size());
   local_report.remote_queries = static_cast<int>(groups.size());
   fusion_span.End();
+  plan_phase.End();
 
   // --- 4 + 5. adjust, execute concurrently, resolve as results land ---
   struct GroupOutcome {
@@ -284,6 +291,11 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     }
     cv.notify_one();
   };
+
+  // Everything from dispatch to the last resolved result is `execution`
+  // on the serving thread; the materialize scopes below carve the local
+  // resolution work out of it.
+  PhaseScope exec_phase(bctx.timeline(), Phase::kExecution);
 
   // Remote groups run as scheduler tasks under the batch's priority class;
   // the group's max_concurrency preserves the §3.5 connection-level cap.
@@ -348,6 +360,9 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
       ++local_report.cache_hits;
     }
 
+    // Resolving members and coverable local nodes is result
+    // materialization: match-plan application and result copies.
+    PhaseScope mat_phase(bctx.timeline(), Phase::kMaterialize);
     // Resolve this group's members immediately.
     for (int member : groups[kept.group].members) {
       int p = remote_nodes[member];
@@ -400,6 +415,7 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     if (options.use_intelligent_cache && caches_ != nullptr) {
       caches_->intelligent.Put(sent, *result, 1.0, bctx);
     }
+    PhaseScope mat_phase(bctx.timeline(), Phase::kMaterialize);
     auto plan = cache::MatchQueries(sent, result->columns(), batch[i]);
     if (plan.has_value()) {
       auto processed = cache::ApplyMatchPlan(*result, *plan, batch[i]);
@@ -424,6 +440,8 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     }
   }
 
+  exec_phase.End();
+
   // Served-from tallies mirror the per-query report on the metrics
   // registry (asserted against QueryReport in tests).
   for (const QueryReport& qr : local_report.queries) {
@@ -442,9 +460,17 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   // included — failed batches are the ones worth inspecting). The span is
   // ended first so the recorded duration is final.
   batch_span.End();
+  std::string name = "batch:" + (n > 0 ? batch[0].view : std::string("?"));
   if (ctx.tracing_enabled()) {
-    std::string name = "batch:" + (n > 0 ? batch[0].view : std::string("?"));
     obs::GlobalRecorder().Record(ctx, batch_span.get(), name);
+  }
+  // Always-on tail exemplars: offer this batch to the global store. The
+  // WouldAdmit gate keeps the fast path to a couple of comparisons; the
+  // full span-tree copy happens only for requests that make the tail.
+  obs::TailExemplarStore& exemplars = obs::GlobalExemplars();
+  if (exemplars.WouldAdmit(local_report.wall_ms)) {
+    exemplars.Offer(ctx, batch_span.get(), name, local_report.wall_ms,
+                    first_error.ok() ? "content" : "error", /*shed=*/false);
   }
 
   if (!first_error.ok()) return first_error;

@@ -1,0 +1,154 @@
+#include "src/obs/exemplar.h"
+
+#include <algorithm>
+
+#include "src/common/phase_timeline.h"
+
+namespace vizq::obs {
+
+TailExemplarStore::TailExemplarStore(TailExemplarOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TailExemplarStore::WindowIndexLocked() const {
+  int64_t sec = std::chrono::duration_cast<std::chrono::seconds>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count();
+  return sec / std::max(options_.window_seconds, 1);
+}
+
+void TailExemplarStore::RollLocked() {
+  int64_t idx = WindowIndexLocked();
+  if (current_.index == idx) return;
+  if (current_.index == idx - 1) {
+    previous_ = std::move(current_);
+  } else {
+    // More than one whole window elapsed with no offers: both stale.
+    previous_ = Window{};
+  }
+  current_ = Window{};
+  current_.index = idx;
+}
+
+bool TailExemplarStore::WouldAdmit(double duration_ms) const {
+  if (duration_ms < options_.min_duration_ms) return false;
+  if (options_.top_k <= 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // A rolled-over window admits everything; don't mutate state here —
+  // Offer() does the actual roll.
+  if (current_.index != WindowIndexLocked()) return true;
+  if (static_cast<int>(current_.slow.size()) < options_.top_k) return true;
+  return duration_ms > current_.slow.back().duration_ms;
+}
+
+void TailExemplarStore::Offer(const ExecContext& ctx, const Span* span,
+                              const std::string& name, double duration_ms,
+                              const std::string& outcome, bool shed) {
+  // Capture outside the lock: the copy is the expensive part, and the
+  // caller only reaches here after WouldAdmit (or for a shed, which is
+  // rare by construction once the ladder works).
+  Exemplar ex;
+  ex.duration_ms = duration_ms;
+  ex.outcome = outcome;
+  ex.shed = shed;
+  if (const PhaseTimeline* tl = ctx.timeline()) {
+    ex.rung = tl->rung();
+    ex.timeline_text = tl->ToString();
+  }
+  if (span != nullptr && ctx.tracing_enabled()) {
+    ex.request = CaptureRequest(ctx, *span, name, epoch_);
+  } else {
+    // Shed / tracing-off requests still export: synthesize a one-span
+    // tree with the observed duration so the Chrome trace stays valid.
+    ex.request.name = name;
+    ex.request.duration_us = duration_ms * 1000.0;
+    ex.request.root.name = name;
+    ex.request.root.duration_us = ex.request.duration_us;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_offered_;
+  RollLocked();
+
+  if (shed) {
+    if (options_.shed_k <= 0) return;
+    ex.request.id = ++total_retained_;
+    current_.shed.push_front(std::move(ex));
+    if (static_cast<int>(current_.shed.size()) > options_.shed_k) {
+      current_.shed.pop_back();
+    }
+    return;
+  }
+
+  if (duration_ms < options_.min_duration_ms || options_.top_k <= 0) return;
+  bool full = static_cast<int>(current_.slow.size()) >= options_.top_k;
+  if (full && duration_ms <= current_.slow.back().duration_ms) return;
+  ex.request.id = ++total_retained_;
+  // Insert keeping slowest-first order.
+  auto pos = std::upper_bound(
+      current_.slow.begin(), current_.slow.end(), duration_ms,
+      [](double d, const Exemplar& e) { return d > e.duration_ms; });
+  current_.slow.insert(pos, std::move(ex));
+  if (static_cast<int>(current_.slow.size()) > options_.top_k) {
+    current_.slow.pop_back();
+  }
+}
+
+std::vector<Exemplar> TailExemplarStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Exemplar> out;
+  out.reserve(current_.slow.size() + previous_.slow.size() +
+              current_.shed.size() + previous_.shed.size());
+  for (const Exemplar& e : current_.slow) out.push_back(e);
+  for (const Exemplar& e : previous_.slow) out.push_back(e);
+  std::sort(out.begin(), out.end(), [](const Exemplar& a, const Exemplar& b) {
+    return a.duration_ms > b.duration_ms;
+  });
+  for (const Exemplar& e : current_.shed) out.push_back(e);
+  for (const Exemplar& e : previous_.shed) out.push_back(e);
+  return out;
+}
+
+Exemplar TailExemplarStore::Slowest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Exemplar* best = nullptr;
+  for (const Window* w : {&current_, &previous_}) {
+    if (!w->slow.empty() &&
+        (best == nullptr || w->slow.front().duration_ms > best->duration_ms)) {
+      best = &w->slow.front();
+    }
+  }
+  return best == nullptr ? Exemplar{} : *best;
+}
+
+std::string TailExemplarStore::ToChromeTrace() const {
+  std::vector<Exemplar> all = Snapshot();
+  std::vector<RecordedRequest> requests;
+  requests.reserve(all.size());
+  for (Exemplar& e : all) requests.push_back(std::move(e.request));
+  return RequestsToChromeTrace(requests);
+}
+
+void TailExemplarStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = Window{};
+  previous_ = Window{};
+  total_offered_ = 0;
+  total_retained_ = 0;
+}
+
+int64_t TailExemplarStore::total_offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_offered_;
+}
+
+int64_t TailExemplarStore::total_retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_retained_;
+}
+
+TailExemplarStore& GlobalExemplars() {
+  static TailExemplarStore* store = new TailExemplarStore();
+  return *store;
+}
+
+}  // namespace vizq::obs

@@ -98,6 +98,10 @@ double Histogram::UpperBound(int bucket) {
   return kMinBound * std::pow(kGrowth, bucket);
 }
 
+double Histogram::LowerBound(int bucket) {
+  return bucket <= 0 ? 0.0 : UpperBound(bucket - 1);
+}
+
 int Histogram::BucketFor(double value) {
   if (!(value > kMinBound)) return 0;  // includes <= 0 and NaN
   int b = static_cast<int>(std::ceil(std::log(value / kMinBound) /
@@ -153,28 +157,56 @@ double Histogram::mean() const {
   return n == 0 ? 0 : sum() / static_cast<double>(n);
 }
 
-double Histogram::Percentile(double p) const {
-  int64_t n = count();
-  if (n == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
-  // Rank of the target observation (1-based, ceil).
-  int64_t target = std::max<int64_t>(
-      1, static_cast<int64_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
-  int64_t cumulative = 0;
+double Histogram::Percentile(double p) const { return Quantiles({p})[0]; }
+
+std::vector<double> Histogram::Quantiles(const std::vector<double>& ps) const {
+  // One consistent copy of the buckets; every quantile interpolates over
+  // the same counts, so the results are monotone for sorted `ps` even
+  // while writers race. The total is the copy's own sum (not count_):
+  // Observe() bumps the bucket before the count, so the two can disagree
+  // transiently.
+  std::array<int64_t, kNumBuckets> counts;
+  int64_t n = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
-    int64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    n += counts[b];
+  }
+  std::vector<double> out(ps.size(), 0.0);
+  if (n == 0) return out;
+  // Clamp bounds read once for the same reason.
+  const double lo_clamp = min();
+  const double hi_clamp = std::max(lo_clamp, max());
+
+  // Walk the buckets once, answering quantiles in ascending-rank order.
+  std::vector<size_t> order(ps.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&ps](size_t a, size_t b) { return ps[a] < ps[b]; });
+  auto rank_of = [n](double p) {
+    p = std::clamp(p, 0.0, 100.0);
+    return std::max<int64_t>(
+        1,
+        static_cast<int64_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
+  };
+  size_t qi = 0;
+  int64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets && qi < order.size(); ++b) {
+    int64_t in_bucket = counts[b];
     if (in_bucket == 0) continue;
-    if (cumulative + in_bucket >= target) {
-      double lo = b == 0 ? 0.0 : UpperBound(b - 1);
+    while (qi < order.size() &&
+           cumulative + in_bucket >= rank_of(ps[order[qi]])) {
+      double lo = LowerBound(b);
       double hi = UpperBound(b);
-      double frac = static_cast<double>(target - cumulative) /
-                    static_cast<double>(in_bucket);
-      double v = lo + (hi - lo) * frac;
-      return std::clamp(v, min(), max());
+      double frac =
+          static_cast<double>(rank_of(ps[order[qi]]) - cumulative) /
+          static_cast<double>(in_bucket);
+      out[order[qi]] = std::clamp(lo + (hi - lo) * frac, lo_clamp, hi_clamp);
+      ++qi;
     }
     cumulative += in_bucket;
   }
-  return max();
+  for (; qi < order.size(); ++qi) out[order[qi]] = hi_clamp;
+  return out;
 }
 
 std::vector<int64_t> Histogram::BucketCounts() const {
@@ -273,9 +305,12 @@ MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
     row.sum = h->sum();
     row.min = h->min();
     row.max = h->max();
-    row.p50 = h->Percentile(50);
-    row.p95 = h->Percentile(95);
-    row.p99 = h->Percentile(99);
+    // Single-pass quantiles over one bucket copy: three Percentile()
+    // calls could interleave with writers and report p95 < p50.
+    std::vector<double> qs = h->Quantiles({50, 95, 99});
+    row.p50 = qs[0];
+    row.p95 = qs[1];
+    row.p99 = qs[2];
     snap.histograms.push_back(std::move(row));
   }
   return snap;

@@ -76,8 +76,13 @@ class Histogram {
   // Bucket i counts values in (UpperBound(i-1), UpperBound(i)];
   // bucket 0 additionally absorbs everything <= its bound (and <= 0).
   static constexpr int kNumBuckets = 64;
-  // Exponential bounds: kMinBound * kGrowth^i.
+  // Exponential bounds: kMinBound * kGrowth^i. A quantile landing in
+  // bucket i is interpolated linearly between LowerBound(i) and
+  // UpperBound(i) by its rank within the bucket — i.e. the reported value
+  // approaches the bucket's *upper bound* as the rank approaches the last
+  // observation in the bucket.
   static double UpperBound(int bucket);
+  static double LowerBound(int bucket);  // 0 for bucket 0
 
   void Observe(double value);
 
@@ -88,7 +93,17 @@ class Histogram {
   double mean() const;
   // Interpolated percentile, p in [0, 100]. Clamped to [min, max] so the
   // bucket interpolation never reports a value outside what was observed.
+  // Equivalent to Quantiles({p})[0].
   double Percentile(double p) const;
+
+  // Interpolates every requested quantile (each in [0, 100]) over ONE
+  // consistent copy of the bucket counts, in a single walk. This is the
+  // monotonicity-safe way to report several quantiles of a live
+  // histogram: back-to-back Percentile() calls each re-read the atomic
+  // buckets, so a concurrent Observe() landing between the p50 and the
+  // p95 read could yield p95 < p50. The returned values are monotone in
+  // the requested quantile (for sorted `ps`) by construction.
+  std::vector<double> Quantiles(const std::vector<double>& ps) const;
 
   std::vector<int64_t> BucketCounts() const;
 

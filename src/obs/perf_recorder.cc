@@ -62,20 +62,19 @@ RecordedSpan CopySpan(const Span& span,
 
 }  // namespace
 
-int64_t PerfRecorder::Record(const ExecContext& ctx, const Span* span,
-                             const std::string& name) {
-  if (span == nullptr || !ctx.tracing_enabled()) return 0;
-
+RecordedRequest CaptureRequest(const ExecContext& ctx, const Span& span,
+                               const std::string& name,
+                               std::chrono::steady_clock::time_point epoch) {
   RecordedRequest request;
   request.name = name;
-  request.root = CopySpan(*span, epoch_);
+  request.root = CopySpan(span, epoch);
   request.duration_us = request.root.duration_us;
 
   if (ctx.log_enabled()) {
     // Keep only breadcrumbs inside the span's window: a renderer reuses
     // one context across several batches, and each batch records only its
     // own decisions.
-    auto window_start = span->start_time();
+    auto window_start = span.start_time();
     auto window_end =
         window_start + std::chrono::nanoseconds(static_cast<int64_t>(
                            request.duration_us * 1000.0));
@@ -84,11 +83,19 @@ int64_t PerfRecorder::Record(const ExecContext& ctx, const Span* span,
       RecordedEvent out;
       out.category = ev.category;
       out.detail = ev.detail;
-      out.at_us = ToUs(ev.at - epoch_);
+      out.at_us = ToUs(ev.at - epoch);
       request.events.push_back(std::move(out));
     }
     request.attachments = ctx.log()->attachments();
   }
+  return request;
+}
+
+int64_t PerfRecorder::Record(const ExecContext& ctx, const Span* span,
+                             const std::string& name) {
+  if (span == nullptr || !ctx.tracing_enabled()) return 0;
+
+  RecordedRequest request = CaptureRequest(ctx, *span, name, epoch_);
 
   std::lock_guard<std::mutex> lock(mu_);
   request.id = next_id_++;
@@ -213,23 +220,23 @@ void AppendRequestEvents(const RecordedRequest& request, bool* first,
 
 }  // namespace
 
-std::string PerfRecorder::ToChromeTrace(const RecordedRequest& request) {
+std::string RequestsToChromeTrace(
+    const std::vector<RecordedRequest>& requests) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
-  AppendRequestEvents(request, &first, &out);
-  out.append("],\"displayTimeUnit\":\"ms\"}");
-  return out;
-}
-
-std::string PerfRecorder::AllToChromeTrace() const {
-  std::vector<RecordedRequest> recent = Recent();
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
-  for (const RecordedRequest& r : recent) {
+  for (const RecordedRequest& r : requests) {
     AppendRequestEvents(r, &first, &out);
   }
   out.append("],\"displayTimeUnit\":\"ms\"}");
   return out;
+}
+
+std::string PerfRecorder::ToChromeTrace(const RecordedRequest& request) {
+  return RequestsToChromeTrace({request});
+}
+
+std::string PerfRecorder::AllToChromeTrace() const {
+  return RequestsToChromeTrace(Recent());
 }
 
 void PerfRecorder::Clear() {

@@ -60,6 +60,20 @@ struct RecordedRequest {
   std::map<std::string, std::string> attachments;
 };
 
+// Flattens `span`'s subtree (plus the context's breadcrumbs inside the
+// span's [start, end] window and all attachments) into an owned
+// RecordedRequest with timestamps relative to `epoch`. The shared capture
+// path of PerfRecorder::Record and TailExemplarStore::Offer; `id` is left
+// 0 for the caller to assign.
+RecordedRequest CaptureRequest(const ExecContext& ctx, const Span& span,
+                               const std::string& name,
+                               std::chrono::steady_clock::time_point epoch);
+
+// Chrome trace-event JSON for a set of captured requests (each renders as
+// one "pid" so Perfetto groups them). The building block behind
+// PerfRecorder::AllToChromeTrace and TailExemplarStore::ToChromeTrace.
+std::string RequestsToChromeTrace(const std::vector<RecordedRequest>& requests);
+
 struct PerfRecorderOptions {
   int ring_capacity = 256;
   int slow_log_capacity = 32;

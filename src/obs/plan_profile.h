@@ -1,0 +1,72 @@
+// PlanProfileRegistry: per-plan-shape latency profiles.
+//
+// Every executed query has a *plan shape* — the operator tree the
+// engine actually ran (Scan → Filter → HashJoin → Aggregate, with
+// structural parameters like column/predicate counts but no runtime
+// values). The registry keys a latency histogram by that shape's
+// signature (PlanAnalysis::Signature()) and records the measured wall
+// time of each execution, so the profile answers "how long does THIS
+// kind of plan usually take?".
+//
+// This is the calibration substrate for deadline-aware planning
+// (ROADMAP: Maliva-style adaptive materialization chooses plans by
+// whether they can meet the interactive budget): a planner can consult
+// the profile's p95 for a candidate shape before committing to it. For
+// now it is exported read-only through vizq_stats.
+//
+// Recording is one histogram Observe behind a shared-mutex signature
+// lookup; shapes are few (dozens, not thousands) so the map stays tiny.
+
+#ifndef VIZQUERY_OBS_PLAN_PROFILE_H_
+#define VIZQUERY_OBS_PLAN_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace vizq::obs {
+
+class PlanProfileRegistry {
+ public:
+  PlanProfileRegistry() = default;
+  PlanProfileRegistry(const PlanProfileRegistry&) = delete;
+  PlanProfileRegistry& operator=(const PlanProfileRegistry&) = delete;
+
+  struct Profile {
+    std::string signature;
+    int64_t count = 0;
+    double mean_ms = 0;
+    double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+    double min_ms = 0, max_ms = 0;
+  };
+
+  // Records one execution of the shape. No-op for an empty signature.
+  void Record(const std::string& signature, double latency_ms);
+
+  // All profiles, most-executed first. Quantiles come from one
+  // consistent Quantiles() pass per histogram.
+  std::vector<Profile> Snapshot() const;
+
+  // {"plans":[{"signature":...,"count":...,"p50_ms":...,...}]}
+  std::string ToJson() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  // Histogram is append-only and internally atomic; the mutex only
+  // guards the map shape, so Record holds it just for the lookup.
+  std::map<std::string, std::unique_ptr<Histogram>> profiles_;
+};
+
+// The process-wide registry (leaked singleton), fed by TdeEngine.
+PlanProfileRegistry& GlobalPlanProfiles();
+
+}  // namespace vizq::obs
+
+#endif  // VIZQUERY_OBS_PLAN_PROFILE_H_

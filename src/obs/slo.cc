@@ -1,0 +1,109 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vizq::obs {
+
+std::string SloSnapshot::ToString() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "slo<=" << threshold_ms << "ms target=" << target
+     << " total=" << total << " good=" << good << " sheds=" << sheds
+     << " burn[short]=" << short_burn << " burn[long]=" << long_burn
+     << (firing ? " FIRING" : " ok");
+  return os.str();
+}
+
+SloMonitor::SloMonitor(SloMonitorOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  // The ring must out-span the long window plus the current second.
+  ring_.resize(static_cast<size_t>(std::max(options_.long_window_s, 1) + 2));
+}
+
+int64_t SloMonitor::NowSecondLocked() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SloMonitor::RecordLocked(bool good) {
+  int64_t sec = NowSecondLocked();
+  Bucket& b = ring_[static_cast<size_t>(sec) % ring_.size()];
+  if (b.second != sec) {
+    b.second = sec;
+    b.total = 0;
+    b.good = 0;
+  }
+  ++b.total;
+  if (good) ++b.good;
+  ++total_;
+  if (good) ++good_;
+}
+
+void SloMonitor::Record(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLocked(latency_ms <= options_.threshold_ms);
+}
+
+void SloMonitor::RecordBad() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLocked(false);
+}
+
+void SloMonitor::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sheds_;
+}
+
+void SloMonitor::WindowSumsLocked(int window_s, int64_t* total,
+                                  int64_t* good) const {
+  *total = 0;
+  *good = 0;
+  int64_t now_sec = NowSecondLocked();
+  for (int back = 0; back < window_s; ++back) {
+    int64_t sec = now_sec - back;
+    if (sec < 0) break;
+    const Bucket& b = ring_[static_cast<size_t>(sec) % ring_.size()];
+    if (b.second != sec) continue;  // stale slot from an older second
+    *total += b.total;
+    *good += b.good;
+  }
+}
+
+SloSnapshot SloMonitor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SloSnapshot out;
+  out.threshold_ms = options_.threshold_ms;
+  out.target = options_.target;
+  out.total = total_;
+  out.good = good_;
+  out.sheds = sheds_;
+
+  const double budget = std::max(1e-9, 1.0 - options_.target);
+  int64_t st = 0, sg = 0, lt = 0, lg = 0;
+  WindowSumsLocked(options_.short_window_s, &st, &sg);
+  WindowSumsLocked(options_.long_window_s, &lt, &lg);
+  out.short_bad_fraction =
+      st == 0 ? 0.0 : static_cast<double>(st - sg) / static_cast<double>(st);
+  out.long_bad_fraction =
+      lt == 0 ? 0.0 : static_cast<double>(lt - lg) / static_cast<double>(lt);
+  out.short_burn = out.short_bad_fraction / budget;
+  out.long_burn = out.long_bad_fraction / budget;
+  out.long_window_requests = lt;
+  out.firing = lt >= options_.min_requests_to_fire &&
+               out.short_burn >= options_.fire_burn_rate &&
+               out.long_burn >= options_.fire_burn_rate;
+  return out;
+}
+
+void SloMonitor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Bucket& b : ring_) b = Bucket{};
+  total_ = 0;
+  good_ = 0;
+  sheds_ = 0;
+}
+
+}  // namespace vizq::obs

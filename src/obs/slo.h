@@ -1,0 +1,112 @@
+// SloMonitor: threshold + multi-window burn-rate monitoring over
+// good/total request counts, driven by the interactive 500 ms SLO.
+//
+// IDEBench (PAPERS.md) argues interactive systems must be judged by
+// time-threshold violations, not means; this monitor makes that
+// operational. Each completed *content* request is recorded as good
+// (answered within threshold_ms) or bad (late, errored, abandoned);
+// typed sheds are counted separately and excluded from the SLO total —
+// a shed is the server *honoring* its protection contract, and counting
+// it as an SLO miss would make the load-shed ladder look worse than the
+// congestion collapse it prevents.
+//
+// Burn rate is the SRE-standard ratio
+//
+//   burn = bad_fraction / (1 - target)
+//
+// i.e. how many times faster than "exactly on objective" the error
+// budget is being consumed (1.0 = spending the budget exactly at the
+// allowed rate). The monitor keeps a ring of per-second good/total
+// buckets and evaluates the burn over a short and a long trailing
+// window; it fires only when BOTH exceed fire_burn_rate (the classic
+// multi-window rule: the short window gives fast detection, the long
+// window keeps one latency blip from paging).
+
+#ifndef VIZQUERY_OBS_SLO_H_
+#define VIZQUERY_OBS_SLO_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vizq::obs {
+
+struct SloMonitorOptions {
+  // Good = a content response within this bound (the paper's interactive
+  // budget; bench_traffic's kSloMs).
+  double threshold_ms = 500.0;
+  // The objective: this fraction of content requests should be good.
+  double target = 0.9;
+  // Trailing windows (seconds) for the multi-window burn evaluation.
+  // Scaled for bench runs (seconds, not the SRE hours) — what matters is
+  // short << long.
+  int short_window_s = 2;
+  int long_window_s = 10;
+  // Fire when burn >= this in BOTH windows.
+  double fire_burn_rate = 2.0;
+  // Don't fire on fewer than this many requests in the long window
+  // (a 1-of-2 blip is noise, not an incident).
+  int64_t min_requests_to_fire = 20;
+};
+
+struct SloSnapshot {
+  double threshold_ms = 0;
+  double target = 0;
+  int64_t total = 0;  // content requests recorded (good + bad), lifetime
+  int64_t good = 0;
+  int64_t sheds = 0;  // excluded from total (see header comment)
+  double short_bad_fraction = 0;
+  double long_bad_fraction = 0;
+  double short_burn = 0;
+  double long_burn = 0;
+  int64_t long_window_requests = 0;
+  bool firing = false;
+
+  std::string ToString() const;
+};
+
+// Thread-safe; one mutex-guarded update per completed request.
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloMonitorOptions options = {});
+
+  // Records one completed content attempt. `latency_ms` is compared
+  // against threshold_ms; errors/abandons should be reported with a
+  // latency past the threshold (or use RecordBad()).
+  void Record(double latency_ms);
+  void RecordBad();            // known-bad regardless of latency
+  void RecordShed();           // typed shed: tracked, outside the SLO
+
+  SloSnapshot Snapshot() const;
+  // Fresh epoch: zeroes counts and the window ring (bench load points).
+  void Reset();
+
+  const SloMonitorOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    int64_t second = -1;  // which absolute second this bucket holds
+    int64_t total = 0;
+    int64_t good = 0;
+  };
+
+  int64_t NowSecondLocked() const;
+  void RecordLocked(bool good);
+  // Sums the trailing `window_s` seconds ending now.
+  void WindowSumsLocked(int window_s, int64_t* total, int64_t* good) const;
+
+  const SloMonitorOptions options_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;  // indexed by second % ring_.size()
+  int64_t total_ = 0;
+  int64_t good_ = 0;
+  int64_t sheds_ = 0;
+};
+
+}  // namespace vizq::obs
+
+#endif  // VIZQUERY_OBS_SLO_H_

@@ -27,7 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "src/common/phase_timeline.h"
 #include "src/dashboard/query_service.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/server/admission.h"
 
 namespace vizq::server {
@@ -38,6 +41,18 @@ struct FrontendOptions {
   // and still be served (labeled) instead of shed. <= 0 disables the
   // stale rungs — overload goes straight to the typed shed.
   double stale_serve_ms = 15000.0;
+  // Deadline-aware admission bypass: a request with less than this much
+  // of its deadline left skips the full pipeline (rung 0) and goes
+  // straight to the degraded rungs — starting backend work the deadline
+  // cannot pay for wastes a slot and still fails the user. At <= 0 only
+  // already-expired requests bypass. Sized to cover a typical admitted
+  // pipeline pass.
+  double min_admit_headroom_ms = 250.0;
+  // The interactive SLO this frontend is judged by. Content responses
+  // (fresh/stale/derived) within slo.threshold_ms count as good; errors
+  // are bad; typed sheds are tracked outside the objective (see
+  // obs/slo.h for why). Defaults to the 500 ms interactive budget.
+  obs::SloMonitorOptions slo;
   // Base pipeline options for the admitted path; Serve overrides
   // session_id and the ladder fields per call.
   dashboard::BatchOptions batch;
@@ -68,7 +83,10 @@ class Frontend {
  public:
   // `service` must outlive the frontend.
   Frontend(dashboard::QueryService* service, FrontendOptions opts = {})
-      : service_(service), opts_(opts), admission_(opts.admission) {}
+      : service_(service),
+        opts_(opts),
+        admission_(opts.admission),
+        slo_(opts.slo) {}
 
   // Serves one interaction batch for `session_id`. On the shed rung the
   // status is kResourceExhausted and the report outcome is kShed.
@@ -79,6 +97,9 @@ class Frontend {
 
   AdmissionController& admission() { return admission_; }
   const FrontendOptions& options() const { return opts_; }
+  // Burn-rate view of the interactive SLO, fed by every Serve call.
+  obs::SloMonitor& slo() { return slo_; }
+  const obs::SloMonitor& slo() const { return slo_; }
 
   struct Stats {
     int64_t fresh = 0;
@@ -90,15 +111,25 @@ class Frontend {
   Stats stats() const;
 
  private:
-  // Rungs 1-2; fills `*outcome` with what actually served.
+  // Rungs 1-2; fills `*outcome` with what actually served and `*rung`
+  // with the ladder rung (1 exact, 2 derived) that answered.
   StatusOr<std::vector<ResultTable>> ServeDegraded(
       uint64_t session_id, const ExecContext& ctx,
       const std::vector<query::AbstractQuery>& batch, ServeReport* report,
-      ServeOutcome* outcome);
+      ServeOutcome* outcome, int* rung);
 
   dashboard::QueryService* service_;
   FrontendOptions opts_;
   AdmissionController admission_;
+  obs::SloMonitor slo_;
+  // Per-phase histograms resolved once (the registry endorses caching on
+  // hot paths); a string-keyed Observe per phase per request costs more
+  // than the timeline itself. Lazily initialized on the first finished
+  // request so construction order vs GlobalMetrics() doesn't matter.
+  std::once_flag phase_hist_once_;
+  obs::Histogram* phase_hist_[kNumPhases] = {};
+  obs::Histogram* phase_total_hist_ = nullptr;
+  obs::Histogram* phase_unattributed_hist_ = nullptr;
   mutable std::mutex mu_;
   Stats stats_;
 };

@@ -1,5 +1,6 @@
 #include "src/tde/engine.h"
 
+#include "src/obs/plan_profile.h"
 #include "src/tde/plan/binder.h"
 #include "src/tde/plan/rewriter.h"
 #include "src/tde/plan/tql_parser.h"
@@ -123,6 +124,13 @@ StatusOr<QueryResult> TdeEngine::Execute(const LogicalOpPtr& plan,
       result.analysis->ForEach([&ctx](const PlanNodeStats& node) {
         ctx.Observe("tde.op." + node.metric_key + ".ms", node.wall_ms());
       });
+      // Per-plan-shape latency profile: the measured wall time of this
+      // execution keyed by the plan's structural signature, the substrate
+      // for deadline-aware plan choice.
+      if (run_span.get() != nullptr) {
+        obs::GlobalPlanProfiles().Record(result.analysis->Signature(),
+                                         run_span.get()->duration_ms());
+      }
     }
   }
   return result;

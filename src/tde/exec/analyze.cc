@@ -149,6 +149,30 @@ void PlanAnalysis::ForEach(
   if (root_ != nullptr) Visit(*root_, fn);
 }
 
+namespace {
+
+void AppendSignature(const PlanNodeStats& node, std::string* out) {
+  out->append(node.label);
+  if (node.children.empty()) return;
+  out->push_back('(');
+  bool first = true;
+  for (const PlanNodeStats* child : node.children) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendSignature(*child, out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+std::string PlanAnalysis::Signature() const {
+  if (root_ == nullptr) return "";
+  std::string out;
+  AppendSignature(*root_, &out);
+  return out;
+}
+
 // --- AnalyzeOperator ---
 
 namespace {

@@ -73,6 +73,15 @@ class PlanAnalysis {
   //     Scan flights_star [cols=3]  (rows=8k batches=8 time=0.9ms)
   std::string ToText() const;
 
+  // Stable structural key for this plan's *shape*: the pre-order join of
+  // node labels, e.g.
+  //   "Aggregate [groups=1 aggs=2](Scan flights_star [cols=3])".
+  // Labels carry structural parameters (column/predicate counts) but no
+  // runtime numbers, so two executions of the same logical plan always
+  // produce the same signature — the key for per-plan-shape latency
+  // profiles (obs::PlanProfileRegistry). Empty for an empty analysis.
+  std::string Signature() const;
+
   // Visits every node (pre-order).
   void ForEach(const std::function<void(const PlanNodeStats&)>& fn) const;
 

@@ -305,6 +305,39 @@ std::vector<LaneCheck> ExecutionLanes::RunQuery(const AbstractQuery& q,
       }
       out.push_back(
           LaneCheck{"recorder", problem.empty(), problem, q.ToKeyString()});
+
+      // The request's PhaseTimeline must stay coherent with the recorded
+      // root span: no negative phase, and the attributed (root-phase) sum
+      // within tolerance of the span's wall time — neither wildly over
+      // (double counting) nor under half of it (a serving layer lost its
+      // scope). Detail phases are additive and excluded by attributed_ns.
+      ++checks_run_;
+      std::string tl_problem;
+      const PhaseTimeline* tl = rctx.timeline();
+      if (tl == nullptr) {
+        tl_problem = "traced context carries no timeline";
+      } else {
+        for (int p = 0; p < kNumPhases; ++p) {
+          if (tl->phase_ns(static_cast<Phase>(p)) < 0) {
+            tl_problem = std::string("negative phase duration: ") +
+                         PhaseName(static_cast<Phase>(p));
+          }
+        }
+        double span_ms = entry.duration_us / 1000.0;
+        double attr_ms = tl->attributed_ms();
+        if (tl_problem.empty() && attr_ms > span_ms * 1.10 + 1.0) {
+          tl_problem = "attributed " + std::to_string(attr_ms) +
+                       "ms overshoots root span " + std::to_string(span_ms) +
+                       "ms";
+        }
+        if (tl_problem.empty() && attr_ms < span_ms * 0.5 - 1.0) {
+          tl_problem = "attributed " + std::to_string(attr_ms) +
+                       "ms is under half the root span " +
+                       std::to_string(span_ms) + "ms";
+        }
+      }
+      out.push_back(LaneCheck{"recorder_timeline", tl_problem.empty(),
+                              tl_problem, q.ToKeyString()});
     }
   }
 

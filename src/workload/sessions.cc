@@ -245,4 +245,10 @@ StatusOr<std::vector<query::AbstractQuery>> Session::BuildBatch(
   return batch;
 }
 
+StatusOr<std::vector<query::AbstractQuery>> Session::BuildBatch(
+    const ExecContext& ctx, const Step& step) const {
+  PhaseScope prep(ctx.timeline(), Phase::kClientPrep);
+  return BuildBatch(step);
+}
+
 }  // namespace vizq::workload

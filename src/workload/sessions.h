@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/exec_context.h"
 #include "src/common/rng.h"
 #include "src/dashboard/dashboard.h"
 #include "src/workload/traffic.h"
@@ -98,6 +99,13 @@ class Session {
   // state (what the harness submits as one batch).
   StatusOr<std::vector<query::AbstractQuery>> BuildBatch(
       const Step& step) const;
+
+  // Same, charging the construction time to the request's client_prep
+  // phase (the client-side share of end-to-end latency the timeline
+  // attributes; see src/common/phase_timeline.h). A context without a
+  // timeline degrades to the plain overload.
+  StatusOr<std::vector<query::AbstractQuery>> BuildBatch(
+      const ExecContext& ctx, const Step& step) const;
 
   uint64_t id() const { return id_; }
   int steps_taken() const { return steps_taken_; }

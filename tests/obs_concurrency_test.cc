@@ -1,0 +1,252 @@
+// Thread-safety suites for the always-on observability layer, written to
+// run under TSan (CI's thread-sanitizer job): the PerfRecorder's
+// Record/Export/Clear paths, the TailExemplarStore's Offer/Snapshot/Clear
+// window machinery, the SloMonitor's bucket ring, and PhaseTimeline's
+// cross-thread Add + per-thread scope stacks. Each test hammers one
+// structure from several threads and then asserts the cheap invariants
+// that survive any interleaving (counts conserved, exports parse, no
+// torn snapshots).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/phase_timeline.h"
+#include "src/obs/exemplar.h"
+#include "src/obs/json.h"
+#include "src/obs/perf_recorder.h"
+#include "src/obs/plan_profile.h"
+#include "src/obs/slo.h"
+
+namespace vizq::obs {
+namespace {
+
+ExecContext MakeTracedWork(const std::string& crumb) {
+  ExecContext ctx;
+  ctx.LogEvent("test", crumb);
+  Span* child = ctx.trace()->root()->StartChild("stage");
+  child->StartChild("inner")->End();
+  child->End();
+  return ctx;
+}
+
+TEST(ObsConcurrencyTest, PerfRecorderRecordExportResetRace) {
+  PerfRecorderOptions options;
+  options.ring_capacity = 16;
+  options.slow_log_capacity = 8;
+  options.slow_threshold_ms = 0.0;
+  PerfRecorder recorder(options);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> recorded{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        ExecContext ctx = MakeTracedWork("w" + std::to_string(t));
+        int64_t id = recorder.Record(ctx, ctx.trace()->root(),
+                                     "req:" + std::to_string(t) + "." +
+                                         std::to_string(i));
+        if (id > 0) recorded.fetch_add(1, std::memory_order_relaxed);
+        // Reads interleave with everyone else's writes.
+        (void)recorder.FindById(id);
+      }
+    });
+  }
+  // One exporter and one resetter racing the writers.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string trace = recorder.AllToChromeTrace();
+      EXPECT_TRUE(ValidateChromeTrace(trace).ok());
+      (void)recorder.Recent();
+      (void)recorder.Slowest();
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < 20; ++i) {
+      recorder.Clear();
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(recorded.load(), kWriters * kPerWriter);
+  // total_recorded survives Clear(): it counts lifetime records.
+  EXPECT_EQ(recorder.total_recorded(), kWriters * kPerWriter);
+  EXPECT_TRUE(ValidateChromeTrace(recorder.AllToChromeTrace()).ok());
+}
+
+TEST(ObsConcurrencyTest, TailExemplarStoreOfferSnapshotClearRace) {
+  TailExemplarOptions opt;
+  opt.top_k = 4;
+  opt.shed_k = 2;
+  TailExemplarStore store(opt);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 300;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        double ms = static_cast<double>((t * kPerWriter + i) % 97) + 0.5;
+        if (!store.WouldAdmit(ms) && i % 7 != 0) continue;
+        ExecContext ctx = MakeTracedWork("w");
+        ctx.timeline()->Add(Phase::kExecution,
+                            static_cast<int64_t>(ms * 1e6));
+        store.Offer(ctx, ctx.trace()->root(), "req:" + std::to_string(i),
+                    ms, "content", /*shed=*/i % 11 == 0);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<Exemplar> kept = store.Snapshot();
+      EXPECT_LE(kept.size(), 2u * (opt.top_k + opt.shed_k));
+      // Content exemplars lead, slowest-first.
+      for (size_t i = 1; i < kept.size(); ++i) {
+        if (kept[i - 1].shed || kept[i].shed) break;
+        EXPECT_GE(kept[i - 1].duration_ms, kept[i].duration_ms);
+      }
+      (void)store.Slowest();
+      EXPECT_TRUE(ValidateChromeTrace(store.ToChromeTrace()).ok());
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < 10; ++i) {
+      store.Clear();
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_GE(store.total_offered(), store.total_retained());
+  EXPECT_TRUE(ValidateChromeTrace(store.ToChromeTrace()).ok());
+}
+
+TEST(ObsConcurrencyTest, SloMonitorRecordSnapshotResetRace) {
+  SloMonitor monitor;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        switch ((t + i) % 3) {
+          case 0: monitor.Record(static_cast<double>(i % 1000)); break;
+          case 1: monitor.RecordBad(); break;
+          default: monitor.RecordShed(); break;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      SloSnapshot snap = monitor.Snapshot();
+      EXPECT_GE(snap.total, snap.good);
+      EXPECT_GE(snap.total, 0);
+      EXPECT_GE(snap.sheds, 0);
+      EXPECT_GE(snap.short_burn, 0.0);
+      EXPECT_GE(snap.long_burn, 0.0);
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < 5; ++i) {
+      monitor.Reset();
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  for (std::thread& th : threads) th.join();
+  SloSnapshot final_snap = monitor.Snapshot();
+  EXPECT_GE(final_snap.total, final_snap.good);
+}
+
+TEST(ObsConcurrencyTest, PhaseTimelineCrossThreadAddsAndScopes) {
+  // One request's timeline is shared by the serving thread (root-phase
+  // scopes) and scheduler workers (detail-phase Adds) — exactly the
+  // production sharing shape.
+  auto tl = std::make_shared<PhaseTimeline>();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          tl->Add(Phase::kQueueInteractive, 1000);
+        } else {
+          // Scope stacks are thread-local: concurrent scopes on separate
+          // threads must not corrupt each other's pause/resume chains.
+          PhaseScope outer(tl.get(), Phase::kExecution);
+          PhaseScope inner(tl.get(), Phase::kCacheLookup);
+        }
+        if (i % 100 == 0) {
+          tl->SetRung(t % 4);
+          tl->SetOutcome("content");
+          (void)tl->ToString();
+          (void)tl->attributed_ns();
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(tl->phase_ns(Phase::kQueueInteractive),
+            static_cast<int64_t>(kThreads / 2) * kPerThread * 1000);
+  EXPECT_GE(tl->phase_ns(Phase::kExecution), 0);
+  EXPECT_GE(tl->phase_ns(Phase::kCacheLookup), 0);
+  EXPECT_EQ(std::string(tl->outcome()), "content");
+}
+
+TEST(ObsConcurrencyTest, PlanProfileRegistryRecordSnapshotRace) {
+  PlanProfileRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        registry.Record("shape-" + std::to_string(i % 5),
+                        static_cast<double>(i % 50) + 0.5);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& p : registry.Snapshot()) {
+        EXPECT_LE(p.p50_ms, p.p95_ms);
+        EXPECT_LE(p.p95_ms, p.p99_ms);
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    std::this_thread::yield();
+    stop.store(true, std::memory_order_release);
+  });
+  for (std::thread& th : threads) th.join();
+
+  std::vector<PlanProfileRegistry::Profile> profiles = registry.Snapshot();
+  ASSERT_EQ(profiles.size(), 5u);
+  int64_t total = 0;
+  for (const auto& p : profiles) total += p.count;
+  EXPECT_EQ(total, static_cast<int64_t>(kWriters) * kPerWriter);
+}
+
+}  // namespace
+}  // namespace vizq::obs

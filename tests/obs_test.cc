@@ -12,12 +12,18 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
 #include "src/cache/intelligent_cache.h"
+#include "src/common/phase_timeline.h"
 #include "src/dashboard/query_service.h"
 #include "src/federation/data_source.h"
+#include "src/obs/exemplar.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/perf_recorder.h"
+#include "src/obs/plan_profile.h"
+#include "src/obs/slo.h"
 #include "src/workload/faa_generator.h"
 #include "src/workload/flights_dashboards.h"
 #include "tests/test_util.h"
@@ -401,6 +407,331 @@ TEST(ObservabilityEndToEndTest, CacheMissReasonsReachGlobalRegistry) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// --- Histogram quantile interpolation ---
+
+TEST(HistogramQuantilesTest, BucketBoundsTile) {
+  EXPECT_DOUBLE_EQ(Histogram::LowerBound(0), 0.0);
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::LowerBound(i), Histogram::UpperBound(i - 1));
+    EXPECT_GT(Histogram::UpperBound(i), Histogram::LowerBound(i));
+  }
+}
+
+TEST(HistogramQuantilesTest, MonotoneOnAdversarialFills) {
+  // Fills engineered to stress the interpolation: everything in one
+  // bucket, two far-apart spikes, values at exact bucket bounds, and a
+  // heavy-tailed sweep. Quantiles must be monotone and clamped to
+  // [min, max] on every one of them.
+  std::vector<std::vector<double>> fills;
+  fills.push_back(std::vector<double>(1000, 5.0));  // single value
+  {
+    std::vector<double> two_spikes(500, 0.001);
+    two_spikes.insert(two_spikes.end(), 500, 1e9);
+    fills.push_back(std::move(two_spikes));
+  }
+  {
+    std::vector<double> at_bounds;
+    for (int i = 0; i < Histogram::kNumBuckets; i += 4) {
+      at_bounds.insert(at_bounds.end(), 17, Histogram::UpperBound(i));
+    }
+    fills.push_back(std::move(at_bounds));
+  }
+  {
+    std::vector<double> heavy;
+    for (int i = 0; i < 2000; ++i) {
+      heavy.push_back(1.0 + (i % 97) * (i % 89) * 0.5);
+    }
+    heavy.push_back(-3.0);  // below-zero lands in bucket 0
+    heavy.push_back(0.0);
+    fills.push_back(std::move(heavy));
+  }
+  const std::vector<double> ps = {0, 1, 10, 25, 50, 75, 90, 95, 99, 99.9,
+                                  100};
+  for (const std::vector<double>& fill : fills) {
+    Histogram h;
+    for (double v : fill) h.Observe(v);
+    std::vector<double> qs = h.Quantiles(ps);
+    ASSERT_EQ(qs.size(), ps.size());
+    for (size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_GE(qs[i], h.min()) << "p" << ps[i];
+      EXPECT_LE(qs[i], h.max()) << "p" << ps[i];
+      if (i > 0) {
+        EXPECT_LE(qs[i - 1], qs[i])
+            << "p" << ps[i - 1] << " > p" << ps[i];
+      }
+    }
+    // The single-quantile form agrees with the batch form.
+    EXPECT_DOUBLE_EQ(h.Percentile(50), qs[4]);
+  }
+}
+
+TEST(HistogramQuantilesTest, UnsortedRequestOrderStillMapsCorrectly) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  std::vector<double> qs = h.Quantiles({99, 50, 1});
+  ASSERT_EQ(qs.size(), 3u);
+  // Values come back in the REQUESTED order, computed from one pass.
+  EXPECT_GT(qs[0], qs[1]);
+  EXPECT_GT(qs[1], qs[2]);
+  EXPECT_DOUBLE_EQ(qs[1], h.Percentile(50));
+}
+
+TEST(HistogramQuantilesTest, EmptyHistogramReportsZero) {
+  Histogram h;
+  std::vector<double> qs = h.Quantiles({50, 95, 99});
+  for (double q : qs) EXPECT_DOUBLE_EQ(q, 0.0);
+}
+
+// --- PhaseTimeline / PhaseScope ---
+
+TEST(PhaseTimelineTest, NestedScopesAccountExclusively) {
+  PhaseTimeline tl;
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    PhaseScope exec(&tl, Phase::kExecution);
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    {
+      // Nested scope pauses the parent: its time must NOT also count as
+      // execution.
+      PhaseScope cache(&tl, Phase::kCacheLookup);
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  double exec_ms = tl.phase_ms(Phase::kExecution);
+  double cache_ms = tl.phase_ms(Phase::kCacheLookup);
+  EXPECT_GE(cache_ms, 10.0);
+  EXPECT_GE(exec_ms, 15.0);
+  // Exclusive: execution excludes the nested cache time...
+  EXPECT_LT(exec_ms, wall_ms - cache_ms + 5.0);
+  // ...and the two together decompose the wall time.
+  EXPECT_LE(tl.attributed_ms(), wall_ms + 1.0);
+  EXPECT_GE(tl.attributed_ms(), 0.9 * wall_ms - 1.0);
+}
+
+TEST(PhaseTimelineTest, EndIsIdempotentAndDetailPhasesExcluded) {
+  PhaseTimeline tl;
+  PhaseScope s(&tl, Phase::kPlan);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  s.End();
+  double after_first = tl.phase_ms(Phase::kPlan);
+  EXPECT_GT(after_first, 0.0);
+  s.End();  // no double charge
+  EXPECT_DOUBLE_EQ(tl.phase_ms(Phase::kPlan), after_first);
+  // Detail phases never count toward the attributed (root) sum.
+  tl.Add(Phase::kQueueInteractive, 50'000'000);
+  EXPECT_DOUBLE_EQ(tl.attributed_ms(), after_first);
+  EXPECT_FALSE(IsRootPhase(Phase::kQueueInteractive));
+  EXPECT_TRUE(IsRootPhase(Phase::kLadder));
+}
+
+TEST(PhaseTimelineTest, ToStringCarriesVerdict) {
+  PhaseTimeline tl;
+  tl.Add(Phase::kCacheLookup, 1'500'000);  // 1.5ms
+  tl.SetRung(2);
+  tl.SetOutcome("derived");
+  std::string s = tl.ToString();
+  EXPECT_NE(s.find("cache_lookup=1.500ms"), std::string::npos) << s;
+  EXPECT_NE(s.find("rung=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("outcome=derived"), std::string::npos) << s;
+  EXPECT_EQ(s.find("execution"), std::string::npos) << s;  // zero: omitted
+}
+
+TEST(PhaseTimelineTest, KillSwitchDropsTimelineFromNewContexts) {
+  ASSERT_TRUE(PhaseTimeline::Enabled());
+  ExecContext with;
+  EXPECT_NE(with.timeline(), nullptr);
+  PhaseTimeline::SetEnabled(false);
+  ExecContext without;
+  EXPECT_EQ(without.timeline(), nullptr);
+  {
+    // Scopes on a null timeline are inert, not crashes.
+    PhaseScope s(without.timeline(), Phase::kExecution);
+  }
+  PhaseTimeline::SetEnabled(true);
+  ExecContext restored;
+  EXPECT_NE(restored.timeline(), nullptr);
+  // Background contexts never carry a timeline.
+  EXPECT_EQ(ExecContext::Background().timeline(), nullptr);
+}
+
+// --- SloMonitor ---
+
+TEST(SloMonitorTest, FiresOnSustainedBadTrafficOnly) {
+  SloMonitorOptions opt;
+  opt.threshold_ms = 100.0;
+  opt.target = 0.9;
+  opt.min_requests_to_fire = 20;
+  SloMonitor good_monitor(opt);
+  for (int i = 0; i < 50; ++i) good_monitor.Record(10.0);
+  SloSnapshot healthy = good_monitor.Snapshot();
+  EXPECT_EQ(healthy.total, 50);
+  EXPECT_EQ(healthy.good, 50);
+  EXPECT_FALSE(healthy.firing);
+  EXPECT_DOUBLE_EQ(healthy.long_burn, 0.0);
+
+  SloMonitor bad_monitor(opt);
+  for (int i = 0; i < 50; ++i) bad_monitor.Record(500.0);  // all late
+  SloSnapshot burning = bad_monitor.Snapshot();
+  EXPECT_EQ(burning.good, 0);
+  // All-bad traffic burns at 1.0 / (1 - 0.9) = 10x the budget rate.
+  EXPECT_NEAR(burning.long_burn, 10.0, 0.01);
+  EXPECT_TRUE(burning.firing);
+}
+
+TEST(SloMonitorTest, MinRequestFloorSuppressesBlips) {
+  SloMonitorOptions opt;
+  opt.min_requests_to_fire = 20;
+  SloMonitor monitor(opt);
+  for (int i = 0; i < 19; ++i) monitor.RecordBad();
+  EXPECT_FALSE(monitor.Snapshot().firing) << "blip below the floor paged";
+  monitor.RecordBad();
+  EXPECT_TRUE(monitor.Snapshot().firing);
+}
+
+TEST(SloMonitorTest, ShedsAreTrackedOutsideTheSlo) {
+  SloMonitor monitor;
+  for (int i = 0; i < 100; ++i) monitor.RecordShed();
+  SloSnapshot snap = monitor.Snapshot();
+  EXPECT_EQ(snap.sheds, 100);
+  EXPECT_EQ(snap.total, 0);
+  EXPECT_FALSE(snap.firing)
+      << "typed sheds must not burn the SLO budget";
+  monitor.Reset();
+  SloSnapshot fresh = monitor.Snapshot();
+  EXPECT_EQ(fresh.sheds, 0);
+  EXPECT_EQ(fresh.total, 0);
+}
+
+// --- TailExemplarStore ---
+
+TEST(TailExemplarStoreTest, KeepsSlowestAndShedLanes) {
+  TailExemplarOptions opt;
+  opt.top_k = 2;
+  opt.shed_k = 1;
+  TailExemplarStore store(opt);
+  for (int i = 1; i <= 5; ++i) {
+    ExecContext ctx = MakeTracedWork("req" + std::to_string(i));
+    store.Offer(ctx, ctx.trace()->root(), "req:" + std::to_string(i),
+                static_cast<double>(10 * i), "content", /*shed=*/false);
+  }
+  // A fast request no longer competes once the lane is full of slower ones.
+  EXPECT_FALSE(store.WouldAdmit(1.0));
+  EXPECT_TRUE(store.WouldAdmit(100.0));
+  {
+    ExecContext ctx;  // no spans: the store synthesizes a root span
+    store.Offer(ctx, nullptr, "shed:zone", 3.0, "shed", /*shed=*/true);
+  }
+  std::vector<Exemplar> kept = store.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);  // top_k slow + 1 shed
+  EXPECT_EQ(kept[0].request.name, "req:5");  // slowest first
+  EXPECT_DOUBLE_EQ(kept[0].duration_ms, 50.0);
+  EXPECT_EQ(kept[1].request.name, "req:4");
+  EXPECT_TRUE(kept[2].shed);
+  EXPECT_GE(kept[2].request.root.TotalSpans(), 1);
+  EXPECT_DOUBLE_EQ(store.Slowest().duration_ms, 50.0);
+  EXPECT_EQ(store.total_offered(), 6);
+  // Lifetime admissions: every content offer won a slot when it arrived
+  // (each displaced a then-faster one), plus the shed.
+  EXPECT_EQ(store.total_retained(), 6);
+
+  int n = 0;
+  Status valid = ValidateChromeTrace(store.ToChromeTrace(), &n);
+  EXPECT_TRUE(valid.ok()) << valid;
+  EXPECT_GT(n, 0);
+
+  store.Clear();
+  EXPECT_TRUE(store.Snapshot().empty());
+  EXPECT_DOUBLE_EQ(store.Slowest().duration_ms, 0.0);
+}
+
+TEST(TailExemplarStoreTest, TimelineTextRidesAlong) {
+  TailExemplarStore store;
+  ExecContext ctx;
+  ASSERT_NE(ctx.timeline(), nullptr);
+  ctx.timeline()->Add(Phase::kExecution, 42'000'000);
+  store.Offer(ctx, nullptr, "req:tl", 42.0, "content", /*shed=*/false);
+  std::vector<Exemplar> kept = store.Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_NE(kept[0].timeline_text.find("execution=42.000ms"),
+            std::string::npos)
+      << kept[0].timeline_text;
+}
+
+TEST(TailExemplarStoreTest, MinDurationFloorFiltersFastRequests) {
+  TailExemplarOptions opt;
+  opt.min_duration_ms = 25.0;
+  TailExemplarStore store(opt);
+  EXPECT_FALSE(store.WouldAdmit(10.0));
+  ExecContext fast;
+  store.Offer(fast, nullptr, "req:fast", 10.0, "content", false);
+  ExecContext slow;
+  store.Offer(slow, nullptr, "req:slow", 30.0, "content", false);
+  std::vector<Exemplar> kept = store.Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].request.name, "req:slow");
+}
+
+// --- PlanProfileRegistry ---
+
+TEST(PlanProfileRegistryTest, ProfilesKeyedBySignature) {
+  PlanProfileRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    registry.Record("Aggregate(Scan t)", 10.0 + i);
+  }
+  registry.Record("Join(Scan a,Scan b)", 100.0);
+  registry.Record("", 5.0);  // empty signature: dropped
+  std::vector<PlanProfileRegistry::Profile> profiles = registry.Snapshot();
+  ASSERT_EQ(profiles.size(), 2u);
+  // Most-executed first.
+  EXPECT_EQ(profiles[0].signature, "Aggregate(Scan t)");
+  EXPECT_EQ(profiles[0].count, 10);
+  EXPECT_LE(profiles[0].p50_ms, profiles[0].p95_ms);
+  EXPECT_LE(profiles[0].p95_ms, profiles[0].p99_ms);
+  EXPECT_GE(profiles[0].min_ms, 9.9);
+  EXPECT_LE(profiles[0].max_ms, 19.1);
+  EXPECT_EQ(profiles[1].count, 1);
+
+  auto parsed = ParseJson(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* plans = parsed->Find("plans");
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ(plans->array().size(), 2u);
+
+  registry.Reset();
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(PlanProfileRegistryTest, EngineFeedsGlobalRegistry) {
+  GlobalPlanProfiles().Reset();
+  FaaFixture fx;
+  BatchOptions opts;
+  opts.use_intelligent_cache = false;
+  opts.use_literal_cache = false;
+  AbstractQuery q = QueryBuilder("faa", workload::kFlightsView)
+                        .Dim("carrier")
+                        .CountAll("flights")
+                        .Build();
+  ExecContext ctx;
+  auto result = fx.service->ExecuteQuery(ctx, q, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::vector<PlanProfileRegistry::Profile> profiles =
+      GlobalPlanProfiles().Snapshot();
+  ASSERT_FALSE(profiles.empty());
+  bool found = false;
+  for (const auto& p : profiles) {
+    if (p.signature.find("Aggregate") != std::string::npos &&
+        p.signature.find("Scan") != std::string::npos) {
+      found = true;
+      EXPECT_GT(p.count, 0);
+    }
+  }
+  EXPECT_TRUE(found) << "no Aggregate-over-Scan shape recorded";
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <string>
 
+#include "src/obs/exemplar.h"
 #include "src/obs/metrics.h"
 #include "src/testing/differential_fuzzer.h"
 
@@ -34,7 +35,9 @@ void Usage(const char* argv0) {
 // CI uploads DIR as a workflow artifact: every failure with its replay
 // seeds and minimized query, plus the global metrics registry snapshot
 // (what the whole campaign did — lane counts, cache hit/miss reasons,
-// operator timings) for triage without a local rerun.
+// operator timings) and the tail-exemplar Chrome trace (the campaign's
+// slowest traced requests, loadable in chrome://tracing) for triage
+// without a local rerun.
 void WriteArtifacts(const std::string& dir,
                     const vizq::testing::FuzzReport& report) {
   {
@@ -48,8 +51,14 @@ void WriteArtifacts(const std::string& dir,
     std::ofstream f(dir + "/registry_snapshot.json", std::ios::trunc);
     f << vizq::obs::GlobalMetrics().ToJson() << "\n";
   }
-  std::printf("wrote artifacts to %s/{failures.txt,registry_snapshot.json}\n",
-              dir.c_str());
+  {
+    std::ofstream f(dir + "/tail_exemplars_trace.json", std::ios::trunc);
+    f << vizq::obs::GlobalExemplars().ToChromeTrace() << "\n";
+  }
+  std::printf(
+      "wrote artifacts to %s/{failures.txt,registry_snapshot.json,"
+      "tail_exemplars_trace.json}\n",
+      dir.c_str());
 }
 
 bool ParseInt64(const char* s, int64_t* out) {

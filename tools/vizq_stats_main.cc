@@ -8,15 +8,21 @@
 //   * the slowest-N recorded requests with their span trees;
 //   * the whole recorded workload as Chrome trace-event JSON
 //     (--trace-out FILE, loadable in chrome://tracing / Perfetto);
+//   * the tail-exemplar store: retained slowest-request traces with their
+//     phase timelines (--exemplar-trace-out FILE exports them as Chrome
+//     trace JSON);
+//   * per-plan-shape latency profiles (signature, count, p50/p95/p99);
 //   * one operator-level EXPLAIN ANALYZE plan for a probe query.
 //
 // --selftest runs the same workload and asserts the acceptance criteria
 // (plausible p50<=p95<=p99 in cache/pool/operator histograms, schema-valid
-// Chrome trace, root rows-out == returned rows), exiting non-zero on any
-// violation; CI runs it on every Release build.
+// Chrome trace, root rows-out == returned rows, retained tail exemplars
+// with a valid trace, non-empty monotone plan profiles), exiting non-zero
+// on any violation; CI runs it on every Release build.
 //
 //   ./build/tools/vizq_stats [--flights N] [--seed S] [--slow-n N]
-//                            [--json] [--trace-out FILE] [--selftest]
+//                            [--json] [--trace-out FILE]
+//                            [--exemplar-trace-out FILE] [--selftest]
 
 #include <algorithm>
 #include <cstdint>
@@ -29,9 +35,11 @@
 
 #include "src/dashboard/renderer.h"
 #include "src/federation/simulated_source.h"
+#include "src/obs/exemplar.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/perf_recorder.h"
+#include "src/obs/plan_profile.h"
 #include "src/query/abstract_query.h"
 #include "src/workload/faa_generator.h"
 #include "src/workload/flights_dashboards.h"
@@ -47,6 +55,7 @@ struct ToolOptions {
   bool json = false;
   bool selftest = false;
   std::string trace_out;
+  std::string exemplar_trace_out;
 };
 
 // What one workload run leaves behind for printing / asserting.
@@ -248,11 +257,49 @@ int SelfTest(const WorkloadResult& result) {
   }
   if (num_events <= 0) return Fail("selftest: Chrome trace has no events");
 
+  // (e) the always-on tail-exemplar store retained this run's slowest
+  // requests, and they export as a schema-valid Chrome trace too.
+  obs::TailExemplarStore& exemplars = obs::GlobalExemplars();
+  if (exemplars.total_retained() <= 0) {
+    return Fail("selftest: tail-exemplar store retained nothing");
+  }
+  if (exemplars.Slowest().duration_ms <= 0) {
+    return Fail("selftest: slowest tail exemplar has no duration");
+  }
+  int exemplar_events = 0;
+  Status exemplar_valid =
+      obs::ValidateChromeTrace(exemplars.ToChromeTrace(), &exemplar_events);
+  if (!exemplar_valid.ok()) {
+    return Fail("selftest: exemplar trace invalid: " +
+                exemplar_valid.ToString());
+  }
+  if (exemplar_events <= 0) {
+    return Fail("selftest: exemplar trace has no events");
+  }
+
+  // (f) plan profiles: the engine recorded at least one shape, and each
+  // profile's quantiles are monotone.
+  std::vector<obs::PlanProfileRegistry::Profile> profiles =
+      obs::GlobalPlanProfiles().Snapshot();
+  if (profiles.empty()) return Fail("selftest: no plan profiles recorded");
+  for (const auto& p : profiles) {
+    if (p.signature.empty() || p.count <= 0) {
+      return Fail("selftest: degenerate plan profile");
+    }
+    if (!(p.min_ms <= p.p50_ms && p.p50_ms <= p.p95_ms &&
+          p.p95_ms <= p.p99_ms && p.p99_ms <= p.max_ms)) {
+      return Fail("selftest: non-monotone quantiles in plan profile " +
+                  p.signature);
+    }
+  }
+
   std::printf("vizq_stats selftest OK: %lld queries, %lld recorded requests, "
-              "%d trace events, probe rows %lld\n",
+              "%d trace events, %lld tail exemplars, %zu plan shapes, "
+              "probe rows %lld\n",
               static_cast<long long>(result.queries_run),
               static_cast<long long>(obs::GlobalRecorder().total_recorded()),
-              num_events, static_cast<long long>(result.probe_rows));
+              num_events, static_cast<long long>(exemplars.total_retained()),
+              profiles.size(), static_cast<long long>(result.probe_rows));
   return 0;
 }
 
@@ -273,16 +320,22 @@ int main(int argc, char** argv) {
       opt.selftest = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       opt.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--exemplar-trace-out") == 0 &&
+               i + 1 < argc) {
+      opt.exemplar_trace_out = argv[++i];
     } else {
       return Fail(std::string("unknown flag: ") + argv[i] +
                   "\nusage: vizq_stats [--flights N] [--seed S] [--slow-n N]"
-                  " [--json] [--trace-out FILE] [--selftest]");
+                  " [--json] [--trace-out FILE] [--exemplar-trace-out FILE]"
+                  " [--selftest]");
     }
   }
 
   // Fresh observability epoch so the dump reflects exactly this run.
   obs::GlobalMetrics().Reset();
   obs::GlobalRecorder().Clear();
+  obs::GlobalExemplars().Clear();
+  obs::GlobalPlanProfiles().Reset();
 
   StatusOr<WorkloadResult> result = RunWorkload(opt);
   if (!result.ok()) return Fail("workload failed: " + result.status().ToString());
@@ -327,6 +380,44 @@ int main(int argc, char** argv) {
     f << obs::GlobalRecorder().AllToChromeTrace();
     std::printf("\nwrote Chrome trace (load in chrome://tracing) to %s\n",
                 opt.trace_out.c_str());
+  }
+
+  // --- tail exemplars ---
+  {
+    obs::TailExemplarStore& store = obs::GlobalExemplars();
+    std::vector<obs::Exemplar> kept = store.Snapshot();
+    std::printf("\n== tail exemplars (%zu retained of %lld offered) ==\n",
+                kept.size(), static_cast<long long>(store.total_offered()));
+    for (const obs::Exemplar& e : kept) {
+      std::string rung =
+          e.rung >= 0 ? " rung=" + std::to_string(e.rung) : std::string();
+      std::printf("  %s%s  %.3f ms  outcome=%s%s\n", e.shed ? "[shed] " : "",
+                  e.request.name.c_str(), e.duration_ms, e.outcome.c_str(),
+                  rung.c_str());
+      if (!e.timeline_text.empty()) {
+        std::printf("    timeline: %s\n", e.timeline_text.c_str());
+      }
+    }
+    if (!opt.exemplar_trace_out.empty()) {
+      std::ofstream f(opt.exemplar_trace_out, std::ios::trunc);
+      if (!f) return Fail("cannot open " + opt.exemplar_trace_out);
+      f << store.ToChromeTrace();
+      std::printf("  wrote exemplar Chrome trace to %s\n",
+                  opt.exemplar_trace_out.c_str());
+    }
+  }
+
+  // --- per-plan-shape latency profiles ---
+  {
+    std::vector<obs::PlanProfileRegistry::Profile> profiles =
+        obs::GlobalPlanProfiles().Snapshot();
+    std::printf("\n== plan profiles (%zu shapes, most-executed first) ==\n",
+                profiles.size());
+    for (const auto& p : profiles) {
+      std::printf("  x%-4lld p50 %8.3f ms  p95 %8.3f ms  p99 %8.3f ms  %s\n",
+                  static_cast<long long>(p.count), p.p50_ms, p.p95_ms,
+                  p.p99_ms, p.signature.c_str());
+    }
   }
 
   // --- one annotated plan ---
