@@ -1,22 +1,9 @@
 #include "src/cache/distributed.h"
 
-#include <chrono>
-#include <thread>
-
 namespace vizq::cache {
 
 DistributedCacheTier::DistributedCacheTier()
     : DistributedCacheTier(Options()) {}
-
-void DistributedCacheTier::ChargeLatency(int64_t payload_bytes) {
-  double ms = options_.rtt_ms +
-              options_.per_kb_ms * static_cast<double>(payload_bytes) / 1024.0;
-  simulated_ms_ += ms;
-  if (options_.simulate_latency) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
-  }
-}
 
 std::optional<std::string> DistributedCacheTier::Get(const std::string& key) {
   std::string value;
@@ -31,7 +18,7 @@ std::optional<std::string> DistributedCacheTier::Get(const std::string& key) {
       ++hits_;
     }
   }
-  ChargeLatency(found ? static_cast<int64_t>(value.size()) : 0);
+  net_.Charge(found ? static_cast<int64_t>(value.size()) : 0);
   if (!found) return std::nullopt;
   return value;
 }
@@ -58,7 +45,7 @@ void DistributedCacheTier::Put(const std::string& key, std::string value) {
       store_.erase(victim);
     }
   }
-  ChargeLatency(payload);
+  net_.Charge(payload);
 }
 
 void DistributedCacheTier::Erase(const std::string& key) {
@@ -70,10 +57,31 @@ void DistributedCacheTier::Erase(const std::string& key) {
   }
 }
 
+int64_t DistributedCacheTier::EraseNamespace(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  // std::map is ordered, so the namespace is one contiguous key range.
+  auto it = store_.lower_bound(prefix);
+  while (it != store_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    total_bytes_ -= static_cast<int64_t>(it->second.size());
+    it = store_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
 void DistributedCacheTier::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   store_.clear();
   total_bytes_ = 0;
+}
+
+std::string SharedKey(const query::AbstractQuery& q) {
+  return SharedKeyPrefix(q.view) + q.ToKeyString();
+}
+
+std::string SharedKeyPrefix(const std::string& view) {
+  return view + '\x1f';
 }
 
 std::optional<ResultTable> NodeCacheLayer::Lookup(
@@ -81,7 +89,7 @@ std::optional<ResultTable> NodeCacheLayer::Lookup(
   auto local_hit = local_.Lookup(q);
   if (local_hit.has_value()) return local_hit;
   if (shared_ == nullptr) return std::nullopt;
-  auto remote = shared_->Get(q.ToKeyString());
+  auto remote = shared_->Get(SharedKey(q));
   if (!remote.has_value()) return std::nullopt;
   auto table = ResultTable::Deserialize(*remote);
   if (!table.ok()) return std::nullopt;
@@ -95,7 +103,7 @@ std::optional<ResultTable> NodeCacheLayer::Lookup(
 void NodeCacheLayer::Put(const query::AbstractQuery& q, ResultTable result,
                          double eval_cost_ms) {
   if (shared_ != nullptr) {
-    shared_->Put(q.ToKeyString(), result.Serialize());
+    shared_->Put(SharedKey(q), result.Serialize());
   }
   local_.Put(q, std::move(result), eval_cost_ms);
 }

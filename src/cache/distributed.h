@@ -5,10 +5,17 @@
 // efficiency, recent entries are also stored in memory on the nodes."
 //
 // DistributedCacheTier substitutes for Redis/Cassandra: a shared,
-// thread-safe KV store whose operations pay a configurable network
-// round-trip plus a per-byte transfer cost (really slept, so end-to-end
-// benches see genuine latency). NodeCacheLayer is one worker node's view:
-// an in-memory IntelligentCache in front of the shared tier.
+// thread-safe KV store whose operations pay a modeled network cost
+// (rpc::NetworkCostModel — the same model the in-process RPC transport
+// charges, so the two remote hops cannot drift apart; really slept, so
+// end-to-end benches see genuine latency). NodeCacheLayer is one worker
+// node's view: an in-memory IntelligentCache in front of the shared tier.
+//
+// Keys are namespaced per published source (SharedKey): a query's entry
+// lives under "<view>\x1f<query key>", so a cluster rebalance can
+// invalidate everything a moved source ever published with one
+// EraseNamespace(SharedKeyPrefix(view)) — the no-stale-owner guarantee
+// cluster_test checks.
 
 #ifndef VIZQUERY_CACHE_DISTRIBUTED_H_
 #define VIZQUERY_CACHE_DISTRIBUTED_H_
@@ -20,44 +27,54 @@
 #include <string>
 
 #include "src/cache/intelligent_cache.h"
+#include "src/rpc/netmodel.h"
 
 namespace vizq::cache {
 
 class DistributedCacheTier {
  public:
   struct Options {
-    double rtt_ms = 0.4;          // per-operation round trip
-    double per_kb_ms = 0.002;     // payload transfer
-    bool simulate_latency = true; // sleep for the modeled time
+    // Latency/bandwidth knobs shared with the RPC layer (src/rpc/).
+    rpc::NetworkCostOptions net;
     int64_t max_bytes = 1LL << 30;
   };
 
   DistributedCacheTier();  // default Options
-  explicit DistributedCacheTier(Options options) : options_(options) {}
+  explicit DistributedCacheTier(Options options)
+      : options_(options), net_(options.net) {}
 
   std::optional<std::string> Get(const std::string& key);
   void Put(const std::string& key, std::string value);
   void Erase(const std::string& key);
+  // Drops every entry whose key starts with `prefix` and returns how many
+  // were dropped. Rebalance invalidation: erase a moved source's whole
+  // namespace so no node can serve its pre-move entries.
+  int64_t EraseNamespace(const std::string& prefix);
   void Clear();
 
   int64_t gets() const { return gets_; }
   int64_t hits() const { return hits_; }
   int64_t puts() const { return puts_; }
   // Total simulated network time spent against this tier.
-  double simulated_ms() const { return simulated_ms_; }
+  double simulated_ms() const { return net_.simulated_ms(); }
 
  private:
-  void ChargeLatency(int64_t payload_bytes);
-
   Options options_;
+  rpc::NetworkCostModel net_;
   std::mutex mu_;
   std::map<std::string, std::string> store_;
   int64_t total_bytes_ = 0;
   int64_t gets_ = 0;
   int64_t hits_ = 0;
   int64_t puts_ = 0;
-  double simulated_ms_ = 0;
 };
+
+// The shared-tier key for one query's cached result: the owning view's
+// namespace followed by the query's canonical key. \x1f (unit separator)
+// cannot appear in a view name, so namespaces cannot collide by prefix.
+std::string SharedKey(const query::AbstractQuery& q);
+// Every key of `view` starts with this prefix (and no other view's does).
+std::string SharedKeyPrefix(const std::string& view);
 
 // One cluster node's cache stack: local in-memory intelligent cache backed
 // by the shared tier. The shared tier stores exact-key entries (it is a

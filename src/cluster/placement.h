@@ -1,0 +1,70 @@
+// Consistent-hash placement of published data sources onto data-server
+// nodes (the Hillview-style partitioning the cluster coordinator routes
+// by). Each node contributes `virtual_nodes` points on a 64-bit hash
+// ring; a source is owned by the first node point at or after the hash
+// of its name. The properties cluster_test checks:
+//
+//   * determinism — ownership is a pure function of (members, seed);
+//   * minimal movement — adding or removing one of N nodes re-homes at
+//     most ~K/N + eps of K sources (the whole point of consistent
+//     hashing vs `hash % N`, which moves nearly everything);
+//   * virtual nodes smooth the load split across members.
+//
+// Not thread-safe: the ClusterCoordinator owns the ring and guards it
+// with its own membership lock.
+
+#ifndef VIZQUERY_CLUSTER_PLACEMENT_H_
+#define VIZQUERY_CLUSTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vizq::cluster {
+
+struct PlacementOptions {
+  // Ring points per node. More points -> smoother split, larger ring.
+  int virtual_nodes = 64;
+  // Mixed into every ring hash, so two clusters with the same member
+  // names can still be given independent placements.
+  uint64_t seed = 0;
+};
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(PlacementOptions options = {})
+      : options_(options) {}
+
+  // Adding an existing member or removing an absent one is a no-op.
+  void AddNode(const std::string& node_id);
+  void RemoveNode(const std::string& node_id);
+  bool HasNode(const std::string& node_id) const;
+
+  // The member owning `key` (a published source name). Empty string when
+  // the ring has no members.
+  std::string OwnerOf(const std::string& key) const;
+
+  // Current members, sorted by id.
+  std::vector<std::string> nodes() const { return members_; }
+  int num_nodes() const { return static_cast<int>(members_.size()); }
+
+  const PlacementOptions& options() const { return options_; }
+
+ private:
+  void Rebuild();
+
+  struct Point {
+    uint64_t hash;
+    // Index into members_; the ring stores indices so membership churn
+    // does not copy node-id strings per virtual point.
+    int member;
+  };
+
+  PlacementOptions options_;
+  std::vector<std::string> members_;  // sorted
+  std::vector<Point> ring_;           // sorted by hash
+};
+
+}  // namespace vizq::cluster
+
+#endif  // VIZQUERY_CLUSTER_PLACEMENT_H_

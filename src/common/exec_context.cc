@@ -243,6 +243,21 @@ ExecContext ExecContext::WithDeadlineMs(double ms) {
   return ctx;
 }
 
+ExecContext ExecContext::ForRemoteCall(double budget_ms) const {
+  ExecContext remote = *this;
+  remote.timeline_.reset();
+  if (budget_ms > 0) {
+    auto budget_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<int64_t>(budget_ms * 1000));
+    if (!remote.has_deadline_ || budget_deadline < remote.deadline_) {
+      remote.has_deadline_ = true;
+      remote.deadline_ = budget_deadline;
+    }
+  }
+  return remote;
+}
+
 double ExecContext::remaining_ms() const {
   if (!has_deadline_) return std::numeric_limits<double>::max();
   return std::chrono::duration<double, std::milli>(

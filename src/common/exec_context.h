@@ -220,6 +220,17 @@ class ExecContext {
   // Fresh context whose deadline is `ms` from now.
   static ExecContext WithDeadlineMs(double ms);
 
+  // The context an RPC transport hands to the remote (node-side) handler:
+  // shares this context's cancel state, trace, metrics and log, but
+  //   * tightens the deadline to min(existing, now + budget_ms), so a
+  //     per-call budget can never outlive the request's own deadline;
+  //   * drops the phase timeline — node-side root phases (cache lookup,
+  //     plan, execution) would double-count against the caller's `rpc`
+  //     phase; the transport charges the remote share back explicitly as
+  //     the `remote_exec` detail phase instead.
+  // budget_ms <= 0 keeps the existing deadline unchanged.
+  ExecContext ForRemoteCall(double budget_ms) const;
+
   // --- deadline ---
   bool has_deadline() const { return has_deadline_; }
   std::chrono::steady_clock::time_point deadline() const { return deadline_; }

@@ -28,9 +28,11 @@ const char* PhaseName(Phase p) {
     case Phase::kExecution: return "execution";
     case Phase::kMaterialize: return "materialize";
     case Phase::kLadder: return "ladder";
+    case Phase::kRpc: return "rpc";
     case Phase::kQueueInteractive: return "queue_interactive";
     case Phase::kQueueBatch: return "queue_batch";
     case Phase::kQueueBackground: return "queue_background";
+    case Phase::kRemoteExec: return "remote_exec";
   }
   return "?";
 }

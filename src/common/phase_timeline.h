@@ -15,6 +15,7 @@
 //     execution      remote execution: scheduler + backend + group join
 //     materialize    roll-ups, result resolution, result copies
 //     ladder         shed-ladder bookkeeping outside the probes
+//     rpc            scatter/gather round trips to data-server nodes
 //
 //   detail phases (additive, NOT part of the sum invariant):
 //     queue_interactive / queue_batch / queue_background
@@ -22,6 +23,9 @@
 //       concurrently on many workers, so their waits overlap the root
 //       `execution` phase and each other; they decompose *where queueing
 //       happens*, not wall time.
+//     remote_exec
+//       node-side execution time inside an rpc round trip, charged onto
+//       the caller's timeline by the transport (overlaps `rpc`).
 //
 // Exclusive accounting is what makes "phases sum to ~total" hold: root
 // phases are measured only on the thread driving the request, through a
@@ -57,14 +61,25 @@ enum class Phase : uint8_t {
   kExecution,
   kMaterialize,
   kLadder,
+  // Scatter/gather round trips against data-server nodes: serialization,
+  // modeled wire time, and waiting on remote execution. Root phase — on
+  // a clustered request the driving thread's time genuinely goes here
+  // instead of kExecution (the node-side context carries no timeline, so
+  // the two never double-count).
+  kRpc,
   // Detail phases: additive annotations outside the sum invariant.
   kQueueInteractive,
   kQueueBatch,
   kQueueBackground,
+  // Time a data-server node spent executing one scattered call, charged
+  // by the RPC transport onto the *caller's* timeline. Overlaps kRpc by
+  // construction (it is the remote share of the round trip), hence a
+  // detail phase.
+  kRemoteExec,
 };
 
-inline constexpr int kNumPhases = 11;
-inline constexpr int kNumRootPhases = 8;
+inline constexpr int kNumPhases = 13;
+inline constexpr int kNumRootPhases = 9;
 
 const char* PhaseName(Phase p);
 inline bool IsRootPhase(Phase p) {

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "src/obs/exemplar.h"
+#include "src/obs/metrics.h"
 #include "src/obs/perf_recorder.h"
 
 namespace vizq::dashboard {
@@ -193,6 +194,29 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
           ++local_report.cache_hits;
           continue;
         }
+        // Cluster-wide tier (§3.2): another node may have answered this
+        // exact query already. Skipped on cache_only ladder rungs — those
+        // must stay at local-probe cost, and a shed decision should not
+        // depend on a simulated network round trip. A shared hit is
+        // always-fresh by construction: extracts are immutable between
+        // refreshes, and RefreshDataSource/rebalance drop the namespace.
+        if (!options.cache_only && caches_->shared != nullptr) {
+          auto remote = caches_->shared->Get(cache::SharedKey(batch[i]));
+          if (remote.has_value()) {
+            auto table = ResultTable::Deserialize(*remote);
+            if (table.ok()) {
+              caches_->intelligent.Put(batch[i], *table, /*eval_cost_ms=*/1.0,
+                                       bctx);
+              results[i] = *std::move(table);
+              resolved[i] = true;
+              local_report.queries[i].served_from =
+                  ServedFrom::kIntelligentCacheExact;
+              ++local_report.cache_hits;
+              bctx.Count("service.shared_hit");
+              continue;
+            }
+          }
+        }
       }
       misses.push_back(i);
     }
@@ -281,6 +305,10 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
       if (options.use_intelligent_cache && caches_ != nullptr) {
         caches_->intelligent.Put(outcome.sent, outcome.result, outcome.ms,
                                  bctx);
+        if (caches_->shared != nullptr) {
+          caches_->shared->Put(cache::SharedKey(outcome.sent),
+                               outcome.result.Serialize());
+        }
       }
     } else {
       outcome.status = result.status();
@@ -306,9 +334,14 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
         std::min<int>(options.max_parallel_queries,
                       static_cast<int>(groups.size())),
         options.session_id);
+    // Work spawned on behalf of a cluster node carries the node identity
+    // in the task name, so scheduler introspection (and task dumps under
+    // saturation) attribute queued work to the node that owns it.
+    std::string task_name = options.node_id.empty()
+                                ? "batch-group"
+                                : "batch-group@" + options.node_id;
     for (size_t gi = 0; gi < groups.size(); ++gi) {
-      workers->Spawn([&, gi] { run_group(static_cast<int>(gi)); },
-                     "batch-group");
+      workers->Spawn([&, gi] { run_group(static_cast<int>(gi)); }, task_name);
     }
   }
 
@@ -414,6 +447,9 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
     }
     if (options.use_intelligent_cache && caches_ != nullptr) {
       caches_->intelligent.Put(sent, *result, 1.0, bctx);
+      if (caches_->shared != nullptr) {
+        caches_->shared->Put(cache::SharedKey(sent), result->Serialize());
+      }
     }
     PhaseScope mat_phase(bctx.timeline(), Phase::kMaterialize);
     auto plan = cache::MatchQueries(sent, result->columns(), batch[i]);
@@ -443,10 +479,16 @@ StatusOr<std::vector<ResultTable>> QueryService::ExecuteBatch(
   exec_phase.End();
 
   // Served-from tallies mirror the per-query report on the metrics
-  // registry (asserted against QueryReport in tests).
+  // registry (asserted against QueryReport in tests). On a cluster node
+  // the same tallies are mirrored under per-node labels, so vizq_stats
+  // can break "who served what" down by node.
   for (const QueryReport& qr : local_report.queries) {
-    bctx.Count(std::string("service.served.") +
-               ServedFromToString(qr.served_from));
+    std::string served =
+        std::string("service.served.") + ServedFromToString(qr.served_from);
+    bctx.Count(served);
+    if (!options.node_id.empty()) {
+      bctx.Count(obs::Labeled(served, "node", options.node_id));
+    }
   }
   bctx.Count("service.batches");
   bctx.Count("service.queries", n);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/distributed.h"
 #include "src/cache/intelligent_cache.h"
 #include "src/cache/literal_cache.h"
 #include "src/common/scheduler.h"
@@ -73,6 +74,11 @@ struct BatchOptions {
   // scan). The ladder's first degraded rung: exact answers are cheaper and
   // carry no derivation risk, so they are tried before derived ones.
   bool cache_exact_only = false;
+  // Cluster identity of the node running this batch (empty = single-node).
+  // Tags the scheduler tasks the batch spawns ("batch-group@<node>") and
+  // mirrors the served-from counters under per-node metric labels, so a
+  // clustered deployment can tell which node did the work.
+  std::string node_id;
   cache::AdjustOptions adjust;     // §3.2 reuse adjustment
   query::CompilerOptions compiler;
 };
@@ -101,6 +107,13 @@ struct BatchReport {
 struct CacheStack {
   cache::IntelligentCache intelligent;
   cache::LiteralCache literal;
+  // Optional cluster-wide tier behind the per-node caches (§3.2's
+  // Redis/Cassandra layer). When set, exact intelligent-cache misses
+  // probe it before going remote, and fresh results are published to it
+  // — so a query one node answered keeps every node warm. Entries are
+  // namespaced per view (cache::SharedKey), which is what lets a
+  // rebalance invalidate a moved source wholesale.
+  std::shared_ptr<cache::DistributedCacheTier> shared;
 
   CacheStack() = default;
   explicit CacheStack(cache::IntelligentCacheOptions iopts,
@@ -108,7 +121,19 @@ struct CacheStack {
       : intelligent(iopts), literal(lopts) {}
 };
 
-class QueryService {
+// The boundary the serving layer executes batches through. QueryService
+// is the single-node implementation; cluster::ClusterCoordinator is the
+// scatter/gather one. Frontend holds a BatchExecutor*, so admission and
+// the shed ladder are identical whether the engine is local or sharded.
+class BatchExecutor {
+ public:
+  virtual ~BatchExecutor() = default;
+  virtual StatusOr<std::vector<ResultTable>> ExecuteBatch(
+      const ExecContext& ctx, const std::vector<query::AbstractQuery>& batch,
+      const BatchOptions& options, BatchReport* report) = 0;
+};
+
+class QueryService : public BatchExecutor {
  public:
   // `caches` may be shared across services/users; may be null (no caching).
   QueryService(std::shared_ptr<federation::DataSource> source,
@@ -137,7 +162,7 @@ class QueryService {
   // (§3.3). Results are positional. `report` may be null.
   StatusOr<std::vector<ResultTable>> ExecuteBatch(
       const ExecContext& ctx, const std::vector<query::AbstractQuery>& batch,
-      const BatchOptions& options = {}, BatchReport* report = nullptr);
+      const BatchOptions& options = {}, BatchReport* report = nullptr) override;
 
   // Context-less conveniences (no deadline, no trace).
   StatusOr<ResultTable> ExecuteQuery(const query::AbstractQuery& q,

@@ -33,7 +33,9 @@ struct RenderReport {
 
 class DashboardRenderer {
  public:
-  explicit DashboardRenderer(QueryService* service) : service_(service) {}
+  // Any BatchExecutor: the single-node QueryService or the cluster
+  // coordinator — iteration/validation logic is execution-agnostic.
+  explicit DashboardRenderer(BatchExecutor* service) : service_(service) {}
 
   // Renders the whole dashboard (initial load). The ctx-less overloads
   // delegate to ExecContext::Background() (no tracing, no recording).
@@ -63,7 +65,7 @@ class DashboardRenderer {
   }
 
  private:
-  QueryService* service_;
+  BatchExecutor* service_;
 };
 
 }  // namespace vizq::dashboard

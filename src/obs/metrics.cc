@@ -79,15 +79,34 @@ void AppendJsonEscaped(const std::string& s, std::string* out) {
 }
 
 // Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted names
-// (cache.intelligent.exact_hit) map dots and dashes to underscores.
-std::string PrometheusName(const std::string& name) {
-  std::string out = "vizq_";
-  for (char c : name) {
+// (cache.intelligent.exact_hit) map dots and dashes to underscores. An
+// obs::Labeled() suffix ({node="n2"}) is NOT part of the name: it is
+// split off and re-emitted as a real Prometheus label block, so labeled
+// series scrape as first-class dimensions (`name{labels...}`), not as
+// per-value metric names.
+struct PrometheusParts {
+  std::string name;    // sanitized, "vizq_"-prefixed
+  std::string labels;  // inner label list, "" when unlabeled
+};
+
+PrometheusParts SplitPrometheusName(const std::string& name) {
+  PrometheusParts parts;
+  size_t brace = name.find('{');
+  size_t base_len = brace == std::string::npos ? name.size() : brace;
+  parts.name = "vizq_";
+  for (size_t i = 0; i < base_len; ++i) {
+    char c = name[i];
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9') || c == '_' || c == ':';
-    out.push_back(ok ? c : '_');
+    parts.name.push_back(ok ? c : '_');
   }
-  return out;
+  if (brace != std::string::npos) {
+    size_t end = name.rfind('}');
+    if (end != std::string::npos && end > brace) {
+      parts.labels = name.substr(brace + 1, end - brace - 1);
+    }
+  }
+  return parts;
 }
 
 }  // namespace
@@ -319,26 +338,35 @@ MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
 std::string MetricsRegistry::ToPrometheusText() const {
   MetricsSnapshot snap = TakeSnapshot();
   std::string out;
+  auto with_labels = [](const PrometheusParts& p) {
+    return p.labels.empty() ? p.name : p.name + '{' + p.labels + '}';
+  };
   for (const auto& [name, v] : snap.counters) {
-    std::string pname = PrometheusName(name);
-    out += "# TYPE " + pname + " counter\n";
-    out += pname + " " + std::to_string(v) + "\n";
+    PrometheusParts p = SplitPrometheusName(name);
+    out += "# TYPE " + p.name + " counter\n";
+    out += with_labels(p) + " " + std::to_string(v) + "\n";
   }
   for (const auto& [name, v] : snap.gauges) {
-    std::string pname = PrometheusName(name);
-    out += "# TYPE " + pname + " gauge\n";
-    out += pname + " " + FormatDouble(v) + "\n";
+    PrometheusParts p = SplitPrometheusName(name);
+    out += "# TYPE " + p.name + " gauge\n";
+    out += with_labels(p) + " " + FormatDouble(v) + "\n";
   }
   for (const MetricsSnapshot::HistogramRow& h : snap.histograms) {
-    std::string pname = PrometheusName(h.name);
-    out += "# TYPE " + pname + " summary\n";
-    out += pname + "{quantile=\"0.5\"} " + FormatDouble(h.p50) + "\n";
-    out += pname + "{quantile=\"0.95\"} " + FormatDouble(h.p95) + "\n";
-    out += pname + "{quantile=\"0.99\"} " + FormatDouble(h.p99) + "\n";
-    out += pname + "_min " + FormatDouble(h.min) + "\n";
-    out += pname + "_max " + FormatDouble(h.max) + "\n";
-    out += pname + "_sum " + FormatDouble(h.sum) + "\n";
-    out += pname + "_count " + std::to_string(h.count) + "\n";
+    PrometheusParts p = SplitPrometheusName(h.name);
+    // Own labels (if any) merge ahead of the quantile label.
+    std::string prefix = p.labels.empty() ? "" : p.labels + ",";
+    std::string suffix = p.labels.empty() ? "" : "{" + p.labels + "}";
+    out += "# TYPE " + p.name + " summary\n";
+    out += p.name + "{" + prefix + "quantile=\"0.5\"} " +
+           FormatDouble(h.p50) + "\n";
+    out += p.name + "{" + prefix + "quantile=\"0.95\"} " +
+           FormatDouble(h.p95) + "\n";
+    out += p.name + "{" + prefix + "quantile=\"0.99\"} " +
+           FormatDouble(h.p99) + "\n";
+    out += p.name + "_min" + suffix + " " + FormatDouble(h.min) + "\n";
+    out += p.name + "_max" + suffix + " " + FormatDouble(h.max) + "\n";
+    out += p.name + "_sum" + suffix + " " + FormatDouble(h.sum) + "\n";
+    out += p.name + "_count" + suffix + " " + std::to_string(h.count) + "\n";
   }
   return out;
 }

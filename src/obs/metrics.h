@@ -195,6 +195,15 @@ class MetricsRegistry : public GlobalMetricsSink {
 // global metrics sink (idempotent, thread-safe).
 MetricsRegistry& GlobalMetrics();
 
+// Prometheus-style labeled metric name: Labeled("rpc.calls", "node", "n2")
+// == R"(rpc.calls{node="n2"})". The registry is name-keyed, so a label is
+// just a naming convention — but one the exposition formats pass through
+// unchanged, giving per-node (per-anything) series without a label type.
+inline std::string Labeled(const std::string& name, const std::string& key,
+                           const std::string& value) {
+  return name + '{' + key + "=\"" + value + "\"}";
+}
+
 }  // namespace vizq::obs
 
 #endif  // VIZQUERY_OBS_METRICS_H_

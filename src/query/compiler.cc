@@ -125,6 +125,13 @@ StatusOr<CompiledQuery> QueryCompiler::Compile(
       for (const Value& v : p.values) {
         content_hash = HashCombine(content_hash, v.Hash());
       }
+      // Node-scoped naming: the namespace participates in the hash, so
+      // two cluster nodes sharing one backend derive disjoint temp names
+      // for identical IN-lists (a node must not join against a table
+      // another node created and may drop at any time).
+      for (unsigned char c : options.temp_namespace) {
+        content_hash = HashCombine(content_hash, c);
+      }
       char hex[17];
       std::snprintf(hex, sizeof(hex), "%016llx",
                     static_cast<unsigned long long>(content_hash));

@@ -81,6 +81,11 @@ struct CompilerOptions {
   // Externalize above this many values even if the backend's hard
   // max_in_list is higher (long inline lists are slow to plan remotely).
   int externalize_threshold = 64;
+  // Cluster-node namespace mixed into externalized temp-table names. Two
+  // data-server nodes that happen to share a backend must not collide on
+  // (or reuse) each other's temp tables — a node only trusts temps it
+  // created itself. Empty = single-node naming, unchanged.
+  std::string temp_namespace;
 };
 
 class QueryCompiler {

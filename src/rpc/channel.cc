@@ -1,0 +1,227 @@
+#include "src/rpc/channel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace vizq::rpc {
+
+void InProcessTransport::RegisterEndpoint(const std::string& node_id,
+                                          RpcHandler* handler) {
+  auto ep = std::make_shared<Endpoint>();
+  ep->handler = handler;
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[node_id] = std::move(ep);
+}
+
+void InProcessTransport::UnregisterEndpoint(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_.erase(node_id);
+}
+
+void InProcessTransport::SetEndpointUp(const std::string& node_id, bool up) {
+  std::shared_ptr<Endpoint> ep = FindEndpoint(node_id);
+  if (ep != nullptr) ep->up.store(up, std::memory_order_release);
+}
+
+bool InProcessTransport::EndpointUp(const std::string& node_id) const {
+  std::shared_ptr<Endpoint> ep = FindEndpoint(node_id);
+  return ep != nullptr && ep->up.load(std::memory_order_acquire);
+}
+
+void InProcessTransport::SetFaultHook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hook_ = std::move(hook);
+}
+
+std::shared_ptr<InProcessTransport::Endpoint> InProcessTransport::FindEndpoint(
+    const std::string& node_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(node_id);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+// Decrements an endpoint's in-flight count on every exit path.
+class InFlightGuard {
+ public:
+  explicit InFlightGuard(std::atomic<int>* in_flight) : in_flight_(in_flight) {}
+  ~InFlightGuard() {
+    if (in_flight_ != nullptr) {
+      in_flight_->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::atomic<int>* in_flight_;
+};
+
+}  // namespace
+
+StatusOr<RpcResponse> InProcessTransport::Call(const ExecContext& ctx,
+                                               const RpcRequest& req) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("rpc call"));
+
+  // Serialize before anything else: on the wire, the request is bytes.
+  std::string wire = req.Serialize();
+
+  FaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = fault_hook_;
+  }
+  if (hook != nullptr) {
+    Status injected = hook(req);
+    if (!injected.ok()) {
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
+
+  std::shared_ptr<Endpoint> ep = FindEndpoint(req.target);
+  if (ep == nullptr || !ep->up.load(std::memory_order_acquire)) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Aborted("rpc: node " + req.target + " is down");
+  }
+
+  if (options_.inbox_capacity > 0 &&
+      ep->in_flight.fetch_add(1, std::memory_order_relaxed) + 1 >
+          options_.inbox_capacity) {
+    ep->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ResourceExhausted("rpc: inbox full at " + req.target);
+  }
+  InFlightGuard guard(options_.inbox_capacity > 0 ? &ep->in_flight : nullptr);
+
+  // Request leg: pay the wire cost, then parse on the "far side".
+  bytes_moved_.fetch_add(static_cast<int64_t>(wire.size()),
+                         std::memory_order_relaxed);
+  net_.ChargeOneWay(static_cast<int64_t>(wire.size()));
+  auto parsed = RpcRequest::Deserialize(wire);
+  if (!parsed.ok()) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    return parsed.status();
+  }
+
+  // The node executes under a context that shares cancellation, trace,
+  // metrics and log, but carries no timeline (the caller's `rpc` root
+  // phase owns this wall time) and a deadline tightened by the call
+  // budget.
+  ExecContext node_ctx = ctx.ForRemoteCall(parsed->budget_ms);
+  auto handler_start = std::chrono::steady_clock::now();
+  RpcResponse resp = ep->handler->Handle(node_ctx, *parsed);
+  auto handler_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - handler_start)
+                        .count();
+  if (PhaseTimeline* tl = ctx.timeline()) {
+    tl->Add(Phase::kRemoteExec, handler_ns);
+  }
+  resp.request_id = parsed->request_id;
+  resp.remote_ms = static_cast<double>(handler_ns) / 1e6;
+
+  // Mid-call kill: the handler may have finished, but a down endpoint
+  // cannot deliver its response. The caller sees kAborted and cannot know
+  // whether the work happened — which is why only idempotent calls ride
+  // the retry channel.
+  if (!ep->up.load(std::memory_order_acquire)) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Aborted("rpc: node " + req.target + " died before responding");
+  }
+
+  // Response leg.
+  std::string resp_wire = resp.Serialize();
+  bytes_moved_.fetch_add(static_cast<int64_t>(resp_wire.size()),
+                         std::memory_order_relaxed);
+  net_.ChargeOneWay(static_cast<int64_t>(resp_wire.size()));
+  auto out = RpcResponse::Deserialize(resp_wire);
+  if (!out.ok()) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    return out.status();
+  }
+  return *std::move(out);
+}
+
+namespace {
+
+bool RetriableTransportError(const Status& s) {
+  // Node down / inbox full / corrupt envelope: a resend (possibly to a
+  // re-resolved owner) is the natural recovery. A spent deadline is not
+  // retriable — there is no budget left to spend.
+  return s.code() == StatusCode::kAborted ||
+         s.code() == StatusCode::kResourceExhausted ||
+         s.code() == StatusCode::kDataLoss;
+}
+
+std::atomic<uint64_t> g_next_request_id{1};
+
+}  // namespace
+
+StatusOr<RpcResponse> RetryingChannel::Call(const ExecContext& ctx,
+                                            const std::string& method,
+                                            std::string payload,
+                                            const Resolver& resolve,
+                                            const FailureHook& on_failure) {
+  Status last = OkStatus();
+  double backoff_ms = options_.initial_backoff_ms;
+  int attempts = std::max(1, options_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    VIZQ_RETURN_IF_ERROR(ctx.CheckContinue("rpc retry"));
+    std::string target = resolve();
+    if (target.empty()) {
+      return NotFound("rpc: no owner resolved for " + method);
+    }
+    RpcRequest req;
+    req.request_id =
+        g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+    req.method = method;
+    req.target = target;
+    req.budget_ms = options_.call_budget_ms;
+    req.payload = payload;
+
+    Status failure;
+    {
+      // One span per attempt, named for the node it went to — the trace
+      // of a slow scatter/gather shows exactly which node stalled.
+      ScopedSpan span(ctx.StartSpan("rpc:" + target));
+      auto result = transport_->Call(ctx, req);
+      if (result.ok()) {
+        if (result->code != StatusCode::kFailedPrecondition) {
+          // Success, or an application error the caller should see
+          // verbatim (retrying a bad query cannot fix it).
+          return *std::move(result);
+        }
+        // Stale placement: the node no longer hosts the source. The
+        // re-resolve on the next attempt roams to the new owner.
+        failure = result->ToStatus();
+      } else {
+        failure = result.status();
+        if (!RetriableTransportError(failure)) return failure;
+      }
+    }
+    last = failure;
+    if (on_failure != nullptr) on_failure(target, failure);
+    if (attempt + 1 >= attempts) break;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    ctx.Count("rpc.retry");
+    double sleep_ms = backoff_ms;
+    if (ctx.has_deadline()) {
+      sleep_ms = std::min(sleep_ms, std::max(0.0, ctx.remaining_ms()));
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(sleep_ms * 1000)));
+    }
+    backoff_ms *= options_.backoff_multiplier;
+  }
+  // Exhausted: surface as kResourceExhausted — the "temporarily
+  // unavailable" shape the frontend ladder knows how to degrade.
+  return ResourceExhausted("rpc: " + std::to_string(attempts) +
+                           " attempts exhausted calling " + method + ": " +
+                           last.ToString());
+}
+
+}  // namespace vizq::rpc

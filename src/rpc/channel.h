@@ -1,0 +1,168 @@
+// The in-process RPC boundary: a simulated network between the
+// coordinator and the data-server nodes.
+//
+// InProcessTransport carries serialized envelopes (envelope.h) between
+// registered endpoints. A call pays the modeled network cost
+// (netmodel.h) on both legs, respects the caller's deadline plus an
+// optional per-call budget, enforces a bounded per-endpoint inbox, and
+// surfaces *typed transport errors* distinct from application errors:
+//
+//   kAborted            endpoint down (before the call, or killed while
+//                       the handler ran — the response is "lost")
+//   kResourceExhausted  endpoint inbox full (bounded queue overflow)
+//   kDeadlineExceeded   budget spent before or during the call
+//   kDataLoss           corrupt envelope (fault injection / bugs)
+//
+// Handlers run inline on the calling thread. That is deliberate: the
+// scatter path already runs on scheduler workers, and dispatching the
+// handler to *another* worker and blocking this one on a condition
+// variable could park every worker at saturation. The simulated wire
+// cost still separates "caller time" from "remote time": the node-side
+// context carries no PhaseTimeline (ExecContext::ForRemoteCall), and
+// the transport charges the handler's wall time back to the caller's
+// timeline as the additive `remote_exec` phase.
+//
+// RetryingChannel is the ytsaurus retriable/roaming channel in
+// miniature: it re-resolves the target per attempt (so a rebalance
+// mid-retry roams to the new owner), retries only transport-level
+// failures plus kFailedPrecondition (the code a node answers with when
+// a stale placement routed it a source it no longer hosts), backs off
+// exponentially (deadline-aware), and wraps an exhausted budget as
+// kResourceExhausted so the frontend's shed ladder can degrade it.
+// Application errors (bad query, engine failure) pass through verbatim
+// on the first attempt — retrying them would duplicate work and mask
+// the typed error the caller should see.
+
+#ifndef VIZQUERY_RPC_CHANNEL_H_
+#define VIZQUERY_RPC_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/exec_context.h"
+#include "src/rpc/envelope.h"
+#include "src/rpc/netmodel.h"
+
+namespace vizq::rpc {
+
+// A node-side service. Handle() must be thread-safe (the coordinator
+// scatters concurrently) and must honor `ctx`'s deadline/cancellation.
+class RpcHandler {
+ public:
+  virtual ~RpcHandler() = default;
+  virtual RpcResponse Handle(const ExecContext& ctx,
+                             const RpcRequest& request) = 0;
+};
+
+struct TransportOptions {
+  NetworkCostOptions net;
+  // Bounded inbox: calls in flight per endpoint beyond this are refused
+  // with transport-level kResourceExhausted. <= 0 = unbounded.
+  int inbox_capacity = 64;
+};
+
+class InProcessTransport {
+ public:
+  explicit InProcessTransport(TransportOptions options = {})
+      : options_(options), net_(options.net) {}
+
+  // `handler` must outlive the endpoint registration.
+  void RegisterEndpoint(const std::string& node_id, RpcHandler* handler);
+  void UnregisterEndpoint(const std::string& node_id);
+  // Down endpoints refuse new calls AND lose in-flight responses
+  // (mid-call kill: the handler may have run, the caller still sees
+  // kAborted — exactly the ambiguity real networks have, which is why
+  // only idempotent calls are retried).
+  void SetEndpointUp(const std::string& node_id, bool up);
+  bool EndpointUp(const std::string& node_id) const;
+
+  // Fault hook for tests/fuzzing: consulted per call; a non-OK status is
+  // returned to the caller as that transport error. May mutate nothing.
+  using FaultHook = std::function<Status(const RpcRequest&)>;
+  void SetFaultHook(FaultHook hook);
+
+  // One round trip. Transport-level failures come back as a non-OK
+  // Status; application-level failures come back OK with the response's
+  // code set (the channel treats the two differently for retries).
+  StatusOr<RpcResponse> Call(const ExecContext& ctx, const RpcRequest& req);
+
+  NetworkCostModel& net() { return net_; }
+
+  int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  int64_t transport_errors() const {
+    return transport_errors_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_moved() const {
+    return bytes_moved_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Endpoint {
+    RpcHandler* handler = nullptr;
+    std::atomic<bool> up{true};
+    std::atomic<int> in_flight{0};
+  };
+
+  std::shared_ptr<Endpoint> FindEndpoint(const std::string& node_id) const;
+
+  TransportOptions options_;
+  NetworkCostModel net_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+  FaultHook fault_hook_;
+  std::atomic<int64_t> calls_{0};
+  std::atomic<int64_t> transport_errors_{0};
+  std::atomic<int64_t> bytes_moved_{0};
+};
+
+struct RetryOptions {
+  int max_attempts = 3;
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  // Per-attempt budget handed to the remote node; <= 0 = whatever
+  // remains of the caller's deadline.
+  double call_budget_ms = 0;
+};
+
+class RetryingChannel {
+ public:
+  // Re-resolves the target node per attempt (roaming): after a failure
+  // triggers a rebalance, the retry goes to the *new* owner.
+  using Resolver = std::function<std::string()>;
+  // Notified on every retriable failure before the backoff; the cluster
+  // coordinator uses it to mark the node dead and rebalance.
+  using FailureHook =
+      std::function<void(const std::string& node_id, const Status& status)>;
+
+  RetryingChannel(InProcessTransport* transport, RetryOptions options = {})
+      : transport_(transport), options_(options) {}
+
+  // Calls `method` with `payload` against whatever node `resolve`
+  // returns, retrying transport failures (node down, inbox full, corrupt
+  // envelope) and the stale-placement code kFailedPrecondition.
+  // Returns the final response (whose code may still be an application
+  // error — those are the caller's business), or:
+  //   * the last non-retriable error verbatim;
+  //   * kResourceExhausted when every attempt failed retriably — the
+  //     "overloaded/unavailable" shape the shed ladder degrades;
+  //   * kDeadlineExceeded when the deadline lapsed mid-retry.
+  StatusOr<RpcResponse> Call(const ExecContext& ctx, const std::string& method,
+                             std::string payload, const Resolver& resolve,
+                             const FailureHook& on_failure = nullptr);
+
+  int64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+
+ private:
+  InProcessTransport* transport_;
+  RetryOptions options_;
+  std::atomic<int64_t> retries_{0};
+};
+
+}  // namespace vizq::rpc
+
+#endif  // VIZQUERY_RPC_CHANNEL_H_

@@ -26,7 +26,8 @@ Status ServerSession::CreateTempTable(const std::string& name,
   spec.source_column = column;
   spec.type = type;
   spec.values = std::move(values);
-  temps_[name] = server_->temp_registry_.Acquire(spec);
+  temps_[name] =
+      server_->temp_registry_.Acquire(spec, server_->options_.node_id);
   return OkStatus();
 }
 

@@ -121,6 +121,11 @@ struct DataServerOptions {
   // client<->server traffic) while still benefiting from database-side
   // temp tables via the compiler.
   bool enable_in_memory_temp_tables = true;
+  // Cluster identity of this data server. Namespaces everything that
+  // must be node-local on a shared substrate: temp-table definitions
+  // (TempTableRegistry scope) and backend-side temp names (the
+  // compiler's temp_namespace). Empty = standalone single-node server.
+  std::string node_id;
   dashboard::BatchOptions batch;
 };
 

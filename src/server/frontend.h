@@ -81,8 +81,10 @@ struct ServeReport {
 
 class Frontend {
  public:
-  // `service` must outlive the frontend.
-  Frontend(dashboard::QueryService* service, FrontendOptions opts = {})
+  // `service` must outlive the frontend. Any BatchExecutor works: the
+  // single-node QueryService or the cluster scatter/gather coordinator —
+  // admission and the ladder don't care where execution happens.
+  Frontend(dashboard::BatchExecutor* service, FrontendOptions opts = {})
       : service_(service),
         opts_(opts),
         admission_(opts.admission),
@@ -118,7 +120,7 @@ class Frontend {
       const std::vector<query::AbstractQuery>& batch, ServeReport* report,
       ServeOutcome* outcome, int* rung);
 
-  dashboard::QueryService* service_;
+  dashboard::BatchExecutor* service_;
   FrontendOptions opts_;
   AdmissionController admission_;
   obs::SloMonitor slo_;

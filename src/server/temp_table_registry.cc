@@ -2,8 +2,10 @@
 
 namespace vizq::server {
 
-std::string TempTableRegistry::ContentKey(const query::TempTableSpec& spec) {
-  std::string key = spec.source_column + "\x1f" + spec.column + "\x1f" +
+std::string TempTableRegistry::ContentKey(const query::TempTableSpec& spec,
+                                          const std::string& node_scope) {
+  std::string key = node_scope + "\x1e" + spec.source_column + "\x1f" +
+                    spec.column + "\x1f" +
                     std::to_string(static_cast<int>(spec.type.kind)) + "\x1f";
   for (const Value& v : spec.values) {
     key += v.ToString();
@@ -13,9 +15,9 @@ std::string TempTableRegistry::ContentKey(const query::TempTableSpec& spec) {
 }
 
 std::shared_ptr<const query::TempTableSpec> TempTableRegistry::Acquire(
-    const query::TempTableSpec& spec) {
+    const query::TempTableSpec& spec, const std::string& node_scope) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string key = ContentKey(spec);
+  std::string key = ContentKey(spec, node_scope);
   auto it = definitions_.find(key);
   if (it != definitions_.end()) {
     ++it->second.refs;

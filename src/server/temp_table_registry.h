@@ -22,9 +22,13 @@ namespace vizq::server {
 class TempTableRegistry {
  public:
   // Registers a reference to `spec`'s definition; identical contents share
-  // one definition. Returns the shared definition.
+  // one definition. Returns the shared definition. `node_scope` namespaces
+  // the definition to one cluster node: two data-server nodes sharing a
+  // registry (or its backing store) must never observe each other's temps
+  // — same content, different scope, different definition. Empty scope =
+  // the single-node behavior.
   std::shared_ptr<const query::TempTableSpec> Acquire(
-      const query::TempTableSpec& spec);
+      const query::TempTableSpec& spec, const std::string& node_scope = "");
 
   // Drops one reference; the definition disappears with the last one.
   void Release(const std::shared_ptr<const query::TempTableSpec>& def);
@@ -36,7 +40,8 @@ class TempTableRegistry {
   int64_t shared_acquisitions() const { return shared_; }
 
  private:
-  static std::string ContentKey(const query::TempTableSpec& spec);
+  static std::string ContentKey(const query::TempTableSpec& spec,
+                                const std::string& node_scope);
 
   struct Shared {
     std::shared_ptr<const query::TempTableSpec> def;

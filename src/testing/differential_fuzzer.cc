@@ -100,8 +100,9 @@ bool LaneStillFails(const Dataset& ds, const LaneSetupOptions& lane_options,
                     uint64_t lane_seed, std::string* detail) {
   ExecutionLanes lanes(ds, lane_options);
   std::vector<LaneCheck> checks;
-  if (lane == "batch_fused" || lane == "batch_unfused") {
-    checks = lanes.RunBatch({q});
+  if (lane == "batch_fused" || lane == "batch_unfused" ||
+      lane == "cluster_batch") {
+    checks = lanes.RunBatch({q}, lane_seed);
   } else {
     checks = lanes.RunQuery(q, lane_seed);
   }
@@ -217,6 +218,7 @@ FuzzReport RunDifferentialFuzz(const FuzzOptions& options) {
   lane_options.include_federated = options.include_federated;
   lane_options.deadline_lane = options.deadline_lane;
   lane_options.stale_shed_lane = options.stale_shed_lane;
+  lane_options.cluster_lane = options.cluster_lane;
   lane_options.inject_offby_one = options.inject_offby_one;
   lane_options.diff = options.diff;
 
@@ -254,9 +256,9 @@ FuzzReport RunDifferentialFuzz(const FuzzOptions& options) {
                      lane_options, options, &seen_failures, &report);
     }
     {
-      auto checks = lanes->RunBatch(batch);
-      RecordFailures(checks, iter, dataset_seed,
-                     HashCombine(iter_seed, 0xba7c4), by_key, ds,
+      uint64_t batch_seed = HashCombine(iter_seed, 0xba7c4);
+      auto checks = lanes->RunBatch(batch, batch_seed);
+      RecordFailures(checks, iter, dataset_seed, batch_seed, by_key, ds,
                      lane_options, options, &seen_failures, &report);
     }
 

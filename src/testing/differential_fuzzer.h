@@ -34,6 +34,10 @@ struct FuzzOptions {
   // Overload lane: every response from a saturated frontend is exact-
   // correct, labeled stale within the serve bound, or a typed shed.
   bool stale_shed_lane = true;
+  // Sharded-cluster lane: the iteration batch scattered across a 3-node
+  // simulated Data Server and diffed against the single-node oracle,
+  // with seed-selected node-kill / kill-then-revive fault variants.
+  bool cluster_lane = true;
   bool metamorphic = true;
   // Two-table equi-join lane (join_fuzz.h): one generated inner or
   // left-outer join + aggregation per iteration, diffed against a

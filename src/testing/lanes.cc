@@ -63,6 +63,18 @@ std::unique_ptr<QueryService> MakeService(
 constexpr double kStaleShedTtlMs = 0.05;
 constexpr double kStaleShedBoundMs = 10000.0;
 
+// Cluster-lane view names: the fuzz table published three times so one
+// iteration batch scatters across all three nodes.
+constexpr int kClusterViews = 3;
+std::string ClusterViewName(int i) { return "clv" + std::to_string(i); }
+
+// The error codes a clustered batch may legitimately answer while a node
+// is down: exhausted retries, a lapsed deadline, or the kill itself.
+bool IsTypedClusterError(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded || code == StatusCode::kAborted;
+}
+
 }  // namespace
 
 AbstractQuery GeneralizeForDerivedHit(const AbstractQuery& q,
@@ -202,6 +214,21 @@ ExecutionLanes::ExecutionLanes(Dataset dataset, LaneSetupOptions options)
     stale_frontend_ =
         std::make_unique<server::Frontend>(stale_service_.get(), fo);
   }
+  if (options_.cluster_lane) {
+    cluster::ClusterOptions copts;
+    copts.num_nodes = 3;
+    copts.transport.net.simulate_latency = false;
+    copts.shared_tier.net.simulate_latency = false;
+    copts.retry.initial_backoff_ms = 0.0;  // bounded runs need no sleeps
+    cluster_ = std::make_unique<cluster::ClusterCoordinator>(copts);
+    for (int i = 0; i < kClusterViews; ++i) {
+      cluster::SourceSpec spec;
+      spec.view.name = ClusterViewName(i);
+      spec.view.fact_table = dataset_.table;
+      spec.backend = tde_source();
+      (void)cluster_->Publish(spec);
+    }
+  }
 }
 
 StatusOr<OraclePair> ExecutionLanes::OracleFor(const AbstractQuery& q) {
@@ -330,7 +357,13 @@ std::vector<LaneCheck> ExecutionLanes::RunQuery(const AbstractQuery& q,
                        "ms overshoots root span " + std::to_string(span_ms) +
                        "ms";
         }
-        if (tl_problem.empty() && attr_ms < span_ms * 0.5 - 1.0) {
+        // The under-attribution slack must absorb scheduler preemption:
+        // on a loaded host a sub-5ms request can be descheduled between
+        // phase scopes, inflating the wall span while every phase keeps
+        // its scope. A genuinely lost serving-layer scope still trips
+        // this once the span is large enough to amortize that noise.
+        constexpr double kSchedSlackMs = 5.0;
+        if (tl_problem.empty() && attr_ms < span_ms * 0.5 - kSchedSlackMs) {
           tl_problem = "attributed " + std::to_string(attr_ms) +
                        "ms is under half the root span " +
                        std::to_string(span_ms) + "ms";
@@ -536,7 +569,7 @@ std::vector<LaneCheck> ExecutionLanes::RunQuery(const AbstractQuery& q,
 }
 
 std::vector<LaneCheck> ExecutionLanes::RunBatch(
-    const std::vector<AbstractQuery>& batch) {
+    const std::vector<AbstractQuery>& batch, uint64_t lane_seed) {
   std::vector<LaneCheck> out;
   if (batch.empty()) return out;
 
@@ -568,6 +601,67 @@ std::vector<LaneCheck> ExecutionLanes::RunBatch(
     for (size_t i = 0; i < batch.size(); ++i) {
       Check("batch_unfused", batch[i], (*serial)[i], &out);
     }
+  }
+
+  // --- cluster_batch: the batch scattered across the 3-node simulated
+  // Data Server. Variant 0 runs the healthy cluster and must be exactly
+  // right. Variant 1 kills an owning node first: the retrying channel's
+  // failover must still produce correct answers or a typed error, never
+  // silent partials. Variant 2 additionally revives the node, so the
+  // administrative rebalance (ownership moves + shared-tier namespace
+  // invalidation) runs before a final must-be-correct pass.
+  if (cluster_ != nullptr) {
+    std::vector<AbstractQuery> cbatch = batch;
+    for (size_t i = 0; i < cbatch.size(); ++i) {
+      cbatch[i].view = ClusterViewName(static_cast<int>(i) % kClusterViews);
+    }
+    Rng rng(HashCombine(lane_seed, 0xC1057E5ULL));
+    const int variant = rng.Below(3);
+    std::string victim;
+    if (variant >= 1) {
+      victim = cluster_->OwnerOf(ClusterViewName(rng.Below(kClusterViews)));
+      if (!victim.empty()) cluster_->KillNode(victim);
+    }
+
+    auto check_pass = [&](const StatusOr<std::vector<ResultTable>>& results,
+                          bool faults_possible, const char* when) {
+      ++checks_run_;
+      if (!results.ok()) {
+        if (faults_possible && IsTypedClusterError(results.status().code())) {
+          out.push_back(
+              LaneCheck{"cluster_batch", true, "", batch[0].ToKeyString()});
+        } else {
+          out.push_back(LaneCheck{
+              "cluster_batch", false,
+              std::string(when) + ": " + results.status().ToString(),
+              batch[0].ToKeyString()});
+        }
+        return;
+      }
+      if (results->size() != batch.size()) {
+        out.push_back(LaneCheck{"cluster_batch", false,
+                                std::string(when) + ": partial gather (" +
+                                    std::to_string(results->size()) + "/" +
+                                    std::to_string(batch.size()) + ")",
+                                batch[0].ToKeyString()});
+        return;
+      }
+      // Diff against the ORIGINAL queries' oracle: the rewritten view
+      // names change routing, not semantics (same fact table).
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Check("cluster_batch", batch[i], (*results)[i], &out);
+      }
+    };
+
+    check_pass(cluster_->ExecuteBatch(cbatch), variant >= 1,
+               variant >= 1 ? "after node kill" : "healthy cluster");
+    if (variant == 2 && !victim.empty()) {
+      cluster_->ReviveNode(victim);
+      victim.clear();
+      check_pass(cluster_->ExecuteBatch(cbatch), false, "after revive");
+    }
+    // Restore full membership for the next iteration either way.
+    if (!victim.empty()) cluster_->ReviveNode(victim);
   }
   return out;
 }

@@ -32,6 +32,15 @@
 //                     under a tight deadline; the outcome must be either a
 //                     fully correct table or kDeadlineExceeded/kAborted —
 //                     never a partial-but-OK result.
+//   cluster_batch   — the iteration batch, rewritten onto three published
+//                     cluster views, scattered across a 3-node simulated
+//                     Data Server (consistent-hash routing, per-node
+//                     caches over a shared tier) and gathered; diffed
+//                     query-by-query against the oracle. Seed-selected
+//                     variants kill an owning node first (failover must
+//                     re-serve correctly or fail with a typed error —
+//                     never silent partials) and then revive it (the
+//                     administrative rebalance must leave no stale owner).
 //   stale_shed      — the query hits a Frontend under injected overload
 //                     (admission cap 0: nothing runs the full pipeline)
 //                     over a tiny-TTL cache that is randomly pre-warmed
@@ -56,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/coordinator.h"
 #include "src/dashboard/query_service.h"
 #include "src/server/frontend.h"
 #include "src/testing/dataset_gen.h"
@@ -67,6 +77,7 @@ struct LaneSetupOptions {
   bool include_federated = true;
   bool deadline_lane = true;
   bool stale_shed_lane = true;
+  bool cluster_lane = true;
   bool inject_offby_one = false;
   DiffOptions diff;
 };
@@ -96,8 +107,10 @@ class ExecutionLanes {
                                   uint64_t lane_seed);
 
   // Batch lanes over the whole iteration batch (positional results).
-  std::vector<LaneCheck> RunBatch(
-      const std::vector<query::AbstractQuery>& batch);
+  // `lane_seed` picks the cluster lane's fault variant (none / node-kill
+  // failover / kill-then-revive rebalance) deterministically.
+  std::vector<LaneCheck> RunBatch(const std::vector<query::AbstractQuery>& batch,
+                                  uint64_t lane_seed = 0);
 
   // The oracle's answer for `q` (memoized per key string).
   StatusOr<OraclePair> OracleFor(const query::AbstractQuery& q);
@@ -131,6 +144,9 @@ class ExecutionLanes {
   // frontend (admission cap 0) that can only answer via the shed ladder.
   std::unique_ptr<dashboard::QueryService> stale_service_;
   std::unique_ptr<server::Frontend> stale_frontend_;
+  // cluster_batch lane: a 3-node scatter/gather coordinator hosting the
+  // fuzz table under three published views.
+  std::unique_ptr<cluster::ClusterCoordinator> cluster_;
 
   std::map<std::string, OraclePair> oracle_memo_;
   int64_t checks_run_ = 0;

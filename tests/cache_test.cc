@@ -425,7 +425,7 @@ TEST(PersistenceTest, StatsSurviveRoundTrip) {
 TEST(DistributedTest, SecondNodeStaysWarm) {
   CacheTestEnv env;
   DistributedCacheTier::Options tier_options;
-  tier_options.simulate_latency = false;
+  tier_options.net.simulate_latency = false;
   auto tier = std::make_shared<DistributedCacheTier>(tier_options);
   NodeCacheLayer node_a("a", tier);
   NodeCacheLayer node_b("b", tier);

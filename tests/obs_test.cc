@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include <chrono>
 
 #include "src/cache/intelligent_cache.h"
+#include "src/cluster/coordinator.h"
 #include "src/common/phase_timeline.h"
 #include "src/dashboard/query_service.h"
 #include "src/federation/data_source.h"
@@ -675,6 +677,54 @@ TEST(TailExemplarStoreTest, MinDurationFloorFiltersFastRequests) {
   std::vector<Exemplar> kept = store.Snapshot();
   ASSERT_EQ(kept.size(), 1u);
   EXPECT_EQ(kept[0].request.name, "req:slow");
+}
+
+// A traced scatter/gather batch retains its per-node RPC spans: the
+// retrying channel opens an "rpc:<node>" span per attempt under the
+// caller's trace, so a tail exemplar of a clustered request shows WHICH
+// nodes the gather waited on, not just that it was slow.
+TEST(TailExemplarStoreTest, ClusterBatchTraceCarriesPerNodeRpcSpans) {
+  auto db = vizq::testing::MakeTestDatabase(512);
+  auto backend = std::make_shared<federation::TdeDataSource>("tde", db);
+  cluster::ClusterOptions copts;
+  copts.num_nodes = 3;
+  copts.transport.net.simulate_latency = false;
+  copts.shared_tier.net.simulate_latency = false;
+  cluster::ClusterCoordinator coord(copts);
+  std::vector<std::string> views;
+  for (int s = 0; s < 4; ++s) {
+    cluster::SourceSpec spec;
+    spec.view.name = "obs" + std::to_string(s);
+    spec.view.fact_table = "sales";
+    spec.backend = backend;
+    ASSERT_TRUE(coord.Publish(spec).ok());
+    views.push_back(spec.view.name);
+  }
+  std::vector<AbstractQuery> batch;
+  for (const auto& view : views) {
+    batch.push_back(QueryBuilder("tde", view).Dim("region").Build());
+  }
+
+  ExecContext ctx;  // traced by default
+  ASSERT_NE(ctx.trace(), nullptr);
+  auto results = coord.ExecuteBatch(ctx, batch, {}, nullptr);
+  ASSERT_TRUE(results.ok()) << results.status();
+
+  TailExemplarStore store;
+  store.Offer(ctx, ctx.trace()->root(), "req:cluster", 12.0, "content",
+              /*shed=*/false);
+  std::string trace = store.ToChromeTrace();
+  int n = 0;
+  ASSERT_TRUE(ValidateChromeTrace(trace, &n).ok());
+  // Every node that owns one of the batch's views shows up as an rpc span.
+  std::set<std::string> owners;
+  for (const auto& view : views) owners.insert(coord.OwnerOf(view));
+  EXPECT_GE(owners.size(), 2u);  // the batch actually scattered
+  for (const auto& owner : owners) {
+    EXPECT_NE(trace.find("rpc:" + owner), std::string::npos)
+        << "missing rpc span for " << owner << " in:\n"
+        << trace;
+  }
 }
 
 // --- PlanProfileRegistry ---

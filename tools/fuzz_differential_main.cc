@@ -27,7 +27,7 @@ void Usage(const char* argv0) {
                "usage: %s [--iterations N] [--seed S] [--queries N]\n"
                "          [--dataset-every N] [--max-failures N]\n"
                "          [--no-federated] [--no-deadline] [--no-metamorphic]\n"
-               "          [--no-join]\n"
+               "          [--no-join] [--no-cluster]\n"
                "          [--no-minimize] [--inject] [--artifacts-dir DIR]\n",
                argv0);
 }
@@ -106,6 +106,8 @@ int main(int argc, char** argv) {
       options.metamorphic = false;
     } else if (std::strcmp(arg, "--no-join") == 0) {
       options.join_lane = false;
+    } else if (std::strcmp(arg, "--no-cluster") == 0) {
+      options.cluster_lane = false;
     } else if (std::strcmp(arg, "--no-minimize") == 0) {
       options.minimize = false;
     } else if (std::strcmp(arg, "--inject") == 0) {

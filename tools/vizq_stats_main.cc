@@ -20,8 +20,17 @@
 // with a valid trace, non-empty monotone plan profiles), exiting non-zero
 // on any violation; CI runs it on every Release build.
 //
+// --cluster N routes the dashboard workload through an N-node sharded
+// Data Server (cluster/coordinator.h) instead of the single-node service,
+// so the Prometheus dump carries the per-node series — e.g.
+//   vizq_rpc_node_batches{node="n1"} 7
+//   vizq_rpc_node_ms{node="n1"} ...
+// — showing which node did the work. The EXPLAIN ANALYZE probes stay on a
+// direct service (plans are a node-local artifact), and --selftest always
+// runs single-node.
+//
 //   ./build/tools/vizq_stats [--flights N] [--seed S] [--slow-n N]
-//                            [--json] [--trace-out FILE]
+//                            [--json] [--cluster N] [--trace-out FILE]
 //                            [--exemplar-trace-out FILE] [--selftest]
 
 #include <algorithm>
@@ -33,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/coordinator.h"
 #include "src/dashboard/renderer.h"
 #include "src/federation/simulated_source.h"
 #include "src/obs/exemplar.h"
@@ -54,6 +64,7 @@ struct ToolOptions {
   int slow_n = 3;
   bool json = false;
   bool selftest = false;
+  int cluster_nodes = 0;  // 0 = single-node service
   std::string trace_out;
   std::string exemplar_trace_out;
 };
@@ -94,7 +105,32 @@ StatusOr<WorkloadResult> RunWorkload(const ToolOptions& opt) {
 
   dashboard::BatchOptions options;
   options.adjust.add_filter_dimensions = true;
-  dashboard::DashboardRenderer renderer(&service);
+
+  // --cluster N: the renderer talks to an N-node scatter/gather
+  // coordinator hosting the flights view, so the registry picks up the
+  // node-labeled rpc series. The direct `service` stays around for the
+  // EXPLAIN ANALYZE probes below.
+  std::unique_ptr<cluster::ClusterCoordinator> coordinator;
+  dashboard::BatchExecutor* executor = &service;
+  if (opt.cluster_nodes > 0) {
+    cluster::ClusterOptions copts;
+    copts.num_nodes = opt.cluster_nodes;
+    coordinator = std::make_unique<cluster::ClusterCoordinator>(copts);
+    cluster::SourceSpec spec;
+    spec.view = workload::FlightsStarView();
+    spec.backend = source;
+    VIZQ_RETURN_IF_ERROR(coordinator->Publish(spec));
+    // Shard aliases of the same star view: the dashboards only ever hit
+    // the one published view (one owner), so a per-alias batch below
+    // spreads traffic across the ring and lights up every node's series.
+    for (int s = 0; s < 2 * opt.cluster_nodes; ++s) {
+      cluster::SourceSpec alias = spec;
+      alias.view.name = spec.view.name + "_shard" + std::to_string(s);
+      VIZQ_RETURN_IF_ERROR(coordinator->Publish(alias));
+    }
+    executor = coordinator.get();
+  }
+  dashboard::DashboardRenderer renderer(executor);
 
   // Figure 1: cold load, a map selection, then a warm re-render (cache
   // exact/derived hits). Each render gets its own traced context, so each
@@ -138,6 +174,26 @@ StatusOr<WorkloadResult> RunWorkload(const ToolOptions& opt) {
     for (const auto& b : load.batches) {
       out.queries_run += static_cast<int64_t>(b.queries.size());
     }
+  }
+
+  // Cluster mode: one query per shard alias in a single scatter batch, so
+  // the gather fans out across the ring and every node contributes
+  // rpc.node.* samples to the registry.
+  if (coordinator != nullptr) {
+    std::vector<query::AbstractQuery> scatter;
+    for (int s = 0; s < 2 * opt.cluster_nodes; ++s) {
+      scatter.push_back(
+          query::QueryBuilder("faa", workload::kFlightsView + std::string("_shard") +
+                                         std::to_string(s))
+              .Dim("carrier")
+              .CountAll("flights")
+              .Build());
+    }
+    ExecContext cctx;
+    VIZQ_ASSIGN_OR_RETURN(std::vector<ResultTable> shard_results,
+                          coordinator->ExecuteBatch(cctx, scatter, options,
+                                                    nullptr));
+    out.queries_run += static_cast<int64_t>(shard_results.size());
   }
 
   // Probe query for the EXPLAIN ANALYZE dump: caches off so it must reach
@@ -316,6 +372,11 @@ int main(int argc, char** argv) {
       opt.slow_n = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt.json = true;
+    } else if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
+      opt.cluster_nodes = std::atoi(argv[++i]);
+      if (opt.cluster_nodes < 1 || opt.cluster_nodes > 64) {
+        return Fail("--cluster expects a node count in [1, 64]");
+      }
     } else if (std::strcmp(argv[i], "--selftest") == 0) {
       opt.selftest = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -326,10 +387,13 @@ int main(int argc, char** argv) {
     } else {
       return Fail(std::string("unknown flag: ") + argv[i] +
                   "\nusage: vizq_stats [--flights N] [--seed S] [--slow-n N]"
-                  " [--json] [--trace-out FILE] [--exemplar-trace-out FILE]"
-                  " [--selftest]");
+                  " [--json] [--cluster N] [--trace-out FILE]"
+                  " [--exemplar-trace-out FILE] [--selftest]");
     }
   }
+
+  // The selftest's assertions describe the single-node pipeline.
+  if (opt.selftest) opt.cluster_nodes = 0;
 
   // Fresh observability epoch so the dump reflects exactly this run.
   obs::GlobalMetrics().Reset();
